@@ -1,0 +1,74 @@
+//! F3 — circular-buffer effects on the real runtime: pipeline throughput
+//! across ring capacities, plus the raw ring's push/pop cost (the overhead
+//! the capacity is amortizing). The simulated capacity curve is printed by
+//! `paper-tables f3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use megasw::multigpu::circbuf::CircularBuffer;
+use megasw::prelude::*;
+use megasw_bench::cached_pair;
+use std::time::Duration;
+
+fn bench_pipeline_capacity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_pipeline_capacity");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let (a, b) = cached_pair(8_000, 401);
+    let cells = (a.len() * b.len()) as u64;
+    let platform = Platform::env1();
+    for cap in [1usize, 4, 32] {
+        let cfg = RunConfig::paper_default()
+            .with_block(256)
+            .with_buffer_capacity(cap);
+        group.throughput(Throughput::Elements(cells));
+        group.bench_with_input(BenchmarkId::new("capacity", cap), &cfg, |bench, cfg| {
+            bench.iter(|| {
+                run_pipeline(a.codes(), b.codes(), &platform, cfg)
+                    .expect("pipeline run failed")
+                    .best
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f3_ring_ops");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+
+    const ITEMS: u64 = 10_000;
+    for cap in [1usize, 8, 64] {
+        group.throughput(Throughput::Elements(ITEMS));
+        group.bench_with_input(
+            BenchmarkId::new("stream_10k", cap),
+            &cap,
+            |bench, &cap| {
+                bench.iter(|| {
+                    let ring = CircularBuffer::with_capacity(cap);
+                    let producer = {
+                        let ring = ring.clone();
+                        std::thread::spawn(move || {
+                            for i in 0..ITEMS {
+                                ring.push(i).unwrap();
+                            }
+                            ring.close();
+                        })
+                    };
+                    let mut sum = 0u64;
+                    while let Some(v) = ring.pop().unwrap() {
+                        sum = sum.wrapping_add(v);
+                    }
+                    producer.join().unwrap();
+                    sum
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_capacity, bench_ring_throughput);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Shared infrastructure for the benchmark harness.
+//!
+//! The experiment index (DESIGN.md §5) maps every table and figure of the
+//! paper onto two artifacts:
+//!
+//! * the **`paper-tables` binary** (`cargo run -p megasw-bench --release
+//!   --bin paper-tables`) regenerates every table/figure *series* — mostly
+//!   on the discrete-event backend, so paper-scale matrix dimensions are
+//!   cheap;
+//! * the **criterion benches** (`cargo bench`) measure the real, threaded
+//!   implementation on this host, one bench target per table/figure.
+//!
+//! This crate-level library holds what both share: cached workload pairs
+//! and table-formatting helpers.
+
+use megasw::prelude::*;
+use std::sync::OnceLock;
+
+/// A lazily generated, process-cached homologous pair for benches.
+///
+/// Criterion calls the bench closure many times; generation must happen
+/// once. Distinct `(len, seed)` combinations used by the benches are
+/// enumerated here.
+pub fn cached_pair(len: usize, seed: u64) -> &'static (DnaSeq, DnaSeq) {
+    static CACHE: OnceLock<parking_lot_free::Registry> = OnceLock::new();
+    CACHE
+        .get_or_init(parking_lot_free::Registry::default)
+        .get(len, seed)
+}
+
+/// Tiny interior-mutability registry without extra deps (std mutex; the
+/// lock is only held during generation or lookup).
+mod parking_lot_free {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Registry {
+        map: Mutex<HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>>,
+    }
+
+    impl Registry {
+        pub fn get(&self, len: usize, seed: u64) -> &'static (DnaSeq, DnaSeq) {
+            let mut map = self.map.lock().expect("registry lock");
+            map.entry((len, seed)).or_insert_with(|| {
+                let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+                let (b, _) = DivergenceModel::test_scale(seed + 7).apply(&a);
+                Box::leak(Box::new((a, b)))
+            })
+        }
+    }
+}
+
+/// Like [`cached_pair`] but with a substitutions-only divergence channel,
+/// so both members have exactly `len` bases (benches that slice fixed
+/// windows out of both sequences need this).
+pub fn cached_pair_exact(len: usize, seed: u64) -> &'static (DnaSeq, DnaSeq) {
+    static CACHE: OnceLock<parking_lot_free_exact::Registry> = OnceLock::new();
+    CACHE
+        .get_or_init(parking_lot_free_exact::Registry::default)
+        .get(len, seed)
+}
+
+mod parking_lot_free_exact {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    pub struct Registry {
+        map: Mutex<HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>>,
+    }
+
+    impl Registry {
+        pub fn get(&self, len: usize, seed: u64) -> &'static (DnaSeq, DnaSeq) {
+            let mut map = self.map.lock().expect("registry lock");
+            map.entry((len, seed)).or_insert_with(|| {
+                let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+                let (b, _) = DivergenceModel::snp_only(seed + 7, 0.012).apply(&a);
+                Box::leak(Box::new((a, b)))
+            })
+        }
+    }
+}
+
+/// GCUPS for `cells` over `secs`.
+pub fn gcups(cells: u128, secs: f64) -> f64 {
+    if secs <= 0.0 {
+        0.0
+    } else {
+        cells as f64 / secs / 1e9
+    }
+}
+
+/// Render one aligned text table: a header row plus data rows.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = format!("\n== {title} ==\n");
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the same rows as CSV (for plotting).
+pub fn render_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("csv:{name},{}\n", header.join(","));
+    for row in rows {
+        out.push_str(&format!("csv:{name},{}\n", row.join(",")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_pair_is_cached() {
+        let p1 = cached_pair(1_000, 3) as *const _;
+        let p2 = cached_pair(1_000, 3) as *const _;
+        assert_eq!(p1, p2);
+        let p3 = cached_pair(1_000, 4) as *const _;
+        assert_ne!(p1, p3);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "demo",
+            &["pair", "GCUPS"],
+            &[
+                vec!["chrA".into(), "1.0".into()],
+                vec!["chrLong".into(), "140.36".into()],
+            ],
+        );
+        assert!(t.contains("== demo =="));
+        assert!(t.contains("140.36"));
+        let csv = render_csv("demo", &["pair", "GCUPS"], &[vec!["x".into(), "1".into()]]);
+        assert!(csv.contains("csv:demo,pair,GCUPS"));
+        assert!(csv.contains("csv:demo,x,1"));
+    }
+
+    #[test]
+    fn gcups_zero_duration() {
+        assert_eq!(gcups(100, 0.0), 0.0);
+        assert!((gcups(2_000_000_000, 2.0) - 1.0).abs() < 1e-12);
+    }
+}

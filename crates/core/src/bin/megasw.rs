@@ -1,0 +1,485 @@
+//! The `megasw` command-line tool.
+//!
+//! ```text
+//! megasw generate --length 1000000 --seed 42 --out-human h.fa --out-chimp c.fa
+//! megasw compare  <a.fasta> <b.fasta> [--gpus N] [--env1|--env2] [--block N]
+//!                 [--capacity N] [--equal]
+//! megasw align    <a.fasta> <b.fasta> [--width N] [same platform flags]
+//! megasw simulate --m 47000000 --n 49000000 [--env1|--env2] [--gantt]
+//! megasw tune     --m 4000000 --n 4000000 [--env1|--env2]
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (a tiny `ArgStream`
+//! helper below); every subcommand maps onto the public library API, so
+//! this binary doubles as living documentation of the crate surface.
+
+use megasw::gpusim::trace::render_gantt;
+use megasw::multigpu::autotune::autotune;
+use megasw::multigpu::desrun::run_des;
+use megasw::prelude::*;
+use megasw::seq::fasta::{read_single_fasta, write_fasta, FastaRecord};
+use std::fs::File;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `megasw help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let mut stream = ArgStream::new(args);
+    match stream.next_positional().as_deref() {
+        Some("generate") => cmd_generate(stream),
+        Some("compare") => cmd_compare(stream),
+        Some("align") => cmd_align(stream),
+        Some("simulate") => cmd_simulate(stream),
+        Some("tune") => cmd_tune(stream),
+        Some("screen") => cmd_screen(stream),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+const USAGE: &str = "\
+megasw — fine-grain multi-GPU megabase Smith-Waterman (simulated platform)
+
+subcommands:
+  generate  --length N [--seed S] [--divergence human-chimp|snp:RATE|none]
+            [--out-human PATH] [--out-chimp PATH]
+            write a synthetic homologous FASTA pair
+  compare   A.fasta B.fasta [platform flags]
+            stage 1: best score and end point, plus the simulated GCUPS
+  align     A.fasta B.fasta [--width N] [platform flags]
+            stages 1-3: retrieve and render the optimal local alignment
+  simulate  --m ROWS --n COLS [platform flags] [--gantt]
+            discrete-event run (no sequence data needed)
+  tune      --m ROWS --n COLS [platform flags]
+            sweep block height x ring capacity on the simulator
+  screen    A.fasta B.fasta [--k N] [--plot]
+            alignment-free prefilter: k-mer Jaccard similarity, estimated
+            alignment band, optional ASCII dotplot
+
+platform flags:
+  --env1            2x GTX 680 (default: env2)
+  --env2            GTX Titan + Tesla K20 + GTX 580
+  --gpus N          use only the first N devices
+  --block N         square tile side (default 512)
+  --capacity N      ring capacity in borders (default 8)
+  --equal           equal split instead of performance-proportional
+";
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_generate(mut args: ArgStream) -> Result<(), String> {
+    let length: usize = args.flag_value("--length")?.ok_or("--length is required")?;
+    let seed: u64 = args.flag_value("--seed")?.unwrap_or(42);
+    let divergence = args.flag_str("--divergence").unwrap_or_else(|| "human-chimp".into());
+    let out_human = args.flag_str("--out-human").unwrap_or_else(|| "human.fasta".into());
+    let out_chimp = args.flag_str("--out-chimp").unwrap_or_else(|| "chimp.fasta".into());
+    args.finish()?;
+
+    let human = ChromosomeGenerator::new(GenerateConfig::sized(length, seed)).generate();
+    let model = parse_divergence(&divergence, seed, length)?;
+    let (chimp, summary) = model.apply(&human);
+
+    write_one(&out_human, "human synthetic", &human)?;
+    write_one(&out_chimp, "chimp synthetic", &chimp)?;
+    println!(
+        "wrote {} ({} bp) and {} ({} bp); {} SNPs, {} indel events",
+        out_human,
+        human.len(),
+        out_chimp,
+        chimp.len(),
+        summary.substitutions,
+        summary.insertions + summary.deletions
+    );
+    Ok(())
+}
+
+fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let config = parse_config(&mut args)?;
+    let path_a = args.next_positional().ok_or("missing first FASTA path")?;
+    let path_b = args.next_positional().ok_or("missing second FASTA path")?;
+    args.finish()?;
+
+    let a = load_fasta(&path_a)?;
+    let b = load_fasta(&path_b)?;
+    println!(
+        "comparing {} ({} bp) x {} ({} bp) on {}",
+        a.id(),
+        a.seq.len(),
+        b.id(),
+        b.seq.len(),
+        platform.name
+    );
+
+    let report = run_pipeline(a.seq.codes(), b.seq.codes(), &platform, &config)
+        .map_err(|e| e.to_string())?;
+    print!("{report}");
+
+    let sim = run_des(a.seq.len(), b.seq.len(), &platform, &config);
+    println!(
+        "simulated on {}: {} ({:.2} GCUPS)",
+        platform.name,
+        sim.report.sim_time.unwrap(),
+        sim.report.gcups_sim.unwrap()
+    );
+    if let Err(e) = sim.memory {
+        println!("warning: {e}");
+    }
+    Ok(())
+}
+
+fn cmd_align(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let config = parse_config(&mut args)?;
+    let width: usize = args.flag_value("--width")?.unwrap_or(72);
+    let path_a = args.next_positional().ok_or("missing first FASTA path")?;
+    let path_b = args.next_positional().ok_or("missing second FASTA path")?;
+    args.finish()?;
+
+    let a = load_fasta(&path_a)?;
+    let b = load_fasta(&path_b)?;
+    let (aln, times) =
+        multigpu_local_align(a.seq.codes(), b.seq.codes(), &platform, &config)
+            .map_err(|e| e.to_string())?;
+    if aln.is_empty() {
+        println!("no positive-scoring local alignment");
+        return Ok(());
+    }
+    println!(
+        "score {} | a[{}..={}] x b[{}..={}] | {} columns | identity {:.2}%",
+        aln.score,
+        aln.start_i,
+        aln.end_i,
+        aln.start_j,
+        aln.end_j,
+        aln.len(),
+        aln.identity() * 100.0
+    );
+    println!(
+        "stages: 1 {:?}  2 {:?}  3 {:?}",
+        times.stage1, times.stage2, times.stage3
+    );
+    println!("CIGAR: {}\n", aln.cigar());
+    print!("{}", render_alignment(a.seq.codes(), b.seq.codes(), &aln, width));
+    Ok(())
+}
+
+fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let config = parse_config(&mut args)?;
+    let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
+    let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
+    let gantt = args.take_flag("--gantt");
+    args.finish()?;
+
+    let run = run_des(m, n, &platform, &config);
+    print!("{}", run.report);
+    match &run.memory {
+        Ok(plans) => {
+            for (d, plan) in run.report.devices.iter().zip(plans) {
+                println!(
+                    "  gpu{} memory: {:.1} MiB required",
+                    d.device,
+                    plan.total() as f64 / (1024.0 * 1024.0)
+                );
+            }
+        }
+        Err(e) => println!("warning: {e}"),
+    }
+    if gantt {
+        print!(
+            "\n{}",
+            render_gantt(
+                run.schedule.spans(),
+                &run.schedule.resource_list(),
+                run.schedule.makespan(),
+                100,
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_tune(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let config = parse_config(&mut args)?;
+    let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
+    let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
+    args.finish()?;
+
+    let tuned = autotune(m, n, &platform, &config);
+    println!("{:>8} {:>9} {:>9}", "block_h", "capacity", "GCUPS");
+    for c in &tuned.candidates {
+        println!("{:>8} {:>9} {:>9.2}", c.block_h, c.buffer_capacity, c.gcups);
+    }
+    println!(
+        "\nbest: block_h = {}, capacity = {} -> {:.2} GCUPS on {}",
+        tuned.config.block_h, tuned.config.buffer_capacity, tuned.gcups, platform.name
+    );
+    Ok(())
+}
+
+fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
+    use megasw::seq::kmer::{dotplot, estimate_band, jaccard};
+
+    let k: usize = args.flag_value("--k")?.unwrap_or(16);
+    if !(1..=32).contains(&k) {
+        return Err("--k must be within 1..=32".into());
+    }
+    let plot = args.take_flag("--plot");
+    let path_a = args.next_positional().ok_or("missing first FASTA path")?;
+    let path_b = args.next_positional().ok_or("missing second FASTA path")?;
+    args.finish()?;
+
+    let a = load_fasta(&path_a)?;
+    let b = load_fasta(&path_b)?;
+    let j = jaccard(&a.seq, &b.seq, k);
+    println!(
+        "{}-mer Jaccard similarity: {:.4}  ({})",
+        k,
+        j,
+        if j > 0.2 {
+            "strong homology — full comparison worthwhile"
+        } else if j > 0.02 {
+            "weak homology — expect short local alignments"
+        } else {
+            "no detectable homology"
+        }
+    );
+    match estimate_band(&a.seq, &b.seq, k, 0.9, 64) {
+        Some((lo, hi)) => println!(
+            "estimated alignment band: diagonals {lo}..{hi} (width {})",
+            hi - lo + 1
+        ),
+        None => println!("no shared {k}-mers: no band to estimate"),
+    }
+    if plot {
+        println!("\ndotplot (rows = {}, cols = {}):", a.id(), b.id());
+        print!("{}", dotplot(&a.seq, &b.seq, k, 72, 24));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shared parsing helpers
+// ---------------------------------------------------------------------------
+
+fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
+    let env1 = args.take_flag("--env1");
+    let env2 = args.take_flag("--env2");
+    if env1 && env2 {
+        return Err("--env1 and --env2 are mutually exclusive".into());
+    }
+    let mut platform = if env1 { Platform::env1() } else { Platform::env2() };
+    if let Some(gpus) = args.flag_value::<usize>("--gpus")? {
+        if gpus == 0 {
+            return Err("--gpus must be at least 1".into());
+        }
+        platform = platform.take(gpus);
+    }
+    Ok(platform)
+}
+
+fn parse_config(args: &mut ArgStream) -> Result<RunConfig, String> {
+    let mut config = RunConfig::paper_default();
+    if let Some(block) = args.flag_value::<usize>("--block")? {
+        config = config.with_block(block);
+    }
+    if let Some(cap) = args.flag_value::<usize>("--capacity")? {
+        config = config.with_buffer_capacity(cap);
+    }
+    if args.take_flag("--equal") {
+        config = config.with_partition(PartitionPolicy::Equal);
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn parse_divergence(spec: &str, seed: u64, len: usize) -> Result<DivergenceModel, String> {
+    if spec == "human-chimp" {
+        Ok(DivergenceModel::human_chimp_scaled(seed ^ 0x444, len))
+    } else if spec == "none" {
+        Ok(DivergenceModel::identity(seed))
+    } else if let Some(rate) = spec.strip_prefix("snp:") {
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("bad SNP rate in {spec:?}"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err("SNP rate must be within [0, 1]".into());
+        }
+        Ok(DivergenceModel::snp_only(seed ^ 0x555, rate))
+    } else {
+        Err(format!(
+            "unknown divergence {spec:?} (expected human-chimp, none, or snp:RATE)"
+        ))
+    }
+}
+
+fn load_fasta(path: &str) -> Result<FastaRecord, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_single_fasta(file).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+fn write_one(path: &str, header: &str, seq: &DnaSeq) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    write_fasta(
+        file,
+        &[FastaRecord { header: header.into(), seq: seq.clone() }],
+        70,
+    )
+    .map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Minimal argument stream: flags may appear anywhere; positionals keep
+/// their relative order; every flag must be consumed exactly once.
+struct ArgStream {
+    args: Vec<String>,
+}
+
+impl ArgStream {
+    fn new(args: Vec<String>) -> ArgStream {
+        ArgStream { args }
+    }
+
+    /// Remove and return the first positional (non-`--`) argument.
+    fn next_positional(&mut self) -> Option<String> {
+        let idx = self.args.iter().position(|a| !a.starts_with("--"))?;
+        Some(self.args.remove(idx))
+    }
+
+    /// Remove a boolean flag, returning whether it was present.
+    fn take_flag(&mut self, name: &str) -> bool {
+        if let Some(idx) = self.args.iter().position(|a| a == name) {
+            self.args.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `--name value`, parsing the value.
+    fn flag_value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        let Some(idx) = self.args.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if idx + 1 >= self.args.len() || self.args[idx + 1].starts_with("--") {
+            return Err(format!("{name} requires a value"));
+        }
+        let value = self.args.remove(idx + 1);
+        self.args.remove(idx);
+        value
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid value {value:?} for {name}"))
+    }
+
+    /// Remove `--name value` as a string.
+    fn flag_str(&mut self, name: &str) -> Option<String> {
+        self.flag_value::<String>(name).ok().flatten()
+    }
+
+    /// Error if anything is left unconsumed.
+    fn finish(self) -> Result<(), String> {
+        if self.args.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {:?}", self.args))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(args: &[&str]) -> ArgStream {
+        ArgStream::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn positionals_and_flags_interleave() {
+        let mut s = stream(&["--env1", "a.fa", "--block", "64", "b.fa"]);
+        assert!(s.take_flag("--env1"));
+        assert_eq!(s.flag_value::<usize>("--block").unwrap(), Some(64));
+        assert_eq!(s.next_positional().as_deref(), Some("a.fa"));
+        assert_eq!(s.next_positional().as_deref(), Some("b.fa"));
+        assert!(s.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let mut s = stream(&["--block"]);
+        assert!(s.flag_value::<usize>("--block").is_err());
+        let mut s = stream(&["--block", "--env1"]);
+        assert!(s.flag_value::<usize>("--block").is_err());
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let mut s = stream(&["--block", "soup"]);
+        assert!(s.flag_value::<usize>("--block").is_err());
+    }
+
+    #[test]
+    fn leftovers_rejected() {
+        let s = stream(&["--mystery"]);
+        assert!(s.finish().unwrap_err().contains("--mystery"));
+    }
+
+    #[test]
+    fn platform_parsing() {
+        let mut s = stream(&["--env1", "--gpus", "1"]);
+        let p = parse_platform(&mut s).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.devices[0].name.contains("680"));
+
+        let mut s = stream(&["--env1", "--env2"]);
+        assert!(parse_platform(&mut s).is_err());
+
+        let mut s = stream(&["--gpus", "0"]);
+        assert!(parse_platform(&mut s).is_err());
+    }
+
+    #[test]
+    fn config_parsing_validates() {
+        let mut s = stream(&["--block", "128", "--capacity", "2", "--equal"]);
+        let c = parse_config(&mut s).unwrap();
+        assert_eq!(c.block_h, 128);
+        assert_eq!(c.buffer_capacity, 2);
+        assert_eq!(c.partition, PartitionPolicy::Equal);
+
+        let mut s = stream(&["--capacity", "0"]);
+        assert!(parse_config(&mut s).is_err());
+    }
+
+    #[test]
+    fn divergence_parsing() {
+        assert!(parse_divergence("human-chimp", 1, 1_000_000).is_ok());
+        assert!(parse_divergence("none", 1, 10).is_ok());
+        let snp = parse_divergence("snp:0.05", 1, 10).unwrap();
+        assert!((snp.snp_rate - 0.05).abs() < 1e-12);
+        assert!(parse_divergence("snp:2.0", 1, 10).is_err());
+        assert!(parse_divergence("wat", 1, 10).is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(vec!["frobnicate".into()]).is_err());
+        assert!(run(vec![]).is_ok()); // prints usage
+    }
+}

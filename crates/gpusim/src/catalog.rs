@@ -1,0 +1,131 @@
+//! Calibrated catalog of 2012–2013 era boards.
+//!
+//! `cells_per_cycle_per_sm` is back-solved from the sustained GCUPS that
+//! CUDAlign-class Smith-Waterman kernels reported on (or interpolated
+//! between) these boards in the 2011–2014 literature:
+//!
+//! | board          | SMs | clock MHz | target GCUPS |
+//! |----------------|-----|-----------|--------------|
+//! | GTX 560 Ti     | 8   | 822       | ≈ 25         |
+//! | GTX 580        | 16  | 772       | ≈ 33         |
+//! | Tesla M2090    | 16  | 650       | ≈ 38         |
+//! | Tesla K20      | 13  | 706       | ≈ 45         |
+//! | GTX 680        | 8   | 1006      | ≈ 50         |
+//! | GTX Titan      | 14  | 837       | ≈ 65         |
+//!
+//! Absolute values are calibration targets, not measurements — what the
+//! reproduction preserves is the *relative* heterogeneity (roughly 1 : 1.3 :
+//! 1.5 : 1.8 : 2 : 2.6 across the catalog) and the resulting load-balancing
+//! behaviour. The paper's exact boards are not recoverable from the
+//! abstract; `env2()`'s trio is chosen so its aggregate peak (≈160 GCUPS)
+//! yields the paper's headline ≈140 GCUPS at the pipeline efficiencies the
+//! model produces.
+
+use crate::link::LinkSpec;
+use crate::spec::DeviceSpec;
+
+/// Solve `cells_per_cycle_per_sm` for a GCUPS target.
+fn calibrated(name: &str, sms: u32, clock_mhz: u32, target_gcups: f64, mem_mib: u64, link: LinkSpec) -> DeviceSpec {
+    let per_sm = target_gcups * 1e9 / (sms as f64 * clock_mhz as f64 * 1e6);
+    DeviceSpec {
+        name: name.to_string(),
+        sms,
+        clock_mhz,
+        cells_per_cycle_per_sm: per_sm,
+        mem_mib,
+        link,
+        launch_overhead_ns: 5_000,
+    }
+}
+
+/// GeForce GTX 560 Ti — the weakest board in the catalog (≈25 GCUPS).
+pub fn gtx560ti() -> DeviceSpec {
+    calibrated("GeForce GTX 560 Ti", 8, 822, 25.0, 1024, LinkSpec::pcie2_x16())
+}
+
+/// GeForce GTX 580 (≈33 GCUPS).
+pub fn gtx580() -> DeviceSpec {
+    calibrated("GeForce GTX 580", 16, 772, 33.0, 1536, LinkSpec::pcie2_x16())
+}
+
+/// Tesla M2090 (≈38 GCUPS).
+pub fn m2090() -> DeviceSpec {
+    calibrated("Tesla M2090", 16, 650, 38.0, 6144, LinkSpec::pcie2_x16())
+}
+
+/// Tesla K20 (≈45 GCUPS).
+pub fn k20() -> DeviceSpec {
+    calibrated("Tesla K20", 13, 706, 45.0, 5120, LinkSpec::pcie2_x16())
+}
+
+/// GeForce GTX 680 (≈50 GCUPS).
+pub fn gtx680() -> DeviceSpec {
+    calibrated("GeForce GTX 680", 8, 1006, 50.0, 2048, LinkSpec::pcie3_x16())
+}
+
+/// GeForce GTX Titan (≈65 GCUPS).
+pub fn gtx_titan() -> DeviceSpec {
+    calibrated("GeForce GTX Titan", 14, 837, 65.0, 6144, LinkSpec::pcie3_x16())
+}
+
+/// Every board in the catalog, weakest first.
+pub fn all() -> Vec<DeviceSpec> {
+    vec![gtx560ti(), gtx580(), m2090(), k20(), gtx680(), gtx_titan()]
+}
+
+/// Look a board up by (case-insensitive substring of) its name.
+pub fn by_name(name: &str) -> Option<DeviceSpec> {
+    let needle = name.to_ascii_lowercase();
+    all()
+        .into_iter()
+        .find(|d| d.name.to_ascii_lowercase().contains(&needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_hits_targets() {
+        for (spec, target) in [
+            (gtx560ti(), 25.0),
+            (gtx580(), 33.0),
+            (m2090(), 38.0),
+            (k20(), 45.0),
+            (gtx680(), 50.0),
+            (gtx_titan(), 65.0),
+        ] {
+            let gcups = spec.peak_gcups();
+            assert!(
+                (gcups - target).abs() < 1e-6,
+                "{}: {} GCUPS vs target {}",
+                spec.name,
+                gcups,
+                target
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_ordered_weakest_first() {
+        let boards = all();
+        for pair in boards.windows(2) {
+            assert!(pair[0].peak_gcups() < pair[1].peak_gcups());
+        }
+    }
+
+    #[test]
+    fn lookup_by_substring() {
+        assert_eq!(by_name("titan").unwrap().name, "GeForce GTX Titan");
+        assert_eq!(by_name("680").unwrap().name, "GeForce GTX 680");
+        assert!(by_name("voodoo").is_none());
+    }
+
+    #[test]
+    fn heterogeneity_spread_matches_design() {
+        // Strongest : weakest ≈ 2.6 — wide enough that equal partitioning
+        // visibly hurts, which is what F4 demonstrates.
+        let spread = gtx_titan().peak_gcups() / gtx560ti().peak_gcups();
+        assert!((2.0..3.5).contains(&spread), "spread = {spread}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Kernel-launch timing model.
+
+use crate::spec::DeviceSpec;
+use crate::time::SimTime;
+
+/// Timing model for wavefront kernel launches on one device.
+///
+/// A launch processes one *external diagonal* of a slab: `blocks`
+/// independent tiles totalling `cells` DP cells. Throughput scales with how
+/// many SMs the diagonal can feed:
+///
+/// ```text
+/// utilization = min(blocks, sms) / sms
+/// time        = launch_overhead + cells / (peak_rate · utilization … )
+/// ```
+///
+/// equivalently `time = overhead + cells / (min(blocks, sms) · per_sm_rate)`
+/// — short diagonals (wavefront ramp-up/down, or slabs narrower than the
+/// SM count) run proportionally slower, which is exactly the effect that
+/// makes *fine-grain* multi-GPU pipelining non-trivial: slicing the matrix
+/// into more slabs shortens each device's diagonals.
+#[derive(Debug, Clone)]
+pub struct KernelModel {
+    spec: DeviceSpec,
+}
+
+impl KernelModel {
+    /// Wrap a device spec.
+    pub fn new(spec: DeviceSpec) -> KernelModel {
+        KernelModel { spec }
+    }
+
+    /// The underlying spec.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// Time for one launch covering `blocks` tiles and `cells` DP cells.
+    pub fn launch_time(&self, blocks: u32, cells: u64) -> SimTime {
+        if cells == 0 {
+            return SimTime::from_nanos(self.spec.launch_overhead_ns);
+        }
+        let active_sms = blocks.clamp(1, self.spec.sms) as f64;
+        let per_sm_rate =
+            self.spec.clock_mhz as f64 * 1e6 * self.spec.cells_per_cycle_per_sm;
+        let secs = cells as f64 / (active_sms * per_sm_rate);
+        SimTime::from_nanos(self.spec.launch_overhead_ns) + SimTime::from_secs_f64(secs)
+    }
+
+    /// Sustained GCUPS the device achieves on a stream of launches shaped
+    /// like this one (reporting helper).
+    pub fn sustained_gcups(&self, blocks: u32, cells_per_launch: u64) -> f64 {
+        let t = self.launch_time(blocks, cells_per_launch).as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            cells_per_launch as f64 / t / 1e9
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+
+    fn model() -> KernelModel {
+        KernelModel::new(DeviceSpec {
+            name: "TestBoard".into(),
+            sms: 8,
+            clock_mhz: 1_000,
+            cells_per_cycle_per_sm: 5.0, // peak 40 GCUPS
+            mem_mib: 2048,
+            link: LinkSpec::pcie2_x16(),
+            launch_overhead_ns: 5_000,
+        })
+    }
+
+    #[test]
+    fn full_diagonal_runs_at_peak() {
+        let m = model();
+        // 8+ blocks saturate all SMs: 40e9 cells ≈ 1 s (+ overhead).
+        let t = m.launch_time(8, 40_000_000_000);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-4, "t = {t}");
+        let t16 = m.launch_time(16, 40_000_000_000);
+        assert_eq!(t, t16, "more blocks than SMs adds nothing");
+    }
+
+    #[test]
+    fn short_diagonal_underutilizes() {
+        let m = model();
+        let full = m.launch_time(8, 8_000_000);
+        let half = m.launch_time(4, 8_000_000);
+        let one = m.launch_time(1, 8_000_000);
+        assert!(half > full);
+        assert!(one > half);
+        // 1 block uses 1/8 of the device: ~8× the busy time (overheads equal).
+        let busy_full = full.as_nanos() - 5_000;
+        let busy_one = one.as_nanos() - 5_000;
+        let ratio = busy_one as f64 / busy_full as f64;
+        assert!((ratio - 8.0).abs() < 0.01, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn zero_cells_costs_only_overhead() {
+        let m = model();
+        assert_eq!(m.launch_time(0, 0), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn sustained_gcups_below_peak_and_increasing_with_launch_size() {
+        let m = model();
+        let small = m.sustained_gcups(8, 1_000_000);
+        let large = m.sustained_gcups(8, 1_000_000_000);
+        assert!(small < large);
+        assert!(large < 40.0);
+        assert!(large > 39.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # megasw-gpusim — simulated heterogeneous GPU platforms
+//!
+//! The PPoPP'14 evaluation ran on real CUDA boards; this workspace has none,
+//! so this crate supplies the *hardware substrate* as a simulator with two
+//! faces:
+//!
+//! * a **timing model** — [`DeviceSpec`] (SMs, clock, per-SM cell rate,
+//!   memory) and [`LinkSpec`] (latency + bandwidth) parameterize how long a
+//!   wavefront kernel launch or a border transfer takes. The
+//!   [`catalog`] calibrates 2012–2013 boards so a single flagship sustains
+//!   the GCUPS range CUDAlign reported on that hardware;
+//! * a **deterministic schedule engine** — [`Schedule`] plays the role of
+//!   CUDA streams: each resource executes its tasks FIFO, a task starts when
+//!   its dependencies have finished *and* its resource is free, and every
+//!   task leaves a [`TraceSpan`] for utilization/occupancy analysis.
+//!
+//! `megasw-multigpu` drives both faces with the *same* block-level dataflow
+//! it executes for real on CPU threads, so the simulated GCUPS numbers
+//! describe exactly the schedule that was verified bit-for-bit against the
+//! sequential reference.
+//!
+//! Everything here is exact integer arithmetic on nanoseconds
+//! ([`SimTime`]): runs are reproducible to the bit across machines.
+
+pub mod catalog;
+pub mod device;
+pub mod link;
+pub mod platform;
+pub mod spec;
+pub mod stream;
+pub mod time;
+pub mod trace;
+
+pub use device::KernelModel;
+pub use link::LinkSpec;
+pub use platform::{Platform, PlatformKind};
+pub use spec::DeviceSpec;
+pub use stream::{ResourceId, Schedule, TaskId};
+pub use time::SimTime;
+pub use trace::{SpanKind, TraceSpan};

@@ -1,0 +1,95 @@
+//! Interconnect (PCIe / host bridge) timing model.
+
+use crate::time::SimTime;
+
+/// A point-to-point link: fixed latency plus bandwidth-limited transfer.
+///
+/// GPU-to-GPU border traffic in the paper flows over PCIe through host
+/// memory; we model the *effective* end-to-end pipe (both hops folded into
+/// one latency/bandwidth pair, as measured numbers for staged copies
+/// usually are). Links are full-duplex and independent per neighbour pair —
+/// contention on a shared host bridge is outside the model and noted in
+/// DESIGN.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way message latency in nanoseconds (DMA setup + interrupt).
+    pub latency_ns: u64,
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: f64,
+}
+
+impl LinkSpec {
+    /// Effective PCIe 2.0 ×16 staged device↔device pipe (~6 GB/s, ~8 µs).
+    pub fn pcie2_x16() -> LinkSpec {
+        LinkSpec {
+            latency_ns: 8_000,
+            bandwidth_bytes_per_sec: 6.0e9,
+        }
+    }
+
+    /// Effective PCIe 3.0 ×16 pipe (~12 GB/s, ~6 µs).
+    pub fn pcie3_x16() -> LinkSpec {
+        LinkSpec {
+            latency_ns: 6_000,
+            bandwidth_bytes_per_sec: 12.0e9,
+        }
+    }
+
+    /// A deliberately slow link for overlap stress tests (~0.5 GB/s).
+    pub fn slow_for_tests() -> LinkSpec {
+        LinkSpec {
+            latency_ns: 20_000,
+            bandwidth_bytes_per_sec: 0.5e9,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        let bw_ns = (bytes as f64 / self.bandwidth_bytes_per_sec) * 1e9;
+        SimTime::from_nanos(self.latency_ns + bw_ns.round() as u64)
+    }
+
+    /// Bytes/second this link sustains for messages of the given size
+    /// (latency amortization curve; used by tests and the balance model).
+    pub fn effective_bandwidth(&self, bytes: u64) -> f64 {
+        let t = self.transfer_time(bytes).as_secs_f64();
+        if t == 0.0 {
+            0.0
+        } else {
+            bytes as f64 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency() {
+        let l = LinkSpec {
+            latency_ns: 1_000,
+            bandwidth_bytes_per_sec: 1e9,
+        };
+        // 1000 bytes at 1 GB/s = 1 µs + 1 µs latency.
+        assert_eq!(l.transfer_time(1_000), SimTime::from_nanos(2_000));
+        // Zero-byte message still pays latency.
+        assert_eq!(l.transfer_time(0), SimTime::from_nanos(1_000));
+    }
+
+    #[test]
+    fn effective_bandwidth_approaches_peak_for_large_messages() {
+        let l = LinkSpec::pcie2_x16();
+        let small = l.effective_bandwidth(4 * 1024);
+        let large = l.effective_bandwidth(64 * 1024 * 1024);
+        assert!(small < large);
+        assert!(large > 0.95 * l.bandwidth_bytes_per_sec);
+        assert!(small < 0.5 * l.bandwidth_bytes_per_sec);
+    }
+
+    #[test]
+    fn faster_generation_is_faster() {
+        let msg = 1024 * 1024;
+        assert!(LinkSpec::pcie3_x16().transfer_time(msg) < LinkSpec::pcie2_x16().transfer_time(msg));
+    }
+}

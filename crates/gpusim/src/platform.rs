@@ -1,0 +1,204 @@
+//! Multi-GPU platform descriptions and the paper's two environments.
+
+use crate::catalog;
+use crate::link::LinkSpec;
+use crate::spec::DeviceSpec;
+
+/// Which evaluation environment a platform represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlatformKind {
+    /// Environment 1: homogeneous boards.
+    Env1,
+    /// Environment 2: heterogeneous boards (the 140-GCUPS configuration).
+    Env2,
+    /// Anything user-assembled.
+    Custom,
+}
+
+/// A chain of GPUs attached to one host.
+///
+/// The paper arranges GPUs in a logical chain ordered by matrix columns;
+/// device `g` streams its border columns to device `g + 1`. The platform
+/// records that order together with the link used between each neighbour
+/// pair (the slower of the two boards' effective pipes, since a staged
+/// copy traverses both).
+#[derive(Debug, Clone)]
+pub struct Platform {
+    pub name: String,
+    pub kind: PlatformKind,
+    pub devices: Vec<DeviceSpec>,
+    /// Optional shared host bridge: when set, *all* inter-GPU border
+    /// traffic serializes through this one pipe (the worst-case topology —
+    /// every board behind a single PCIe switch) instead of independent
+    /// per-neighbour links. `None` models independent full-duplex pairs.
+    pub bridge: Option<LinkSpec>,
+}
+
+impl Platform {
+    /// Build a custom platform from an explicit device chain.
+    pub fn custom(name: impl Into<String>, devices: Vec<DeviceSpec>) -> Platform {
+        Platform {
+            name: name.into(),
+            kind: PlatformKind::Custom,
+            devices,
+            bridge: None,
+        }
+    }
+
+    /// Environment 1: two homogeneous GTX 680s (≈100 GCUPS aggregate peak).
+    pub fn env1() -> Platform {
+        Platform {
+            name: "Env1 (2× GTX 680)".into(),
+            kind: PlatformKind::Env1,
+            devices: vec![catalog::gtx680(), catalog::gtx680()],
+            bridge: None,
+        }
+    }
+
+    /// Environment 2: three heterogeneous boards — GTX Titan + Tesla K20 +
+    /// GTX 580 (≈143 GCUPS aggregate sustained peak, ≈140 achieved in the
+    /// pipeline: the paper's 140.36-GCUPS headline shape).
+    pub fn env2() -> Platform {
+        Platform {
+            name: "Env2 (Titan + K20 + GTX 580)".into(),
+            kind: PlatformKind::Env2,
+            devices: vec![catalog::gtx_titan(), catalog::k20(), catalog::gtx580()],
+            bridge: None,
+        }
+    }
+
+    /// A single-device platform.
+    pub fn single(device: DeviceSpec) -> Platform {
+        Platform {
+            name: format!("1× {}", device.name),
+            kind: PlatformKind::Custom,
+            devices: vec![device],
+            bridge: None,
+        }
+    }
+
+    /// `n` copies of the same board.
+    pub fn homogeneous(device: DeviceSpec, n: usize) -> Platform {
+        Platform {
+            name: format!("{n}× {}", device.name),
+            kind: PlatformKind::Custom,
+            devices: std::iter::repeat_with(|| device.clone()).take(n).collect(),
+            bridge: None,
+        }
+    }
+
+    /// Truncate to the first `n` devices (used for 1/2/3-GPU sweeps).
+    pub fn take(&self, n: usize) -> Platform {
+        let n = n.min(self.devices.len()).max(1);
+        Platform {
+            name: format!("{} [first {n}]", self.name),
+            kind: self.kind,
+            devices: self.devices[..n].to_vec(),
+            bridge: self.bridge,
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Is the chain empty?
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Aggregate peak GCUPS of every device.
+    pub fn aggregate_peak_gcups(&self) -> f64 {
+        self.devices.iter().map(|d| d.peak_gcups()).sum()
+    }
+
+    /// Is every device the same model?
+    pub fn is_homogeneous(&self) -> bool {
+        self.devices
+            .windows(2)
+            .all(|w| w[0].name == w[1].name && w[0] == w[1])
+    }
+
+    /// Route all inter-GPU traffic through one shared host bridge.
+    pub fn with_bridge(mut self, bridge: LinkSpec) -> Platform {
+        self.bridge = Some(bridge);
+        self
+    }
+
+    /// Link used between neighbours `g` and `g + 1`: the slower pipe of the
+    /// two boards (a staged copy traverses both).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g + 1` is out of range.
+    pub fn link_between(&self, g: usize) -> LinkSpec {
+        let a = &self.devices[g].link;
+        let b = &self.devices[g + 1].link;
+        if a.bandwidth_bytes_per_sec <= b.bandwidth_bytes_per_sec {
+            *a
+        } else {
+            *b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env1_is_homogeneous_pair() {
+        let p = Platform::env1();
+        assert_eq!(p.len(), 2);
+        assert!(p.is_homogeneous());
+        assert_eq!(p.kind, PlatformKind::Env1);
+        assert!((p.aggregate_peak_gcups() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn env2_is_heterogeneous_trio_near_143_peak() {
+        let p = Platform::env2();
+        assert_eq!(p.len(), 3);
+        assert!(!p.is_homogeneous());
+        let peak = p.aggregate_peak_gcups();
+        assert!((peak - 143.0).abs() < 1e-6, "peak = {peak}");
+        // Devices ordered strongest-first (column partitioning is
+        // order-agnostic; strongest-first keeps the deepest slab first).
+        assert!(p.devices[0].peak_gcups() > p.devices[2].peak_gcups());
+    }
+
+    #[test]
+    fn take_prefix() {
+        let p = Platform::env2();
+        let p1 = p.take(1);
+        assert_eq!(p1.len(), 1);
+        assert_eq!(p1.devices[0].name, "GeForce GTX Titan");
+        let p9 = p.take(9);
+        assert_eq!(p9.len(), 3);
+        let p0 = p.take(0);
+        assert_eq!(p0.len(), 1, "take clamps to at least one device");
+    }
+
+    #[test]
+    fn homogeneous_builder() {
+        let p = Platform::homogeneous(crate::catalog::m2090(), 4);
+        assert_eq!(p.len(), 4);
+        assert!(p.is_homogeneous());
+        assert!((p.aggregate_peak_gcups() - 4.0 * 38.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn link_between_picks_slower_pipe() {
+        // Titan (pcie3) → K20 (pcie2): effective link is the pcie2 pipe.
+        let p = Platform::custom(
+            "t",
+            vec![crate::catalog::gtx_titan(), crate::catalog::k20()],
+        );
+        let l = p.link_between(0);
+        assert_eq!(
+            l.bandwidth_bytes_per_sec,
+            LinkSpec::pcie2_x16().bandwidth_bytes_per_sec
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Device specifications.
+
+use crate::link::LinkSpec;
+
+/// Static description of one simulated GPU.
+///
+/// The compute model is deliberately coarse — what matters for the paper's
+/// claims is each device's *sustained Smith-Waterman cell rate* and how it
+/// degrades when the wavefront offers fewer blocks than the device has SMs.
+/// `cells_per_cycle_per_sm` is therefore calibrated per board (see
+/// [`crate::catalog`]) so that `peak_gcups()` lands on the GCUPS that
+/// CUDAlign-class kernels sustained on the real silicon, rather than being
+/// derived from core counts (which would require modeling instruction mixes
+/// we have no way to validate offline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name ("GeForce GTX 680").
+    pub name: String,
+    /// Streaming multiprocessors.
+    pub sms: u32,
+    /// Shader clock in MHz.
+    pub clock_mhz: u32,
+    /// Calibrated sustained DP-cell throughput per SM per clock cycle.
+    pub cells_per_cycle_per_sm: f64,
+    /// Device memory in MiB (slab residency checks).
+    pub mem_mib: u64,
+    /// Host link (PCIe) characteristics.
+    pub link: LinkSpec,
+    /// Fixed kernel-launch overhead in nanoseconds.
+    pub launch_overhead_ns: u64,
+}
+
+impl DeviceSpec {
+    /// Peak sustained cell rate in cells/second (all SMs busy).
+    pub fn peak_cells_per_sec(&self) -> f64 {
+        self.sms as f64 * self.clock_mhz as f64 * 1e6 * self.cells_per_cycle_per_sm
+    }
+
+    /// Peak sustained GCUPS (billions of cells updated per second).
+    pub fn peak_gcups(&self) -> f64 {
+        self.peak_cells_per_sec() / 1e9
+    }
+
+    /// Device memory in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_mib * 1024 * 1024
+    }
+
+    /// Relative compute power against another device (used by the
+    /// performance-proportional partitioner).
+    pub fn relative_power(&self, other: &DeviceSpec) -> f64 {
+        self.peak_cells_per_sec() / other.peak_cells_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> DeviceSpec {
+        DeviceSpec {
+            name: "TestBoard".into(),
+            sms: 8,
+            clock_mhz: 1_000,
+            cells_per_cycle_per_sm: 5.0,
+            mem_mib: 2048,
+            link: LinkSpec::pcie2_x16(),
+            launch_overhead_ns: 5_000,
+        }
+    }
+
+    #[test]
+    fn peak_rates() {
+        let s = spec();
+        // 8 SMs · 1 GHz · 5 cells = 40 Gcells/s.
+        assert!((s.peak_gcups() - 40.0).abs() < 1e-9);
+        assert!((s.peak_cells_per_sec() - 40e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn memory_in_bytes() {
+        assert_eq!(spec().mem_bytes(), 2048 * 1024 * 1024);
+    }
+
+    #[test]
+    fn relative_power() {
+        let a = spec();
+        let mut b = spec();
+        b.sms = 4;
+        assert!((a.relative_power(&b) - 2.0).abs() < 1e-12);
+        assert!((b.relative_power(&a) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! The deterministic schedule engine (CUDA-stream semantics).
+//!
+//! A [`Schedule`] owns a set of FIFO **resources** (device compute streams,
+//! copy engines, links) and a growing DAG of **tasks**. A task is enqueued
+//! on exactly one resource with an explicit dependency list; it starts when
+//! all dependencies have finished *and* every earlier task on its resource
+//! has finished (head-of-line blocking, like a CUDA stream). Timestamps are
+//! computed eagerly at insertion — tasks must be added in a topological
+//! order of their dependencies, which the multi-GPU planner does naturally
+//! (it walks external diagonals in order).
+//!
+//! The engine is single-threaded and exact: the same task insertions always
+//! produce the same nanosecond timeline, so simulated-GCUPS results are
+//! reproducible to the bit.
+
+use crate::time::SimTime;
+use crate::trace::{SpanKind, TraceSpan};
+
+/// Handle to a resource (stream/link) inside one [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ResourceId(pub usize);
+
+/// Handle to a task inside one [`Schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaskId(pub usize);
+
+#[derive(Debug, Clone)]
+struct ResourceState {
+    name: String,
+    available_at: SimTime,
+    busy: SimTime,
+    tasks: usize,
+}
+
+/// A deterministic discrete-event schedule. See the module docs.
+///
+/// ```
+/// use megasw_gpusim::{Schedule, SimTime, SpanKind};
+///
+/// let mut s = Schedule::new();
+/// let gpu0 = s.add_resource("gpu0");
+/// let gpu1 = s.add_resource("gpu1");
+/// let producer = s.add_task(gpu0, &[], SimTime::from_micros(10), SpanKind::Kernel, 0);
+/// let consumer = s.add_task(gpu1, &[producer], SimTime::from_micros(5), SpanKind::Kernel, 0);
+/// assert_eq!(s.start_of(consumer), SimTime::from_micros(10));
+/// assert_eq!(s.makespan(), SimTime::from_micros(15));
+/// ```
+#[derive(Debug, Default)]
+pub struct Schedule {
+    resources: Vec<ResourceState>,
+    finishes: Vec<SimTime>,
+    starts: Vec<SimTime>,
+    spans: Vec<TraceSpan>,
+    makespan: SimTime,
+}
+
+impl Schedule {
+    /// Empty schedule.
+    pub fn new() -> Schedule {
+        Schedule::default()
+    }
+
+    /// Register a resource.
+    pub fn add_resource(&mut self, name: impl Into<String>) -> ResourceId {
+        self.resources.push(ResourceState {
+            name: name.into(),
+            available_at: SimTime::ZERO,
+            busy: SimTime::ZERO,
+            tasks: 0,
+        });
+        ResourceId(self.resources.len() - 1)
+    }
+
+    /// Enqueue a task on `resource`, starting no earlier than every
+    /// dependency's finish time. Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource` or any dependency id is unknown.
+    pub fn add_task(
+        &mut self,
+        resource: ResourceId,
+        deps: &[TaskId],
+        duration: SimTime,
+        kind: SpanKind,
+        tag: u64,
+    ) -> TaskId {
+        let ready = deps
+            .iter()
+            .map(|d| self.finishes[d.0])
+            .fold(SimTime::ZERO, SimTime::max);
+        let res = &mut self.resources[resource.0];
+        let start = ready.max(res.available_at);
+        let finish = start + duration;
+        res.available_at = finish;
+        res.busy += duration;
+        res.tasks += 1;
+        self.makespan = self.makespan.max(finish);
+        self.starts.push(start);
+        self.finishes.push(finish);
+        self.spans.push(TraceSpan {
+            resource,
+            kind,
+            tag,
+            start,
+            end: finish,
+        });
+        TaskId(self.finishes.len() - 1)
+    }
+
+    /// When the given task starts.
+    pub fn start_of(&self, task: TaskId) -> SimTime {
+        self.starts[task.0]
+    }
+
+    /// When the given task finishes.
+    pub fn finish_of(&self, task: TaskId) -> SimTime {
+        self.finishes[task.0]
+    }
+
+    /// Latest finish time across all tasks (total simulated runtime).
+    pub fn makespan(&self) -> SimTime {
+        self.makespan
+    }
+
+    /// Total busy time of a resource.
+    pub fn busy_of(&self, resource: ResourceId) -> SimTime {
+        self.resources[resource.0].busy
+    }
+
+    /// Busy fraction of a resource over the makespan (0 if empty).
+    pub fn utilization(&self, resource: ResourceId) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_of(resource).as_secs_f64() / self.makespan.as_secs_f64()
+        }
+    }
+
+    /// Resource display name.
+    pub fn resource_name(&self, resource: ResourceId) -> &str {
+        &self.resources[resource.0].name
+    }
+
+    /// Number of tasks enqueued on a resource.
+    pub fn task_count(&self, resource: ResourceId) -> usize {
+        self.resources[resource.0].tasks
+    }
+
+    /// All recorded spans (insertion order).
+    pub fn spans(&self) -> &[TraceSpan] {
+        &self.spans
+    }
+
+    /// `(id, name)` pairs for every resource, for the Gantt renderer.
+    pub fn resource_list(&self) -> Vec<(ResourceId, String)> {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ResourceId(i), r.name.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_resources_run_in_parallel() {
+        let mut s = Schedule::new();
+        let r0 = s.add_resource("gpu0");
+        let r1 = s.add_resource("gpu1");
+        let t0 = s.add_task(r0, &[], SimTime::from_nanos(100), SpanKind::Kernel, 0);
+        let t1 = s.add_task(r1, &[], SimTime::from_nanos(80), SpanKind::Kernel, 0);
+        assert_eq!(s.start_of(t0), SimTime::ZERO);
+        assert_eq!(s.start_of(t1), SimTime::ZERO);
+        assert_eq!(s.makespan(), SimTime::from_nanos(100));
+        assert_eq!(s.finish_of(t1), SimTime::from_nanos(80));
+    }
+
+    #[test]
+    fn fifo_resource_serializes() {
+        let mut s = Schedule::new();
+        let r = s.add_resource("gpu0");
+        let a = s.add_task(r, &[], SimTime::from_nanos(50), SpanKind::Kernel, 0);
+        let b = s.add_task(r, &[], SimTime::from_nanos(50), SpanKind::Kernel, 1);
+        assert_eq!(s.finish_of(a), SimTime::from_nanos(50));
+        assert_eq!(s.start_of(b), SimTime::from_nanos(50));
+        assert_eq!(s.finish_of(b), SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn dependencies_delay_start() {
+        let mut s = Schedule::new();
+        let r0 = s.add_resource("gpu0");
+        let r1 = s.add_resource("gpu1");
+        let producer = s.add_task(r0, &[], SimTime::from_nanos(200), SpanKind::Kernel, 0);
+        let consumer = s.add_task(r1, &[producer], SimTime::from_nanos(10), SpanKind::Kernel, 0);
+        assert_eq!(s.start_of(consumer), SimTime::from_nanos(200));
+        assert_eq!(s.makespan(), SimTime::from_nanos(210));
+    }
+
+    #[test]
+    fn head_of_line_blocking() {
+        // A stalled head task delays a later, dependency-free task on the
+        // same resource — CUDA stream semantics.
+        let mut s = Schedule::new();
+        let r0 = s.add_resource("gpu0");
+        let r1 = s.add_resource("gpu1");
+        let slow = s.add_task(r0, &[], SimTime::from_nanos(500), SpanKind::Kernel, 0);
+        let blocked = s.add_task(r1, &[slow], SimTime::from_nanos(10), SpanKind::CopyIn, 0);
+        let free = s.add_task(r1, &[], SimTime::from_nanos(10), SpanKind::Kernel, 0);
+        assert_eq!(s.start_of(blocked), SimTime::from_nanos(500));
+        // `free` was enqueued after `blocked`, so it waits despite no deps.
+        assert_eq!(s.start_of(free), SimTime::from_nanos(510));
+    }
+
+    #[test]
+    fn utilization_and_busy() {
+        let mut s = Schedule::new();
+        let r0 = s.add_resource("gpu0");
+        let r1 = s.add_resource("gpu1");
+        let a = s.add_task(r0, &[], SimTime::from_nanos(100), SpanKind::Kernel, 0);
+        let _b = s.add_task(r1, &[a], SimTime::from_nanos(100), SpanKind::Kernel, 0);
+        assert_eq!(s.makespan(), SimTime::from_nanos(200));
+        assert!((s.utilization(r0) - 0.5).abs() < 1e-12);
+        assert!((s.utilization(r1) - 0.5).abs() < 1e-12);
+        assert_eq!(s.busy_of(r0), SimTime::from_nanos(100));
+        assert_eq!(s.task_count(r0), 1);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut s = Schedule::new();
+            let g: Vec<_> = (0..3).map(|i| s.add_resource(format!("gpu{i}"))).collect();
+            let mut prev: Option<TaskId> = None;
+            for d in 0..50u64 {
+                for (i, &r) in g.iter().enumerate() {
+                    let deps: Vec<TaskId> = prev.into_iter().collect();
+                    let t = s.add_task(
+                        r,
+                        &deps,
+                        SimTime::from_nanos(13 + (d * 7 + i as u64) % 31),
+                        SpanKind::Kernel,
+                        d,
+                    );
+                    if i == 2 {
+                        prev = Some(t);
+                    }
+                }
+            }
+            s.makespan()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::new();
+        assert_eq!(s.makespan(), SimTime::ZERO);
+        assert!(s.spans().is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Execution trace records and analysis.
+
+use crate::stream::ResourceId;
+use crate::time::SimTime;
+
+/// What a span of resource time was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A wavefront kernel launch.
+    Kernel,
+    /// A border transfer leaving the device.
+    CopyOut,
+    /// A border transfer arriving at the device.
+    CopyIn,
+    /// Synthetic span kinds used by tests/tools.
+    Other,
+}
+
+/// One contiguous busy interval of a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    pub resource: ResourceId,
+    pub kind: SpanKind,
+    /// Free-form tag (e.g. external-diagonal index).
+    pub tag: u64,
+    pub start: SimTime,
+    pub end: SimTime,
+}
+
+impl TraceSpan {
+    /// Span duration.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Total busy time of `resource` restricted to spans of `kind`.
+pub fn busy_time(spans: &[TraceSpan], resource: ResourceId, kind: SpanKind) -> SimTime {
+    spans
+        .iter()
+        .filter(|s| s.resource == resource && s.kind == kind)
+        .fold(SimTime::ZERO, |acc, s| acc + s.duration())
+}
+
+/// Idle time of `resource` within `[0, horizon]`: horizon minus all busy
+/// spans (spans on one FIFO resource never overlap).
+pub fn idle_time(spans: &[TraceSpan], resource: ResourceId, horizon: SimTime) -> SimTime {
+    let busy = spans
+        .iter()
+        .filter(|s| s.resource == resource)
+        .fold(SimTime::ZERO, |acc, s| acc + s.duration());
+    horizon.saturating_sub(busy)
+}
+
+/// Render a coarse ASCII Gantt chart of the given resources ( `#` kernel,
+/// `>` copy-out, `<` copy-in, `.` idle). One row per resource, `width`
+/// character cells across the makespan.
+pub fn render_gantt(
+    spans: &[TraceSpan],
+    resources: &[(ResourceId, String)],
+    makespan: SimTime,
+    width: usize,
+) -> String {
+    let width = width.max(10);
+    let mut out = String::new();
+    let total = makespan.as_nanos().max(1);
+    for (rid, name) in resources {
+        let mut row = vec!['.'; width];
+        for s in spans.iter().filter(|s| s.resource == *rid) {
+            let c = match s.kind {
+                SpanKind::Kernel => '#',
+                SpanKind::CopyOut => '>',
+                SpanKind::CopyIn => '<',
+                SpanKind::Other => 'o',
+            };
+            let lo = (s.start.as_nanos() as u128 * width as u128 / total as u128) as usize;
+            let hi = (s.end.as_nanos() as u128 * width as u128 / total as u128) as usize;
+            for cell in row.iter_mut().take(hi.min(width - 1) + 1).skip(lo) {
+                *cell = c;
+            }
+        }
+        out.push_str(&format!("{name:>18} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(r: usize, kind: SpanKind, t0: u64, t1: u64) -> TraceSpan {
+        TraceSpan {
+            resource: ResourceId(r),
+            kind,
+            tag: 0,
+            start: SimTime::from_nanos(t0),
+            end: SimTime::from_nanos(t1),
+        }
+    }
+
+    #[test]
+    fn busy_and_idle_accounting() {
+        let spans = vec![
+            span(0, SpanKind::Kernel, 0, 100),
+            span(0, SpanKind::CopyOut, 100, 130),
+            span(0, SpanKind::Kernel, 150, 250),
+            span(1, SpanKind::Kernel, 0, 50),
+        ];
+        assert_eq!(
+            busy_time(&spans, ResourceId(0), SpanKind::Kernel),
+            SimTime::from_nanos(200)
+        );
+        assert_eq!(
+            busy_time(&spans, ResourceId(0), SpanKind::CopyOut),
+            SimTime::from_nanos(30)
+        );
+        assert_eq!(
+            idle_time(&spans, ResourceId(0), SimTime::from_nanos(250)),
+            SimTime::from_nanos(20)
+        );
+        assert_eq!(
+            idle_time(&spans, ResourceId(1), SimTime::from_nanos(250)),
+            SimTime::from_nanos(200)
+        );
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let spans = vec![
+            span(0, SpanKind::Kernel, 0, 500),
+            span(1, SpanKind::CopyIn, 500, 1000),
+        ];
+        let chart = render_gantt(
+            &spans,
+            &[(ResourceId(0), "gpu0".into()), (ResourceId(1), "gpu1".into())],
+            SimTime::from_nanos(1000),
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('<'));
+        // gpu0 busy first half, idle second half.
+        assert!(lines[0].matches('#').count() >= 9);
+        assert!(lines[0].matches('.').count() >= 8);
+    }
+
+    #[test]
+    fn span_duration() {
+        assert_eq!(
+            span(0, SpanKind::Other, 10, 35).duration(),
+            SimTime::from_nanos(25)
+        );
+    }
+}

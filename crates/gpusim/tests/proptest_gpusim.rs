@@ -1,0 +1,178 @@
+//! Property-based tests for the schedule engine and timing models:
+//! causality, FIFO serialization, determinism and conservation laws.
+
+use megasw_gpusim::{
+    catalog, DeviceSpec, KernelModel, LinkSpec, Schedule, SimTime, SpanKind, TaskId,
+};
+use proptest::prelude::*;
+
+/// A random DAG workload: tasks assigned round-robin to resources, each
+/// depending on a random subset of earlier tasks.
+#[derive(Debug, Clone)]
+struct Workload {
+    resources: usize,
+    // (resource, duration_ns, dep_indices as offsets into earlier tasks)
+    tasks: Vec<(usize, u64, Vec<usize>)>,
+}
+
+fn workload() -> impl Strategy<Value = Workload> {
+    (1usize..5, 0usize..60).prop_flat_map(|(resources, n_tasks)| {
+        let task = move |idx: usize| {
+            (
+                0..resources,
+                1u64..10_000,
+                prop::collection::vec(0..idx.max(1), 0..3),
+            )
+        };
+        let mut strat: Vec<_> = Vec::new();
+        for i in 0..n_tasks {
+            strat.push(task(i));
+        }
+        strat.prop_map(move |tasks| Workload { resources, tasks })
+    })
+}
+
+fn build(w: &Workload) -> (Schedule, Vec<TaskId>) {
+    let mut s = Schedule::new();
+    let res: Vec<_> = (0..w.resources)
+        .map(|i| s.add_resource(format!("r{i}")))
+        .collect();
+    let mut ids: Vec<TaskId> = Vec::new();
+    for (i, (r, dur, deps)) in w.tasks.iter().enumerate() {
+        let dep_ids: Vec<TaskId> = if i == 0 {
+            Vec::new()
+        } else {
+            deps.iter().map(|&d| ids[d % i]).collect()
+        };
+        let id = s.add_task(
+            res[*r],
+            &dep_ids,
+            SimTime::from_nanos(*dur),
+            SpanKind::Other,
+            i as u64,
+        );
+        ids.push(id);
+    }
+    (s, ids)
+}
+
+proptest! {
+    #[test]
+    fn causality_deps_finish_before_start(w in workload()) {
+        let (s, ids) = build(&w);
+        for (i, (_, _, deps)) in w.tasks.iter().enumerate() {
+            for &d in deps {
+                if i > 0 {
+                    let dep = ids[d % i];
+                    prop_assert!(s.finish_of(dep) <= s.start_of(ids[i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_resources_never_overlap(w in workload()) {
+        let (s, ids) = build(&w);
+        // Spans on one resource are disjoint and in insertion order.
+        for r in 0..w.resources {
+            let mut last_finish = SimTime::ZERO;
+            for (i, (tr, _, _)) in w.tasks.iter().enumerate() {
+                if *tr == r {
+                    prop_assert!(s.start_of(ids[i]) >= last_finish);
+                    last_finish = s.finish_of(ids[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_and_busy_conservation(w in workload()) {
+        let (s, ids) = build(&w);
+        let max_finish = ids
+            .iter()
+            .map(|&t| s.finish_of(t))
+            .fold(SimTime::ZERO, SimTime::max);
+        prop_assert_eq!(s.makespan(), max_finish);
+        // Busy time per resource = sum of its durations; utilization ≤ 1.
+        for r in 0..w.resources {
+            let rid = s.resource_list()[r].0;
+            let total: u64 = w
+                .tasks
+                .iter()
+                .filter(|(tr, _, _)| *tr == r)
+                .map(|(_, d, _)| *d)
+                .sum();
+            prop_assert_eq!(s.busy_of(rid), SimTime::from_nanos(total));
+            prop_assert!(s.utilization(rid) <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn replay_determinism(w in workload()) {
+        let (s1, _) = build(&w);
+        let (s2, _) = build(&w);
+        prop_assert_eq!(s1.makespan(), s2.makespan());
+        prop_assert_eq!(s1.spans(), s2.spans());
+    }
+
+    #[test]
+    fn durations_add_up_in_spans(w in workload()) {
+        let (s, _) = build(&w);
+        let span_total: u64 = s.spans().iter().map(|sp| sp.duration().as_nanos()).sum();
+        let task_total: u64 = w.tasks.iter().map(|(_, d, _)| *d).sum();
+        prop_assert_eq!(span_total, task_total);
+    }
+
+    #[test]
+    fn link_transfer_time_is_monotone(
+        bytes1 in 0u64..100_000_000,
+        bytes2 in 0u64..100_000_000,
+        lat in 0u64..100_000,
+        bw_mbps in 1u32..100_000,
+    ) {
+        let link = LinkSpec {
+            latency_ns: lat,
+            bandwidth_bytes_per_sec: bw_mbps as f64 * 1e6,
+        };
+        let (lo, hi) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        prop_assert!(link.transfer_time(lo) >= SimTime::from_nanos(lat));
+    }
+
+    #[test]
+    fn kernel_time_monotone_in_cells_and_antitone_in_blocks(
+        cells1 in 0u64..10_000_000_000,
+        cells2 in 0u64..10_000_000_000,
+        blocks in 1u32..64,
+    ) {
+        let model = KernelModel::new(catalog::gtx680());
+        let (lo, hi) = if cells1 <= cells2 { (cells1, cells2) } else { (cells2, cells1) };
+        prop_assert!(model.launch_time(blocks, lo) <= model.launch_time(blocks, hi));
+        // More blocks never slow a launch down.
+        prop_assert!(model.launch_time(blocks + 1, hi) <= model.launch_time(blocks, hi));
+    }
+
+    #[test]
+    fn peak_gcups_scales_with_sms(sms in 1u32..64, clock in 100u32..2_000) {
+        let base = DeviceSpec {
+            name: "x".into(),
+            sms,
+            clock_mhz: clock,
+            cells_per_cycle_per_sm: 3.0,
+            mem_mib: 1024,
+            link: LinkSpec::pcie2_x16(),
+            launch_overhead_ns: 0,
+        };
+        let double = DeviceSpec { sms: sms * 2, ..base.clone() };
+        prop_assert!((double.peak_gcups() / base.peak_gcups() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simtime_arithmetic_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let x = SimTime::from_nanos(a);
+        let y = SimTime::from_nanos(b);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!((x + y).saturating_sub(y), x);
+        prop_assert_eq!(x.max(y), y.max(x));
+    }
+}

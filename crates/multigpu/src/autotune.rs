@@ -1,0 +1,142 @@
+//! Configuration auto-tuning.
+//!
+//! The two tunables with real performance consequences are the **block-row
+//! height** (communication granularity: small rows pipeline tightly but
+//! pay per-launch overhead and expose transfer latency; tall rows amortize
+//! overheads but lengthen pipeline fill) and the **ring capacity**. The
+//! discrete-event backend makes the search free — each candidate costs a
+//! scheduling pass, not a real run — which is exactly how one would tune
+//! the real system before committing hours of GPU time to a chromosome
+//! pair.
+
+use crate::config::RunConfig;
+use crate::desrun::run_des;
+use megasw_gpusim::Platform;
+
+/// One evaluated candidate.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    pub block_h: usize,
+    pub buffer_capacity: usize,
+    pub gcups: f64,
+}
+
+/// The tuning outcome: the winning configuration and every candidate tried.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    pub config: RunConfig,
+    pub gcups: f64,
+    pub candidates: Vec<Candidate>,
+}
+
+/// Default block-height ladder.
+const BLOCK_HEIGHTS: [usize; 7] = [16, 64, 128, 256, 512, 1024, 2048];
+/// Default capacity ladder.
+const CAPACITIES: [usize; 3] = [2, 8, 32];
+
+/// Sweep block height × ring capacity on the simulator and return the
+/// fastest configuration (ties break to the smaller memory footprint:
+/// smaller block height, then smaller capacity).
+pub fn autotune(m: usize, n: usize, platform: &Platform, base: &RunConfig) -> TuneResult {
+    let mut candidates = Vec::new();
+    let mut best: Option<Candidate> = None;
+
+    for &block_h in BLOCK_HEIGHTS.iter().filter(|&&h| h <= m.max(1)) {
+        for &cap in &CAPACITIES {
+            let cfg = RunConfig {
+                block_h,
+                buffer_capacity: cap,
+                ..base.clone()
+            };
+            let gcups = run_des(m, n, platform, &cfg)
+                .report
+                .gcups_sim
+                .unwrap_or(0.0);
+            let cand = Candidate {
+                block_h,
+                buffer_capacity: cap,
+                gcups,
+            };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    cand.gcups > b.gcups * (1.0 + 1e-9)
+                        || ((cand.gcups - b.gcups).abs() <= b.gcups * 1e-9
+                            && (cand.block_h, cand.buffer_capacity)
+                                < (b.block_h, b.buffer_capacity))
+                }
+            };
+            if better {
+                best = Some(cand.clone());
+            }
+            candidates.push(cand);
+        }
+    }
+
+    let best = best.unwrap_or(Candidate {
+        block_h: base.block_h,
+        buffer_capacity: base.buffer_capacity,
+        gcups: 0.0,
+    });
+    TuneResult {
+        config: RunConfig {
+            block_h: best.block_h,
+            buffer_capacity: best.buffer_capacity,
+            ..base.clone()
+        },
+        gcups: best.gcups,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_config_never_loses_to_default() {
+        let base = RunConfig::paper_default();
+        let p = Platform::env2();
+        let (m, n) = (1_000_000, 1_000_000);
+        let tuned = autotune(m, n, &p, &base);
+        let default_gcups = run_des(m, n, &p, &base).report.gcups_sim.unwrap();
+        assert!(
+            tuned.gcups >= default_gcups - 1e-9,
+            "tuned {} vs default {default_gcups}",
+            tuned.gcups
+        );
+        assert!(!tuned.candidates.is_empty());
+    }
+
+    #[test]
+    fn sweep_covers_the_ladder() {
+        let tuned = autotune(1_000_000, 1_000_000, &Platform::env1(), &RunConfig::paper_default());
+        assert_eq!(tuned.candidates.len(), BLOCK_HEIGHTS.len() * CAPACITIES.len());
+    }
+
+    #[test]
+    fn small_matrices_skip_oversized_blocks() {
+        let tuned = autotune(100, 100_000, &Platform::env1(), &RunConfig::paper_default());
+        assert!(tuned.candidates.iter().all(|c| c.block_h <= 100));
+        assert!(tuned.config.block_h <= 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let base = RunConfig::paper_default();
+        let p = Platform::env2();
+        let t1 = autotune(500_000, 500_000, &p, &base);
+        let t2 = autotune(500_000, 500_000, &p, &base);
+        assert_eq!(t1.gcups, t2.gcups);
+        assert_eq!(t1.config.block_h, t2.config.block_h);
+        assert_eq!(t1.config.buffer_capacity, t2.config.buffer_capacity);
+    }
+
+    #[test]
+    fn preserves_untuned_fields() {
+        let base = RunConfig::paper_default().with_partition(crate::PartitionPolicy::Equal);
+        let tuned = autotune(200_000, 200_000, &Platform::env1(), &base);
+        assert_eq!(tuned.config.partition, crate::PartitionPolicy::Equal);
+        assert_eq!(tuned.config.block_w, base.block_w);
+    }
+}

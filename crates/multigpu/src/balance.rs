@@ -1,0 +1,97 @@
+//! Static load-balance calibration.
+//!
+//! The paper sizes each device's slab proportionally to its compute power,
+//! measured once before the run. Here the "measurement" is a micro-run of
+//! the kernel timing model on a representative block-row (rather than
+//! reading `peak_gcups()` off the spec sheet) — the distinction matters
+//! because short slabs run below peak on wide devices, so calibrated
+//! weights can differ from nameplate ratios, exactly as on real hardware.
+
+use megasw_gpusim::{KernelModel, Platform};
+
+/// Calibrated relative weights, one per device (arbitrary scale).
+///
+/// `probe_cells` is the size of the timing probe (a representative
+/// block-row's cell count); `probe_blocks` its parallel width in tiles.
+pub fn calibrate_weights(platform: &Platform, probe_blocks: u32, probe_cells: u64) -> Vec<f64> {
+    platform
+        .devices
+        .iter()
+        .map(|d| {
+            let model = KernelModel::new(d.clone());
+            let t = model.launch_time(probe_blocks, probe_cells).as_secs_f64();
+            if t <= 0.0 {
+                1.0
+            } else {
+                probe_cells as f64 / t
+            }
+        })
+        .collect()
+}
+
+/// Default probe: a 512-row block-row of a 64-tile slab (≈ 16.8M cells).
+pub fn default_weights(platform: &Platform) -> Vec<f64> {
+    calibrate_weights(platform, 64, 64 * 512 * 512)
+}
+
+/// The theoretical best-case GCUPS of a proportionally balanced pipeline:
+/// the aggregate of the per-device sustained rates on probe-shaped rows.
+pub fn balanced_peak_gcups(platform: &Platform) -> f64 {
+    default_weights(platform).iter().sum::<f64>() / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megasw_gpusim::catalog;
+
+    #[test]
+    fn weights_order_matches_device_power() {
+        let p = Platform::env2(); // Titan > 680 > K20
+        let w = default_weights(&p);
+        assert_eq!(w.len(), 3);
+        assert!(w[0] > w[1]);
+        assert!(w[1] > w[2]);
+    }
+
+    #[test]
+    fn homogeneous_weights_are_equal() {
+        let p = Platform::homogeneous(catalog::gtx680(), 3);
+        let w = default_weights(&p);
+        assert!((w[0] - w[1]).abs() / w[0] < 1e-9);
+        assert!((w[1] - w[2]).abs() / w[1] < 1e-9);
+    }
+
+    #[test]
+    fn calibrated_weights_sit_below_nameplate_peak() {
+        let p = Platform::single(catalog::gtx_titan());
+        let w = default_weights(&p);
+        let sustained_gcups = w[0] / 1e9;
+        let peak = p.devices[0].peak_gcups();
+        assert!(sustained_gcups < peak);
+        assert!(sustained_gcups > 0.9 * peak, "{sustained_gcups} vs {peak}");
+    }
+
+    #[test]
+    fn narrow_probes_penalize_wide_devices() {
+        // With a 4-tile probe, a 16-SM board runs at 1/4 duty while an
+        // 8-SM board runs at 1/2: calibration must see that.
+        let p = Platform::custom("t", vec![catalog::gtx580(), catalog::gtx680()]);
+        let wide = calibrate_weights(&p, 64, 64 * 512 * 512);
+        let narrow = calibrate_weights(&p, 4, 4 * 512 * 512);
+        let wide_ratio = wide[0] / wide[1];
+        let narrow_ratio = narrow[0] / narrow[1];
+        assert!(
+            narrow_ratio < wide_ratio,
+            "narrow {narrow_ratio} vs wide {wide_ratio}"
+        );
+    }
+
+    #[test]
+    fn balanced_peak_below_aggregate_peak() {
+        let p = Platform::env2();
+        let balanced = balanced_peak_gcups(&p);
+        assert!(balanced < p.aggregate_peak_gcups());
+        assert!(balanced > 0.9 * p.aggregate_peak_gcups());
+    }
+}

@@ -1,0 +1,354 @@
+//! The circular buffer.
+//!
+//! This is the communication mechanism the paper's abstract calls out: each
+//! GPU streams the border columns of its slab to its right-hand neighbour
+//! through a bounded ring. The producer pushes one border segment per
+//! block-row as soon as the row's last tile finishes; the consumer pops one
+//! segment before starting each of its own block-rows. The ring's capacity
+//! is what decouples the two devices:
+//!
+//! * capacity 1 behaves like a synchronous hand-off (the producer blocks
+//!   until the consumer has taken the previous segment);
+//! * larger capacities let the producer run ahead, so transfer latency and
+//!   consumer hiccups hide behind the producer's own computation.
+//!
+//! The implementation is a mutex + condvar bounded deque rather than a
+//! lock-free ring: border segments are kilobytes, pushed thousands — not
+//! millions — of times per second, so correctness, blocking semantics and
+//! **occupancy statistics** (which the buffer-sensitivity figure needs)
+//! matter more than nanosecond enqueue latency. Poisoning mirrors what a
+//! failed device must do so neighbours blocked on the ring wake up with an
+//! error instead of deadlocking.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Why a ring operation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// The other side poisoned the ring (its device failed).
+    Poisoned,
+    /// Push after `close()`.
+    Closed,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+    poisoned: bool,
+    // Statistics.
+    pushed: u64,
+    popped: u64,
+    max_occupancy: usize,
+    producer_blocks: u64,
+    consumer_blocks: u64,
+}
+
+/// A bounded blocking SPSC ring carrying border segments between
+/// neighbouring devices. Cloning the handle shares the ring.
+///
+/// ```
+/// use megasw_multigpu::circbuf::CircularBuffer;
+///
+/// let ring = CircularBuffer::with_capacity(2);
+/// let producer = {
+///     let ring = ring.clone();
+///     std::thread::spawn(move || {
+///         for i in 0..100u32 {
+///             ring.push(i).unwrap();
+///         }
+///         ring.close();
+///     })
+/// };
+/// let mut received = 0u32;
+/// while let Some(v) = ring.pop().unwrap() {
+///     assert_eq!(v, received);
+///     received += 1;
+/// }
+/// producer.join().unwrap();
+/// assert_eq!(received, 100);
+/// assert!(ring.stats().max_occupancy <= 2);
+/// ```
+#[derive(Debug)]
+pub struct CircularBuffer<T> {
+    inner: Arc<(Mutex<Inner<T>>, Condvar, Condvar)>,
+}
+
+impl<T> Clone for CircularBuffer<T> {
+    fn clone(&self) -> Self {
+        CircularBuffer {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Snapshot of ring statistics, taken after a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RingStats {
+    /// Segments pushed over the ring's lifetime.
+    pub pushed: u64,
+    /// Segments popped.
+    pub popped: u64,
+    /// Highest occupancy ever observed.
+    pub max_occupancy: usize,
+    /// Times the producer found the ring full and had to wait.
+    pub producer_blocks: u64,
+    /// Times the consumer found the ring empty and had to wait.
+    pub consumer_blocks: u64,
+}
+
+impl<T> CircularBuffer<T> {
+    /// Create a ring with the given capacity (≥ 1).
+    pub fn with_capacity(capacity: usize) -> CircularBuffer<T> {
+        assert!(capacity >= 1, "ring capacity must be at least 1");
+        CircularBuffer {
+            inner: Arc::new((
+                Mutex::new(Inner {
+                    queue: VecDeque::with_capacity(capacity),
+                    capacity,
+                    closed: false,
+                    poisoned: false,
+                    pushed: 0,
+                    popped: 0,
+                    max_occupancy: 0,
+                    producer_blocks: 0,
+                    consumer_blocks: 0,
+                }),
+                Condvar::new(), // not_full  — producer waits here
+                Condvar::new(), // not_empty — consumer waits here
+            )),
+        }
+    }
+
+    /// Blocking push. Waits while the ring is full.
+    pub fn push(&self, item: T) -> Result<(), RingError> {
+        let (lock, not_full, not_empty) = &*self.inner;
+        let mut g = lock.lock();
+        if g.queue.len() >= g.capacity && !g.poisoned {
+            g.producer_blocks += 1;
+        }
+        while g.queue.len() >= g.capacity {
+            if g.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            not_full.wait(&mut g);
+        }
+        if g.poisoned {
+            return Err(RingError::Poisoned);
+        }
+        if g.closed {
+            return Err(RingError::Closed);
+        }
+        g.queue.push_back(item);
+        g.pushed += 1;
+        g.max_occupancy = g.max_occupancy.max(g.queue.len());
+        not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Waits while the ring is empty; returns `Ok(None)` once
+    /// the ring is closed **and** drained.
+    pub fn pop(&self) -> Result<Option<T>, RingError> {
+        let (lock, not_full, not_empty) = &*self.inner;
+        let mut g = lock.lock();
+        if g.queue.is_empty() && !g.closed && !g.poisoned {
+            g.consumer_blocks += 1;
+        }
+        loop {
+            if g.poisoned {
+                return Err(RingError::Poisoned);
+            }
+            if let Some(item) = g.queue.pop_front() {
+                g.popped += 1;
+                not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if g.closed {
+                return Ok(None);
+            }
+            not_empty.wait(&mut g);
+        }
+    }
+
+    /// Producer side is done: consumers drain the remaining items and then
+    /// see `Ok(None)`.
+    pub fn close(&self) {
+        let (lock, _nf, not_empty) = &*self.inner;
+        let mut g = lock.lock();
+        g.closed = true;
+        not_empty.notify_all();
+    }
+
+    /// Mark the ring failed; all blocked and future operations return
+    /// [`RingError::Poisoned`].
+    pub fn poison(&self) {
+        let (lock, not_full, not_empty) = &*self.inner;
+        let mut g = lock.lock();
+        g.poisoned = true;
+        not_full.notify_all();
+        not_empty.notify_all();
+    }
+
+    /// Current occupancy (racy; for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.0.lock().queue.len()
+    }
+
+    /// Is the ring currently empty? (racy; for tests/diagnostics).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RingStats {
+        let g = self.inner.0.lock();
+        RingStats {
+            pushed: g.pushed,
+            popped: g.popped,
+            max_occupancy: g.max_occupancy,
+            producer_blocks: g.producer_blocks,
+            consumer_blocks: g.consumer_blocks,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let ring = CircularBuffer::with_capacity(4);
+        for i in 0..4 {
+            ring.push(i).unwrap();
+        }
+        ring.close();
+        let mut got = Vec::new();
+        while let Ok(Some(v)) = ring.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn close_then_pop_drains_then_none() {
+        let ring = CircularBuffer::with_capacity(2);
+        ring.push("a").unwrap();
+        ring.close();
+        assert_eq!(ring.pop().unwrap(), Some("a"));
+        assert_eq!(ring.pop().unwrap(), None);
+        assert_eq!(ring.pop().unwrap(), None);
+    }
+
+    #[test]
+    fn push_after_close_rejected() {
+        let ring = CircularBuffer::with_capacity(2);
+        ring.close();
+        assert_eq!(ring.push(1), Err(RingError::Closed));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = CircularBuffer::<u32>::with_capacity(0);
+    }
+
+    #[test]
+    fn producer_blocks_on_full_ring() {
+        let ring = CircularBuffer::with_capacity(1);
+        ring.push(0u32).unwrap();
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || ring.push(1).unwrap())
+        };
+        // Give the producer time to block.
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.pop().unwrap(), Some(0));
+        producer.join().unwrap();
+        assert_eq!(ring.pop().unwrap(), Some(1));
+        let stats = ring.stats();
+        assert_eq!(stats.pushed, 2);
+        assert_eq!(stats.popped, 2);
+        assert!(stats.producer_blocks >= 1);
+    }
+
+    #[test]
+    fn consumer_blocks_until_producer_pushes() {
+        let ring: CircularBuffer<u32> = CircularBuffer::with_capacity(2);
+        let consumer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || ring.pop().unwrap())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        ring.push(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+        assert!(ring.stats().consumer_blocks >= 1);
+    }
+
+    #[test]
+    fn poison_wakes_blocked_producer() {
+        let ring = CircularBuffer::with_capacity(1);
+        ring.push(0u32).unwrap();
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || ring.push(1))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        ring.poison();
+        assert_eq!(producer.join().unwrap(), Err(RingError::Poisoned));
+    }
+
+    #[test]
+    fn poison_wakes_blocked_consumer() {
+        let ring: CircularBuffer<u32> = CircularBuffer::with_capacity(1);
+        let consumer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || ring.pop())
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        ring.poison();
+        assert_eq!(consumer.join().unwrap(), Err(RingError::Poisoned));
+    }
+
+    #[test]
+    fn stream_many_items_through_small_ring() {
+        const N: u64 = 50_000;
+        let ring = CircularBuffer::with_capacity(8);
+        let producer = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    ring.push(i).unwrap();
+                }
+                ring.close();
+            })
+        };
+        let mut expected = 0u64;
+        while let Some(v) = ring.pop().unwrap() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, N);
+        producer.join().unwrap();
+        let stats = ring.stats();
+        assert_eq!(stats.pushed, N);
+        assert_eq!(stats.popped, N);
+        assert!(stats.max_occupancy <= 8);
+    }
+
+    #[test]
+    fn max_occupancy_tracks_high_water_mark() {
+        let ring = CircularBuffer::with_capacity(16);
+        for i in 0..5 {
+            ring.push(i).unwrap();
+        }
+        ring.pop().unwrap();
+        ring.push(9).unwrap();
+        assert_eq!(ring.stats().max_occupancy, 5);
+    }
+}

@@ -1,0 +1,146 @@
+//! Run configuration.
+
+use megasw_sw::ScoreScheme;
+
+/// How matrix columns are divided among devices.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionPolicy {
+    /// Equal block-column counts (what you'd do if all GPUs were alike).
+    Equal,
+    /// Proportional to each device's calibrated compute power — the
+    /// paper's strategy for heterogeneous platforms.
+    Proportional,
+    /// Explicit weights (one per device), mostly for tests and ablations.
+    Explicit(Vec<f64>),
+}
+
+/// Parameters of one multi-GPU run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Tile height in matrix rows. Communication granularity: one border
+    /// segment of this height flows to the neighbour per block-row.
+    pub block_h: usize,
+    /// Tile width in matrix columns.
+    pub block_w: usize,
+    /// Circular-buffer capacity, in border segments. 1 ≈ synchronous
+    /// hand-off; larger values decouple producer and consumer.
+    pub buffer_capacity: usize,
+    /// Column partitioning policy.
+    pub partition: PartitionPolicy,
+    /// Scoring scheme.
+    pub scheme: ScoreScheme,
+}
+
+impl RunConfig {
+    /// Defaults used throughout the evaluation: 512×512 tiles, capacity-8
+    /// rings, proportional partitioning, CUDAlign scoring.
+    pub fn paper_default() -> RunConfig {
+        RunConfig {
+            block_h: 512,
+            block_w: 512,
+            buffer_capacity: 8,
+            partition: PartitionPolicy::Proportional,
+            scheme: ScoreScheme::cudalign(),
+        }
+    }
+
+    /// Small tiles for unit tests (forces many pipeline interactions on
+    /// tiny inputs).
+    pub fn test_default() -> RunConfig {
+        RunConfig {
+            block_h: 32,
+            block_w: 32,
+            buffer_capacity: 4,
+            partition: PartitionPolicy::Proportional,
+            scheme: ScoreScheme::cudalign(),
+        }
+    }
+
+    /// Validate field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.block_h == 0 || self.block_w == 0 {
+            return Err("block dimensions must be at least 1".into());
+        }
+        if self.buffer_capacity == 0 {
+            return Err("buffer capacity must be at least 1".into());
+        }
+        if let PartitionPolicy::Explicit(w) = &self.partition {
+            if w.is_empty() {
+                return Err("explicit weights must not be empty".into());
+            }
+            if w.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+                return Err("explicit weights must be positive and finite".into());
+            }
+        }
+        self.scheme.validate().map_err(|e| e.to_string())
+    }
+
+    /// Builder-style: set the buffer capacity.
+    pub fn with_buffer_capacity(mut self, cap: usize) -> RunConfig {
+        self.buffer_capacity = cap;
+        self
+    }
+
+    /// Builder-style: set the partition policy.
+    pub fn with_partition(mut self, p: PartitionPolicy) -> RunConfig {
+        self.partition = p;
+        self
+    }
+
+    /// Builder-style: set square tiles of the given side.
+    pub fn with_block(mut self, side: usize) -> RunConfig {
+        self.block_h = side;
+        self.block_w = side;
+        self
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(RunConfig::paper_default().validate().is_ok());
+        assert!(RunConfig::test_default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(RunConfig::paper_default().with_block(0).validate().is_err());
+        assert!(RunConfig::paper_default()
+            .with_buffer_capacity(0)
+            .validate()
+            .is_err());
+        assert!(RunConfig::paper_default()
+            .with_partition(PartitionPolicy::Explicit(vec![]))
+            .validate()
+            .is_err());
+        assert!(RunConfig::paper_default()
+            .with_partition(PartitionPolicy::Explicit(vec![1.0, -2.0]))
+            .validate()
+            .is_err());
+        assert!(RunConfig::paper_default()
+            .with_partition(PartitionPolicy::Explicit(vec![f64::NAN]))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = RunConfig::paper_default()
+            .with_block(128)
+            .with_buffer_capacity(2)
+            .with_partition(PartitionPolicy::Equal);
+        assert_eq!(c.block_h, 128);
+        assert_eq!(c.block_w, 128);
+        assert_eq!(c.buffer_capacity, 2);
+        assert_eq!(c.partition, PartitionPolicy::Equal);
+    }
+}

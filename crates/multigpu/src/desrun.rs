@@ -1,0 +1,602 @@
+//! Discrete-event execution of the pipeline schedule.
+//!
+//! This module hands the *exact same* block-level dataflow that
+//! [`crate::pipeline`] executes on CPU threads to the deterministic
+//! schedule engine in `megasw-gpusim`, with durations taken from the
+//! calibrated device and link models. The output is the paper-comparable
+//! performance picture: simulated GCUPS, per-device utilization and the
+//! sensitivity to circular-buffer capacity.
+//!
+//! ## Task graph
+//!
+//! For slab `s` and block-row `r`:
+//!
+//! * `K[s][r]` — a kernel launch on device `s`'s compute stream covering
+//!   the whole block-row (parallel width = the slab's tile columns).
+//!   Depends on `T[s−1][r]` (its left border arriving); FIFO ordering
+//!   supplies the `K[s][r−1]` dependency.
+//! * `T[s][r]` — the border transfer on the link between `s` and `s + 1`.
+//!   Depends on `K[s][r]` (the border exists) and, for **backpressure**, on
+//!   `K[s+1][r − capacity]` (a ring slot is free only once the consumer has
+//!   retired an older border). This models the circular buffer one row
+//!   conservatively (slot freed at the consuming kernel's *finish*), which
+//!   slightly understates tiny capacities and leaves the ≥ 2 shape intact.
+//!
+//! ## Bulk-synchronous variant
+//!
+//! [`run_des_bulk`] removes the fine-grain pipelining: device `s + 1` may
+//! start only after device `s` has finished its whole slab and shipped the
+//! entire border column in one transfer. This is the non-overlapped
+//! baseline the overlap-ablation figure contrasts against.
+
+use crate::config::RunConfig;
+use crate::partition::{make_slabs, Slab};
+use crate::stats::{DeviceReport, RunReport};
+use megasw_gpusim::{KernelModel, Platform, Schedule, SimTime, SpanKind, TaskId};
+
+/// Border payload in bytes for a segment of the given height: `H` and `E`
+/// lanes, `(height + 1)` entries each, 4 bytes per entry (mirrors
+/// [`megasw_sw::border::ColBorder::transfer_bytes`]).
+fn border_bytes(height: usize) -> u64 {
+    2 * (height as u64 + 1) * 4
+}
+
+/// Where one device's idle time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Idle before the first kernel (pipeline fill).
+    pub startup: SimTime,
+    /// Idle between kernels waiting for the left neighbour's borders.
+    pub input_stalls: SimTime,
+    /// Idle after the last kernel (pipeline drain).
+    pub drain: SimTime,
+}
+
+impl StallBreakdown {
+    /// Total idle time.
+    pub fn total(&self) -> SimTime {
+        self.startup + self.input_stalls + self.drain
+    }
+}
+
+/// A completed simulation: the report plus the raw schedule for trace
+/// analysis (Gantt rendering, span statistics), the per-device memory
+/// verdict and the idle-time breakdown.
+pub struct DesRun {
+    pub report: RunReport,
+    pub schedule: Schedule,
+    /// Per-slab memory footprints, or the first device that does not fit.
+    pub memory: Result<Vec<crate::memory::DeviceMemoryPlan>, crate::memory::MemoryError>,
+    /// Per-slab idle breakdown, in slab order.
+    pub stalls: Vec<StallBreakdown>,
+}
+
+/// Simulate the fine-grain pipeline for an `m × n` matrix on `platform`.
+///
+/// Pure timing — no DP cells are computed. Correctness of the schedule's
+/// dataflow is established separately by the threaded runtime.
+pub fn run_des(m: usize, n: usize, platform: &Platform, config: &RunConfig) -> DesRun {
+    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
+    build_schedule(m, n, platform, config, &slabs, Mode::FineGrain)
+}
+
+/// Simulate the bulk-synchronous (non-overlapped) baseline.
+pub fn run_des_bulk(m: usize, n: usize, platform: &Platform, config: &RunConfig) -> DesRun {
+    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
+    build_schedule(m, n, platform, config, &slabs, Mode::BulkSynchronous)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    FineGrain,
+    BulkSynchronous,
+}
+
+fn build_schedule(
+    m: usize,
+    n: usize,
+    platform: &Platform,
+    config: &RunConfig,
+    slabs: &[Slab],
+    mode: Mode,
+) -> DesRun {
+    let mut schedule = Schedule::new();
+    let total_cells = m as u128 * n as u128;
+    let memory = crate::memory::check_platform(m, slabs, platform, config);
+
+    if m == 0 || slabs.is_empty() {
+        let report = RunReport {
+            best: megasw_sw::BestCell::ZERO,
+            total_cells,
+            wall_time: None,
+            gcups_wall: None,
+            sim_time: Some(SimTime::ZERO),
+            gcups_sim: Some(0.0),
+            devices: Vec::new(),
+        };
+        return DesRun {
+            report,
+            schedule,
+            memory,
+            stalls: Vec::new(),
+        };
+    }
+
+    let rows = m.div_ceil(config.block_h);
+    let cap = config.buffer_capacity;
+
+    let computes: Vec<_> = slabs
+        .iter()
+        .map(|s| schedule.add_resource(format!("gpu{} compute", s.device)))
+        .collect();
+    // Independent per-pair links, or one shared host bridge every border
+    // transfer serializes through.
+    let links: Vec<_> = if platform.bridge.is_some() {
+        let shared = schedule.add_resource("host bridge");
+        vec![shared; slabs.len().saturating_sub(1)]
+    } else {
+        (0..slabs.len().saturating_sub(1))
+            .map(|i| {
+                schedule
+                    .add_resource(format!("link {}→{}", slabs[i].device, slabs[i + 1].device))
+            })
+            .collect()
+    };
+    let models: Vec<KernelModel> = slabs
+        .iter()
+        .map(|s| KernelModel::new(platform.devices[s.device].clone()))
+        .collect();
+
+    // kernel_tasks[s][r], transfer_tasks[s][r]
+    let mut kernel_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(rows); slabs.len()];
+    let mut transfer_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(rows); slabs.len()];
+
+    match mode {
+        Mode::FineGrain => {
+            // Tasks are created along anti-diagonals of the (row, slab)
+            // plane — the order in which they actually become ready. This
+            // matters for FIFO resources shared by several slab pairs (the
+            // host bridge): row-major creation would let a not-yet-ready
+            // transfer from a deep pipeline stage block ready transfers
+            // from earlier stages, which no real DMA arbiter does.
+            // Per-resource orders for compute streams and per-pair links
+            // are unchanged by this traversal.
+            let g = slabs.len();
+            for d in 0..rows + g - 1 {
+                // Kernels of this wavefront…
+                for (s, slab) in slabs.iter().enumerate() {
+                    let Some(r) = d.checked_sub(s).filter(|r| *r < rows) else {
+                        continue;
+                    };
+                    let height = row_height(m, config.block_h, r);
+                    let blocks = slab.width.div_ceil(config.block_w) as u32;
+                    let cells = height as u64 * slab.width as u64;
+                    let mut deps: Vec<TaskId> = Vec::with_capacity(1);
+                    if s > 0 {
+                        deps.push(transfer_tasks[s - 1][r]);
+                    }
+                    let k = schedule.add_task(
+                        computes[s],
+                        &deps,
+                        models[s].launch_time(blocks, cells),
+                        SpanKind::Kernel,
+                        r as u64,
+                    );
+                    kernel_tasks[s].push(k);
+                }
+                // …then their outgoing transfers.
+                for s in 0..g.saturating_sub(1) {
+                    let Some(r) = d.checked_sub(s).filter(|r| *r < rows) else {
+                        continue;
+                    };
+                    let height = row_height(m, config.block_h, r);
+                    let link = platform
+                        .bridge
+                        .unwrap_or_else(|| link_between_slabs(platform, slabs, s));
+                    let mut tdeps = vec![kernel_tasks[s][r]];
+                    if r >= cap {
+                        // Backpressure: a ring slot frees once the consumer
+                        // retires border r − cap.
+                        tdeps.push(kernel_tasks[s + 1][r - cap]);
+                    }
+                    let t = schedule.add_task(
+                        links[s],
+                        &tdeps,
+                        link.transfer_time(border_bytes(height)),
+                        SpanKind::CopyOut,
+                        r as u64,
+                    );
+                    transfer_tasks[s].push(t);
+                }
+            }
+        }
+        Mode::BulkSynchronous => {
+            // Device s computes its whole slab as a dense run of kernels,
+            // then ships the full border column in one transfer; device
+            // s + 1 starts only after that arrives.
+            let mut prev_arrival: Option<TaskId> = None;
+            for (s, slab) in slabs.iter().enumerate() {
+                let blocks = slab.width.div_ceil(config.block_w) as u32;
+                let mut last_kernel = None;
+                for r in 0..rows {
+                    let height = row_height(m, config.block_h, r);
+                    let cells = height as u64 * slab.width as u64;
+                    let deps: Vec<TaskId> = if r == 0 {
+                        prev_arrival.into_iter().collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let k = schedule.add_task(
+                        computes[s],
+                        &deps,
+                        models[s].launch_time(blocks, cells),
+                        SpanKind::Kernel,
+                        r as u64,
+                    );
+                    kernel_tasks[s].push(k);
+                    last_kernel = Some(k);
+                }
+                if s + 1 < slabs.len() {
+                    let link = platform
+                        .bridge
+                        .unwrap_or_else(|| link_between_slabs(platform, slabs, s));
+                    let t = schedule.add_task(
+                        links[s],
+                        &[last_kernel.expect("rows >= 1")],
+                        link.transfer_time(border_bytes(m)),
+                        SpanKind::CopyOut,
+                        0,
+                    );
+                    prev_arrival = Some(t);
+                }
+            }
+        }
+    }
+
+    let makespan = schedule.makespan();
+    let secs = makespan.as_secs_f64();
+
+    // Idle breakdown per device: fill before the first kernel, gaps
+    // between kernels (waiting for the left neighbour's borders), and
+    // drain after the last.
+    let stalls: Vec<StallBreakdown> = kernel_tasks
+        .iter()
+        .map(|tasks| {
+            let mut bd = StallBreakdown::default();
+            if let (Some(&first), Some(&last)) = (tasks.first(), tasks.last()) {
+                bd.startup = schedule.start_of(first);
+                bd.drain = makespan.saturating_sub(schedule.finish_of(last));
+                for pair in tasks.windows(2) {
+                    bd.input_stalls += schedule
+                        .start_of(pair[1])
+                        .saturating_sub(schedule.finish_of(pair[0]));
+                }
+            }
+            bd
+        })
+        .collect();
+    let devices = slabs
+        .iter()
+        .enumerate()
+        .map(|(s, slab)| {
+            let busy = schedule.busy_of(computes[s]);
+            let sent = if s + 1 < slabs.len() {
+                match mode {
+                    Mode::FineGrain => (0..rows)
+                        .map(|r| border_bytes(row_height(m, config.block_h, r)))
+                        .sum(),
+                    Mode::BulkSynchronous => border_bytes(m),
+                }
+            } else {
+                0
+            };
+            DeviceReport {
+                device: slab.device,
+                name: platform.devices[slab.device].name.clone(),
+                slab_j0: slab.j0,
+                slab_width: slab.width,
+                cells: m as u128 * slab.width as u128,
+                bytes_sent: sent,
+                ring_out: None,
+                sim_busy: Some(busy),
+                sim_utilization: Some(schedule.utilization(computes[s])),
+            }
+        })
+        .collect();
+
+    let report = RunReport {
+        best: megasw_sw::BestCell::ZERO, // timing-only run
+        total_cells,
+        wall_time: None,
+        gcups_wall: None,
+        sim_time: Some(makespan),
+        gcups_sim: Some(RunReport::gcups(total_cells, secs)),
+        devices,
+    };
+    DesRun {
+        report,
+        schedule,
+        memory,
+        stalls,
+    }
+}
+
+/// The pipe between the devices owning slabs `s` and `s + 1`: the slower of
+/// the two boards' links (a staged copy traverses both).
+fn link_between_slabs(
+    platform: &Platform,
+    slabs: &[Slab],
+    s: usize,
+) -> megasw_gpusim::LinkSpec {
+    let a = platform.devices[slabs[s].device].link;
+    let b = platform.devices[slabs[s + 1].device].link;
+    if a.bandwidth_bytes_per_sec <= b.bandwidth_bytes_per_sec {
+        a
+    } else {
+        b
+    }
+}
+
+fn row_height(m: usize, block_h: usize, r: usize) -> usize {
+    let i0 = r * block_h;
+    let i1 = ((r + 1) * block_h).min(m);
+    i1 - i0
+}
+
+/// Convenience sweep used by the scaling figure: simulated GCUPS for
+/// 1..=max devices of `platform`.
+pub fn gcups_versus_devices(
+    m: usize,
+    n: usize,
+    platform: &Platform,
+    config: &RunConfig,
+) -> Vec<(usize, f64)> {
+    (1..=platform.len())
+        .map(|g| {
+            let sub = platform.take(g);
+            let run = run_des(m, n, &sub, config);
+            (g, run.report.gcups_sim.unwrap_or(0.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionPolicy;
+    use megasw_gpusim::catalog;
+
+    const MBP: usize = 1_000_000;
+
+    fn cfg() -> RunConfig {
+        RunConfig::paper_default()
+    }
+
+    #[test]
+    fn single_device_approaches_its_peak_on_megabase_input() {
+        let p = Platform::single(catalog::gtx680());
+        let run = run_des(4 * MBP, 4 * MBP, &p, &cfg());
+        let gcups = run.report.gcups_sim.unwrap();
+        assert!(gcups > 0.93 * 50.0, "gcups = {gcups}");
+        assert!(gcups <= 50.0);
+    }
+
+    #[test]
+    fn two_homogeneous_devices_scale_nearly_linearly() {
+        let p = Platform::env1();
+        let one = run_des(4 * MBP, 4 * MBP, &p.take(1), &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        let two = run_des(4 * MBP, 4 * MBP, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        let speedup = two / one;
+        assert!(speedup > 1.85, "speedup = {speedup}");
+        assert!(speedup <= 2.02);
+    }
+
+    #[test]
+    fn env2_reaches_paper_scale_gcups() {
+        // The headline: three heterogeneous GPUs around 140 GCUPS.
+        let p = Platform::env2();
+        let run = run_des(8 * MBP, 8 * MBP, &p, &cfg());
+        let gcups = run.report.gcups_sim.unwrap();
+        assert!(
+            (135.0..147.0).contains(&gcups),
+            "expected ≈140 GCUPS (paper: 140.36), got {gcups}"
+        );
+    }
+
+    #[test]
+    fn proportional_beats_equal_on_heterogeneous_platform() {
+        let p = Platform::env2();
+        let prop = run_des(4 * MBP, 4 * MBP, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        let equal = run_des(
+            4 * MBP,
+            4 * MBP,
+            &p,
+            &cfg().with_partition(PartitionPolicy::Equal),
+        )
+        .report
+        .gcups_sim
+        .unwrap();
+        assert!(
+            prop > 1.15 * equal,
+            "proportional {prop} vs equal {equal}"
+        );
+    }
+
+    #[test]
+    fn bigger_buffers_help_until_the_knee() {
+        let p = Platform::env1();
+        let g1 = run_des(2 * MBP, 2 * MBP, &p, &cfg().with_buffer_capacity(1))
+            .report
+            .gcups_sim
+            .unwrap();
+        let g8 = run_des(2 * MBP, 2 * MBP, &p, &cfg().with_buffer_capacity(8))
+            .report
+            .gcups_sim
+            .unwrap();
+        let g64 = run_des(2 * MBP, 2 * MBP, &p, &cfg().with_buffer_capacity(64))
+            .report
+            .gcups_sim
+            .unwrap();
+        assert!(g8 >= g1, "capacity 8 ({g8}) >= capacity 1 ({g1})");
+        // Past the knee, returns vanish.
+        assert!((g64 - g8).abs() / g8 < 0.02, "g8 = {g8}, g64 = {g64}");
+    }
+
+    #[test]
+    fn fine_grain_overlap_beats_bulk_synchronous() {
+        let p = Platform::env2();
+        let fine = run_des(2 * MBP, 2 * MBP, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        let bulk = run_des_bulk(2 * MBP, 2 * MBP, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        // Bulk-synchronous devices run one after another: no multi-GPU gain.
+        assert!(fine > 2.0 * bulk, "fine {fine} vs bulk {bulk}");
+    }
+
+    #[test]
+    fn small_matrices_pipeline_poorly() {
+        // Pipeline fill/drain and narrow slabs (too few tile columns to
+        // feed every SM) dominate short matrices: efficiency grows with
+        // size — the paper's motivation for megabase inputs.
+        let p = Platform::env2();
+        let small = run_des(8_192, 8_192, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        let large = run_des(4 * MBP, 4 * MBP, &p, &cfg())
+            .report
+            .gcups_sim
+            .unwrap();
+        assert!(large > 1.2 * small, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn utilization_reported_per_device() {
+        let p = Platform::env2();
+        let run = run_des(MBP, MBP, &p, &cfg());
+        assert_eq!(run.report.devices.len(), 3);
+        for d in &run.report.devices {
+            let u = d.sim_utilization.unwrap();
+            assert!((0.0..=1.0).contains(&u), "utilization {u}");
+        }
+        // Proportional split keeps every device mostly busy.
+        assert!(run.report.devices.iter().all(|d| d.sim_utilization.unwrap() > 0.6));
+    }
+
+    #[test]
+    fn shared_bridge_bottlenecks_fine_grain_many_gpu_runs() {
+        use megasw_gpusim::LinkSpec;
+        // Fine granularity + 8 GPUs: with independent links the pipeline
+        // scales; with everything behind one slow bridge the transfers
+        // serialize and throughput collapses toward the bridge's capacity.
+        let fine = RunConfig {
+            block_h: 8,
+            ..cfg()
+        };
+        let free = Platform::homogeneous(catalog::gtx680(), 8);
+        let bridged = free.clone().with_bridge(LinkSpec::slow_for_tests());
+        let g_free = run_des(MBP, MBP, &free, &fine).report.gcups_sim.unwrap();
+        let g_bridged = run_des(MBP, MBP, &bridged, &fine)
+            .report
+            .gcups_sim
+            .unwrap();
+        assert!(
+            g_free > 1.5 * g_bridged,
+            "free {g_free} vs bridged {g_bridged}"
+        );
+        // At coarse granularity (the paper default) transfers are rare and
+        // even the slow shared bridge costs almost nothing.
+        let coarse = cfg();
+        let g_coarse_free = run_des(MBP, MBP, &free, &coarse)
+            .report
+            .gcups_sim
+            .unwrap();
+        let g_coarse_bridged = run_des(MBP, MBP, &bridged, &coarse)
+            .report
+            .gcups_sim
+            .unwrap();
+        assert!(
+            g_coarse_bridged > 0.95 * g_coarse_free,
+            "coarse: bridged {g_coarse_bridged} vs free {g_coarse_free}"
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_accounts_for_all_idle_time() {
+        let p = Platform::env2();
+        let run = run_des(MBP, MBP, &p, &cfg());
+        let makespan = run.report.sim_time.unwrap();
+        for (d, bd) in run.report.devices.iter().zip(&run.stalls) {
+            let idle = makespan.saturating_sub(d.sim_busy.unwrap());
+            assert_eq!(bd.total(), idle, "device {}", d.device);
+        }
+    }
+
+    #[test]
+    fn equal_split_shows_up_as_drain_idle_on_the_fast_board() {
+        // Titan finishes its (undersized) equal slab early and drains;
+        // proportional splitting removes that idle.
+        let p = Platform::env2();
+        let equal = run_des(
+            2 * MBP,
+            2 * MBP,
+            &p,
+            &cfg().with_partition(PartitionPolicy::Equal),
+        );
+        let prop = run_des(2 * MBP, 2 * MBP, &p, &cfg());
+        let titan_equal_drain = equal.stalls[0].drain.as_nanos();
+        let titan_prop_drain = prop.stalls[0].drain.as_nanos();
+        assert!(
+            titan_equal_drain > 10 + titan_prop_drain * 4,
+            "equal {titan_equal_drain}ns vs proportional {titan_prop_drain}ns"
+        );
+    }
+
+    #[test]
+    fn later_devices_pay_pipeline_startup() {
+        let p = Platform::homogeneous(catalog::gtx680(), 4);
+        let run = run_des(MBP, MBP, &p, &cfg());
+        for pair in run.stalls.windows(2) {
+            assert!(pair[1].startup >= pair[0].startup, "{:?}", run.stalls);
+        }
+        assert_eq!(run.stalls[0].startup, SimTime::ZERO);
+        assert!(run.stalls[3].startup > SimTime::ZERO);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = Platform::env2();
+        let a = run_des(MBP, MBP, &p, &cfg()).report.sim_time;
+        let b = run_des(MBP, MBP, &p, &cfg()).report.sim_time;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let run = run_des(0, 100, &Platform::env1(), &cfg());
+        assert_eq!(run.report.sim_time, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn sweep_is_monotone_for_homogeneous_platform() {
+        let p = Platform::homogeneous(catalog::m2090(), 4);
+        let sweep = gcups_versus_devices(2 * MBP, 2 * MBP, &p, &cfg());
+        assert_eq!(sweep.len(), 4);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 > w[0].1, "sweep not monotone: {sweep:?}");
+        }
+    }
+}

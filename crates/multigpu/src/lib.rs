@@ -1,0 +1,47 @@
+//! # megasw-multigpu — fine-grain multi-GPU megabase Smith-Waterman
+//!
+//! This crate is the paper's contribution: spreading the computation of a
+//! *single* huge Smith-Waterman matrix over a chain of (simulated)
+//! heterogeneous GPUs.
+//!
+//! * [`partition`] — column-wise decomposition of the matrix into one
+//!   vertical **slab per device**, either equal or proportional to each
+//!   device's measured compute power (the heterogeneous case);
+//! * [`circbuf`] — the **circular buffer**: a bounded, blocking ring
+//!   through which a device streams the border columns of its slab to its
+//!   right-hand neighbour one block-row at a time, decoupling producer and
+//!   consumer so communication hides behind computation;
+//! * [`pipeline`] — the **threaded runtime**: one OS thread per simulated
+//!   device executes the real block kernels over its slab and exchanges
+//!   real borders through the rings; its result is bit-identical to the
+//!   sequential reference (the integration tests prove it);
+//! * [`desrun`] — the same schedule handed to the discrete-event simulator
+//!   in `megasw-gpusim`, yielding the *simulated* GCUPS, per-device
+//!   utilization and buffer-stall breakdowns that regenerate the paper's
+//!   tables and figures;
+//! * [`stages`] — multi-GPU **alignment retrieval** (CUDAlign stages 1–3
+//!   analogue): forward local pipeline, reversed anchored pipeline, then
+//!   Myers–Miller on the bounded segment;
+//! * [`balance`] — device-weight calibration for proportional splits;
+//! * [`baseline`] — the comparison points: single device, bulk-synchronous
+//!   (non-overlapped) exchange, equal split on heterogeneous platforms, and
+//!   a multicore CPU wavefront;
+//! * [`stats`] — the [`stats::RunReport`] every executor produces.
+
+pub mod autotune;
+pub mod balance;
+pub mod baseline;
+pub mod circbuf;
+pub mod config;
+pub mod desrun;
+pub mod memory;
+pub mod partition;
+pub mod pipeline;
+pub mod stages;
+pub mod stats;
+
+pub use config::{PartitionPolicy, RunConfig};
+pub use partition::{make_slabs, Slab};
+pub use pipeline::run_pipeline;
+pub use stages::multigpu_local_align;
+pub use stats::{DeviceReport, RunReport};

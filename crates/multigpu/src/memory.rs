@@ -1,0 +1,180 @@
+//! Device-memory accounting.
+//!
+//! Megabase comparisons only fit on GPUs because the kernels are linear
+//! space: each device holds the packed sequences (2 bits/base), one rolling
+//! DP row for its slab (`H` + `F`), and the ring staging buffers. This
+//! module prices that footprint against a device's memory so a run can be
+//! rejected *before* it starts — the simulated analogue of CUDAlign's
+//! out-of-memory guard for chromosome-scale inputs.
+
+use crate::config::RunConfig;
+use crate::partition::Slab;
+use megasw_gpusim::Platform;
+
+/// Per-device memory footprint, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceMemoryPlan {
+    /// Packed full row sequence `a` (2 bits/base).
+    pub seq_a: u64,
+    /// Packed slab of column sequence `b`.
+    pub seq_b_slab: u64,
+    /// Rolling DP row over the slab (`H` + `F`, 4 bytes each).
+    pub dp_rows: u64,
+    /// Incoming + outgoing ring staging (`H` + `E` per border cell ×
+    /// capacity).
+    pub rings: u64,
+}
+
+impl DeviceMemoryPlan {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.seq_a + self.seq_b_slab + self.dp_rows + self.rings
+    }
+}
+
+/// A device whose slab does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryError {
+    pub device: usize,
+    pub device_name: String,
+    pub required: u64,
+    pub available: u64,
+}
+
+impl std::fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device {} ({}) needs {} MiB but has {} MiB",
+            self.device,
+            self.device_name,
+            self.required / (1024 * 1024),
+            self.available / (1024 * 1024)
+        )
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
+/// Footprint of one slab on one device.
+pub fn plan_for(m: usize, slab_width: usize, config: &RunConfig) -> DeviceMemoryPlan {
+    let packed = |bases: usize| bases.div_ceil(4) as u64;
+    DeviceMemoryPlan {
+        seq_a: packed(m),
+        seq_b_slab: packed(slab_width),
+        dp_rows: 2 * 4 * slab_width as u64,
+        rings: 2 * config.buffer_capacity as u64 * (config.block_h as u64 + 1) * 2 * 4,
+    }
+}
+
+/// Check every slab of a partition against its device's memory.
+pub fn check_platform(
+    m: usize,
+    slabs: &[Slab],
+    platform: &Platform,
+    config: &RunConfig,
+) -> Result<Vec<DeviceMemoryPlan>, MemoryError> {
+    let mut plans = Vec::with_capacity(slabs.len());
+    for slab in slabs {
+        let plan = plan_for(m, slab.width, config);
+        let spec = &platform.devices[slab.device];
+        if plan.total() > spec.mem_bytes() {
+            return Err(MemoryError {
+                device: slab.device,
+                device_name: spec.name.clone(),
+                required: plan.total(),
+                available: spec.mem_bytes(),
+            });
+        }
+        plans.push(plan);
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PartitionPolicy;
+    use crate::partition::make_slabs;
+    use megasw_gpusim::{catalog, DeviceSpec, LinkSpec};
+
+    #[test]
+    fn chromosome_scale_fits_on_catalog_boards() {
+        // chr19-class: 47 M × 49 M on Env2.
+        let cfg = RunConfig::paper_default();
+        let p = Platform::env2();
+        let slabs = make_slabs(49_000_000, cfg.block_w, &p, &cfg.partition);
+        let plans = check_platform(47_000_000, &slabs, &p, &cfg).expect("must fit");
+        for plan in &plans {
+            // Packed sequences dominate; everything well under 1 GiB.
+            assert!(plan.total() < 1024 * 1024 * 1024);
+            assert!(plan.seq_a >= 47_000_000 / 4);
+        }
+    }
+
+    #[test]
+    fn tiny_device_rejects_chromosome_slab() {
+        let mut starved = catalog::gtx680();
+        starved.mem_mib = 8; // 8 MiB board
+        let p = Platform::custom("starved", vec![starved, catalog::gtx680()]);
+        let cfg = RunConfig::paper_default();
+        let slabs = make_slabs(50_000_000, cfg.block_w, &p, &PartitionPolicy::Equal);
+        let err = check_platform(50_000_000, &slabs, &p, &cfg).unwrap_err();
+        assert_eq!(err.device, 0);
+        assert!(err.required > err.available);
+        assert!(err.to_string().contains("GTX 680"));
+    }
+
+    #[test]
+    fn plan_components_scale_as_expected() {
+        let cfg = RunConfig::paper_default();
+        let small = plan_for(1_000_000, 500_000, &cfg);
+        let wide = plan_for(1_000_000, 2_000_000, &cfg);
+        assert_eq!(small.seq_a, wide.seq_a);
+        assert_eq!(wide.seq_b_slab, 4 * small.seq_b_slab);
+        assert_eq!(wide.dp_rows, 4 * small.dp_rows);
+        assert_eq!(small.rings, wide.rings);
+        assert_eq!(
+            small.total(),
+            small.seq_a + small.seq_b_slab + small.dp_rows + small.rings
+        );
+    }
+
+    #[test]
+    fn ring_footprint_scales_with_capacity_and_height() {
+        let base = RunConfig::paper_default();
+        let big_cap = base.clone().with_buffer_capacity(base.buffer_capacity * 2);
+        assert_eq!(
+            plan_for(1_000, 1_000, &big_cap).rings,
+            2 * plan_for(1_000, 1_000, &base).rings
+        );
+    }
+
+    #[test]
+    fn zero_sized_inputs() {
+        let cfg = RunConfig::paper_default();
+        let plan = plan_for(0, 0, &cfg);
+        assert_eq!(plan.seq_a + plan.seq_b_slab + plan.dp_rows, 0);
+        // Rings exist regardless (allocated at configured capacity).
+        assert!(plan.rings > 0);
+    }
+
+    #[test]
+    fn memory_check_is_per_device_capacity() {
+        // A heterogeneous platform where only the small-memory board fails.
+        let small = DeviceSpec {
+            name: "SmallMem".into(),
+            sms: 8,
+            clock_mhz: 1_000,
+            cells_per_cycle_per_sm: 5.0,
+            mem_mib: 16,
+            link: LinkSpec::pcie2_x16(),
+            launch_overhead_ns: 5_000,
+        };
+        let p = Platform::custom("mixed", vec![catalog::gtx_titan(), small]);
+        let cfg = RunConfig::paper_default();
+        let slabs = make_slabs(100_000_000, cfg.block_w, &p, &PartitionPolicy::Equal);
+        let err = check_platform(100_000_000, &slabs, &p, &cfg).unwrap_err();
+        assert_eq!(err.device, 1);
+    }
+}

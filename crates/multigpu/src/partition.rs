@@ -1,0 +1,260 @@
+//! Column-wise matrix partitioning.
+//!
+//! The matrix's columns are divided into one contiguous vertical slab per
+//! device, in **block-column units** so slab boundaries coincide with the
+//! global tile grid. Weights come from the partition policy: equal, or
+//! proportional to device compute power (largest-remainder rounding keeps
+//! the result deterministic and exactly proportional up to one block).
+
+use crate::config::PartitionPolicy;
+use megasw_gpusim::Platform;
+
+/// One device's share of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slab {
+    /// Index of the owning device in the platform chain.
+    pub device: usize,
+    /// First matrix column (1-based DP coordinate).
+    pub j0: usize,
+    /// Width in matrix columns.
+    pub width: usize,
+}
+
+impl Slab {
+    /// One-past-the-last matrix column.
+    pub fn j_end(&self) -> usize {
+        self.j0 + self.width
+    }
+}
+
+/// Allocate `total` indivisible units according to `weights` using the
+/// largest-remainder method, guaranteeing at least one unit per recipient
+/// when `total ≥ weights.len()`.
+///
+/// Deterministic: remainder ties break to the lower index.
+pub fn largest_remainder(total: usize, weights: &[f64]) -> Vec<usize> {
+    assert!(!weights.is_empty(), "weights must not be empty");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weights must be positive"
+    );
+    let g = weights.len();
+    if total == 0 {
+        return vec![0; g];
+    }
+    if total <= g {
+        // Degenerate: hand single units to the heaviest recipients.
+        let mut order: Vec<usize> = (0..g).collect();
+        order.sort_by(|&x, &y| weights[y].partial_cmp(&weights[x]).unwrap().then(x.cmp(&y)));
+        let mut out = vec![0; g];
+        for &i in order.iter().take(total) {
+            out[i] = 1;
+        }
+        return out;
+    }
+
+    let sum: f64 = weights.iter().sum();
+    // Reserve one unit each, distribute the rest proportionally.
+    let spare = total - g;
+    let exact: Vec<f64> = weights.iter().map(|w| spare as f64 * w / sum).collect();
+    let mut out: Vec<usize> = exact.iter().map(|x| 1 + x.floor() as usize).collect();
+    let assigned: usize = out.iter().sum();
+    let mut leftover = total - assigned;
+
+    let mut order: Vec<usize> = (0..g).collect();
+    order.sort_by(|&x, &y| {
+        let rx = exact[x] - exact[x].floor();
+        let ry = exact[y] - exact[y].floor();
+        ry.partial_cmp(&rx).unwrap().then(x.cmp(&y))
+    });
+    let mut k = 0;
+    while leftover > 0 {
+        out[order[k % g]] += 1;
+        leftover -= 1;
+        k += 1;
+    }
+    out
+}
+
+/// Compute each device's slab for a matrix with `n` columns tiled at
+/// `block_w`, under the given policy.
+///
+/// Devices that would receive zero columns (more devices than block
+/// columns) are dropped from the returned list — the run simply uses fewer
+/// GPUs, mirroring what the real system would do.
+///
+/// ```
+/// use megasw_gpusim::Platform;
+/// use megasw_multigpu::{make_slabs, PartitionPolicy};
+///
+/// let slabs = make_slabs(100_000, 512, &Platform::env2(), &PartitionPolicy::Proportional);
+/// assert_eq!(slabs.len(), 3);
+/// // Slabs tile the columns contiguously…
+/// assert_eq!(slabs[0].j0, 1);
+/// assert_eq!(slabs.last().unwrap().j_end(), 100_001);
+/// // …and the fastest board (GTX Titan) gets the widest slab.
+/// assert!(slabs[0].width > slabs[2].width);
+/// ```
+pub fn make_slabs(
+    n: usize,
+    block_w: usize,
+    platform: &Platform,
+    policy: &PartitionPolicy,
+) -> Vec<Slab> {
+    assert!(block_w >= 1);
+    if n == 0 || platform.is_empty() {
+        return Vec::new();
+    }
+    let total_bcols = n.div_ceil(block_w);
+    let g = platform.len().min(total_bcols);
+
+    let weights: Vec<f64> = match policy {
+        PartitionPolicy::Equal => vec![1.0; g],
+        PartitionPolicy::Proportional => platform.devices[..g]
+            .iter()
+            .map(|d| d.peak_cells_per_sec())
+            .collect(),
+        PartitionPolicy::Explicit(w) => {
+            assert!(
+                w.len() >= g,
+                "explicit weights ({}) must cover every device used ({g})",
+                w.len()
+            );
+            w[..g].to_vec()
+        }
+    };
+
+    let bcols = largest_remainder(total_bcols, &weights);
+    let mut slabs = Vec::with_capacity(g);
+    let mut next_bcol = 0usize;
+    for (device, &bc) in bcols.iter().enumerate() {
+        if bc == 0 {
+            continue;
+        }
+        let j0 = next_bcol * block_w + 1;
+        let j_end = ((next_bcol + bc) * block_w).min(n) + 1;
+        slabs.push(Slab {
+            device,
+            j0,
+            width: j_end - j0,
+        });
+        next_bcol += bc;
+    }
+    slabs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megasw_gpusim::{catalog, Platform};
+
+    #[test]
+    fn largest_remainder_sums_and_floors() {
+        let out = largest_remainder(100, &[1.0, 1.0, 1.0]);
+        assert_eq!(out.iter().sum::<usize>(), 100);
+        assert_eq!(out, vec![34, 33, 33]);
+
+        let out = largest_remainder(10, &[3.0, 1.0]);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        assert!(out[0] > out[1]);
+    }
+
+    #[test]
+    fn largest_remainder_guarantees_minimum_one() {
+        // Tiny weight still receives its reserved unit.
+        let out = largest_remainder(10, &[1000.0, 0.001]);
+        assert_eq!(out.iter().sum::<usize>(), 10);
+        assert!(out[1] >= 1);
+    }
+
+    #[test]
+    fn largest_remainder_degenerate_totals() {
+        assert_eq!(largest_remainder(0, &[1.0, 2.0]), vec![0, 0]);
+        // One unit goes to the heaviest.
+        assert_eq!(largest_remainder(1, &[1.0, 2.0]), vec![0, 1]);
+        assert_eq!(largest_remainder(2, &[1.0, 2.0]), vec![1, 1]);
+    }
+
+    #[test]
+    fn largest_remainder_proportionality() {
+        let weights = [65.0, 50.0, 45.0];
+        let out = largest_remainder(1_000, &weights);
+        assert_eq!(out.iter().sum::<usize>(), 1_000);
+        let sum: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let exact = 1_000.0 * w / sum;
+            assert!(
+                (out[i] as f64 - exact).abs() <= 2.0,
+                "device {i}: {} vs exact {exact}",
+                out[i]
+            );
+        }
+    }
+
+    #[test]
+    fn slabs_tile_matrix_exactly() {
+        let p = Platform::env2();
+        for n in [1usize, 31, 32, 33, 1000, 4097] {
+            for policy in [PartitionPolicy::Equal, PartitionPolicy::Proportional] {
+                let slabs = make_slabs(n, 32, &p, &policy);
+                assert!(!slabs.is_empty());
+                assert_eq!(slabs[0].j0, 1);
+                for w in slabs.windows(2) {
+                    assert_eq!(w[0].j_end(), w[1].j0, "slabs must be contiguous");
+                }
+                assert_eq!(slabs.last().unwrap().j_end(), n + 1);
+                let total: usize = slabs.iter().map(|s| s.width).sum();
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_gives_faster_device_more_columns() {
+        let p = Platform::env2(); // Titan (65) + K20 (45) + GTX 580 (33)
+        let slabs = make_slabs(160_000, 512, &p, &PartitionPolicy::Proportional);
+        assert_eq!(slabs.len(), 3);
+        assert!(slabs[0].width > slabs[1].width);
+        assert!(slabs[1].width > slabs[2].width);
+        // Ratios within a block of exact proportionality.
+        let exact0 = 160_000.0 * 65.0 / 143.0;
+        assert!((slabs[0].width as f64 - exact0).abs() < 2.0 * 512.0);
+    }
+
+    #[test]
+    fn equal_split_on_heterogeneous_platform_is_uniform() {
+        let p = Platform::env2();
+        let slabs = make_slabs(3 * 512 * 10, 512, &p, &PartitionPolicy::Equal);
+        assert_eq!(slabs.len(), 3);
+        assert!(slabs.iter().all(|s| s.width == 512 * 10));
+    }
+
+    #[test]
+    fn more_devices_than_block_columns_drops_devices() {
+        let p = Platform::homogeneous(catalog::gtx680(), 8);
+        let slabs = make_slabs(100, 64, &p, &PartitionPolicy::Equal);
+        // Two block columns only → two devices used.
+        assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs.iter().map(|s| s.width).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = Platform::env1();
+        assert!(make_slabs(0, 32, &p, &PartitionPolicy::Equal).is_empty());
+    }
+
+    #[test]
+    fn explicit_weights_respected() {
+        let p = Platform::env1();
+        let slabs = make_slabs(
+            1_000,
+            10,
+            &p,
+            &PartitionPolicy::Explicit(vec![3.0, 1.0]),
+        );
+        assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs[0].width, 750);
+        assert_eq!(slabs[1].width, 250);
+    }
+}

@@ -1,0 +1,507 @@
+//! The threaded multi-GPU pipeline.
+//!
+//! One OS thread plays each device of the platform chain. Thread `g`
+//! computes its column slab block-row by block-row with the real
+//! [`megasw_sw::block`] kernel; after finishing block-row `r` it pushes the
+//! slab's right border (one [`ColBorder`] of that row's height) into the
+//! circular buffer toward thread `g + 1`, which pops exactly one border
+//! before starting its own block-row `r`. The result is the paper's
+//! fine-grain wavefront across devices: all GPUs cooperate on the same
+//! matrix, offset by one block-row per chain position, with communication
+//! overlapping computation whenever the ring has slack.
+//!
+//! The run is **bit-exact**: every border value equals the sequential
+//! matrix's value, so the merged best cell is identical to the reference
+//! (integration tests sweep partitions, block sizes and capacities to prove
+//! it).
+
+use crate::circbuf::{CircularBuffer, RingError};
+use crate::config::RunConfig;
+use crate::partition::{make_slabs, Slab};
+use crate::stats::{DeviceReport, RunReport};
+use megasw_gpusim::Platform;
+use megasw_sw::border::{ColBorder, RowBorder};
+use megasw_sw::block::{compute_block, compute_block_anchored, BlockInput};
+use megasw_sw::cell::BestCell;
+use std::time::Instant;
+
+/// Matrix semantics a pipeline run computes under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Smith-Waterman local alignment (zero floor, zero boundaries).
+    Local,
+    /// Anchored ("prefix-global") alignment: every path starts at the
+    /// matrix origin; gap-cost boundaries, no zero floor. Used by stage 2
+    /// to locate alignment start points (see [`crate::stages`]).
+    Anchored,
+}
+
+/// Pipeline failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// A device failed mid-run (only via fault injection in this simulator;
+    /// a real deployment would map CUDA errors here).
+    DeviceFault { device: usize, block_row: usize },
+    /// A neighbour's failure surfaced through the ring.
+    RingPoisoned { device: usize },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PipelineError::DeviceFault { device, block_row } => {
+                write!(f, "device {device} failed at block-row {block_row}")
+            }
+            PipelineError::RingPoisoned { device } => {
+                write!(f, "device {device} observed a poisoned ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Deterministic fault injection for resilience tests: the given device
+/// fails just before computing the given block-row.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    pub device: usize,
+    pub fail_at_block_row: usize,
+}
+
+struct DevicePartial {
+    best: BestCell,
+    cells: u128,
+    bytes_sent: u64,
+}
+
+/// Run the fine-grain pipeline. See the module docs.
+pub fn run_pipeline(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+) -> Result<RunReport, PipelineError> {
+    run_pipeline_full(a, b, platform, config, None, Semantics::Local)
+}
+
+/// [`run_pipeline`] with optional fault injection.
+pub fn run_pipeline_with_faults(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    fault: Option<FaultPlan>,
+) -> Result<RunReport, PipelineError> {
+    run_pipeline_full(a, b, platform, config, fault, Semantics::Local)
+}
+
+/// Run the pipeline under anchored semantics (stage 2's kernel).
+pub fn run_pipeline_anchored(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+) -> Result<RunReport, PipelineError> {
+    run_pipeline_full(a, b, platform, config, None, Semantics::Anchored)
+}
+
+/// The fully parameterized entry point.
+pub fn run_pipeline_full(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    fault: Option<FaultPlan>,
+    semantics: Semantics,
+) -> Result<RunReport, PipelineError> {
+    config.validate().map_err(PipelineError::InvalidConfig)?;
+    let m = a.len();
+    let n = b.len();
+    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
+
+    if m == 0 || slabs.is_empty() {
+        return Ok(empty_report(m, n, platform, &slabs));
+    }
+
+    let rows = m.div_ceil(config.block_h);
+    let rings: Vec<CircularBuffer<ColBorder>> = (0..slabs.len().saturating_sub(1))
+        .map(|_| CircularBuffer::with_capacity(config.buffer_capacity))
+        .collect();
+
+    let started = Instant::now();
+    let results: Vec<Result<DevicePartial, PipelineError>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(slabs.len());
+        for (s_idx, slab) in slabs.iter().enumerate() {
+            let ring_in = if s_idx > 0 { Some(&rings[s_idx - 1]) } else { None };
+            let ring_out = rings.get(s_idx);
+            handles.push(scope.spawn(move |_| {
+                let result = device_worker(
+                    a, b, *slab, rows, config, ring_in, ring_out, fault, semantics,
+                );
+                if result.is_err() {
+                    // Wake neighbours so the failure propagates instead of
+                    // deadlocking the chain.
+                    if let Some(r) = ring_in {
+                        r.poison();
+                    }
+                    if let Some(r) = ring_out {
+                        r.poison();
+                    }
+                }
+                result
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("pipeline scope panicked");
+    let wall = started.elapsed();
+
+    // Surface the root-cause fault ahead of secondary poison observations.
+    let mut first_poison = None;
+    let mut partials = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(p) => partials.push(p),
+            Err(e @ PipelineError::DeviceFault { .. }) => return Err(e),
+            Err(e) => first_poison = Some(first_poison.unwrap_or(e)),
+        }
+    }
+    if let Some(e) = first_poison {
+        return Err(e);
+    }
+
+    let best = partials
+        .iter()
+        .fold(BestCell::ZERO, |acc, p| acc.merge(p.best));
+    let total_cells = m as u128 * n as u128;
+    debug_assert_eq!(
+        partials.iter().map(|p| p.cells).sum::<u128>(),
+        total_cells,
+        "every matrix cell must be computed exactly once"
+    );
+
+    let devices = slabs
+        .iter()
+        .zip(&partials)
+        .enumerate()
+        .map(|(s_idx, (slab, p))| DeviceReport {
+            device: slab.device,
+            name: platform.devices[slab.device].name.clone(),
+            slab_j0: slab.j0,
+            slab_width: slab.width,
+            cells: p.cells,
+            bytes_sent: p.bytes_sent,
+            ring_out: rings.get(s_idx).map(|r| r.stats()),
+            sim_busy: None,
+            sim_utilization: None,
+        })
+        .collect();
+
+    let secs = wall.as_secs_f64();
+    Ok(RunReport {
+        best,
+        total_cells,
+        wall_time: Some(wall),
+        gcups_wall: Some(RunReport::gcups(total_cells, secs)),
+        sim_time: None,
+        gcups_sim: None,
+        devices,
+    })
+}
+
+/// The per-device loop.
+#[allow(clippy::too_many_arguments)]
+fn device_worker(
+    a: &[u8],
+    b: &[u8],
+    slab: Slab,
+    rows: usize,
+    config: &RunConfig,
+    ring_in: Option<&CircularBuffer<ColBorder>>,
+    ring_out: Option<&CircularBuffer<ColBorder>>,
+    fault: Option<FaultPlan>,
+    semantics: Semantics,
+) -> Result<DevicePartial, PipelineError> {
+    let m = a.len();
+    let block_h = config.block_h;
+    let block_w = config.block_w;
+
+    // Tile columns of this slab.
+    let mut cols: Vec<(usize, usize)> = Vec::new(); // (j0, width)
+    let mut j = slab.j0;
+    while j < slab.j_end() {
+        let w = block_w.min(slab.j_end() - j);
+        cols.push((j, w));
+        j += w;
+    }
+
+    let mut tops: Vec<RowBorder> = cols
+        .iter()
+        .map(|&(jc0, w)| match semantics {
+            Semantics::Local => RowBorder::zero(w),
+            Semantics::Anchored => RowBorder::anchored(w, jc0, &config.scheme),
+        })
+        .collect();
+    let mut best = BestCell::ZERO;
+    let mut cells: u128 = 0;
+    let mut bytes_sent: u64 = 0;
+
+    for r in 0..rows {
+        let i0 = r * block_h + 1;
+        let i1 = ((r + 1) * block_h).min(m) + 1;
+        let height = i1 - i0;
+
+        if let Some(f) = fault {
+            if f.device == slab.device && f.fail_at_block_row == r {
+                return Err(PipelineError::DeviceFault {
+                    device: slab.device,
+                    block_row: r,
+                });
+            }
+        }
+
+        let mut left: ColBorder = match ring_in {
+            None => match semantics {
+                Semantics::Local => ColBorder::zero(height),
+                Semantics::Anchored => ColBorder::anchored(height, i0, &config.scheme),
+            },
+            Some(ring) => match ring.pop() {
+                Ok(Some(border)) => {
+                    debug_assert_eq!(border.height(), height, "border height mismatch");
+                    border
+                }
+                Ok(None) | Err(RingError::Closed) => {
+                    // Producer closed early — only reachable through faults.
+                    return Err(PipelineError::RingPoisoned { device: slab.device });
+                }
+                Err(RingError::Poisoned) => {
+                    return Err(PipelineError::RingPoisoned { device: slab.device });
+                }
+            },
+        };
+
+        for (c, &(jc0, wc)) in cols.iter().enumerate() {
+            let input = BlockInput {
+                a_rows: &a[i0 - 1..i1 - 1],
+                b_cols: &b[jc0 - 1..jc0 - 1 + wc],
+                top: &tops[c],
+                left: &left,
+                row_offset: i0,
+                col_offset: jc0,
+            };
+            let out = match semantics {
+                Semantics::Local => compute_block(input, &config.scheme),
+                Semantics::Anchored => compute_block_anchored(input, &config.scheme),
+            };
+            best = best.merge(out.best);
+            cells += out.cells as u128;
+            tops[c] = out.bottom;
+            left = out.right;
+        }
+
+        if let Some(ring) = ring_out {
+            bytes_sent += left.transfer_bytes() as u64;
+            match ring.push(left) {
+                Ok(()) => {}
+                Err(_) => {
+                    return Err(PipelineError::RingPoisoned { device: slab.device });
+                }
+            }
+        }
+    }
+
+    if let Some(ring) = ring_out {
+        ring.close();
+    }
+
+    Ok(DevicePartial {
+        best,
+        cells,
+        bytes_sent,
+    })
+}
+
+fn empty_report(m: usize, n: usize, platform: &Platform, slabs: &[Slab]) -> RunReport {
+    RunReport {
+        best: BestCell::ZERO,
+        total_cells: m as u128 * n as u128,
+        wall_time: Some(std::time::Duration::ZERO),
+        gcups_wall: Some(0.0),
+        sim_time: None,
+        gcups_sim: None,
+        devices: slabs
+            .iter()
+            .map(|slab| DeviceReport {
+                device: slab.device,
+                name: platform.devices[slab.device].name.clone(),
+                slab_j0: slab.j0,
+                slab_width: slab.width,
+                cells: 0,
+                bytes_sent: 0,
+                ring_out: None,
+                sim_busy: None,
+                sim_utilization: None,
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megasw_gpusim::{catalog, Platform};
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+    use megasw_sw::gotoh::gotoh_best;
+
+    fn pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
+        let (b, _) = DivergenceModel::test_scale(seed + 1000).apply(&a);
+        (a, b)
+    }
+
+    #[test]
+    fn two_gpu_run_matches_reference() {
+        let (a, b) = pair(2_000, 1);
+        let report = run_pipeline(
+            a.codes(),
+            b.codes(),
+            &Platform::env1(),
+            &RunConfig::test_default(),
+        )
+        .unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        assert_eq!(report.devices.len(), 2);
+        assert!(report.gcups_wall.unwrap() > 0.0);
+        assert!(report.total_bytes_transferred() > 0);
+    }
+
+    #[test]
+    fn three_heterogeneous_gpus_match_reference() {
+        let (a, b) = pair(3_000, 2);
+        let report = run_pipeline(
+            a.codes(),
+            b.codes(),
+            &Platform::env2(),
+            &RunConfig::test_default(),
+        )
+        .unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        // Proportional split: Titan slab wider than K20 slab.
+        assert!(report.devices[0].slab_width > report.devices[2].slab_width);
+    }
+
+    #[test]
+    fn single_device_platform_works() {
+        let (a, b) = pair(1_000, 3);
+        let report = run_pipeline(
+            a.codes(),
+            b.codes(),
+            &Platform::single(catalog::gtx680()),
+            &RunConfig::test_default(),
+        )
+        .unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        assert_eq!(report.devices.len(), 1);
+        assert_eq!(report.total_bytes_transferred(), 0);
+    }
+
+    #[test]
+    fn capacity_one_ring_still_correct() {
+        let (a, b) = pair(1_500, 4);
+        let cfg = RunConfig::test_default().with_buffer_capacity(1);
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    }
+
+    #[test]
+    fn many_devices_on_small_matrix() {
+        // 8 devices, matrix narrower than 8 block columns: devices dropped.
+        let (a, b) = pair(200, 5);
+        let p = Platform::homogeneous(catalog::m2090(), 8);
+        let cfg = RunConfig::test_default(); // 32-wide blocks → ≤ 7 bcols
+        let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+        let bcols = b.len().div_ceil(cfg.block_w);
+        assert_eq!(report.devices.len(), bcols.min(8));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let p = Platform::env1();
+        let cfg = RunConfig::test_default();
+        let r1 = run_pipeline(&[], &[], &p, &cfg).unwrap();
+        assert_eq!(r1.best, BestCell::ZERO);
+        let (a, _) = pair(100, 6);
+        let r2 = run_pipeline(a.codes(), &[], &p, &cfg).unwrap();
+        assert_eq!(r2.best, BestCell::ZERO);
+        let r3 = run_pipeline(&[], a.codes(), &p, &cfg).unwrap();
+        assert_eq!(r3.best, BestCell::ZERO);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let (a, b) = pair(100, 7);
+        let bad = RunConfig::test_default().with_buffer_capacity(0);
+        match run_pipeline(a.codes(), b.codes(), &Platform::env1(), &bad) {
+            Err(PipelineError::InvalidConfig(_)) => {}
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_in_middle_device_propagates_cleanly() {
+        let (a, b) = pair(2_000, 8);
+        let fault = FaultPlan {
+            device: 1,
+            fail_at_block_row: 5,
+        };
+        let err = run_pipeline_with_faults(
+            a.codes(),
+            b.codes(),
+            &Platform::env2(),
+            &RunConfig::test_default(),
+            Some(fault),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PipelineError::DeviceFault {
+                device: 1,
+                block_row: 5
+            }
+        );
+    }
+
+    #[test]
+    fn fault_in_first_device_at_row_zero() {
+        let (a, b) = pair(1_000, 9);
+        let err = run_pipeline_with_faults(
+            a.codes(),
+            b.codes(),
+            &Platform::env1(),
+            &RunConfig::test_default(),
+            Some(FaultPlan {
+                device: 0,
+                fail_at_block_row: 0,
+            }),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PipelineError::DeviceFault { device: 0, .. }));
+    }
+
+    #[test]
+    fn ring_stats_show_flow() {
+        let (a, b) = pair(2_000, 10);
+        let cfg = RunConfig::test_default().with_buffer_capacity(2);
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
+        let ring = report.devices[0].ring_out.as_ref().unwrap();
+        let rows = 2_000usize.div_ceil(cfg.block_h) as u64;
+        assert_eq!(ring.pushed, rows);
+        assert_eq!(ring.popped, rows);
+        assert!(ring.max_occupancy <= 2);
+    }
+}

@@ -1,0 +1,157 @@
+//! Run reports.
+
+use crate::circbuf::RingStats;
+use megasw_gpusim::SimTime;
+use megasw_sw::BestCell;
+use std::time::Duration;
+
+/// Per-device section of a [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Index in the platform chain.
+    pub device: usize,
+    /// Board name.
+    pub name: String,
+    /// First matrix column of this device's slab (1-based).
+    pub slab_j0: usize,
+    /// Slab width in columns.
+    pub slab_width: usize,
+    /// DP cells this device computed.
+    pub cells: u128,
+    /// Bytes this device sent to its right-hand neighbour.
+    pub bytes_sent: u64,
+    /// Outgoing-ring statistics (None for the last device).
+    pub ring_out: Option<RingStats>,
+    /// Simulated busy time on the compute stream (None for wall-clock runs).
+    pub sim_busy: Option<SimTime>,
+    /// Simulated utilization: busy / makespan.
+    pub sim_utilization: Option<f64>,
+}
+
+/// The result of one multi-GPU run (threaded, simulated, or both).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Best Smith-Waterman cell (score + end position), bit-identical to
+    /// the sequential reference.
+    pub best: BestCell,
+    /// Total DP cells (`m · n`).
+    pub total_cells: u128,
+    /// Wall-clock duration of the threaded run (None for pure simulation).
+    pub wall_time: Option<Duration>,
+    /// Wall-clock GCUPS of the threaded run on this host's CPU.
+    pub gcups_wall: Option<f64>,
+    /// Simulated makespan (None for pure threaded runs).
+    pub sim_time: Option<SimTime>,
+    /// Simulated GCUPS — the paper-comparable number.
+    pub gcups_sim: Option<f64>,
+    /// Per-device details, in chain order.
+    pub devices: Vec<DeviceReport>,
+}
+
+impl RunReport {
+    /// GCUPS from a cell count and duration (0 for zero durations).
+    pub fn gcups(cells: u128, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            0.0
+        } else {
+            cells as f64 / seconds / 1e9
+        }
+    }
+
+    /// Pipeline efficiency versus an aggregate peak: `gcups_sim / peak`.
+    pub fn sim_efficiency(&self, aggregate_peak_gcups: f64) -> Option<f64> {
+        self.gcups_sim.map(|g| g / aggregate_peak_gcups)
+    }
+
+    /// Total bytes moved between devices.
+    pub fn total_bytes_transferred(&self) -> u64 {
+        self.devices.iter().map(|d| d.bytes_sent).sum()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "best score {} at ({}, {}) over {} cells",
+            self.best.score, self.best.i, self.best.j, self.total_cells
+        )?;
+        if let (Some(t), Some(g)) = (self.sim_time, self.gcups_sim) {
+            writeln!(f, "  simulated: {t}  ({g:.2} GCUPS)")?;
+        }
+        if let (Some(t), Some(g)) = (self.wall_time, self.gcups_wall) {
+            writeln!(f, "  wall:      {t:.3?}  ({g:.3} GCUPS on host CPU)")?;
+        }
+        for d in &self.devices {
+            write!(
+                f,
+                "  gpu{} {:<22} cols {:>9}..{:<9} ({:>5.1}%)",
+                d.device,
+                d.name,
+                d.slab_j0,
+                d.slab_j0 + d.slab_width,
+                100.0 * d.cells as f64 / self.total_cells.max(1) as f64
+            )?;
+            if let Some(u) = d.sim_utilization {
+                write!(f, "  util {:>5.1}%", u * 100.0)?;
+            }
+            if let Some(rs) = &d.ring_out {
+                write!(
+                    f,
+                    "  ring: {} sent, max occ {}, blocked {}p/{}c",
+                    rs.pushed, rs.max_occupancy, rs.producer_blocks, rs.consumer_blocks
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcups_math() {
+        assert_eq!(RunReport::gcups(2_000_000_000, 2.0), 1.0);
+        assert_eq!(RunReport::gcups(1_000, 0.0), 0.0);
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            best: BestCell::new(42, 7, 9),
+            total_cells: 1_000_000,
+            wall_time: Some(Duration::from_millis(10)),
+            gcups_wall: Some(0.1),
+            sim_time: Some(SimTime::from_millis(2)),
+            gcups_sim: Some(0.5),
+            devices: vec![DeviceReport {
+                device: 0,
+                name: "TestBoard".into(),
+                slab_j0: 1,
+                slab_width: 1_000,
+                cells: 1_000_000,
+                bytes_sent: 512,
+                ring_out: Some(RingStats::default()),
+                sim_busy: Some(SimTime::from_millis(1)),
+                sim_utilization: Some(0.5),
+            }],
+        }
+    }
+
+    #[test]
+    fn efficiency_and_totals() {
+        let r = report();
+        assert!((r.sim_efficiency(1.0).unwrap() - 0.5).abs() < 1e-12);
+        assert_eq!(r.total_bytes_transferred(), 512);
+    }
+
+    #[test]
+    fn display_contains_key_facts() {
+        let text = report().to_string();
+        assert!(text.contains("best score 42"));
+        assert!(text.contains("GCUPS"));
+        assert!(text.contains("TestBoard"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the multi-GPU system: partition laws, ring
+//! protocol, and pipeline-equals-reference on arbitrary shapes.
+
+use megasw_gpusim::{catalog, Platform};
+use megasw_multigpu::circbuf::CircularBuffer;
+use megasw_multigpu::partition::{largest_remainder, make_slabs};
+use megasw_multigpu::pipeline::run_pipeline;
+use megasw_multigpu::{PartitionPolicy, RunConfig};
+use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+use megasw_sw::gotoh::gotoh_best;
+use proptest::prelude::*;
+
+fn weights() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1_000.0, 1..8)
+}
+
+fn any_platform() -> impl Strategy<Value = Platform> {
+    prop::collection::vec(0usize..6, 1..5).prop_map(|picks| {
+        let boards = catalog::all();
+        Platform::custom(
+            "prop",
+            picks.into_iter().map(|i| boards[i].clone()).collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn largest_remainder_conserves_total(total in 0usize..100_000, w in weights()) {
+        let alloc = largest_remainder(total, &w);
+        prop_assert_eq!(alloc.len(), w.len());
+        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+    }
+
+    #[test]
+    fn largest_remainder_min_one_when_feasible(total in 1usize..100_000, w in weights()) {
+        let alloc = largest_remainder(total, &w);
+        if total >= w.len() {
+            prop_assert!(alloc.iter().all(|&x| x >= 1));
+        }
+    }
+
+    #[test]
+    fn largest_remainder_proportional_within_one(
+        total in 100usize..100_000, w in weights()
+    ) {
+        prop_assume!(total >= w.len());
+        let alloc = largest_remainder(total, &w);
+        let sum: f64 = w.iter().sum();
+        let spare = (total - w.len()) as f64;
+        for (i, &wi) in w.iter().enumerate() {
+            // Reserved unit + proportional share of the remainder, ±1 from
+            // largest-remainder rounding.
+            let exact = 1.0 + spare * wi / sum;
+            prop_assert!(
+                (alloc[i] as f64 - exact).abs() <= 1.0 + 1e-9,
+                "i={i}: {} vs {exact}",
+                alloc[i]
+            );
+        }
+    }
+
+    #[test]
+    fn slabs_partition_exactly(
+        n in 0usize..500_000,
+        block_w in 1usize..2_000,
+        platform in any_platform(),
+        equal in any::<bool>(),
+    ) {
+        let policy = if equal { PartitionPolicy::Equal } else { PartitionPolicy::Proportional };
+        let slabs = make_slabs(n, block_w, &platform, &policy);
+        if n == 0 {
+            prop_assert!(slabs.is_empty());
+        } else {
+            prop_assert_eq!(slabs[0].j0, 1);
+            for w in slabs.windows(2) {
+                prop_assert_eq!(w[0].j_end(), w[1].j0);
+                // Interior slab boundaries land on tile-grid columns.
+                prop_assert_eq!((w[1].j0 - 1) % block_w, 0);
+            }
+            prop_assert_eq!(slabs.last().unwrap().j_end(), n + 1);
+            prop_assert!(slabs.len() <= platform.len());
+            prop_assert!(slabs.iter().all(|s| s.width >= 1));
+        }
+    }
+
+    #[test]
+    fn ring_preserves_order_and_counts(
+        items in prop::collection::vec(any::<u32>(), 0..500),
+        cap in 1usize..16,
+    ) {
+        let ring = CircularBuffer::with_capacity(cap);
+        let producer = {
+            let ring = ring.clone();
+            let items = items.clone();
+            std::thread::spawn(move || {
+                for v in items {
+                    ring.push(v).unwrap();
+                }
+                ring.close();
+            })
+        };
+        let mut got = Vec::new();
+        while let Some(v) = ring.pop().unwrap() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        prop_assert_eq!(got, items.clone());
+        let stats = ring.stats();
+        prop_assert_eq!(stats.pushed, items.len() as u64);
+        prop_assert_eq!(stats.popped, items.len() as u64);
+        prop_assert!(stats.max_occupancy <= cap);
+    }
+
+    #[test]
+    fn pipeline_equals_reference_on_arbitrary_shapes(
+        seed in any::<u64>(),
+        m in 1usize..600,
+        n in 1usize..600,
+        block in 1usize..64,
+        cap in 1usize..8,
+        platform in any_platform(),
+    ) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(m, seed)).generate();
+        let b = ChromosomeGenerator::new(GenerateConfig::uniform(n, seed ^ 0xABCD)).generate();
+        let cfg = RunConfig::paper_default()
+            .with_block(block)
+            .with_buffer_capacity(cap);
+        let report = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        prop_assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    }
+
+    #[test]
+    fn pipeline_equals_reference_on_similar_pairs(
+        seed in any::<u64>(),
+        len in 50usize..800,
+        block in 8usize..96,
+    ) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
+        let (b, _) = DivergenceModel::test_scale(seed ^ 0x5A5A).apply(&a);
+        let cfg = RunConfig::paper_default().with_block(block);
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        prop_assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    }
+
+    #[test]
+    fn transfer_accounting_matches_geometry(
+        m in 1usize..2_000,
+        n in 100usize..2_000,
+        block in 16usize..256,
+    ) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(m, 1)).generate();
+        let b = ChromosomeGenerator::new(GenerateConfig::uniform(n, 2)).generate();
+        let cfg = RunConfig::paper_default().with_block(block);
+        let p = Platform::env1();
+        let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+        let rows = m.div_ceil(block);
+        if report.devices.len() == 2 {
+            // Each block-row border carries (height+1) H + (height+1) E
+            // values at 4 bytes each.
+            let expected: u64 = (0..rows)
+                .map(|r| {
+                    let h = ((r + 1) * block).min(m) - r * block;
+                    2 * (h as u64 + 1) * 4
+                })
+                .sum();
+            prop_assert_eq!(report.devices[0].bytes_sent, expected);
+        }
+    }
+}

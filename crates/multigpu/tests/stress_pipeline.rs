@@ -1,0 +1,112 @@
+//! Stress tests for the threaded pipeline: deep chains, extreme
+//! configurations, and sustained ring traffic. These guard the
+//! synchronization design (no deadlocks, no lost borders) under shapes the
+//! unit tests don't reach.
+
+use megasw_gpusim::{catalog, Platform};
+use megasw_multigpu::pipeline::{run_pipeline, run_pipeline_anchored};
+use megasw_multigpu::{PartitionPolicy, RunConfig};
+use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+use megasw_sw::gotoh::gotoh_best;
+use megasw_sw::traceback::anchored_best;
+
+fn pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
+    let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
+    let (b, _) = DivergenceModel::test_scale(seed + 13).apply(&a);
+    (a, b)
+}
+
+#[test]
+fn sixteen_device_chain() {
+    // Far more devices than any real 2013 host: the chain logic must not
+    // care. One block column per device at the extreme.
+    let (a, b) = pair(4_000, 1);
+    let p = Platform::homogeneous(catalog::gtx680(), 16);
+    let cfg = RunConfig::paper_default()
+        .with_block(64)
+        .with_buffer_capacity(2);
+    let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+    assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    assert_eq!(report.devices.len(), 16);
+    // Every interior ring carried exactly rows borders.
+    let rows = (a.len().div_ceil(cfg.block_h)) as u64;
+    for d in &report.devices[..15] {
+        let rs = d.ring_out.as_ref().unwrap();
+        assert_eq!(rs.pushed, rows);
+        assert_eq!(rs.popped, rows);
+    }
+}
+
+#[test]
+fn block_height_one_maximizes_ring_traffic() {
+    // One border per matrix row: thousands of ring operations per device
+    // pair under a capacity-1 ring — the tightest synchronization the
+    // design admits.
+    let (a, b) = pair(1_500, 2);
+    let mut cfg = RunConfig::paper_default().with_buffer_capacity(1);
+    cfg.block_h = 1;
+    cfg.block_w = 97;
+    let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    let rs = report.devices[0].ring_out.as_ref().unwrap();
+    assert_eq!(rs.pushed, a.len() as u64);
+    assert!(rs.max_occupancy <= 1);
+}
+
+#[test]
+fn extreme_skew_partitions() {
+    // 1000 : 1 : 1000 weights — the middle device owns a single block
+    // column and becomes a pure relay bottleneck.
+    let (a, b) = pair(2_500, 3);
+    let cfg = RunConfig::paper_default()
+        .with_block(32)
+        .with_partition(PartitionPolicy::Explicit(vec![1000.0, 1.0, 1000.0]));
+    let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+    assert_eq!(report.devices.len(), 3);
+    assert_eq!(report.devices[1].slab_width, 32);
+}
+
+#[test]
+fn wide_matrix_tall_matrix() {
+    // Degenerate aspect ratios: a 50 × 20 000 ribbon and its transpose.
+    let scheme = megasw_sw::ScoreScheme::cudalign();
+    let ribbon = ChromosomeGenerator::new(GenerateConfig::uniform(20_000, 4)).generate();
+    let sliver = ChromosomeGenerator::new(GenerateConfig::uniform(50, 5)).generate();
+    let cfg = RunConfig::paper_default().with_block(256);
+    for (a, b) in [(&sliver, &ribbon), (&ribbon, &sliver)] {
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &scheme));
+    }
+}
+
+#[test]
+fn anchored_pipeline_under_stress_shapes() {
+    let (a, b) = pair(2_000, 6);
+    let scheme = megasw_sw::ScoreScheme::cudalign();
+    for (bh, bw, cap) in [(1usize, 64usize, 1usize), (500, 17, 2), (64, 2_000, 3)] {
+        let mut cfg = RunConfig::paper_default().with_buffer_capacity(cap);
+        cfg.block_h = bh;
+        cfg.block_w = bw;
+        let report =
+            run_pipeline_anchored(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(
+            report.best,
+            anchored_best(a.codes(), b.codes(), &scheme),
+            "bh={bh} bw={bw} cap={cap}"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_under_contention() {
+    // Many back-to-back runs on the same platform: per-run rings must be
+    // fully independent (no leakage of closed/poisoned state).
+    let (a, b) = pair(800, 7);
+    let cfg = RunConfig::paper_default().with_block(48);
+    let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
+    for i in 0..20 {
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, want, "iteration {i}");
+    }
+}

@@ -1,0 +1,207 @@
+//! The DNA alphabet.
+//!
+//! The dynamic-programming kernels compare bases millions of times per
+//! second, so the representation is a plain `u8` code in `0..=4` with `N`
+//! (unknown base) mapped to code 4. Codes 0–3 fit in two bits, which
+//! [`crate::PackedDna`] exploits for storage.
+
+/// A single DNA base.
+///
+/// `N` represents an unknown/ambiguous base (assembly gaps in real
+/// chromosomes are runs of `N`). Following CUDAlign's convention, an `N`
+/// never matches anything — not even another `N` — so assembly gaps cannot
+/// inflate alignment scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Nucleotide {
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+    N = 4,
+}
+
+/// Number of distinct concrete bases (excluding `N`).
+pub const CONCRETE_BASES: usize = 4;
+
+/// Code value used for `N`.
+pub const N_CODE: u8 = 4;
+
+impl Nucleotide {
+    /// All concrete (non-`N`) bases in code order.
+    pub const CONCRETE: [Nucleotide; 4] =
+        [Nucleotide::A, Nucleotide::C, Nucleotide::G, Nucleotide::T];
+
+    /// Parse from an ASCII character (case-insensitive).
+    ///
+    /// Any IUPAC ambiguity code other than ACGT (R, Y, S, W, …) maps to `N`,
+    /// mirroring how megabase aligners treat ambiguous bases. Returns `None`
+    /// for characters that are not plausible sequence symbols.
+    #[inline]
+    pub fn from_ascii(c: u8) -> Option<Nucleotide> {
+        match c.to_ascii_uppercase() {
+            b'A' => Some(Nucleotide::A),
+            b'C' => Some(Nucleotide::C),
+            b'G' => Some(Nucleotide::G),
+            b'T' | b'U' => Some(Nucleotide::T),
+            // IUPAC ambiguity codes degrade to N.
+            b'N' | b'R' | b'Y' | b'S' | b'W' | b'K' | b'M' | b'B' | b'D' | b'H' | b'V' => {
+                Some(Nucleotide::N)
+            }
+            _ => None,
+        }
+    }
+
+    /// The numeric code (`0..=4`) consumed by the DP kernels.
+    #[inline(always)]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`Nucleotide::code`]. Codes `> 4` are invalid.
+    #[inline(always)]
+    pub fn from_code(code: u8) -> Option<Nucleotide> {
+        match code {
+            0 => Some(Nucleotide::A),
+            1 => Some(Nucleotide::C),
+            2 => Some(Nucleotide::G),
+            3 => Some(Nucleotide::T),
+            4 => Some(Nucleotide::N),
+            _ => None,
+        }
+    }
+
+    /// ASCII representation (uppercase).
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        match self {
+            Nucleotide::A => b'A',
+            Nucleotide::C => b'C',
+            Nucleotide::G => b'G',
+            Nucleotide::T => b'T',
+            Nucleotide::N => b'N',
+        }
+    }
+
+    /// Watson–Crick complement. `N` complements to `N`.
+    #[inline]
+    pub fn complement(self) -> Nucleotide {
+        match self {
+            Nucleotide::A => Nucleotide::T,
+            Nucleotide::C => Nucleotide::G,
+            Nucleotide::G => Nucleotide::C,
+            Nucleotide::T => Nucleotide::A,
+            Nucleotide::N => Nucleotide::N,
+        }
+    }
+
+    /// Is this a G or C? (Used for GC-content statistics.)
+    #[inline]
+    pub fn is_gc(self) -> bool {
+        matches!(self, Nucleotide::C | Nucleotide::G)
+    }
+
+    /// Is this a concrete base (not `N`)?
+    #[inline]
+    pub fn is_concrete(self) -> bool {
+        !matches!(self, Nucleotide::N)
+    }
+}
+
+impl std::fmt::Display for Nucleotide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+/// Complement of a raw base code, branch-free for the hot path.
+///
+/// Codes 0..=3 map via `3 - code` (A<->T, C<->G); code 4 (N) maps to itself.
+#[inline(always)]
+pub fn complement_code(code: u8) -> u8 {
+    if code < 4 {
+        3 - code
+    } else {
+        N_CODE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip() {
+        for n in [
+            Nucleotide::A,
+            Nucleotide::C,
+            Nucleotide::G,
+            Nucleotide::T,
+            Nucleotide::N,
+        ] {
+            assert_eq!(Nucleotide::from_code(n.code()), Some(n));
+        }
+        assert_eq!(Nucleotide::from_code(5), None);
+        assert_eq!(Nucleotide::from_code(255), None);
+    }
+
+    #[test]
+    fn ascii_roundtrip_upper_and_lower() {
+        for (c, n) in [
+            (b'A', Nucleotide::A),
+            (b'c', Nucleotide::C),
+            (b'G', Nucleotide::G),
+            (b't', Nucleotide::T),
+            (b'n', Nucleotide::N),
+        ] {
+            assert_eq!(Nucleotide::from_ascii(c), Some(n));
+        }
+        assert_eq!(Nucleotide::from_ascii(b'X'), None);
+        assert_eq!(Nucleotide::from_ascii(b'-'), None);
+        assert_eq!(Nucleotide::from_ascii(b' '), None);
+    }
+
+    #[test]
+    fn uracil_reads_as_thymine() {
+        assert_eq!(Nucleotide::from_ascii(b'U'), Some(Nucleotide::T));
+        assert_eq!(Nucleotide::from_ascii(b'u'), Some(Nucleotide::T));
+    }
+
+    #[test]
+    fn iupac_ambiguity_degrades_to_n() {
+        for c in [b'R', b'y', b'S', b'w', b'K', b'm', b'B', b'd', b'H', b'v'] {
+            assert_eq!(Nucleotide::from_ascii(c), Some(Nucleotide::N), "{}", c as char);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for n in Nucleotide::CONCRETE {
+            assert_eq!(n.complement().complement(), n);
+        }
+        assert_eq!(Nucleotide::N.complement(), Nucleotide::N);
+    }
+
+    #[test]
+    fn complement_code_matches_enum() {
+        for code in 0u8..=4 {
+            let n = Nucleotide::from_code(code).unwrap();
+            assert_eq!(complement_code(code), n.complement().code());
+        }
+    }
+
+    #[test]
+    fn gc_flags() {
+        assert!(Nucleotide::G.is_gc());
+        assert!(Nucleotide::C.is_gc());
+        assert!(!Nucleotide::A.is_gc());
+        assert!(!Nucleotide::T.is_gc());
+        assert!(!Nucleotide::N.is_gc());
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        assert_eq!(Nucleotide::A.to_string(), "A");
+        assert_eq!(Nucleotide::N.to_string(), "N");
+    }
+}

@@ -1,0 +1,378 @@
+//! Owned DNA sequence types.
+//!
+//! [`DnaSeq`] stores one base per byte (code `0..=4`) — the layout the DP
+//! kernels read — while [`PackedDna`] stores concrete bases at 2 bits each
+//! with an exception list for `N` runs, the layout used for "device memory"
+//! accounting and compact storage.
+
+use crate::alphabet::{complement_code, Nucleotide, N_CODE};
+
+/// An owned DNA sequence, one base code per byte.
+///
+/// The backing buffer contains only valid codes (`0..=4`); this invariant is
+/// maintained by every constructor, so the DP kernels can index scoring
+/// tables without bounds checks on the *value*.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    codes: Vec<u8>,
+}
+
+impl DnaSeq {
+    /// Empty sequence.
+    pub fn new() -> Self {
+        DnaSeq { codes: Vec::new() }
+    }
+
+    /// Create with pre-allocated capacity (in bases).
+    pub fn with_capacity(cap: usize) -> Self {
+        DnaSeq {
+            codes: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Build from raw codes. Returns `None` if any code is `> 4`.
+    pub fn from_codes(codes: Vec<u8>) -> Option<Self> {
+        if codes.iter().all(|&c| c <= N_CODE) {
+            Some(DnaSeq { codes })
+        } else {
+            None
+        }
+    }
+
+    /// Build from an ASCII byte string such as `b"ACGTN"`.
+    ///
+    /// Returns `Err(position)` of the first invalid character.
+    pub fn from_ascii(text: &[u8]) -> Result<Self, usize> {
+        let mut codes = Vec::with_capacity(text.len());
+        for (i, &c) in text.iter().enumerate() {
+            match Nucleotide::from_ascii(c) {
+                Some(n) => codes.push(n.code()),
+                None => return Err(i),
+            }
+        }
+        Ok(DnaSeq { codes })
+    }
+
+    /// Convenience constructor from a `&str` (panics on invalid characters;
+    /// intended for tests and examples).
+    pub fn from_str_unwrap(s: &str) -> Self {
+        Self::from_ascii(s.as_bytes())
+            .unwrap_or_else(|i| panic!("invalid DNA character at position {i} in {s:?}"))
+    }
+
+    /// Number of bases.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Is the sequence empty?
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The raw code slice (`0..=4` per base) consumed by the DP kernels.
+    #[inline(always)]
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Append one base.
+    #[inline]
+    pub fn push(&mut self, n: Nucleotide) {
+        self.codes.push(n.code());
+    }
+
+    /// Append raw codes (debug-asserts validity).
+    pub fn extend_codes(&mut self, codes: &[u8]) {
+        debug_assert!(codes.iter().all(|&c| c <= N_CODE));
+        self.codes.extend_from_slice(codes);
+    }
+
+    /// Base at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<Nucleotide> {
+        self.codes.get(i).map(|&c| {
+            Nucleotide::from_code(c).expect("DnaSeq invariant: codes are always valid")
+        })
+    }
+
+    /// Sub-sequence `[start, end)` as a new owned sequence.
+    pub fn slice(&self, start: usize, end: usize) -> DnaSeq {
+        DnaSeq {
+            codes: self.codes[start..end].to_vec(),
+        }
+    }
+
+    /// Reverse complement (the opposite strand read 5'→3').
+    pub fn reverse_complement(&self) -> DnaSeq {
+        let codes = self
+            .codes
+            .iter()
+            .rev()
+            .map(|&c| complement_code(c))
+            .collect();
+        DnaSeq { codes }
+    }
+
+    /// Reverse (without complement). Used by Myers–Miller, which aligns a
+    /// reversed suffix against a reversed suffix.
+    pub fn reversed(&self) -> DnaSeq {
+        let mut codes = self.codes.clone();
+        codes.reverse();
+        DnaSeq { codes }
+    }
+
+    /// Iterate over bases.
+    pub fn iter(&self) -> impl Iterator<Item = Nucleotide> + '_ {
+        self.codes
+            .iter()
+            .map(|&c| Nucleotide::from_code(c).expect("DnaSeq invariant"))
+    }
+
+    /// Render as an ASCII string (allocates; for small sequences/tests).
+    pub fn to_ascii_string(&self) -> String {
+        self.iter().map(|n| n.to_ascii() as char).collect()
+    }
+
+    /// Count of `N` bases.
+    pub fn n_count(&self) -> usize {
+        self.codes.iter().filter(|&&c| c == N_CODE).count()
+    }
+
+    /// GC fraction among concrete bases (0.0 if no concrete bases).
+    pub fn gc_fraction(&self) -> f64 {
+        let mut gc = 0usize;
+        let mut concrete = 0usize;
+        for &c in &self.codes {
+            if c < N_CODE {
+                concrete += 1;
+                if c == Nucleotide::C.code() || c == Nucleotide::G.code() {
+                    gc += 1;
+                }
+            }
+        }
+        if concrete == 0 {
+            0.0
+        } else {
+            gc as f64 / concrete as f64
+        }
+    }
+}
+
+impl std::fmt::Debug for DnaSeq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const PREVIEW: usize = 32;
+        if self.len() <= PREVIEW {
+            write!(f, "DnaSeq({})", self.to_ascii_string())
+        } else {
+            write!(
+                f,
+                "DnaSeq({}… len={})",
+                self.slice(0, PREVIEW).to_ascii_string(),
+                self.len()
+            )
+        }
+    }
+}
+
+impl FromIterator<Nucleotide> for DnaSeq {
+    fn from_iter<T: IntoIterator<Item = Nucleotide>>(iter: T) -> Self {
+        DnaSeq {
+            codes: iter.into_iter().map(|n| n.code()).collect(),
+        }
+    }
+}
+
+/// 2-bit packed DNA with an explicit list of `N` runs.
+///
+/// Concrete bases are stored 4 per byte. `N` positions are recorded as
+/// `(start, len)` runs — real chromosomes contain a small number of long `N`
+/// runs (assembly gaps), so this is far more compact than a per-base mask.
+/// This is the representation whose footprint we charge against simulated
+/// device memory in `megasw-gpusim`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PackedDna {
+    len: usize,
+    /// 2-bit codes, 4 bases per byte, little-endian within the byte
+    /// (base i occupies bits `(i % 4) * 2 ..`).
+    words: Vec<u8>,
+    /// Sorted, non-overlapping, non-adjacent `(start, len)` runs of `N`.
+    n_runs: Vec<(usize, usize)>,
+}
+
+impl PackedDna {
+    /// Pack a [`DnaSeq`].
+    pub fn pack(seq: &DnaSeq) -> PackedDna {
+        let len = seq.len();
+        let mut words = vec![0u8; len.div_ceil(4)];
+        let mut n_runs: Vec<(usize, usize)> = Vec::new();
+        for (i, &code) in seq.codes().iter().enumerate() {
+            let two_bit = if code == N_CODE {
+                match n_runs.last_mut() {
+                    Some((start, rl)) if *start + *rl == i => *rl += 1,
+                    _ => n_runs.push((i, 1)),
+                }
+                0 // N packs as A; the run list restores it on unpack.
+            } else {
+                code
+            };
+            words[i / 4] |= two_bit << ((i % 4) * 2);
+        }
+        PackedDna { len, words, n_runs }
+    }
+
+    /// Unpack to a [`DnaSeq`].
+    pub fn unpack(&self) -> DnaSeq {
+        let mut codes = Vec::with_capacity(self.len);
+        for i in 0..self.len {
+            codes.push((self.words[i / 4] >> ((i % 4) * 2)) & 0b11);
+        }
+        for &(start, rl) in &self.n_runs {
+            for c in codes.iter_mut().skip(start).take(rl) {
+                *c = N_CODE;
+            }
+        }
+        DnaSeq { codes }
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the sequence empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Storage footprint in bytes (what a device allocation would charge).
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() + self.n_runs.len() * std::mem::size_of::<(usize, usize)>()
+    }
+
+    /// Base at position `i` (slow path; for spot checks).
+    pub fn get(&self, i: usize) -> Option<Nucleotide> {
+        if i >= self.len {
+            return None;
+        }
+        for &(start, rl) in &self.n_runs {
+            if i >= start && i < start + rl {
+                return Some(Nucleotide::N);
+            }
+        }
+        let code = (self.words[i / 4] >> ((i % 4) * 2)) & 0b11;
+        Nucleotide::from_code(code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ascii_and_back() {
+        let s = DnaSeq::from_ascii(b"ACGTNacgtn").unwrap();
+        assert_eq!(s.to_ascii_string(), "ACGTNACGTN");
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.n_count(), 2);
+    }
+
+    #[test]
+    fn from_ascii_reports_error_position() {
+        assert_eq!(DnaSeq::from_ascii(b"ACGX"), Err(3));
+        assert_eq!(DnaSeq::from_ascii(b"-ACG"), Err(0));
+    }
+
+    #[test]
+    fn from_codes_validates() {
+        assert!(DnaSeq::from_codes(vec![0, 1, 2, 3, 4]).is_some());
+        assert!(DnaSeq::from_codes(vec![0, 5]).is_none());
+    }
+
+    #[test]
+    fn reverse_complement_small() {
+        let s = DnaSeq::from_str_unwrap("AACGTN");
+        assert_eq!(s.reverse_complement().to_ascii_string(), "NACGTT");
+    }
+
+    #[test]
+    fn reverse_complement_is_involution() {
+        let s = DnaSeq::from_str_unwrap("ACGTTGCANNNGAT");
+        assert_eq!(s.reverse_complement().reverse_complement(), s);
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        let s = DnaSeq::from_str_unwrap("ACGTN");
+        assert_eq!(s.reversed().to_ascii_string(), "NTGCA");
+        assert_eq!(s.reversed().reversed(), s);
+    }
+
+    #[test]
+    fn gc_fraction_ignores_n() {
+        let s = DnaSeq::from_str_unwrap("GCGCNNNN");
+        assert!((s.gc_fraction() - 1.0).abs() < 1e-12);
+        let t = DnaSeq::from_str_unwrap("ATGC");
+        assert!((t.gc_fraction() - 0.5).abs() < 1e-12);
+        let all_n = DnaSeq::from_str_unwrap("NNN");
+        assert_eq!(all_n.gc_fraction(), 0.0);
+    }
+
+    #[test]
+    fn slicing() {
+        let s = DnaSeq::from_str_unwrap("ACGTACGT");
+        assert_eq!(s.slice(2, 6).to_ascii_string(), "GTAC");
+        assert_eq!(s.slice(0, 0).len(), 0);
+    }
+
+    #[test]
+    fn pack_roundtrip_no_n() {
+        let s = DnaSeq::from_str_unwrap("ACGTACGTACG"); // length not multiple of 4
+        let p = PackedDna::pack(&s);
+        assert_eq!(p.unpack(), s);
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn pack_roundtrip_with_n_runs() {
+        let s = DnaSeq::from_str_unwrap("NNACGTNNNNTACGNN");
+        let p = PackedDna::pack(&s);
+        assert_eq!(p.unpack(), s);
+        // 3 N runs: [0,2), [6,10), [14,16)
+        assert_eq!(p.n_runs, vec![(0, 2), (6, 4), (14, 2)]);
+    }
+
+    #[test]
+    fn pack_empty() {
+        let s = DnaSeq::new();
+        let p = PackedDna::pack(&s);
+        assert!(p.is_empty());
+        assert_eq!(p.unpack(), s);
+    }
+
+    #[test]
+    fn packed_get_matches_unpacked() {
+        let s = DnaSeq::from_str_unwrap("ANCGTNNACGTA");
+        let p = PackedDna::pack(&s);
+        for i in 0..s.len() {
+            assert_eq!(p.get(i), s.get(i), "position {i}");
+        }
+        assert_eq!(p.get(s.len()), None);
+    }
+
+    #[test]
+    fn packed_is_four_times_smaller() {
+        let s = DnaSeq::from_codes(vec![0; 4000]).unwrap();
+        let p = PackedDna::pack(&s);
+        assert_eq!(p.packed_bytes(), 1000);
+    }
+
+    #[test]
+    fn debug_preview_truncates() {
+        let long = DnaSeq::from_codes(vec![0; 100]).unwrap();
+        let dbg = format!("{long:?}");
+        assert!(dbg.contains("len=100"));
+    }
+}

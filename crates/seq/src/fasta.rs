@@ -1,0 +1,247 @@
+//! Streaming FASTA I/O.
+//!
+//! Megabase chromosomes arrive as FASTA files; this module reads and writes
+//! them without ever holding the text form and the coded form in memory at
+//! the same time beyond one I/O buffer. Invalid characters are reported with
+//! line/column positions, and record handling tolerates the quirks found in
+//! real genome distributions (blank lines, Windows line endings, `>`
+//! descriptions with spaces).
+
+use crate::dna::DnaSeq;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// A FASTA record: the `>` header (without the marker) and the sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Text after `>` up to the first newline (may contain spaces).
+    pub header: String,
+    /// The decoded sequence.
+    pub seq: DnaSeq,
+}
+
+impl FastaRecord {
+    /// The record id — the header token before the first whitespace.
+    pub fn id(&self) -> &str {
+        self.header.split_whitespace().next().unwrap_or("")
+    }
+}
+
+/// Errors produced by the FASTA reader.
+#[derive(Debug)]
+pub enum FastaError {
+    Io(io::Error),
+    /// `(line, column, byte)` of the offending character (1-based line).
+    InvalidCharacter { line: usize, column: usize, byte: u8 },
+    /// Sequence data before any `>` header.
+    MissingHeader { line: usize },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::InvalidCharacter { line, column, byte } => write!(
+                f,
+                "invalid sequence character {:?} at line {line}, column {column}",
+                *byte as char
+            ),
+            FastaError::MissingHeader { line } => {
+                write!(f, "sequence data before any '>' header at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Read every record from a FASTA stream.
+pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
+    let mut records = Vec::new();
+    let mut current: Option<FastaRecord> = None;
+    let buf = BufReader::new(reader);
+
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end_matches('\r');
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('>') {
+            if let Some(rec) = current.take() {
+                records.push(rec);
+            }
+            current = Some(FastaRecord {
+                header: rest.trim().to_string(),
+                seq: DnaSeq::new(),
+            });
+        } else {
+            let rec = current.as_mut().ok_or(FastaError::MissingHeader {
+                line: line_no + 1,
+            })?;
+            for (col, &b) in line.as_bytes().iter().enumerate() {
+                match crate::alphabet::Nucleotide::from_ascii(b) {
+                    Some(n) => rec.seq.push(n),
+                    None => {
+                        return Err(FastaError::InvalidCharacter {
+                            line: line_no + 1,
+                            column: col + 1,
+                            byte: b,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    if let Some(rec) = current.take() {
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Read exactly one record; errors if the stream holds zero records, returns
+/// the first if it holds several (chromosome files have one record).
+pub fn read_single_fasta<R: Read>(reader: R) -> Result<FastaRecord, FastaError> {
+    let mut records = read_fasta(reader)?;
+    if records.is_empty() {
+        return Err(FastaError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "FASTA stream contains no records",
+        )));
+    }
+    Ok(records.remove(0))
+}
+
+/// Write records in FASTA format with the given line width.
+pub fn write_fasta<W: Write>(
+    mut writer: W,
+    records: &[FastaRecord],
+    line_width: usize,
+) -> io::Result<()> {
+    let width = line_width.max(1);
+    let mut line = Vec::with_capacity(width);
+    for rec in records {
+        writeln!(writer, ">{}", rec.header)?;
+        for chunk_start in (0..rec.seq.len()).step_by(width) {
+            let end = (chunk_start + width).min(rec.seq.len());
+            line.clear();
+            for i in chunk_start..end {
+                line.push(rec.seq.get(i).expect("in range").to_ascii());
+            }
+            writer.write_all(&line)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_single_record() {
+        let text = ">chr1 test chromosome\nACGT\nACGT\n";
+        let recs = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].header, "chr1 test chromosome");
+        assert_eq!(recs[0].id(), "chr1");
+        assert_eq!(recs[0].seq.to_ascii_string(), "ACGTACGT");
+    }
+
+    #[test]
+    fn parse_multi_record_with_blank_lines_and_crlf() {
+        let text = ">a\r\nACGT\r\n\r\n>b\r\nTTTT\r\nNN\r\n";
+        let recs = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq.to_ascii_string(), "ACGT");
+        assert_eq!(recs[1].seq.to_ascii_string(), "TTTTNN");
+    }
+
+    #[test]
+    fn lowercase_and_iupac_accepted() {
+        let text = ">x\nacgtry\n";
+        let recs = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs[0].seq.to_ascii_string(), "ACGTNN");
+    }
+
+    #[test]
+    fn invalid_character_position_reported() {
+        let text = ">x\nACGT\nAC!T\n";
+        match read_fasta(text.as_bytes()) {
+            Err(FastaError::InvalidCharacter { line, column, byte }) => {
+                assert_eq!((line, column, byte), (3, 3, b'!'));
+            }
+            other => panic!("expected InvalidCharacter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_before_header_rejected() {
+        let text = "ACGT\n>x\nACGT\n";
+        match read_fasta(text.as_bytes()) {
+            Err(FastaError::MissingHeader { line }) => assert_eq!(line, 1),
+            other => panic!("expected MissingHeader, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_gives_no_records() {
+        assert!(read_fasta(&b""[..]).unwrap().is_empty());
+        assert!(read_single_fasta(&b""[..]).is_err());
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let text = ">empty\n>full\nAC\n";
+        let recs = read_fasta(text.as_bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].seq.is_empty());
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let recs = vec![
+            FastaRecord {
+                header: "chrTest synthetic".to_string(),
+                seq: DnaSeq::from_str_unwrap("ACGTNACGTNACGTNACGTN"),
+            },
+            FastaRecord {
+                header: "second".to_string(),
+                seq: DnaSeq::from_str_unwrap("TTT"),
+            },
+        ];
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 7).unwrap();
+        let back = read_fasta(&out[..]).unwrap();
+        assert_eq!(back, recs);
+    }
+
+    #[test]
+    fn write_wraps_lines() {
+        let recs = vec![FastaRecord {
+            header: "w".to_string(),
+            seq: DnaSeq::from_str_unwrap("ACGTACGTAC"),
+        }];
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 4).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text, ">w\nACGT\nACGT\nAC\n");
+    }
+
+    #[test]
+    fn roundtrip_generated_chromosome() {
+        use crate::generate::{ChromosomeGenerator, GenerateConfig};
+        let seq = ChromosomeGenerator::new(GenerateConfig::sized(10_000, 15)).generate();
+        let recs = vec![FastaRecord { header: "gen".into(), seq: seq.clone() }];
+        let mut out = Vec::new();
+        write_fasta(&mut out, &recs, 60).unwrap();
+        let back = read_single_fasta(&out[..]).unwrap();
+        assert_eq!(back.seq, seq);
+    }
+}

@@ -1,0 +1,324 @@
+//! k-mer tooling: alignment-free similarity and dotplots.
+//!
+//! Before burning GPU-hours on a full Smith-Waterman pass, practitioners
+//! screen chromosome pairs with alignment-free statistics and eyeball a
+//! dotplot of shared k-mers. This module provides both: a [`KmerIndex`]
+//! over 2-bit packed k-mers (k ≤ 32), Jaccard similarity between k-mer
+//! sets, a diagonal-offset histogram that *estimates the alignment band*
+//! (feeding [`megasw_sw::banded`]-style banding), and an ASCII dotplot.
+
+use crate::dna::DnaSeq;
+use std::collections::HashMap;
+
+/// An index of every concrete k-mer of one sequence (k-mers containing `N`
+/// are skipped, mirroring how aligners seed).
+#[derive(Debug, Clone)]
+pub struct KmerIndex {
+    k: usize,
+    /// Packed k-mer → positions (0-based start).
+    map: HashMap<u64, Vec<u32>>,
+    total: usize,
+}
+
+impl KmerIndex {
+    /// Build the index. `k` must be within `1..=32`.
+    pub fn build(seq: &DnaSeq, k: usize) -> KmerIndex {
+        assert!((1..=32).contains(&k), "k must be within 1..=32");
+        let codes = seq.codes();
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut total = 0usize;
+
+        // Rolling 2-bit pack; any N resets the window.
+        let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mut packed: u64 = 0;
+        let mut valid = 0usize; // consecutive concrete bases ending here
+        for (pos, &c) in codes.iter().enumerate() {
+            if c >= 4 {
+                valid = 0;
+                continue;
+            }
+            packed = ((packed << 2) | c as u64) & mask;
+            valid += 1;
+            if valid >= k {
+                let start = pos + 1 - k;
+                map.entry(packed).or_default().push(start as u32);
+                total += 1;
+            }
+        }
+        KmerIndex { k, map, total }
+    }
+
+    /// k used to build the index.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of indexed k-mer occurrences.
+    pub fn total_kmers(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct k-mers.
+    pub fn distinct_kmers(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Positions of a packed k-mer (empty if absent).
+    pub fn positions(&self, packed: u64) -> &[u32] {
+        self.map.get(&packed).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterate `(packed, positions)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u32])> {
+        self.map.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+}
+
+/// Jaccard similarity of the two sequences' distinct k-mer sets.
+///
+/// ≈1 for near-identical sequences, ≈0 for unrelated ones; the classic
+/// sketch statistic (computed exactly here — no MinHash needed at these
+/// sizes).
+///
+/// ```
+/// use megasw_seq::kmer::jaccard;
+/// use megasw_seq::DnaSeq;
+///
+/// let a = DnaSeq::from_str_unwrap("ACGTACGTGGCCAATT");
+/// assert_eq!(jaccard(&a, &a, 8), 1.0);
+/// let unrelated = DnaSeq::from_str_unwrap("TTTTTTTTTTTTTTTT");
+/// assert_eq!(jaccard(&a, &unrelated, 8), 0.0);
+/// ```
+pub fn jaccard(a: &DnaSeq, b: &DnaSeq, k: usize) -> f64 {
+    let ia = KmerIndex::build(a, k);
+    let ib = KmerIndex::build(b, k);
+    let (small, large) = if ia.distinct_kmers() <= ib.distinct_kmers() {
+        (&ia, &ib)
+    } else {
+        (&ib, &ia)
+    };
+    let shared = small
+        .iter()
+        .filter(|(kmer, _)| !large.positions(*kmer).is_empty())
+        .count();
+    let union = ia.distinct_kmers() + ib.distinct_kmers() - shared;
+    if union == 0 {
+        0.0
+    } else {
+        shared as f64 / union as f64
+    }
+}
+
+/// Histogram of diagonal offsets `(pos_b − pos_a)` over shared k-mers,
+/// used to locate the alignment corridor. Returns `(offset, count)` pairs
+/// sorted by descending count. `max_per_kmer` bounds the positions
+/// considered per k-mer so repeats don't blow the product up.
+pub fn diagonal_histogram(
+    a: &DnaSeq,
+    b: &DnaSeq,
+    k: usize,
+    max_per_kmer: usize,
+) -> Vec<(i64, usize)> {
+    let ia = KmerIndex::build(a, k);
+    let ib = KmerIndex::build(b, k);
+    let mut hist: HashMap<i64, usize> = HashMap::new();
+    for (kmer, pos_a) in ia.iter() {
+        let pos_b = ib.positions(kmer);
+        if pos_b.is_empty() {
+            continue;
+        }
+        for &pa in pos_a.iter().take(max_per_kmer) {
+            for &pb in pos_b.iter().take(max_per_kmer) {
+                *hist.entry(pb as i64 - pa as i64).or_default() += 1;
+            }
+        }
+    }
+    let mut out: Vec<(i64, usize)> = hist.into_iter().collect();
+    out.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
+    out
+}
+
+/// Estimate a band `(lo, hi)` of diagonals that covers the bulk of the
+/// homology: the smallest offset window containing `coverage` (0–1] of the
+/// shared-k-mer mass, padded by `pad` diagonals each side.
+///
+/// Returns `None` when the sequences share no k-mers at all.
+pub fn estimate_band(
+    a: &DnaSeq,
+    b: &DnaSeq,
+    k: usize,
+    coverage: f64,
+    pad: usize,
+) -> Option<(i64, i64)> {
+    let mut hist = diagonal_histogram(a, b, k, 4);
+    if hist.is_empty() {
+        return None;
+    }
+    hist.sort_by_key(|&(off, _)| off);
+    let total: usize = hist.iter().map(|&(_, c)| c).sum();
+    let want = ((total as f64) * coverage.clamp(0.0, 1.0)).ceil() as usize;
+
+    // Two-pointer smallest window with ≥ want mass.
+    let mut best: Option<(i64, i64)> = None;
+    let mut acc = 0usize;
+    let mut lo = 0usize;
+    for hi in 0..hist.len() {
+        acc += hist[hi].1;
+        while acc - hist[lo].1 >= want {
+            acc -= hist[lo].1;
+            lo += 1;
+        }
+        if acc >= want {
+            let span = (hist[lo].0, hist[hi].0);
+            let better = match best {
+                None => true,
+                Some((blo, bhi)) => span.1 - span.0 < bhi - blo,
+            };
+            if better {
+                best = Some(span);
+            }
+        }
+    }
+    best.map(|(lo, hi)| (lo - pad as i64, hi + pad as i64))
+}
+
+/// ASCII dotplot: rows = windows of `a`, columns = windows of `b`; a cell
+/// darkens with the number of shared k-mers between its windows
+/// (` .:*#` ramp).
+pub fn dotplot(a: &DnaSeq, b: &DnaSeq, k: usize, width: usize, height: usize) -> String {
+    let width = width.clamp(2, 400);
+    let height = height.clamp(2, 400);
+    if a.is_empty() || b.is_empty() {
+        return String::new();
+    }
+    let ia = KmerIndex::build(a, k);
+    let ib = KmerIndex::build(b, k);
+    let mut counts = vec![vec![0usize; width]; height];
+    for (kmer, pos_a) in ia.iter() {
+        let pos_b = ib.positions(kmer);
+        if pos_b.is_empty() {
+            continue;
+        }
+        for &pa in pos_a.iter().take(4) {
+            let row = (pa as usize * height) / a.len().max(1);
+            for &pb in pos_b.iter().take(4) {
+                let col = (pb as usize * width) / b.len().max(1);
+                counts[row.min(height - 1)][col.min(width - 1)] += 1;
+            }
+        }
+    }
+    let max = counts
+        .iter()
+        .flat_map(|r| r.iter())
+        .copied()
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let ramp = [' ', '.', ':', '*', '#'];
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in &counts {
+        for &c in row {
+            let level = (c * (ramp.len() - 1)).div_ceil(max);
+            out.push(ramp[level.min(ramp.len() - 1)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ChromosomeGenerator, GenerateConfig};
+    use crate::mutate::DivergenceModel;
+
+    fn seq(s: &str) -> DnaSeq {
+        DnaSeq::from_str_unwrap(s)
+    }
+
+    #[test]
+    fn index_counts_kmers() {
+        let s = seq("ACGTACGT");
+        let idx = KmerIndex::build(&s, 4);
+        assert_eq!(idx.total_kmers(), 5);
+        // ACGT occurs at 0 and 4.
+        let packed = 0b00_01_10_11; // A C G T
+        assert_eq!(idx.positions(packed), &[0, 4]);
+        assert_eq!(idx.k(), 4);
+    }
+
+    #[test]
+    fn n_breaks_kmers() {
+        let s = seq("ACGNACG");
+        let idx = KmerIndex::build(&s, 3);
+        // Only ACG (twice); windows crossing N are skipped.
+        assert_eq!(idx.total_kmers(), 2);
+        assert_eq!(idx.distinct_kmers(), 1);
+    }
+
+    #[test]
+    fn jaccard_extremes() {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(5_000, 1)).generate();
+        assert!((jaccard(&a, &a, 16) - 1.0).abs() < 1e-12);
+        let b = ChromosomeGenerator::new(GenerateConfig::uniform(5_000, 2)).generate();
+        assert!(jaccard(&a, &b, 16) < 0.01);
+    }
+
+    #[test]
+    fn jaccard_tracks_divergence() {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(20_000, 3)).generate();
+        let (close, _) = DivergenceModel::snp_only(4, 0.01).apply(&a);
+        let (far, _) = DivergenceModel::snp_only(5, 0.10).apply(&a);
+        let j_close = jaccard(&a, &close, 16);
+        let j_far = jaccard(&a, &far, 16);
+        assert!(j_close > j_far, "{j_close} vs {j_far}");
+        assert!(j_close > 0.6);
+    }
+
+    #[test]
+    fn diagonal_histogram_peaks_at_known_shift() {
+        // b = a shifted right by 100 bases.
+        let core = ChromosomeGenerator::new(GenerateConfig::uniform(3_000, 7)).generate();
+        let mut b = ChromosomeGenerator::new(GenerateConfig::uniform(100, 8)).generate();
+        b.extend_codes(core.codes());
+        let hist = diagonal_histogram(&core, &b, 16, 4);
+        assert_eq!(hist[0].0, 100, "top offset should be the planted shift");
+    }
+
+    #[test]
+    fn estimate_band_covers_planted_shift() {
+        let core = ChromosomeGenerator::new(GenerateConfig::uniform(3_000, 9)).generate();
+        let mut b = ChromosomeGenerator::new(GenerateConfig::uniform(250, 10)).generate();
+        b.extend_codes(core.codes());
+        let (lo, hi) = estimate_band(&core, &b, 16, 0.9, 16).unwrap();
+        assert!(lo <= 250 && 250 <= hi, "band ({lo}, {hi}) misses offset 250");
+        assert!(hi - lo < 600, "band ({lo}, {hi}) too wide");
+    }
+
+    #[test]
+    fn estimate_band_none_for_unrelated() {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(500, 11)).generate();
+        let b = DnaSeq::from_codes(vec![4; 500]).unwrap(); // all N
+        assert_eq!(estimate_band(&a, &b, 16, 0.9, 8), None);
+    }
+
+    #[test]
+    fn dotplot_shows_diagonal_for_self_comparison() {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(4_000, 12)).generate();
+        let plot = dotplot(&a, &a, 16, 20, 20);
+        let lines: Vec<&str> = plot.lines().collect();
+        assert_eq!(lines.len(), 20);
+        // The main diagonal should be the darkest cells.
+        for (r, line) in lines.iter().enumerate() {
+            let c = line.chars().nth(r).unwrap();
+            assert!(c == '#' || c == '*', "diagonal cell ({r},{r}) = {c:?}\n{plot}");
+        }
+    }
+
+    #[test]
+    fn dotplot_empty_inputs() {
+        let a = DnaSeq::new();
+        let b = seq("ACGT");
+        assert_eq!(dotplot(&a, &b, 4, 10, 10), "");
+    }
+}

@@ -1,0 +1,39 @@
+//! # megasw-seq — DNA sequences for megabase Smith-Waterman
+//!
+//! This crate is the *data substrate* of the `megasw` workspace. The PPoPP'14
+//! paper compares four pairs of human–chimpanzee homologous chromosomes; those
+//! FASTA files are not redistributable, so this crate provides:
+//!
+//! * [`Nucleotide`] / [`DnaSeq`] — a compact DNA representation whose code
+//!   values are consumed directly by the dynamic-programming kernels in
+//!   `megasw-sw`;
+//! * [`PackedDna`] — a 2-bit packed storage form used for on-"device" residency
+//!   accounting and I/O;
+//! * [`generate`] — a seeded synthetic chromosome generator with realistic GC
+//!   content and repeat structure;
+//! * [`mutate`] — an evolutionary divergence channel (SNPs, indels, segmental
+//!   events, inversions) that derives a "chimpanzee" homolog from a "human"
+//!   ancestor at a configurable divergence (default ≈ human–chimp);
+//! * [`pair`] — the catalog of benchmark chromosome pairs mirroring the
+//!   paper's Table 1 (at scaled sizes);
+//! * [`fasta`] — streaming FASTA reader/writer so real chromosomes can be used
+//!   whenever they are available.
+//!
+//! Everything is deterministic: all generators take explicit seeds and use a
+//! portable ChaCha RNG, so every experiment in the workspace is reproducible
+//! bit-for-bit.
+
+pub mod alphabet;
+pub mod dna;
+pub mod fasta;
+pub mod generate;
+pub mod kmer;
+pub mod mutate;
+pub mod pair;
+pub mod stats;
+
+pub use alphabet::Nucleotide;
+pub use dna::{DnaSeq, PackedDna};
+pub use generate::{ChromosomeGenerator, GenerateConfig};
+pub use mutate::{DivergenceModel, DivergenceSummary};
+pub use pair::{ChromosomePair, PairCatalog, PairSpec};

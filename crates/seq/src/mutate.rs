@@ -1,0 +1,334 @@
+//! Evolutionary divergence channel.
+//!
+//! The paper compares *homologous* chromosomes — human vs chimpanzee copies
+//! descended from the same ancestral sequence, ≈98.8% identical in aligned
+//! regions, with indels accounting for most of the remaining divergence.
+//! [`DivergenceModel::apply`] turns a generated "ancestor" chromosome into a
+//! derived homolog by drawing substitutions, short indels, segmental
+//! insertions/deletions and inversions, so that the resulting pair exercises
+//! the same SW score structure as the real data: one dominant near-diagonal
+//! alignment band with local disruptions.
+
+use crate::dna::DnaSeq;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the divergence channel.
+#[derive(Debug, Clone)]
+pub struct DivergenceModel {
+    /// RNG seed for the mutation draw.
+    pub seed: u64,
+    /// Per-base substitution probability (human–chimp ≈ 0.012).
+    pub snp_rate: f64,
+    /// Per-base probability of starting a short indel (≈ 0.0008).
+    pub short_indel_rate: f64,
+    /// Geometric-distribution parameter for short indel length (mean ≈ 1/p).
+    pub short_indel_p: f64,
+    /// Number of large segmental events (kilobase insertions/deletions).
+    pub segmental_events: usize,
+    /// Mean length of a segmental event.
+    pub segmental_len: usize,
+    /// Number of inversions.
+    pub inversions: usize,
+    /// Mean inversion length.
+    pub inversion_len: usize,
+}
+
+impl DivergenceModel {
+    /// Human–chimpanzee-like divergence (≈1.2% SNPs + indels ≈3% by length).
+    pub fn human_chimp(seed: u64) -> Self {
+        DivergenceModel {
+            seed,
+            snp_rate: 0.012,
+            short_indel_rate: 0.0008,
+            short_indel_p: 0.35,
+            segmental_events: 4,
+            segmental_len: 8_000,
+            inversions: 1,
+            inversion_len: 20_000,
+        }
+    }
+
+    /// Human–chimp divergence with segmental/inversion event lengths scaled
+    /// to the ancestor's length, so the same *proportional* rearrangement
+    /// load applies whether the input is 20 KBP or 50 MBP. At
+    /// `ancestor_len ≥ 1 MBP` this equals [`DivergenceModel::human_chimp`].
+    pub fn human_chimp_scaled(seed: u64, ancestor_len: usize) -> Self {
+        let scale = (ancestor_len as f64 / 1_000_000.0).min(1.0);
+        let base = Self::human_chimp(seed);
+        DivergenceModel {
+            segmental_len: ((base.segmental_len as f64 * scale) as usize).max(40),
+            inversion_len: ((base.inversion_len as f64 * scale) as usize).max(60),
+            ..base
+        }
+    }
+
+    /// Human–chimp-like divergence scaled for kilobase test sequences: the
+    /// same event mix as [`DivergenceModel::human_chimp`] with segmental
+    /// events two orders of magnitude shorter, so small inputs keep their
+    /// approximate length instead of being swallowed by one multi-kilobase
+    /// deletion.
+    pub fn test_scale(seed: u64) -> Self {
+        DivergenceModel {
+            seed,
+            snp_rate: 0.012,
+            short_indel_rate: 0.0008,
+            short_indel_p: 0.35,
+            segmental_events: 2,
+            segmental_len: 60,
+            inversions: 1,
+            inversion_len: 80,
+        }
+    }
+
+    /// Substitutions only (no length changes) — keeps coordinates aligned,
+    /// which is convenient for tests that need a known identity level.
+    pub fn snp_only(seed: u64, snp_rate: f64) -> Self {
+        DivergenceModel {
+            seed,
+            snp_rate,
+            short_indel_rate: 0.0,
+            short_indel_p: 0.5,
+            segmental_events: 0,
+            segmental_len: 0,
+            inversions: 0,
+            inversion_len: 0,
+        }
+    }
+
+    /// No mutation at all (identity channel).
+    pub fn identity(seed: u64) -> Self {
+        Self::snp_only(seed, 0.0)
+    }
+
+    /// Apply the channel to `ancestor`, returning the derived homolog and a
+    /// summary of the events drawn.
+    pub fn apply(&self, ancestor: &DnaSeq) -> (DnaSeq, DivergenceSummary) {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut summary = DivergenceSummary::default();
+        let src = ancestor.codes();
+        let mut out: Vec<u8> = Vec::with_capacity(src.len() + src.len() / 16);
+
+        // Pass 1: per-base channel (substitutions + short indels).
+        let mut i = 0usize;
+        while i < src.len() {
+            let base = src[i];
+            let roll: f64 = rng.gen();
+            if roll < self.short_indel_rate {
+                // Insertion or deletion with equal probability.
+                let len = sample_geometric(&mut rng, self.short_indel_p).max(1);
+                if rng.gen::<bool>() {
+                    // Insertion of `len` random bases before this base.
+                    for _ in 0..len {
+                        out.push(rng.gen_range(0..4u8));
+                    }
+                    summary.insertions += 1;
+                    summary.inserted_bases += len;
+                    // The current base is still emitted below.
+                    out.push(mutate_base(&mut rng, base, self.snp_rate, &mut summary));
+                    i += 1;
+                } else {
+                    // Deletion of `len` bases starting here.
+                    let del = len.min(src.len() - i);
+                    summary.deletions += 1;
+                    summary.deleted_bases += del;
+                    i += del;
+                }
+            } else {
+                out.push(mutate_base(&mut rng, base, self.snp_rate, &mut summary));
+                i += 1;
+            }
+        }
+
+        // Pass 2: segmental events.
+        for _ in 0..self.segmental_events {
+            if out.is_empty() || self.segmental_len == 0 {
+                break;
+            }
+            let len = (self.segmental_len / 2 + rng.gen_range(0..=self.segmental_len)).max(1);
+            if rng.gen::<bool>() {
+                // Segmental deletion.
+                let len = len.min(out.len());
+                let start = rng.gen_range(0..=out.len() - len);
+                out.drain(start..start + len);
+                summary.segmental_deletions += 1;
+                summary.deleted_bases += len;
+            } else {
+                // Segmental duplication: copy an existing window elsewhere
+                // (more realistic than random insertion — duplications create
+                // the off-diagonal similarity real aligners see).
+                let len = len.min(out.len());
+                let src_start = rng.gen_range(0..=out.len() - len);
+                let dup: Vec<u8> = out[src_start..src_start + len].to_vec();
+                let dst = rng.gen_range(0..=out.len());
+                out.splice(dst..dst, dup);
+                summary.segmental_duplications += 1;
+                summary.inserted_bases += len;
+            }
+        }
+
+        // Pass 3: inversions (reverse-complement a window in place).
+        for _ in 0..self.inversions {
+            if out.len() < 2 || self.inversion_len == 0 {
+                break;
+            }
+            let len = (self.inversion_len / 2 + rng.gen_range(0..=self.inversion_len))
+                .max(2)
+                .min(out.len());
+            let start = rng.gen_range(0..=out.len() - len);
+            let window: Vec<u8> = out[start..start + len]
+                .iter()
+                .rev()
+                .map(|&c| crate::alphabet::complement_code(c))
+                .collect();
+            out[start..start + len].copy_from_slice(&window);
+            summary.inversions += 1;
+            summary.inverted_bases += len;
+        }
+
+        (
+            DnaSeq::from_codes(out).expect("mutation emits only valid codes"),
+            summary,
+        )
+    }
+}
+
+/// Substitute with probability `rate`; N passes through untouched.
+fn mutate_base(
+    rng: &mut ChaCha8Rng,
+    base: u8,
+    rate: f64,
+    summary: &mut DivergenceSummary,
+) -> u8 {
+    if base >= 4 || rate == 0.0 || rng.gen::<f64>() >= rate {
+        return base;
+    }
+    summary.substitutions += 1;
+    // Draw one of the three *other* bases.
+    let offset = rng.gen_range(1..4u8);
+    (base + offset) % 4
+}
+
+/// Geometric sample: number of Bernoulli(p) failures before first success,
+/// plus one. Mean = 1/p.
+fn sample_geometric(rng: &mut ChaCha8Rng, p: f64) -> usize {
+    let p = p.clamp(1e-6, 1.0);
+    let mut n = 1;
+    while rng.gen::<f64>() > p && n < 10_000 {
+        n += 1;
+    }
+    n
+}
+
+/// Counts of the mutation events applied by [`DivergenceModel::apply`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DivergenceSummary {
+    pub substitutions: usize,
+    pub insertions: usize,
+    pub inserted_bases: usize,
+    pub deletions: usize,
+    pub deleted_bases: usize,
+    pub segmental_deletions: usize,
+    pub segmental_duplications: usize,
+    pub inversions: usize,
+    pub inverted_bases: usize,
+}
+
+impl DivergenceSummary {
+    /// Approximate fraction of positions affected by point substitutions,
+    /// relative to `ancestor_len`.
+    pub fn snp_fraction(&self, ancestor_len: usize) -> f64 {
+        if ancestor_len == 0 {
+            0.0
+        } else {
+            self.substitutions as f64 / ancestor_len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ChromosomeGenerator, GenerateConfig};
+
+    fn ancestor(len: usize) -> DnaSeq {
+        ChromosomeGenerator::new(GenerateConfig::uniform(len, 77)).generate()
+    }
+
+    #[test]
+    fn identity_channel_is_identity() {
+        let a = ancestor(20_000);
+        let (b, s) = DivergenceModel::identity(1).apply(&a);
+        assert_eq!(a, b);
+        assert_eq!(s, DivergenceSummary::default());
+    }
+
+    #[test]
+    fn snp_only_preserves_length() {
+        let a = ancestor(50_000);
+        let (b, s) = DivergenceModel::snp_only(3, 0.02).apply(&a);
+        assert_eq!(a.len(), b.len());
+        let frac = s.snp_fraction(a.len());
+        assert!((frac - 0.02).abs() < 0.005, "snp fraction = {frac}");
+        assert_eq!(s.insertions + s.deletions, 0);
+    }
+
+    #[test]
+    fn snp_only_changes_exactly_substituted_positions() {
+        let a = ancestor(30_000);
+        let (b, s) = DivergenceModel::snp_only(5, 0.01).apply(&a);
+        let diff = a
+            .codes()
+            .iter()
+            .zip(b.codes())
+            .filter(|(x, y)| x != y)
+            .count();
+        assert_eq!(diff, s.substitutions);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = ancestor(40_000);
+        let m = DivergenceModel::human_chimp(9);
+        let (b1, s1) = m.apply(&a);
+        let (b2, s2) = m.apply(&a);
+        assert_eq!(b1, b2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn human_chimp_divergence_in_expected_range() {
+        let a = ancestor(200_000);
+        let (b, s) = DivergenceModel::human_chimp(13).apply(&a);
+        // Length should stay within a few percent of the ancestor.
+        let ratio = b.len() as f64 / a.len() as f64;
+        assert!((0.85..=1.15).contains(&ratio), "length ratio = {ratio}");
+        let frac = s.snp_fraction(a.len());
+        assert!((0.008..=0.016).contains(&frac), "snp fraction = {frac}");
+        assert!(s.insertions > 0 && s.deletions > 0);
+    }
+
+    #[test]
+    fn n_bases_pass_through_unsubstituted() {
+        let a = DnaSeq::from_codes(vec![4; 5_000]).unwrap();
+        let (b, s) = DivergenceModel::snp_only(21, 0.5).apply(&a);
+        assert_eq!(s.substitutions, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_ancestor_is_fine() {
+        let a = DnaSeq::new();
+        let (b, _) = DivergenceModel::human_chimp(2).apply(&a);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn geometric_mean_close_to_inverse_p() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_geometric(&mut rng, 0.25)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.25, "mean = {mean}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Benchmark chromosome pairs (the paper's Table 1 analogue).
+//!
+//! The PPoPP'14 evaluation compares **four pairs of human–chimpanzee
+//! homologous chromosomes**. Their identities are not recoverable from the
+//! abstract, so the catalog below defines four synthetic pairs whose *size
+//! ratios and divergence* mimic homologous chromosome pairs. The default
+//! catalog is scaled down (1–5 MBP) so the whole evaluation runs on CPU-hosted
+//! DP in minutes; [`PairCatalog::paper_scale`] produces the tens-of-MBP
+//! variants when you have hours to spare.
+
+use crate::dna::DnaSeq;
+use crate::generate::{ChromosomeGenerator, GenerateConfig};
+use crate::mutate::{DivergenceModel, DivergenceSummary};
+
+/// Specification of one homologous pair.
+#[derive(Debug, Clone)]
+pub struct PairSpec {
+    /// Short name used in tables ("chrA" …).
+    pub name: &'static str,
+    /// Length of the "human" copy, in bases.
+    pub human_len: usize,
+    /// Target length of the "chimp" copy (achieved approximately, via the
+    /// divergence channel's indel balance).
+    pub chimp_len: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl PairSpec {
+    /// Matrix cell count (human_len × chimp_len) — the work unit behind
+    /// GCUPS figures.
+    pub fn cells(&self) -> u128 {
+        self.human_len as u128 * self.chimp_len as u128
+    }
+}
+
+/// A materialized homologous pair.
+#[derive(Debug, Clone)]
+pub struct ChromosomePair {
+    pub spec: PairSpec,
+    /// The "human" chromosome (DP matrix rows / query).
+    pub human: DnaSeq,
+    /// The "chimpanzee" homolog (DP matrix columns / database).
+    pub chimp: DnaSeq,
+    /// The mutation events that produced `chimp` from the ancestor.
+    pub divergence: DivergenceSummary,
+}
+
+impl ChromosomePair {
+    /// Generate a pair from its spec.
+    ///
+    /// The "human" copy is the generated ancestor itself; the "chimp" copy is
+    /// the ancestor passed through a human–chimp divergence channel and then
+    /// trimmed/extended toward `chimp_len` (trim from the end, or append
+    /// fresh sequence — telomeric drift).
+    pub fn generate(spec: PairSpec) -> ChromosomePair {
+        let human = ChromosomeGenerator::new(GenerateConfig::sized(spec.human_len, spec.seed))
+            .generate();
+        let (mut chimp, divergence) = DivergenceModel::human_chimp_scaled(
+            spec.seed.wrapping_mul(0x9E37_79B9),
+            spec.human_len,
+        )
+        .apply(&human);
+
+        // Nudge toward the target chimp length.
+        match chimp.len().cmp(&spec.chimp_len) {
+            std::cmp::Ordering::Greater => {
+                chimp = chimp.slice(0, spec.chimp_len);
+            }
+            std::cmp::Ordering::Less => {
+                let tail_len = spec.chimp_len - chimp.len();
+                let tail = ChromosomeGenerator::new(GenerateConfig::sized(
+                    tail_len,
+                    spec.seed.wrapping_add(0xDEAD_BEEF),
+                ))
+                .generate();
+                chimp.extend_codes(tail.codes());
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+
+        ChromosomePair {
+            spec,
+            human,
+            chimp,
+            divergence,
+        }
+    }
+
+    /// Matrix cell count for this concrete pair.
+    pub fn cells(&self) -> u128 {
+        self.human.len() as u128 * self.chimp.len() as u128
+    }
+}
+
+/// The catalog of benchmark pairs.
+#[derive(Debug, Clone)]
+pub struct PairCatalog {
+    pub specs: Vec<PairSpec>,
+}
+
+impl PairCatalog {
+    /// Scaled-down default catalog: 4 pairs, 1–5 MBP.
+    ///
+    /// | name | human | chimp |
+    /// |------|-------|-------|
+    /// | chrA | 1.0 M | 1.0 M |
+    /// | chrB | 2.0 M | 2.1 M |
+    /// | chrC | 3.0 M | 2.9 M |
+    /// | chrD | 5.0 M | 5.2 M |
+    pub fn default_scale() -> Self {
+        PairCatalog {
+            specs: vec![
+                PairSpec { name: "chrA", human_len: 1_000_000, chimp_len: 1_000_000, seed: 101 },
+                PairSpec { name: "chrB", human_len: 2_000_000, chimp_len: 2_100_000, seed: 102 },
+                PairSpec { name: "chrC", human_len: 3_000_000, chimp_len: 2_900_000, seed: 103 },
+                PairSpec { name: "chrD", human_len: 5_000_000, chimp_len: 5_200_000, seed: 104 },
+            ],
+        }
+    }
+
+    /// Paper-scale catalog (tens of MBP, like chr21/chr22/chrY-class inputs).
+    /// Only use with the discrete-event backend or a lot of patience.
+    pub fn paper_scale() -> Self {
+        PairCatalog {
+            specs: vec![
+                PairSpec { name: "chr22", human_len: 24_000_000, chimp_len: 24_700_000, seed: 201 },
+                PairSpec { name: "chr21", human_len: 33_000_000, chimp_len: 32_100_000, seed: 202 },
+                PairSpec { name: "chrY",  human_len: 26_000_000, chimp_len: 25_200_000, seed: 203 },
+                PairSpec { name: "chr19", human_len: 47_000_000, chimp_len: 49_000_000, seed: 204 },
+            ],
+        }
+    }
+
+    /// Tiny catalog for unit/integration tests (tens of KBP).
+    pub fn test_scale() -> Self {
+        PairCatalog {
+            specs: vec![
+                PairSpec { name: "tinyA", human_len: 12_000, chimp_len: 12_000, seed: 301 },
+                PairSpec { name: "tinyB", human_len: 18_000, chimp_len: 20_000, seed: 302 },
+                PairSpec { name: "tinyC", human_len: 26_000, chimp_len: 24_000, seed: 303 },
+                PairSpec { name: "tinyD", human_len: 32_000, chimp_len: 32_000, seed: 304 },
+            ],
+        }
+    }
+
+    /// Look a spec up by name.
+    pub fn get(&self, name: &str) -> Option<&PairSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// Generate every pair (expensive at default scale; benches cache these).
+    pub fn generate_all(&self) -> Vec<ChromosomePair> {
+        self.specs.iter().cloned().map(ChromosomePair::generate).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_four_pairs_like_the_paper() {
+        assert_eq!(PairCatalog::default_scale().specs.len(), 4);
+        assert_eq!(PairCatalog::paper_scale().specs.len(), 4);
+        assert_eq!(PairCatalog::test_scale().specs.len(), 4);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let cat = PairCatalog::default_scale();
+        assert!(cat.get("chrB").is_some());
+        assert!(cat.get("nope").is_none());
+    }
+
+    #[test]
+    fn generated_pair_hits_exact_lengths() {
+        let spec = PairSpec { name: "t", human_len: 30_000, chimp_len: 32_000, seed: 5 };
+        let pair = ChromosomePair::generate(spec);
+        assert_eq!(pair.human.len(), 30_000);
+        assert_eq!(pair.chimp.len(), 32_000);
+        assert_eq!(pair.cells(), 30_000u128 * 32_000u128);
+    }
+
+    #[test]
+    fn generated_pair_hits_exact_lengths_when_trimming() {
+        // chimp shorter than human forces the trim path.
+        let spec = PairSpec { name: "t", human_len: 30_000, chimp_len: 24_000, seed: 6 };
+        let pair = ChromosomePair::generate(spec);
+        assert_eq!(pair.chimp.len(), 24_000);
+    }
+
+    #[test]
+    fn pair_members_are_highly_similar_but_not_identical() {
+        let spec = PairSpec { name: "t", human_len: 50_000, chimp_len: 50_000, seed: 8 };
+        let pair = ChromosomePair::generate(spec);
+        assert_ne!(pair.human, pair.chimp);
+        assert!(pair.divergence.substitutions > 0);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = PairSpec { name: "t", human_len: 25_000, chimp_len: 26_000, seed: 12 };
+        let a = ChromosomePair::generate(spec.clone());
+        let b = ChromosomePair::generate(spec);
+        assert_eq!(a.human, b.human);
+        assert_eq!(a.chimp, b.chimp);
+    }
+
+    #[test]
+    fn spec_cells_uses_wide_arithmetic() {
+        let spec = PairSpec { name: "big", human_len: 47_000_000, chimp_len: 49_000_000, seed: 0 };
+        assert_eq!(spec.cells(), 47_000_000u128 * 49_000_000u128);
+    }
+}

@@ -1,0 +1,128 @@
+//! Sequence statistics used by tests, the benchmark harness and Table 1.
+
+use crate::dna::DnaSeq;
+
+/// Composition and structure summary of one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeqStats {
+    pub len: usize,
+    pub counts: [usize; 5],
+    pub gc_fraction: f64,
+    /// Number of maximal runs of `N`.
+    pub n_runs: usize,
+    /// Length of the longest homopolymer run (same concrete base repeated).
+    pub longest_homopolymer: usize,
+}
+
+/// Compute [`SeqStats`] in a single pass.
+pub fn seq_stats(seq: &DnaSeq) -> SeqStats {
+    let mut counts = [0usize; 5];
+    let mut n_runs = 0usize;
+    let mut longest_homopolymer = 0usize;
+    let mut run_len = 0usize;
+    let mut prev: Option<u8> = None;
+
+    for &c in seq.codes() {
+        counts[c as usize] += 1;
+        if c == 4 {
+            if prev != Some(4) {
+                n_runs += 1;
+            }
+            run_len = 0;
+        } else if prev == Some(c) {
+            run_len += 1;
+            longest_homopolymer = longest_homopolymer.max(run_len);
+        } else {
+            run_len = 1;
+            longest_homopolymer = longest_homopolymer.max(1);
+        }
+        prev = Some(c);
+    }
+
+    let concrete = counts[0] + counts[1] + counts[2] + counts[3];
+    let gc_fraction = if concrete == 0 {
+        0.0
+    } else {
+        (counts[1] + counts[2]) as f64 / concrete as f64
+    };
+
+    SeqStats {
+        len: seq.len(),
+        counts,
+        gc_fraction,
+        n_runs,
+        longest_homopolymer,
+    }
+}
+
+/// Fraction of positions where `a` and `b` carry the same concrete base,
+/// over the overlapping prefix. This is an *ungapped* identity — a cheap
+/// proxy used to sanity-check divergence models (a gapped identity would
+/// require the alignment this workspace exists to compute).
+pub fn ungapped_identity(a: &DnaSeq, b: &DnaSeq) -> f64 {
+    let n = a.len().min(b.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let same = a.codes()[..n]
+        .iter()
+        .zip(&b.codes()[..n])
+        .filter(|(x, y)| x == y && **x < 4)
+        .count();
+    same as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{ChromosomeGenerator, GenerateConfig};
+    use crate::mutate::DivergenceModel;
+
+    #[test]
+    fn stats_of_known_string() {
+        let s = DnaSeq::from_str_unwrap("AAACCGTNNNTA");
+        let st = seq_stats(&s);
+        assert_eq!(st.len, 12);
+        assert_eq!(st.counts, [4, 2, 1, 2, 3]); // A=4 (AAA + final A), C=2, G=1, T=2, N=3
+        assert_eq!(st.n_runs, 1);
+        assert_eq!(st.longest_homopolymer, 3);
+        assert!((st.gc_fraction - 3.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_runs_counted_as_maximal_runs() {
+        let s = DnaSeq::from_str_unwrap("NNANNNAN");
+        assert_eq!(seq_stats(&s).n_runs, 3);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let st = seq_stats(&DnaSeq::new());
+        assert_eq!(st.len, 0);
+        assert_eq!(st.n_runs, 0);
+        assert_eq!(st.longest_homopolymer, 0);
+        assert_eq!(st.gc_fraction, 0.0);
+    }
+
+    #[test]
+    fn identity_of_identical_sequences_is_one() {
+        let s = DnaSeq::from_str_unwrap("ACGTACGT");
+        assert!((ungapped_identity(&s, &s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_counts_only_concrete_matches() {
+        let a = DnaSeq::from_str_unwrap("NNAA");
+        let b = DnaSeq::from_str_unwrap("NNAT");
+        // Positions: N-N (not counted), N-N, A-A (match), A-T.
+        assert!((ungapped_identity(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snp_channel_identity_close_to_expected() {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(100_000, 31)).generate();
+        let (b, _) = DivergenceModel::snp_only(7, 0.05).apply(&a);
+        let id = ungapped_identity(&a, &b);
+        assert!((id - 0.95).abs() < 0.01, "identity = {id}");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the sequence substrate.
+
+use megasw_seq::fasta::{read_fasta, write_fasta, FastaRecord};
+use megasw_seq::stats::seq_stats;
+use megasw_seq::{
+    ChromosomeGenerator, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide, PackedDna,
+};
+use proptest::prelude::*;
+
+/// Arbitrary DNA sequence as raw codes (0..=4).
+fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=4, 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn packing_roundtrips(codes in dna_codes(2_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let packed = PackedDna::pack(&seq);
+        prop_assert_eq!(packed.unpack(), seq);
+    }
+
+    #[test]
+    fn packed_random_access_matches(codes in dna_codes(500)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let packed = PackedDna::pack(&seq);
+        for i in 0..seq.len() {
+            prop_assert_eq!(packed.get(i), seq.get(i));
+        }
+        prop_assert_eq!(packed.get(seq.len()), None);
+    }
+
+    #[test]
+    fn packed_is_at_most_a_quarter_plus_runs(codes in dna_codes(4_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let packed = PackedDna::pack(&seq);
+        // 2 bits/base plus 16 bytes per N run; never larger than the
+        // unpacked form for realistic N densities is NOT guaranteed for
+        // adversarial alternating N patterns, but the word payload is.
+        prop_assert!(packed.packed_bytes() >= seq.len().div_ceil(4));
+    }
+
+    #[test]
+    fn reverse_complement_involution(codes in dna_codes(1_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq.clone());
+        prop_assert_eq!(seq.reversed().reversed(), seq.clone());
+        prop_assert_eq!(seq.reverse_complement().len(), seq.len());
+    }
+
+    #[test]
+    fn reverse_complement_preserves_gc(codes in dna_codes(1_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let rc = seq.reverse_complement();
+        // A<->T and C<->G swaps leave the GC count invariant.
+        prop_assert!((seq.gc_fraction() - rc.gc_fraction()).abs() < 1e-12);
+        prop_assert_eq!(seq.n_count(), rc.n_count());
+    }
+
+    #[test]
+    fn ascii_roundtrip(codes in dna_codes(1_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let text = seq.to_ascii_string();
+        let back = DnaSeq::from_ascii(text.as_bytes()).unwrap();
+        prop_assert_eq!(back, seq);
+    }
+
+    #[test]
+    fn fasta_roundtrip_arbitrary_records(
+        seqs in prop::collection::vec(dna_codes(300), 1..5),
+        width in 1usize..100,
+    ) {
+        let records: Vec<FastaRecord> = seqs
+            .into_iter()
+            .enumerate()
+            .map(|(i, codes)| FastaRecord {
+                header: format!("rec{i} synthetic"),
+                seq: DnaSeq::from_codes(codes).unwrap(),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &records, width).unwrap();
+        let back = read_fasta(&buf[..]).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_sized(len in 0usize..30_000, seed in any::<u64>()) {
+        let cfg = GenerateConfig::sized(len, seed);
+        let s1 = ChromosomeGenerator::new(cfg.clone()).generate();
+        let s2 = ChromosomeGenerator::new(cfg).generate();
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(s1.len(), len);
+    }
+
+    #[test]
+    fn snp_divergence_preserves_length_and_counts(
+        len in 1usize..20_000,
+        seed in any::<u64>(),
+        rate in 0.0f64..0.3,
+    ) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
+        let (b, summary) = DivergenceModel::snp_only(seed ^ 1, rate).apply(&a);
+        prop_assert_eq!(a.len(), b.len());
+        let diff = a.codes().iter().zip(b.codes()).filter(|(x, y)| x != y).count();
+        prop_assert_eq!(diff, summary.substitutions);
+    }
+
+    #[test]
+    fn divergence_channel_emits_valid_codes(
+        len in 0usize..10_000,
+        seed in any::<u64>(),
+    ) {
+        let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+        let (b, _) = DivergenceModel::human_chimp_scaled(seed ^ 2, len).apply(&a);
+        prop_assert!(b.codes().iter().all(|&c| c <= 4));
+    }
+
+    #[test]
+    fn stats_counts_sum_to_length(codes in dna_codes(3_000)) {
+        let seq = DnaSeq::from_codes(codes).unwrap();
+        let st = seq_stats(&seq);
+        prop_assert_eq!(st.counts.iter().sum::<usize>(), seq.len());
+        prop_assert!(st.longest_homopolymer <= seq.len());
+        prop_assert!(st.gc_fraction >= 0.0 && st.gc_fraction <= 1.0);
+    }
+
+    #[test]
+    fn nucleotide_code_ascii_bijection(code in 0u8..=4) {
+        let n = Nucleotide::from_code(code).unwrap();
+        prop_assert_eq!(Nucleotide::from_ascii(n.to_ascii()), Some(n));
+        prop_assert_eq!(n.code(), code);
+    }
+}

@@ -1,0 +1,168 @@
+//! Anti-diagonal (wavefront) full-matrix scan.
+//!
+//! The CUDA kernel in the paper computes cells along anti-diagonals: every
+//! cell `(i, j)` with `i + j = d` depends only on diagonals `d − 1` and
+//! `d − 2`, so all cells of a diagonal are independent — that independence
+//! is what the GPU's threads exploit. This module implements the same
+//! traversal order sequentially. It produces identical results to the
+//! row-major kernels (asserted in tests), which is the property that makes
+//! the parallel schedules of `megasw-multigpu` legal: *any* topological
+//! order of the dependency DAG yields the same matrix.
+
+use crate::cell::{BestCell, Score, NEG_INF};
+use crate::scoring::ScoreScheme;
+
+/// Best local-alignment cell, computed by anti-diagonal traversal.
+///
+/// Memory is `O(m)`: three rolling diagonals indexed by row.
+pub fn antidiag_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    let m = a.len();
+    let n = b.len();
+    if m == 0 || n == 0 {
+        return BestCell::ZERO;
+    }
+
+    let open_ext = scheme.gap_open + scheme.gap_extend;
+    let ext = scheme.gap_extend;
+
+    // Arrays indexed by i (0..=m). `*_prev` is diagonal d−1, `h_prev2` is
+    // d−2. Entries outside a diagonal's valid i-range hold boundary values.
+    let mut h_prev2 = vec![0 as Score; m + 1];
+    let mut h_prev = vec![0 as Score; m + 1];
+    let mut e_prev = vec![NEG_INF; m + 1];
+    let mut f_prev = vec![NEG_INF; m + 1];
+    let mut h_cur = vec![0 as Score; m + 1];
+    let mut e_cur = vec![NEG_INF; m + 1];
+    let mut f_cur = vec![NEG_INF; m + 1];
+
+    let mut best = BestCell::ZERO;
+
+    for d in 2..=(m + n) {
+        // Valid rows on this diagonal: i ≥ 1, j = d − i ≥ 1, i ≤ m, j ≤ n.
+        let i_lo = 1.max(d.saturating_sub(n));
+        let i_hi = m.min(d - 1);
+
+        // Boundary cells of this diagonal.
+        if d <= n {
+            h_cur[0] = 0; // (0, d)
+            e_cur[0] = NEG_INF;
+            f_cur[0] = NEG_INF;
+        }
+        if d <= m {
+            h_cur[d] = 0; // (d, 0)
+            e_cur[d] = NEG_INF;
+            f_cur[d] = NEG_INF;
+        }
+
+        for i in i_lo..=i_hi {
+            let j = d - i;
+            let e = (e_prev[i] - ext).max(h_prev[i] - open_ext);
+            let f = (f_prev[i - 1] - ext).max(h_prev[i - 1] - open_ext);
+            let sub = scheme.substitution(a[i - 1], b[j - 1]);
+            let mut h = h_prev2[i - 1] + sub;
+            if e > h {
+                h = e;
+            }
+            if f > h {
+                h = f;
+            }
+            if h < 0 {
+                h = 0;
+            }
+            // Anti-diagonal order does not visit cells in row-major order,
+            // so equal scores must go through the full deterministic
+            // tie-break (`consider`) to agree with the other kernels.
+            if h > 0 && h >= best.score {
+                best.consider(h, i, j);
+            }
+            h_cur[i] = h;
+            e_cur[i] = e;
+            f_cur[i] = f;
+        }
+
+        std::mem::swap(&mut h_prev2, &mut h_prev);
+        std::mem::swap(&mut h_prev, &mut h_cur);
+        std::mem::swap(&mut e_prev, &mut e_cur);
+        std::mem::swap(&mut f_prev, &mut f_cur);
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gotoh::gotoh_best;
+    use crate::reference::reference_best;
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+
+    fn codes(s: &str) -> Vec<u8> {
+        megasw_seq::DnaSeq::from_str_unwrap(s).codes().to_vec()
+    }
+
+    #[test]
+    fn matches_reference_on_fixed_cases() {
+        let scheme = ScoreScheme::cudalign();
+        for (a, b) in [
+            ("", "ACGT"),
+            ("A", "A"),
+            ("ACGT", "ACGT"),
+            ("ACGTT", "ACTT"),
+            ("TTTTTTTTACGTACGT", "GGGGACGTACGT"),
+            ("ACGTNNNACGT", "ACGTACGT"),
+        ] {
+            let (a, b) = (codes(a), codes(b));
+            assert_eq!(
+                antidiag_best(&a, &b, &scheme),
+                reference_best(&a, &b, &scheme),
+                "case {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_gotoh_including_tiebreaks_on_random_pairs() {
+        for seed in 0..10 {
+            let scheme = if seed % 2 == 0 {
+                ScoreScheme::cudalign()
+            } else {
+                ScoreScheme::lenient()
+            };
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(150, seed)).generate();
+            let (b, _) = DivergenceModel::test_scale(seed + 50).apply(&a);
+            assert_eq!(
+                antidiag_best(a.codes(), b.codes(), &scheme),
+                gotoh_best(a.codes(), b.codes(), &scheme),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiebreak_on_repetitive_input() {
+        // Repetitive sequences produce many equal-scoring cells; the
+        // deterministic tie-break must still agree across traversal orders.
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ATATATATATAT");
+        let b = codes("TATATATATA");
+        assert_eq!(
+            antidiag_best(&a, &b, &scheme),
+            gotoh_best(&a, &b, &scheme)
+        );
+    }
+
+    #[test]
+    fn skinny_matrices() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("A");
+        let b = codes("ACGTACGTACGTACGT");
+        assert_eq!(
+            antidiag_best(&a, &b, &scheme),
+            reference_best(&a, &b, &scheme)
+        );
+        assert_eq!(
+            antidiag_best(&b, &a, &scheme),
+            reference_best(&b, &a, &scheme)
+        );
+    }
+}

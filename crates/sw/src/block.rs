@@ -1,0 +1,440 @@
+//! The border-to-border block kernel.
+//!
+//! This is the workhorse of the whole workspace: compute a `bh × bw` tile
+//! of the Smith-Waterman matrix given its incoming top and left borders,
+//! and emit its outgoing bottom and right borders plus the best cell found
+//! inside the tile. A simulated GPU "executes" exactly this function; the
+//! multi-GPU pipeline streams the right borders of one device's last block
+//! column into the left borders of the next device's first block column.
+//!
+//! Memory is `O(bw)` — only one rolling row of `H`/`F` is kept, plus the
+//! output column — so tiles of any height fit in cache-sized working sets.
+
+use crate::border::{ColBorder, RowBorder};
+use crate::cell::{BestCell, NEG_INF};
+use crate::scoring::ScoreScheme;
+
+/// Inputs to [`compute_block`].
+///
+/// The tile covers DP rows `row_offset .. row_offset + a_rows.len()` and
+/// columns `col_offset .. col_offset + b_cols.len()` (1-based, inclusive of
+/// the offsets themselves).
+#[derive(Debug, Clone, Copy)]
+pub struct BlockInput<'x> {
+    /// Base codes of the rows this tile covers: `a[row_offset-1 ..]`.
+    pub a_rows: &'x [u8],
+    /// Base codes of the columns this tile covers: `b[col_offset-1 ..]`.
+    pub b_cols: &'x [u8],
+    /// Incoming top border (row `row_offset − 1`), width `b_cols.len()`.
+    pub top: &'x RowBorder,
+    /// Incoming left border (column `col_offset − 1`), height `a_rows.len()`.
+    pub left: &'x ColBorder,
+    /// 1-based DP row of the tile's first row.
+    pub row_offset: usize,
+    /// 1-based DP column of the tile's first column.
+    pub col_offset: usize,
+}
+
+/// Outputs of [`compute_block`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockOutput {
+    /// Outgoing bottom border (row `row_offset + bh − 1`): the top border of
+    /// the tile below.
+    pub bottom: RowBorder,
+    /// Outgoing right border (column `col_offset + bw − 1`): the left border
+    /// of the tile to the right.
+    pub right: ColBorder,
+    /// Best cell inside the tile, in global 1-based coordinates.
+    pub best: BestCell,
+    /// Number of DP cells computed (`bh × bw`).
+    pub cells: u64,
+}
+
+/// Compute one tile. See the module docs for the dataflow contract.
+///
+/// # Panics
+///
+/// Debug-asserts that border lengths match the tile dimensions and that the
+/// top and left borders agree on the shared corner element.
+pub fn compute_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
+    compute_block_impl::<true>(input, scheme)
+}
+
+/// Anchored variant of [`compute_block`]: identical recurrences **without
+/// the zero floor**, so every alignment extends a path from the matrix
+/// origin (whose gap-cost boundary values the caller supplies via
+/// [`RowBorder::anchored`] / [`ColBorder::anchored`]).
+///
+/// This is the kernel of CUDAlign's stage 2: run over *reversed* prefixes
+/// it locates the start point of an optimal local alignment that ends at
+/// the stage-1 best cell. `best` tracks the maximum `H` anywhere in the
+/// tile, seeded with the origin's score 0 (which always exists globally).
+pub fn compute_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
+    compute_block_impl::<false>(input, scheme)
+}
+
+#[inline(always)]
+fn compute_block_impl<const LOCAL: bool>(
+    input: BlockInput<'_>,
+    scheme: &ScoreScheme,
+) -> BlockOutput {
+    let bh = input.a_rows.len();
+    let bw = input.b_cols.len();
+    debug_assert_eq!(input.top.width(), bw, "top border width mismatch");
+    debug_assert_eq!(input.left.height(), bh, "left border height mismatch");
+    debug_assert_eq!(
+        input.top.h[0], input.left.h[0],
+        "top and left borders disagree on the corner element"
+    );
+    debug_assert!(input.row_offset >= 1 && input.col_offset >= 1);
+
+    let open_ext = scheme.gap_open + scheme.gap_extend;
+    let ext = scheme.gap_extend;
+
+    // Rolling row state, border convention (index 0 = corner column).
+    let mut h_row = input.top.h.clone();
+    let mut f_row = input.top.f.clone();
+
+    // Output right border, filled one row at a time.
+    let mut right = ColBorder {
+        h: Vec::with_capacity(bh + 1),
+        e: Vec::with_capacity(bh + 1),
+    };
+    right.h.push(*input.top.h.last().expect("top border non-empty"));
+    right.e.push(NEG_INF);
+
+    let mut best = BestCell::ZERO;
+
+    for k in 1..=bh {
+        let a_code = input.a_rows[k - 1];
+        let i = input.row_offset + k - 1; // global DP row
+
+        // Seed from the left border.
+        let mut h_diag = input.left.h[k - 1]; // H[i-1][j0-1]
+        let mut h_left = input.left.h[k]; //     H[i]  [j0-1]
+        let mut e = input.left.e[k]; //          E[i]  [j0-1]
+
+        // Zip-based traversal elides the bounds checks in the inner loop.
+        let cells = input
+            .b_cols
+            .iter()
+            .zip(h_row[1..].iter_mut().zip(f_row[1..].iter_mut()));
+        for (l, (&b_code, (h_cell, f_cell))) in cells.enumerate() {
+            let h_up = *h_cell; // H[i-1][j] — not yet overwritten
+            let f = (*f_cell - ext).max(h_up - open_ext);
+            e = (e - ext).max(h_left - open_ext);
+            let mut h = (h_diag + scheme.substitution(a_code, b_code))
+                .max(e)
+                .max(f);
+            if LOCAL && h < 0 {
+                h = 0;
+            }
+            // Row-major scan order: strictly-greater is sufficient for the
+            // deterministic (score, i, j) tie-break.
+            if h > best.score {
+                best.consider(h, i, input.col_offset + l);
+            }
+            h_diag = h_up;
+            h_left = h;
+            *h_cell = h;
+            *f_cell = f;
+        }
+
+        // Maintain the border convention: index 0 of the rolling row must be
+        // the corner of the *next* row down, i.e. the left border at row i.
+        h_row[0] = input.left.h[k];
+
+        right.h.push(h_left);
+        right.e.push(e);
+    }
+
+    f_row[0] = NEG_INF; // the corner F lane is never read downstream
+
+    BlockOutput {
+        bottom: RowBorder { h: h_row, f: f_row },
+        right,
+        best,
+        cells: bh as u64 * bw as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::full_matrix;
+    use megasw_seq::{ChromosomeGenerator, GenerateConfig};
+
+    fn codes(s: &str) -> Vec<u8> {
+        megasw_seq::DnaSeq::from_str_unwrap(s).codes().to_vec()
+    }
+
+    /// Compute the whole matrix as ONE block and compare against reference.
+    fn whole_matrix_as_block(a: &[u8], b: &[u8]) {
+        let scheme = ScoreScheme::cudalign();
+        let fm = full_matrix(a, b, &scheme);
+
+        let top = RowBorder::zero(b.len());
+        let left = ColBorder::zero(a.len());
+        let out = compute_block(
+            BlockInput {
+                a_rows: a,
+                b_cols: b,
+                top: &top,
+                left: &left,
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+
+        assert_eq!(out.best, fm.best, "best cell mismatch");
+        assert_eq!(out.cells, (a.len() * b.len()) as u64);
+        // Bottom border H must equal the last matrix row.
+        assert_eq!(out.bottom.h, fm.row_border_h(a.len(), 1, b.len() + 1));
+        // Right border H must equal the last matrix column.
+        assert_eq!(out.right.h, fm.col_border_h(b.len(), 1, a.len() + 1));
+    }
+
+    #[test]
+    fn whole_matrix_equals_reference_small() {
+        whole_matrix_as_block(&codes("ACGT"), &codes("ACGT"));
+        whole_matrix_as_block(&codes("ACGTTGCA"), &codes("TGCAACGT"));
+        whole_matrix_as_block(&codes("AAAA"), &codes("TTTT"));
+        whole_matrix_as_block(&codes("ACGTNNNACGT"), &codes("ACGTACGT"));
+    }
+
+    #[test]
+    fn whole_matrix_equals_reference_random() {
+        for seed in 0..5 {
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(60, seed)).generate();
+            let b = ChromosomeGenerator::new(GenerateConfig::uniform(75, seed + 100)).generate();
+            whole_matrix_as_block(a.codes(), b.codes());
+        }
+    }
+
+    /// Split the matrix into 2×2 tiles and verify border composition gives
+    /// identical borders and best to the reference.
+    #[test]
+    fn two_by_two_composition_matches_reference() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ACGTTGCAGGCT"); // 12 rows
+        let b = codes("TGCAACGTTACG"); // 12 cols
+        let fm = full_matrix(&a, &b, &scheme);
+
+        let split_i = 7; // rows [1..=7] then [8..=12]
+        let split_j = 5; // cols [1..=5] then [6..=12]
+
+        // Tile (0,0)
+        let t00 = compute_block(
+            BlockInput {
+                a_rows: &a[..split_i],
+                b_cols: &b[..split_j],
+                top: &RowBorder::zero(split_j),
+                left: &ColBorder::zero(split_i),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        // Tile (0,1): left border comes from t00.right; the top border is
+        // still matrix row 0, hence all-zero.
+        let t01 = compute_block(
+            BlockInput {
+                a_rows: &a[..split_i],
+                b_cols: &b[split_j..],
+                top: &RowBorder::zero(b.len() - split_j),
+                left: &t00.right,
+                row_offset: 1,
+                col_offset: split_j + 1,
+            },
+            &scheme,
+        );
+        // Tile (1,0): top border comes from t00.bottom.
+        let t10 = compute_block(
+            BlockInput {
+                a_rows: &a[split_i..],
+                b_cols: &b[..split_j],
+                top: &t00.bottom,
+                left: &ColBorder::zero(a.len() - split_i),
+                row_offset: split_i + 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        // Tile (1,1): top from t01.bottom, left from t10.right.
+        let t11 = compute_block(
+            BlockInput {
+                a_rows: &a[split_i..],
+                b_cols: &b[split_j..],
+                top: &t01.bottom,
+                left: &t10.right,
+                row_offset: split_i + 1,
+                col_offset: split_j + 1,
+            },
+            &scheme,
+        );
+
+        let best = t00.best.merge(t01.best).merge(t10.best).merge(t11.best);
+        assert_eq!(best, fm.best);
+
+        // Final bottom-right borders must match the reference matrix edges.
+        assert_eq!(t11.bottom.h, fm.row_border_h(a.len(), split_j + 1, b.len() + 1));
+        assert_eq!(t11.right.h, fm.col_border_h(b.len(), split_i + 1, a.len() + 1));
+        assert_eq!(t10.bottom.h, fm.row_border_h(a.len(), 1, split_j + 1));
+        assert_eq!(t01.right.h, fm.col_border_h(b.len(), 1, split_i + 1));
+    }
+
+    #[test]
+    fn single_cell_block() {
+        let scheme = ScoreScheme::cudalign();
+        let out = compute_block(
+            BlockInput {
+                a_rows: &[0],
+                b_cols: &[0],
+                top: &RowBorder::zero(1),
+                left: &ColBorder::zero(1),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        assert_eq!(out.best, BestCell::new(1, 1, 1));
+        assert_eq!(out.bottom.h, vec![0, 1]);
+        assert_eq!(out.right.h, vec![0, 1]);
+        assert_eq!(out.cells, 1);
+    }
+
+    #[test]
+    fn zero_height_block_passes_top_border_through() {
+        let scheme = ScoreScheme::cudalign();
+        let top = RowBorder::zero(4);
+        let out = compute_block(
+            BlockInput {
+                a_rows: &[],
+                b_cols: &codes("ACGT"),
+                top: &top,
+                left: &ColBorder::zero(0),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        assert_eq!(out.bottom, top);
+        assert_eq!(out.best, BestCell::ZERO);
+        assert_eq!(out.cells, 0);
+    }
+
+    #[test]
+    fn anchored_whole_matrix_equals_anchored_scan() {
+        use crate::traceback::anchored_best;
+        let scheme = ScoreScheme::cudalign();
+        for (a, b) in [
+            ("ACGTACGT", "ACGTACGT"),
+            ("ACGTTGCAGGCT", "TGCAACGTTACG"),
+            ("AAAA", "TTTT"),
+            ("ACGTN", "NACGT"),
+        ] {
+            let (a, b) = (codes(a), codes(b));
+            let out = compute_block_anchored(
+                BlockInput {
+                    a_rows: &a,
+                    b_cols: &b,
+                    top: &RowBorder::anchored(b.len(), 1, &scheme),
+                    left: &ColBorder::anchored(a.len(), 1, &scheme),
+                    row_offset: 1,
+                    col_offset: 1,
+                },
+                &scheme,
+            );
+            assert_eq!(out.best, anchored_best(&a, &b, &scheme), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn anchored_composition_matches_whole() {
+        let scheme = ScoreScheme::lenient();
+        let a = codes("ACGTTGCAGGCTAA");
+        let b = codes("TGCAACGTTACGG");
+        let whole = compute_block_anchored(
+            BlockInput {
+                a_rows: &a,
+                b_cols: &b,
+                top: &RowBorder::anchored(b.len(), 1, &scheme),
+                left: &ColBorder::anchored(a.len(), 1, &scheme),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        let (si, sj) = (6usize, 5usize);
+        let t00 = compute_block_anchored(
+            BlockInput {
+                a_rows: &a[..si],
+                b_cols: &b[..sj],
+                top: &RowBorder::anchored(sj, 1, &scheme),
+                left: &ColBorder::anchored(si, 1, &scheme),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        let t01 = compute_block_anchored(
+            BlockInput {
+                a_rows: &a[..si],
+                b_cols: &b[sj..],
+                top: &RowBorder::anchored(b.len() - sj, sj + 1, &scheme),
+                left: &t00.right,
+                row_offset: 1,
+                col_offset: sj + 1,
+            },
+            &scheme,
+        );
+        let t10 = compute_block_anchored(
+            BlockInput {
+                a_rows: &a[si..],
+                b_cols: &b[..sj],
+                top: &t00.bottom,
+                left: &ColBorder::anchored(a.len() - si, si + 1, &scheme),
+                row_offset: si + 1,
+                col_offset: 1,
+            },
+            &scheme,
+        );
+        let t11 = compute_block_anchored(
+            BlockInput {
+                a_rows: &a[si..],
+                b_cols: &b[sj..],
+                top: &t01.bottom,
+                left: &t10.right,
+                row_offset: si + 1,
+                col_offset: sj + 1,
+            },
+            &scheme,
+        );
+        let stitched = t00.best.merge(t01.best).merge(t10.best).merge(t11.best);
+        assert_eq!(stitched, whole.best);
+        let mut right_h = t01.right.h.clone();
+        right_h.extend_from_slice(&t11.right.h[1..]);
+        assert_eq!(right_h, whole.right.h);
+    }
+
+    #[test]
+    fn best_cell_coordinates_are_global() {
+        let scheme = ScoreScheme::cudalign();
+        // Matching pair at local (1,1) in a tile whose offsets are (100, 200).
+        let fmx = full_matrix(&codes("A"), &codes("A"), &scheme);
+        assert_eq!(fmx.best.score, 1);
+        let out = compute_block(
+            BlockInput {
+                a_rows: &codes("A"),
+                b_cols: &codes("A"),
+                top: &RowBorder::zero(1),
+                left: &ColBorder::zero(1),
+                row_offset: 100,
+                col_offset: 200,
+            },
+            &scheme,
+        );
+        assert_eq!(out.best, BestCell::new(1, 100, 200));
+    }
+}

@@ -1,0 +1,185 @@
+//! Border vectors exchanged between blocks (and, in the multi-GPU pipeline,
+//! between devices).
+//!
+//! A block spanning DP rows `[i0, i1)` and columns `[j0, j1)` (1-based, with
+//! row 0 / column 0 the zero boundary) consumes:
+//!
+//! * its **top border** — `H` and `F` of row `i0 − 1` over columns
+//!   `j0 − 1 ..= j1 − 1`;
+//! * its **left border** — `H` and `E` of column `j0 − 1` over rows
+//!   `i0 − 1 ..= i1 − 1`;
+//!
+//! and produces the matching **bottom border** (row `i1 − 1`) and **right
+//! border** (column `j1 − 1`). Both borders carry the shared corner element
+//! at index 0, so the bottom border of one block *is* the top border of the
+//! block below it, with no separate corner plumbing. This composition rule
+//! is what lets a slab boundary be streamed across GPUs one block-row at a
+//! time — the paper's fine-grain border communication.
+//!
+//! The auxiliary lane differs per direction: a row carries `F` (vertical gap
+//! state, needed by the block below), a column carries `E` (horizontal gap
+//! state, needed by the block to the right). Index 0 of the auxiliary lane
+//! is never read and is kept at [`NEG_INF`].
+
+use crate::cell::{Score, NEG_INF};
+use crate::scoring::ScoreScheme;
+
+/// A horizontal border: `H` and `F` along one matrix row segment.
+///
+/// `h[0]` is the corner element (column `j0 − 1`); `h[k]` for `k ≥ 1` is
+/// column `j0 − 1 + k`. Length is `width + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowBorder {
+    pub h: Vec<Score>,
+    pub f: Vec<Score>,
+}
+
+impl RowBorder {
+    /// The all-zero boundary (matrix row 0): `H = 0`, `F = −∞`.
+    pub fn zero(width: usize) -> RowBorder {
+        RowBorder {
+            h: vec![0; width + 1],
+            f: vec![NEG_INF; width + 1],
+        }
+    }
+
+    /// The *anchored* boundary for matrix row 0 starting at global DP
+    /// column `col_offset` (1-based): `H[0][j] = −(open + j·extend)` for
+    /// `j ≥ 1`, `H[0][0] = 0` — a horizontal gap from the origin. Used by
+    /// the anchored kernels (no zero floor).
+    pub fn anchored(width: usize, col_offset: usize, scheme: &ScoreScheme) -> RowBorder {
+        let h = (0..=width)
+            .map(|l| {
+                let j = col_offset - 1 + l;
+                if j == 0 {
+                    0
+                } else {
+                    -(scheme.gap_open + j as Score * scheme.gap_extend)
+                }
+            })
+            .collect();
+        RowBorder {
+            h,
+            f: vec![NEG_INF; width + 1],
+        }
+    }
+
+    /// Number of in-block columns covered (excludes the corner).
+    pub fn width(&self) -> usize {
+        debug_assert_eq!(self.h.len(), self.f.len());
+        self.h.len() - 1
+    }
+
+    /// Maximum `H` value on the border (corner included).
+    pub fn max_h(&self) -> Score {
+        self.h.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bytes this border occupies when transferred between devices.
+    pub fn transfer_bytes(&self) -> usize {
+        (self.h.len() + self.f.len()) * std::mem::size_of::<Score>()
+    }
+}
+
+/// A vertical border: `H` and `E` along one matrix column segment.
+///
+/// `h[0]` is the corner element (row `i0 − 1`); `h[k]` for `k ≥ 1` is row
+/// `i0 − 1 + k`. Length is `height + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColBorder {
+    pub h: Vec<Score>,
+    pub e: Vec<Score>,
+}
+
+impl ColBorder {
+    /// The all-zero boundary (matrix column 0): `H = 0`, `E = −∞`.
+    pub fn zero(height: usize) -> ColBorder {
+        ColBorder {
+            h: vec![0; height + 1],
+            e: vec![NEG_INF; height + 1],
+        }
+    }
+
+    /// The *anchored* boundary for matrix column 0 starting at global DP
+    /// row `row_offset` (1-based): `H[i][0] = −(open + i·extend)` for
+    /// `i ≥ 1`, `H[0][0] = 0` — a vertical gap from the origin.
+    pub fn anchored(height: usize, row_offset: usize, scheme: &ScoreScheme) -> ColBorder {
+        let h = (0..=height)
+            .map(|k| {
+                let i = row_offset - 1 + k;
+                if i == 0 {
+                    0
+                } else {
+                    -(scheme.gap_open + i as Score * scheme.gap_extend)
+                }
+            })
+            .collect();
+        ColBorder {
+            h,
+            e: vec![NEG_INF; height + 1],
+        }
+    }
+
+    /// Number of in-block rows covered (excludes the corner).
+    pub fn height(&self) -> usize {
+        debug_assert_eq!(self.h.len(), self.e.len());
+        self.h.len() - 1
+    }
+
+    /// Maximum `H` value on the border (corner included).
+    pub fn max_h(&self) -> Score {
+        self.h.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Bytes this border occupies when transferred between devices.
+    ///
+    /// This is the paper's inter-GPU payload: each cell of a column border
+    /// contributes `H` and `E` (8 bytes at `i32`).
+    pub fn transfer_bytes(&self) -> usize {
+        (self.h.len() + self.e.len()) * std::mem::size_of::<Score>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_row_border_shape() {
+        let b = RowBorder::zero(8);
+        assert_eq!(b.width(), 8);
+        assert_eq!(b.h, vec![0; 9]);
+        assert!(b.f.iter().all(|&f| f == NEG_INF));
+        assert_eq!(b.max_h(), 0);
+    }
+
+    #[test]
+    fn zero_col_border_shape() {
+        let b = ColBorder::zero(5);
+        assert_eq!(b.height(), 5);
+        assert_eq!(b.h, vec![0; 6]);
+        assert!(b.e.iter().all(|&e| e == NEG_INF));
+    }
+
+    #[test]
+    fn transfer_bytes_counts_both_lanes() {
+        let b = ColBorder::zero(100);
+        assert_eq!(b.transfer_bytes(), 2 * 101 * 4);
+        let r = RowBorder::zero(64);
+        assert_eq!(r.transfer_bytes(), 2 * 65 * 4);
+    }
+
+    #[test]
+    fn max_h_finds_maximum() {
+        let mut b = RowBorder::zero(3);
+        b.h = vec![0, 5, 2, 7];
+        assert_eq!(b.max_h(), 7);
+    }
+
+    #[test]
+    fn zero_width_border_is_just_a_corner() {
+        let b = RowBorder::zero(0);
+        assert_eq!(b.width(), 0);
+        assert_eq!(b.h.len(), 1);
+    }
+}

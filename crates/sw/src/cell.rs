@@ -1,0 +1,146 @@
+//! Score and best-cell types.
+
+/// Dynamic-programming score. `i32` comfortably covers chromosome-scale
+/// local alignments with the CUDAlign scheme (scores are bounded by
+/// `min(m, n) · match_score`, well under 2³¹ for any real chromosome).
+pub type Score = i32;
+
+/// "Minus infinity" for E/F lanes, chosen so that adding gap penalties can
+/// never underflow `i32`.
+pub const NEG_INF: Score = i32::MIN / 4;
+
+/// The best cell seen so far: its score and 1-based matrix coordinates.
+///
+/// `BestCell` has a total order used to merge partial results from blocks,
+/// slabs and devices: higher score wins; ties break to the smaller `i`, then
+/// the smaller `j`. Because the order is total, the merged result is
+/// independent of the order in which partitions report — a property the
+/// tests rely on to prove multi-GPU runs equal the sequential reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BestCell {
+    pub score: Score,
+    /// 1-based row (position in sequence `a`) where the alignment ends.
+    pub i: usize,
+    /// 1-based column (position in sequence `b`) where the alignment ends.
+    pub j: usize,
+}
+
+impl BestCell {
+    /// The "no alignment" element: score 0 at the origin. It is the identity
+    /// of [`BestCell::merge`] for any legal SW result (scores are ≥ 0).
+    pub const ZERO: BestCell = BestCell { score: 0, i: 0, j: 0 };
+
+    /// Create a best cell.
+    pub fn new(score: Score, i: usize, j: usize) -> Self {
+        BestCell { score, i, j }
+    }
+
+    /// True if `self` beats `other` under the deterministic order.
+    #[inline]
+    pub fn beats(&self, other: &BestCell) -> bool {
+        match self.score.cmp(&other.score) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.i.cmp(&other.i) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Greater => false,
+                std::cmp::Ordering::Equal => self.j < other.j,
+            },
+        }
+    }
+
+    /// Merge two partial results, keeping the winner.
+    #[inline]
+    pub fn merge(self, other: BestCell) -> BestCell {
+        if other.beats(&self) {
+            other
+        } else {
+            self
+        }
+    }
+
+    /// Consider a candidate cell in place.
+    #[inline(always)]
+    pub fn consider(&mut self, score: Score, i: usize, j: usize) {
+        let cand = BestCell { score, i, j };
+        if cand.beats(self) {
+            *self = cand;
+        }
+    }
+}
+
+impl Default for BestCell {
+    fn default() -> Self {
+        BestCell::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neg_inf_is_add_safe() {
+        // Adding any realistic penalty must not wrap.
+        let x = NEG_INF + (-1_000_000_000);
+        assert!(x < 0);
+        let y = NEG_INF + NEG_INF;
+        assert!(y < 0);
+    }
+
+    #[test]
+    fn higher_score_wins() {
+        let a = BestCell::new(10, 5, 5);
+        let b = BestCell::new(11, 9, 9);
+        assert!(b.beats(&a));
+        assert_eq!(a.merge(b), b);
+        assert_eq!(b.merge(a), b);
+    }
+
+    #[test]
+    fn ties_break_to_smaller_i_then_j() {
+        let a = BestCell::new(10, 3, 9);
+        let b = BestCell::new(10, 4, 1);
+        assert!(a.beats(&b));
+        let c = BestCell::new(10, 3, 2);
+        assert!(c.beats(&a));
+        assert_eq!(a.merge(b).merge(c), c);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_associative() {
+        let cells = [
+            BestCell::new(5, 1, 1),
+            BestCell::new(5, 1, 2),
+            BestCell::new(7, 9, 9),
+            BestCell::new(7, 2, 30),
+            BestCell::ZERO,
+        ];
+        for &x in &cells {
+            for &y in &cells {
+                assert_eq!(x.merge(y), y.merge(x));
+                for &z in &cells {
+                    assert_eq!(x.merge(y).merge(z), x.merge(y.merge(z)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_identity_for_non_negative_scores() {
+        let a = BestCell::new(3, 2, 2);
+        assert_eq!(a.merge(BestCell::ZERO), a);
+        assert_eq!(BestCell::ZERO.merge(a), a);
+    }
+
+    #[test]
+    fn consider_updates_in_place() {
+        let mut best = BestCell::ZERO;
+        best.consider(4, 2, 2);
+        assert_eq!(best, BestCell::new(4, 2, 2));
+        best.consider(4, 1, 9); // same score, smaller i → wins
+        assert_eq!(best, BestCell::new(4, 1, 9));
+        best.consider(3, 0, 0); // lower score → ignored
+        assert_eq!(best, BestCell::new(4, 1, 9));
+    }
+}

@@ -1,0 +1,193 @@
+//! Linear-space score-only Smith-Waterman (Gotoh) over whole sequences.
+//!
+//! This is the sequential CPU baseline: one rolling row, `O(n)` memory,
+//! returns the best cell. It is also the primitive the traceback module
+//! uses to locate alignment endpoints. Semantically it equals
+//! [`crate::block::compute_block`] applied to the whole matrix as a single
+//! tile; keeping a dedicated implementation (without border bookkeeping)
+//! gives tests an independent implementation to cross-check and gives the
+//! CPU baseline an honest inner loop.
+
+use crate::cell::{BestCell, Score, NEG_INF};
+use crate::scoring::ScoreScheme;
+
+/// Best local-alignment cell between code slices `a` (rows) and `b`
+/// (columns), in `O(n)` memory.
+///
+/// ```
+/// use megasw_sw::{gotoh_best, ScoreScheme};
+/// use megasw_seq::DnaSeq;
+///
+/// let a = DnaSeq::from_str_unwrap("TTTACGTACGT");
+/// let b = DnaSeq::from_str_unwrap("GGACGTACGTGG");
+/// let best = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+/// // The shared "ACGTACGT" block scores 8 and ends at (11, 10).
+/// assert_eq!(best.score, 8);
+/// assert_eq!((best.i, best.j), (11, 10));
+/// ```
+pub fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    let n = b.len();
+    let open_ext = scheme.gap_open + scheme.gap_extend;
+    let ext = scheme.gap_extend;
+
+    let mut h_row = vec![0 as Score; n + 1];
+    let mut f_row = vec![NEG_INF; n + 1];
+    let mut best = BestCell::ZERO;
+
+    for (k, &a_code) in a.iter().enumerate() {
+        let i = k + 1;
+        let mut h_diag = 0; // H[i-1][0]
+        let mut h_left = 0; // H[i][0]
+        let mut e = NEG_INF;
+        // Zip-based traversal lets the compiler elide the bounds checks in
+        // the hottest loop of the workspace.
+        let cells = b
+            .iter()
+            .zip(h_row[1..].iter_mut().zip(f_row[1..].iter_mut()));
+        for (l, (&b_code, (h_cell, f_cell))) in cells.enumerate() {
+            let h_up = *h_cell;
+            let f = (*f_cell - ext).max(h_up - open_ext);
+            e = (e - ext).max(h_left - open_ext);
+            let h = (h_diag + scheme.substitution(a_code, b_code))
+                .max(e)
+                .max(f)
+                .max(0);
+            if h > best.score {
+                best.consider(h, i, l + 1);
+            }
+            h_diag = h_up;
+            h_left = h;
+            *h_cell = h;
+            *f_cell = f;
+        }
+    }
+    best
+}
+
+/// Final-row variant used by the traceback module: best cell **and** the
+/// `H`/`E` values of the last matrix row (border convention: index 0 is
+/// column 0).
+///
+/// Returns `(best, h_last_row, e_last_row)`.
+pub fn gotoh_with_last_row(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoreScheme,
+) -> (BestCell, Vec<Score>, Vec<Score>) {
+    let n = b.len();
+    let open_ext = scheme.gap_open + scheme.gap_extend;
+    let ext = scheme.gap_extend;
+
+    let mut h_row = vec![0 as Score; n + 1];
+    let mut f_row = vec![NEG_INF; n + 1];
+    let mut e_row = vec![NEG_INF; n + 1];
+    let mut best = BestCell::ZERO;
+
+    for (k, &a_code) in a.iter().enumerate() {
+        let i = k + 1;
+        let mut h_diag = 0;
+        let mut h_left = 0;
+        let mut e = NEG_INF;
+        for (l, &b_code) in b.iter().enumerate() {
+            let j = l + 1;
+            let h_up = h_row[j];
+            let f = (f_row[j] - ext).max(h_up - open_ext);
+            e = (e - ext).max(h_left - open_ext);
+            let mut h = h_diag + scheme.substitution(a_code, b_code);
+            if e > h {
+                h = e;
+            }
+            if f > h {
+                h = f;
+            }
+            if h < 0 {
+                h = 0;
+            }
+            if h > best.score {
+                best.consider(h, i, j);
+            }
+            h_diag = h_up;
+            h_left = h;
+            h_row[j] = h;
+            f_row[j] = f;
+            e_row[j] = e;
+        }
+    }
+    (best, h_row, e_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{full_matrix, reference_best};
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+
+    fn codes(s: &str) -> Vec<u8> {
+        megasw_seq::DnaSeq::from_str_unwrap(s).codes().to_vec()
+    }
+
+    #[test]
+    fn agrees_with_reference_on_fixed_cases() {
+        let scheme = ScoreScheme::cudalign();
+        for (a, b) in [
+            ("", ""),
+            ("A", ""),
+            ("", "A"),
+            ("A", "A"),
+            ("A", "C"),
+            ("ACGT", "ACGT"),
+            ("ACGTT", "ACTT"),
+            ("AAAAAAA", "TTTTTTT"),
+            ("ACGTNNNACGT", "ACGTACGT"),
+            ("TTTTTTTTACGTACGT", "GGGGACGTACGT"),
+        ] {
+            let (a, b) = (codes(a), codes(b));
+            assert_eq!(
+                gotoh_best(&a, &b, &scheme),
+                reference_best(&a, &b, &scheme),
+                "case {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_reference_on_random_pairs() {
+        for seed in 0..8 {
+            let scheme = if seed % 2 == 0 {
+                ScoreScheme::cudalign()
+            } else {
+                ScoreScheme::lenient()
+            };
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(120, seed)).generate();
+            let (b, _) = DivergenceModel::test_scale(seed).apply(&a);
+            let got = gotoh_best(a.codes(), b.codes(), &scheme);
+            let want = reference_best(a.codes(), b.codes(), &scheme);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn last_row_matches_full_matrix() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ACGTTGCAGG");
+        let b = codes("TGCAACGT");
+        let fm = full_matrix(&a, &b, &scheme);
+        let (best, h_last, _e_last) = gotoh_with_last_row(&a, &b, &scheme);
+        assert_eq!(best, fm.best);
+        assert_eq!(h_last, fm.h[a.len()]);
+    }
+
+    #[test]
+    fn highly_similar_megakilobase_pair_scores_high() {
+        // A 30 kbp pair at ~1% divergence should align nearly end to end:
+        // score close to len·match − mutation losses.
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(30_000, 99)).generate();
+        let (b, _) = DivergenceModel::snp_only(7, 0.01).apply(&a);
+        let best = gotoh_best(a.codes(), b.codes(), &scheme);
+        // Each SNP flips a +1 match to a −3 mismatch (−4), ≈300 SNPs.
+        let expect_min = 30_000 - 350 * 4;
+        assert!(best.score >= expect_min, "score = {}", best.score);
+        assert!(best.score <= 30_000);
+    }
+}

@@ -1,0 +1,272 @@
+//! Blocked decomposition of the DP matrix.
+//!
+//! [`BlockGrid`] maps the `(m × n)` matrix onto a grid of tiles of nominal
+//! size `block_h × block_w` (edge tiles are smaller). [`run_sequential`]
+//! executes the grid row-major with `O(n)` border memory — the
+//! single-device semantics every parallel executor must reproduce — and
+//! returns the best cell plus the matrix's final borders.
+//!
+//! The same grid geometry is used by the multi-GPU pipeline (each device
+//! owns a contiguous range of block columns) and by the discrete-event
+//! simulator (each tile is one kernel-timing unit), so geometry bugs would
+//! show up as cross-backend disagreements in the integration tests.
+
+use crate::block::{compute_block, BlockInput, BlockOutput};
+use crate::border::{ColBorder, RowBorder};
+use crate::cell::BestCell;
+use crate::scoring::ScoreScheme;
+
+/// Geometry of a blocked DP matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockGrid {
+    /// Matrix rows (length of sequence `a`).
+    pub m: usize,
+    /// Matrix columns (length of sequence `b`).
+    pub n: usize,
+    /// Nominal tile height.
+    pub block_h: usize,
+    /// Nominal tile width.
+    pub block_w: usize,
+}
+
+impl BlockGrid {
+    /// Create a grid. `block_h`/`block_w` are clamped to at least 1.
+    pub fn new(m: usize, n: usize, block_h: usize, block_w: usize) -> BlockGrid {
+        BlockGrid {
+            m,
+            n,
+            block_h: block_h.max(1),
+            block_w: block_w.max(1),
+        }
+    }
+
+    /// Number of tile rows.
+    pub fn rows(&self) -> usize {
+        self.m.div_ceil(self.block_h)
+    }
+
+    /// Number of tile columns.
+    pub fn cols(&self) -> usize {
+        self.n.div_ceil(self.block_w)
+    }
+
+    /// DP row range `[i0, i1)` (1-based) of tile row `r`.
+    pub fn row_range(&self, r: usize) -> (usize, usize) {
+        let i0 = r * self.block_h + 1;
+        let i1 = ((r + 1) * self.block_h).min(self.m) + 1;
+        (i0, i1)
+    }
+
+    /// DP column range `[j0, j1)` (1-based) of tile column `c`.
+    pub fn col_range(&self, c: usize) -> (usize, usize) {
+        let j0 = c * self.block_w + 1;
+        let j1 = ((c + 1) * self.block_w).min(self.n) + 1;
+        (j0, j1)
+    }
+
+    /// Height of tile row `r`.
+    pub fn row_height(&self, r: usize) -> usize {
+        let (i0, i1) = self.row_range(r);
+        i1 - i0
+    }
+
+    /// Width of tile column `c`.
+    pub fn col_width(&self, c: usize) -> usize {
+        let (j0, j1) = self.col_range(c);
+        j1 - j0
+    }
+
+    /// Total number of tiles.
+    pub fn tiles(&self) -> usize {
+        self.rows() * self.cols()
+    }
+
+    /// Total DP cells.
+    pub fn cells(&self) -> u128 {
+        self.m as u128 * self.n as u128
+    }
+
+    /// Number of external (tile) anti-diagonals: tiles on diagonal `d`
+    /// satisfy `r + c = d`.
+    pub fn external_diagonals(&self) -> usize {
+        if self.rows() == 0 || self.cols() == 0 {
+            0
+        } else {
+            self.rows() + self.cols() - 1
+        }
+    }
+
+    /// Tiles lying on external diagonal `d`, as `(row, col)` pairs in
+    /// increasing row order. Empty for out-of-range diagonals.
+    pub fn diagonal_tiles(&self, d: usize) -> Vec<(usize, usize)> {
+        let rows = self.rows();
+        let cols = self.cols();
+        if rows == 0 || cols == 0 || d >= rows + cols - 1 {
+            return Vec::new();
+        }
+        let r_min = if d >= cols { d - cols + 1 } else { 0 };
+        let r_max = d.min(rows - 1);
+        (r_min..=r_max).map(|r| (r, d - r)).collect()
+    }
+}
+
+/// Result of a grid execution.
+#[derive(Debug, Clone)]
+pub struct GridResult {
+    pub best: BestCell,
+    /// Bottom borders of the last tile row, one per tile column
+    /// (concatenate to recover matrix row `m`).
+    pub final_bottoms: Vec<RowBorder>,
+    /// Right borders of the last tile column, one per tile row
+    /// (concatenate to recover matrix column `n`).
+    pub final_rights: Vec<ColBorder>,
+    /// DP cells computed (equals `m · n` unless tiles were pruned).
+    pub cells_computed: u128,
+}
+
+/// Execute the grid sequentially, row-major.
+///
+/// `a` and `b` are the full code slices; geometry comes from `grid`.
+pub fn run_sequential(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) -> GridResult {
+    assert_eq!(a.len(), grid.m, "sequence a length must match grid.m");
+    assert_eq!(b.len(), grid.n, "sequence b length must match grid.n");
+
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let mut best = BestCell::ZERO;
+    let mut cells_computed: u128 = 0;
+
+    // Current top borders, one per tile column.
+    let mut tops: Vec<RowBorder> = (0..cols)
+        .map(|c| RowBorder::zero(grid.col_width(c)))
+        .collect();
+    let mut final_rights: Vec<ColBorder> = Vec::with_capacity(rows);
+
+    for r in 0..rows {
+        let (i0, i1) = grid.row_range(r);
+        let mut left = ColBorder::zero(i1 - i0);
+        for c in 0..cols {
+            let (j0, j1) = grid.col_range(c);
+            let out: BlockOutput = compute_block(
+                BlockInput {
+                    a_rows: &a[i0 - 1..i1 - 1],
+                    b_cols: &b[j0 - 1..j1 - 1],
+                    top: &tops[c],
+                    left: &left,
+                    row_offset: i0,
+                    col_offset: j0,
+                },
+                scheme,
+            );
+            best = best.merge(out.best);
+            cells_computed += out.cells as u128;
+            tops[c] = out.bottom;
+            left = out.right;
+        }
+        final_rights.push(left);
+    }
+
+    GridResult {
+        best,
+        final_bottoms: tops,
+        final_rights,
+        cells_computed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gotoh::gotoh_best;
+    use crate::reference::full_matrix;
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+
+    #[test]
+    fn geometry_exact_division() {
+        let g = BlockGrid::new(100, 60, 25, 20);
+        assert_eq!(g.rows(), 4);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.row_range(0), (1, 26));
+        assert_eq!(g.row_range(3), (76, 101));
+        assert_eq!(g.col_range(2), (41, 61));
+        assert_eq!(g.tiles(), 12);
+        assert_eq!(g.external_diagonals(), 6);
+    }
+
+    #[test]
+    fn geometry_ragged_edges() {
+        let g = BlockGrid::new(10, 7, 4, 3);
+        assert_eq!(g.rows(), 3);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.row_height(0), 4);
+        assert_eq!(g.row_height(2), 2);
+        assert_eq!(g.col_width(2), 1);
+        // Ranges tile the matrix exactly.
+        let total_h: usize = (0..g.rows()).map(|r| g.row_height(r)).sum();
+        let total_w: usize = (0..g.cols()).map(|c| g.col_width(c)).sum();
+        assert_eq!(total_h, 10);
+        assert_eq!(total_w, 7);
+    }
+
+    #[test]
+    fn geometry_degenerate() {
+        let g = BlockGrid::new(0, 5, 4, 4);
+        assert_eq!(g.rows(), 0);
+        assert_eq!(g.external_diagonals(), 0);
+        let g2 = BlockGrid::new(5, 5, 100, 100);
+        assert_eq!(g2.tiles(), 1);
+        assert_eq!(g2.row_range(0), (1, 6));
+    }
+
+    #[test]
+    fn diagonal_tiles_cover_grid_once() {
+        let g = BlockGrid::new(10, 7, 4, 3); // 3×3 tiles
+        let mut seen = std::collections::HashSet::new();
+        for d in 0..g.external_diagonals() {
+            for (r, c) in g.diagonal_tiles(d) {
+                assert_eq!(r + c, d);
+                assert!(seen.insert((r, c)), "tile ({r},{c}) visited twice");
+            }
+        }
+        assert_eq!(seen.len(), g.tiles());
+    }
+
+    #[test]
+    fn sequential_grid_matches_reference_all_block_sizes() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(97, 1)).generate();
+        let (b, _) = DivergenceModel::test_scale(2).apply(&a);
+        let fm = full_matrix(a.codes(), b.codes(), &scheme);
+
+        for (bh, bw) in [(1, 1), (3, 5), (16, 16), (97, 13), (200, 200), (7, 97)] {
+            let grid = BlockGrid::new(a.len(), b.len(), bh, bw);
+            let res = run_sequential(a.codes(), b.codes(), &grid, &scheme);
+            assert_eq!(res.best, fm.best, "block size {bh}×{bw}");
+            assert_eq!(res.cells_computed, grid.cells());
+
+            // Final borders stitch back into matrix row m / column n.
+            let mut row_m = vec![fm.h_at(a.len(), 0)];
+            for rb in &res.final_bottoms {
+                row_m.extend_from_slice(&rb.h[1..]);
+            }
+            assert_eq!(row_m, fm.h[a.len()], "bottom row, block {bh}×{bw}");
+
+            let mut col_n = vec![fm.h_at(0, b.len())];
+            for cb in &res.final_rights {
+                col_n.extend_from_slice(&cb.h[1..]);
+            }
+            let want: Vec<_> = (0..=a.len()).map(|i| fm.h_at(i, b.len())).collect();
+            assert_eq!(col_n, want, "right col, block {bh}×{bw}");
+        }
+    }
+
+    #[test]
+    fn sequential_grid_matches_gotoh_on_larger_input() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::sized(3_000, 5)).generate();
+        let (b, _) = DivergenceModel::test_scale(6).apply(&a);
+        let grid = BlockGrid::new(a.len(), b.len(), 256, 256);
+        let res = run_sequential(a.codes(), b.codes(), &grid, &scheme);
+        assert_eq!(res.best, gotoh_best(a.codes(), b.codes(), &scheme));
+    }
+}

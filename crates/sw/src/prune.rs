@@ -1,0 +1,231 @@
+//! Block pruning (CUDAlign 2.1).
+//!
+//! When only the best score/position is wanted (the paper's stage 1), a
+//! tile can be skipped if **no path through it can reach the best score
+//! found so far**: from any incoming border cell with value `v` at matrix
+//! position `(bi, bj)`, the final score of any alignment continuing through
+//! it is at most `v + match · min(m − bi, n − bj)` — every remaining step
+//! can at best be a match. Using the tile's corner (the loosest position)
+//! and the maximum incoming border value gives a safe tile-level bound.
+//!
+//! A pruned tile emits `H = 0`, `E = F = −∞` borders. This *underestimates*
+//! downstream values (true `H ≥ 0` everywhere, and DP is monotone in its
+//! inputs), which is safe because the bound proves no path through the tile
+//! can even tie the current best (the test uses a **strict** comparison),
+//! so the final best cell — including its deterministic tie-break — is
+//! bit-identical to the unpruned run. That property is asserted in tests.
+//!
+//! Pruning is an *ablation feature* here: the paper's multi-GPU runs leave
+//! it off (each GPU only knows its local best, weakening the bound), which
+//! is why `megasw-multigpu` defaults it off. The `kernels` bench quantifies
+//! what single-device runs gain from it.
+
+use crate::block::{compute_block, BlockInput};
+use crate::border::{ColBorder, RowBorder};
+use crate::cell::{BestCell, NEG_INF};
+use crate::grid::BlockGrid;
+use crate::scoring::ScoreScheme;
+
+/// Result of a pruned grid execution.
+#[derive(Debug, Clone)]
+pub struct PrunedResult {
+    pub best: BestCell,
+    /// DP cells actually computed.
+    pub cells_computed: u128,
+    /// Tiles skipped by the pruning bound.
+    pub tiles_pruned: usize,
+    /// Total tiles in the grid.
+    pub tiles_total: usize,
+}
+
+impl PrunedResult {
+    /// Fraction of matrix cells that were never computed.
+    pub fn pruned_fraction(&self, grid: &BlockGrid) -> f64 {
+        let total = grid.cells();
+        if total == 0 {
+            0.0
+        } else {
+            1.0 - (self.cells_computed as f64 / total as f64)
+        }
+    }
+}
+
+/// Execute the grid in external-diagonal order with block pruning.
+///
+/// Diagonal order matters: the best score grows along the similarity band
+/// before the off-band tiles are visited, which is what gives the bound its
+/// bite on real (similar) sequence pairs.
+pub fn run_pruned(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) -> PrunedResult {
+    assert_eq!(a.len(), grid.m);
+    assert_eq!(b.len(), grid.n);
+
+    let rows = grid.rows();
+    let cols = grid.cols();
+    let mut best = BestCell::ZERO;
+    let mut cells_computed: u128 = 0;
+    let mut tiles_pruned = 0usize;
+
+    // Borders currently waiting at each tile-column top and tile-row left.
+    let mut tops: Vec<RowBorder> = (0..cols)
+        .map(|c| RowBorder::zero(grid.col_width(c)))
+        .collect();
+    let mut lefts: Vec<ColBorder> = (0..rows)
+        .map(|r| ColBorder::zero(grid.row_height(r)))
+        .collect();
+
+    for d in 0..grid.external_diagonals() {
+        for (r, c) in grid.diagonal_tiles(d) {
+            let (i0, i1) = grid.row_range(r);
+            let (j0, j1) = grid.col_range(c);
+
+            let incoming_max = tops[c].max_h().max(lefts[r].max_h()).max(0);
+            // Remaining matrix extent measured from the tile's corner
+            // (i0−1, j0−1): the loosest cell any path can enter through.
+            let remaining = (grid.m - (i0 - 1)).min(grid.n - (j0 - 1));
+            let upper = incoming_max as i64 + scheme.match_score as i64 * remaining as i64;
+
+            if upper < best.score as i64 {
+                // No path through this tile can even tie the current best.
+                tiles_pruned += 1;
+                tops[c] = RowBorder {
+                    h: vec![0; j1 - j0 + 1],
+                    f: vec![NEG_INF; j1 - j0 + 1],
+                };
+                lefts[r] = ColBorder {
+                    h: vec![0; i1 - i0 + 1],
+                    e: vec![NEG_INF; i1 - i0 + 1],
+                };
+                continue;
+            }
+
+            // The pruned substitute borders zero the corner, so the corner
+            // agreement between a pruned and an unpruned neighbour border
+            // must be restored before computing.
+            let mut top = std::mem::replace(&mut tops[c], RowBorder::zero(0));
+            let mut left = std::mem::replace(&mut lefts[r], ColBorder::zero(0));
+            if top.h[0] != left.h[0] {
+                // One side came from a pruned tile (its h is all zeros)
+                // while the exact corner flows on the other side. Both
+                // sides are ≤ the true value (pruned substitutes
+                // underestimate, true H ≥ 0), so `max` recovers the exact
+                // corner whenever it survives on either path — and when
+                // both carriers were pruned, the pruning bound already
+                // proved no best-scoring path crosses this corner.
+                let corner = top.h[0].max(left.h[0]);
+                top.h[0] = corner;
+                left.h[0] = corner;
+            }
+
+            let out = compute_block(
+                BlockInput {
+                    a_rows: &a[i0 - 1..i1 - 1],
+                    b_cols: &b[j0 - 1..j1 - 1],
+                    top: &top,
+                    left: &left,
+                    row_offset: i0,
+                    col_offset: j0,
+                },
+                scheme,
+            );
+            best = best.merge(out.best);
+            cells_computed += out.cells as u128;
+            tops[c] = out.bottom;
+            lefts[r] = out.right;
+        }
+    }
+
+    PrunedResult {
+        best,
+        cells_computed,
+        tiles_pruned,
+        tiles_total: grid.tiles(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gotoh::gotoh_best;
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+
+    #[test]
+    fn pruned_run_matches_unpruned_on_similar_pair() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(4_000, 21)).generate();
+        let (b, _) = DivergenceModel::snp_only(22, 0.01).apply(&a);
+        let grid = BlockGrid::new(a.len(), b.len(), 128, 128);
+        let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
+        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        assert_eq!(pruned.best, want);
+        assert!(
+            pruned.tiles_pruned > 0,
+            "expected pruning on a 99%-identical pair (pruned {}/{})",
+            pruned.tiles_pruned,
+            pruned.tiles_total
+        );
+        assert!(pruned.cells_computed < grid.cells());
+    }
+
+    #[test]
+    fn pruned_run_matches_unpruned_on_dissimilar_pair() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(1_500, 31)).generate();
+        let b = ChromosomeGenerator::new(GenerateConfig::uniform(1_500, 32)).generate();
+        let grid = BlockGrid::new(a.len(), b.len(), 64, 64);
+        let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
+        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        assert_eq!(pruned.best, want);
+    }
+
+    #[test]
+    fn pruning_preserves_tiebreaks_on_repetitive_input() {
+        let scheme = ScoreScheme::cudalign();
+        let unit = megasw_seq::DnaSeq::from_str_unwrap("ACGT");
+        let mut a = megasw_seq::DnaSeq::new();
+        for _ in 0..300 {
+            a.extend_codes(unit.codes());
+        }
+        let b = a.clone();
+        let grid = BlockGrid::new(a.len(), b.len(), 100, 100);
+        let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
+        assert_eq!(pruned.best, gotoh_best(a.codes(), b.codes(), &scheme));
+    }
+
+    #[test]
+    fn identical_sequences_prune_most_off_band_tiles() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(6_000, 41)).generate();
+        let grid = BlockGrid::new(a.len(), a.len(), 128, 128);
+        let pruned = run_pruned(a.codes(), a.codes(), &grid, &scheme);
+        assert_eq!(pruned.best.score, a.len() as i32);
+        let frac = pruned.pruned_fraction(&grid);
+        assert!(frac > 0.3, "pruned fraction = {frac}");
+    }
+
+    #[test]
+    fn small_matrices_never_misprune() {
+        let scheme = ScoreScheme::cudalign();
+        for seed in 0..6 {
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(200, seed)).generate();
+            let (b, _) = DivergenceModel::test_scale(seed + 7).apply(&a);
+            for bs in [16, 33, 64] {
+                let grid = BlockGrid::new(a.len(), b.len(), bs, bs);
+                let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
+                assert_eq!(
+                    pruned.best,
+                    gotoh_best(a.codes(), b.codes(), &scheme),
+                    "seed {seed} block {bs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let scheme = ScoreScheme::cudalign();
+        let grid = BlockGrid::new(0, 0, 16, 16);
+        let pruned = run_pruned(&[], &[], &grid, &scheme);
+        assert_eq!(pruned.best, BestCell::ZERO);
+        assert_eq!(pruned.tiles_total, 0);
+    }
+}

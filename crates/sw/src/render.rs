@@ -1,0 +1,182 @@
+//! Human-readable alignment rendering (CUDAlign stage-6 analogue).
+//!
+//! Produces the classic three-line blocks:
+//!
+//! ```text
+//! a      151 ACGT-ACGTTTA 162
+//!            |||| |||| ||
+//! b       88 ACGTTACGTGTA 99
+//! ```
+//!
+//! with `|` for matches, ` ` for mismatches and `-` for gaps, wrapped at a
+//! configurable width, with 1-based sequence coordinates at both ends of
+//! every block.
+
+use crate::traceback::{AlignOp, LocalAlignment};
+
+/// Render an alignment over the original code slices.
+///
+/// `width` is the number of alignment columns per block (clamped to ≥ 10).
+/// Returns an empty string for the empty alignment.
+pub fn render_alignment(a: &[u8], b: &[u8], aln: &LocalAlignment, width: usize) -> String {
+    if aln.is_empty() {
+        return String::new();
+    }
+    let width = width.max(10);
+
+    // Expand the op list into three parallel character rows.
+    let mut top = String::with_capacity(aln.len());
+    let mut mid = String::with_capacity(aln.len());
+    let mut bot = String::with_capacity(aln.len());
+    // Per-column sequence coordinates (1-based position of the consumed
+    // base, or the last consumed position for gap columns).
+    let mut a_pos = Vec::with_capacity(aln.len());
+    let mut b_pos = Vec::with_capacity(aln.len());
+
+    let mut i = aln.start_i; // next a position to consume (1-based)
+    let mut j = aln.start_j;
+    let to_char = |code: u8| {
+        crate::ascii_base(code)
+    };
+    for &op in &aln.ops {
+        match op {
+            AlignOp::Match | AlignOp::Mismatch => {
+                top.push(to_char(a[i - 1]));
+                bot.push(to_char(b[j - 1]));
+                mid.push(if op == AlignOp::Match { '|' } else { ' ' });
+                a_pos.push(i);
+                b_pos.push(j);
+                i += 1;
+                j += 1;
+            }
+            AlignOp::Insert => {
+                top.push('-');
+                bot.push(to_char(b[j - 1]));
+                mid.push(' ');
+                a_pos.push(i.saturating_sub(1).max(aln.start_i));
+                b_pos.push(j);
+                j += 1;
+            }
+            AlignOp::Delete => {
+                top.push(to_char(a[i - 1]));
+                bot.push('-');
+                mid.push(' ');
+                a_pos.push(i);
+                b_pos.push(j.saturating_sub(1).max(aln.start_j));
+                i += 1;
+            }
+        }
+    }
+
+    let top: Vec<char> = top.chars().collect();
+    let mid: Vec<char> = mid.chars().collect();
+    let bot: Vec<char> = bot.chars().collect();
+
+    let mut out = String::new();
+    let digits = format!("{}", a_pos.last().unwrap().max(b_pos.last().unwrap())).len();
+    for block_start in (0..top.len()).step_by(width) {
+        let end = (block_start + width).min(top.len());
+        let seg = |chars: &[char]| chars[block_start..end].iter().collect::<String>();
+        out.push_str(&format!(
+            "a {:>digits$} {} {}\n",
+            a_pos[block_start],
+            seg(&top),
+            a_pos[end - 1],
+        ));
+        out.push_str(&format!(
+            "  {:>digits$} {}\n",
+            "",
+            seg(&mid),
+        ));
+        out.push_str(&format!(
+            "b {:>digits$} {} {}\n",
+            b_pos[block_start],
+            seg(&bot),
+            b_pos[end - 1],
+        ));
+        if end < top.len() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::ScoreScheme;
+    use crate::traceback::local_align;
+
+    fn codes(s: &str) -> Vec<u8> {
+        megasw_seq::DnaSeq::from_str_unwrap(s).codes().to_vec()
+    }
+
+    #[test]
+    fn renders_identity_alignment() {
+        let a = codes("ACGTACGT");
+        let aln = local_align(&a, &a, &ScoreScheme::cudalign());
+        let text = render_alignment(&a, &a, &aln, 80);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("ACGTACGT"));
+        assert_eq!(lines[1].matches('|').count(), 8);
+        assert!(lines[0].starts_with("a 1 "));
+        assert!(lines[0].ends_with(" 8"));
+    }
+
+    #[test]
+    fn renders_mismatch_as_blank_bar() {
+        // Lenient scoring so the full 8-column alignment (7 matches + 1
+        // mismatch) beats the 4-match prefix; under CUDAlign scoring the
+        // two tie and the tie-break picks the prefix.
+        let a = codes("ACGTACGT");
+        let b = codes("ACGTTCGT");
+        let aln = local_align(&a, &b, &ScoreScheme::lenient());
+        let text = render_alignment(&a, &b, &aln, 80);
+        let mid = text.lines().nth(1).unwrap();
+        assert_eq!(mid.matches('|').count(), 7);
+        assert_eq!(aln.len(), 8);
+    }
+
+    #[test]
+    fn renders_gaps_as_dashes() {
+        let scheme = ScoreScheme::lenient();
+        let a = codes("ACGTTTACGTACGTAAAA");
+        let b = codes("ACGTTTACGACGTAAAA"); // one T deleted
+        let aln = local_align(&a, &b, &scheme);
+        let text = render_alignment(&a, &b, &aln, 80);
+        assert!(text.contains('-'), "expected a gap dash:\n{text}");
+    }
+
+    #[test]
+    fn wraps_long_alignments() {
+        let a = codes(&"ACGT".repeat(30)); // 120 columns
+        let aln = local_align(&a, &a, &ScoreScheme::cudalign());
+        let text = render_alignment(&a, &a, &aln, 40);
+        // 3 blocks of 3 lines separated by blank lines.
+        assert_eq!(text.lines().filter(|l| l.starts_with("a ")).count(), 3);
+        // Second block starts at column 41.
+        assert!(text.contains("a  41 "), "{text}");
+    }
+
+    #[test]
+    fn offsets_respect_local_start() {
+        // Alignment begins mid-sequence: coordinates must not start at 1.
+        let mut a = codes("TTTTTTTT");
+        a.extend_from_slice(&codes("ACGTACGTACGT"));
+        let b = codes("ACGTACGTACGT");
+        let aln = local_align(&a, &b, &ScoreScheme::cudalign());
+        assert_eq!(aln.start_i, 9);
+        let text = render_alignment(&a, &b, &aln, 80);
+        assert!(text.lines().next().unwrap().contains("a  9 "), "{text}");
+    }
+
+    #[test]
+    fn empty_alignment_renders_empty() {
+        let a = codes("AAAA");
+        let b = codes("TTTT");
+        let aln = local_align(&a, &b, &ScoreScheme::cudalign());
+        assert!(aln.is_empty());
+        assert_eq!(render_alignment(&a, &b, &aln, 60), "");
+    }
+}

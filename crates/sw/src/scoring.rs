@@ -1,0 +1,158 @@
+//! Affine-gap scoring scheme.
+
+use crate::cell::Score;
+
+/// Smith-Waterman scoring parameters with affine gaps.
+///
+/// A gap of length `k` costs `gap_open + k * gap_extend` (both stored as
+/// positive costs and subtracted). This is the convention CUDAlign uses; the
+/// first base of a gap therefore costs `gap_open + gap_extend`.
+///
+/// `N` (unknown base) never matches anything, including another `N`, so
+/// assembly gaps cannot manufacture score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScoreScheme {
+    /// Score added for a match (positive).
+    pub match_score: Score,
+    /// Score added for a mismatch (negative).
+    pub mismatch_score: Score,
+    /// Cost of opening a gap (positive; subtracted once per gap).
+    pub gap_open: Score,
+    /// Cost of extending a gap by one base (positive; subtracted per base).
+    pub gap_extend: Score,
+}
+
+impl ScoreScheme {
+    /// The scheme used by CUDAlign and this paper's evaluation:
+    /// match +1, mismatch −3, gap open 3, gap extend 2.
+    pub const fn cudalign() -> Self {
+        ScoreScheme {
+            match_score: 1,
+            mismatch_score: -3,
+            gap_open: 3,
+            gap_extend: 2,
+        }
+    }
+
+    /// A gentler scheme (useful in tests for exercising longer alignments):
+    /// match +2, mismatch −1, open 2, extend 1.
+    pub const fn lenient() -> Self {
+        ScoreScheme {
+            match_score: 2,
+            mismatch_score: -1,
+            gap_open: 2,
+            gap_extend: 1,
+        }
+    }
+
+    /// Validate invariants the DP kernels rely on. Returns a description of
+    /// the first violated constraint.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.match_score <= 0 {
+            return Err("match_score must be positive");
+        }
+        if self.mismatch_score >= 0 {
+            return Err("mismatch_score must be negative");
+        }
+        if self.gap_open < 0 {
+            return Err("gap_open must be non-negative (it is a cost)");
+        }
+        if self.gap_extend <= 0 {
+            return Err("gap_extend must be positive (it is a cost)");
+        }
+        Ok(())
+    }
+
+    /// Substitution score for base codes `a`, `b` (`0..=4`, 4 = N).
+    #[inline(always)]
+    pub fn substitution(&self, a: u8, b: u8) -> Score {
+        if a == b && a < 4 {
+            self.match_score
+        } else {
+            self.mismatch_score
+        }
+    }
+
+    /// Cost of the *first* base of a gap (`open + extend`), as a negative
+    /// delta to add.
+    #[inline(always)]
+    pub fn gap_first(&self) -> Score {
+        -(self.gap_open + self.gap_extend)
+    }
+
+    /// Cost of each subsequent gap base, as a negative delta to add.
+    #[inline(always)]
+    pub fn gap_next(&self) -> Score {
+        -self.gap_extend
+    }
+
+    /// Upper bound on the score of any local alignment between sequences of
+    /// length `m` and `n`: every aligned pair can at best be a match.
+    pub fn max_possible(&self, m: usize, n: usize) -> Score {
+        let pairs = m.min(n) as i64;
+        let bound = pairs * self.match_score as i64;
+        bound.min(Score::MAX as i64) as Score
+    }
+}
+
+impl Default for ScoreScheme {
+    fn default() -> Self {
+        Self::cudalign()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cudalign_defaults() {
+        let s = ScoreScheme::cudalign();
+        assert_eq!(s.match_score, 1);
+        assert_eq!(s.mismatch_score, -3);
+        assert_eq!(s.gap_open, 3);
+        assert_eq!(s.gap_extend, 2);
+        assert_eq!(s.gap_first(), -5);
+        assert_eq!(s.gap_next(), -2);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn substitution_matrix() {
+        let s = ScoreScheme::cudalign();
+        assert_eq!(s.substitution(0, 0), 1);
+        assert_eq!(s.substitution(0, 1), -3);
+        assert_eq!(s.substitution(3, 3), 1);
+        // N never matches, even against N.
+        assert_eq!(s.substitution(4, 4), -3);
+        assert_eq!(s.substitution(4, 0), -3);
+    }
+
+    #[test]
+    fn validation_catches_bad_schemes() {
+        let mut s = ScoreScheme::cudalign();
+        s.match_score = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = ScoreScheme::cudalign();
+        s.mismatch_score = 1;
+        assert!(s.validate().is_err());
+
+        let mut s = ScoreScheme::cudalign();
+        s.gap_extend = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = ScoreScheme::cudalign();
+        s.gap_open = -1;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn max_possible_bound() {
+        let s = ScoreScheme::cudalign();
+        assert_eq!(s.max_possible(10, 20), 10);
+        assert_eq!(s.max_possible(0, 20), 0);
+        // Does not overflow for chromosome-scale inputs.
+        assert!(s.max_possible(250_000_000, 250_000_000) > 0);
+    }
+}

@@ -1,0 +1,731 @@
+//! Optimal local alignment retrieval in linear space.
+//!
+//! The paper's multi-GPU system computes stage 1 (best score + end point);
+//! the CUDAlign pipeline it belongs to recovers the actual alignment in
+//! later stages using Myers–Miller linear-space techniques. This module
+//! implements that retrieval:
+//!
+//! 1. **Endpoint** — [`crate::gotoh::gotoh_best`] finds the best cell
+//!    `(iₑ, jₑ)` and score `S`.
+//! 2. **Start point** — an *anchored* reverse scan ([`anchored_best`]) over
+//!    the reversed prefixes `rev(a[..iₑ])`, `rev(b[..jₑ])` finds the cell
+//!    where a global-to-cell path attains `S`; mapped back it is the start
+//!    `(iₛ, jₛ)` of an optimal alignment ending exactly at `(iₑ, jₑ)`.
+//! 3. **Path** — [`myers_miller`] computes a maximal global alignment of
+//!    the bounded segments `a[iₛ..=iₑ]` × `b[jₛ..=jₑ]` in `O(min(m,n))`
+//!    memory via divide-and-conquer on the middle row, with the classic
+//!    two-delete join for splits that land inside a vertical gap.
+//!
+//! Every produced [`LocalAlignment`] is checked (in tests and debug builds)
+//! to re-score to exactly `S` under [`score_of_ops`].
+
+use crate::cell::{BestCell, Score, NEG_INF};
+use crate::gotoh::gotoh_best;
+use crate::scoring::ScoreScheme;
+
+/// One alignment column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlignOp {
+    /// `a[i]` aligned to `b[j]`, equal bases.
+    Match,
+    /// `a[i]` aligned to `b[j]`, different bases.
+    Mismatch,
+    /// Gap in `a`: consumes one base of `b`.
+    Insert,
+    /// Gap in `b`: consumes one base of `a`.
+    Delete,
+}
+
+/// An optimal local alignment with its path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalAlignment {
+    pub score: Score,
+    /// 1-based inclusive start position in `a` (0 for the empty alignment).
+    pub start_i: usize,
+    /// 1-based inclusive start position in `b`.
+    pub start_j: usize,
+    /// 1-based inclusive end position in `a`.
+    pub end_i: usize,
+    /// 1-based inclusive end position in `b`.
+    pub end_j: usize,
+    pub ops: Vec<AlignOp>,
+}
+
+impl LocalAlignment {
+    /// The empty alignment (score 0).
+    pub fn empty() -> Self {
+        LocalAlignment {
+            score: 0,
+            start_i: 0,
+            start_j: 0,
+            end_i: 0,
+            end_j: 0,
+            ops: Vec::new(),
+        }
+    }
+
+    /// Number of alignment columns.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is this the empty alignment?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Fraction of columns that are matches (0.0 for the empty alignment).
+    pub fn identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            return 0.0;
+        }
+        let matches = self.ops.iter().filter(|o| **o == AlignOp::Match).count();
+        matches as f64 / self.ops.len() as f64
+    }
+
+    /// Compact CIGAR-like string (`=`, `X`, `I`, `D` with run lengths).
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut run: Option<(char, usize)> = None;
+        for op in &self.ops {
+            let c = match op {
+                AlignOp::Match => '=',
+                AlignOp::Mismatch => 'X',
+                AlignOp::Insert => 'I',
+                AlignOp::Delete => 'D',
+            };
+            match &mut run {
+                Some((rc, n)) if *rc == c => *n += 1,
+                _ => {
+                    if let Some((rc, n)) = run.take() {
+                        out.push_str(&format!("{n}{rc}"));
+                    }
+                    run = Some((c, 1));
+                }
+            }
+        }
+        if let Some((rc, n)) = run {
+            out.push_str(&format!("{n}{rc}"));
+        }
+        out
+    }
+}
+
+/// Re-score an op list over the segment `a_seg` × `b_seg` it claims to
+/// align (global semantics: ops must consume both slices exactly).
+///
+/// Returns `Err` describing the first inconsistency.
+pub fn score_of_ops(
+    a_seg: &[u8],
+    b_seg: &[u8],
+    ops: &[AlignOp],
+    scheme: &ScoreScheme,
+) -> Result<Score, String> {
+    let mut i = 0usize;
+    let mut j = 0usize;
+    let mut score: i64 = 0;
+    let mut prev: Option<AlignOp> = None;
+    for (k, &op) in ops.iter().enumerate() {
+        match op {
+            AlignOp::Match | AlignOp::Mismatch => {
+                let (Some(&ac), Some(&bc)) = (a_seg.get(i), b_seg.get(j)) else {
+                    return Err(format!("op {k} overruns the segment"));
+                };
+                let is_match = ac == bc && ac < 4;
+                if is_match != (op == AlignOp::Match) {
+                    return Err(format!("op {k}: claims {op:?} but bases say otherwise"));
+                }
+                score += scheme.substitution(ac, bc) as i64;
+                i += 1;
+                j += 1;
+            }
+            AlignOp::Insert => {
+                if j >= b_seg.len() {
+                    return Err(format!("op {k} (Insert) overruns b"));
+                }
+                score -= scheme.gap_extend as i64;
+                if prev != Some(AlignOp::Insert) {
+                    score -= scheme.gap_open as i64;
+                }
+                j += 1;
+            }
+            AlignOp::Delete => {
+                if i >= a_seg.len() {
+                    return Err(format!("op {k} (Delete) overruns a"));
+                }
+                score -= scheme.gap_extend as i64;
+                if prev != Some(AlignOp::Delete) {
+                    score -= scheme.gap_open as i64;
+                }
+                i += 1;
+            }
+        }
+        prev = Some(op);
+    }
+    if i != a_seg.len() || j != b_seg.len() {
+        return Err(format!(
+            "ops consume ({i}, {j}) of ({}, {})",
+            a_seg.len(),
+            b_seg.len()
+        ));
+    }
+    Ok(score as Score)
+}
+
+/// Anchored best cell: like Smith-Waterman, but every path must start at
+/// the matrix origin `(0, 0)` (global boundary conditions, no zero floor);
+/// the result is the best cell of this "prefix-global" matrix.
+///
+/// Applied to reversed prefixes, this locates the *start* of an optimal
+/// local alignment that ends exactly at the anchor — see the module docs.
+pub fn anchored_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    let n = b.len();
+    let open_ext = scheme.gap_open + scheme.gap_extend;
+    let ext = scheme.gap_extend;
+
+    // Row 0: horizontal gap from the origin.
+    let mut h_row: Vec<Score> = (0..=n)
+        .map(|j| {
+            if j == 0 {
+                0
+            } else {
+                -(scheme.gap_open + j as Score * ext)
+            }
+        })
+        .collect();
+    let mut f_row = vec![NEG_INF; n + 1];
+    let mut best = BestCell::new(0, 0, 0);
+
+    for (k, &a_code) in a.iter().enumerate() {
+        let i = k + 1;
+        let mut h_diag = h_row[0];
+        let h0 = -(scheme.gap_open + i as Score * ext);
+        let mut h_left = h0;
+        let mut e = NEG_INF;
+        h_row[0] = h0;
+        for (l, &b_code) in b.iter().enumerate() {
+            let j = l + 1;
+            let h_up = h_row[j];
+            let f = (f_row[j] - ext).max(h_up - open_ext);
+            e = (e - ext).max(h_left - open_ext);
+            let mut h = h_diag + scheme.substitution(a_code, b_code);
+            if e > h {
+                h = e;
+            }
+            if f > h {
+                h = f;
+            }
+            if h >= best.score {
+                best.consider(h, i, j);
+            }
+            h_diag = h_up;
+            h_left = h;
+            h_row[j] = h;
+            f_row[j] = f;
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------------------------------
+// Myers–Miller global alignment, linear space.
+// ---------------------------------------------------------------------------
+
+/// Maximal-score **global** alignment of `a` × `b` in `O(|b|)` memory.
+///
+/// Returns the op list; its score under [`score_of_ops`] equals the optimal
+/// global affine-gap score (asserted against [`global_score`] in tests).
+pub fn myers_miller(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> Vec<AlignOp> {
+    let mut ops = Vec::with_capacity(a.len().max(b.len()));
+    mm_rec(a, b, scheme.gap_open, scheme.gap_open, scheme, &mut ops);
+    ops
+}
+
+/// Forward pass over rows of `a` × `b`; `tb` is the gap-open cost charged
+/// to the delete run flowing down **column 0** (the column where a gap from
+/// the caller's upper half would continue — runs elsewhere always pay the
+/// full `open`, exactly as in Myers–Miller's original `diff`).
+///
+/// Returns `(cc, dd)` for the final row: `cc[j] = H(K, j)`,
+/// `dd[j] = D(K, j)` (best score ending in a delete).
+fn mm_forward(a: &[u8], b: &[u8], tb: Score, scheme: &ScoreScheme) -> (Vec<Score>, Vec<Score>) {
+    let n = b.len();
+    let open = scheme.gap_open;
+    let ext = scheme.gap_extend;
+
+    let mut cc: Vec<Score> = (0..=n)
+        .map(|j| if j == 0 { 0 } else { -(open + j as Score * ext) })
+        .collect();
+    let mut dd = vec![NEG_INF; n + 1];
+
+    for (k, &a_code) in a.iter().enumerate() {
+        let i = k + 1;
+        let mut h_diag = cc[0];
+        let h0 = -(tb + i as Score * ext);
+        cc[0] = h0;
+        dd[0] = h0;
+        let mut h_left = h0;
+        let mut e = NEG_INF;
+        for (l, &b_code) in b.iter().enumerate() {
+            let j = l + 1;
+            let h_up = cc[j];
+            let d = (dd[j] - ext).max(h_up - open - ext);
+            e = (e - ext).max(h_left - open - ext);
+            let mut h = h_diag + scheme.substitution(a_code, b_code);
+            if d > h {
+                h = d;
+            }
+            if e > h {
+                h = e;
+            }
+            h_diag = h_up;
+            h_left = h;
+            cc[j] = h;
+            dd[j] = d;
+        }
+    }
+    (cc, dd)
+}
+
+/// Backward pass: forward pass over reversed slices, with results re-indexed
+/// to forward coordinates: `rr[j] = H'` of aligning `a` (all of it) with
+/// `b[j..]`, and `ss[j]` its delete-ending variant. `te` plays the role of
+/// `tb` for the bottom boundary.
+fn mm_backward(a: &[u8], b: &[u8], te: Score, scheme: &ScoreScheme) -> (Vec<Score>, Vec<Score>) {
+    let ar: Vec<u8> = a.iter().rev().copied().collect();
+    let br: Vec<u8> = b.iter().rev().copied().collect();
+    let (mut cc, mut dd) = mm_forward(&ar, &br, te, scheme);
+    cc.reverse();
+    dd.reverse();
+    (cc, dd)
+}
+
+/// Recursive divide-and-conquer. `tb`/`te` are the gap-open costs charged
+/// to delete runs touching the top/bottom boundary (0 when such a run
+/// continues a gap already paid for by the caller).
+fn mm_rec(a: &[u8], b: &[u8], tb: Score, te: Score, scheme: &ScoreScheme, ops: &mut Vec<AlignOp>) {
+    let m = a.len();
+    let n = b.len();
+    let open = scheme.gap_open;
+
+    if n == 0 {
+        // Delete everything (single run, open = min(tb, te)).
+        ops.extend(std::iter::repeat_n(AlignOp::Delete, m));
+        return;
+    }
+    if m == 0 {
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+        return;
+    }
+    if m == 1 {
+        mm_base_single_row(a[0], b, tb, te, scheme, ops);
+        return;
+    }
+
+    let imid = m / 2;
+    let (cc, dd) = mm_forward(&a[..imid], b, tb, scheme);
+    let (rr, ss) = mm_backward(&a[imid..], b, te, scheme);
+
+    // Join: crossing row `imid` either at an H-state cell (type 1) or inside
+    // a vertical gap that spans the boundary (type 2, +open compensates the
+    // double-charged gap open).
+    let mut best_j = 0usize;
+    let mut best_type2 = false;
+    let mut best_val = i64::MIN;
+    for j in 0..=n {
+        let t1 = cc[j] as i64 + rr[j] as i64;
+        if t1 > best_val {
+            best_val = t1;
+            best_j = j;
+            best_type2 = false;
+        }
+        let t2 = dd[j] as i64 + ss[j] as i64 + open as i64;
+        if t2 > best_val {
+            best_val = t2;
+            best_j = j;
+            best_type2 = true;
+        }
+    }
+
+    if !best_type2 {
+        mm_rec(&a[..imid], &b[..best_j], tb, open, scheme, ops);
+        mm_rec(&a[imid..], &b[best_j..], open, te, scheme, ops);
+    } else {
+        // The crossing gap deletes a[imid-1] and a[imid] (0-based): emit
+        // them explicitly and waive the adjoining opens in the halves.
+        mm_rec(&a[..imid - 1], &b[..best_j], tb, 0, scheme, ops);
+        ops.push(AlignOp::Delete);
+        ops.push(AlignOp::Delete);
+        mm_rec(&a[imid + 1..], &b[best_j..], 0, te, scheme, ops);
+    }
+}
+
+/// Base case: a single row of `a` against all of `b` (`n ≥ 1`).
+///
+/// Either `a`'s base pairs with some `b[j]` (inserts around it), or `a`'s
+/// base is deleted and all of `b` inserted.
+fn mm_base_single_row(
+    a_code: u8,
+    b: &[u8],
+    tb: Score,
+    te: Score,
+    scheme: &ScoreScheme,
+    ops: &mut Vec<AlignOp>,
+) {
+    let n = b.len();
+    let open = scheme.gap_open;
+    let ext = scheme.gap_extend;
+
+    // Option (b): delete a's single base and insert all of b. The delete
+    // can sit at either end of the op run: placed first it can merge with a
+    // caller gap at the top boundary (waiver `tb`), placed last with one at
+    // the bottom boundary (waiver `te`) — take the cheaper.
+    let mut best: i64 = -(tb.min(te) as i64 + ext as i64) - (open as i64 + n as i64 * ext as i64);
+    let mut best_j = 0usize; // 0 = option (b)
+
+    // Option (a): pair a with b[j] (1-based).
+    for j in 1..=n {
+        let before = if j > 1 {
+            -(open as i64 + (j - 1) as i64 * ext as i64)
+        } else {
+            0
+        };
+        let after = if j < n {
+            -(open as i64 + (n - j) as i64 * ext as i64)
+        } else {
+            0
+        };
+        let val = before + scheme.substitution(a_code, b[j - 1]) as i64 + after;
+        if val > best {
+            best = val;
+            best_j = j;
+        }
+    }
+
+    if best_j == 0 {
+        // Emit the delete adjacent to the boundary whose waiver priced it,
+        // so run-merging in the final op list realizes the waived open.
+        if tb <= te {
+            ops.push(AlignOp::Delete);
+            ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+        } else {
+            ops.extend(std::iter::repeat_n(AlignOp::Insert, n));
+            ops.push(AlignOp::Delete);
+        }
+    } else {
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, best_j - 1));
+        ops.push(if scheme.substitution(a_code, b[best_j - 1]) == scheme.match_score
+            && a_code == b[best_j - 1]
+            && a_code < 4
+        {
+            AlignOp::Match
+        } else {
+            AlignOp::Mismatch
+        });
+        ops.extend(std::iter::repeat_n(AlignOp::Insert, n - best_j));
+    }
+}
+
+/// Optimal **global** affine-gap score (no traceback), linear memory.
+/// Used to validate [`myers_miller`] outputs.
+pub fn global_score(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> Score {
+    if a.is_empty() && b.is_empty() {
+        return 0;
+    }
+    let (cc, _) = mm_forward(a, b, scheme.gap_open, scheme);
+    cc[b.len()]
+}
+
+/// Retrieve the optimal local alignment of `a` × `b` (CUDAlign stages 2–4
+/// analogue). Linear memory throughout.
+///
+/// ```
+/// use megasw_sw::traceback::local_align;
+/// use megasw_sw::ScoreScheme;
+/// use megasw_seq::DnaSeq;
+///
+/// let a = DnaSeq::from_str_unwrap("TTACGTACGTTT");
+/// let aln = local_align(a.codes(), a.codes(), &ScoreScheme::cudalign());
+/// assert_eq!(aln.score, 12);
+/// assert_eq!(aln.cigar(), "12=");
+/// assert_eq!(aln.identity(), 1.0);
+/// ```
+pub fn local_align(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> LocalAlignment {
+    let best = gotoh_best(a, b, scheme);
+    if best.score <= 0 {
+        return LocalAlignment::empty();
+    }
+    let (ie, je) = (best.i, best.j);
+
+    // Reverse anchored scan to find the start point.
+    let ar: Vec<u8> = a[..ie].iter().rev().copied().collect();
+    let br: Vec<u8> = b[..je].iter().rev().copied().collect();
+    let rev = anchored_best(&ar, &br, scheme);
+    debug_assert_eq!(
+        rev.score, best.score,
+        "anchored reverse scan must reproduce the local score"
+    );
+    let is = ie - rev.i + 1;
+    let js = je - rev.j + 1;
+
+    let a_seg = &a[is - 1..ie];
+    let b_seg = &b[js - 1..je];
+    let ops = myers_miller(a_seg, b_seg, scheme);
+    debug_assert_eq!(
+        score_of_ops(a_seg, b_seg, &ops, scheme),
+        Ok(best.score),
+        "retrieved path must re-score to the DP score"
+    );
+
+    LocalAlignment {
+        score: best.score,
+        start_i: is,
+        start_j: js,
+        end_i: ie,
+        end_j: je,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
+
+    fn codes(s: &str) -> Vec<u8> {
+        megasw_seq::DnaSeq::from_str_unwrap(s).codes().to_vec()
+    }
+
+    /// O(mn) global alignment score by full DP — an independent oracle for
+    /// `global_score` / `myers_miller`.
+    fn global_score_quadratic(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> Score {
+        let m = a.len();
+        let n = b.len();
+        let open_ext = scheme.gap_open + scheme.gap_extend;
+        let ext = scheme.gap_extend;
+        let mut h = vec![vec![NEG_INF; n + 1]; m + 1];
+        let mut e = vec![vec![NEG_INF; n + 1]; m + 1];
+        let mut f = vec![vec![NEG_INF; n + 1]; m + 1];
+        h[0][0] = 0;
+        for j in 1..=n {
+            e[0][j] = -(scheme.gap_open + j as Score * ext);
+            h[0][j] = e[0][j];
+        }
+        for i in 1..=m {
+            f[i][0] = -(scheme.gap_open + i as Score * ext);
+            h[i][0] = f[i][0];
+        }
+        for i in 1..=m {
+            for j in 1..=n {
+                e[i][j] = (e[i][j - 1] - ext).max(h[i][j - 1] - open_ext);
+                f[i][j] = (f[i - 1][j] - ext).max(h[i - 1][j] - open_ext);
+                h[i][j] = (h[i - 1][j - 1] + scheme.substitution(a[i - 1], b[j - 1]))
+                    .max(e[i][j])
+                    .max(f[i][j]);
+            }
+        }
+        h[m][n]
+    }
+
+    #[test]
+    fn global_score_matches_quadratic_oracle() {
+        for seed in 0..6 {
+            let scheme = if seed % 2 == 0 {
+                ScoreScheme::cudalign()
+            } else {
+                ScoreScheme::lenient()
+            };
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(40, seed)).generate();
+            let b = ChromosomeGenerator::new(GenerateConfig::uniform(55, seed + 9)).generate();
+            assert_eq!(
+                global_score(a.codes(), b.codes(), &scheme),
+                global_score_quadratic(a.codes(), b.codes(), &scheme),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn global_score_edge_shapes() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ACGT");
+        // Empty vs empty, empty vs something.
+        assert_eq!(global_score(&[], &[], &scheme), 0);
+        assert_eq!(global_score(&a, &[], &scheme), -(3 + 4 * 2));
+        assert_eq!(global_score(&[], &a, &scheme), -(3 + 4 * 2));
+        // Identity.
+        assert_eq!(global_score(&a, &a, &scheme), 4);
+    }
+
+    #[test]
+    fn myers_miller_rescores_to_global_optimum() {
+        for seed in 0..10 {
+            let scheme = if seed % 2 == 0 {
+                ScoreScheme::cudalign()
+            } else {
+                ScoreScheme::lenient()
+            };
+            let la = 1 + (seed as usize * 13) % 70;
+            let lb = 1 + (seed as usize * 29) % 90;
+            let a = ChromosomeGenerator::new(GenerateConfig::uniform(la, seed)).generate();
+            let b = ChromosomeGenerator::new(GenerateConfig::uniform(lb, seed + 40)).generate();
+            let ops = myers_miller(a.codes(), b.codes(), &scheme);
+            let rescored = score_of_ops(a.codes(), b.codes(), &ops, &scheme).unwrap();
+            assert_eq!(
+                rescored,
+                global_score_quadratic(a.codes(), b.codes(), &scheme),
+                "seed {seed} ({la}×{lb})"
+            );
+        }
+    }
+
+    #[test]
+    fn myers_miller_on_gap_heavy_pairs() {
+        // Force type-2 (mid-gap) splits: long a against short b.
+        let scheme = ScoreScheme::lenient();
+        let a = codes("ACGTACGTACGTACGTACGT");
+        let b = codes("ACGT");
+        let ops = myers_miller(&a, &b, &scheme);
+        let rescored = score_of_ops(&a, &b, &ops, &scheme).unwrap();
+        assert_eq!(rescored, global_score_quadratic(&a, &b, &scheme));
+        // 16 deletes must appear.
+        let dels = ops.iter().filter(|o| **o == AlignOp::Delete).count();
+        assert_eq!(dels, 16);
+    }
+
+    #[test]
+    fn local_align_recovers_planted_alignment() {
+        let scheme = ScoreScheme::cudalign();
+        // Plant a strong shared segment inside unrelated flanks.
+        let core = ChromosomeGenerator::new(GenerateConfig::uniform(400, 3)).generate();
+        let mut a = ChromosomeGenerator::new(GenerateConfig::uniform(150, 4)).generate();
+        a.extend_codes(core.codes());
+        a.extend_codes(
+            ChromosomeGenerator::new(GenerateConfig::uniform(120, 5))
+                .generate()
+                .codes(),
+        );
+        let mut b = ChromosomeGenerator::new(GenerateConfig::uniform(80, 6)).generate();
+        let (core_mut, _) = DivergenceModel::snp_only(7, 0.01).apply(&core);
+        b.extend_codes(core_mut.codes());
+        b.extend_codes(
+            ChromosomeGenerator::new(GenerateConfig::uniform(60, 8))
+                .generate()
+                .codes(),
+        );
+
+        let aln = local_align(a.codes(), b.codes(), &scheme);
+        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        assert_eq!(aln.score, want.score);
+        assert_eq!((aln.end_i, aln.end_j), (want.i, want.j));
+        // The alignment must sit over the planted core.
+        assert!(aln.start_i >= 100 && aln.start_i <= 200, "start_i = {}", aln.start_i);
+        assert!(aln.identity() > 0.95, "identity = {}", aln.identity());
+        // Ops re-score exactly.
+        let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
+        let b_seg = &b.codes()[aln.start_j - 1..aln.end_j];
+        assert_eq!(score_of_ops(a_seg, b_seg, &aln.ops, &scheme), Ok(aln.score));
+    }
+
+    #[test]
+    fn local_align_of_unrelated_noise_is_small_and_valid() {
+        let scheme = ScoreScheme::cudalign();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(300, 11)).generate();
+        let b = ChromosomeGenerator::new(GenerateConfig::uniform(300, 12)).generate();
+        let aln = local_align(a.codes(), b.codes(), &scheme);
+        assert_eq!(aln.score, gotoh_best(a.codes(), b.codes(), &scheme).score);
+        if !aln.is_empty() {
+            let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
+            let b_seg = &b.codes()[aln.start_j - 1..aln.end_j];
+            assert_eq!(score_of_ops(a_seg, b_seg, &aln.ops, &scheme), Ok(aln.score));
+        }
+    }
+
+    #[test]
+    fn local_align_empty_cases() {
+        let scheme = ScoreScheme::cudalign();
+        assert_eq!(local_align(&[], &[], &scheme), LocalAlignment::empty());
+        assert_eq!(local_align(&codes("A"), &codes("C"), &scheme), LocalAlignment::empty());
+        // All-N sequences can never score.
+        assert_eq!(
+            local_align(&codes("NNNN"), &codes("NNNN"), &scheme),
+            LocalAlignment::empty()
+        );
+    }
+
+    #[test]
+    fn local_align_identical_sequences_is_all_matches() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ACGTACGTGGCC");
+        let aln = local_align(&a, &a, &scheme);
+        assert_eq!(aln.score, 12);
+        assert_eq!((aln.start_i, aln.start_j, aln.end_i, aln.end_j), (1, 1, 12, 12));
+        assert!(aln.ops.iter().all(|o| *o == AlignOp::Match));
+        assert_eq!(aln.cigar(), "12=");
+    }
+
+    #[test]
+    fn cigar_compresses_runs() {
+        let aln = LocalAlignment {
+            score: 0,
+            start_i: 1,
+            start_j: 1,
+            end_i: 1,
+            end_j: 1,
+            ops: vec![
+                AlignOp::Match,
+                AlignOp::Match,
+                AlignOp::Insert,
+                AlignOp::Delete,
+                AlignOp::Delete,
+                AlignOp::Mismatch,
+            ],
+        };
+        assert_eq!(aln.cigar(), "2=1I2D1X");
+    }
+
+    #[test]
+    fn score_of_ops_rejects_inconsistencies() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("AC");
+        let b = codes("AC");
+        // Wrong claim: Mismatch where bases match.
+        assert!(score_of_ops(&a, &b, &[AlignOp::Mismatch, AlignOp::Match], &scheme).is_err());
+        // Under-consumption.
+        assert!(score_of_ops(&a, &b, &[AlignOp::Match], &scheme).is_err());
+        // Overrun.
+        assert!(score_of_ops(
+            &a,
+            &b,
+            &[AlignOp::Match, AlignOp::Match, AlignOp::Insert],
+            &scheme
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn anchored_best_equals_local_when_alignment_spans_origin() {
+        let scheme = ScoreScheme::cudalign();
+        let a = codes("ACGTACGT");
+        let anchored = anchored_best(&a, &a, &scheme);
+        assert_eq!(anchored.score, 8);
+        assert_eq!((anchored.i, anchored.j), (8, 8));
+    }
+
+    #[test]
+    fn local_align_with_indels_rescore() {
+        let scheme = ScoreScheme::lenient();
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(2_000, 17)).generate();
+        let (b, _) = DivergenceModel::test_scale(18).apply(&a);
+        let aln = local_align(a.codes(), b.codes(), &scheme);
+        assert!(aln.score > 0);
+        let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
+        let b_seg = &b.codes()[aln.start_j - 1..aln.end_j];
+        assert_eq!(score_of_ops(a_seg, b_seg, &aln.ops, &scheme), Ok(aln.score));
+        // Indel channel ⇒ the path should contain at least one gap op.
+        assert!(aln
+            .ops
+            .iter()
+            .any(|o| matches!(o, AlignOp::Insert | AlignOp::Delete)));
+    }
+}

@@ -1,0 +1,260 @@
+//! Property-based tests for the DP kernels: the heart of the correctness
+//! argument. Every kernel is an implementation of the same recurrences, so
+//! on arbitrary inputs they must agree bit-for-bit — including the
+//! deterministic tie-break — and every score must satisfy the structural
+//! invariants of local alignment.
+
+use megasw_sw::antidiag::antidiag_best;
+use megasw_sw::banded::{banded_adaptive, banded_best};
+use megasw_sw::block::{compute_block, BlockInput};
+use megasw_sw::border::{ColBorder, RowBorder};
+use megasw_sw::cell::BestCell;
+use megasw_sw::gotoh::gotoh_best;
+use megasw_sw::grid::{run_sequential, BlockGrid};
+use megasw_sw::prune::run_pruned;
+use megasw_sw::reference::reference_best;
+use megasw_sw::scoring::ScoreScheme;
+use megasw_sw::traceback::{local_align, myers_miller, score_of_ops, global_score};
+use proptest::prelude::*;
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=4, 0..max_len)
+}
+
+/// A *similar* pair: b derived from a by point edits, so alignments are
+/// long and tie-breaks are stressed.
+fn similar_pair(max_len: usize) -> impl Strategy<Value = (Vec<u8>, Vec<u8>)> {
+    (dna(max_len), any::<u64>()).prop_map(|(a, seed)| {
+        let mut b = a.clone();
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        if !b.is_empty() {
+            let edits = next() % (b.len() / 4 + 1);
+            for _ in 0..edits {
+                let pos = next() % b.len();
+                match next() % 3 {
+                    0 => b[pos] = (next() % 4) as u8,
+                    1 => {
+                        b.remove(pos);
+                        if b.is_empty() {
+                            break;
+                        }
+                    }
+                    _ => b.insert(pos, (next() % 4) as u8),
+                }
+            }
+        }
+        (a, b)
+    })
+}
+
+fn schemes() -> impl Strategy<Value = ScoreScheme> {
+    prop_oneof![
+        Just(ScoreScheme::cudalign()),
+        Just(ScoreScheme::lenient()),
+        (1i32..4, -4i32..0, 0i32..5, 1i32..4).prop_map(|(m, x, o, e)| ScoreScheme {
+            match_score: m,
+            mismatch_score: x,
+            gap_open: o,
+            gap_extend: e,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gotoh_equals_reference((a, b) in similar_pair(80), scheme in schemes()) {
+        prop_assert_eq!(
+            gotoh_best(&a, &b, &scheme),
+            reference_best(&a, &b, &scheme)
+        );
+    }
+
+    #[test]
+    fn antidiag_equals_gotoh((a, b) in similar_pair(80), scheme in schemes()) {
+        prop_assert_eq!(
+            antidiag_best(&a, &b, &scheme),
+            gotoh_best(&a, &b, &scheme)
+        );
+    }
+
+    #[test]
+    fn blocked_grid_equals_gotoh_any_geometry(
+        (a, b) in similar_pair(120),
+        bh in 1usize..40,
+        bw in 1usize..40,
+        scheme in schemes(),
+    ) {
+        let grid = BlockGrid::new(a.len(), b.len(), bh, bw);
+        let res = run_sequential(&a, &b, &grid, &scheme);
+        prop_assert_eq!(res.best, gotoh_best(&a, &b, &scheme));
+        prop_assert_eq!(res.cells_computed, (a.len() as u128) * (b.len() as u128));
+    }
+
+    #[test]
+    fn pruned_grid_equals_gotoh(
+        (a, b) in similar_pair(120),
+        bs in 1usize..40,
+        scheme in schemes(),
+    ) {
+        let grid = BlockGrid::new(a.len(), b.len(), bs, bs);
+        let res = run_pruned(&a, &b, &grid, &scheme);
+        prop_assert_eq!(res.best, gotoh_best(&a, &b, &scheme));
+    }
+
+    #[test]
+    fn score_invariants(a in dna(100), b in dna(100), scheme in schemes()) {
+        let best = gotoh_best(&a, &b, &scheme);
+        prop_assert!(best.score >= 0);
+        prop_assert!(best.score <= scheme.max_possible(a.len(), b.len()));
+        // The end position is inside the matrix (or the origin for score 0).
+        if best.score > 0 {
+            prop_assert!(best.i >= 1 && best.i <= a.len());
+            prop_assert!(best.j >= 1 && best.j <= b.len());
+        } else {
+            prop_assert_eq!(best, BestCell::ZERO);
+        }
+    }
+
+    #[test]
+    fn swapping_sequences_preserves_score(a in dna(80), b in dna(80), scheme in schemes()) {
+        // The matrix transposes; score is invariant, coordinates swap roles
+        // (the tie-break winner may legitimately differ).
+        let fwd = gotoh_best(&a, &b, &scheme);
+        let rev = gotoh_best(&b, &a, &scheme);
+        prop_assert_eq!(fwd.score, rev.score);
+    }
+
+    #[test]
+    fn reversing_both_sequences_preserves_score(a in dna(80), b in dna(80), scheme in schemes()) {
+        let ar: Vec<u8> = a.iter().rev().copied().collect();
+        let br: Vec<u8> = b.iter().rev().copied().collect();
+        prop_assert_eq!(
+            gotoh_best(&a, &b, &scheme).score,
+            gotoh_best(&ar, &br, &scheme).score
+        );
+    }
+
+    #[test]
+    fn appending_context_never_lowers_score(
+        a in dna(60), b in dna(60), extra in dna(20), scheme in schemes()
+    ) {
+        // Local alignment: adding sequence can only add candidate
+        // alignments, never remove them.
+        let base = gotoh_best(&a, &b, &scheme).score;
+        let mut a_ext = a.clone();
+        a_ext.extend_from_slice(&extra);
+        prop_assert!(gotoh_best(&a_ext, &b, &scheme).score >= base);
+        let mut b_ext = b.clone();
+        b_ext.extend_from_slice(&extra);
+        prop_assert!(gotoh_best(&a, &b_ext, &scheme).score >= base);
+    }
+
+    #[test]
+    fn block_composition_is_exact(
+        (a, b) in similar_pair(60),
+        split_i_frac in 0.0f64..1.0,
+        split_j_frac in 0.0f64..1.0,
+        scheme in schemes(),
+    ) {
+        // Splitting the matrix into 4 tiles at an arbitrary point and
+        // stitching borders equals the single-tile computation.
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let si = ((a.len() as f64 * split_i_frac) as usize).clamp(0, a.len());
+        let sj = ((b.len() as f64 * split_j_frac) as usize).clamp(0, b.len());
+
+        let whole = compute_block(BlockInput {
+            a_rows: &a, b_cols: &b,
+            top: &RowBorder::zero(b.len()),
+            left: &ColBorder::zero(a.len()),
+            row_offset: 1, col_offset: 1,
+        }, &scheme);
+
+        let t00 = compute_block(BlockInput {
+            a_rows: &a[..si], b_cols: &b[..sj],
+            top: &RowBorder::zero(sj), left: &ColBorder::zero(si),
+            row_offset: 1, col_offset: 1,
+        }, &scheme);
+        let t01 = compute_block(BlockInput {
+            a_rows: &a[..si], b_cols: &b[sj..],
+            top: &RowBorder::zero(b.len() - sj), left: &t00.right,
+            row_offset: 1, col_offset: sj + 1,
+        }, &scheme);
+        let t10 = compute_block(BlockInput {
+            a_rows: &a[si..], b_cols: &b[..sj],
+            top: &t00.bottom, left: &ColBorder::zero(a.len() - si),
+            row_offset: si + 1, col_offset: 1,
+        }, &scheme);
+        let t11 = compute_block(BlockInput {
+            a_rows: &a[si..], b_cols: &b[sj..],
+            top: &t01.bottom, left: &t10.right,
+            row_offset: si + 1, col_offset: sj + 1,
+        }, &scheme);
+
+        let stitched = t00.best.merge(t01.best).merge(t10.best).merge(t11.best);
+        prop_assert_eq!(stitched, whole.best);
+        // Stitched final borders equal the whole-matrix borders.
+        let mut bottom_h = t10.bottom.h.clone();
+        bottom_h.extend_from_slice(&t11.bottom.h[1..]);
+        prop_assert_eq!(bottom_h, whole.bottom.h);
+        let mut right_h = t01.right.h.clone();
+        right_h.extend_from_slice(&t11.right.h[1..]);
+        prop_assert_eq!(right_h, whole.right.h);
+    }
+
+    #[test]
+    fn banded_is_a_lower_bound_and_wide_band_is_exact(
+        (a, b) in similar_pair(100),
+        w in 1usize..16,
+        scheme in schemes(),
+    ) {
+        let full = gotoh_best(&a, &b, &scheme);
+        let narrow = banded_best(&a, &b, &scheme, w);
+        prop_assert!(narrow.best.score <= full.score);
+        let wide = banded_best(&a, &b, &scheme, a.len() + b.len() + 1);
+        prop_assert_eq!(wide.best, full);
+    }
+
+    #[test]
+    fn banded_adaptive_is_exact((a, b) in similar_pair(100), scheme in schemes()) {
+        let full = gotoh_best(&a, &b, &scheme);
+        let adaptive = banded_adaptive(&a, &b, &scheme, 2);
+        prop_assert_eq!(adaptive.best, full);
+    }
+
+    #[test]
+    fn myers_miller_is_optimal((a, b) in similar_pair(50), scheme in schemes()) {
+        let ops = myers_miller(&a, &b, &scheme);
+        let rescored = score_of_ops(&a, &b, &ops, &scheme);
+        prop_assert_eq!(rescored, Ok(global_score(&a, &b, &scheme)));
+    }
+
+    #[test]
+    fn local_alignment_rescoring((a, b) in similar_pair(60), scheme in schemes()) {
+        let best = gotoh_best(&a, &b, &scheme);
+        let aln = local_align(&a, &b, &scheme);
+        prop_assert_eq!(aln.score, best.score);
+        if aln.score > 0 {
+            prop_assert_eq!((aln.end_i, aln.end_j), (best.i, best.j));
+            let a_seg = &a[aln.start_i - 1..aln.end_i];
+            let b_seg = &b[aln.start_j - 1..aln.end_j];
+            prop_assert_eq!(score_of_ops(a_seg, b_seg, &aln.ops, &scheme), Ok(aln.score));
+            // An optimal local alignment never starts or ends with a gap.
+            prop_assert!(!matches!(
+                aln.ops.first(),
+                Some(megasw_sw::traceback::AlignOp::Insert | megasw_sw::traceback::AlignOp::Delete)
+            ));
+            prop_assert!(!matches!(
+                aln.ops.last(),
+                Some(megasw_sw::traceback::AlignOp::Insert | megasw_sw::traceback::AlignOp::Delete)
+            ));
+        } else {
+            prop_assert!(aln.is_empty());
+        }
+    }
+}

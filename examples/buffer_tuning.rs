@@ -1,0 +1,79 @@
+//! Circular-buffer tuning: sweep the ring capacity and watch communication
+//! hiding kick in — on the simulator (GCUPS curve) and on the threaded
+//! runtime (producer/consumer block counts).
+//!
+//! ```text
+//! cargo run --release --example buffer_tuning
+//! ```
+
+use megasw::multigpu::desrun::run_des;
+use megasw::prelude::*;
+
+const MBP: usize = 1_000_000;
+
+fn main() {
+    let platform = Platform::env1();
+    let base = RunConfig::paper_default();
+
+    println!(
+        "simulated GCUPS vs ring capacity ({}×{} on {}):\n",
+        2 * MBP,
+        2 * MBP,
+        platform.name
+    );
+    println!("{:>9} {:>10} {:>11}", "capacity", "GCUPS", "efficiency");
+    let peak = platform.aggregate_peak_gcups();
+    let mut curve = Vec::new();
+    for cap in [1usize, 2, 3, 4, 6, 8, 12, 16, 32, 64, 128, 256] {
+        let cfg = base.clone().with_buffer_capacity(cap);
+        let gcups = run_des(2 * MBP, 2 * MBP, &platform, &cfg)
+            .report
+            .gcups_sim
+            .unwrap();
+        println!("{cap:>9} {gcups:>10.2} {:>10.1}%", 100.0 * gcups / peak);
+        curve.push((cap, gcups));
+    }
+
+    // Locate the knee: the first capacity within 0.5% of the plateau.
+    let plateau = curve.iter().map(|&(_, g)| g).fold(f64::MIN, f64::max);
+    let knee = curve
+        .iter()
+        .find(|&&(_, g)| g >= 0.995 * plateau)
+        .map(|&(c, _)| c)
+        .unwrap_or(1);
+    println!("\nknee at capacity ≈ {knee} (within 0.5% of the plateau)");
+
+    // The threaded runtime shows the same effect as blocking counts.
+    println!("\nthreaded-runtime ring behaviour (40 KBP pair, capacities 1 / {knee} / 64):\n");
+    let human = ChromosomeGenerator::new(GenerateConfig::sized(40_000, 5)).generate();
+    let (chimp, _) = DivergenceModel::test_scale(6).apply(&human);
+    println!(
+        "{:>9} {:>14} {:>16} {:>14}",
+        "capacity", "prod. blocks", "cons. blocks", "max occupancy"
+    );
+    for cap in [1usize, knee, 64] {
+        let cfg = base.clone().with_block(512).with_buffer_capacity(cap);
+        let report = run_pipeline(human.codes(), chimp.codes(), &platform, &cfg)
+            .expect("pipeline run failed");
+        let rs = report.devices[0]
+            .ring_out
+            .expect("two-device platform has one ring");
+        println!(
+            "{cap:>9} {:>14} {:>16} {:>14}",
+            rs.producer_blocks, rs.consumer_blocks, rs.max_occupancy
+        );
+    }
+    println!("\ncapacity 1 forces lock-step; larger rings absorb the jitter.");
+
+    // Let the autotuner pick block height and capacity for this platform.
+    let tuned = autotune(2 * MBP, 2 * MBP, &platform, &base);
+    println!(
+        "\nautotuned for 2 MBP² on {}: block_h = {}, capacity = {} → {:.2} GCUPS \
+         ({} candidates evaluated)",
+        platform.name,
+        tuned.config.block_h,
+        tuned.config.buffer_capacity,
+        tuned.gcups,
+        tuned.candidates.len()
+    );
+}

@@ -1,0 +1,107 @@
+//! Chromosome-pair workload: run one of the benchmark catalog pairs (the
+//! paper's Table 1 analogue) end to end, then retrieve the actual optimal
+//! alignment around the best cell (CUDAlign stages 2–4 analogue).
+//!
+//! ```text
+//! cargo run --release --example chromosome_pair [chrA|chrB|chrC|chrD] [--test-scale]
+//! ```
+//!
+//! `--test-scale` uses the tens-of-KBP catalog (fast); the default catalog
+//! is 1–5 MBP and takes minutes of CPU time.
+
+use megasw::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let test_scale = args.iter().any(|a| a == "--test-scale");
+    let name_arg = args.iter().find(|a| !a.starts_with("--"));
+
+    let catalog = if test_scale {
+        PairCatalog::test_scale()
+    } else {
+        PairCatalog::default_scale()
+    };
+    let default_name = catalog.specs[0].name;
+    let name = name_arg.map(|s| s.as_str()).unwrap_or(default_name);
+
+    let spec = catalog
+        .get(name)
+        .unwrap_or_else(|| {
+            eprintln!(
+                "unknown pair {name:?}; available: {:?}",
+                catalog.specs.iter().map(|s| s.name).collect::<Vec<_>>()
+            );
+            std::process::exit(2);
+        })
+        .clone();
+
+    println!(
+        "pair {}: human {} bp × chimp {} bp ({:.2e} cells)",
+        spec.name,
+        spec.human_len,
+        spec.chimp_len,
+        spec.cells() as f64
+    );
+    let pair = ChromosomePair::generate(spec);
+    println!(
+        "divergence applied: {} SNPs, {} short indels, {} segmental events, {} inversions\n",
+        pair.divergence.substitutions,
+        pair.divergence.insertions + pair.divergence.deletions,
+        pair.divergence.segmental_deletions + pair.divergence.segmental_duplications,
+        pair.divergence.inversions,
+    );
+
+    let platform = Platform::env2();
+    let config = RunConfig::paper_default();
+
+    let t0 = std::time::Instant::now();
+    let report = run_pipeline(pair.human.codes(), pair.chimp.codes(), &platform, &config)
+        .expect("pipeline run failed");
+    println!("stage 1 (score + endpoint) in {:.2?}:", t0.elapsed());
+    print!("{report}");
+
+    // Alignment retrieval around the best cell, using the multi-GPU
+    // pipeline for the quadratic stages (forward local + reversed anchored)
+    // and Myers–Miller on the bounded segment.
+    let t1 = std::time::Instant::now();
+    let (aln, stage_times) =
+        multigpu_local_align(pair.human.codes(), pair.chimp.codes(), &platform, &config)
+            .expect("alignment retrieval failed");
+    println!(
+        "\nstages 2–3 (alignment retrieval) in {:.2?} (stage1 {:.2?}, stage2 {:.2?}, stage3 {:.2?}):",
+        t1.elapsed(),
+        stage_times.stage1,
+        stage_times.stage2,
+        stage_times.stage3
+    );
+    println!(
+        "  alignment spans human[{}..={}] × chimp[{}..={}]",
+        aln.start_i, aln.end_i, aln.start_j, aln.end_j
+    );
+    println!(
+        "  {} columns, identity {:.2}%, score {}",
+        aln.len(),
+        aln.identity() * 100.0,
+        aln.score
+    );
+    let cigar = aln.cigar();
+    let preview: String = cigar.chars().take(120).collect();
+    println!(
+        "  CIGAR{}: {preview}{}",
+        if cigar.len() > 120 { " (truncated)" } else { "" },
+        if cigar.len() > 120 { "…" } else { "" }
+    );
+
+    // A peek at the alignment itself (first 3 rendered blocks).
+    let rendered = render_alignment(pair.human.codes(), pair.chimp.codes(), &aln, 72);
+    let preview: Vec<&str> = rendered.lines().take(11).collect();
+    if !preview.is_empty() {
+        println!("\nalignment preview:\n{}", preview.join("\n"));
+        if rendered.lines().count() > 11 {
+            println!("  …");
+        }
+    }
+
+    assert_eq!(aln.score, report.best.score);
+    println!("\nverified: retrieved alignment re-scores to the DP optimum ✓");
+}

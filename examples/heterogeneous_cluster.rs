@@ -1,0 +1,91 @@
+//! Heterogeneous-cluster exploration: assemble platforms out of the device
+//! catalog, compare equal vs proportional partitioning, and render the
+//! execution timeline as a Gantt chart.
+//!
+//! ```text
+//! cargo run --release --example heterogeneous_cluster
+//! ```
+
+use megasw::gpusim::trace::render_gantt;
+use megasw::multigpu::desrun::{run_des, run_des_bulk};
+use megasw::prelude::*;
+
+const MBP: usize = 1_000_000;
+
+fn main() {
+    let cfg = RunConfig::paper_default();
+    let (m, n) = (4 * MBP, 4 * MBP);
+
+    println!("device catalog:");
+    for d in catalog::all() {
+        println!(
+            "  {:<22} {:>2} SMs @ {:>4} MHz  → {:>5.1} GCUPS peak",
+            d.name,
+            d.sms,
+            d.clock_mhz,
+            d.peak_gcups()
+        );
+    }
+
+    // A ladder of increasingly heterogeneous platforms.
+    let platforms = vec![
+        Platform::single(catalog::gtx_titan()),
+        Platform::env1(),
+        Platform::env2(),
+        Platform::custom(
+            "all six boards",
+            catalog::all().into_iter().rev().collect(),
+        ),
+    ];
+
+    println!("\n{m}×{n} matrix, proportional vs equal partitioning:\n");
+    println!(
+        "{:<32} {:>10} {:>12} {:>12} {:>8}",
+        "platform", "peak", "proportional", "equal", "gain"
+    );
+    for p in &platforms {
+        let prop = run_des(m, n, p, &cfg).report.gcups_sim.unwrap();
+        let equal = run_des(m, n, p, &cfg.clone().with_partition(PartitionPolicy::Equal))
+            .report
+            .gcups_sim
+            .unwrap();
+        println!(
+            "{:<32} {:>8.1}G {:>10.2}G {:>10.2}G {:>7.1}%",
+            p.name,
+            p.aggregate_peak_gcups(),
+            prop,
+            equal,
+            100.0 * (prop / equal - 1.0)
+        );
+    }
+
+    // Overlap ablation on Env2.
+    let p = Platform::env2();
+    let fine = run_des(m, n, &p, &cfg).report.gcups_sim.unwrap();
+    let bulk = run_des_bulk(m, n, &p, &cfg).report.gcups_sim.unwrap();
+    println!(
+        "\noverlap ablation on {}: fine-grain {fine:.1} GCUPS vs bulk-synchronous {bulk:.1} GCUPS ({:.1}×)",
+        p.name,
+        fine / bulk
+    );
+
+    // Timeline of a short run (kernels '#', transfers '>').
+    let small = run_des(MBP / 4, MBP / 4, &p, &cfg);
+    println!(
+        "\nexecution timeline of a {}×{} run on {} (makespan {}):\n",
+        MBP / 4,
+        MBP / 4,
+        p.name,
+        small.schedule.makespan()
+    );
+    print!(
+        "{}",
+        render_gantt(
+            small.schedule.spans(),
+            &small.schedule.resource_list(),
+            small.schedule.makespan(),
+            96,
+        )
+    );
+    println!("\nlegend: '#' kernel, '>' border transfer, '.' idle");
+}

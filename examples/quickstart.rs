@@ -1,0 +1,55 @@
+//! Quickstart: compare a synthetic megabase-class homologous pair on the
+//! paper's heterogeneous 3-GPU environment, with both backends.
+//!
+//! ```text
+//! cargo run --release --example quickstart [length]
+//! ```
+//!
+//! `length` defaults to 200000 bases (~seconds in release mode).
+
+use megasw::prelude::*;
+
+fn main() {
+    let length: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+
+    println!("megasw quickstart — {length} bp homologous pair\n");
+
+    // 1. Data: an ancestor chromosome and a diverged homolog.
+    let human = ChromosomeGenerator::new(GenerateConfig::sized(length, 42)).generate();
+    let (chimp, summary) = DivergenceModel::human_chimp(7).apply(&human);
+    println!(
+        "generated pair: human {} bp, chimp {} bp ({} SNPs, {} indel events)",
+        human.len(),
+        chimp.len(),
+        summary.substitutions,
+        summary.insertions + summary.deletions
+    );
+
+    // 2. Platform and configuration.
+    let platform = Platform::env2();
+    let config = RunConfig::paper_default();
+    println!(
+        "platform: {} ({:.0} GCUPS aggregate peak)\n",
+        platform.name,
+        platform.aggregate_peak_gcups()
+    );
+
+    // 3. The threaded runtime: real DP, real rings, bit-exact result.
+    let report = run_pipeline(human.codes(), chimp.codes(), &platform, &config)
+        .expect("pipeline run failed");
+    println!("threaded pipeline:");
+    print!("{report}");
+
+    // 4. The discrete-event simulator: paper-comparable GCUPS.
+    let sim = run_des(human.len(), chimp.len(), &platform, &config);
+    println!("\nsimulated hardware:");
+    print!("{}", sim.report);
+
+    // 5. Cross-check against the sequential reference.
+    let reference = gotoh_best(human.codes(), chimp.codes(), &config.scheme);
+    assert_eq!(report.best, reference, "pipeline must equal the reference");
+    println!("\nverified: pipeline result equals the sequential reference ✓");
+}

@@ -1,0 +1,142 @@
+//! Consistency sweep: the multi-GPU pipeline's result must be invariant to
+//! every knob that only changes *how* the matrix is computed — block
+//! geometry, buffer capacity, partition policy, device count, device order.
+
+use megasw::prelude::*;
+
+fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
+    let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+    let (b, _) = DivergenceModel::test_scale(seed + 5).apply(&a);
+    (a, b)
+}
+
+#[test]
+fn invariant_to_block_geometry() {
+    let (a, b) = pair(2_500, 1);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    for (bh, bw) in [(16, 16), (64, 32), (33, 97), (256, 256), (2_500, 50), (50, 4_000)] {
+        let mut cfg = RunConfig::paper_default();
+        cfg.block_h = bh;
+        cfg.block_w = bw;
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, want, "block {bh}×{bw}");
+    }
+}
+
+#[test]
+fn invariant_to_buffer_capacity() {
+    let (a, b) = pair(2_500, 2);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    for cap in [1, 2, 3, 8, 64, 1024] {
+        let cfg = RunConfig::paper_default()
+            .with_block(64)
+            .with_buffer_capacity(cap);
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, want, "capacity {cap}");
+        // Ring occupancy never exceeds the configured capacity.
+        for d in &report.devices {
+            if let Some(rs) = &d.ring_out {
+                assert!(rs.max_occupancy <= cap, "capacity {cap}: {rs:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn invariant_to_partition_policy() {
+    let (a, b) = pair(2_500, 3);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    for policy in [
+        PartitionPolicy::Equal,
+        PartitionPolicy::Proportional,
+        PartitionPolicy::Explicit(vec![1.0, 5.0, 2.0]),
+        PartitionPolicy::Explicit(vec![100.0, 1.0, 1.0]),
+    ] {
+        let cfg = RunConfig::paper_default()
+            .with_block(64)
+            .with_partition(policy.clone());
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, want, "policy {policy:?}");
+    }
+}
+
+#[test]
+fn invariant_to_device_count() {
+    let (a, b) = pair(3_000, 4);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    let base = Platform::homogeneous(catalog::m2090(), 6);
+    for g in 1..=6 {
+        let cfg = RunConfig::paper_default().with_block(64);
+        let report = run_pipeline(a.codes(), b.codes(), &base.take(g), &cfg).unwrap();
+        assert_eq!(report.best, want, "{g} devices");
+        assert_eq!(report.devices.len(), g);
+    }
+}
+
+#[test]
+fn invariant_to_device_order() {
+    // Chain order changes the slab assignment but never the result.
+    let (a, b) = pair(2_000, 5);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    let cfg = RunConfig::paper_default().with_block(64);
+    let forward = Platform::custom(
+        "fwd",
+        vec![catalog::gtx_titan(), catalog::gtx680(), catalog::k20()],
+    );
+    let backward = Platform::custom(
+        "bwd",
+        vec![catalog::k20(), catalog::gtx680(), catalog::gtx_titan()],
+    );
+    let r1 = run_pipeline(a.codes(), b.codes(), &forward, &cfg).unwrap();
+    let r2 = run_pipeline(a.codes(), b.codes(), &backward, &cfg).unwrap();
+    assert_eq!(r1.best, want);
+    assert_eq!(r2.best, want);
+    // Proportional splits differ with order…
+    assert_ne!(
+        r1.devices[0].slab_width, r2.devices[0].slab_width,
+        "expected different first-slab widths for reversed chains"
+    );
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let (a, b) = pair(1_500, 6);
+    let cfg = RunConfig::paper_default().with_block(64);
+    let r1 = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let r2 = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    assert_eq!(r1.best, r2.best);
+    assert_eq!(r1.total_bytes_transferred(), r2.total_bytes_transferred());
+}
+
+#[test]
+fn adversarial_sequences_stay_consistent() {
+    let scheme = ScoreScheme::cudalign();
+    let cfg = RunConfig::paper_default().with_block(32);
+    let cases: Vec<(DnaSeq, DnaSeq)> = vec![
+        // Homopolymers: maximal tie-break stress.
+        (
+            DnaSeq::from_codes(vec![0; 900]).unwrap(),
+            DnaSeq::from_codes(vec![0; 700]).unwrap(),
+        ),
+        // Disjoint alphabets: best score 0.
+        (
+            DnaSeq::from_codes(vec![0; 500]).unwrap(),
+            DnaSeq::from_codes(vec![3; 500]).unwrap(),
+        ),
+        // All-N against all-N.
+        (
+            DnaSeq::from_codes(vec![4; 300]).unwrap(),
+            DnaSeq::from_codes(vec![4; 300]).unwrap(),
+        ),
+        // Tandem repeat against its own unit.
+        (
+            DnaSeq::from_str_unwrap(&"ACGT".repeat(250)),
+            DnaSeq::from_str_unwrap("ACGT"),
+        ),
+    ];
+    for (i, (a, b)) in cases.iter().enumerate() {
+        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        assert_eq!(report.best, want, "case {i}");
+    }
+}

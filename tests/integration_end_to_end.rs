@@ -1,0 +1,122 @@
+//! End-to-end integration: every execution backend in the workspace must
+//! produce the identical Smith-Waterman result on realistic homologous
+//! pairs, from the quadratic reference up to the multi-GPU pipeline.
+
+use megasw::prelude::*;
+use megasw::sw::grid::{run_sequential, BlockGrid};
+use megasw::sw::prune::run_pruned;
+
+fn homologous_pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
+    let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+    let (b, _) = DivergenceModel::test_scale(seed + 99).apply(&a);
+    (a, b)
+}
+
+#[test]
+fn all_backends_agree_on_homologous_pair() {
+    let (a, b) = homologous_pair(6_000, 11);
+    let scheme = ScoreScheme::cudalign();
+
+    let want = gotoh_best(a.codes(), b.codes(), &scheme);
+    assert!(want.score > 0);
+
+    // Sequential blocked grid.
+    let grid = BlockGrid::new(a.len(), b.len(), 192, 192);
+    let seq = run_sequential(a.codes(), b.codes(), &grid, &scheme);
+    assert_eq!(seq.best, want);
+
+    // Pruned diagonal executor.
+    let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
+    assert_eq!(pruned.best, want);
+
+    // Multicore CPU wavefront.
+    let (par, _) = cpu_parallel(a.codes(), b.codes(), &scheme, 256, 4);
+    assert_eq!(par, want);
+
+    // Multi-GPU threaded pipeline, both environments.
+    for platform in [Platform::env1(), Platform::env2()] {
+        let cfg = RunConfig::paper_default().with_block(128);
+        let report = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        assert_eq!(report.best, want, "platform {}", platform.name);
+    }
+}
+
+#[test]
+fn pipeline_matches_reference_on_all_test_catalog_pairs() {
+    // The four benchmark pairs at test scale (tens of KBP): the paper's
+    // Table 1 shape, kept small enough for CI.
+    let catalog = PairCatalog::test_scale();
+    let scheme = ScoreScheme::cudalign();
+    for spec in &catalog.specs {
+        let pair = ChromosomePair::generate(spec.clone());
+        let want = gotoh_best(pair.human.codes(), pair.chimp.codes(), &scheme);
+        let cfg = RunConfig::paper_default().with_block(512);
+        let report = run_pipeline(
+            pair.human.codes(),
+            pair.chimp.codes(),
+            &Platform::env2(),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(report.best, want, "pair {}", spec.name);
+        assert_eq!(report.total_cells, pair.cells());
+    }
+}
+
+#[test]
+fn alignment_retrieval_composes_with_pipeline_result() {
+    // Stage 1 (pipeline) finds the endpoint; the traceback stages must
+    // recover an alignment whose score and endpoint match it exactly.
+    let (a, b) = homologous_pair(3_000, 23);
+    let cfg = RunConfig::paper_default().with_block(128);
+    let report = run_pipeline(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
+
+    let aln = local_align(a.codes(), b.codes(), &cfg.scheme);
+    assert_eq!(aln.score, report.best.score);
+    assert_eq!((aln.end_i, aln.end_j), (report.best.i, report.best.j));
+    assert!(aln.identity() > 0.9);
+}
+
+#[test]
+fn fasta_roundtrip_feeds_the_pipeline() {
+    // Write a pair to FASTA, read it back, compare — the external-data path.
+    use megasw::seq::fasta::{read_fasta, write_fasta, FastaRecord};
+
+    let (a, b) = homologous_pair(2_000, 31);
+    let mut buf = Vec::new();
+    write_fasta(
+        &mut buf,
+        &[
+            FastaRecord { header: "human chr-test".into(), seq: a.clone() },
+            FastaRecord { header: "chimp chr-test".into(), seq: b.clone() },
+        ],
+        70,
+    )
+    .unwrap();
+
+    let records = read_fasta(&buf[..]).unwrap();
+    assert_eq!(records.len(), 2);
+    let cfg = RunConfig::paper_default().with_block(128);
+    let report = run_pipeline(
+        records[0].seq.codes(),
+        records[1].seq.codes(),
+        &Platform::env1(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+}
+
+#[test]
+fn reverse_complement_strand_scores_differently_but_validly() {
+    // Comparing against the opposite strand is a legal workload; scores
+    // stay within bounds and backends agree.
+    let (a, b) = homologous_pair(1_500, 41);
+    let rc = b.reverse_complement();
+    let scheme = ScoreScheme::cudalign();
+    let want = gotoh_best(a.codes(), rc.codes(), &scheme);
+    let cfg = RunConfig::paper_default().with_block(96);
+    let report = run_pipeline(a.codes(), rc.codes(), &Platform::env2(), &cfg).unwrap();
+    assert_eq!(report.best, want);
+    assert!(want.score <= scheme.max_possible(a.len(), rc.len()));
+}

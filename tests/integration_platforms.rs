@@ -1,0 +1,170 @@
+//! Platform-level integration on the discrete-event backend: the simulated
+//! performance picture must have the paper's shape across environments.
+
+use megasw::gpusim::trace::render_gantt;
+use megasw::prelude::*;
+use megasw::multigpu::desrun::{gcups_versus_devices, run_des, run_des_bulk};
+
+const MBP: usize = 1_000_000;
+
+#[test]
+fn env1_and_env2_reach_paper_shape() {
+    let cfg = RunConfig::paper_default();
+
+    // Env1: two homogeneous GTX 680s ≈ 95+ GCUPS sustained.
+    let env1 = run_des(4 * MBP, 4 * MBP, &Platform::env1(), &cfg).report;
+    let g1 = env1.gcups_sim.unwrap();
+    assert!((88.0..100.0).contains(&g1), "Env1 = {g1} GCUPS");
+
+    // Env2: the 140-GCUPS headline with 3 heterogeneous boards.
+    let env2 = run_des(8 * MBP, 8 * MBP, &Platform::env2(), &cfg).report;
+    let g2 = env2.gcups_sim.unwrap();
+    assert!((134.0..147.0).contains(&g2), "Env2 = {g2} GCUPS (paper: 140.36)");
+}
+
+#[test]
+fn scaling_efficiency_stays_high_for_megabase_inputs() {
+    let cfg = RunConfig::paper_default();
+    let p = Platform::homogeneous(catalog::gtx680(), 8);
+    let sweep = gcups_versus_devices(4 * MBP, 4 * MBP, &p, &cfg);
+    let single = sweep[0].1;
+    for &(g, gcups) in &sweep {
+        let efficiency = gcups / (single * g as f64);
+        assert!(
+            efficiency > 0.9,
+            "{g} GPUs: {gcups} GCUPS, efficiency {efficiency}"
+        );
+    }
+}
+
+#[test]
+fn buffer_capacity_sweep_has_a_knee() {
+    let cfg = RunConfig::paper_default();
+    let p = Platform::env1();
+    let gcups_at = |cap: usize| {
+        run_des(2 * MBP, 2 * MBP, &p, &cfg.clone().with_buffer_capacity(cap))
+            .report
+            .gcups_sim
+            .unwrap()
+    };
+    let g1 = gcups_at(1);
+    let g4 = gcups_at(4);
+    let g16 = gcups_at(16);
+    let g128 = gcups_at(128);
+    assert!(g4 >= g1);
+    assert!(g16 >= g4 * 0.999);
+    // Beyond the knee the curve is flat.
+    assert!((g128 - g16).abs() / g16 < 0.01, "g16 {g16} vs g128 {g128}");
+}
+
+#[test]
+fn proportional_split_recovers_what_equal_split_loses() {
+    let cfg = RunConfig::paper_default();
+    let p = Platform::env2();
+    let prop = run_des(4 * MBP, 4 * MBP, &p, &cfg).report;
+    let equal = run_des(
+        4 * MBP,
+        4 * MBP,
+        &p,
+        &cfg.clone().with_partition(PartitionPolicy::Equal),
+    )
+    .report;
+
+    let g_prop = prop.gcups_sim.unwrap();
+    let g_equal = equal.gcups_sim.unwrap();
+    assert!(g_prop > g_equal, "{g_prop} vs {g_equal}");
+
+    // Under the equal split, the strongest board idles: its utilization is
+    // visibly below the proportional run's.
+    let titan_equal = equal.devices[0].sim_utilization.unwrap();
+    let titan_prop = prop.devices[0].sim_utilization.unwrap();
+    assert!(
+        titan_prop > titan_equal + 0.1,
+        "titan utilization: prop {titan_prop} vs equal {titan_equal}"
+    );
+}
+
+#[test]
+fn bulk_synchronous_baseline_loses_the_multi_gpu_benefit() {
+    let cfg = RunConfig::paper_default();
+    for platform in [Platform::env1(), Platform::env2()] {
+        let fine = run_des(2 * MBP, 2 * MBP, &platform, &cfg)
+            .report
+            .gcups_sim
+            .unwrap();
+        let bulk = run_des_bulk(2 * MBP, 2 * MBP, &platform, &cfg)
+            .report
+            .gcups_sim
+            .unwrap();
+        // Bulk-synchronous serializes the devices: it cannot beat the best
+        // single board by much, while fine-grain overlap scales.
+        assert!(
+            fine > 1.5 * bulk,
+            "{}: fine {fine} vs bulk {bulk}",
+            platform.name
+        );
+    }
+}
+
+#[test]
+fn trace_renders_a_gantt_chart() {
+    let cfg = RunConfig::paper_default();
+    let run = run_des(MBP / 2, MBP / 2, &Platform::env2(), &cfg);
+    let chart = render_gantt(
+        run.schedule.spans(),
+        &run.schedule.resource_list(),
+        run.schedule.makespan(),
+        100,
+    );
+    // One row per resource: 3 compute streams + 2 links.
+    assert_eq!(chart.lines().count(), 5);
+    assert!(chart.contains('#'), "kernel spans missing:\n{chart}");
+    assert!(chart.contains('>'), "copy spans missing:\n{chart}");
+}
+
+#[test]
+fn simulated_and_threaded_backends_share_the_partition_geometry() {
+    // Same config ⇒ identical slab boundaries in both backends.
+    let (m, n) = (40_000, 50_000);
+    let a = ChromosomeGenerator::new(GenerateConfig::uniform(m, 3)).generate();
+    let b = ChromosomeGenerator::new(GenerateConfig::uniform(n, 4)).generate();
+    let cfg = RunConfig::paper_default().with_block(512);
+    let p = Platform::env2();
+
+    let threaded = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+    let sim = run_des(m, n, &p, &cfg).report;
+
+    assert_eq!(threaded.devices.len(), sim.devices.len());
+    for (t, s) in threaded.devices.iter().zip(&sim.devices) {
+        assert_eq!(t.slab_j0, s.slab_j0);
+        assert_eq!(t.slab_width, s.slab_width);
+        assert_eq!(t.name, s.name);
+    }
+}
+
+#[test]
+fn weak_device_chain_is_bottlenecked_by_aggregate_not_by_chain_position() {
+    // A weak board slows the pipeline by its share, wherever it sits.
+    let cfg = RunConfig::paper_default();
+    let weak_first = Platform::custom(
+        "weak-first",
+        vec![catalog::gtx560ti(), catalog::gtx_titan(), catalog::gtx_titan()],
+    );
+    let weak_last = Platform::custom(
+        "weak-last",
+        vec![catalog::gtx_titan(), catalog::gtx_titan(), catalog::gtx560ti()],
+    );
+    let g_first = run_des(2 * MBP, 2 * MBP, &weak_first, &cfg)
+        .report
+        .gcups_sim
+        .unwrap();
+    let g_last = run_des(2 * MBP, 2 * MBP, &weak_last, &cfg)
+        .report
+        .gcups_sim
+        .unwrap();
+    let ratio = g_first / g_last;
+    assert!(
+        (0.93..1.07).contains(&ratio),
+        "chain position changed throughput: {g_first} vs {g_last}"
+    );
+}

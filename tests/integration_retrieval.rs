@@ -1,0 +1,119 @@
+//! Integration of the full analysis workflow a user would run: k-mer
+//! screening → banded estimate → multi-GPU stage 1 → multi-GPU alignment
+//! retrieval → rendering. Every arrow in that chain must agree with the
+//! exhaustive reference.
+
+use megasw::prelude::*;
+use megasw::seq::kmer::{estimate_band, jaccard};
+use megasw::sw::banded::{banded_adaptive, banded_best};
+
+fn homologous_pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
+    let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+    let (b, _) = DivergenceModel::test_scale(seed + 31).apply(&a);
+    (a, b)
+}
+
+#[test]
+fn screening_predicts_what_alignment_finds() {
+    let (a, b) = homologous_pair(8_000, 1);
+    let unrelated = ChromosomeGenerator::new(GenerateConfig::uniform(8_000, 99)).generate();
+
+    // Screening separates the homologous pair from the unrelated one…
+    let j_hom = jaccard(&a, &b, 16);
+    let j_unrel = jaccard(&a, &unrelated, 16);
+    assert!(j_hom > 0.3, "homologous jaccard {j_hom}");
+    assert!(j_unrel < 0.01, "unrelated jaccard {j_unrel}");
+
+    // …and the alignment scores tell the same story.
+    let scheme = ScoreScheme::cudalign();
+    let hom = gotoh_best(a.codes(), b.codes(), &scheme);
+    let unrel = gotoh_best(a.codes(), unrelated.codes(), &scheme);
+    assert!(hom.score > 10 * unrel.score.max(1));
+}
+
+#[test]
+fn kmer_band_estimate_makes_banded_exact() {
+    let (a, b) = homologous_pair(10_000, 2);
+    let scheme = ScoreScheme::cudalign();
+    let full = gotoh_best(a.codes(), b.codes(), &scheme);
+
+    let (lo, hi) = estimate_band(&a, &b, 16, 0.95, 64).expect("homologs share k-mers");
+    // Convert the offset window into a banded half-width: the band in
+    // `banded_best` is centred on [min(0,d), max(0,d)]; widen enough to
+    // cover the estimated corridor.
+    let d = b.len() as i64 - a.len() as i64;
+    let need = (lo - 0i64.min(d)).abs().max((hi - 0i64.max(d)).abs()) as usize;
+    let banded = banded_best(a.codes(), b.codes(), &scheme, need + 1);
+    assert_eq!(
+        banded.best, full,
+        "band from k-mer estimate (w = {need}) must capture the optimum"
+    );
+    // And it should be much cheaper than the full matrix.
+    assert!(banded.cells_computed < (a.len() as u128 * b.len() as u128) / 2);
+}
+
+#[test]
+fn multigpu_retrieval_agrees_with_host_retrieval_and_renders() {
+    let (a, b) = homologous_pair(4_000, 3);
+    let cfg = RunConfig::paper_default().with_block(128);
+    let (multi, _) =
+        multigpu_local_align(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let host = local_align(a.codes(), b.codes(), &cfg.scheme);
+
+    assert_eq!(multi.score, host.score);
+    assert_eq!(
+        (multi.start_i, multi.start_j, multi.end_i, multi.end_j),
+        (host.start_i, host.start_j, host.end_i, host.end_j)
+    );
+
+    let rendered = render_alignment(a.codes(), b.codes(), &multi, 60);
+    assert!(!rendered.is_empty());
+    // Row coordinates in the rendering match the alignment span.
+    let first = rendered.lines().next().unwrap();
+    let tokens: Vec<&str> = first.split_whitespace().collect();
+    assert_eq!(tokens[0], "a");
+    assert_eq!(tokens[1], multi.start_i.to_string(), "{first}");
+    // Match-bar count equals the CIGAR's match total.
+    let bars: usize = rendered
+        .lines()
+        .skip(1)
+        .step_by(4) // every block: a-line, bars, b-line, blank
+        .map(|l| l.matches('|').count())
+        .sum();
+    let matches = multi
+        .ops
+        .iter()
+        .filter(|o| **o == AlignOp::Match)
+        .count();
+    assert_eq!(bars, matches);
+}
+
+#[test]
+fn banded_adaptive_agrees_with_pipeline_on_catalog_pair() {
+    let pair = ChromosomePair::generate(PairCatalog::test_scale().specs[0].clone());
+    let scheme = ScoreScheme::cudalign();
+    let cfg = RunConfig::paper_default();
+
+    let banded = banded_adaptive(pair.human.codes(), pair.chimp.codes(), &scheme, 32);
+    let pipeline = run_pipeline(
+        pair.human.codes(),
+        pair.chimp.codes(),
+        &Platform::env1(),
+        &cfg,
+    )
+    .unwrap();
+    assert_eq!(banded.best, pipeline.best);
+}
+
+#[test]
+fn anchored_and_local_pipelines_relate_correctly() {
+    // The anchored maximum is a lower bound on the local maximum (every
+    // origin-anchored alignment is also a local alignment).
+    let (a, b) = homologous_pair(3_000, 5);
+    let cfg = RunConfig::paper_default().with_block(96);
+    let p = Platform::env2();
+    let local = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+    let anchored = run_pipeline_anchored(a.codes(), b.codes(), &p, &cfg).unwrap();
+    assert!(anchored.best.score <= local.best.score);
+    assert!(anchored.best.score >= 0, "origin score 0 is always anchored");
+}
