@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Offline CI gate for the megasw workspace: release build, full test
+# suite, and a warning-free clippy pass. No network access required —
+# the workspace has zero external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

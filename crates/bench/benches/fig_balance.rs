@@ -5,17 +5,11 @@
 //! cost of slab-size skew in the real pipeline, the same mechanism the
 //! simulated F4 quantifies with truly heterogeneous device speeds.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use megasw::prelude::*;
-use megasw_bench::cached_pair;
-use std::time::Duration;
+use megasw_bench::{cached_pair, harness::Group};
 
-fn bench_partition_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f4_partition_policy");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn bench_partition_policies() {
+    let group = Group::new("f4_partition_policy");
     let (a, b) = cached_pair(8_000, 501);
     let cells = (a.len() * b.len()) as u64;
     let platform = Platform::env2();
@@ -28,46 +22,36 @@ fn bench_partition_policies(c: &mut Criterion) {
         let cfg = RunConfig::paper_default()
             .with_block(256)
             .with_partition(policy);
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(BenchmarkId::new("policy", name), &cfg, |bench, cfg| {
-            bench.iter(|| {
-                run_pipeline(a.codes(), b.codes(), &platform, cfg)
-                    .expect("pipeline run failed")
-                    .best
-            })
+        group.bench_cells(name, cells, || {
+            PipelineRun::new(a.codes(), b.codes(), &platform)
+                .config(cfg.clone())
+                .run()
+                .expect("pipeline run failed")
+                .best
         });
     }
-    group.finish();
 }
 
-fn bench_device_count_overlap(c: &mut Criterion) {
+fn bench_device_count_overlap() {
     // F5 on the host: 1 device (no comms at all) vs 3 devices (fine-grain
     // rings): the delta is the real synchronization cost of the pipeline.
-    let mut group = c.benchmark_group("f5_overlap_cost");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+    let group = Group::new("f5_overlap_cost");
     let (a, b) = cached_pair(8_000, 502);
     let cells = (a.len() * b.len()) as u64;
     for gpus in [1usize, 3] {
         let platform = Platform::env2().take(gpus);
         let cfg = RunConfig::paper_default().with_block(256);
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(
-            BenchmarkId::new("devices", gpus),
-            &platform,
-            |bench, platform| {
-                bench.iter(|| {
-                    run_pipeline(a.codes(), b.codes(), platform, &cfg)
-                        .expect("pipeline run failed")
-                        .best
-                })
-            },
-        );
+        group.bench_cells(&format!("devices_{gpus}"), cells, || {
+            PipelineRun::new(a.codes(), b.codes(), &platform)
+                .config(cfg.clone())
+                .run()
+                .expect("pipeline run failed")
+                .best
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_partition_policies, bench_device_count_overlap);
-criterion_main!(benches);
+fn main() {
+    bench_partition_policies();
+    bench_device_count_overlap();
+}

@@ -3,18 +3,12 @@
 //! the capacity is amortizing). The simulated capacity curve is printed by
 //! `paper-tables f3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use megasw::multigpu::circbuf::CircularBuffer;
 use megasw::prelude::*;
-use megasw_bench::cached_pair;
-use std::time::Duration;
+use megasw_bench::{cached_pair, harness::Group};
 
-fn bench_pipeline_capacity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f3_pipeline_capacity");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn bench_pipeline_capacity() {
+    let group = Group::new("f3_pipeline_capacity");
     let (a, b) = cached_pair(8_000, 401);
     let cells = (a.len() * b.len()) as u64;
     let platform = Platform::env1();
@@ -22,53 +16,43 @@ fn bench_pipeline_capacity(c: &mut Criterion) {
         let cfg = RunConfig::paper_default()
             .with_block(256)
             .with_buffer_capacity(cap);
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(BenchmarkId::new("capacity", cap), &cfg, |bench, cfg| {
-            bench.iter(|| {
-                run_pipeline(a.codes(), b.codes(), &platform, cfg)
-                    .expect("pipeline run failed")
-                    .best
-            })
+        group.bench_cells(&format!("capacity_{cap}"), cells, || {
+            PipelineRun::new(a.codes(), b.codes(), &platform)
+                .config(cfg.clone())
+                .run()
+                .expect("pipeline run failed")
+                .best
         });
     }
-    group.finish();
 }
 
-fn bench_ring_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f3_ring_ops");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(2));
+fn bench_ring_throughput() {
+    let group = Group::new("f3_ring_ops").samples(20);
 
     const ITEMS: u64 = 10_000;
     for cap in [1usize, 8, 64] {
-        group.throughput(Throughput::Elements(ITEMS));
-        group.bench_with_input(
-            BenchmarkId::new("stream_10k", cap),
-            &cap,
-            |bench, &cap| {
-                bench.iter(|| {
-                    let ring = CircularBuffer::with_capacity(cap);
-                    let producer = {
-                        let ring = ring.clone();
-                        std::thread::spawn(move || {
-                            for i in 0..ITEMS {
-                                ring.push(i).unwrap();
-                            }
-                            ring.close();
-                        })
-                    };
-                    let mut sum = 0u64;
-                    while let Some(v) = ring.pop().unwrap() {
-                        sum = sum.wrapping_add(v);
+        group.bench(&format!("stream_10k_cap{cap}"), || {
+            let ring = CircularBuffer::with_capacity(cap);
+            let producer = {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..ITEMS {
+                        ring.push(i).unwrap();
                     }
-                    producer.join().unwrap();
-                    sum
+                    ring.close();
                 })
-            },
-        );
+            };
+            let mut sum = 0u64;
+            while let Some(v) = ring.pop().unwrap() {
+                sum = sum.wrapping_add(v);
+            }
+            producer.join().unwrap();
+            sum
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_pipeline_capacity, bench_ring_throughput);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline_capacity();
+    bench_ring_throughput();
+}

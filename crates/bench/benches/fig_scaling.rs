@@ -2,58 +2,39 @@
 //! scaling (real parallel speedup) and the DES planner's cost per device
 //! count (the series itself is printed by `paper-tables f1 f2`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use megasw::multigpu::desrun::run_des;
 use megasw::prelude::*;
-use megasw_bench::cached_pair;
-use std::time::Duration;
+use megasw_bench::{cached_pair, harness::Group};
 
-fn bench_cpu_wavefront_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("f1_cpu_wavefront");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn bench_cpu_wavefront_scaling() {
+    let group = Group::new("f1_cpu_wavefront");
     let (a, b) = cached_pair(8_000, 301);
     let scheme = ScoreScheme::cudalign();
     let cells = (a.len() * b.len()) as u64;
     for threads in [1usize, 2, 4, 8] {
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(
-            BenchmarkId::new("threads", threads),
-            &threads,
-            |bench, &threads| {
-                bench.iter(|| cpu_parallel(a.codes(), b.codes(), &scheme, 512, threads).0)
-            },
-        );
+        group.bench_cells(&format!("threads_{threads}"), cells, || {
+            cpu_parallel(a.codes(), b.codes(), &scheme, 512, threads).0
+        });
     }
-    group.finish();
 }
 
-fn bench_des_planner(c: &mut Criterion) {
+fn bench_des_planner() {
     // The simulator itself must stay cheap: one megabase-scale plan per
     // device count. Regressions here break the harness's usability.
-    let mut group = c.benchmark_group("f1_des_planner");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
-
+    let group = Group::new("f1_des_planner");
     let cfg = RunConfig::paper_default();
     for gpus in [1usize, 4, 8] {
         let platform = Platform::homogeneous(catalog::gtx680(), gpus);
-        group.bench_with_input(
-            BenchmarkId::new("plan_4mbp", gpus),
-            &platform,
-            |bench, platform| {
-                bench.iter(|| {
-                    run_des(4_000_000, 4_000_000, platform, &cfg)
-                        .report
-                        .sim_time
-                })
-            },
-        );
+        group.bench(&format!("plan_4mbp_{gpus}gpu"), || {
+            DesSim::new(4_000_000, 4_000_000, &platform)
+                .config(cfg.clone())
+                .run()
+                .report
+                .sim_time
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_cpu_wavefront_scaling, bench_des_planner);
-criterion_main!(benches);
+fn main() {
+    bench_cpu_wavefront_scaling();
+    bench_des_planner();
+}

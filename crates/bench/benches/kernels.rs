@@ -2,7 +2,6 @@
 //! number in the evaluation, plus the block-pruning and traceback
 //! ablations. Throughput unit = DP cells.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use megasw::prelude::*;
 use megasw::sw::antidiag::antidiag_best;
 use megasw::sw::banded::banded_best;
@@ -10,86 +9,67 @@ use megasw::sw::block::{compute_block, BlockInput};
 use megasw::sw::border::{ColBorder, RowBorder};
 use megasw::sw::grid::{run_sequential, BlockGrid};
 use megasw::sw::prune::run_pruned;
-use megasw_bench::cached_pair_exact;
-use std::time::Duration;
+use megasw_bench::{cached_pair_exact, harness::Group};
 
-fn bench_block_kernel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("k1_block_kernel");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(2));
-
+fn bench_block_kernel() {
+    let group = Group::new("k1_block_kernel").samples(20);
     let (a, b) = cached_pair_exact(4_096, 601);
     let scheme = ScoreScheme::cudalign();
     for side in [64usize, 256, 1_024, 4_096] {
         let top = RowBorder::zero(side);
         let left = ColBorder::zero(side);
-        group.throughput(Throughput::Elements((side * side) as u64));
-        group.bench_with_input(BenchmarkId::new("side", side), &side, |bench, &side| {
-            bench.iter(|| {
-                compute_block(
-                    BlockInput {
-                        a_rows: &a.codes()[..side],
-                        b_cols: &b.codes()[..side],
-                        top: &top,
-                        left: &left,
-                        row_offset: 1,
-                        col_offset: 1,
-                    },
-                    &scheme,
-                )
-                .best
-            })
+        group.bench_cells(&format!("side_{side}"), (side * side) as u64, || {
+            compute_block(
+                BlockInput {
+                    a_rows: &a.codes()[..side],
+                    b_cols: &b.codes()[..side],
+                    top: &top,
+                    left: &left,
+                    row_offset: 1,
+                    col_offset: 1,
+                },
+                &scheme,
+            )
+            .best
         });
     }
-    group.finish();
 }
 
-fn bench_whole_matrix_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("k1_whole_matrix");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-
+fn bench_whole_matrix_kernels() {
+    let group = Group::new("k1_whole_matrix");
     let (a, b) = cached_pair_exact(4_096, 601);
     let scheme = ScoreScheme::cudalign();
     let cells = (a.len() * b.len()) as u64;
-    group.throughput(Throughput::Elements(cells));
 
-    group.bench_function("gotoh_serial", |bench| {
-        bench.iter(|| gotoh_best(a.codes(), b.codes(), &scheme))
+    group.bench_cells("gotoh_serial", cells, || {
+        gotoh_best(a.codes(), b.codes(), &scheme)
     });
-    group.bench_function("antidiagonal_serial", |bench| {
-        bench.iter(|| antidiag_best(a.codes(), b.codes(), &scheme))
+    group.bench_cells("antidiagonal_serial", cells, || {
+        antidiag_best(a.codes(), b.codes(), &scheme)
     });
     let grid = BlockGrid::new(a.len(), b.len(), 512, 512);
-    group.bench_function("blocked_grid_512", |bench| {
-        bench.iter(|| run_sequential(a.codes(), b.codes(), &grid, &scheme).best)
+    group.bench_cells("blocked_grid_512", cells, || {
+        run_sequential(a.codes(), b.codes(), &grid, &scheme).best
     });
-    group.bench_function("blocked_grid_512_pruned", |bench| {
-        bench.iter(|| run_pruned(a.codes(), b.codes(), &grid, &scheme).best)
+    group.bench_cells("blocked_grid_512_pruned", cells, || {
+        run_pruned(a.codes(), b.codes(), &grid, &scheme).best
     });
-    group.bench_function("banded_w64", |bench| {
-        bench.iter(|| banded_best(a.codes(), b.codes(), &scheme, 64).best)
+    group.bench_cells("banded_w64", cells, || {
+        banded_best(a.codes(), b.codes(), &scheme, 64).best
     });
-    group.finish();
 }
 
-fn bench_traceback(c: &mut Criterion) {
-    let mut group = c.benchmark_group("k1_traceback");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(3));
-
+fn bench_traceback() {
+    let group = Group::new("k1_traceback");
     let (a, b) = cached_pair_exact(4_096, 602);
     let scheme = ScoreScheme::cudalign();
-    group.bench_function("local_align_4k", |bench| {
-        bench.iter(|| local_align(a.codes(), b.codes(), &scheme).score)
+    group.bench("local_align_4k", || {
+        local_align(a.codes(), b.codes(), &scheme).score
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_block_kernel,
-    bench_whole_matrix_kernels,
-    bench_traceback
-);
-criterion_main!(benches);
+fn main() {
+    bench_block_kernel();
+    bench_whole_matrix_kernels();
+    bench_traceback();
+}

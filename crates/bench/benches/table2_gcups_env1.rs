@@ -1,43 +1,28 @@
 //! T2 — throughput of the threaded pipeline on Environment 1 (2 homogeneous
-//! devices), per benchmark pair shape. Criterion's `Elements` throughput is
-//! DP cells, so the report reads directly in cells/second (×10⁻⁹ = GCUPS).
+//! devices), per benchmark pair shape. The throughput column reads directly
+//! in GCUPS (DP cells per second × 10⁻⁹).
 //!
 //! The paper-scale series for this table comes from
 //! `cargo run -p megasw-bench --release --bin paper-tables t2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use megasw::prelude::*;
-use megasw_bench::cached_pair;
-use std::time::Duration;
+use megasw_bench::{cached_pair, harness::Group};
 
-fn bench_env1(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_env1");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn main() {
+    let group = Group::new("table2_env1");
     let cfg = RunConfig::paper_default();
     for (name, len, seed) in [("pairA", 4_000usize, 101u64), ("pairB", 8_000, 102)] {
         let (a, b) = cached_pair(len, seed);
         let cells = (a.len() * b.len()) as u64;
         for gpus in [1usize, 2] {
             let platform = Platform::env1().take(gpus);
-            group.throughput(Throughput::Elements(cells));
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{gpus}gpu")),
-                &platform,
-                |bench, platform| {
-                    bench.iter(|| {
-                        run_pipeline(a.codes(), b.codes(), platform, &cfg)
-                            .expect("pipeline run failed")
-                            .best
-                    })
-                },
-            );
+            group.bench_cells(&format!("{name}_{gpus}gpu"), cells, || {
+                PipelineRun::new(a.codes(), b.codes(), &platform)
+                    .config(cfg.clone())
+                    .run()
+                    .expect("pipeline run failed")
+                    .best
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_env1);
-criterion_main!(benches);

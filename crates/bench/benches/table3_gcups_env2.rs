@@ -1,41 +1,27 @@
 //! T3 — throughput of the threaded pipeline on Environment 2 (3
-//! heterogeneous devices), 1/2/3-GPU sweep. Throughput unit = DP cells.
+//! heterogeneous devices), 1/2/3-GPU sweep. The throughput column reads
+//! directly in GCUPS (DP cells per second × 10⁻⁹).
 //!
 //! The paper-scale series for this table comes from
 //! `cargo run -p megasw-bench --release --bin paper-tables t3`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use megasw::prelude::*;
-use megasw_bench::cached_pair;
-use std::time::Duration;
+use megasw_bench::{cached_pair, harness::Group};
 
-fn bench_env2(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_env2");
-    group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-
+fn main() {
+    let group = Group::new("table3_env2");
     let cfg = RunConfig::paper_default();
     let (a, b) = cached_pair(8_000, 201);
     let cells = (a.len() * b.len()) as u64;
 
     for gpus in [1usize, 2, 3] {
         let platform = Platform::env2().take(gpus);
-        group.throughput(Throughput::Elements(cells));
-        group.bench_with_input(
-            BenchmarkId::new("pair8k", format!("{gpus}gpu")),
-            &platform,
-            |bench, platform| {
-                bench.iter(|| {
-                    run_pipeline(a.codes(), b.codes(), platform, &cfg)
-                        .expect("pipeline run failed")
-                        .best
-                })
-            },
-        );
+        group.bench_cells(&format!("pair8k_{gpus}gpu"), cells, || {
+            PipelineRun::new(a.codes(), b.codes(), &platform)
+                .config(cfg.clone())
+                .run()
+                .expect("pipeline run failed")
+                .best
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_env2);
-criterion_main!(benches);

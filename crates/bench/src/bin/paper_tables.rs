@@ -437,7 +437,9 @@ fn verify() {
         let pair = ChromosomePair::generate(spec.clone());
         let want = gotoh_best(pair.human.codes(), pair.chimp.codes(), &cfg.scheme);
         for p in [Platform::env1(), Platform::env2()] {
-            let rep = run_pipeline(pair.human.codes(), pair.chimp.codes(), &p, &cfg)
+            let rep = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &p)
+                .config(cfg.clone())
+                .run()
                 .expect("pipeline run failed");
             assert_eq!(rep.best, want, "{} on {}", spec.name, p.name);
         }

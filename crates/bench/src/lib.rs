@@ -7,8 +7,9 @@
 //!   --bin paper-tables`) regenerates every table/figure *series* — mostly
 //!   on the discrete-event backend, so paper-scale matrix dimensions are
 //!   cheap;
-//! * the **criterion benches** (`cargo bench`) measure the real, threaded
-//!   implementation on this host, one bench target per table/figure.
+//! * the **bench targets** (`cargo bench`, dependency-free [`harness`])
+//!   measure the real, threaded implementation on this host, one bench
+//!   target per table/figure.
 //!
 //! This crate-level library holds what both share: cached workload pairs
 //! and table-formatting helpers.
@@ -35,9 +36,11 @@ mod parking_lot_free {
     use std::collections::HashMap;
     use std::sync::Mutex;
 
+    type PairMap = HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>;
+
     #[derive(Default)]
     pub struct Registry {
-        map: Mutex<HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>>,
+        map: Mutex<PairMap>,
     }
 
     impl Registry {
@@ -67,9 +70,11 @@ mod parking_lot_free_exact {
     use std::collections::HashMap;
     use std::sync::Mutex;
 
+    type PairMap = HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>;
+
     #[derive(Default)]
     pub struct Registry {
-        map: Mutex<HashMap<(usize, u64), &'static (DnaSeq, DnaSeq)>>,
+        map: Mutex<PairMap>,
     }
 
     impl Registry {
@@ -80,6 +85,91 @@ mod parking_lot_free_exact {
                 let (b, _) = DivergenceModel::snp_only(seed + 7, 0.012).apply(&a);
                 Box::leak(Box::new((a, b)))
             })
+        }
+    }
+}
+
+/// Dependency-free measurement harness for the bench targets.
+///
+/// Each bench binary (`cargo bench` with `harness = false`) builds a few
+/// [`harness::Group`]s; a group warms the closure up, takes a fixed number
+/// of timed samples, and prints min/median/max plus the cell throughput in
+/// GCUPS when a cell count is attached. `MEGASW_BENCH_SAMPLES=N` overrides
+/// the sample count (e.g. `=1` for a smoke run).
+pub mod harness {
+    use std::time::{Duration, Instant};
+
+    /// A named set of measurements sharing warm-up and sample settings.
+    pub struct Group {
+        name: String,
+        samples: usize,
+        warmup: Duration,
+    }
+
+    impl Group {
+        pub fn new(name: &str) -> Group {
+            let samples = std::env::var("MEGASW_BENCH_SAMPLES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10);
+            println!("\n== {name} ==");
+            Group {
+                name: name.to_string(),
+                samples,
+                warmup: Duration::from_millis(300),
+            }
+        }
+
+        pub fn samples(mut self, n: usize) -> Group {
+            if std::env::var("MEGASW_BENCH_SAMPLES").is_err() {
+                self.samples = n;
+            }
+            self
+        }
+
+        pub fn warmup(mut self, d: Duration) -> Group {
+            self.warmup = d;
+            self
+        }
+
+        /// Measure `f`, reporting DP-cell throughput.
+        pub fn bench_cells<T>(&self, id: &str, cells: u64, f: impl FnMut() -> T) {
+            self.run(id, Some(cells), f);
+        }
+
+        /// Measure `f` with no throughput unit.
+        pub fn bench<T>(&self, id: &str, f: impl FnMut() -> T) {
+            self.run(id, None, f);
+        }
+
+        fn run<T>(&self, id: &str, cells: Option<u64>, mut f: impl FnMut() -> T) {
+            let wu = Instant::now();
+            while wu.elapsed() < self.warmup {
+                std::hint::black_box(f());
+            }
+            let mut times: Vec<Duration> = (0..self.samples.max(1))
+                .map(|_| {
+                    let t = Instant::now();
+                    std::hint::black_box(f());
+                    t.elapsed()
+                })
+                .collect();
+            times.sort();
+            let median = times[times.len() / 2];
+            let line = format!(
+                "{}/{id:<28} median {:>11.3?}  min {:>11.3?}  max {:>11.3?}",
+                self.name,
+                median,
+                times[0],
+                times[times.len() - 1],
+            );
+            match cells {
+                Some(c) => println!(
+                    "{line}  {:>8.3} GCUPS",
+                    super::gcups(u128::from(c), median.as_secs_f64())
+                ),
+                None => println!("{line}"),
+            }
         }
     }
 }

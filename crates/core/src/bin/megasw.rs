@@ -15,7 +15,7 @@
 
 use megasw::gpusim::trace::render_gantt;
 use megasw::multigpu::autotune::autotune;
-use megasw::multigpu::desrun::run_des;
+use megasw::multigpu::stages::multigpu_local_align_observed;
 use megasw::prelude::*;
 use megasw::seq::fasta::{read_single_fasta, write_fasta, FastaRecord};
 use std::fs::File;
@@ -76,6 +76,14 @@ platform flags:
   --block N         square tile side (default 512)
   --capacity N      ring capacity in borders (default 8)
   --equal           equal split instead of performance-proportional
+
+observability flags (compare, align, simulate):
+  --trace-out PATH  write a Chrome trace-event JSON of the run; open it in
+                    chrome://tracing or https://ui.perfetto.dev
+  --metrics         print the per-run metrics registry (GCUPS, ring
+                    occupancy, stall accounting)
+  --obs-level L     off | kernels | full — how much the recorder keeps
+                    (default: full when --trace-out is given, off otherwise)
 ";
 
 // ---------------------------------------------------------------------------
@@ -111,6 +119,7 @@ fn cmd_generate(mut args: ArgStream) -> Result<(), String> {
 fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
     let config = parse_config(&mut args)?;
+    let obs_opts = parse_obs(&mut args)?;
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
     let path_b = args.next_positional().ok_or("missing second FASTA path")?;
     args.finish()?;
@@ -126,11 +135,21 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
         platform.name
     );
 
-    let report = run_pipeline(a.seq.codes(), b.seq.codes(), &platform, &config)
+    let obs = obs_opts.recorder();
+    let report = PipelineRun::new(a.seq.codes(), b.seq.codes(), &platform)
+        .config(config.clone())
+        .observer(obs.clone())
+        .run()
         .map_err(|e| e.to_string())?;
     print!("{report}");
+    if obs_opts.metrics {
+        print!("{}", report.metrics());
+    }
+    obs_opts.export(&obs, &platform)?;
 
-    let sim = run_des(a.seq.len(), b.seq.len(), &platform, &config);
+    let sim = DesSim::new(a.seq.len(), b.seq.len(), &platform)
+        .config(config)
+        .run();
     println!(
         "simulated on {}: {} ({:.2} GCUPS)",
         platform.name,
@@ -146,6 +165,7 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
 fn cmd_align(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
     let config = parse_config(&mut args)?;
+    let obs_opts = parse_obs(&mut args)?;
     let width: usize = args.flag_value("--width")?.unwrap_or(72);
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
     let path_b = args.next_positional().ok_or("missing second FASTA path")?;
@@ -153,9 +173,11 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
 
     let a = load_fasta(&path_a)?;
     let b = load_fasta(&path_b)?;
+    let obs = obs_opts.recorder();
     let (aln, times) =
-        multigpu_local_align(a.seq.codes(), b.seq.codes(), &platform, &config)
+        multigpu_local_align_observed(a.seq.codes(), b.seq.codes(), &platform, &config, &obs)
             .map_err(|e| e.to_string())?;
+    obs_opts.export(&obs, &platform)?;
     if aln.is_empty() {
         println!("no positive-scoring local alignment");
         return Ok(());
@@ -182,13 +204,22 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
 fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
     let config = parse_config(&mut args)?;
+    let obs_opts = parse_obs(&mut args)?;
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
     let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
     let gantt = args.take_flag("--gantt");
     args.finish()?;
 
-    let run = run_des(m, n, &platform, &config);
+    let obs = obs_opts.recorder();
+    let run = DesSim::new(m, n, &platform)
+        .config(config)
+        .observer(obs.clone())
+        .run();
     print!("{}", run.report);
+    if obs_opts.metrics {
+        print!("{}", run.report.metrics());
+    }
+    obs_opts.export(&obs, &platform)?;
     match &run.memory {
         Ok(plans) => {
             for (d, plan) in run.report.devices.iter().zip(plans) {
@@ -278,6 +309,48 @@ fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
 // ---------------------------------------------------------------------------
 // Shared parsing helpers
 // ---------------------------------------------------------------------------
+
+/// Observability choices shared by `compare`, `align` and `simulate`.
+struct ObsOptions {
+    level: ObsLevel,
+    trace_out: Option<String>,
+    metrics: bool,
+}
+
+impl ObsOptions {
+    fn recorder(&self) -> Recorder {
+        Recorder::new(self.level)
+    }
+
+    /// Write the recorded spans as a Chrome trace, if requested.
+    fn export(&self, obs: &Recorder, platform: &Platform) -> Result<(), String> {
+        let Some(path) = &self.trace_out else {
+            return Ok(());
+        };
+        let names: Vec<String> = platform.devices.iter().map(|d| d.name.clone()).collect();
+        std::fs::write(path, chrome_trace(&obs.spans(), &names))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote {} spans to {path} (open in chrome://tracing or ui.perfetto.dev)",
+            obs.len()
+        );
+        Ok(())
+    }
+}
+
+fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
+    let trace_out = args.flag_str("--trace-out");
+    let metrics = args.take_flag("--metrics");
+    let level = match args.flag_str("--obs-level") {
+        Some(s) => s.parse::<ObsLevel>()?,
+        None if trace_out.is_some() => ObsLevel::Full,
+        None => ObsLevel::Off,
+    };
+    if trace_out.is_some() && level == ObsLevel::Off {
+        return Err("--trace-out needs --obs-level kernels or full".into());
+    }
+    Ok(ObsOptions { level, trace_out, metrics })
+}
 
 fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
     let env1 = args.take_flag("--env1");
@@ -475,6 +548,29 @@ mod tests {
         assert!((snp.snp_rate - 0.05).abs() < 1e-12);
         assert!(parse_divergence("snp:2.0", 1, 10).is_err());
         assert!(parse_divergence("wat", 1, 10).is_err());
+    }
+
+    #[test]
+    fn obs_parsing() {
+        let mut s = stream(&["--trace-out", "t.json", "--metrics"]);
+        let o = parse_obs(&mut s).unwrap();
+        assert_eq!(o.level, ObsLevel::Full); // tracing implies a live recorder
+        assert!(o.metrics);
+        assert_eq!(o.trace_out.as_deref(), Some("t.json"));
+
+        let mut s = stream(&[]);
+        let o = parse_obs(&mut s).unwrap();
+        assert_eq!(o.level, ObsLevel::Off);
+        assert!(!o.metrics);
+
+        let mut s = stream(&["--obs-level", "kernels"]);
+        assert_eq!(parse_obs(&mut s).unwrap().level, ObsLevel::Kernels);
+
+        let mut s = stream(&["--obs-level", "verbose"]);
+        assert!(parse_obs(&mut s).is_err());
+
+        let mut s = stream(&["--trace-out", "t.json", "--obs-level", "off"]);
+        assert!(parse_obs(&mut s).is_err());
     }
 
     #[test]

@@ -28,16 +28,30 @@
 //! let human = ChromosomeGenerator::new(GenerateConfig::sized(20_000, 42)).generate();
 //! let (chimp, _) = DivergenceModel::human_chimp(7).apply(&human);
 //!
-//! // Compare them on the paper's heterogeneous 3-GPU environment.
+//! // Compare them on the paper's heterogeneous 3-GPU environment, with an
+//! // observer collecting spans for a Chrome trace.
 //! let platform = Platform::env2();
 //! let config = RunConfig::paper_default().with_block(256);
-//! let report = run_pipeline(human.codes(), chimp.codes(), &platform, &config).unwrap();
+//! let obs = Recorder::new(ObsLevel::Full);
+//! let report = PipelineRun::new(human.codes(), chimp.codes(), &platform)
+//!     .config(config.clone())
+//!     .observer(obs.clone())
+//!     .run()
+//!     .unwrap();
 //!
 //! // The best cell is bit-identical to the sequential reference…
 //! assert_eq!(report.best, gotoh_best(human.codes(), chimp.codes(), &config.scheme));
 //!
+//! // …every device reports where its idle time went…
+//! assert!(report.devices.iter().all(|d| d.stall.is_some()));
+//!
+//! // …the spans export as a chrome://tracing document…
+//! let names: Vec<String> = platform.devices.iter().map(|d| d.name.clone()).collect();
+//! let trace = chrome_trace(&obs.spans(), &names);
+//! assert!(trace.contains("traceEvents"));
+//!
 //! // …and the same schedule can be timed on the simulated hardware.
-//! let sim = run_des(human.len(), chimp.len(), &platform, &config);
+//! let sim = DesSim::new(human.len(), chimp.len(), &platform).config(config).run();
 //! assert!(sim.report.gcups_sim.unwrap() > 0.0);
 //! ```
 //!
@@ -59,12 +73,22 @@ pub use megasw_sw as sw;
 pub mod prelude {
     pub use megasw_gpusim::{catalog, DeviceSpec, LinkSpec, Platform, SimTime};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
-    pub use megasw_multigpu::desrun::{run_des, run_des_bulk};
+    pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};
+    pub use megasw_multigpu::error::MegaswError;
+    #[allow(deprecated)] // legacy entry points stay importable during the migration
     pub use megasw_multigpu::pipeline::{
-        run_pipeline, run_pipeline_anchored, run_pipeline_with_faults, FaultPlan, Semantics,
+        run_pipeline, run_pipeline_anchored, run_pipeline_with_faults,
     };
-    pub use megasw_multigpu::stages::{multigpu_local_align, StageTimes};
+    pub use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
+    pub use megasw_multigpu::stages::{
+        multigpu_local_align, multigpu_local_align_observed, StageTimes,
+    };
     pub use megasw_multigpu::{make_slabs, PartitionPolicy, RunConfig, RunReport, Slab};
+    pub use megasw_multigpu::stats::{DeviceReport, StallBreakdown};
+    pub use megasw_obs::{
+        chrome_trace, validate as validate_trace, MetricsRegistry, ObsKind, ObsLevel, ObsSpan,
+        Recorder,
+    };
     pub use megasw_seq::{
         ChromosomeGenerator, ChromosomePair, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide,
         PairCatalog, PairSpec,
@@ -85,11 +109,14 @@ mod tests {
         let human = ChromosomeGenerator::new(GenerateConfig::sized(5_000, 1)).generate();
         let (chimp, _) = DivergenceModel::test_scale(2).apply(&human);
         let config = RunConfig::paper_default().with_block(128);
-        let report =
-            run_pipeline(human.codes(), chimp.codes(), &Platform::env2(), &config).unwrap();
+        let report = PipelineRun::new(human.codes(), chimp.codes(), &Platform::env2())
+            .config(config.clone())
+            .run()
+            .unwrap();
         assert_eq!(
             report.best,
             gotoh_best(human.codes(), chimp.codes(), &config.scheme)
         );
+        assert!(report.devices.iter().all(|d| d.stall.is_some()));
     }
 }

@@ -1,10 +1,37 @@
-//! Property-based tests for the schedule engine and timing models:
+//! Randomized property tests for the schedule engine and timing models:
 //! causality, FIFO serialization, determinism and conservation laws.
+//!
+//! Deterministic seeded sweeps: the crate is dependency-free, so a local
+//! SplitMix64 drives the case generation; every failure reproduces from the
+//! printed case index.
 
 use megasw_gpusim::{
     catalog, DeviceSpec, KernelModel, LinkSpec, Schedule, SimTime, SpanKind, TaskId,
 };
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
+
+/// SplitMix64 — tiny, well-distributed, and all this file needs.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `lo..hi` (`hi > lo`); modulo bias is irrelevant here.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
 
 /// A random DAG workload: tasks assigned round-robin to resources, each
 /// depending on a random subset of earlier tasks.
@@ -15,21 +42,21 @@ struct Workload {
     tasks: Vec<(usize, u64, Vec<usize>)>,
 }
 
-fn workload() -> impl Strategy<Value = Workload> {
-    (1usize..5, 0usize..60).prop_flat_map(|(resources, n_tasks)| {
-        let task = move |idx: usize| {
-            (
-                0..resources,
-                1u64..10_000,
-                prop::collection::vec(0..idx.max(1), 0..3),
-            )
-        };
-        let mut strat: Vec<_> = Vec::new();
-        for i in 0..n_tasks {
-            strat.push(task(i));
-        }
-        strat.prop_map(move |tasks| Workload { resources, tasks })
-    })
+fn workload(rng: &mut Rng) -> Workload {
+    let resources = rng.range(1, 5) as usize;
+    let n_tasks = rng.range(0, 60) as usize;
+    let tasks = (0..n_tasks)
+        .map(|idx| {
+            let r = rng.range(0, resources as u64) as usize;
+            let dur = rng.range(1, 10_000);
+            let n_deps = rng.range(0, 3) as usize;
+            let deps = (0..n_deps)
+                .map(|_| rng.range(0, idx.max(1) as u64) as usize)
+                .collect();
+            (r, dur, deps)
+        })
+        .collect();
+    Workload { resources, tasks }
 }
 
 fn build(w: &Workload) -> (Schedule, Vec<TaskId>) {
@@ -56,43 +83,50 @@ fn build(w: &Workload) -> (Schedule, Vec<TaskId>) {
     (s, ids)
 }
 
-proptest! {
-    #[test]
-    fn causality_deps_finish_before_start(w in workload()) {
+#[test]
+fn causality_deps_finish_before_start() {
+    for case in 0..CASES {
+        let w = workload(&mut Rng::new(0x6A_01 + case));
         let (s, ids) = build(&w);
         for (i, (_, _, deps)) in w.tasks.iter().enumerate() {
             for &d in deps {
                 if i > 0 {
                     let dep = ids[d % i];
-                    prop_assert!(s.finish_of(dep) <= s.start_of(ids[i]));
+                    assert!(s.finish_of(dep) <= s.start_of(ids[i]), "case {case}, task {i}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn fifo_resources_never_overlap(w in workload()) {
+#[test]
+fn fifo_resources_never_overlap() {
+    for case in 0..CASES {
+        let w = workload(&mut Rng::new(0x6A_02 + case));
         let (s, ids) = build(&w);
         // Spans on one resource are disjoint and in insertion order.
         for r in 0..w.resources {
             let mut last_finish = SimTime::ZERO;
             for (i, (tr, _, _)) in w.tasks.iter().enumerate() {
                 if *tr == r {
-                    prop_assert!(s.start_of(ids[i]) >= last_finish);
+                    assert!(s.start_of(ids[i]) >= last_finish, "case {case}, task {i}");
                     last_finish = s.finish_of(ids[i]);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn makespan_and_busy_conservation(w in workload()) {
+#[test]
+fn makespan_and_busy_conservation() {
+    for case in 0..CASES {
+        let w = workload(&mut Rng::new(0x6A_03 + case));
         let (s, ids) = build(&w);
         let max_finish = ids
             .iter()
             .map(|&t| s.finish_of(t))
             .fold(SimTime::ZERO, SimTime::max);
-        prop_assert_eq!(s.makespan(), max_finish);
+        assert_eq!(s.makespan(), max_finish, "case {case}");
         // Busy time per resource = sum of its durations; utilization ≤ 1.
         for r in 0..w.resources {
             let rid = s.resource_list()[r].0;
@@ -102,58 +136,79 @@ proptest! {
                 .filter(|(tr, _, _)| *tr == r)
                 .map(|(_, d, _)| *d)
                 .sum();
-            prop_assert_eq!(s.busy_of(rid), SimTime::from_nanos(total));
-            prop_assert!(s.utilization(rid) <= 1.0 + 1e-12);
+            assert_eq!(s.busy_of(rid), SimTime::from_nanos(total), "case {case}");
+            assert!(s.utilization(rid) <= 1.0 + 1e-12, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn replay_determinism(w in workload()) {
+#[test]
+fn replay_determinism() {
+    for case in 0..CASES {
+        let w = workload(&mut Rng::new(0x6A_04 + case));
         let (s1, _) = build(&w);
         let (s2, _) = build(&w);
-        prop_assert_eq!(s1.makespan(), s2.makespan());
-        prop_assert_eq!(s1.spans(), s2.spans());
+        assert_eq!(s1.makespan(), s2.makespan(), "case {case}");
+        assert_eq!(s1.spans(), s2.spans(), "case {case}");
     }
+}
 
-    #[test]
-    fn durations_add_up_in_spans(w in workload()) {
+#[test]
+fn durations_add_up_in_spans() {
+    for case in 0..CASES {
+        let w = workload(&mut Rng::new(0x6A_05 + case));
         let (s, _) = build(&w);
         let span_total: u64 = s.spans().iter().map(|sp| sp.duration().as_nanos()).sum();
         let task_total: u64 = w.tasks.iter().map(|(_, d, _)| *d).sum();
-        prop_assert_eq!(span_total, task_total);
+        assert_eq!(span_total, task_total, "case {case}");
     }
+}
 
-    #[test]
-    fn link_transfer_time_is_monotone(
-        bytes1 in 0u64..100_000_000,
-        bytes2 in 0u64..100_000_000,
-        lat in 0u64..100_000,
-        bw_mbps in 1u32..100_000,
-    ) {
+#[test]
+fn link_transfer_time_is_monotone() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6A_06 + case);
+        let bytes1 = rng.range(0, 100_000_000);
+        let bytes2 = rng.range(0, 100_000_000);
+        let lat = rng.range(0, 100_000);
+        let bw_mbps = rng.range(1, 100_000) as u32;
         let link = LinkSpec {
             latency_ns: lat,
             bandwidth_bytes_per_sec: bw_mbps as f64 * 1e6,
         };
         let (lo, hi) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
-        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
-        prop_assert!(link.transfer_time(lo) >= SimTime::from_nanos(lat));
+        assert!(link.transfer_time(lo) <= link.transfer_time(hi), "case {case}");
+        assert!(link.transfer_time(lo) >= SimTime::from_nanos(lat), "case {case}");
     }
+}
 
-    #[test]
-    fn kernel_time_monotone_in_cells_and_antitone_in_blocks(
-        cells1 in 0u64..10_000_000_000,
-        cells2 in 0u64..10_000_000_000,
-        blocks in 1u32..64,
-    ) {
+#[test]
+fn kernel_time_monotone_in_cells_and_antitone_in_blocks() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6A_07 + case);
+        let cells1 = rng.range(0, 10_000_000_000);
+        let cells2 = rng.range(0, 10_000_000_000);
+        let blocks = rng.range(1, 64) as u32;
         let model = KernelModel::new(catalog::gtx680());
         let (lo, hi) = if cells1 <= cells2 { (cells1, cells2) } else { (cells2, cells1) };
-        prop_assert!(model.launch_time(blocks, lo) <= model.launch_time(blocks, hi));
+        assert!(
+            model.launch_time(blocks, lo) <= model.launch_time(blocks, hi),
+            "case {case}"
+        );
         // More blocks never slow a launch down.
-        prop_assert!(model.launch_time(blocks + 1, hi) <= model.launch_time(blocks, hi));
+        assert!(
+            model.launch_time(blocks + 1, hi) <= model.launch_time(blocks, hi),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn peak_gcups_scales_with_sms(sms in 1u32..64, clock in 100u32..2_000) {
+#[test]
+fn peak_gcups_scales_with_sms() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6A_08 + case);
+        let sms = rng.range(1, 64) as u32;
+        let clock = rng.range(100, 2_000) as u32;
         let base = DeviceSpec {
             name: "x".into(),
             sms,
@@ -164,15 +219,23 @@ proptest! {
             launch_overhead_ns: 0,
         };
         let double = DeviceSpec { sms: sms * 2, ..base.clone() };
-        prop_assert!((double.peak_gcups() / base.peak_gcups() - 2.0).abs() < 1e-9);
+        assert!(
+            (double.peak_gcups() / base.peak_gcups() - 2.0).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn simtime_arithmetic_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+#[test]
+fn simtime_arithmetic_laws() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6A_09 + case);
+        let a = rng.range(0, u64::MAX / 4);
+        let b = rng.range(0, u64::MAX / 4);
         let x = SimTime::from_nanos(a);
         let y = SimTime::from_nanos(b);
-        prop_assert_eq!(x + y, y + x);
-        prop_assert_eq!((x + y).saturating_sub(y), x);
-        prop_assert_eq!(x.max(y), y.max(x));
+        assert_eq!(x + y, y + x, "case {case}");
+        assert_eq!((x + y).saturating_sub(y), x, "case {case}");
+        assert_eq!(x.max(y), y.max(x), "case {case}");
     }
 }

@@ -19,10 +19,17 @@
 //! matter more than nanosecond enqueue latency. Poisoning mirrors what a
 //! failed device must do so neighbours blocked on the ring wake up with an
 //! error instead of deadlocking.
+//!
+//! Besides counting blocking events, the ring accumulates how *long* each
+//! side spent blocked ([`RingStats::producer_wait`] /
+//! [`RingStats::consumer_wait`]) — the raw material for the stall accounting
+//! in [`crate::stats::StallBreakdown`] and the `RingPush`/`RingPopWait`
+//! spans of the observability layer.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Why a ring operation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +39,17 @@ pub enum RingError {
     /// Push after `close()`.
     Closed,
 }
+
+impl fmt::Display for RingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RingError::Poisoned => write!(f, "ring poisoned: the peer device failed"),
+            RingError::Closed => write!(f, "push on a closed ring"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
 
 #[derive(Debug)]
 struct Inner<T> {
@@ -45,6 +63,8 @@ struct Inner<T> {
     max_occupancy: usize,
     producer_blocks: u64,
     consumer_blocks: u64,
+    producer_wait: Duration,
+    consumer_wait: Duration,
 }
 
 /// A bounded blocking SPSC ring carrying border segments between
@@ -98,6 +118,10 @@ pub struct RingStats {
     pub producer_blocks: u64,
     /// Times the consumer found the ring empty and had to wait.
     pub consumer_blocks: u64,
+    /// Total wall-clock time the producer spent blocked on a full ring.
+    pub producer_wait: Duration,
+    /// Total wall-clock time the consumer spent blocked on an empty ring.
+    pub consumer_wait: Duration,
 }
 
 impl<T> CircularBuffer<T> {
@@ -116,6 +140,8 @@ impl<T> CircularBuffer<T> {
                     max_occupancy: 0,
                     producer_blocks: 0,
                     consumer_blocks: 0,
+                    producer_wait: Duration::ZERO,
+                    consumer_wait: Duration::ZERO,
                 }),
                 Condvar::new(), // not_full  — producer waits here
                 Condvar::new(), // not_empty — consumer waits here
@@ -123,18 +149,23 @@ impl<T> CircularBuffer<T> {
         }
     }
 
+    /// Lock the ring state. A panicked peer is reported through the ring's
+    /// own `poisoned` flag, so std mutex poisoning is deliberately ignored.
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Blocking push. Waits while the ring is full.
     pub fn push(&self, item: T) -> Result<(), RingError> {
-        let (lock, not_full, not_empty) = &*self.inner;
-        let mut g = lock.lock();
+        let (_, not_full, not_empty) = &*self.inner;
+        let mut g = self.lock();
         if g.queue.len() >= g.capacity && !g.poisoned {
             g.producer_blocks += 1;
-        }
-        while g.queue.len() >= g.capacity {
-            if g.poisoned {
-                return Err(RingError::Poisoned);
+            let blocked_at = Instant::now();
+            while g.queue.len() >= g.capacity && !g.poisoned {
+                g = not_full.wait(g).unwrap_or_else(PoisonError::into_inner);
             }
-            not_full.wait(&mut g);
+            g.producer_wait += blocked_at.elapsed();
         }
         if g.poisoned {
             return Err(RingError::Poisoned);
@@ -144,7 +175,8 @@ impl<T> CircularBuffer<T> {
         }
         g.queue.push_back(item);
         g.pushed += 1;
-        g.max_occupancy = g.max_occupancy.max(g.queue.len());
+        let occ = g.queue.len();
+        g.max_occupancy = g.max_occupancy.max(occ);
         not_empty.notify_one();
         Ok(())
     }
@@ -152,49 +184,62 @@ impl<T> CircularBuffer<T> {
     /// Blocking pop. Waits while the ring is empty; returns `Ok(None)` once
     /// the ring is closed **and** drained.
     pub fn pop(&self) -> Result<Option<T>, RingError> {
-        let (lock, not_full, not_empty) = &*self.inner;
-        let mut g = lock.lock();
+        let (_, not_full, not_empty) = &*self.inner;
+        let mut g = self.lock();
+        let mut blocked_at: Option<Instant> = None;
         if g.queue.is_empty() && !g.closed && !g.poisoned {
             g.consumer_blocks += 1;
+            blocked_at = Some(Instant::now());
         }
         loop {
             if g.poisoned {
+                if let Some(t) = blocked_at {
+                    g.consumer_wait += t.elapsed();
+                }
                 return Err(RingError::Poisoned);
             }
             if let Some(item) = g.queue.pop_front() {
                 g.popped += 1;
+                if let Some(t) = blocked_at {
+                    g.consumer_wait += t.elapsed();
+                }
                 not_full.notify_one();
                 return Ok(Some(item));
             }
             if g.closed {
+                if let Some(t) = blocked_at {
+                    g.consumer_wait += t.elapsed();
+                }
                 return Ok(None);
             }
-            not_empty.wait(&mut g);
+            g = not_empty.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Producer side is done: consumers drain the remaining items and then
     /// see `Ok(None)`.
     pub fn close(&self) {
-        let (lock, _nf, not_empty) = &*self.inner;
-        let mut g = lock.lock();
+        let (_, _nf, not_empty) = &*self.inner;
+        let mut g = self.lock();
         g.closed = true;
+        drop(g);
         not_empty.notify_all();
     }
 
     /// Mark the ring failed; all blocked and future operations return
     /// [`RingError::Poisoned`].
     pub fn poison(&self) {
-        let (lock, not_full, not_empty) = &*self.inner;
-        let mut g = lock.lock();
+        let (_, not_full, not_empty) = &*self.inner;
+        let mut g = self.lock();
         g.poisoned = true;
+        drop(g);
         not_full.notify_all();
         not_empty.notify_all();
     }
 
     /// Current occupancy (racy; for tests/diagnostics).
     pub fn len(&self) -> usize {
-        self.inner.0.lock().queue.len()
+        self.lock().queue.len()
     }
 
     /// Is the ring currently empty? (racy; for tests/diagnostics).
@@ -204,13 +249,15 @@ impl<T> CircularBuffer<T> {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> RingStats {
-        let g = self.inner.0.lock();
+        let g = self.lock();
         RingStats {
             pushed: g.pushed,
             popped: g.popped,
             max_occupancy: g.max_occupancy,
             producer_blocks: g.producer_blocks,
             consumer_blocks: g.consumer_blocks,
+            producer_wait: g.producer_wait,
+            consumer_wait: g.consumer_wait,
         }
     }
 }
@@ -252,6 +299,13 @@ mod tests {
     }
 
     #[test]
+    fn errors_display_and_source() {
+        let err: Box<dyn std::error::Error> = Box::new(RingError::Poisoned);
+        assert!(err.to_string().contains("poisoned"));
+        assert!(RingError::Closed.to_string().contains("closed"));
+    }
+
+    #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_rejected() {
         let _ = CircularBuffer::<u32>::with_capacity(0);
@@ -275,6 +329,7 @@ mod tests {
         assert_eq!(stats.pushed, 2);
         assert_eq!(stats.popped, 2);
         assert!(stats.producer_blocks >= 1);
+        assert!(stats.producer_wait > Duration::ZERO);
     }
 
     #[test]
@@ -287,7 +342,25 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         ring.push(7).unwrap();
         assert_eq!(consumer.join().unwrap(), Some(7));
-        assert!(ring.stats().consumer_blocks >= 1);
+        let stats = ring.stats();
+        assert!(stats.consumer_blocks >= 1);
+        assert!(stats.consumer_wait > Duration::ZERO);
+    }
+
+    #[test]
+    fn unblocked_operations_accumulate_no_wait() {
+        let ring = CircularBuffer::with_capacity(8);
+        for i in 0..4u32 {
+            ring.push(i).unwrap();
+        }
+        for _ in 0..4 {
+            ring.pop().unwrap();
+        }
+        let stats = ring.stats();
+        assert_eq!(stats.producer_blocks, 0);
+        assert_eq!(stats.consumer_blocks, 0);
+        assert_eq!(stats.producer_wait, Duration::ZERO);
+        assert_eq!(stats.consumer_wait, Duration::ZERO);
     }
 
     #[test]

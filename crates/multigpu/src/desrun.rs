@@ -33,30 +33,17 @@ use crate::config::RunConfig;
 use crate::partition::{make_slabs, Slab};
 use crate::stats::{DeviceReport, RunReport};
 use megasw_gpusim::{KernelModel, Platform, Schedule, SimTime, SpanKind, TaskId};
+use megasw_obs::{ObsKind, ObsSpan, Recorder};
+
+// The stall accounting moved to `stats` so both backends share one type;
+// re-exported here for the old import path.
+pub use crate::stats::StallBreakdown;
 
 /// Border payload in bytes for a segment of the given height: `H` and `E`
 /// lanes, `(height + 1)` entries each, 4 bytes per entry (mirrors
 /// [`megasw_sw::border::ColBorder::transfer_bytes`]).
 fn border_bytes(height: usize) -> u64 {
     2 * (height as u64 + 1) * 4
-}
-
-/// Where one device's idle time went.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct StallBreakdown {
-    /// Idle before the first kernel (pipeline fill).
-    pub startup: SimTime,
-    /// Idle between kernels waiting for the left neighbour's borders.
-    pub input_stalls: SimTime,
-    /// Idle after the last kernel (pipeline drain).
-    pub drain: SimTime,
-}
-
-impl StallBreakdown {
-    /// Total idle time.
-    pub fn total(&self) -> SimTime {
-        self.startup + self.input_stalls + self.drain
-    }
 }
 
 /// A completed simulation: the report plus the raw schedule for trace
@@ -71,19 +58,99 @@ pub struct DesRun {
     pub stalls: Vec<StallBreakdown>,
 }
 
+/// Builder for one discrete-event simulation — the simulated-time mirror of
+/// [`crate::pipeline::PipelineRun`].
+///
+/// ```
+/// use megasw_multigpu::desrun::DesSim;
+/// use megasw_multigpu::config::RunConfig;
+/// use megasw_gpusim::Platform;
+///
+/// let run = DesSim::new(1 << 20, 1 << 20, &Platform::env2())
+///     .config(RunConfig::paper_default())
+///     .run();
+/// assert!(run.report.gcups_sim.unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DesSim<'a> {
+    m: usize,
+    n: usize,
+    platform: &'a Platform,
+    config: RunConfig,
+    bulk: bool,
+    observer: Recorder,
+}
+
+impl<'a> DesSim<'a> {
+    /// Simulate an `m × n` matrix on `platform`. Defaults:
+    /// [`RunConfig::paper_default`], fine-grain pipelining, no observer.
+    pub fn new(m: usize, n: usize, platform: &'a Platform) -> DesSim<'a> {
+        DesSim {
+            m,
+            n,
+            platform,
+            config: RunConfig::paper_default(),
+            bulk: false,
+            observer: Recorder::disabled(),
+        }
+    }
+
+    /// Block geometry, ring capacity, partition policy and score scheme.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Simulate the bulk-synchronous (non-overlapped) baseline instead of
+    /// the fine-grain pipeline.
+    pub fn bulk(mut self, bulk: bool) -> Self {
+        self.bulk = bulk;
+        self
+    }
+
+    /// Attach a span recorder; the simulator records `Kernel` and
+    /// `BorderXfer` spans with **simulated-time** timestamps.
+    pub fn observer(mut self, observer: Recorder) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Execute the simulation.
+    pub fn run(self) -> DesRun {
+        let slabs = make_slabs(self.n, self.config.block_w, self.platform, &self.config.partition);
+        let mode = if self.bulk {
+            Mode::BulkSynchronous
+        } else {
+            Mode::FineGrain
+        };
+        build_schedule(
+            self.m,
+            self.n,
+            self.platform,
+            &self.config,
+            &slabs,
+            mode,
+            &self.observer,
+        )
+    }
+}
+
 /// Simulate the fine-grain pipeline for an `m × n` matrix on `platform`.
 ///
 /// Pure timing — no DP cells are computed. Correctness of the schedule's
-/// dataflow is established separately by the threaded runtime.
+/// dataflow is established separately by the threaded runtime. Thin wrapper
+/// over [`DesSim`].
 pub fn run_des(m: usize, n: usize, platform: &Platform, config: &RunConfig) -> DesRun {
-    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
-    build_schedule(m, n, platform, config, &slabs, Mode::FineGrain)
+    DesSim::new(m, n, platform).config(config.clone()).run()
 }
 
-/// Simulate the bulk-synchronous (non-overlapped) baseline.
+/// Simulate the bulk-synchronous (non-overlapped) baseline. Thin wrapper
+/// over [`DesSim`] with `.bulk(true)`.
 pub fn run_des_bulk(m: usize, n: usize, platform: &Platform, config: &RunConfig) -> DesRun {
-    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
-    build_schedule(m, n, platform, config, &slabs, Mode::BulkSynchronous)
+    DesSim::new(m, n, platform)
+        .config(config.clone())
+        .bulk(true)
+        .run()
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -92,6 +159,7 @@ enum Mode {
     BulkSynchronous,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_schedule(
     m: usize,
     n: usize,
@@ -99,6 +167,7 @@ fn build_schedule(
     config: &RunConfig,
     slabs: &[Slab],
     mode: Mode,
+    obs: &Recorder,
 ) -> DesRun {
     let mut schedule = Schedule::new();
     let total_cells = m as u128 * n as u128;
@@ -247,6 +316,7 @@ fn build_schedule(
                         SpanKind::CopyOut,
                         0,
                     );
+                    transfer_tasks[s].push(t);
                     prev_arrival = Some(t);
                 }
             }
@@ -255,6 +325,32 @@ fn build_schedule(
 
     let makespan = schedule.makespan();
     let secs = makespan.as_secs_f64();
+
+    // Span export: simulated-time Kernel and BorderXfer spans, one per
+    // scheduled task, attributed to the owning device and block-row.
+    if obs.is_enabled() {
+        for (s, slab) in slabs.iter().enumerate() {
+            let dev = slab.device as u32;
+            for (r, &k) in kernel_tasks[s].iter().enumerate() {
+                obs.record(ObsSpan {
+                    kind: ObsKind::Kernel,
+                    device: Some(dev),
+                    block_row: Some(r as u32),
+                    start_ns: schedule.start_of(k).as_nanos(),
+                    end_ns: schedule.finish_of(k).as_nanos(),
+                });
+            }
+            for (r, &t) in transfer_tasks[s].iter().enumerate() {
+                obs.record(ObsSpan {
+                    kind: ObsKind::BorderXfer,
+                    device: Some(dev),
+                    block_row: Some(r as u32),
+                    start_ns: schedule.start_of(t).as_nanos(),
+                    end_ns: schedule.finish_of(t).as_nanos(),
+                });
+            }
+        }
+    }
 
     // Idle breakdown per device: fill before the first kernel, gaps
     // between kernels (waiting for the left neighbour's borders), and
@@ -298,8 +394,10 @@ fn build_schedule(
                 cells: m as u128 * slab.width as u128,
                 bytes_sent: sent,
                 ring_out: None,
+                wall_busy: None,
                 sim_busy: Some(busy),
                 sim_utilization: Some(schedule.utilization(computes[s])),
+                stall: Some(stalls[s]),
             }
         })
         .collect();
@@ -588,6 +686,42 @@ mod tests {
     fn empty_matrix() {
         let run = run_des(0, 100, &Platform::env1(), &cfg());
         assert_eq!(run.report.sim_time, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn des_sim_builder_matches_wrapper_and_records_spans() {
+        use megasw_obs::ObsLevel;
+        let p = Platform::env2();
+        let obs = Recorder::new(ObsLevel::Full);
+        let run = DesSim::new(200_000, 200_000, &p)
+            .config(cfg())
+            .observer(obs.clone())
+            .run();
+        let wrapper = run_des(200_000, 200_000, &p, &cfg());
+        assert_eq!(run.report.sim_time, wrapper.report.sim_time);
+
+        let spans = obs.spans();
+        assert!(spans.iter().any(|s| s.kind == ObsKind::Kernel));
+        assert!(spans.iter().any(|s| s.kind == ObsKind::BorderXfer));
+        // All three devices appear, timestamps are simulated time.
+        for d in 0..3u32 {
+            assert!(spans.iter().any(|s| s.device == Some(d)), "device {d}");
+        }
+        let max_end = spans.iter().map(|s| s.end_ns).max().unwrap();
+        assert_eq!(max_end, run.report.sim_time.unwrap().as_nanos());
+        // DeviceReport carries the same stall breakdowns as DesRun.stalls.
+        for (d, bd) in run.report.devices.iter().zip(&run.stalls) {
+            assert_eq!(d.stall, Some(*bd));
+        }
+    }
+
+    #[test]
+    fn bulk_builder_matches_wrapper() {
+        let p = Platform::env1();
+        let a = DesSim::new(500_000, 500_000, &p).config(cfg()).bulk(true).run();
+        let b = run_des_bulk(500_000, 500_000, &p, &cfg());
+        assert_eq!(a.report.sim_time, b.report.sim_time);
+        assert!(a.report.devices.iter().all(|d| d.stall.is_some()));
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! The workspace-wide error type.
+//!
+//! Public entry points ([`crate::pipeline::PipelineRun`], the CLI) return
+//! [`MegaswError`], one enum folding every failure the stack can produce:
+//! pipeline faults, ring failures, and I/O errors from trace export. Inner
+//! errors are preserved and reachable through
+//! [`std::error::Error::source`], so callers can both `?`-propagate with a
+//! readable chain and downcast for programmatic handling.
+//!
+//! The internal engine keeps returning the narrow
+//! [`crate::pipeline::PipelineError`]; the deprecated wrappers expose it
+//! unchanged so existing match arms keep compiling.
+
+use crate::circbuf::RingError;
+use crate::pipeline::PipelineError;
+use std::fmt;
+
+/// Any failure from a megasw run.
+#[derive(Debug)]
+pub enum MegaswError {
+    /// The threaded pipeline failed (bad config, device fault, poisoned
+    /// ring).
+    Pipeline(PipelineError),
+    /// A circular-buffer operation failed outside the pipeline's own
+    /// handling.
+    Ring(RingError),
+    /// Writing a trace or metrics artifact failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MegaswError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MegaswError::Pipeline(e) => write!(f, "pipeline failed: {e}"),
+            MegaswError::Ring(e) => write!(f, "border ring failed: {e}"),
+            MegaswError::Io(e) => write!(f, "observability I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MegaswError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MegaswError::Pipeline(e) => Some(e),
+            MegaswError::Ring(e) => Some(e),
+            MegaswError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<PipelineError> for MegaswError {
+    fn from(e: PipelineError) -> Self {
+        MegaswError::Pipeline(e)
+    }
+}
+
+impl From<RingError> for MegaswError {
+    fn from(e: RingError) -> Self {
+        MegaswError::Ring(e)
+    }
+}
+
+impl From<std::io::Error> for MegaswError {
+    fn from(e: std::io::Error) -> Self {
+        MegaswError::Io(e)
+    }
+}
+
+impl MegaswError {
+    /// The underlying [`PipelineError`], if that is what this is.
+    pub fn as_pipeline(&self) -> Option<&PipelineError> {
+        match self {
+            MegaswError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_prefixes_and_chains() {
+        let err = MegaswError::from(PipelineError::DeviceFault {
+            device: 1,
+            block_row: 5,
+        });
+        assert!(err.to_string().contains("pipeline failed"));
+        assert!(err.to_string().contains("device 1"));
+        let src = err.source().expect("source preserved");
+        assert!(src.to_string().contains("block-row 5"));
+        assert!(src.downcast_ref::<PipelineError>().is_some());
+    }
+
+    #[test]
+    fn ring_and_io_variants_chain_too() {
+        let ring = MegaswError::from(RingError::Poisoned);
+        assert!(ring.source().unwrap().downcast_ref::<RingError>().is_some());
+        let io = MegaswError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("I/O"));
+        assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn as_pipeline_accessor() {
+        let err = MegaswError::from(PipelineError::RingPoisoned { device: 2 });
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::RingPoisoned { device: 2 })
+        ));
+        assert!(MegaswError::from(RingError::Closed).as_pipeline().is_none());
+    }
+}

@@ -34,6 +34,7 @@ pub mod baseline;
 pub mod circbuf;
 pub mod config;
 pub mod desrun;
+pub mod error;
 pub mod memory;
 pub mod partition;
 pub mod pipeline;
@@ -41,7 +42,21 @@ pub mod stages;
 pub mod stats;
 
 pub use config::{PartitionPolicy, RunConfig};
+pub use desrun::DesSim;
+pub use error::MegaswError;
 pub use partition::{make_slabs, Slab};
+pub use pipeline::{PipelineRun, Semantics};
+#[allow(deprecated)]
 pub use pipeline::run_pipeline;
 pub use stages::multigpu_local_align;
-pub use stats::{DeviceReport, RunReport};
+pub use stats::{DeviceReport, RunReport, StallBreakdown};
+
+/// The types most callers need: builders, reports, errors, observability.
+pub mod prelude {
+    pub use crate::config::{PartitionPolicy, RunConfig};
+    pub use crate::desrun::{DesRun, DesSim};
+    pub use crate::error::MegaswError;
+    pub use crate::pipeline::{FaultPlan, PipelineRun, Semantics};
+    pub use crate::stats::{DeviceReport, RunReport, StallBreakdown};
+    pub use megasw_obs::{chrome_trace, MetricsRegistry, ObsKind, ObsLevel, ObsSpan, Recorder};
+}

@@ -14,16 +14,49 @@
 //! matrix's value, so the merged best cell is identical to the reference
 //! (integration tests sweep partitions, block sizes and capacities to prove
 //! it).
+//!
+//! ## Entry point
+//!
+//! [`PipelineRun`] is the single builder-style entry:
+//!
+//! ```
+//! use megasw_multigpu::pipeline::{PipelineRun, Semantics};
+//! use megasw_multigpu::config::RunConfig;
+//! use megasw_gpusim::Platform;
+//!
+//! let (a, b) = (vec![0u8, 1, 2, 3], vec![0u8, 1, 2, 3]);
+//! let report = PipelineRun::new(&a, &b, &Platform::env1())
+//!     .config(RunConfig::test_default())
+//!     .semantics(Semantics::Local)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.best.score > 0);
+//! ```
+//!
+//! The free functions `run_pipeline` / `run_pipeline_anchored` /
+//! `run_pipeline_with_faults` remain as deprecated thin wrappers and return
+//! bit-identical results.
+//!
+//! ## Observability
+//!
+//! Every run computes a wall-clock [`StallBreakdown`] per device (fill,
+//! border-wait, drain — the same accounting the simulator reports), exposed
+//! via [`DeviceReport::stall`]. Attaching a
+//! [`Recorder`](megasw_obs::Recorder) with [`PipelineRun::observer`]
+//! additionally captures typed spans — `Kernel` per block-row, `RingPush` /
+//! `RingPopWait` around the border ring — for Chrome-trace export.
 
 use crate::circbuf::{CircularBuffer, RingError};
 use crate::config::RunConfig;
+use crate::error::MegaswError;
 use crate::partition::{make_slabs, Slab};
-use crate::stats::{DeviceReport, RunReport};
+use crate::stats::{DeviceReport, RunReport, StallBreakdown};
 use megasw_gpusim::Platform;
+use megasw_obs::{ObsKind, ObsSpan, Recorder};
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::block::{compute_block, compute_block_anchored, BlockInput};
 use megasw_sw::cell::BestCell;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Matrix semantics a pipeline run computes under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,23 +105,106 @@ pub struct FaultPlan {
     pub fail_at_block_row: usize,
 }
 
+/// Builder for one threaded pipeline run — the single entry point the
+/// deprecated `run_pipeline*` functions wrap.
+#[derive(Debug, Clone)]
+pub struct PipelineRun<'a> {
+    a: &'a [u8],
+    b: &'a [u8],
+    platform: &'a Platform,
+    config: RunConfig,
+    semantics: Semantics,
+    fault: Option<FaultPlan>,
+    observer: Recorder,
+}
+
+impl<'a> PipelineRun<'a> {
+    /// Start configuring a run of `a × b` on `platform`. Defaults:
+    /// [`RunConfig::paper_default`], [`Semantics::Local`], no faults, no
+    /// observer.
+    pub fn new(a: &'a [u8], b: &'a [u8], platform: &'a Platform) -> PipelineRun<'a> {
+        PipelineRun {
+            a,
+            b,
+            platform,
+            config: RunConfig::paper_default(),
+            semantics: Semantics::Local,
+            fault: None,
+            observer: Recorder::disabled(),
+        }
+    }
+
+    /// Block geometry, ring capacity, partition policy and score scheme.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Local (default) or anchored matrix semantics.
+    pub fn semantics(mut self, semantics: Semantics) -> Self {
+        self.semantics = semantics;
+        self
+    }
+
+    /// Inject a deterministic device fault (resilience testing).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Attach a span recorder. Clone the recorder before attaching and read
+    /// the spans from your clone after `run()` returns.
+    pub fn observer(mut self, observer: Recorder) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Execute the run.
+    pub fn run(self) -> Result<RunReport, MegaswError> {
+        run_pipeline_engine(
+            self.a,
+            self.b,
+            self.platform,
+            &self.config,
+            self.fault,
+            self.semantics,
+            &self.observer,
+        )
+        .map_err(MegaswError::from)
+    }
+}
+
 struct DevicePartial {
     best: BestCell,
     cells: u128,
     bytes_sent: u64,
+    /// Kernel-activity envelope in recorder time, for stall accounting.
+    first_kernel_start_ns: u64,
+    last_kernel_end_ns: u64,
+    busy_ns: u64,
 }
 
 /// Run the fine-grain pipeline. See the module docs.
+#[deprecated(note = "use PipelineRun::new(a, b, platform).config(config).run()")]
 pub fn run_pipeline(
     a: &[u8],
     b: &[u8],
     platform: &Platform,
     config: &RunConfig,
 ) -> Result<RunReport, PipelineError> {
-    run_pipeline_full(a, b, platform, config, None, Semantics::Local)
+    run_pipeline_engine(
+        a,
+        b,
+        platform,
+        config,
+        None,
+        Semantics::Local,
+        &Recorder::disabled(),
+    )
 }
 
 /// [`run_pipeline`] with optional fault injection.
+#[deprecated(note = "use PipelineRun::new(a, b, platform).config(config).faults(plan).run()")]
 pub fn run_pipeline_with_faults(
     a: &[u8],
     b: &[u8],
@@ -96,20 +212,40 @@ pub fn run_pipeline_with_faults(
     config: &RunConfig,
     fault: Option<FaultPlan>,
 ) -> Result<RunReport, PipelineError> {
-    run_pipeline_full(a, b, platform, config, fault, Semantics::Local)
+    run_pipeline_engine(
+        a,
+        b,
+        platform,
+        config,
+        fault,
+        Semantics::Local,
+        &Recorder::disabled(),
+    )
 }
 
 /// Run the pipeline under anchored semantics (stage 2's kernel).
+#[deprecated(
+    note = "use PipelineRun::new(a, b, platform).config(config).semantics(Semantics::Anchored).run()"
+)]
 pub fn run_pipeline_anchored(
     a: &[u8],
     b: &[u8],
     platform: &Platform,
     config: &RunConfig,
 ) -> Result<RunReport, PipelineError> {
-    run_pipeline_full(a, b, platform, config, None, Semantics::Anchored)
+    run_pipeline_engine(
+        a,
+        b,
+        platform,
+        config,
+        None,
+        Semantics::Anchored,
+        &Recorder::disabled(),
+    )
 }
 
-/// The fully parameterized entry point.
+/// The fully parameterized free-function entry point.
+#[deprecated(note = "use PipelineRun::new(a, b, platform) and its builder methods")]
 pub fn run_pipeline_full(
     a: &[u8],
     b: &[u8],
@@ -117,6 +253,19 @@ pub fn run_pipeline_full(
     config: &RunConfig,
     fault: Option<FaultPlan>,
     semantics: Semantics,
+) -> Result<RunReport, PipelineError> {
+    run_pipeline_engine(a, b, platform, config, fault, semantics, &Recorder::disabled())
+}
+
+/// The engine behind both the builder and the deprecated wrappers.
+pub(crate) fn run_pipeline_engine(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    fault: Option<FaultPlan>,
+    semantics: Semantics,
+    obs: &Recorder,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let m = a.len();
@@ -132,15 +281,17 @@ pub fn run_pipeline_full(
         .map(|_| CircularBuffer::with_capacity(config.buffer_capacity))
         .collect();
 
-    let started = Instant::now();
-    let results: Vec<Result<DevicePartial, PipelineError>> = crossbeam::thread::scope(|scope| {
+    // All stall accounting is relative to this instant, on the recorder's
+    // clock, so spans and the stall envelope share one timebase.
+    let run_start_ns = obs.now_ns();
+    let results: Vec<Result<DevicePartial, PipelineError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(slabs.len());
         for (s_idx, slab) in slabs.iter().enumerate() {
             let ring_in = if s_idx > 0 { Some(&rings[s_idx - 1]) } else { None };
             let ring_out = rings.get(s_idx);
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let result = device_worker(
-                    a, b, *slab, rows, config, ring_in, ring_out, fault, semantics,
+                    a, b, *slab, rows, config, ring_in, ring_out, fault, semantics, obs,
                 );
                 if result.is_err() {
                     // Wake neighbours so the failure propagates instead of
@@ -155,10 +306,14 @@ pub fn run_pipeline_full(
                 result
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("pipeline scope panicked");
-    let wall = started.elapsed();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let run_end_ns = obs.now_ns();
+    let wall_ns = run_end_ns.saturating_sub(run_start_ns);
+    let wall = Duration::from_nanos(wall_ns);
 
     // Surface the root-cause fault ahead of secondary poison observations.
     let mut first_poison = None;
@@ -188,16 +343,28 @@ pub fn run_pipeline_full(
         .iter()
         .zip(&partials)
         .enumerate()
-        .map(|(s_idx, (slab, p))| DeviceReport {
-            device: slab.device,
-            name: platform.devices[slab.device].name.clone(),
-            slab_j0: slab.j0,
-            slab_width: slab.width,
-            cells: p.cells,
-            bytes_sent: p.bytes_sent,
-            ring_out: rings.get(s_idx).map(|r| r.stats()),
-            sim_busy: None,
-            sim_utilization: None,
+        .map(|(s_idx, (slab, p))| {
+            // Shift the envelope to the run's own epoch; the identity
+            // startup + input + drain == wall − busy holds exactly.
+            let stall = StallBreakdown::from_envelope(
+                wall_ns,
+                p.first_kernel_start_ns.saturating_sub(run_start_ns),
+                p.last_kernel_end_ns.saturating_sub(run_start_ns),
+                p.busy_ns,
+            );
+            DeviceReport {
+                device: slab.device,
+                name: platform.devices[slab.device].name.clone(),
+                slab_j0: slab.j0,
+                slab_width: slab.width,
+                cells: p.cells,
+                bytes_sent: p.bytes_sent,
+                ring_out: rings.get(s_idx).map(|r| r.stats()),
+                wall_busy: Some(Duration::from_nanos(p.busy_ns)),
+                sim_busy: None,
+                sim_utilization: None,
+                stall: Some(stall),
+            }
         })
         .collect();
 
@@ -225,10 +392,12 @@ fn device_worker(
     ring_out: Option<&CircularBuffer<ColBorder>>,
     fault: Option<FaultPlan>,
     semantics: Semantics,
+    obs: &Recorder,
 ) -> Result<DevicePartial, PipelineError> {
     let m = a.len();
     let block_h = config.block_h;
     let block_w = config.block_w;
+    let lane = slab.device as u32;
 
     // Tile columns of this slab.
     let mut cols: Vec<(usize, usize)> = Vec::new(); // (j0, width)
@@ -249,11 +418,15 @@ fn device_worker(
     let mut best = BestCell::ZERO;
     let mut cells: u128 = 0;
     let mut bytes_sent: u64 = 0;
+    let mut first_kernel_start_ns: Option<u64> = None;
+    let mut last_kernel_end_ns: u64 = 0;
+    let mut busy_ns: u64 = 0;
 
     for r in 0..rows {
         let i0 = r * block_h + 1;
         let i1 = ((r + 1) * block_h).min(m) + 1;
         let height = i1 - i0;
+        let row = r as u32;
 
         if let Some(f) = fault {
             if f.device == slab.device && f.fail_at_block_row == r {
@@ -269,21 +442,27 @@ fn device_worker(
                 Semantics::Local => ColBorder::zero(height),
                 Semantics::Anchored => ColBorder::anchored(height, i0, &config.scheme),
             },
-            Some(ring) => match ring.pop() {
-                Ok(Some(border)) => {
-                    debug_assert_eq!(border.height(), height, "border height mismatch");
-                    border
+            Some(ring) => {
+                let wait_start = obs.now_ns();
+                let popped = ring.pop();
+                obs.record_since(ObsKind::RingPopWait, Some(lane), Some(row), wait_start);
+                match popped {
+                    Ok(Some(border)) => {
+                        debug_assert_eq!(border.height(), height, "border height mismatch");
+                        border
+                    }
+                    Ok(None) | Err(RingError::Closed) => {
+                        // Producer closed early — only reachable through faults.
+                        return Err(PipelineError::RingPoisoned { device: slab.device });
+                    }
+                    Err(RingError::Poisoned) => {
+                        return Err(PipelineError::RingPoisoned { device: slab.device });
+                    }
                 }
-                Ok(None) | Err(RingError::Closed) => {
-                    // Producer closed early — only reachable through faults.
-                    return Err(PipelineError::RingPoisoned { device: slab.device });
-                }
-                Err(RingError::Poisoned) => {
-                    return Err(PipelineError::RingPoisoned { device: slab.device });
-                }
-            },
+            }
         };
 
+        let kernel_start = obs.now_ns();
         for (c, &(jc0, wc)) in cols.iter().enumerate() {
             let input = BlockInput {
                 a_rows: &a[i0 - 1..i1 - 1],
@@ -302,14 +481,25 @@ fn device_worker(
             tops[c] = out.bottom;
             left = out.right;
         }
+        let kernel_end = obs.now_ns().max(kernel_start);
+        obs.record(ObsSpan {
+            kind: ObsKind::Kernel,
+            device: Some(lane),
+            block_row: Some(row),
+            start_ns: kernel_start,
+            end_ns: kernel_end,
+        });
+        first_kernel_start_ns.get_or_insert(kernel_start);
+        last_kernel_end_ns = kernel_end;
+        busy_ns += kernel_end - kernel_start;
 
         if let Some(ring) = ring_out {
             bytes_sent += left.transfer_bytes() as u64;
-            match ring.push(left) {
-                Ok(()) => {}
-                Err(_) => {
-                    return Err(PipelineError::RingPoisoned { device: slab.device });
-                }
+            let push_start = obs.now_ns();
+            let pushed = ring.push(left);
+            obs.record_since(ObsKind::RingPush, Some(lane), Some(row), push_start);
+            if pushed.is_err() {
+                return Err(PipelineError::RingPoisoned { device: slab.device });
             }
         }
     }
@@ -322,6 +512,9 @@ fn device_worker(
         best,
         cells,
         bytes_sent,
+        first_kernel_start_ns: first_kernel_start_ns.unwrap_or(0),
+        last_kernel_end_ns,
+        busy_ns,
     })
 }
 
@@ -343,17 +536,21 @@ fn empty_report(m: usize, n: usize, platform: &Platform, slabs: &[Slab]) -> RunR
                 cells: 0,
                 bytes_sent: 0,
                 ring_out: None,
+                wall_busy: None,
                 sim_busy: None,
                 sim_utilization: None,
+                stall: None,
             })
             .collect(),
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use megasw_gpusim::{catalog, Platform};
+    use megasw_obs::ObsLevel;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
     use megasw_sw::gotoh::gotoh_best;
 
@@ -453,6 +650,21 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_invalid_config_with_megasw_error() {
+        let (a, b) = pair(100, 7);
+        let bad = RunConfig::test_default().with_buffer_capacity(0);
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(bad)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::InvalidConfig(_))
+        ));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
     fn fault_in_middle_device_propagates_cleanly() {
         let (a, b) = pair(2_000, 8);
         let fault = FaultPlan {
@@ -494,6 +706,23 @@ mod tests {
     }
 
     #[test]
+    fn builder_fault_injection_matches_wrapper() {
+        let (a, b) = pair(1_000, 9);
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .faults(FaultPlan {
+                device: 0,
+                fail_at_block_row: 0,
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::DeviceFault { device: 0, .. })
+        ));
+    }
+
+    #[test]
     fn ring_stats_show_flow() {
         let (a, b) = pair(2_000, 10);
         let cfg = RunConfig::test_default().with_buffer_capacity(2);
@@ -503,5 +732,93 @@ mod tests {
         assert_eq!(ring.pushed, rows);
         assert_eq!(ring.popped, rows);
         assert!(ring.max_occupancy <= 2);
+    }
+
+    #[test]
+    fn builder_matches_deprecated_wrappers_bit_for_bit() {
+        let (a, b) = pair(2_000, 11);
+        let cfg = RunConfig::test_default();
+        for (platform, semantics) in [
+            (Platform::env1(), Semantics::Local),
+            (Platform::env2(), Semantics::Local),
+            (Platform::env1(), Semantics::Anchored),
+        ] {
+            let from_builder = PipelineRun::new(a.codes(), b.codes(), &platform)
+                .config(cfg.clone())
+                .semantics(semantics)
+                .run()
+                .unwrap();
+            let from_wrapper = match semantics {
+                Semantics::Local => {
+                    run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap()
+                }
+                Semantics::Anchored => {
+                    run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap()
+                }
+            };
+            assert_eq!(from_builder.best, from_wrapper.best);
+            assert_eq!(from_builder.total_cells, from_wrapper.total_cells);
+        }
+    }
+
+    #[test]
+    fn threaded_stall_breakdown_sums_to_wall_minus_busy() {
+        let (a, b) = pair(3_000, 12);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(RunConfig::test_default())
+            .run()
+            .unwrap();
+        let wall_ns = report.wall_time.unwrap().as_nanos() as u64;
+        assert_eq!(report.devices.len(), 3);
+        for d in &report.devices {
+            let bd = d.stall.expect("threaded runs report stalls");
+            let busy_ns = d.wall_busy.unwrap().as_nanos() as u64;
+            assert_eq!(
+                bd.total().as_nanos(),
+                wall_ns - busy_ns,
+                "device {}: {bd}",
+                d.device
+            );
+        }
+    }
+
+    #[test]
+    fn observer_collects_kernel_and_ring_spans() {
+        let (a, b) = pair(2_000, 13);
+        let obs = Recorder::new(ObsLevel::Full);
+        let cfg = RunConfig::test_default();
+        let rows = 2_000usize.div_ceil(cfg.block_h);
+        PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(cfg)
+            .observer(obs.clone())
+            .run()
+            .unwrap();
+        let spans = obs.spans();
+        let kernels = spans.iter().filter(|s| s.kind == ObsKind::Kernel).count();
+        // Two devices, one kernel span per device per block-row.
+        assert_eq!(kernels, 2 * rows);
+        assert!(spans.iter().any(|s| s.kind == ObsKind::RingPush));
+        assert!(spans.iter().any(|s| s.kind == ObsKind::RingPopWait));
+        // Device attribution covers both lanes.
+        assert!(spans.iter().any(|s| s.device == Some(0)));
+        assert!(spans.iter().any(|s| s.device == Some(1)));
+        // Kernel spans on the consumer lane carry block-row attribution.
+        assert!(spans
+            .iter()
+            .filter(|s| s.device == Some(1) && s.kind == ObsKind::Kernel)
+            .all(|s| s.block_row.is_some()));
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing_but_stalls_still_computed() {
+        let (a, b) = pair(1_000, 14);
+        let obs = Recorder::disabled();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .observer(obs.clone())
+            .run()
+            .unwrap();
+        assert!(obs.is_empty());
+        assert!(report.devices.iter().all(|d| d.stall.is_some()));
     }
 }

@@ -3,7 +3,7 @@
 //! The paper's system computes stage 1 (best score + end point) on the
 //! GPUs; the CUDAlign pipeline it belongs to then recovers the alignment:
 //!
-//! 1. **Stage 1** — [`crate::pipeline::run_pipeline`] (local semantics)
+//! 1. **Stage 1** — [`crate::pipeline::PipelineRun`] (local semantics)
 //!    over the whole matrix ⇒ score `S` and end point `(iₑ, jₑ)`.
 //! 2. **Stage 2** — the *same multi-GPU pipeline* under anchored semantics
 //!    over the **reversed prefixes** `rev(a[..iₑ])`, `rev(b[..jₑ])` ⇒ the
@@ -21,8 +21,9 @@
 //! [`megasw_sw::traceback::local_align`].
 
 use crate::config::RunConfig;
-use crate::pipeline::{run_pipeline, run_pipeline_anchored, PipelineError};
+use crate::pipeline::{run_pipeline_engine, PipelineError, Semantics};
 use megasw_gpusim::Platform;
+use megasw_obs::{ObsKind, Recorder};
 use megasw_sw::traceback::{myers_miller, score_of_ops, LocalAlignment};
 use std::time::Duration;
 
@@ -42,11 +43,24 @@ pub fn multigpu_local_align(
     platform: &Platform,
     config: &RunConfig,
 ) -> Result<(LocalAlignment, StageTimes), PipelineError> {
+    multigpu_local_align_observed(a, b, platform, config, &Recorder::disabled())
+}
+
+/// [`multigpu_local_align`] with a span recorder attached: stages 1 and 2
+/// contribute the pipeline's `Kernel`/ring spans, stage 3 a host-side
+/// `Traceback` span.
+pub fn multigpu_local_align_observed(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    obs: &Recorder,
+) -> Result<(LocalAlignment, StageTimes), PipelineError> {
     let mut times = StageTimes::default();
 
     // Stage 1: forward local pipeline.
     let t0 = std::time::Instant::now();
-    let stage1 = run_pipeline(a, b, platform, config)?;
+    let stage1 = run_pipeline_engine(a, b, platform, config, None, Semantics::Local, obs)?;
     times.stage1 = t0.elapsed();
     let best = stage1.best;
     if best.score <= 0 {
@@ -58,7 +72,7 @@ pub fn multigpu_local_align(
     let t0 = std::time::Instant::now();
     let ar: Vec<u8> = a[..ie].iter().rev().copied().collect();
     let br: Vec<u8> = b[..je].iter().rev().copied().collect();
-    let stage2 = run_pipeline_anchored(&ar, &br, platform, config)?;
+    let stage2 = run_pipeline_engine(&ar, &br, platform, config, None, Semantics::Anchored, obs)?;
     times.stage2 = t0.elapsed();
     debug_assert_eq!(
         stage2.best.score, best.score,
@@ -67,11 +81,14 @@ pub fn multigpu_local_align(
     let is = ie - stage2.best.i + 1;
     let js = je - stage2.best.j + 1;
 
-    // Stage 3: Myers–Miller on the bounded segment.
+    // Stage 3: Myers–Miller on the bounded segment — host work, so the
+    // span lands on the host lane (no device).
     let t0 = std::time::Instant::now();
+    let tb_start = obs.now_ns();
     let a_seg = &a[is - 1..ie];
     let b_seg = &b[js - 1..je];
     let ops = myers_miller(a_seg, b_seg, &config.scheme);
+    obs.record_since(ObsKind::Traceback, None, None, tb_start);
     times.stage3 = t0.elapsed();
     debug_assert_eq!(
         score_of_ops(a_seg, b_seg, &ops, &config.scheme),
@@ -153,13 +170,16 @@ mod tests {
 
     #[test]
     fn anchored_pipeline_matches_host_anchored_scan() {
+        use crate::pipeline::PipelineRun;
         use megasw_sw::traceback::anchored_best;
         for seed in [11u64, 12] {
             let (a, b) = pair(1_500, seed);
             let cfg = RunConfig::paper_default().with_block(64);
-            let rep =
-                crate::pipeline::run_pipeline_anchored(a.codes(), b.codes(), &Platform::env2(), &cfg)
-                    .unwrap();
+            let rep = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .semantics(Semantics::Anchored)
+                .run()
+                .unwrap();
             assert_eq!(
                 rep.best,
                 anchored_best(a.codes(), b.codes(), &cfg.scheme),
@@ -171,6 +191,7 @@ mod tests {
     #[test]
     fn anchored_pipeline_invariant_to_partitioning() {
         use crate::config::PartitionPolicy;
+        use crate::pipeline::PipelineRun;
         use megasw_sw::traceback::anchored_best;
         let (a, b) = pair(1_000, 21);
         let want = anchored_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
@@ -181,10 +202,33 @@ mod tests {
             let cfg = RunConfig::paper_default()
                 .with_block(48)
                 .with_partition(policy);
-            let rep =
-                crate::pipeline::run_pipeline_anchored(a.codes(), b.codes(), &Platform::env2(), &cfg)
-                    .unwrap();
+            let rep = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg)
+                .semantics(Semantics::Anchored)
+                .run()
+                .unwrap();
             assert_eq!(rep.best, want);
         }
+    }
+
+    #[test]
+    fn observed_retrieval_emits_a_host_traceback_span() {
+        use megasw_obs::ObsLevel;
+        let (a, b) = pair(1_500, 31);
+        let cfg = RunConfig::paper_default().with_block(64);
+        let obs = Recorder::new(ObsLevel::Full);
+        let (aln, _) =
+            multigpu_local_align_observed(a.codes(), b.codes(), &Platform::env1(), &cfg, &obs)
+                .unwrap();
+        assert!(aln.score > 0);
+        let spans = obs.spans();
+        let tb: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == ObsKind::Traceback)
+            .collect();
+        assert_eq!(tb.len(), 1);
+        assert_eq!(tb[0].device, None);
+        // Stage-1 and stage-2 pipelines both contributed kernel spans.
+        assert!(spans.iter().filter(|s| s.kind == ObsKind::Kernel).count() >= 2);
     }
 }

@@ -1,9 +1,67 @@
-//! Run reports.
+//! Run reports and unified stall accounting.
+//!
+//! Both backends produce the same [`RunReport`]: the threaded pipeline
+//! fills the wall-clock side (`wall_time`, `gcups_wall`, per-device
+//! `wall_busy` + `stall`), the discrete-event simulator fills the simulated
+//! side (`sim_time`, `gcups_sim`, `sim_busy` + `stall`). The
+//! [`StallBreakdown`] is shared: its fields are nanoseconds ([`SimTime`]),
+//! and for every device the identity
+//! `startup + input_stalls + drain == total_time − busy_time`
+//! holds by construction on either backend.
 
 use crate::circbuf::RingStats;
 use megasw_gpusim::SimTime;
+use megasw_obs::MetricsRegistry;
 use megasw_sw::BestCell;
 use std::time::Duration;
+
+/// Where one device's idle time went. Works in nanoseconds, so it applies
+/// to both the simulated and the wall-clock backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    /// Idle before the first kernel (pipeline fill).
+    pub startup: SimTime,
+    /// Idle between kernels waiting for the left neighbour's borders.
+    pub input_stalls: SimTime,
+    /// Idle after the last kernel (pipeline drain).
+    pub drain: SimTime,
+}
+
+impl StallBreakdown {
+    /// Total idle time.
+    pub fn total(&self) -> SimTime {
+        self.startup + self.input_stalls + self.drain
+    }
+
+    /// Build the breakdown from one device's kernel-activity envelope:
+    /// the run's total duration, the first kernel's start, the last
+    /// kernel's end, and the summed kernel busy time (all nanoseconds since
+    /// the same epoch). By construction
+    /// `total() == total_ns − busy_ns` whenever
+    /// `first_start ≤ last_end ≤ total_ns` and `busy ≤ last_end − first_start`.
+    pub fn from_envelope(total_ns: u64, first_start_ns: u64, last_end_ns: u64, busy_ns: u64) -> Self {
+        StallBreakdown {
+            startup: SimTime(first_start_ns),
+            input_stalls: SimTime(
+                (last_end_ns.saturating_sub(first_start_ns)).saturating_sub(busy_ns),
+            ),
+            drain: SimTime(total_ns.saturating_sub(last_end_ns)),
+        }
+    }
+}
+
+impl std::fmt::Display for StallBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "startup {} + input {} + drain {} = {}",
+            self.startup,
+            self.input_stalls,
+            self.drain,
+            self.total()
+        )
+    }
+}
 
 /// Per-device section of a [`RunReport`].
 #[derive(Debug, Clone)]
@@ -22,10 +80,15 @@ pub struct DeviceReport {
     pub bytes_sent: u64,
     /// Outgoing-ring statistics (None for the last device).
     pub ring_out: Option<RingStats>,
+    /// Wall-clock time this device's worker spent inside kernels (None for
+    /// simulated runs).
+    pub wall_busy: Option<Duration>,
     /// Simulated busy time on the compute stream (None for wall-clock runs).
     pub sim_busy: Option<SimTime>,
     /// Simulated utilization: busy / makespan.
     pub sim_utilization: Option<f64>,
+    /// Idle-time breakdown (both backends fill this).
+    pub stall: Option<StallBreakdown>,
 }
 
 /// The result of one multi-GPU run (threaded, simulated, or both).
@@ -67,6 +130,45 @@ impl RunReport {
     pub fn total_bytes_transferred(&self) -> u64 {
         self.devices.iter().map(|d| d.bytes_sent).sum()
     }
+
+    /// Build the per-run metrics registry: GCUPS, transfer and ring
+    /// counters, occupancy and utilization histograms, and the summed
+    /// stall accounting.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.incr("cells.total", u64::try_from(self.total_cells).unwrap_or(u64::MAX));
+        m.incr("bytes.transferred", self.total_bytes_transferred());
+        if let Some(g) = self.gcups_wall {
+            m.observe("gcups.wall", g);
+        }
+        if let Some(g) = self.gcups_sim {
+            m.observe("gcups.sim", g);
+        }
+        for d in &self.devices {
+            m.observe(
+                "device.cells_fraction",
+                d.cells as f64 / self.total_cells.max(1) as f64,
+            );
+            if let Some(u) = d.sim_utilization {
+                m.observe("device.utilization", u);
+            }
+            if let Some(rs) = &d.ring_out {
+                m.incr("ring.pushed", rs.pushed);
+                m.incr("ring.popped", rs.popped);
+                m.incr("ring.producer_blocks", rs.producer_blocks);
+                m.incr("ring.consumer_blocks", rs.consumer_blocks);
+                m.incr("ring.producer_wait_ns", rs.producer_wait.as_nanos() as u64);
+                m.incr("ring.consumer_wait_ns", rs.consumer_wait.as_nanos() as u64);
+                m.observe("ring.max_occupancy", rs.max_occupancy as f64);
+            }
+            if let Some(bd) = &d.stall {
+                m.incr("stall.startup_ns", bd.startup.as_nanos());
+                m.incr("stall.input_ns", bd.input_stalls.as_nanos());
+                m.incr("stall.drain_ns", bd.drain.as_nanos());
+            }
+        }
+        m
+    }
 }
 
 impl std::fmt::Display for RunReport {
@@ -102,6 +204,9 @@ impl std::fmt::Display for RunReport {
                     rs.pushed, rs.max_occupancy, rs.producer_blocks, rs.consumer_blocks
                 )?;
             }
+            if let Some(bd) = &d.stall {
+                write!(f, "  stall: {bd}")?;
+            }
             writeln!(f)?;
         }
         Ok(())
@@ -116,6 +221,23 @@ mod tests {
     fn gcups_math() {
         assert_eq!(RunReport::gcups(2_000_000_000, 2.0), 1.0);
         assert_eq!(RunReport::gcups(1_000, 0.0), 0.0);
+    }
+
+    #[test]
+    fn stall_envelope_identity() {
+        // total 100, kernels within [10, 80], busy 50 → idle = 50.
+        let bd = StallBreakdown::from_envelope(100, 10, 80, 50);
+        assert_eq!(bd.startup, SimTime(10));
+        assert_eq!(bd.input_stalls, SimTime(20));
+        assert_eq!(bd.drain, SimTime(20));
+        assert_eq!(bd.total(), SimTime(100 - 50));
+    }
+
+    #[test]
+    fn stall_envelope_saturates_instead_of_underflowing() {
+        let bd = StallBreakdown::from_envelope(50, 10, 60, 100);
+        assert_eq!(bd.input_stalls, SimTime::ZERO);
+        assert_eq!(bd.drain, SimTime::ZERO);
     }
 
     fn report() -> RunReport {
@@ -133,9 +255,21 @@ mod tests {
                 slab_width: 1_000,
                 cells: 1_000_000,
                 bytes_sent: 512,
-                ring_out: Some(RingStats::default()),
+                ring_out: Some(RingStats {
+                    pushed: 3,
+                    popped: 3,
+                    max_occupancy: 2,
+                    producer_blocks: 1,
+                    consumer_blocks: 0,
+                    producer_wait: Duration::from_micros(5),
+                    consumer_wait: Duration::ZERO,
+                }),
+                wall_busy: Some(Duration::from_millis(7)),
                 sim_busy: Some(SimTime::from_millis(1)),
                 sim_utilization: Some(0.5),
+                stall: Some(StallBreakdown::from_envelope(
+                    10_000_000, 1_000_000, 8_000_000, 5_000_000,
+                )),
             }],
         }
     }
@@ -153,5 +287,18 @@ mod tests {
         assert!(text.contains("best score 42"));
         assert!(text.contains("GCUPS"));
         assert!(text.contains("TestBoard"));
+        assert!(text.contains("stall:"));
+    }
+
+    #[test]
+    fn metrics_cover_gcups_rings_and_stalls() {
+        let m = report().metrics();
+        assert_eq!(m.counter("bytes.transferred"), Some(512));
+        assert_eq!(m.counter("ring.pushed"), Some(3));
+        assert_eq!(m.counter("ring.producer_wait_ns"), Some(5_000));
+        assert_eq!(m.counter("stall.startup_ns"), Some(1_000_000));
+        assert_eq!(m.histogram("gcups.wall").unwrap().count, 1);
+        assert_eq!(m.histogram("ring.max_occupancy").unwrap().max, 2.0);
+        assert_eq!(m.histogram("device.utilization").unwrap().count, 1);
     }
 }

@@ -1,52 +1,75 @@
-//! Property-based tests for the multi-GPU system: partition laws, ring
+//! Randomized property tests for the multi-GPU system: partition laws, ring
 //! protocol, and pipeline-equals-reference on arbitrary shapes.
+//!
+//! Deterministic seeded sweeps: each property runs a fixed number of
+//! ChaCha8-generated cases; a failure reproduces exactly from the printed
+//! case index.
 
 use megasw_gpusim::{catalog, Platform};
 use megasw_multigpu::circbuf::CircularBuffer;
 use megasw_multigpu::partition::{largest_remainder, make_slabs};
-use megasw_multigpu::pipeline::run_pipeline;
+use megasw_multigpu::pipeline::PipelineRun;
 use megasw_multigpu::{PartitionPolicy, RunConfig};
+use megasw_seq::rng::ChaCha8Rng;
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 use megasw_sw::gotoh::gotoh_best;
-use proptest::prelude::*;
 
-fn weights() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(0.01f64..1_000.0, 1..8)
+const CASES: u64 = 64;
+
+fn weights(rng: &mut ChaCha8Rng) -> Vec<f64> {
+    let n = rng.gen_range(1..8usize);
+    (0..n).map(|_| 0.01 + rng.gen::<f64>() * 999.99).collect()
 }
 
-fn any_platform() -> impl Strategy<Value = Platform> {
-    prop::collection::vec(0usize..6, 1..5).prop_map(|picks| {
-        let boards = catalog::all();
-        Platform::custom(
-            "prop",
-            picks.into_iter().map(|i| boards[i].clone()).collect(),
-        )
-    })
+fn any_platform(rng: &mut ChaCha8Rng) -> Platform {
+    let boards = catalog::all();
+    let n = rng.gen_range(1..5usize);
+    Platform::custom(
+        "prop",
+        (0..n)
+            .map(|_| boards[rng.gen_range(0..boards.len())].clone())
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn largest_remainder_conserves_total(total in 0usize..100_000, w in weights()) {
+#[test]
+fn largest_remainder_conserves_total() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_01 + case);
+        let total = rng.gen_range(0..100_000usize);
+        let w = weights(&mut rng);
         let alloc = largest_remainder(total, &w);
-        prop_assert_eq!(alloc.len(), w.len());
-        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+        assert_eq!(alloc.len(), w.len(), "case {case}");
+        assert_eq!(alloc.iter().sum::<usize>(), total, "case {case}");
     }
+}
 
-    #[test]
-    fn largest_remainder_min_one_when_feasible(total in 1usize..100_000, w in weights()) {
+#[test]
+fn largest_remainder_min_one_when_feasible() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_02 + case);
+        let total = rng.gen_range(1..100_000usize);
+        let w = weights(&mut rng);
         let alloc = largest_remainder(total, &w);
         if total >= w.len() {
-            prop_assert!(alloc.iter().all(|&x| x >= 1));
+            assert!(alloc.iter().all(|&x| x >= 1), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn largest_remainder_proportional_within_one(
-        total in 100usize..100_000, w in weights()
-    ) {
-        prop_assume!(total >= w.len());
+#[test]
+fn largest_remainder_proportional_within_one() {
+    let mut done = 0u64;
+    let mut case = 0u64;
+    while done < CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_03 + case);
+        case += 1;
+        let total = rng.gen_range(100..100_000usize);
+        let w = weights(&mut rng);
+        if total < w.len() {
+            continue;
+        }
+        done += 1;
         let alloc = largest_remainder(total, &w);
         let sum: f64 = w.iter().sum();
         let spare = (total - w.len()) as f64;
@@ -54,43 +77,51 @@ proptest! {
             // Reserved unit + proportional share of the remainder, ±1 from
             // largest-remainder rounding.
             let exact = 1.0 + spare * wi / sum;
-            prop_assert!(
+            assert!(
                 (alloc[i] as f64 - exact).abs() <= 1.0 + 1e-9,
-                "i={i}: {} vs {exact}",
+                "case {case}, i={i}: {} vs {exact}",
                 alloc[i]
             );
         }
     }
+}
 
-    #[test]
-    fn slabs_partition_exactly(
-        n in 0usize..500_000,
-        block_w in 1usize..2_000,
-        platform in any_platform(),
-        equal in any::<bool>(),
-    ) {
-        let policy = if equal { PartitionPolicy::Equal } else { PartitionPolicy::Proportional };
+#[test]
+fn slabs_partition_exactly() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_04 + case);
+        let n = rng.gen_range(0..500_000usize);
+        let block_w = rng.gen_range(1..2_000usize);
+        let platform = any_platform(&mut rng);
+        let policy = if rng.gen::<bool>() {
+            PartitionPolicy::Equal
+        } else {
+            PartitionPolicy::Proportional
+        };
         let slabs = make_slabs(n, block_w, &platform, &policy);
         if n == 0 {
-            prop_assert!(slabs.is_empty());
+            assert!(slabs.is_empty(), "case {case}");
         } else {
-            prop_assert_eq!(slabs[0].j0, 1);
+            assert_eq!(slabs[0].j0, 1, "case {case}");
             for w in slabs.windows(2) {
-                prop_assert_eq!(w[0].j_end(), w[1].j0);
+                assert_eq!(w[0].j_end(), w[1].j0, "case {case}");
                 // Interior slab boundaries land on tile-grid columns.
-                prop_assert_eq!((w[1].j0 - 1) % block_w, 0);
+                assert_eq!((w[1].j0 - 1) % block_w, 0, "case {case}");
             }
-            prop_assert_eq!(slabs.last().unwrap().j_end(), n + 1);
-            prop_assert!(slabs.len() <= platform.len());
-            prop_assert!(slabs.iter().all(|s| s.width >= 1));
+            assert_eq!(slabs.last().unwrap().j_end(), n + 1, "case {case}");
+            assert!(slabs.len() <= platform.len(), "case {case}");
+            assert!(slabs.iter().all(|s| s.width >= 1), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn ring_preserves_order_and_counts(
-        items in prop::collection::vec(any::<u32>(), 0..500),
-        cap in 1usize..16,
-    ) {
+#[test]
+fn ring_preserves_order_and_counts() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_05 + case);
+        let len = rng.gen_range(0..500usize);
+        let items: Vec<u32> = (0..len).map(|_| rng.gen_range(0..u32::MAX)).collect();
+        let cap = rng.gen_range(1..16usize);
         let ring = CircularBuffer::with_capacity(cap);
         let producer = {
             let ring = ring.clone();
@@ -107,55 +138,78 @@ proptest! {
             got.push(v);
         }
         producer.join().unwrap();
-        prop_assert_eq!(got, items.clone());
+        assert_eq!(got, items, "case {case}");
         let stats = ring.stats();
-        prop_assert_eq!(stats.pushed, items.len() as u64);
-        prop_assert_eq!(stats.popped, items.len() as u64);
-        prop_assert!(stats.max_occupancy <= cap);
+        assert_eq!(stats.pushed, items.len() as u64, "case {case}");
+        assert_eq!(stats.popped, items.len() as u64, "case {case}");
+        assert!(stats.max_occupancy <= cap, "case {case}");
     }
+}
 
-    #[test]
-    fn pipeline_equals_reference_on_arbitrary_shapes(
-        seed in any::<u64>(),
-        m in 1usize..600,
-        n in 1usize..600,
-        block in 1usize..64,
-        cap in 1usize..8,
-        platform in any_platform(),
-    ) {
+#[test]
+fn pipeline_equals_reference_on_arbitrary_shapes() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_06 + case);
+        let seed = rng.gen::<u64>();
+        let m = rng.gen_range(1..600usize);
+        let n = rng.gen_range(1..600usize);
+        let block = rng.gen_range(1..64usize);
+        let cap = rng.gen_range(1..8usize);
+        let platform = any_platform(&mut rng);
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(m, seed)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(n, seed ^ 0xABCD)).generate();
         let cfg = RunConfig::paper_default()
             .with_block(block)
             .with_buffer_capacity(cap);
-        let report = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
-        prop_assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+        let report = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &cfg.scheme),
+            "case {case}: {m}x{n}, block {block}, cap {cap}"
+        );
     }
+}
 
-    #[test]
-    fn pipeline_equals_reference_on_similar_pairs(
-        seed in any::<u64>(),
-        len in 50usize..800,
-        block in 8usize..96,
-    ) {
+#[test]
+fn pipeline_equals_reference_on_similar_pairs() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_07 + case);
+        let seed = rng.gen::<u64>();
+        let len = rng.gen_range(50..800usize);
+        let block = rng.gen_range(8..96usize);
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
         let (b, _) = DivergenceModel::test_scale(seed ^ 0x5A5A).apply(&a);
         let cfg = RunConfig::paper_default().with_block(block);
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
-        prop_assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &cfg.scheme),
+            "case {case}: len {len}, block {block}"
+        );
     }
+}
 
-    #[test]
-    fn transfer_accounting_matches_geometry(
-        m in 1usize..2_000,
-        n in 100usize..2_000,
-        block in 16usize..256,
-    ) {
+#[test]
+fn transfer_accounting_matches_geometry() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_08 + case);
+        let m = rng.gen_range(1..2_000usize);
+        let n = rng.gen_range(100..2_000usize);
+        let block = rng.gen_range(16..256usize);
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(m, 1)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(n, 2)).generate();
         let cfg = RunConfig::paper_default().with_block(block);
         let p = Platform::env1();
-        let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &p)
+            .config(cfg)
+            .run()
+            .unwrap();
         let rows = m.div_ceil(block);
         if report.devices.len() == 2 {
             // Each block-row border carries (height+1) H + (height+1) E
@@ -166,7 +220,7 @@ proptest! {
                     2 * (h as u64 + 1) * 4
                 })
                 .sum();
-            prop_assert_eq!(report.devices[0].bytes_sent, expected);
+            assert_eq!(report.devices[0].bytes_sent, expected, "case {case}");
         }
     }
 }

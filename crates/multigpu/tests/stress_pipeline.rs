@@ -4,7 +4,7 @@
 //! unit tests don't reach.
 
 use megasw_gpusim::{catalog, Platform};
-use megasw_multigpu::pipeline::{run_pipeline, run_pipeline_anchored};
+use megasw_multigpu::pipeline::{PipelineRun, Semantics};
 use megasw_multigpu::{PartitionPolicy, RunConfig};
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 use megasw_sw::gotoh::gotoh_best;
@@ -25,7 +25,10 @@ fn sixteen_device_chain() {
     let cfg = RunConfig::paper_default()
         .with_block(64)
         .with_buffer_capacity(2);
-    let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+    let report = PipelineRun::new(a.codes(), b.codes(), &p)
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
     assert_eq!(report.devices.len(), 16);
     // Every interior ring carried exactly rows borders.
@@ -46,7 +49,10 @@ fn block_height_one_maximizes_ring_traffic() {
     let mut cfg = RunConfig::paper_default().with_buffer_capacity(1);
     cfg.block_h = 1;
     cfg.block_w = 97;
-    let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
     let rs = report.devices[0].ring_out.as_ref().unwrap();
     assert_eq!(rs.pushed, a.len() as u64);
@@ -61,7 +67,10 @@ fn extreme_skew_partitions() {
     let cfg = RunConfig::paper_default()
         .with_block(32)
         .with_partition(PartitionPolicy::Explicit(vec![1000.0, 1.0, 1000.0]));
-    let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
     assert_eq!(report.devices.len(), 3);
     assert_eq!(report.devices[1].slab_width, 32);
@@ -75,7 +84,10 @@ fn wide_matrix_tall_matrix() {
     let sliver = ChromosomeGenerator::new(GenerateConfig::uniform(50, 5)).generate();
     let cfg = RunConfig::paper_default().with_block(256);
     for (a, b) in [(&sliver, &ribbon), (&ribbon, &sliver)] {
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
         assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &scheme));
     }
 }
@@ -88,8 +100,11 @@ fn anchored_pipeline_under_stress_shapes() {
         let mut cfg = RunConfig::paper_default().with_buffer_capacity(cap);
         cfg.block_h = bh;
         cfg.block_w = bw;
-        let report =
-            run_pipeline_anchored(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .semantics(Semantics::Anchored)
+            .run()
+            .unwrap();
         assert_eq!(
             report.best,
             anchored_best(a.codes(), b.codes(), &scheme),
@@ -106,7 +121,10 @@ fn repeated_runs_under_contention() {
     let cfg = RunConfig::paper_default().with_block(48);
     let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
     for i in 0..20 {
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run()
+        .unwrap();
         assert_eq!(report.best, want, "iteration {i}");
     }
 }

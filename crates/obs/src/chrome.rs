@@ -1,0 +1,300 @@
+//! Chrome `trace_event` JSON export and structural validation.
+//!
+//! The emitted document uses the JSON-object flavour of the trace-event
+//! format — `{"traceEvents": [...]}` — with complete (`"ph":"X"`) events
+//! whose `ts`/`dur` are microseconds (fractional part keeps nanosecond
+//! resolution). Load the file in `chrome://tracing` or drop it onto
+//! <https://ui.perfetto.dev>: one lane (`tid`) per device, plus a `host`
+//! lane for traceback work.
+//!
+//! [`validate`] is the other half of the contract: it re-parses a trace
+//! with the crate's own JSON parser and checks the structure the golden
+//! tests rely on (parseable, complete events only, non-negative durations,
+//! per-lane monotonic timestamps).
+
+use crate::json::{self, Value};
+use crate::span::ObsSpan;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// The single `pid` used for all lanes (one process = one run).
+const PID: u64 = 1;
+
+/// Lane id (`tid`) used for host-side spans (`device: None`).
+pub fn host_lane(device_count: usize) -> u64 {
+    device_count as u64
+}
+
+/// Render spans as a Chrome trace-event JSON document.
+///
+/// `device_names[d]` labels the lane of device `d`; host-side spans go to
+/// an extra `host` lane after the last device. Spans are sorted per lane so
+/// timestamps are monotonic within each `tid`.
+pub fn chrome_trace(spans: &[ObsSpan], device_names: &[String]) -> String {
+    let host = host_lane(device_names.len());
+    let mut sorted: Vec<&ObsSpan> = spans.iter().collect();
+    sorted.sort_by_key(|s| (lane_of(s, host), s.start_ns, s.end_ns));
+
+    let mut out = String::with_capacity(128 + sorted.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push_event = |out: &mut String, body: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(body);
+    };
+
+    // Metadata: process name + one named lane per device (+ host).
+    push_event(
+        &mut out,
+        &format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
+             \"args\":{{\"name\":\"megasw\"}}}}"
+        ),
+    );
+    for (d, name) in device_names.iter().enumerate() {
+        push_event(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{d},\
+                 \"args\":{{\"name\":\"GPU{d} {}\"}}}}",
+                json::escape(name)
+            ),
+        );
+        push_event(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{d},\
+                 \"args\":{{\"sort_index\":{d}}}}}"
+            ),
+        );
+    }
+    if sorted.iter().any(|s| s.device.is_none()) {
+        push_event(
+            &mut out,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{host},\
+                 \"args\":{{\"name\":\"host\"}}}}"
+            ),
+        );
+    }
+
+    for span in sorted {
+        let tid = lane_of(span, host);
+        let ts = span.start_ns as f64 / 1_000.0;
+        let dur = span.duration_ns() as f64 / 1_000.0;
+        let kind = span.kind.name();
+        let name = match span.block_row {
+            Some(r) => format!("{kind} r{r}"),
+            None => kind.to_string(),
+        };
+        let mut body = format!(
+            "{{\"name\":\"{name}\",\"cat\":\"{kind}\",\"ph\":\"X\",\
+             \"ts\":{ts:.3},\"dur\":{dur:.3},\"pid\":{PID},\"tid\":{tid},\"args\":{{"
+        );
+        match span.device {
+            Some(d) => {
+                let _ = write!(body, "\"device\":{d}");
+            }
+            None => body.push_str("\"device\":\"host\""),
+        }
+        if let Some(r) = span.block_row {
+            let _ = write!(body, ",\"block_row\":{r}");
+        }
+        body.push_str("}}");
+        push_event(&mut out, &body);
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn lane_of(span: &ObsSpan, host: u64) -> u64 {
+    span.device.map_or(host, u64::from)
+}
+
+/// What [`validate`] found in a structurally sound trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// All events, including metadata.
+    pub total_events: usize,
+    /// Complete (`"ph":"X"`) span events.
+    pub span_events: usize,
+    /// Distinct lanes (`tid`) carrying span events.
+    pub lanes: BTreeSet<u64>,
+    /// Lane names declared by `thread_name` metadata.
+    pub lane_names: BTreeMap<u64, String>,
+}
+
+/// Structurally validate a Chrome trace document.
+///
+/// Checks: parseable JSON; top-level `traceEvents` array; every event an
+/// object with a `ph` string; every `X` event carries numeric non-negative
+/// `ts`/`dur` plus `pid`/`tid`; per-lane `ts` values are monotonically
+/// non-decreasing in document order.
+pub fn validate(text: &str) -> Result<TraceCheck, String> {
+    let doc = json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents`")?
+        .as_array()
+        .ok_or("`traceEvents` is not an array")?;
+
+    let mut check = TraceCheck {
+        total_events: events.len(),
+        span_events: 0,
+        lanes: BTreeSet::new(),
+        lane_names: BTreeMap::new(),
+    };
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev
+            .as_object()
+            .ok_or_else(|| format!("event {i} is not an object"))?;
+        let ph = obj
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i} has no `ph`"))?;
+        match ph {
+            "M" => {
+                if obj.get("name").and_then(Value::as_str) == Some("thread_name") {
+                    let tid = field_u64(obj, "tid", i)?;
+                    if let Some(name) =
+                        obj.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                    {
+                        check.lane_names.insert(tid, name.to_string());
+                    }
+                }
+            }
+            "X" => {
+                obj.get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i} has no `name`"))?;
+                let ts = field_f64(obj, "ts", i)?;
+                let dur = field_f64(obj, "dur", i)?;
+                field_u64(obj, "pid", i)?;
+                let tid = field_u64(obj, "tid", i)?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                if let Some(&prev) = last_ts.get(&tid) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: lane {tid} timestamps not monotonic ({ts} < {prev})"
+                        ));
+                    }
+                }
+                last_ts.insert(tid, ts);
+                check.lanes.insert(tid);
+                check.span_events += 1;
+            }
+            other => return Err(format!("event {i}: unsupported phase `{other}`")),
+        }
+    }
+    Ok(check)
+}
+
+fn field_f64(obj: &BTreeMap<String, Value>, key: &str, i: usize) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("event {i}: `{key}` missing or not a number"))
+}
+
+fn field_u64(obj: &BTreeMap<String, Value>, key: &str, i: usize) -> Result<u64, String> {
+    let v = field_f64(obj, key, i)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("event {i}: `{key}` is not a non-negative integer"));
+    }
+    Ok(v as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::ObsKind;
+
+    fn span(kind: ObsKind, device: Option<u32>, row: Option<u32>, start: u64, end: u64) -> ObsSpan {
+        ObsSpan {
+            kind,
+            device,
+            block_row: row,
+            start_ns: start,
+            end_ns: end,
+        }
+    }
+
+    #[test]
+    fn roundtrip_export_validate() {
+        let spans = vec![
+            span(ObsKind::Kernel, Some(0), Some(0), 0, 1_500),
+            span(ObsKind::RingPush, Some(0), Some(0), 1_500, 1_700),
+            span(ObsKind::Kernel, Some(1), Some(0), 2_000, 3_000),
+            span(ObsKind::Traceback, None, None, 3_000, 5_000),
+        ];
+        let names = vec!["GTX 680".to_string(), "Tesla C2050".to_string()];
+        let text = chrome_trace(&spans, &names);
+        let check = validate(&text).expect("emitted trace must validate");
+        assert_eq!(check.span_events, 4);
+        // Lanes: device 0, device 1, host (= 2).
+        assert_eq!(check.lanes, BTreeSet::from([0, 1, 2]));
+        assert_eq!(check.lane_names.get(&2).map(String::as_str), Some("host"));
+        assert!(check.lane_names.get(&0).unwrap().contains("GTX 680"));
+    }
+
+    #[test]
+    fn exporter_sorts_out_of_order_spans() {
+        let spans = vec![
+            span(ObsKind::Kernel, Some(0), Some(1), 9_000, 10_000),
+            span(ObsKind::Kernel, Some(0), Some(0), 1_000, 2_000),
+        ];
+        let text = chrome_trace(&spans, &["dev".to_string()]);
+        validate(&text).expect("sorted on export");
+    }
+
+    #[test]
+    fn ts_resolution_is_nanoseconds() {
+        let spans = vec![span(ObsKind::Kernel, Some(0), None, 1, 2)];
+        let text = chrome_trace(&spans, &["dev".to_string()]);
+        assert!(text.contains("\"ts\":0.001"), "trace: {text}");
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_bad_structure() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{}").is_err());
+        assert!(validate(r#"{"traceEvents": 3}"#).is_err());
+        assert!(validate(r#"{"traceEvents": [{"ph":"X"}]}"#).is_err());
+        // Negative duration.
+        assert!(validate(
+            r#"{"traceEvents":[{"name":"k","ph":"X","ts":1,"dur":-2,"pid":1,"tid":0}]}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_monotonic_lane() {
+        let text = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":0}
+        ]}"#;
+        let err = validate(text).unwrap_err();
+        assert!(err.contains("monotonic"), "err: {err}");
+        // Same timestamps on *different* lanes are fine.
+        let ok = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":10,"dur":1,"pid":1,"tid":0},
+            {"name":"b","ph":"X","ts":5,"dur":1,"pid":1,"tid":1}
+        ]}"#;
+        assert!(validate(ok).is_ok());
+    }
+
+    #[test]
+    fn lane_names_escape_special_characters() {
+        let spans = vec![span(ObsKind::Kernel, Some(0), None, 0, 1)];
+        let text = chrome_trace(&spans, &["odd \"name\"\\path".to_string()]);
+        let check = validate(&text).unwrap();
+        assert!(check.lane_names.get(&0).unwrap().contains("odd \"name\"\\path"));
+    }
+}

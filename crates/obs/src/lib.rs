@@ -1,0 +1,31 @@
+//! # megasw-obs — run observability for both execution backends
+//!
+//! The paper's whole argument is about *where time goes*: the circular
+//! buffer hides border communication behind computation, and the evaluation
+//! is a set of utilization/stall pictures. This crate is the workspace-wide
+//! event model that lets both backends produce those pictures:
+//!
+//! * [`ObsSpan`] / [`ObsKind`] — typed spans (`Kernel`, `RingPush`,
+//!   `RingPopWait`, `BorderXfer`, `Traceback`) with device and block-row
+//!   attribution. The threaded pipeline emits them with wall-clock
+//!   timestamps; the discrete-event backend emits them with simulated-time
+//!   timestamps. Both use nanoseconds since the run epoch, so the rest of
+//!   the stack is backend-agnostic.
+//! * [`Recorder`] — a cheap, clonable, thread-safe collector with an
+//!   [`ObsLevel`] filter (`off` / `kernels` / `full`).
+//! * [`MetricsRegistry`] — per-run counters and histograms (GCUPS, ring
+//!   occupancy, stall totals) rendered as a text summary.
+//! * [`chrome`] — a Chrome `trace_event` JSON exporter: the output opens
+//!   directly in `chrome://tracing` or <https://ui.perfetto.dev>, one lane
+//!   per device plus a host lane. [`chrome::validate`] structurally checks
+//!   a trace (golden tests use it), backed by the dependency-free JSON
+//!   parser in [`json`].
+
+pub mod chrome;
+pub mod json;
+pub mod metrics;
+pub mod span;
+
+pub use chrome::{chrome_trace, validate, TraceCheck};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use span::{ObsKind, ObsLevel, ObsSpan, Recorder};

@@ -1,0 +1,148 @@
+//! Per-run metrics: named counters and histograms.
+//!
+//! The registry is built once per run, after the workers have joined, from
+//! the run report and the recorded spans — so it needs no interior locking.
+//! Names are dotted paths (`ring.d0.max_occupancy`, `gcups.wall`), kept in
+//! sorted order so rendered summaries are deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Streaming summary of a set of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Histogram {
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Histogram {
+    pub fn record(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Named counters + histograms for one run.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Record one observation into a histogram, creating it if absent.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+}
+
+impl fmt::Display for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "metrics:")?;
+        for (name, value) in &self.counters {
+            writeln!(f, "  {name:<40} {value}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "  {name:<40} n={} mean={:.3} min={:.3} max={:.3}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.incr("blocks", 3);
+        m.incr("blocks", 4);
+        assert_eq!(m.counter("blocks"), Some(7));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut m = MetricsRegistry::new();
+        for v in [2.0, 4.0, 9.0] {
+            m.observe("occupancy", v);
+        }
+        let h = m.histogram("occupancy").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 9.0);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(Histogram::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn display_is_deterministic_and_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.incr("z.last", 1);
+        m.incr("a.first", 2);
+        m.observe("m.mid", 1.5);
+        let text = m.to_string();
+        let a = text.find("a.first").unwrap();
+        let z = text.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(text.contains("mean=1.500"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Typed spans and the run-wide recorder.
+//!
+//! A span is one timed interval of work or waiting, attributed to a device
+//! lane and (where meaningful) a block-row. Timestamps are nanoseconds since
+//! the run epoch; the *meaning* of a nanosecond is the backend's business —
+//! wall-clock for the threaded pipeline, simulated time for the DES — and
+//! everything downstream (metrics, Chrome export, tests) is agnostic.
+
+use std::str::FromStr;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// What a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObsKind {
+    /// One block-row × column-tile kernel launch (the DP compute itself).
+    Kernel,
+    /// Producer side of the border ring: the push, including any time
+    /// blocked on a full ring.
+    RingPush,
+    /// Consumer side of the border ring: time spent *waiting* for the left
+    /// neighbour's border segment.
+    RingPopWait,
+    /// Border column transfer between devices (DES models it as a bus
+    /// transfer; the threaded backend folds it into push/pop).
+    BorderXfer,
+    /// Host-side traceback / alignment reconstruction (stage 3).
+    Traceback,
+}
+
+impl ObsKind {
+    /// Short lowercase name, used as the Chrome trace category.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsKind::Kernel => "kernel",
+            ObsKind::RingPush => "ring_push",
+            ObsKind::RingPopWait => "ring_pop_wait",
+            ObsKind::BorderXfer => "border_xfer",
+            ObsKind::Traceback => "traceback",
+        }
+    }
+}
+
+/// One timed interval, attributed to a device lane and block-row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsSpan {
+    pub kind: ObsKind,
+    /// Device lane, or `None` for host-side work (traceback).
+    pub device: Option<u32>,
+    /// Block-row the work belongs to, when meaningful.
+    pub block_row: Option<u32>,
+    /// Nanoseconds since the run epoch.
+    pub start_ns: u64,
+    /// Nanoseconds since the run epoch; `end_ns >= start_ns`.
+    pub end_ns: u64,
+}
+
+impl ObsSpan {
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// How much the recorder keeps.
+///
+/// Ordered: each level records a superset of the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum ObsLevel {
+    /// Record nothing; every `record` call is a cheap no-op.
+    Off,
+    /// Kernel and traceback spans only — the compute picture.
+    Kernels,
+    /// Everything, including ring waits and border transfers — the full
+    /// stall picture.
+    #[default]
+    Full,
+}
+
+impl ObsLevel {
+    /// Does this level keep spans of `kind`?
+    pub fn keeps(self, kind: ObsKind) -> bool {
+        match self {
+            ObsLevel::Off => false,
+            ObsLevel::Kernels => matches!(kind, ObsKind::Kernel | ObsKind::Traceback),
+            ObsLevel::Full => true,
+        }
+    }
+}
+
+impl FromStr for ObsLevel {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ObsLevel::Off),
+            "kernels" => Ok(ObsLevel::Kernels),
+            "full" => Ok(ObsLevel::Full),
+            other => Err(format!(
+                "unknown obs level `{other}` (expected off|kernels|full)"
+            )),
+        }
+    }
+}
+
+/// Thread-safe span collector shared by every worker of a run.
+///
+/// Cloning shares the underlying buffer. When the level filters a kind out,
+/// `record` returns without locking, so a disabled recorder costs one branch
+/// per call site.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    level: ObsLevel,
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    spans: Mutex<Vec<ObsSpan>>,
+}
+
+impl Recorder {
+    /// A recorder whose epoch is "now"; wall-clock backends measure against
+    /// it via [`Recorder::now_ns`]. Simulated-time backends ignore the epoch
+    /// and record explicit timestamps.
+    pub fn new(level: ObsLevel) -> Recorder {
+        Recorder {
+            level,
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// A recorder that keeps nothing.
+    pub fn disabled() -> Recorder {
+        Recorder::new(ObsLevel::Off)
+    }
+
+    pub fn level(&self) -> ObsLevel {
+        self.level
+    }
+
+    /// Is any span kind being kept at all?
+    pub fn is_enabled(&self) -> bool {
+        self.level != ObsLevel::Off
+    }
+
+    /// Should a call site bother timing spans of `kind`?
+    pub fn keeps(&self, kind: ObsKind) -> bool {
+        self.level.keeps(kind)
+    }
+
+    /// Nanoseconds of wall-clock time since the recorder was created.
+    pub fn now_ns(&self) -> u64 {
+        self.inner.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Record a span (no-op if the level filters its kind).
+    pub fn record(&self, span: ObsSpan) {
+        if !self.level.keeps(span.kind) {
+            return;
+        }
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(span);
+    }
+
+    /// Record a wall-clock span that started at `start_ns` (from
+    /// [`Recorder::now_ns`]) and ends now.
+    pub fn record_since(
+        &self,
+        kind: ObsKind,
+        device: Option<u32>,
+        block_row: Option<u32>,
+        start_ns: u64,
+    ) {
+        if !self.level.keeps(kind) {
+            return;
+        }
+        let end_ns = self.now_ns();
+        self.record(ObsSpan {
+            kind,
+            device,
+            block_row,
+            start_ns,
+            end_ns: end_ns.max(start_ns),
+        });
+    }
+
+    /// Snapshot of all recorded spans, sorted by (lane, start time) so
+    /// per-lane timestamps are monotonic.
+    pub fn spans(&self) -> Vec<ObsSpan> {
+        let mut spans = self
+            .inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        spans.sort_by_key(|s| (s.device.map_or(u64::MAX, u64::from), s.start_ns, s.end_ns));
+        spans
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_filtering() {
+        assert!(ObsLevel::Off < ObsLevel::Kernels);
+        assert!(ObsLevel::Kernels < ObsLevel::Full);
+        assert!(!ObsLevel::Off.keeps(ObsKind::Kernel));
+        assert!(ObsLevel::Kernels.keeps(ObsKind::Kernel));
+        assert!(ObsLevel::Kernels.keeps(ObsKind::Traceback));
+        assert!(!ObsLevel::Kernels.keeps(ObsKind::RingPopWait));
+        assert!(ObsLevel::Full.keeps(ObsKind::RingPopWait));
+    }
+
+    #[test]
+    fn level_parses() {
+        assert_eq!("off".parse::<ObsLevel>().unwrap(), ObsLevel::Off);
+        assert_eq!("kernels".parse::<ObsLevel>().unwrap(), ObsLevel::Kernels);
+        assert_eq!("full".parse::<ObsLevel>().unwrap(), ObsLevel::Full);
+        assert!("verbose".parse::<ObsLevel>().is_err());
+    }
+
+    #[test]
+    fn disabled_recorder_keeps_nothing() {
+        let rec = Recorder::disabled();
+        rec.record(ObsSpan {
+            kind: ObsKind::Kernel,
+            device: Some(0),
+            block_row: Some(0),
+            start_ns: 0,
+            end_ns: 10,
+        });
+        assert!(rec.is_empty());
+        assert!(!rec.is_enabled());
+    }
+
+    #[test]
+    fn kernels_level_drops_ring_spans() {
+        let rec = Recorder::new(ObsLevel::Kernels);
+        for kind in [ObsKind::Kernel, ObsKind::RingPush, ObsKind::Traceback] {
+            rec.record(ObsSpan {
+                kind,
+                device: Some(0),
+                block_row: None,
+                start_ns: 0,
+                end_ns: 1,
+            });
+        }
+        let kinds: Vec<ObsKind> = rec.spans().iter().map(|s| s.kind).collect();
+        assert_eq!(kinds, vec![ObsKind::Kernel, ObsKind::Traceback]);
+    }
+
+    #[test]
+    fn spans_sorted_per_lane() {
+        let rec = Recorder::new(ObsLevel::Full);
+        let cases: [(Option<u32>, u64); 4] = [(Some(1), 50), (Some(0), 30), (None, 5), (Some(0), 10)];
+        for (dev, start) in cases {
+            rec.record(ObsSpan {
+                kind: ObsKind::Kernel,
+                device: dev,
+                block_row: None,
+                start_ns: start,
+                end_ns: start + 1,
+            });
+        }
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 4);
+        // Device lanes first (0 then 1), host lane last.
+        assert_eq!(spans[0].device, Some(0));
+        assert_eq!(spans[0].start_ns, 10);
+        assert_eq!(spans[1].device, Some(0));
+        assert_eq!(spans[1].start_ns, 30);
+        assert_eq!(spans[2].device, Some(1));
+        assert_eq!(spans[3].device, None);
+    }
+
+    #[test]
+    fn record_since_measures_wall_time() {
+        let rec = Recorder::new(ObsLevel::Full);
+        let t0 = rec.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        rec.record_since(ObsKind::Kernel, Some(0), Some(3), t0);
+        let spans = rec.spans();
+        assert_eq!(spans.len(), 1);
+        assert!(spans[0].duration_ns() >= 1_000_000);
+        assert_eq!(spans[0].block_row, Some(3));
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let rec = Recorder::new(ObsLevel::Full);
+        let clone = rec.clone();
+        clone.record(ObsSpan {
+            kind: ObsKind::Kernel,
+            device: Some(0),
+            block_row: None,
+            start_ns: 0,
+            end_ns: 1,
+        });
+        assert_eq!(rec.len(), 1);
+    }
+}

@@ -14,8 +14,7 @@
 
 use crate::dna::DnaSeq;
 use crate::alphabet::{Nucleotide, N_CODE};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 /// Configuration for [`ChromosomeGenerator`].
 #[derive(Debug, Clone)]
@@ -130,7 +129,7 @@ impl ChromosomeGenerator {
                 emit_repeat_copy(&mut codes, &mut rng, &element, remaining, cfg.repeat_decay);
             } else {
                 // A stretch of "unique" background sequence with GC drift.
-                let stretch = remaining.min(rng.gen_range(200..2_000));
+                let stretch = remaining.min(rng.gen_range(200usize..2_000));
                 for _ in 0..stretch {
                     let pos = codes.len();
                     let gc = drifted_gc(cfg, pos);

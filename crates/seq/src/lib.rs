@@ -30,6 +30,7 @@ pub mod generate;
 pub mod kmer;
 pub mod mutate;
 pub mod pair;
+pub mod rng;
 pub mod stats;
 
 pub use alphabet::Nucleotide;

@@ -10,8 +10,7 @@
 //! alignment band with local disruptions.
 
 use crate::dna::DnaSeq;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use crate::rng::ChaCha8Rng;
 
 /// Parameters of the divergence channel.
 #[derive(Debug, Clone)]

@@ -1,0 +1,252 @@
+//! Self-contained deterministic RNG so the workspace builds with no
+//! external crates (the tier-1 build must work offline).
+//!
+//! [`ChaCha8Rng`] runs the ChaCha stream cipher with 8 rounds, keyed by a
+//! `u64` seed expanded through SplitMix64. The surface mirrors the subset of
+//! `rand` the workspace used — `seed_from_u64`, `gen::<f64>()`,
+//! `gen::<bool>()`, `gen_range(a..b)` / `gen_range(a..=b)` — so generators
+//! stay deterministic and portable across platforms (everything is explicit
+//! wrapping u32/u64 arithmetic, no platform-dependent state).
+//!
+//! Streams produced here are *not* bit-compatible with the `rand_chacha`
+//! crate; every consumer in this workspace is self-seeded and asserts only
+//! statistical properties, so the swap is invisible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// ChaCha with 8 rounds, 64-bit seeded. Deterministic and portable.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means "exhausted".
+    idx: usize,
+}
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    /// Build a generator whose 256-bit key is the SplitMix64 expansion of
+    /// `seed`. Same seed ⇒ same stream, on every platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONST);
+        for i in 0..4 {
+            let k = splitmix64(&mut sm);
+            state[4 + 2 * i] = k as u32;
+            state[5 + 2 * i] = (k >> 32) as u32;
+        }
+        // words 12..13: block counter, 14..15: nonce (zero).
+        ChaCha8Rng { state, buf: [0u32; 16], idx: 16 }
+    }
+
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // Column round.
+            Self::quarter_round(&mut w, 0, 4, 8, 12);
+            Self::quarter_round(&mut w, 1, 5, 9, 13);
+            Self::quarter_round(&mut w, 2, 6, 10, 14);
+            Self::quarter_round(&mut w, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut w, 0, 5, 10, 15);
+            Self::quarter_round(&mut w, 1, 6, 11, 12);
+            Self::quarter_round(&mut w, 2, 7, 8, 13);
+            Self::quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (i, word) in w.iter().enumerate() {
+            self.buf[i] = word.wrapping_add(self.state[i]);
+        }
+        // 64-bit block counter in words 12..13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.idx = 0;
+    }
+
+    pub fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+
+    /// Sample a value; `T` is `f64` (uniform in `[0, 1)`) or `bool`.
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Uniform sample from a half-open or inclusive integer range.
+    /// Panics on an empty range, like `rand`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Uniform u64 in `[0, bound)` by rejection (no modulo bias).
+    fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound.is_power_of_two() {
+            return self.next_u64() & (bound - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % bound) - 1;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Types [`ChaCha8Rng::gen`] can produce.
+pub trait Sample {
+    fn sample(rng: &mut ChaCha8Rng) -> Self;
+}
+
+impl Sample for f64 {
+    fn sample(rng: &mut ChaCha8Rng) -> f64 {
+        // 53 high bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut ChaCha8Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut ChaCha8Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+/// Ranges [`ChaCha8Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut ChaCha8Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut ChaCha8Rng) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut ChaCha8Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range called with empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..2_000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3u8..=5);
+            assert!((3..=5).contains(&y));
+            let z = rng.gen_range(0usize..=0);
+            assert_eq!(z, 0);
+        }
+    }
+
+    #[test]
+    fn bounded_hits_every_value() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues {trues}");
+    }
+}

@@ -1,134 +1,175 @@
-//! Property-based tests for the sequence substrate.
+//! Randomized property tests for the sequence substrate.
+//!
+//! Deterministic seeded sweeps: each property runs over a fixed number of
+//! ChaCha8-generated cases, so failures reproduce exactly from the case
+//! index printed in the assertion message.
 
 use megasw_seq::fasta::{read_fasta, write_fasta, FastaRecord};
+use megasw_seq::rng::ChaCha8Rng;
 use megasw_seq::stats::seq_stats;
 use megasw_seq::{
     ChromosomeGenerator, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide, PackedDna,
 };
-use proptest::prelude::*;
 
-/// Arbitrary DNA sequence as raw codes (0..=4).
-fn dna_codes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    prop::collection::vec(0u8..=4, 0..max_len)
+const CASES: u64 = 48;
+
+/// Arbitrary DNA sequence as raw codes (0..=4), length in `0..max_len`.
+fn dna_codes(rng: &mut ChaCha8Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len.max(1));
+    (0..len).map(|_| rng.gen_range(0..=4u8)).collect()
 }
 
-proptest! {
-    #[test]
-    fn packing_roundtrips(codes in dna_codes(2_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn packing_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E10 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 2_000)).unwrap();
         let packed = PackedDna::pack(&seq);
-        prop_assert_eq!(packed.unpack(), seq);
+        assert_eq!(packed.unpack(), seq, "case {case}");
     }
+}
 
-    #[test]
-    fn packed_random_access_matches(codes in dna_codes(500)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn packed_random_access_matches() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E20 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 500)).unwrap();
         let packed = PackedDna::pack(&seq);
         for i in 0..seq.len() {
-            prop_assert_eq!(packed.get(i), seq.get(i));
+            assert_eq!(packed.get(i), seq.get(i), "case {case}, index {i}");
         }
-        prop_assert_eq!(packed.get(seq.len()), None);
+        assert_eq!(packed.get(seq.len()), None, "case {case}");
     }
+}
 
-    #[test]
-    fn packed_is_at_most_a_quarter_plus_runs(codes in dna_codes(4_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn packed_is_at_most_a_quarter_plus_runs() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E30 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 4_000)).unwrap();
         let packed = PackedDna::pack(&seq);
-        // 2 bits/base plus 16 bytes per N run; never larger than the
-        // unpacked form for realistic N densities is NOT guaranteed for
-        // adversarial alternating N patterns, but the word payload is.
-        prop_assert!(packed.packed_bytes() >= seq.len().div_ceil(4));
+        // 2 bits/base plus run metadata; the word payload is the floor.
+        assert!(
+            packed.packed_bytes() >= seq.len().div_ceil(4),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn reverse_complement_involution(codes in dna_codes(1_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
-        prop_assert_eq!(seq.reverse_complement().reverse_complement(), seq.clone());
-        prop_assert_eq!(seq.reversed().reversed(), seq.clone());
-        prop_assert_eq!(seq.reverse_complement().len(), seq.len());
+#[test]
+fn reverse_complement_involution() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E40 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 1_000)).unwrap();
+        assert_eq!(seq.reverse_complement().reverse_complement(), seq, "case {case}");
+        assert_eq!(seq.reversed().reversed(), seq, "case {case}");
+        assert_eq!(seq.reverse_complement().len(), seq.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn reverse_complement_preserves_gc(codes in dna_codes(1_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn reverse_complement_preserves_gc() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E50 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 1_000)).unwrap();
         let rc = seq.reverse_complement();
         // A<->T and C<->G swaps leave the GC count invariant.
-        prop_assert!((seq.gc_fraction() - rc.gc_fraction()).abs() < 1e-12);
-        prop_assert_eq!(seq.n_count(), rc.n_count());
+        assert!(
+            (seq.gc_fraction() - rc.gc_fraction()).abs() < 1e-12,
+            "case {case}"
+        );
+        assert_eq!(seq.n_count(), rc.n_count(), "case {case}");
     }
+}
 
-    #[test]
-    fn ascii_roundtrip(codes in dna_codes(1_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn ascii_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E60 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 1_000)).unwrap();
         let text = seq.to_ascii_string();
         let back = DnaSeq::from_ascii(text.as_bytes()).unwrap();
-        prop_assert_eq!(back, seq);
+        assert_eq!(back, seq, "case {case}");
     }
+}
 
-    #[test]
-    fn fasta_roundtrip_arbitrary_records(
-        seqs in prop::collection::vec(dna_codes(300), 1..5),
-        width in 1usize..100,
-    ) {
-        let records: Vec<FastaRecord> = seqs
-            .into_iter()
-            .enumerate()
-            .map(|(i, codes)| FastaRecord {
+#[test]
+fn fasta_roundtrip_arbitrary_records() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E70 + case);
+        let n_records = rng.gen_range(1..5usize);
+        let width = rng.gen_range(1..100usize);
+        let records: Vec<FastaRecord> = (0..n_records)
+            .map(|i| FastaRecord {
                 header: format!("rec{i} synthetic"),
-                seq: DnaSeq::from_codes(codes).unwrap(),
+                seq: DnaSeq::from_codes(dna_codes(&mut rng, 300)).unwrap(),
             })
             .collect();
         let mut buf = Vec::new();
         write_fasta(&mut buf, &records, width).unwrap();
         let back = read_fasta(&buf[..]).unwrap();
-        prop_assert_eq!(back, records);
+        assert_eq!(back, records, "case {case}, width {width}");
     }
+}
 
-    #[test]
-    fn generator_is_deterministic_and_sized(len in 0usize..30_000, seed in any::<u64>()) {
+#[test]
+fn generator_is_deterministic_and_sized() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E80 + case);
+        let len = rng.gen_range(0..30_000usize);
+        let seed = rng.gen::<u64>();
         let cfg = GenerateConfig::sized(len, seed);
         let s1 = ChromosomeGenerator::new(cfg.clone()).generate();
         let s2 = ChromosomeGenerator::new(cfg).generate();
-        prop_assert_eq!(&s1, &s2);
-        prop_assert_eq!(s1.len(), len);
+        assert_eq!(s1, s2, "case {case}");
+        assert_eq!(s1.len(), len, "case {case}");
     }
+}
 
-    #[test]
-    fn snp_divergence_preserves_length_and_counts(
-        len in 1usize..20_000,
-        seed in any::<u64>(),
-        rate in 0.0f64..0.3,
-    ) {
+#[test]
+fn snp_divergence_preserves_length_and_counts() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5E90 + case);
+        let len = rng.gen_range(1..20_000usize);
+        let seed = rng.gen::<u64>();
+        let rate = rng.gen::<f64>() * 0.3;
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
         let (b, summary) = DivergenceModel::snp_only(seed ^ 1, rate).apply(&a);
-        prop_assert_eq!(a.len(), b.len());
+        assert_eq!(a.len(), b.len(), "case {case}");
         let diff = a.codes().iter().zip(b.codes()).filter(|(x, y)| x != y).count();
-        prop_assert_eq!(diff, summary.substitutions);
+        assert_eq!(diff, summary.substitutions, "case {case}");
     }
+}
 
-    #[test]
-    fn divergence_channel_emits_valid_codes(
-        len in 0usize..10_000,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn divergence_channel_emits_valid_codes() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EA0 + case);
+        let len = rng.gen_range(0..10_000usize);
+        let seed = rng.gen::<u64>();
         let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
         let (b, _) = DivergenceModel::human_chimp_scaled(seed ^ 2, len).apply(&a);
-        prop_assert!(b.codes().iter().all(|&c| c <= 4));
+        assert!(b.codes().iter().all(|&c| c <= 4), "case {case}");
     }
+}
 
-    #[test]
-    fn stats_counts_sum_to_length(codes in dna_codes(3_000)) {
-        let seq = DnaSeq::from_codes(codes).unwrap();
+#[test]
+fn stats_counts_sum_to_length() {
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5EB0 + case);
+        let seq = DnaSeq::from_codes(dna_codes(&mut rng, 3_000)).unwrap();
         let st = seq_stats(&seq);
-        prop_assert_eq!(st.counts.iter().sum::<usize>(), seq.len());
-        prop_assert!(st.longest_homopolymer <= seq.len());
-        prop_assert!(st.gc_fraction >= 0.0 && st.gc_fraction <= 1.0);
+        assert_eq!(st.counts.iter().sum::<usize>(), seq.len(), "case {case}");
+        assert!(st.longest_homopolymer <= seq.len(), "case {case}");
+        assert!((0.0..=1.0).contains(&st.gc_fraction), "case {case}");
     }
+}
 
-    #[test]
-    fn nucleotide_code_ascii_bijection(code in 0u8..=4) {
+#[test]
+fn nucleotide_code_ascii_bijection() {
+    for code in 0u8..=4 {
         let n = Nucleotide::from_code(code).unwrap();
-        prop_assert_eq!(Nucleotide::from_ascii(n.to_ascii()), Some(n));
-        prop_assert_eq!(n.code(), code);
+        assert_eq!(Nucleotide::from_ascii(n.to_ascii()), Some(n));
+        assert_eq!(n.code(), code);
     }
 }

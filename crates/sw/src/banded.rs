@@ -32,8 +32,24 @@ pub struct BandedResult {
     /// The best cell sits within one diagonal of the band edge — a sign
     /// the band may be clipping the optimum.
     pub touched_edge: bool,
+    /// Highest `H` seen on a band-clipped boundary cell. A large value
+    /// means a strong alignment path reaches the band edge — the optimum
+    /// may dip outside the band mid-path even when the best *endpoint*
+    /// stays comfortably interior.
+    pub edge_best: Score,
     /// Band half-width used.
     pub width: usize,
+}
+
+impl BandedResult {
+    /// Could this result be limited by the band? True when the best cell
+    /// touches the edge, or when some boundary cell carries at least half
+    /// the best score (a serious candidate path crosses out of the band).
+    /// Random off-path matches score near zero, so they never trigger this
+    /// on pairs with a real alignment.
+    pub fn band_limited(&self) -> bool {
+        self.touched_edge || 2 * self.edge_best >= self.best.score.max(1)
+    }
 }
 
 /// Banded local alignment with half-width `width` (clamped to ≥ 1).
@@ -59,6 +75,7 @@ pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> Ba
             best: BestCell::ZERO,
             cells_computed: 0,
             touched_edge: false,
+            edge_best: 0,
             width,
         };
     }
@@ -74,6 +91,7 @@ pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> Ba
     let mut h_row = vec![0 as Score; n + 1];
     let mut f_row = vec![NEG_INF; n + 1];
     let mut best = BestCell::ZERO;
+    let mut edge_best: Score = 0;
     let mut cells: u128 = 0;
 
     for i in 1..=m {
@@ -120,6 +138,15 @@ pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> Ba
             f_row[j] = f;
         }
         cells += (j_hi - j_lo + 1) as u128;
+
+        // Boundary cells clipped by the *band* (not the matrix edge): a
+        // positive score here belongs to a path that widening could extend.
+        if j_lo as i64 == i as i64 + lo {
+            edge_best = edge_best.max(h_row[j_lo]);
+        }
+        if j_hi as i64 == i as i64 + hi {
+            edge_best = edge_best.max(h_row[j_hi]);
+        }
     }
 
     let touched_edge = if best.score > 0 {
@@ -133,20 +160,24 @@ pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> Ba
         best,
         cells_computed: cells,
         touched_edge,
+        edge_best,
         width,
     }
 }
 
 /// Double the band until the result is stable across **two consecutive
-/// doublings** with no edge contact. Returns the converged result.
+/// doublings** with no sign of band limitation. Returns the converged
+/// result.
 ///
-/// Requiring two stable doublings (rather than one) defends against score
-/// *plateaus*: a strong but sub-optimal in-band alignment can hold the
-/// best steady for one doubling while the true optimum sits on a diagonal
-/// offset just beyond the band (e.g. past a segmental insertion). The
-/// criterion remains a heuristic — only a band covering all `m + n`
-/// diagonals is a proof — but it converges on every divergence model this
-/// workspace generates (asserted by the property tests).
+/// Two signals force another doubling (see [`BandedResult::band_limited`]):
+/// the best endpoint sits on the band edge, or a boundary cell carries a
+/// score comparable to the best — the latter catches optimal paths whose
+/// *middle* dips outside the band (e.g. across a segmental insertion)
+/// while both endpoints stay interior. Requiring two stable doublings on
+/// top defends against score plateaus. The criterion remains a heuristic —
+/// only a band covering all `m + n` diagonals is a proof — but it converges
+/// on every divergence model this workspace generates (asserted by the
+/// property tests).
 pub fn banded_adaptive(
     a: &[u8],
     b: &[u8],
@@ -162,7 +193,7 @@ pub fn banded_adaptive(
             return result;
         }
         let wider = banded_best(a, b, scheme, width * 2);
-        if wider.best == result.best && !result.touched_edge && !wider.touched_edge {
+        if wider.best == result.best && !result.band_limited() && !wider.band_limited() {
             stable += 1;
             if stable >= 2 {
                 return result;

@@ -145,13 +145,13 @@ pub fn run_sequential(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme
     for r in 0..rows {
         let (i0, i1) = grid.row_range(r);
         let mut left = ColBorder::zero(i1 - i0);
-        for c in 0..cols {
+        for (c, top) in tops.iter_mut().enumerate() {
             let (j0, j1) = grid.col_range(c);
             let out: BlockOutput = compute_block(
                 BlockInput {
                     a_rows: &a[i0 - 1..i1 - 1],
                     b_cols: &b[j0 - 1..j1 - 1],
-                    top: &tops[c],
+                    top,
                     left: &left,
                     row_offset: i0,
                     col_offset: j0,
@@ -160,7 +160,7 @@ pub fn run_sequential(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme
             );
             best = best.merge(out.best);
             cells_computed += out.cells as u128;
-            tops[c] = out.bottom;
+            *top = out.bottom;
             left = out.right;
         }
         final_rights.push(left);

@@ -53,7 +53,9 @@ fn main() {
     );
     for cap in [1usize, knee, 64] {
         let cfg = base.clone().with_block(512).with_buffer_capacity(cap);
-        let report = run_pipeline(human.codes(), chimp.codes(), &platform, &cfg)
+        let report = PipelineRun::new(human.codes(), chimp.codes(), &platform)
+            .config(cfg.clone())
+            .run()
             .expect("pipeline run failed");
         let rs = report.devices[0]
             .ring_out

@@ -55,7 +55,9 @@ fn main() {
     let config = RunConfig::paper_default();
 
     let t0 = std::time::Instant::now();
-    let report = run_pipeline(pair.human.codes(), pair.chimp.codes(), &platform, &config)
+    let report = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &platform)
+        .config(config.clone())
+        .run()
         .expect("pipeline run failed");
     println!("stage 1 (score + endpoint) in {:.2?}:", t0.elapsed());
     print!("{report}");

@@ -43,7 +43,9 @@ fn main() {
     let platform = Platform::env2();
     let config = RunConfig::paper_default();
     println!("\ncomparing on {}…", platform.name);
-    let report = run_pipeline(rec_a.seq.codes(), rec_b.seq.codes(), &platform, &config)
+    let report = PipelineRun::new(rec_a.seq.codes(), rec_b.seq.codes(), &platform)
+        .config(config.clone())
+        .run()
         .expect("pipeline run failed");
     print!("\n{report}");
 

@@ -38,7 +38,9 @@ fn main() {
     );
 
     // 3. The threaded runtime: real DP, real rings, bit-exact result.
-    let report = run_pipeline(human.codes(), chimp.codes(), &platform, &config)
+    let report = PipelineRun::new(human.codes(), chimp.codes(), &platform)
+        .config(config.clone())
+        .run()
         .expect("pipeline run failed");
     println!("threaded pipeline:");
     print!("{report}");

@@ -18,7 +18,9 @@ fn invariant_to_block_geometry() {
         let mut cfg = RunConfig::paper_default();
         cfg.block_h = bh;
         cfg.block_w = bw;
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "block {bh}×{bw}");
     }
 }
@@ -31,7 +33,9 @@ fn invariant_to_buffer_capacity() {
         let cfg = RunConfig::paper_default()
             .with_block(64)
             .with_buffer_capacity(cap);
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "capacity {cap}");
         // Ring occupancy never exceeds the configured capacity.
         for d in &report.devices {
@@ -55,7 +59,9 @@ fn invariant_to_partition_policy() {
         let cfg = RunConfig::paper_default()
             .with_block(64)
             .with_partition(policy.clone());
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "policy {policy:?}");
     }
 }
@@ -67,7 +73,9 @@ fn invariant_to_device_count() {
     let base = Platform::homogeneous(catalog::m2090(), 6);
     for g in 1..=6 {
         let cfg = RunConfig::paper_default().with_block(64);
-        let report = run_pipeline(a.codes(), b.codes(), &base.take(g), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &base.take(g))
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "{g} devices");
         assert_eq!(report.devices.len(), g);
     }
@@ -87,8 +95,12 @@ fn invariant_to_device_order() {
         "bwd",
         vec![catalog::k20(), catalog::gtx680(), catalog::gtx_titan()],
     );
-    let r1 = run_pipeline(a.codes(), b.codes(), &forward, &cfg).unwrap();
-    let r2 = run_pipeline(a.codes(), b.codes(), &backward, &cfg).unwrap();
+    let r1 = PipelineRun::new(a.codes(), b.codes(), &forward)
+        .config(cfg.clone())
+        .run().unwrap();
+    let r2 = PipelineRun::new(a.codes(), b.codes(), &backward)
+        .config(cfg.clone())
+        .run().unwrap();
     assert_eq!(r1.best, want);
     assert_eq!(r2.best, want);
     // Proportional splits differ with order…
@@ -102,8 +114,12 @@ fn invariant_to_device_order() {
 fn repeated_runs_are_deterministic() {
     let (a, b) = pair(1_500, 6);
     let cfg = RunConfig::paper_default().with_block(64);
-    let r1 = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
-    let r2 = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let r1 = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run().unwrap();
+    let r2 = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run().unwrap();
     assert_eq!(r1.best, r2.best);
     assert_eq!(r1.total_bytes_transferred(), r2.total_bytes_transferred());
 }
@@ -136,7 +152,9 @@ fn adversarial_sequences_stay_consistent() {
     ];
     for (i, (a, b)) in cases.iter().enumerate() {
         let want = gotoh_best(a.codes(), b.codes(), &scheme);
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "case {i}");
     }
 }

@@ -36,7 +36,9 @@ fn all_backends_agree_on_homologous_pair() {
     // Multi-GPU threaded pipeline, both environments.
     for platform in [Platform::env1(), Platform::env2()] {
         let cfg = RunConfig::paper_default().with_block(128);
-        let report = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        let report = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone())
+            .run().unwrap();
         assert_eq!(report.best, want, "platform {}", platform.name);
     }
 }
@@ -51,12 +53,9 @@ fn pipeline_matches_reference_on_all_test_catalog_pairs() {
         let pair = ChromosomePair::generate(spec.clone());
         let want = gotoh_best(pair.human.codes(), pair.chimp.codes(), &scheme);
         let cfg = RunConfig::paper_default().with_block(512);
-        let report = run_pipeline(
-            pair.human.codes(),
-            pair.chimp.codes(),
-            &Platform::env2(),
-            &cfg,
-        )
+        let report = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run()
         .unwrap();
         assert_eq!(report.best, want, "pair {}", spec.name);
         assert_eq!(report.total_cells, pair.cells());
@@ -69,7 +68,9 @@ fn alignment_retrieval_composes_with_pipeline_result() {
     // recover an alignment whose score and endpoint match it exactly.
     let (a, b) = homologous_pair(3_000, 23);
     let cfg = RunConfig::paper_default().with_block(128);
-    let report = run_pipeline(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+        .config(cfg.clone())
+        .run().unwrap();
 
     let aln = local_align(a.codes(), b.codes(), &cfg.scheme);
     assert_eq!(aln.score, report.best.score);
@@ -97,12 +98,9 @@ fn fasta_roundtrip_feeds_the_pipeline() {
     let records = read_fasta(&buf[..]).unwrap();
     assert_eq!(records.len(), 2);
     let cfg = RunConfig::paper_default().with_block(128);
-    let report = run_pipeline(
-        records[0].seq.codes(),
-        records[1].seq.codes(),
-        &Platform::env1(),
-        &cfg,
-    )
+    let report = PipelineRun::new(records[0].seq.codes(), records[1].seq.codes(), &Platform::env1())
+        .config(cfg.clone())
+        .run()
     .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }
@@ -116,7 +114,9 @@ fn reverse_complement_strand_scores_differently_but_validly() {
     let scheme = ScoreScheme::cudalign();
     let want = gotoh_best(a.codes(), rc.codes(), &scheme);
     let cfg = RunConfig::paper_default().with_block(96);
-    let report = run_pipeline(a.codes(), rc.codes(), &Platform::env2(), &cfg).unwrap();
+    let report = PipelineRun::new(a.codes(), rc.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run().unwrap();
     assert_eq!(report.best, want);
     assert!(want.score <= scheme.max_possible(a.len(), rc.len()));
 }

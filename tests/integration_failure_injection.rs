@@ -20,16 +20,13 @@ fn every_device_and_phase_fails_cleanly() {
 
     for device in 0..3 {
         for row in [0, 1, rows / 2, rows - 1] {
-            let err = run_pipeline_with_faults(
-                a.codes(),
-                b.codes(),
-                &Platform::env2(),
-                &cfg,
-                Some(FaultPlan {
+            let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .faults(FaultPlan {
                     device,
                     fail_at_block_row: row,
-                }),
-            )
+                })
+                .run()
             .expect_err("faulted run must not succeed");
             let msg = err.to_string();
             assert!(
@@ -50,16 +47,13 @@ fn fault_with_tiny_buffers_does_not_deadlock() {
         let cfg = RunConfig::paper_default()
             .with_block(32)
             .with_buffer_capacity(1);
-        run_pipeline_with_faults(
-            a.codes(),
-            b.codes(),
-            &Platform::env2(),
-            &cfg,
-            Some(FaultPlan {
+        PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .faults(FaultPlan {
                 device: 1,
                 fail_at_block_row: 40,
-            }),
-        )
+            })
+            .run()
     });
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     while !handle.is_finished() {
@@ -78,16 +72,13 @@ fn fault_on_nonexistent_device_is_harmless() {
     let (a, b) = pair(1_000, 3);
     let cfg = RunConfig::paper_default().with_block(64);
     let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
-    let report = run_pipeline_with_faults(
-        a.codes(),
-        b.codes(),
-        &Platform::env1(),
-        &cfg,
-        Some(FaultPlan {
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+        .config(cfg.clone())
+        .faults(FaultPlan {
             device: 99,
             fail_at_block_row: 0,
-        }),
-    )
+        })
+        .run()
     .unwrap();
     assert_eq!(report.best, want);
 }
@@ -97,16 +88,13 @@ fn fault_past_last_row_never_triggers() {
     let (a, b) = pair(1_000, 4);
     let cfg = RunConfig::paper_default().with_block(64);
     let rows = a.len().div_ceil(cfg.block_h);
-    let report = run_pipeline_with_faults(
-        a.codes(),
-        b.codes(),
-        &Platform::env1(),
-        &cfg,
-        Some(FaultPlan {
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+        .config(cfg.clone())
+        .faults(FaultPlan {
             device: 0,
             fail_at_block_row: rows + 10,
-        }),
-    )
+        })
+        .run()
     .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }
@@ -115,16 +103,13 @@ fn fault_past_last_row_never_triggers() {
 fn single_device_fault_reports_directly() {
     let (a, b) = pair(800, 5);
     let cfg = RunConfig::paper_default().with_block(64);
-    let err = run_pipeline_with_faults(
-        a.codes(),
-        b.codes(),
-        &Platform::single(catalog::gtx680()),
-        &cfg,
-        Some(FaultPlan {
+    let err = PipelineRun::new(a.codes(), b.codes(), &Platform::single(catalog::gtx680()))
+        .config(cfg.clone())
+        .faults(FaultPlan {
             device: 0,
             fail_at_block_row: 2,
-        }),
-    )
+        })
+        .run()
     .unwrap_err();
     assert!(err.to_string().contains("device 0"));
 }
@@ -134,16 +119,15 @@ fn successive_runs_after_a_fault_are_unaffected() {
     // Faults poison per-run rings only; a fresh run must be clean.
     let (a, b) = pair(1_200, 6);
     let cfg = RunConfig::paper_default().with_block(64);
-    let _ = run_pipeline_with_faults(
-        a.codes(),
-        b.codes(),
-        &Platform::env2(),
-        &cfg,
-        Some(FaultPlan {
+    let _ = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .faults(FaultPlan {
             device: 1,
             fail_at_block_row: 3,
-        }),
-    );
-    let clean = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        })
+        .run();
+    let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .run().unwrap();
     assert_eq!(clean.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }

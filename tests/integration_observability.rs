@@ -1,0 +1,194 @@
+//! Golden observability tests: both backends must export a structurally
+//! valid Chrome trace, the threaded stall accounting must balance exactly
+//! against wall time, and the deprecated entry points must stay
+//! bit-identical to the builder they now wrap.
+
+use megasw::prelude::*;
+
+fn homologous_pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
+    let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+    let (b, _) = DivergenceModel::test_scale(seed + 99).apply(&a);
+    (a, b)
+}
+
+fn device_names(platform: &Platform) -> Vec<String> {
+    platform.devices.iter().map(|d| d.name.clone()).collect()
+}
+
+/// Per-lane start times must be monotonic — Perfetto renders out-of-order
+/// lanes, Chrome's legacy viewer silently drops them.
+fn assert_lane_monotonic(spans: &[ObsSpan]) {
+    let mut last: std::collections::BTreeMap<Option<u32>, u64> = Default::default();
+    for s in spans {
+        assert!(s.end_ns >= s.start_ns, "span ends before it starts: {s:?}");
+        let prev = last.entry(s.device).or_insert(0);
+        assert!(
+            s.start_ns >= *prev,
+            "lane {:?} goes backwards: {} after {}",
+            s.device,
+            s.start_ns,
+            prev
+        );
+        *prev = s.start_ns;
+    }
+}
+
+#[test]
+fn threaded_run_exports_a_valid_chrome_trace() {
+    let (a, b) = homologous_pair(4_000, 17);
+    let platform = Platform::env2();
+    let obs = Recorder::new(ObsLevel::Full);
+    let report = PipelineRun::new(a.codes(), b.codes(), &platform)
+        .config(RunConfig::paper_default().with_block(128))
+        .observer(obs.clone())
+        .run()
+        .unwrap();
+    assert!(report.best.score > 0);
+
+    let spans = obs.spans();
+    assert!(spans.iter().any(|s| s.kind == ObsKind::Kernel));
+    assert!(spans.iter().any(|s| s.kind == ObsKind::RingPush));
+    assert_lane_monotonic(&spans);
+
+    let names = device_names(&platform);
+    let check = validate_trace(&chrome_trace(&spans, &names)).unwrap();
+    assert_eq!(check.span_events, spans.len());
+    // One lane per device — every device of the chain did observable work.
+    for d in 0..platform.len() as u64 {
+        assert!(check.lanes.contains(&d), "device lane {d} missing");
+    }
+    // Lane metadata names the boards ("GPU{d} <board name>").
+    for (d, name) in names.iter().enumerate() {
+        let lane = check.lane_names.get(&(d as u64)).unwrap();
+        assert!(lane.contains(name), "lane {d} named {lane:?}");
+    }
+}
+
+#[test]
+fn des_twin_exports_a_valid_chrome_trace() {
+    let platform = Platform::env2();
+    let obs = Recorder::new(ObsLevel::Full);
+    let run = DesSim::new(300_000, 300_000, &platform)
+        .config(RunConfig::paper_default())
+        .observer(obs.clone())
+        .run();
+
+    let spans = obs.spans();
+    assert!(spans.iter().any(|s| s.kind == ObsKind::Kernel));
+    assert!(spans.iter().any(|s| s.kind == ObsKind::BorderXfer));
+    assert_lane_monotonic(&spans);
+    // Simulated timestamps live on the simulated clock: nothing outlasts
+    // the makespan.
+    let makespan = run.report.sim_time.unwrap().as_nanos();
+    assert!(spans.iter().all(|s| s.end_ns <= makespan));
+
+    let names = device_names(&platform);
+    let check = validate_trace(&chrome_trace(&spans, &names)).unwrap();
+    assert_eq!(check.span_events, spans.len());
+    for d in 0..platform.len() as u64 {
+        assert!(check.lanes.contains(&d), "device lane {d} missing");
+    }
+}
+
+#[test]
+fn threaded_stall_breakdown_balances_against_wall_time() {
+    let (a, b) = homologous_pair(3_000, 29);
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(RunConfig::paper_default().with_block(96))
+        .run()
+        .unwrap();
+    let wall_ns = report.wall_time.unwrap().as_nanos() as u64;
+    for d in &report.devices {
+        let busy_ns = d.wall_busy.unwrap().as_nanos() as u64;
+        let bd = d.stall.unwrap();
+        // The identity the paper's stall pictures rest on, exact in
+        // nanoseconds: startup + input + drain == wall − busy.
+        assert_eq!(
+            bd.total().as_nanos(),
+            wall_ns - busy_ns,
+            "device {}: {bd}",
+            d.device
+        );
+    }
+}
+
+#[test]
+fn metrics_summary_covers_the_run() {
+    let (a, b) = homologous_pair(2_000, 37);
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+        .config(RunConfig::paper_default().with_block(128))
+        .run()
+        .unwrap();
+    let m = report.metrics();
+    assert_eq!(
+        m.counter("cells.total"),
+        Some(u64::try_from(report.total_cells).unwrap())
+    );
+    assert_eq!(
+        m.counter("bytes.transferred"),
+        Some(report.total_bytes_transferred())
+    );
+    assert!(m.counter("ring.pushed").unwrap() > 0);
+    let text = m.to_string();
+    assert!(text.contains("gcups.wall"));
+    assert!(text.contains("stall.startup_ns"));
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_stay_bit_identical_to_the_builder() {
+    use megasw::multigpu::pipeline::{run_pipeline_anchored, run_pipeline_with_faults};
+
+    let (a, b) = homologous_pair(2_500, 43);
+    let cfg = RunConfig::paper_default().with_block(112);
+    for platform in [Platform::env1(), Platform::env2()] {
+        let new = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let old = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        assert_eq!(old.best, new.best, "platform {}", platform.name);
+        assert_eq!(old.total_cells, new.total_cells);
+
+        let new_anchored = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone())
+            .semantics(Semantics::Anchored)
+            .run()
+            .unwrap();
+        let old_anchored =
+            run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        assert_eq!(old_anchored.best, new_anchored.best);
+
+        // A plan that never fires: the fault path must not perturb results.
+        let plan = FaultPlan { device: 0, fail_at_block_row: usize::MAX };
+        let new_faults = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone())
+            .faults(plan)
+            .run()
+            .unwrap();
+        let old_faults =
+            run_pipeline_with_faults(a.codes(), b.codes(), &platform, &cfg, Some(plan)).unwrap();
+        assert_eq!(old_faults.best, new_faults.best);
+    }
+}
+
+#[test]
+fn obs_level_gates_what_both_backends_record() {
+    let (a, b) = homologous_pair(1_200, 51);
+    let cfg = RunConfig::paper_default().with_block(64);
+
+    let kernels_only = Recorder::new(ObsLevel::Kernels);
+    PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg.clone())
+        .observer(kernels_only.clone())
+        .run()
+        .unwrap();
+    assert!(kernels_only.spans().iter().all(|s| s.kind == ObsKind::Kernel));
+
+    let off = Recorder::new(ObsLevel::Off);
+    DesSim::new(50_000, 50_000, &Platform::env2())
+        .config(cfg)
+        .observer(off.clone())
+        .run();
+    assert!(off.is_empty());
+}

@@ -131,7 +131,9 @@ fn simulated_and_threaded_backends_share_the_partition_geometry() {
     let cfg = RunConfig::paper_default().with_block(512);
     let p = Platform::env2();
 
-    let threaded = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+    let threaded = PipelineRun::new(a.codes(), b.codes(), &p)
+        .config(cfg.clone())
+        .run().unwrap();
     let sim = run_des(m, n, &p, &cfg).report;
 
     assert_eq!(threaded.devices.len(), sim.devices.len());

@@ -95,12 +95,9 @@ fn banded_adaptive_agrees_with_pipeline_on_catalog_pair() {
     let cfg = RunConfig::paper_default();
 
     let banded = banded_adaptive(pair.human.codes(), pair.chimp.codes(), &scheme, 32);
-    let pipeline = run_pipeline(
-        pair.human.codes(),
-        pair.chimp.codes(),
-        &Platform::env1(),
-        &cfg,
-    )
+    let pipeline = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &Platform::env1())
+        .config(cfg.clone())
+        .run()
     .unwrap();
     assert_eq!(banded.best, pipeline.best);
 }
@@ -112,8 +109,13 @@ fn anchored_and_local_pipelines_relate_correctly() {
     let (a, b) = homologous_pair(3_000, 5);
     let cfg = RunConfig::paper_default().with_block(96);
     let p = Platform::env2();
-    let local = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
-    let anchored = run_pipeline_anchored(a.codes(), b.codes(), &p, &cfg).unwrap();
+    let local = PipelineRun::new(a.codes(), b.codes(), &p)
+        .config(cfg.clone())
+        .run().unwrap();
+    let anchored = PipelineRun::new(a.codes(), b.codes(), &p)
+        .config(cfg.clone())
+        .semantics(Semantics::Anchored)
+        .run().unwrap();
     assert!(anchored.best.score <= local.best.score);
     assert!(anchored.best.score >= 0, "origin score 0 is always anchored");
 }
