@@ -1,12 +1,33 @@
 #!/usr/bin/env bash
 # Offline CI gate for the megasw workspace: release build, full test
-# suite, and a warning-free clippy pass. No network access required —
-# the workspace has zero external dependencies.
+# suite, a warning-free clippy pass, formatting, and a bench-artifact
+# smoke pipeline. No network access required — the workspace has zero
+# external dependencies.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check
+
+# Perf-regression artifact smoke: produce a 1-sample artifact, check it
+# parses against the schema, and shape-check it against the committed
+# baseline (absolute GCUPS are host-dependent, so CI compares shapes
+# only). Also prove bench-diff's exit-code contract both ways: zero on
+# self-compare, nonzero on the synthetic-regression fixture.
+MEGASW_BENCH_SAMPLES=1 ./target/release/bench-artifact BENCH_ci.json
+./target/release/bench-diff BENCH_ci.json BENCH_ci.json
+./target/release/bench-diff --shape-only \
+    crates/bench/fixtures/BENCH_baseline.json BENCH_ci.json
+rc=0
+./target/release/bench-diff \
+    crates/bench/fixtures/BENCH_baseline.json \
+    crates/bench/fixtures/BENCH_regressed.json || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
+    exit 1
+fi
+rm -f BENCH_ci.json
 
 echo "ci: all gates passed"

@@ -16,7 +16,10 @@ fn bench_partition_policies() {
     let policies = [
         ("equal", PartitionPolicy::Equal),
         ("proportional", PartitionPolicy::Proportional),
-        ("skewed_4_1_1", PartitionPolicy::Explicit(vec![4.0, 1.0, 1.0])),
+        (
+            "skewed_4_1_1",
+            PartitionPolicy::Explicit(vec![4.0, 1.0, 1.0]),
+        ),
     ];
     for (name, policy) in policies {
         let cfg = RunConfig::paper_default()

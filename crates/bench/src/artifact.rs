@@ -1,0 +1,500 @@
+//! Schema-versioned benchmark artifacts and regression diffing.
+//!
+//! The bench harness prints human-readable tables; this module is the
+//! machine-readable half of the perf story. `bench-artifact` serializes
+//! one run's results as `BENCH_<n>.json` — per-experiment GCUPS samples,
+//! the stall breakdown, span-duration quantiles and a host fingerprint —
+//! and `bench-diff` compares two artifacts, exiting nonzero when the
+//! current run regresses past a threshold. CI keeps a committed baseline
+//! and shape-checks every smoke run against it, so schema drift and perf
+//! cliffs both fail loudly instead of rotting in a table nobody reads.
+//!
+//! Everything here round-trips through the dependency-free JSON parser in
+//! `megasw_obs::json`; the writer is the only JSON producer, so the format
+//! stays line-stable and diffable.
+
+use megasw::prelude::MetricsRegistry;
+use megasw_obs::json::{self, escape, Value};
+use std::fmt::Write as _;
+
+/// Identifies the artifact format. Bump [`SCHEMA_VERSION`] on any breaking
+/// change to the JSON shape; `bench-diff` refuses to compare versions it
+/// does not understand.
+pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Where the numbers came from: enough to tell two hosts apart, not enough
+/// to identify anyone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostInfo {
+    pub os: String,
+    pub arch: String,
+    pub cpus: u64,
+}
+
+impl HostInfo {
+    /// Fingerprint the current host.
+    pub fn current() -> HostInfo {
+        HostInfo {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cpus: std::thread::available_parallelism()
+                .map(|n| n.get() as u64)
+                .unwrap_or(1),
+        }
+    }
+}
+
+/// One named quantile summary (typically a span-duration histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSummary {
+    pub name: String,
+    pub count: u64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// One benchmark experiment's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Stable identifier, e.g. `pipeline.env1.2gpu`.
+    pub name: String,
+    /// DP cells per sample.
+    pub cells: u64,
+    /// GCUPS of the median / fastest / slowest sample.
+    pub gcups_median: f64,
+    pub gcups_min: f64,
+    pub gcups_max: f64,
+    /// Summed stall accounting across devices, nanoseconds.
+    pub stall_startup_ns: u64,
+    pub stall_input_ns: u64,
+    pub stall_drain_ns: u64,
+    /// Span-duration quantiles, in name order.
+    pub quantiles: Vec<QuantileSummary>,
+}
+
+impl Experiment {
+    /// Pull the stall counters and every `span.*.duration_ns` histogram out
+    /// of a run's metrics registry.
+    pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Experiment {
+        self.stall_startup_ns = metrics.counter("stall.startup_ns").unwrap_or(0);
+        self.stall_input_ns = metrics.counter("stall.input_ns").unwrap_or(0);
+        self.stall_drain_ns = metrics.counter("stall.drain_ns").unwrap_or(0);
+        for (name, h) in metrics.histograms() {
+            if name.starts_with("span.") && name.ends_with(".duration_ns") {
+                self.quantiles.push(QuantileSummary {
+                    name: name.to_string(),
+                    count: h.count,
+                    p50: h.p50(),
+                    p90: h.p90(),
+                    p99: h.p99(),
+                });
+            }
+        }
+        self
+    }
+}
+
+/// A complete artifact: schema header, host fingerprint, experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifact {
+    pub schema_version: u64,
+    pub host: HostInfo,
+    /// Samples per experiment (the `MEGASW_BENCH_SAMPLES` knob).
+    pub samples: u64,
+    pub experiments: Vec<Experiment>,
+}
+
+impl Artifact {
+    pub fn new(samples: u64) -> Artifact {
+        Artifact {
+            schema_version: SCHEMA_VERSION,
+            host: HostInfo::current(),
+            samples,
+            experiments: Vec::new(),
+        }
+    }
+
+    /// Serialize to the canonical JSON layout.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA_NAME}\",");
+        let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
+        let _ = writeln!(
+            out,
+            "  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}},",
+            escape(&self.host.os),
+            escape(&self.host.arch),
+            self.host.cpus
+        );
+        let _ = writeln!(out, "  \"samples\": {},", self.samples);
+        out.push_str("  \"experiments\": [");
+        for (i, e) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(
+                out,
+                "\"name\": \"{}\", \"cells\": {}, ",
+                escape(&e.name),
+                e.cells
+            );
+            let _ = write!(
+                out,
+                "\"gcups\": {{\"median\": {}, \"min\": {}, \"max\": {}}}, ",
+                num(e.gcups_median),
+                num(e.gcups_min),
+                num(e.gcups_max)
+            );
+            let _ = write!(
+                out,
+                "\"stall_ns\": {{\"startup\": {}, \"input\": {}, \"drain\": {}}}, ",
+                e.stall_startup_ns, e.stall_input_ns, e.stall_drain_ns
+            );
+            out.push_str("\"quantiles\": {");
+            for (qi, q) in e.quantiles.iter().enumerate() {
+                if qi > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                    escape(&q.name),
+                    q.count,
+                    num(q.p50),
+                    num(q.p90),
+                    num(q.p99)
+                );
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parse and structurally validate an artifact document.
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let v = json::parse(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Value::as_str)
+            .ok_or("missing \"schema\" member")?;
+        if schema != SCHEMA_NAME {
+            return Err(format!("not a bench artifact (schema {schema:?})"));
+        }
+        let schema_version = req_u64(&v, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build understands {SCHEMA_VERSION})"
+            ));
+        }
+        let host = v.get("host").ok_or("missing \"host\" member")?;
+        let host = HostInfo {
+            os: req_str(host, "os")?,
+            arch: req_str(host, "arch")?,
+            cpus: req_u64(host, "cpus")?,
+        };
+        let samples = req_u64(&v, "samples")?;
+        let mut experiments = Vec::new();
+        let exps = v
+            .get("experiments")
+            .and_then(Value::as_array)
+            .ok_or("missing \"experiments\" array")?;
+        for (i, e) in exps.iter().enumerate() {
+            let ctx = |m: &str| format!("experiment {i}: {m}");
+            let gcups = e.get("gcups").ok_or_else(|| ctx("missing \"gcups\""))?;
+            let stall = e
+                .get("stall_ns")
+                .ok_or_else(|| ctx("missing \"stall_ns\""))?;
+            let mut quantiles = Vec::new();
+            if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
+                for (name, q) in qs {
+                    quantiles.push(QuantileSummary {
+                        name: name.clone(),
+                        count: req_u64(q, "count").map_err(|m| ctx(&m))?,
+                        p50: req_f64(q, "p50").map_err(|m| ctx(&m))?,
+                        p90: req_f64(q, "p90").map_err(|m| ctx(&m))?,
+                        p99: req_f64(q, "p99").map_err(|m| ctx(&m))?,
+                    });
+                }
+            } else {
+                return Err(ctx("missing \"quantiles\" object"));
+            }
+            experiments.push(Experiment {
+                name: req_str(e, "name").map_err(|m| ctx(&m))?,
+                cells: req_u64(e, "cells").map_err(|m| ctx(&m))?,
+                gcups_median: req_f64(gcups, "median").map_err(|m| ctx(&m))?,
+                gcups_min: req_f64(gcups, "min").map_err(|m| ctx(&m))?,
+                gcups_max: req_f64(gcups, "max").map_err(|m| ctx(&m))?,
+                stall_startup_ns: req_u64(stall, "startup").map_err(|m| ctx(&m))?,
+                stall_input_ns: req_u64(stall, "input").map_err(|m| ctx(&m))?,
+                stall_drain_ns: req_u64(stall, "drain").map_err(|m| ctx(&m))?,
+                quantiles,
+            });
+        }
+        if experiments.is_empty() {
+            return Err("artifact has no experiments".into());
+        }
+        Ok(Artifact {
+            schema_version,
+            host,
+            samples,
+            experiments,
+        })
+    }
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .map(|f| f as u64)
+        .ok_or_else(|| format!("missing numeric \"{key}\" member"))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing numeric \"{key}\" member"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string \"{key}\" member"))
+}
+
+/// One experiment's baseline-versus-current comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentDelta {
+    pub name: String,
+    pub baseline_gcups: f64,
+    pub current_gcups: f64,
+    /// Relative change in median GCUPS: positive = faster, negative =
+    /// slower. `(current − baseline) / baseline`.
+    pub delta: f64,
+}
+
+/// Result of diffing two artifacts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DiffReport {
+    pub deltas: Vec<ExperimentDelta>,
+    /// Experiment names present only in the baseline / only in the current
+    /// artifact. Either kind is a shape mismatch.
+    pub only_in_baseline: Vec<String>,
+    pub only_in_current: Vec<String>,
+}
+
+impl DiffReport {
+    /// Experiments whose median GCUPS dropped by more than `threshold`
+    /// (e.g. `0.05` = 5%).
+    pub fn regressions(&self, threshold: f64) -> Vec<&ExperimentDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.delta < -threshold)
+            .collect()
+    }
+
+    /// True when the two artifacts cover the same experiment set.
+    pub fn shapes_match(&self) -> bool {
+        self.only_in_baseline.is_empty() && self.only_in_current.is_empty()
+    }
+
+    /// Human-readable comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>10} {:>10} {:>8}",
+            "experiment", "baseline", "current", "delta"
+        );
+        for d in &self.deltas {
+            let _ = writeln!(
+                out,
+                "{:<32} {:>10.3} {:>10.3} {:>+7.1}%",
+                d.name,
+                d.baseline_gcups,
+                d.current_gcups,
+                100.0 * d.delta
+            );
+        }
+        for n in &self.only_in_baseline {
+            let _ = writeln!(out, "{n:<32} (missing from current artifact)");
+        }
+        for n in &self.only_in_current {
+            let _ = writeln!(out, "{n:<32} (new in current artifact)");
+        }
+        out
+    }
+}
+
+/// Compare two artifacts by experiment name, on median GCUPS.
+pub fn diff(baseline: &Artifact, current: &Artifact) -> DiffReport {
+    let mut report = DiffReport::default();
+    for b in &baseline.experiments {
+        match current.experiments.iter().find(|c| c.name == b.name) {
+            Some(c) => report.deltas.push(ExperimentDelta {
+                name: b.name.clone(),
+                baseline_gcups: b.gcups_median,
+                current_gcups: c.gcups_median,
+                delta: if b.gcups_median > 0.0 {
+                    (c.gcups_median - b.gcups_median) / b.gcups_median
+                } else {
+                    0.0
+                },
+            }),
+            None => report.only_in_baseline.push(b.name.clone()),
+        }
+    }
+    for c in &current.experiments {
+        if !baseline.experiments.iter().any(|b| b.name == c.name) {
+            report.only_in_current.push(c.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_artifact(gcups: f64) -> Artifact {
+        let mut a = Artifact::new(3);
+        a.experiments.push(Experiment {
+            name: "pipeline.env1.2gpu".into(),
+            cells: 4_000_000,
+            gcups_median: gcups,
+            gcups_min: gcups * 0.9,
+            gcups_max: gcups * 1.1,
+            stall_startup_ns: 1_000,
+            stall_input_ns: 2_000,
+            stall_drain_ns: 3_000,
+            quantiles: vec![QuantileSummary {
+                name: "span.kernel.duration_ns".into(),
+                count: 40,
+                p50: 1.0e6,
+                p90: 1.5e6,
+                p99: 2.0e6,
+            }],
+        });
+        a.experiments.push(Experiment {
+            name: "pipeline.env2.3gpu".into(),
+            cells: 4_000_000,
+            gcups_median: gcups * 2.0,
+            gcups_min: gcups * 1.8,
+            gcups_max: gcups * 2.2,
+            stall_startup_ns: 0,
+            stall_input_ns: 0,
+            stall_drain_ns: 0,
+            quantiles: Vec::new(),
+        });
+        a
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let a = sample_artifact(0.25);
+        let parsed = Artifact::parse(&a.to_json()).unwrap();
+        assert_eq!(a, parsed);
+    }
+
+    #[test]
+    fn validation_rejects_malformed_documents() {
+        assert!(Artifact::parse("not json").is_err());
+        assert!(Artifact::parse("{}").is_err());
+        assert!(Artifact::parse("{\"schema\": \"something-else\"}").is_err());
+        // Wrong version is an explicit refusal, not a silent parse.
+        let wrong = sample_artifact(1.0)
+            .to_json()
+            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+        let err = Artifact::parse(&wrong).unwrap_err();
+        assert!(err.contains("schema_version"), "{err}");
+        // An empty experiment list carries no information.
+        let empty = sample_artifact(1.0);
+        let text = Artifact {
+            experiments: Vec::new(),
+            ..empty
+        }
+        .to_json();
+        assert!(Artifact::parse(&text).is_err());
+    }
+
+    #[test]
+    fn self_diff_reports_zero_change() {
+        let a = sample_artifact(0.25);
+        let report = diff(&a, &a);
+        assert!(report.shapes_match());
+        assert!(report.regressions(0.0).is_empty());
+        assert!(report.deltas.iter().all(|d| d.delta == 0.0));
+    }
+
+    #[test]
+    fn regression_is_flagged_past_the_threshold() {
+        let base = sample_artifact(1.0);
+        let slower = sample_artifact(0.8); // 20% down across the board
+        let report = diff(&base, &slower);
+        assert_eq!(report.regressions(0.05).len(), 2);
+        assert!(report.regressions(0.25).is_empty());
+        // Improvements never count as regressions.
+        let faster = sample_artifact(1.5);
+        assert!(diff(&base, &faster).regressions(0.05).is_empty());
+    }
+
+    #[test]
+    fn shape_mismatches_are_reported_by_name() {
+        let base = sample_artifact(1.0);
+        let mut cur = sample_artifact(1.0);
+        cur.experiments.remove(1);
+        cur.experiments.push(Experiment {
+            name: "pipeline.new".into(),
+            ..base.experiments[0].clone()
+        });
+        let report = diff(&base, &cur);
+        assert!(!report.shapes_match());
+        assert_eq!(report.only_in_baseline, vec!["pipeline.env2.3gpu"]);
+        assert_eq!(report.only_in_current, vec!["pipeline.new"]);
+        let text = report.render();
+        assert!(text.contains("missing from current"));
+        assert!(text.contains("new in current"));
+    }
+
+    #[test]
+    fn with_metrics_extracts_stalls_and_span_quantiles() {
+        let mut m = MetricsRegistry::new();
+        m.incr("stall.startup_ns", 11);
+        m.incr("stall.input_ns", 22);
+        m.incr("stall.drain_ns", 33);
+        for v in [10.0, 20.0, 30.0] {
+            m.observe("span.kernel.duration_ns", v);
+        }
+        m.observe("device.utilization", 0.9); // not a span — excluded
+        let e = Experiment {
+            name: "x".into(),
+            cells: 1,
+            gcups_median: 1.0,
+            gcups_min: 1.0,
+            gcups_max: 1.0,
+            stall_startup_ns: 0,
+            stall_input_ns: 0,
+            stall_drain_ns: 0,
+            quantiles: Vec::new(),
+        }
+        .with_metrics(&m);
+        assert_eq!(e.stall_startup_ns, 11);
+        assert_eq!(e.stall_input_ns, 22);
+        assert_eq!(e.stall_drain_ns, 33);
+        assert_eq!(e.quantiles.len(), 1);
+        assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
+        assert_eq!(e.quantiles[0].count, 3);
+    }
+}

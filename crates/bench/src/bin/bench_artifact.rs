@@ -1,0 +1,136 @@
+//! `bench-artifact` — run the regression-tracked benchmark set and write a
+//! schema-versioned `BENCH_<n>.json` artifact.
+//!
+//! ```text
+//! bench-artifact [OUT.json]          # default BENCH_1.json
+//! MEGASW_BENCH_SAMPLES=1 bench-artifact BENCH_ci.json   # CI smoke run
+//! ```
+//!
+//! The experiment set deliberately mirrors the paper's environments on
+//! workloads small enough to finish in seconds: the threaded pipeline on
+//! env1 and env2 (host-CPU GCUPS — noisy, threshold accordingly) plus the
+//! deterministic discrete-event run of env2 (simulated GCUPS — bit-stable
+//! across hosts, the anchor `bench-diff` can hold tight). Each experiment
+//! carries its stall breakdown and span-duration quantiles, so a diff can
+//! say not just "slower" but "slower because input stalls doubled".
+
+use megasw::prelude::*;
+use megasw_bench::artifact::{Artifact, Experiment};
+use megasw_bench::{cached_pair, gcups};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_1.json".to_string());
+    let samples: u64 = std::env::var("MEGASW_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    let mut artifact = Artifact::new(samples);
+    let pair_len = 20_000;
+    let (a, b) = cached_pair(pair_len, 11);
+    let config = RunConfig::paper_default();
+
+    for (name, platform) in [
+        ("pipeline.env1.2gpu", Platform::env1()),
+        ("pipeline.env2.3gpu", Platform::env2()),
+    ] {
+        eprintln!("running {name} ({samples} samples)…");
+        artifact.experiments.push(run_pipeline_experiment(
+            name,
+            a.codes(),
+            b.codes(),
+            &platform,
+            &config,
+            samples,
+        ));
+    }
+
+    eprintln!("running des.env2.3gpu…");
+    artifact.experiments.push(run_des_experiment(
+        "des.env2.3gpu",
+        &Platform::env2(),
+        &config,
+    ));
+
+    if let Err(e) = std::fs::write(&out, artifact.to_json()) {
+        eprintln!("error: cannot write {out}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "wrote {out}: {} experiments, {samples} samples each",
+        artifact.experiments.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Time the threaded pipeline `samples` times; attach the stall/span
+/// metrics of one observed run.
+fn run_pipeline_experiment(
+    name: &str,
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    samples: u64,
+) -> Experiment {
+    let cells = (a.len() * b.len()) as u64;
+    let mut rates: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let report = PipelineRun::new(a, b, platform)
+                .config(config.clone())
+                .run()
+                .expect("benchmark pipeline run failed");
+            std::hint::black_box(report.best);
+            gcups(u128::from(cells), t.elapsed().as_secs_f64())
+        })
+        .collect();
+    rates.sort_by(|x, y| x.total_cmp(y));
+
+    let obs = Recorder::new(ObsLevel::Full);
+    let report = PipelineRun::new(a, b, platform)
+        .config(config.clone())
+        .observer(obs.clone())
+        .run()
+        .expect("observed benchmark pipeline run failed");
+    Experiment {
+        name: name.to_string(),
+        cells,
+        gcups_median: rates[rates.len() / 2],
+        gcups_min: rates[0],
+        gcups_max: rates[rates.len() - 1],
+        stall_startup_ns: 0,
+        stall_input_ns: 0,
+        stall_drain_ns: 0,
+        quantiles: Vec::new(),
+    }
+    .with_metrics(&report.metrics_with_spans(&obs.spans()))
+}
+
+/// The deterministic anchor: one simulated paper-scale run. Identical on
+/// every host, so any delta here is a real behavioural change.
+fn run_des_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Experiment {
+    let (m, n) = (1_000_000, 1_000_000);
+    let obs = Recorder::new(ObsLevel::Full);
+    let run = DesSim::new(m, n, platform)
+        .config(config.clone())
+        .observer(obs.clone())
+        .run();
+    let g = run.report.gcups_sim.unwrap_or(0.0);
+    Experiment {
+        name: name.to_string(),
+        cells: (m * n) as u64,
+        gcups_median: g,
+        gcups_min: g,
+        gcups_max: g,
+        stall_startup_ns: 0,
+        stall_input_ns: 0,
+        stall_drain_ns: 0,
+        quantiles: Vec::new(),
+    }
+    .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
+}

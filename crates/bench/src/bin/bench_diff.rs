@@ -1,0 +1,110 @@
+//! `bench-diff` — compare two `BENCH_<n>.json` artifacts and fail on
+//! regression.
+//!
+//! ```text
+//! bench-diff BASELINE.json CURRENT.json [--threshold-pct P] [--shape-only]
+//! ```
+//!
+//! Exit status:
+//! * `0` — artifacts parse, cover the same experiments, and no experiment's
+//!   median GCUPS dropped by more than the threshold (default 10%);
+//! * `1` — a regression past the threshold, or (always) a shape mismatch;
+//! * `2` — an artifact is missing, unreadable, or schema-invalid.
+//!
+//! `--shape-only` skips the performance comparison and only verifies the
+//! two artifacts describe the same experiment set — what CI uses when
+//! comparing a fresh smoke run against the committed baseline from a
+//! different machine.
+
+use megasw_bench::artifact::{diff, Artifact};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(regressed) => {
+            if regressed {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!(
+                "usage: bench-diff BASELINE.json CURRENT.json [--threshold-pct P] [--shape-only]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(mut args: Vec<String>) -> Result<bool, String> {
+    let shape_only = take_flag(&mut args, "--shape-only");
+    let threshold_pct = take_value(&mut args, "--threshold-pct")?
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|_| format!("invalid --threshold-pct {s:?}"))
+        })
+        .transpose()?
+        .unwrap_or(10.0);
+    if !(0.0..=100.0).contains(&threshold_pct) {
+        return Err("--threshold-pct must be within [0, 100]".into());
+    }
+    if args.len() != 2 {
+        return Err(format!("expected 2 artifact paths, got {}", args.len()));
+    }
+
+    let baseline = load(&args[0])?;
+    let current = load(&args[1])?;
+    let report = diff(&baseline, &current);
+    print!("{}", report.render());
+
+    if !report.shapes_match() {
+        println!("FAIL: experiment sets differ");
+        return Ok(true);
+    }
+    if shape_only {
+        println!("OK: shapes match ({} experiments)", report.deltas.len());
+        return Ok(false);
+    }
+    let regressions = report.regressions(threshold_pct / 100.0);
+    if regressions.is_empty() {
+        println!("OK: no regression beyond {threshold_pct}%");
+        Ok(false)
+    } else {
+        for r in &regressions {
+            println!(
+                "FAIL: {} regressed {:.1}% (threshold {threshold_pct}%)",
+                r.name,
+                -100.0 * r.delta
+            );
+        }
+        Ok(true)
+    }
+}
+
+fn load(path: &str) -> Result<Artifact, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Artifact::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(idx) = args.iter().position(|a| a == name) {
+        args.remove(idx);
+        true
+    } else {
+        false
+    }
+}
+
+fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(idx) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if idx + 1 >= args.len() {
+        return Err(format!("{name} requires a value"));
+    }
+    let value = args.remove(idx + 1);
+    args.remove(idx);
+    Ok(Some(value))
+}

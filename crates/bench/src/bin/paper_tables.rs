@@ -19,10 +19,12 @@ use std::time::Instant;
 fn main() {
     let mut wanted: Vec<String> = std::env::args().skip(1).collect();
     if wanted.is_empty() {
-        wanted = ["t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "k1", "verify"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = [
+            "t1", "t2", "t3", "f1", "f2", "f3", "f4", "f5", "f6", "k1", "verify",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     }
     println!("megasw paper-tables — reproducing the PPoPP'14 evaluation shape");
     println!("(simulated 2012-era hardware; see DESIGN.md §2 for the substitution)");
@@ -47,7 +49,15 @@ fn main() {
 
 /// T1 — the benchmark sequence pairs (paper Table 1 analogue).
 fn table1() {
-    let header = ["pair", "human bp", "chimp bp", "cells", "GC %", "SNP %", "len ratio"];
+    let header = [
+        "pair",
+        "human bp",
+        "chimp bp",
+        "cells",
+        "GC %",
+        "SNP %",
+        "len ratio",
+    ];
     let mut rows = Vec::new();
     for spec in &PairCatalog::default_scale().specs {
         let pair = ChromosomePair::generate(spec.clone());
@@ -87,7 +97,10 @@ fn gcups_rows(platform: &Platform) -> Vec<Vec<String>> {
     let cfg = RunConfig::paper_default();
     let mut rows = Vec::new();
     for spec in &PairCatalog::paper_scale().specs {
-        let mut row = vec![spec.name.to_string(), format!("{:.2e}", spec.cells() as f64)];
+        let mut row = vec![
+            spec.name.to_string(),
+            format!("{:.2e}", spec.cells() as f64),
+        ];
         for g in 1..=platform.len() {
             let sub = platform.take(g);
             let rep = run_des(spec.human_len, spec.chimp_len, &sub, &cfg).report;
@@ -187,7 +200,14 @@ fn figure_size_sweep() {
     let p = Platform::env2();
     let header = ["side bp", "GCUPS", "% of plateau"];
     let sizes = [
-        62_500usize, 125_000, 250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000,
+        62_500usize,
+        125_000,
+        250_000,
+        500_000,
+        1_000_000,
+        2_000_000,
+        4_000_000,
+        8_000_000,
         16_000_000,
     ];
     let series: Vec<f64> = sizes
@@ -256,7 +276,10 @@ fn figure_buffer() {
         ]);
     }
     let t = render_table(
-        &format!("F3: GCUPS vs circular-buffer capacity on {} (1 MBP²)", p.name),
+        &format!(
+            "F3: GCUPS vs circular-buffer capacity on {} (1 MBP²)",
+            p.name
+        ),
         &header,
         &rows,
     );
@@ -284,18 +307,12 @@ fn figure_balance() {
     ] {
         let run = run_des(m, n, &p, &cfg.clone().with_partition(policy));
         let rep = &run.report;
-        let mut row = vec![
-            name.to_string(),
-            format!("{:.2}", rep.gcups_sim.unwrap()),
-        ];
+        let mut row = vec![name.to_string(), format!("{:.2}", rep.gcups_sim.unwrap())];
         for d in &rep.devices {
             row.push(format!("{:.1}", d.sim_utilization.unwrap() * 100.0));
         }
         // Where the fast board's idle goes: drain = it finished early.
-        row.push(format!(
-            "{:.1}",
-            run.stalls[0].drain.as_secs_f64() * 1e3
-        ));
+        row.push(format!("{:.1}", run.stalls[0].drain.as_secs_f64() * 1e3));
         rows.push(row);
     }
     let t = render_table(
@@ -323,7 +340,11 @@ fn figure_overlap() {
             format!("{:.2}×", fine / bulk),
         ]);
     }
-    let t = render_table("F5: fine-grain overlap vs bulk-synchronous (2 MBP²)", &header, &rows);
+    let t = render_table(
+        "F5: fine-grain overlap vs bulk-synchronous (2 MBP²)",
+        &header,
+        &rows,
+    );
     print!("{t}");
     print!("{}", render_csv("f5", &header, &rows));
 }
@@ -393,12 +414,20 @@ fn kernel_table() {
 
     let t0 = Instant::now();
     let _ = antidiag_best(a.codes(), b.codes(), &scheme);
-    push("anti-diagonal (serial)", t0.elapsed().as_secs_f64(), String::new());
+    push(
+        "anti-diagonal (serial)",
+        t0.elapsed().as_secs_f64(),
+        String::new(),
+    );
 
     let grid = BlockGrid::new(a.len(), b.len(), 512, 512);
     let t0 = Instant::now();
     let _ = run_sequential(a.codes(), b.codes(), &grid, &scheme);
-    push("blocked grid 512²", t0.elapsed().as_secs_f64(), String::new());
+    push(
+        "blocked grid 512²",
+        t0.elapsed().as_secs_f64(),
+        String::new(),
+    );
 
     let t0 = Instant::now();
     let pr = run_pruned(a.codes(), b.codes(), &grid, &scheme);

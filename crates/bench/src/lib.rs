@@ -14,6 +14,8 @@
 //! This crate-level library holds what both share: cached workload pairs
 //! and table-formatting helpers.
 
+pub mod artifact;
+
 use megasw::prelude::*;
 use std::sync::OnceLock;
 

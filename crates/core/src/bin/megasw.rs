@@ -15,11 +15,14 @@
 
 use megasw::gpusim::trace::render_gantt;
 use megasw::multigpu::autotune::autotune;
-use megasw::multigpu::stages::multigpu_local_align_observed;
+use megasw::multigpu::stages::multigpu_local_align_live;
 use megasw::prelude::*;
 use megasw::seq::fasta::{read_single_fasta, write_fasta, FastaRecord};
 use std::fs::File;
+use std::io::Write as _;
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,9 +84,17 @@ observability flags (compare, align, simulate):
   --trace-out PATH  write a Chrome trace-event JSON of the run; open it in
                     chrome://tracing or https://ui.perfetto.dev
   --metrics         print the per-run metrics registry (GCUPS, ring
-                    occupancy, stall accounting)
+                    occupancy, stall accounting, span-duration percentiles)
+  --metrics-format F
+                    text | prom | json — how --metrics renders (default text;
+                    prom is Prometheus text exposition)
   --obs-level L     off | kernels | full — how much the recorder keeps
                     (default: full when --trace-out is given, off otherwise)
+  --progress        live progress line on stderr while the run executes:
+                    percent done, instantaneous + cumulative GCUPS,
+                    per-device imbalance and ring occupancy
+  --progress-interval-ms N
+                    sampling interval for --progress (default 500)
 ";
 
 // ---------------------------------------------------------------------------
@@ -93,9 +104,15 @@ observability flags (compare, align, simulate):
 fn cmd_generate(mut args: ArgStream) -> Result<(), String> {
     let length: usize = args.flag_value("--length")?.ok_or("--length is required")?;
     let seed: u64 = args.flag_value("--seed")?.unwrap_or(42);
-    let divergence = args.flag_str("--divergence").unwrap_or_else(|| "human-chimp".into());
-    let out_human = args.flag_str("--out-human").unwrap_or_else(|| "human.fasta".into());
-    let out_chimp = args.flag_str("--out-chimp").unwrap_or_else(|| "chimp.fasta".into());
+    let divergence = args
+        .flag_str("--divergence")
+        .unwrap_or_else(|| "human-chimp".into());
+    let out_human = args
+        .flag_str("--out-human")
+        .unwrap_or_else(|| "human.fasta".into());
+    let out_chimp = args
+        .flag_str("--out-chimp")
+        .unwrap_or_else(|| "chimp.fasta".into());
     args.finish()?;
 
     let human = ChromosomeGenerator::new(GenerateConfig::sized(length, seed)).generate();
@@ -136,14 +153,21 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
     );
 
     let obs = obs_opts.recorder();
+    let live = LiveTelemetry::new(
+        platform.len(),
+        (a.seq.len() as u64).saturating_mul(b.seq.len() as u64),
+    );
+    let sampler = obs_opts.spawn_progress(&live);
     let report = PipelineRun::new(a.seq.codes(), b.seq.codes(), &platform)
         .config(config.clone())
         .observer(obs.clone())
+        .live(Arc::clone(&live))
         .run()
         .map_err(|e| e.to_string())?;
+    finish_progress(sampler);
     print!("{report}");
     if obs_opts.metrics {
-        print!("{}", report.metrics());
+        obs_opts.print_metrics(&report.metrics_with_spans(&obs.spans()));
     }
     obs_opts.export(&obs, &platform)?;
 
@@ -174,9 +198,23 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
     let a = load_fasta(&path_a)?;
     let b = load_fasta(&path_b)?;
     let obs = obs_opts.recorder();
-    let (aln, times) =
-        multigpu_local_align_observed(a.seq.codes(), b.seq.codes(), &platform, &config, &obs)
-            .map_err(|e| e.to_string())?;
+    // Sized for the forward matrix; stage 2's reversed-prefix rerun can
+    // push the fraction past 1, which the snapshot clamps to 100%.
+    let live = LiveTelemetry::new(
+        platform.len(),
+        (a.seq.len() as u64).saturating_mul(b.seq.len() as u64),
+    );
+    let sampler = obs_opts.spawn_progress(&live);
+    let (aln, times) = multigpu_local_align_live(
+        a.seq.codes(),
+        b.seq.codes(),
+        &platform,
+        &config,
+        &obs,
+        Some(&live),
+    )
+    .map_err(|e| e.to_string())?;
+    finish_progress(sampler);
     obs_opts.export(&obs, &platform)?;
     if aln.is_empty() {
         println!("no positive-scoring local alignment");
@@ -197,7 +235,10 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
         times.stage1, times.stage2, times.stage3
     );
     println!("CIGAR: {}\n", aln.cigar());
-    print!("{}", render_alignment(a.seq.codes(), b.seq.codes(), &aln, width));
+    print!(
+        "{}",
+        render_alignment(a.seq.codes(), b.seq.codes(), &aln, width)
+    );
     Ok(())
 }
 
@@ -211,13 +252,23 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     args.finish()?;
 
     let obs = obs_opts.recorder();
+    // The DES solves the schedule instantaneously and replays kernel
+    // completions through a manual (simulated-time) clock, so the progress
+    // line reports the run's *simulated* trajectory: render the final
+    // snapshot rather than racing a sampler against the replay.
+    let live =
+        LiveTelemetry::with_manual_clock(platform.len(), (m as u64).saturating_mul(n as u64));
     let run = DesSim::new(m, n, &platform)
         .config(config)
         .observer(obs.clone())
+        .live(Arc::clone(&live))
         .run();
+    if obs_opts.progress {
+        eprintln!("{}", render_progress_line(&live.snapshot(), None));
+    }
     print!("{}", run.report);
     if obs_opts.metrics {
-        print!("{}", run.report.metrics());
+        obs_opts.print_metrics(&run.report.metrics_with_spans(&obs.spans()));
     }
     obs_opts.export(&obs, &platform)?;
     match &run.memory {
@@ -310,11 +361,37 @@ fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
 // Shared parsing helpers
 // ---------------------------------------------------------------------------
 
+/// How `--metrics` renders the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Text,
+    Prom,
+    Json,
+}
+
+impl std::str::FromStr for MetricsFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "text" => Ok(MetricsFormat::Text),
+            "prom" => Ok(MetricsFormat::Prom),
+            "json" => Ok(MetricsFormat::Json),
+            other => Err(format!(
+                "unknown metrics format {other:?} (expected text, prom, or json)"
+            )),
+        }
+    }
+}
+
 /// Observability choices shared by `compare`, `align` and `simulate`.
+#[derive(Debug)]
 struct ObsOptions {
     level: ObsLevel,
     trace_out: Option<String>,
     metrics: bool,
+    metrics_format: MetricsFormat,
+    progress: bool,
+    progress_interval: Duration,
 }
 
 impl ObsOptions {
@@ -336,12 +413,52 @@ impl ObsOptions {
         );
         Ok(())
     }
+
+    /// Render the registry in the chosen `--metrics-format`.
+    fn print_metrics(&self, metrics: &MetricsRegistry) {
+        match self.metrics_format {
+            MetricsFormat::Text => print!("{metrics}"),
+            MetricsFormat::Prom => print!("{}", prometheus(metrics)),
+            MetricsFormat::Json => print!("{}", metrics_json(metrics)),
+        }
+    }
+
+    /// Start the `--progress` sampler on `live`, writing the progress line
+    /// to stderr. Returns `None` when `--progress` was not given; call
+    /// [`finish_progress`] on the returned sampler after the run.
+    fn spawn_progress(&self, live: &Arc<LiveTelemetry>) -> Option<ProgressSampler> {
+        if !self.progress {
+            return None;
+        }
+        Some(ProgressSampler::spawn(
+            Arc::clone(live),
+            self.progress_interval,
+            |cur, prev| {
+                // \r + erase-to-EOL keeps a single in-place TTY line.
+                eprint!("\r\x1b[K{}", render_progress_line(cur, prev));
+                let _ = std::io::stderr().flush();
+            },
+        ))
+    }
+}
+
+/// Stop a `--progress` sampler (its shutdown sample prints the final 100%
+/// line) and move stderr off the in-place line.
+fn finish_progress(sampler: Option<ProgressSampler>) {
+    if let Some(s) = sampler {
+        s.stop();
+        eprintln!();
+    }
 }
 
 fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     let trace_out = args.flag_str("--trace-out");
     let metrics = args.take_flag("--metrics");
-    let level = match args.flag_str("--obs-level") {
+    let progress = args.take_flag("--progress");
+    let interval_ms = args.flag_value::<u64>("--progress-interval-ms")?;
+    let metrics_format = args.flag_str("--metrics-format");
+    let explicit_level = args.flag_str("--obs-level");
+    let level = match &explicit_level {
         Some(s) => s.parse::<ObsLevel>()?,
         None if trace_out.is_some() => ObsLevel::Full,
         None => ObsLevel::Off,
@@ -349,7 +466,42 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     if trace_out.is_some() && level == ObsLevel::Off {
         return Err("--trace-out needs --obs-level kernels or full".into());
     }
-    Ok(ObsOptions { level, trace_out, metrics })
+    // --progress does not need the recorder (the live counters are
+    // independent), but combining it with an *explicit* request to observe
+    // nothing is a contradiction worth rejecting up front.
+    if progress && explicit_level.as_deref() == Some("off") {
+        return Err("--progress conflicts with --obs-level off".into());
+    }
+    // The progress line goes to stderr; a trace streamed to stdout would
+    // interleave with it when both are piped through the same terminal.
+    if progress {
+        if let Some(t) = &trace_out {
+            if t == "-" || t == "/dev/stdout" {
+                return Err("--progress cannot be combined with --trace-out to stdout".into());
+            }
+        }
+    }
+    if metrics_format.is_some() && !metrics {
+        return Err("--metrics-format requires --metrics".into());
+    }
+    if interval_ms.is_some() && !progress {
+        return Err("--progress-interval-ms requires --progress".into());
+    }
+    if interval_ms == Some(0) {
+        return Err("--progress-interval-ms must be at least 1".into());
+    }
+    let metrics_format = match metrics_format {
+        Some(s) => s.parse::<MetricsFormat>()?,
+        None => MetricsFormat::Text,
+    };
+    Ok(ObsOptions {
+        level,
+        trace_out,
+        metrics,
+        metrics_format,
+        progress,
+        progress_interval: Duration::from_millis(interval_ms.unwrap_or(500)),
+    })
 }
 
 fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
@@ -358,7 +510,11 @@ fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
     if env1 && env2 {
         return Err("--env1 and --env2 are mutually exclusive".into());
     }
-    let mut platform = if env1 { Platform::env1() } else { Platform::env2() };
+    let mut platform = if env1 {
+        Platform::env1()
+    } else {
+        Platform::env2()
+    };
     if let Some(gpus) = args.flag_value::<usize>("--gpus")? {
         if gpus == 0 {
             return Err("--gpus must be at least 1".into());
@@ -412,7 +568,10 @@ fn write_one(path: &str, header: &str, seq: &DnaSeq) -> Result<(), String> {
     let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
     write_fasta(
         file,
-        &[FastaRecord { header: header.into(), seq: seq.clone() }],
+        &[FastaRecord {
+            header: header.into(),
+            seq: seq.clone(),
+        }],
         70,
     )
     .map_err(|e| format!("cannot write {path}: {e}"))
@@ -571,6 +730,72 @@ mod tests {
 
         let mut s = stream(&["--trace-out", "t.json", "--obs-level", "off"]);
         assert!(parse_obs(&mut s).is_err());
+    }
+
+    #[test]
+    fn progress_parsing_and_conflicts() {
+        // Defaults: progress off, 500 ms interval.
+        let mut s = stream(&[]);
+        let o = parse_obs(&mut s).unwrap();
+        assert!(!o.progress);
+        assert_eq!(o.progress_interval, Duration::from_millis(500));
+
+        let mut s = stream(&["--progress", "--progress-interval-ms", "100"]);
+        let o = parse_obs(&mut s).unwrap();
+        assert!(o.progress);
+        assert_eq!(o.progress_interval, Duration::from_millis(100));
+
+        // --progress works with the default (implicit off) obs level: the
+        // live counters do not need the recorder.
+        let mut s = stream(&["--progress"]);
+        assert!(parse_obs(&mut s).unwrap().progress);
+
+        // …but an *explicit* --obs-level off contradicts it.
+        let mut s = stream(&["--progress", "--obs-level", "off"]);
+        let err = parse_obs(&mut s).unwrap_err();
+        assert!(err.contains("--obs-level off"), "{err}");
+
+        // A trace streamed to stdout would interleave with the line.
+        for sink in ["-", "/dev/stdout"] {
+            let mut s = stream(&["--progress", "--trace-out", sink]);
+            let err = parse_obs(&mut s).unwrap_err();
+            assert!(err.contains("stdout"), "{err}");
+        }
+        // A trace to a real file is fine.
+        let mut s = stream(&["--progress", "--trace-out", "t.json"]);
+        assert!(parse_obs(&mut s).is_ok());
+
+        // The interval flag is meaningless without --progress, and zero is
+        // rejected.
+        let mut s = stream(&["--progress-interval-ms", "100"]);
+        assert!(parse_obs(&mut s).is_err());
+        let mut s = stream(&["--progress", "--progress-interval-ms", "0"]);
+        assert!(parse_obs(&mut s).is_err());
+    }
+
+    #[test]
+    fn metrics_format_parsing() {
+        let mut s = stream(&["--metrics"]);
+        assert_eq!(
+            parse_obs(&mut s).unwrap().metrics_format,
+            MetricsFormat::Text
+        );
+
+        for (spec, want) in [
+            ("text", MetricsFormat::Text),
+            ("prom", MetricsFormat::Prom),
+            ("json", MetricsFormat::Json),
+        ] {
+            let mut s = stream(&["--metrics", "--metrics-format", spec]);
+            assert_eq!(parse_obs(&mut s).unwrap().metrics_format, want);
+        }
+
+        let mut s = stream(&["--metrics", "--metrics-format", "xml"]);
+        assert!(parse_obs(&mut s).is_err());
+
+        let mut s = stream(&["--metrics-format", "prom"]);
+        let err = parse_obs(&mut s).unwrap_err();
+        assert!(err.contains("requires --metrics"), "{err}");
     }
 
     #[test]

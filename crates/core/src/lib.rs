@@ -72,29 +72,30 @@ pub use megasw_sw as sw;
 /// The commonly used names in one import.
 pub mod prelude {
     pub use megasw_gpusim::{catalog, DeviceSpec, LinkSpec, Platform, SimTime};
+    pub use megasw_multigpu::autotune::{autotune, TuneResult};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
     pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};
     pub use megasw_multigpu::error::MegaswError;
+    pub use megasw_multigpu::memory::{check_platform, plan_for, DeviceMemoryPlan};
     #[allow(deprecated)] // legacy entry points stay importable during the migration
     pub use megasw_multigpu::pipeline::{
         run_pipeline, run_pipeline_anchored, run_pipeline_with_faults,
     };
     pub use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
     pub use megasw_multigpu::stages::{
-        multigpu_local_align, multigpu_local_align_observed, StageTimes,
+        multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
-    pub use megasw_multigpu::{make_slabs, PartitionPolicy, RunConfig, RunReport, Slab};
     pub use megasw_multigpu::stats::{DeviceReport, StallBreakdown};
+    pub use megasw_multigpu::{make_slabs, PartitionPolicy, RunConfig, RunReport, Slab};
     pub use megasw_obs::{
-        chrome_trace, validate as validate_trace, MetricsRegistry, ObsKind, ObsLevel, ObsSpan,
-        Recorder,
+        chrome_trace, metrics_json, prometheus, render_progress_line, validate as validate_trace,
+        DeviceSnapshot, LiveSnapshot, LiveTelemetry, MetricsRegistry, ObsKind, ObsLevel, ObsSpan,
+        ProgressSampler, Recorder, RingGauge,
     };
     pub use megasw_seq::{
         ChromosomeGenerator, ChromosomePair, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide,
         PairCatalog, PairSpec,
     };
-    pub use megasw_multigpu::autotune::{autotune, TuneResult};
-    pub use megasw_multigpu::memory::{check_platform, plan_for, DeviceMemoryPlan};
     pub use megasw_sw::render::render_alignment;
     pub use megasw_sw::traceback::{local_align, AlignOp, LocalAlignment};
     pub use megasw_sw::{gotoh_best, BestCell, Score, ScoreScheme};

@@ -25,7 +25,14 @@ use crate::link::LinkSpec;
 use crate::spec::DeviceSpec;
 
 /// Solve `cells_per_cycle_per_sm` for a GCUPS target.
-fn calibrated(name: &str, sms: u32, clock_mhz: u32, target_gcups: f64, mem_mib: u64, link: LinkSpec) -> DeviceSpec {
+fn calibrated(
+    name: &str,
+    sms: u32,
+    clock_mhz: u32,
+    target_gcups: f64,
+    mem_mib: u64,
+    link: LinkSpec,
+) -> DeviceSpec {
     let per_sm = target_gcups * 1e9 / (sms as f64 * clock_mhz as f64 * 1e6);
     DeviceSpec {
         name: name.to_string(),
@@ -40,12 +47,26 @@ fn calibrated(name: &str, sms: u32, clock_mhz: u32, target_gcups: f64, mem_mib: 
 
 /// GeForce GTX 560 Ti — the weakest board in the catalog (≈25 GCUPS).
 pub fn gtx560ti() -> DeviceSpec {
-    calibrated("GeForce GTX 560 Ti", 8, 822, 25.0, 1024, LinkSpec::pcie2_x16())
+    calibrated(
+        "GeForce GTX 560 Ti",
+        8,
+        822,
+        25.0,
+        1024,
+        LinkSpec::pcie2_x16(),
+    )
 }
 
 /// GeForce GTX 580 (≈33 GCUPS).
 pub fn gtx580() -> DeviceSpec {
-    calibrated("GeForce GTX 580", 16, 772, 33.0, 1536, LinkSpec::pcie2_x16())
+    calibrated(
+        "GeForce GTX 580",
+        16,
+        772,
+        33.0,
+        1536,
+        LinkSpec::pcie2_x16(),
+    )
 }
 
 /// Tesla M2090 (≈38 GCUPS).
@@ -60,12 +81,26 @@ pub fn k20() -> DeviceSpec {
 
 /// GeForce GTX 680 (≈50 GCUPS).
 pub fn gtx680() -> DeviceSpec {
-    calibrated("GeForce GTX 680", 8, 1006, 50.0, 2048, LinkSpec::pcie3_x16())
+    calibrated(
+        "GeForce GTX 680",
+        8,
+        1006,
+        50.0,
+        2048,
+        LinkSpec::pcie3_x16(),
+    )
 }
 
 /// GeForce GTX Titan (≈65 GCUPS).
 pub fn gtx_titan() -> DeviceSpec {
-    calibrated("GeForce GTX Titan", 14, 837, 65.0, 6144, LinkSpec::pcie3_x16())
+    calibrated(
+        "GeForce GTX Titan",
+        14,
+        837,
+        65.0,
+        6144,
+        LinkSpec::pcie3_x16(),
+    )
 }
 
 /// Every board in the catalog, weakest first.

@@ -41,8 +41,7 @@ impl KernelModel {
             return SimTime::from_nanos(self.spec.launch_overhead_ns);
         }
         let active_sms = blocks.clamp(1, self.spec.sms) as f64;
-        let per_sm_rate =
-            self.spec.clock_mhz as f64 * 1e6 * self.spec.cells_per_cycle_per_sm;
+        let per_sm_rate = self.spec.clock_mhz as f64 * 1e6 * self.spec.cells_per_cycle_per_sm;
         let secs = cells as f64 / (active_sms * per_sm_rate);
         SimTime::from_nanos(self.spec.launch_overhead_ns) + SimTime::from_secs_f64(secs)
     }

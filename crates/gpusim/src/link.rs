@@ -90,6 +90,8 @@ mod tests {
     #[test]
     fn faster_generation_is_faster() {
         let msg = 1024 * 1024;
-        assert!(LinkSpec::pcie3_x16().transfer_time(msg) < LinkSpec::pcie2_x16().transfer_time(msg));
+        assert!(
+            LinkSpec::pcie3_x16().transfer_time(msg) < LinkSpec::pcie2_x16().transfer_time(msg)
+        );
     }
 }

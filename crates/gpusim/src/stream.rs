@@ -196,7 +196,13 @@ mod tests {
         let r0 = s.add_resource("gpu0");
         let r1 = s.add_resource("gpu1");
         let producer = s.add_task(r0, &[], SimTime::from_nanos(200), SpanKind::Kernel, 0);
-        let consumer = s.add_task(r1, &[producer], SimTime::from_nanos(10), SpanKind::Kernel, 0);
+        let consumer = s.add_task(
+            r1,
+            &[producer],
+            SimTime::from_nanos(10),
+            SpanKind::Kernel,
+            0,
+        );
         assert_eq!(s.start_of(consumer), SimTime::from_nanos(200));
         assert_eq!(s.makespan(), SimTime::from_nanos(210));
     }

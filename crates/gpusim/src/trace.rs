@@ -134,7 +134,10 @@ mod tests {
         ];
         let chart = render_gantt(
             &spans,
-            &[(ResourceId(0), "gpu0".into()), (ResourceId(1), "gpu1".into())],
+            &[
+                (ResourceId(0), "gpu0".into()),
+                (ResourceId(1), "gpu1".into()),
+            ],
             SimTime::from_nanos(1000),
             20,
         );

@@ -92,7 +92,10 @@ fn causality_deps_finish_before_start() {
             for &d in deps {
                 if i > 0 {
                     let dep = ids[d % i];
-                    assert!(s.finish_of(dep) <= s.start_of(ids[i]), "case {case}, task {i}");
+                    assert!(
+                        s.finish_of(dep) <= s.start_of(ids[i]),
+                        "case {case}, task {i}"
+                    );
                 }
             }
         }
@@ -176,9 +179,19 @@ fn link_transfer_time_is_monotone() {
             latency_ns: lat,
             bandwidth_bytes_per_sec: bw_mbps as f64 * 1e6,
         };
-        let (lo, hi) = if bytes1 <= bytes2 { (bytes1, bytes2) } else { (bytes2, bytes1) };
-        assert!(link.transfer_time(lo) <= link.transfer_time(hi), "case {case}");
-        assert!(link.transfer_time(lo) >= SimTime::from_nanos(lat), "case {case}");
+        let (lo, hi) = if bytes1 <= bytes2 {
+            (bytes1, bytes2)
+        } else {
+            (bytes2, bytes1)
+        };
+        assert!(
+            link.transfer_time(lo) <= link.transfer_time(hi),
+            "case {case}"
+        );
+        assert!(
+            link.transfer_time(lo) >= SimTime::from_nanos(lat),
+            "case {case}"
+        );
     }
 }
 
@@ -190,7 +203,11 @@ fn kernel_time_monotone_in_cells_and_antitone_in_blocks() {
         let cells2 = rng.range(0, 10_000_000_000);
         let blocks = rng.range(1, 64) as u32;
         let model = KernelModel::new(catalog::gtx680());
-        let (lo, hi) = if cells1 <= cells2 { (cells1, cells2) } else { (cells2, cells1) };
+        let (lo, hi) = if cells1 <= cells2 {
+            (cells1, cells2)
+        } else {
+            (cells2, cells1)
+        };
         assert!(
             model.launch_time(blocks, lo) <= model.launch_time(blocks, hi),
             "case {case}"
@@ -218,7 +235,10 @@ fn peak_gcups_scales_with_sms() {
             link: LinkSpec::pcie2_x16(),
             launch_overhead_ns: 0,
         };
-        let double = DeviceSpec { sms: sms * 2, ..base.clone() };
+        let double = DeviceSpec {
+            sms: sms * 2,
+            ..base.clone()
+        };
         assert!(
             (double.peak_gcups() / base.peak_gcups() - 2.0).abs() < 1e-9,
             "case {case}"

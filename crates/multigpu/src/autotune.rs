@@ -110,8 +110,16 @@ mod tests {
 
     #[test]
     fn sweep_covers_the_ladder() {
-        let tuned = autotune(1_000_000, 1_000_000, &Platform::env1(), &RunConfig::paper_default());
-        assert_eq!(tuned.candidates.len(), BLOCK_HEIGHTS.len() * CAPACITIES.len());
+        let tuned = autotune(
+            1_000_000,
+            1_000_000,
+            &Platform::env1(),
+            &RunConfig::paper_default(),
+        );
+        assert_eq!(
+            tuned.candidates.len(),
+            BLOCK_HEIGHTS.len() * CAPACITIES.len()
+        );
     }
 
     #[test]

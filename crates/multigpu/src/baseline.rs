@@ -108,8 +108,12 @@ pub fn cpu_parallel(
 
         let rows = grid.rows();
         let cols = grid.cols();
-        let mut tops: Vec<RowBorder> = (0..cols).map(|c| RowBorder::zero(grid.col_width(c))).collect();
-        let mut lefts: Vec<ColBorder> = (0..rows).map(|r| ColBorder::zero(grid.row_height(r))).collect();
+        let mut tops: Vec<RowBorder> = (0..cols)
+            .map(|c| RowBorder::zero(grid.col_width(c)))
+            .collect();
+        let mut lefts: Vec<ColBorder> = (0..rows)
+            .map(|r| ColBorder::zero(grid.row_height(r)))
+            .collect();
         let mut best = BestCell::ZERO;
 
         for d in 0..grid.external_diagonals() {

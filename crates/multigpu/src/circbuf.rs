@@ -26,6 +26,7 @@
 //! in [`crate::stats::StallBreakdown`] and the `RingPush`/`RingPopWait`
 //! spans of the observability layer.
 
+use megasw_obs::RingGauge;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -65,6 +66,18 @@ struct Inner<T> {
     consumer_blocks: u64,
     producer_wait: Duration,
     consumer_wait: Duration,
+    /// Optional live-telemetry gauge mirroring the current occupancy.
+    /// Updated while the ring lock is already held, so attaching one costs
+    /// a single relaxed atomic store per push/pop.
+    gauge: Option<RingGauge>,
+}
+
+impl<T> Inner<T> {
+    fn publish_occupancy(&self) {
+        if let Some(g) = &self.gauge {
+            g.set(self.queue.len());
+        }
+    }
 }
 
 /// A bounded blocking SPSC ring carrying border segments between
@@ -142,6 +155,7 @@ impl<T> CircularBuffer<T> {
                     consumer_blocks: 0,
                     producer_wait: Duration::ZERO,
                     consumer_wait: Duration::ZERO,
+                    gauge: None,
                 }),
                 Condvar::new(), // not_full  — producer waits here
                 Condvar::new(), // not_empty — consumer waits here
@@ -177,6 +191,7 @@ impl<T> CircularBuffer<T> {
         g.pushed += 1;
         let occ = g.queue.len();
         g.max_occupancy = g.max_occupancy.max(occ);
+        g.publish_occupancy();
         not_empty.notify_one();
         Ok(())
     }
@@ -203,6 +218,7 @@ impl<T> CircularBuffer<T> {
                 if let Some(t) = blocked_at {
                     g.consumer_wait += t.elapsed();
                 }
+                g.publish_occupancy();
                 not_full.notify_one();
                 return Ok(Some(item));
             }
@@ -245,6 +261,16 @@ impl<T> CircularBuffer<T> {
     /// Is the ring currently empty? (racy; for tests/diagnostics).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Attach a live-telemetry occupancy gauge (see
+    /// [`megasw_obs::LiveTelemetry::ring_gauge`]). The ring keeps the gauge
+    /// at its current occupancy from inside its own lock, so the extra cost
+    /// is one relaxed store per push/pop.
+    pub fn attach_occupancy_gauge(&self, gauge: RingGauge) {
+        let mut g = self.lock();
+        g.gauge = Some(gauge);
+        g.publish_occupancy();
     }
 
     /// Statistics snapshot.
@@ -412,6 +438,22 @@ mod tests {
         assert_eq!(stats.pushed, N);
         assert_eq!(stats.popped, N);
         assert!(stats.max_occupancy <= 8);
+    }
+
+    #[test]
+    fn occupancy_gauge_mirrors_ring_state() {
+        use megasw_obs::LiveTelemetry;
+        let live = LiveTelemetry::new(1, 100);
+        let ring = CircularBuffer::with_capacity(4);
+        ring.attach_occupancy_gauge(live.ring_gauge(0).unwrap());
+        assert_eq!(live.snapshot().devices[0].ring_occupancy, 0);
+        ring.push(1u32).unwrap();
+        ring.push(2).unwrap();
+        assert_eq!(live.snapshot().devices[0].ring_occupancy, 2);
+        ring.pop().unwrap();
+        assert_eq!(live.snapshot().devices[0].ring_occupancy, 1);
+        ring.pop().unwrap();
+        assert_eq!(live.snapshot().devices[0].ring_occupancy, 0);
     }
 
     #[test]

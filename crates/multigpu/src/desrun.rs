@@ -33,7 +33,8 @@ use crate::config::RunConfig;
 use crate::partition::{make_slabs, Slab};
 use crate::stats::{DeviceReport, RunReport};
 use megasw_gpusim::{KernelModel, Platform, Schedule, SimTime, SpanKind, TaskId};
-use megasw_obs::{ObsKind, ObsSpan, Recorder};
+use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
+use std::sync::Arc;
 
 // The stall accounting moved to `stats` so both backends share one type;
 // re-exported here for the old import path.
@@ -79,6 +80,7 @@ pub struct DesSim<'a> {
     config: RunConfig,
     bulk: bool,
     observer: Recorder,
+    live: Option<Arc<LiveTelemetry>>,
 }
 
 impl<'a> DesSim<'a> {
@@ -92,6 +94,7 @@ impl<'a> DesSim<'a> {
             config: RunConfig::paper_default(),
             bulk: false,
             observer: Recorder::disabled(),
+            live: None,
         }
     }
 
@@ -115,9 +118,27 @@ impl<'a> DesSim<'a> {
         self
     }
 
+    /// Attach in-flight telemetry. Build the handle with
+    /// [`LiveTelemetry::with_manual_clock`]: the simulator replays kernel
+    /// completions in simulated-finish order, advancing the manual clock at
+    /// each simulated-time boundary, so sampled GCUPS read in simulated
+    /// seconds like the rest of the DES reporting. (The schedule solve
+    /// itself is instantaneous; replay happens right after, which still
+    /// exercises exactly the sampler/renderer path the threaded backend
+    /// uses.)
+    pub fn live(mut self, live: Arc<LiveTelemetry>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
     /// Execute the simulation.
     pub fn run(self) -> DesRun {
-        let slabs = make_slabs(self.n, self.config.block_w, self.platform, &self.config.partition);
+        let slabs = make_slabs(
+            self.n,
+            self.config.block_w,
+            self.platform,
+            &self.config.partition,
+        );
         let mode = if self.bulk {
             Mode::BulkSynchronous
         } else {
@@ -131,6 +152,7 @@ impl<'a> DesSim<'a> {
             &slabs,
             mode,
             &self.observer,
+            self.live.as_ref(),
         )
     }
 }
@@ -168,6 +190,7 @@ fn build_schedule(
     slabs: &[Slab],
     mode: Mode,
     obs: &Recorder,
+    live: Option<&Arc<LiveTelemetry>>,
 ) -> DesRun {
     let mut schedule = Schedule::new();
     let total_cells = m as u128 * n as u128;
@@ -206,8 +229,7 @@ fn build_schedule(
     } else {
         (0..slabs.len().saturating_sub(1))
             .map(|i| {
-                schedule
-                    .add_resource(format!("link {}→{}", slabs[i].device, slabs[i + 1].device))
+                schedule.add_resource(format!("link {}→{}", slabs[i].device, slabs[i + 1].device))
             })
             .collect()
     };
@@ -326,6 +348,30 @@ fn build_schedule(
     let makespan = schedule.makespan();
     let secs = makespan.as_secs_f64();
 
+    // Drive the live handle at simulated-time boundaries: every kernel
+    // completion, in simulated-finish order, advances the manual clock and
+    // books the row it retired.
+    if let Some(live) = live {
+        for (s_idx, tasks) in kernel_tasks.iter().enumerate() {
+            live.set_rows_total(s_idx, tasks.len() as u64);
+        }
+        let mut completions: Vec<(u64, usize, u64, u64)> = Vec::new();
+        for (s_idx, (slab, tasks)) in slabs.iter().zip(&kernel_tasks).enumerate() {
+            for (r, &k) in tasks.iter().enumerate() {
+                let start = schedule.start_of(k).as_nanos();
+                let finish = schedule.finish_of(k).as_nanos();
+                let cells = row_height(m, config.block_h, r) as u64 * slab.width as u64;
+                completions.push((finish, s_idx, cells, finish.saturating_sub(start)));
+            }
+        }
+        completions.sort_unstable();
+        for (finish_ns, s_idx, cells, dur_ns) in completions {
+            live.set_now_ns(finish_ns);
+            live.on_row_done(s_idx, cells, dur_ns);
+        }
+        live.set_now_ns(makespan.as_nanos());
+    }
+
     // Span export: simulated-time Kernel and BorderXfer spans, one per
     // scheduled task, attributed to the owning device and block-row.
     if obs.is_enabled() {
@@ -421,11 +467,7 @@ fn build_schedule(
 
 /// The pipe between the devices owning slabs `s` and `s + 1`: the slower of
 /// the two boards' links (a staged copy traverses both).
-fn link_between_slabs(
-    platform: &Platform,
-    slabs: &[Slab],
-    s: usize,
-) -> megasw_gpusim::LinkSpec {
+fn link_between_slabs(platform: &Platform, slabs: &[Slab], s: usize) -> megasw_gpusim::LinkSpec {
     let a = platform.devices[slabs[s].device].link;
     let b = platform.devices[slabs[s + 1].device].link;
     if a.bandwidth_bytes_per_sec <= b.bandwidth_bytes_per_sec {
@@ -523,10 +565,7 @@ mod tests {
         .report
         .gcups_sim
         .unwrap();
-        assert!(
-            prop > 1.15 * equal,
-            "proportional {prop} vs equal {equal}"
-        );
+        assert!(prop > 1.15 * equal, "proportional {prop} vs equal {equal}");
     }
 
     #[test]
@@ -570,10 +609,7 @@ mod tests {
         // feed every SM) dominate short matrices: efficiency grows with
         // size — the paper's motivation for megabase inputs.
         let p = Platform::env2();
-        let small = run_des(8_192, 8_192, &p, &cfg())
-            .report
-            .gcups_sim
-            .unwrap();
+        let small = run_des(8_192, 8_192, &p, &cfg()).report.gcups_sim.unwrap();
         let large = run_des(4 * MBP, 4 * MBP, &p, &cfg())
             .report
             .gcups_sim
@@ -591,7 +627,11 @@ mod tests {
             assert!((0.0..=1.0).contains(&u), "utilization {u}");
         }
         // Proportional split keeps every device mostly busy.
-        assert!(run.report.devices.iter().all(|d| d.sim_utilization.unwrap() > 0.6));
+        assert!(run
+            .report
+            .devices
+            .iter()
+            .all(|d| d.sim_utilization.unwrap() > 0.6));
     }
 
     #[test]
@@ -607,10 +647,7 @@ mod tests {
         let free = Platform::homogeneous(catalog::gtx680(), 8);
         let bridged = free.clone().with_bridge(LinkSpec::slow_for_tests());
         let g_free = run_des(MBP, MBP, &free, &fine).report.gcups_sim.unwrap();
-        let g_bridged = run_des(MBP, MBP, &bridged, &fine)
-            .report
-            .gcups_sim
-            .unwrap();
+        let g_bridged = run_des(MBP, MBP, &bridged, &fine).report.gcups_sim.unwrap();
         assert!(
             g_free > 1.5 * g_bridged,
             "free {g_free} vs bridged {g_bridged}"
@@ -618,10 +655,7 @@ mod tests {
         // At coarse granularity (the paper default) transfers are rare and
         // even the slow shared bridge costs almost nothing.
         let coarse = cfg();
-        let g_coarse_free = run_des(MBP, MBP, &free, &coarse)
-            .report
-            .gcups_sim
-            .unwrap();
+        let g_coarse_free = run_des(MBP, MBP, &free, &coarse).report.gcups_sim.unwrap();
         let g_coarse_bridged = run_des(MBP, MBP, &bridged, &coarse)
             .report
             .gcups_sim
@@ -716,9 +750,42 @@ mod tests {
     }
 
     #[test]
+    fn des_live_telemetry_uses_simulated_time() {
+        let p = Platform::env2();
+        let m = 200_000usize;
+        let n = 200_000usize;
+        let live = LiveTelemetry::with_manual_clock(p.len(), (m * n) as u64);
+        let run = DesSim::new(m, n, &p)
+            .config(cfg())
+            .live(Arc::clone(&live))
+            .run();
+        let s = live.snapshot();
+        // The manual clock ends exactly at the simulated makespan, so the
+        // live cumulative GCUPS equals the report's simulated GCUPS.
+        assert_eq!(s.now_ns, run.report.sim_time.unwrap().as_nanos());
+        assert_eq!(s.cells_done() as u128, run.report.total_cells);
+        assert!((s.fraction_done() - 1.0).abs() < 1e-12);
+        let gcups = run.report.gcups_sim.unwrap();
+        assert!(
+            (s.gcups_cumulative() - gcups).abs() / gcups < 1e-6,
+            "live {} vs report {gcups}",
+            s.gcups_cumulative()
+        );
+        // Every device booked all of its rows.
+        for d in &s.devices {
+            assert!(d.rows_total > 0);
+            assert_eq!(d.rows_done, d.rows_total);
+            assert!(d.busy_ns > 0);
+        }
+    }
+
+    #[test]
     fn bulk_builder_matches_wrapper() {
         let p = Platform::env1();
-        let a = DesSim::new(500_000, 500_000, &p).config(cfg()).bulk(true).run();
+        let a = DesSim::new(500_000, 500_000, &p)
+            .config(cfg())
+            .bulk(true)
+            .run();
         let b = run_des_bulk(500_000, 500_000, &p, &cfg());
         assert_eq!(a.report.sim_time, b.report.sim_time);
         assert!(a.report.devices.iter().all(|d| d.stall.is_some()));

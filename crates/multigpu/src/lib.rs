@@ -45,9 +45,9 @@ pub use config::{PartitionPolicy, RunConfig};
 pub use desrun::DesSim;
 pub use error::MegaswError;
 pub use partition::{make_slabs, Slab};
-pub use pipeline::{PipelineRun, Semantics};
 #[allow(deprecated)]
 pub use pipeline::run_pipeline;
+pub use pipeline::{PipelineRun, Semantics};
 pub use stages::multigpu_local_align;
 pub use stats::{DeviceReport, RunReport, StallBreakdown};
 
@@ -58,5 +58,8 @@ pub mod prelude {
     pub use crate::error::MegaswError;
     pub use crate::pipeline::{FaultPlan, PipelineRun, Semantics};
     pub use crate::stats::{DeviceReport, RunReport, StallBreakdown};
-    pub use megasw_obs::{chrome_trace, MetricsRegistry, ObsKind, ObsLevel, ObsSpan, Recorder};
+    pub use megasw_obs::{
+        chrome_trace, metrics_json, prometheus, render_progress_line, LiveSnapshot, LiveTelemetry,
+        MetricsRegistry, ObsKind, ObsLevel, ObsSpan, ProgressSampler, Recorder,
+    };
 }

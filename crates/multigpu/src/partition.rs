@@ -247,12 +247,7 @@ mod tests {
     #[test]
     fn explicit_weights_respected() {
         let p = Platform::env1();
-        let slabs = make_slabs(
-            1_000,
-            10,
-            &p,
-            &PartitionPolicy::Explicit(vec![3.0, 1.0]),
-        );
+        let slabs = make_slabs(1_000, 10, &p, &PartitionPolicy::Explicit(vec![3.0, 1.0]));
         assert_eq!(slabs.len(), 2);
         assert_eq!(slabs[0].width, 750);
         assert_eq!(slabs[1].width, 250);

@@ -45,6 +45,14 @@
 //! [`Recorder`](megasw_obs::Recorder) with [`PipelineRun::observer`]
 //! additionally captures typed spans — `Kernel` per block-row, `RingPush` /
 //! `RingPopWait` around the border ring — for Chrome-trace export.
+//!
+//! Attaching a [`LiveTelemetry`](megasw_obs::LiveTelemetry) handle with
+//! [`PipelineRun::live`] exposes the run **while it executes**: every
+//! worker bumps the handle's relaxed atomic counters once per block-row
+//! (cells, rows, kernel busy time) and the border rings keep its occupancy
+//! gauges current, so a sampler thread can render live progress and GCUPS
+//! without perturbing the workers. Live device indices follow **chain
+//! position** (slab order), matching `RunReport::devices`.
 
 use crate::circbuf::{CircularBuffer, RingError};
 use crate::config::RunConfig;
@@ -52,10 +60,11 @@ use crate::error::MegaswError;
 use crate::partition::{make_slabs, Slab};
 use crate::stats::{DeviceReport, RunReport, StallBreakdown};
 use megasw_gpusim::Platform;
-use megasw_obs::{ObsKind, ObsSpan, Recorder};
-use megasw_sw::border::{ColBorder, RowBorder};
+use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
 use megasw_sw::block::{compute_block, compute_block_anchored, BlockInput};
+use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::BestCell;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Matrix semantics a pipeline run computes under.
@@ -116,6 +125,7 @@ pub struct PipelineRun<'a> {
     semantics: Semantics,
     fault: Option<FaultPlan>,
     observer: Recorder,
+    live: Option<Arc<LiveTelemetry>>,
 }
 
 impl<'a> PipelineRun<'a> {
@@ -131,6 +141,7 @@ impl<'a> PipelineRun<'a> {
             semantics: Semantics::Local,
             fault: None,
             observer: Recorder::disabled(),
+            live: None,
         }
     }
 
@@ -159,9 +170,18 @@ impl<'a> PipelineRun<'a> {
         self
     }
 
+    /// Attach in-flight telemetry: workers update the handle's atomic
+    /// counters once per block-row and the rings keep its occupancy gauges
+    /// current. Keep a clone to sample from another thread while the run
+    /// executes (see [`megasw_obs::ProgressSampler`]).
+    pub fn live(mut self, live: Arc<LiveTelemetry>) -> Self {
+        self.live = Some(live);
+        self
+    }
+
     /// Execute the run.
     pub fn run(self) -> Result<RunReport, MegaswError> {
-        run_pipeline_engine(
+        run_pipeline_live(
             self.a,
             self.b,
             self.platform,
@@ -169,6 +189,7 @@ impl<'a> PipelineRun<'a> {
             self.fault,
             self.semantics,
             &self.observer,
+            self.live.as_ref(),
         )
         .map_err(MegaswError::from)
     }
@@ -254,10 +275,18 @@ pub fn run_pipeline_full(
     fault: Option<FaultPlan>,
     semantics: Semantics,
 ) -> Result<RunReport, PipelineError> {
-    run_pipeline_engine(a, b, platform, config, fault, semantics, &Recorder::disabled())
+    run_pipeline_engine(
+        a,
+        b,
+        platform,
+        config,
+        fault,
+        semantics,
+        &Recorder::disabled(),
+    )
 }
 
-/// The engine behind both the builder and the deprecated wrappers.
+/// The engine behind the deprecated wrappers (no live telemetry).
 pub(crate) fn run_pipeline_engine(
     a: &[u8],
     b: &[u8],
@@ -266,6 +295,25 @@ pub(crate) fn run_pipeline_engine(
     fault: Option<FaultPlan>,
     semantics: Semantics,
     obs: &Recorder,
+) -> Result<RunReport, PipelineError> {
+    run_pipeline_live(a, b, platform, config, fault, semantics, obs, None)
+}
+
+/// The engine behind the builder: [`run_pipeline_engine`] plus optional
+/// in-flight telemetry. Live device indices are chain positions (slab
+/// order); indices past the handle's capacity are silently dropped by the
+/// handle itself, so a handle sized for the platform also works when slabs
+/// are dropped on small matrices.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline_live(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    fault: Option<FaultPlan>,
+    semantics: Semantics,
+    obs: &Recorder,
+    live: Option<&Arc<LiveTelemetry>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let m = a.len();
@@ -281,17 +329,33 @@ pub(crate) fn run_pipeline_engine(
         .map(|_| CircularBuffer::with_capacity(config.buffer_capacity))
         .collect();
 
+    if let Some(live) = live {
+        for (s_idx, ring) in rings.iter().enumerate() {
+            if let Some(gauge) = live.ring_gauge(s_idx) {
+                ring.attach_occupancy_gauge(gauge);
+            }
+        }
+        for s_idx in 0..slabs.len() {
+            live.set_rows_total(s_idx, rows as u64);
+        }
+    }
+
     // All stall accounting is relative to this instant, on the recorder's
     // clock, so spans and the stall envelope share one timebase.
     let run_start_ns = obs.now_ns();
     let results: Vec<Result<DevicePartial, PipelineError>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(slabs.len());
         for (s_idx, slab) in slabs.iter().enumerate() {
-            let ring_in = if s_idx > 0 { Some(&rings[s_idx - 1]) } else { None };
+            let ring_in = if s_idx > 0 {
+                Some(&rings[s_idx - 1])
+            } else {
+                None
+            };
             let ring_out = rings.get(s_idx);
             handles.push(scope.spawn(move || {
                 let result = device_worker(
-                    a, b, *slab, rows, config, ring_in, ring_out, fault, semantics, obs,
+                    a, b, *slab, s_idx, rows, config, ring_in, ring_out, fault, semantics, obs,
+                    live,
                 );
                 if result.is_err() {
                     // Wake neighbours so the failure propagates instead of
@@ -386,6 +450,7 @@ fn device_worker(
     a: &[u8],
     b: &[u8],
     slab: Slab,
+    s_idx: usize,
     rows: usize,
     config: &RunConfig,
     ring_in: Option<&CircularBuffer<ColBorder>>,
@@ -393,6 +458,7 @@ fn device_worker(
     fault: Option<FaultPlan>,
     semantics: Semantics,
     obs: &Recorder,
+    live: Option<&Arc<LiveTelemetry>>,
 ) -> Result<DevicePartial, PipelineError> {
     let m = a.len();
     let block_h = config.block_h;
@@ -453,10 +519,14 @@ fn device_worker(
                     }
                     Ok(None) | Err(RingError::Closed) => {
                         // Producer closed early — only reachable through faults.
-                        return Err(PipelineError::RingPoisoned { device: slab.device });
+                        return Err(PipelineError::RingPoisoned {
+                            device: slab.device,
+                        });
                     }
                     Err(RingError::Poisoned) => {
-                        return Err(PipelineError::RingPoisoned { device: slab.device });
+                        return Err(PipelineError::RingPoisoned {
+                            device: slab.device,
+                        });
                     }
                 }
             }
@@ -492,6 +562,13 @@ fn device_worker(
         first_kernel_start_ns.get_or_insert(kernel_start);
         last_kernel_end_ns = kernel_end;
         busy_ns += kernel_end - kernel_start;
+        if let Some(live) = live {
+            live.on_row_done(
+                s_idx,
+                (height as u64) * (slab.width as u64),
+                kernel_end - kernel_start,
+            );
+        }
 
         if let Some(ring) = ring_out {
             bytes_sent += left.transfer_bytes() as u64;
@@ -499,7 +576,9 @@ fn device_worker(
             let pushed = ring.push(left);
             obs.record_since(ObsKind::RingPush, Some(lane), Some(row), push_start);
             if pushed.is_err() {
-                return Err(PipelineError::RingPoisoned { device: slab.device });
+                return Err(PipelineError::RingPoisoned {
+                    device: slab.device,
+                });
             }
         }
     }
@@ -570,7 +649,10 @@ mod tests {
             &RunConfig::test_default(),
         )
         .unwrap();
-        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+        );
         assert_eq!(report.devices.len(), 2);
         assert!(report.gcups_wall.unwrap() > 0.0);
         assert!(report.total_bytes_transferred() > 0);
@@ -586,7 +668,10 @@ mod tests {
             &RunConfig::test_default(),
         )
         .unwrap();
-        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+        );
         // Proportional split: Titan slab wider than K20 slab.
         assert!(report.devices[0].slab_width > report.devices[2].slab_width);
     }
@@ -601,7 +686,10 @@ mod tests {
             &RunConfig::test_default(),
         )
         .unwrap();
-        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign()));
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+        );
         assert_eq!(report.devices.len(), 1);
         assert_eq!(report.total_bytes_transferred(), 0);
     }
@@ -749,9 +837,7 @@ mod tests {
                 .run()
                 .unwrap();
             let from_wrapper = match semantics {
-                Semantics::Local => {
-                    run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap()
-                }
+                Semantics::Local => run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap(),
                 Semantics::Anchored => {
                     run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap()
                 }
@@ -807,6 +893,49 @@ mod tests {
             .iter()
             .filter(|s| s.device == Some(1) && s.kind == ObsKind::Kernel)
             .all(|s| s.block_row.is_some()));
+    }
+
+    #[test]
+    fn live_telemetry_reports_exact_totals() {
+        let (a, b) = pair(2_000, 15);
+        let cfg = RunConfig::test_default();
+        let rows = 2_000usize.div_ceil(cfg.block_h) as u64;
+        let total = (a.codes().len() * b.codes().len()) as u64;
+        let live = LiveTelemetry::new(2, total);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(cfg)
+            .live(Arc::clone(&live))
+            .run()
+            .unwrap();
+        let s = live.snapshot();
+        assert_eq!(s.cells_done() as u128, report.total_cells);
+        assert!((s.fraction_done() - 1.0).abs() < 1e-12);
+        for d in &s.devices {
+            assert_eq!(d.rows_total, rows);
+            assert_eq!(d.rows_done, rows);
+            assert_eq!(d.ring_occupancy, 0, "rings drain by the end");
+            assert!(d.busy_ns > 0);
+        }
+    }
+
+    #[test]
+    fn live_handle_sized_for_platform_tolerates_dropped_slabs() {
+        // 8-device platform, matrix too narrow for 8 slabs: the extra live
+        // slots just stay at zero.
+        let (a, b) = pair(200, 16);
+        let p = Platform::homogeneous(catalog::m2090(), 8);
+        let cfg = RunConfig::test_default();
+        let total = (a.codes().len() * b.codes().len()) as u64;
+        let live = LiveTelemetry::new(8, total);
+        PipelineRun::new(a.codes(), b.codes(), &p)
+            .config(cfg)
+            .live(Arc::clone(&live))
+            .run()
+            .unwrap();
+        let s = live.snapshot();
+        assert_eq!(s.cells_done(), total);
+        assert!(s.devices.iter().any(|d| d.rows_total == 0));
+        assert!((s.fraction_done() - 1.0).abs() < 1e-12);
     }
 
     #[test]

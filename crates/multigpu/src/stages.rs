@@ -21,10 +21,11 @@
 //! [`megasw_sw::traceback::local_align`].
 
 use crate::config::RunConfig;
-use crate::pipeline::{run_pipeline_engine, PipelineError, Semantics};
+use crate::pipeline::{run_pipeline_live, PipelineError, Semantics};
 use megasw_gpusim::Platform;
-use megasw_obs::{ObsKind, Recorder};
+use megasw_obs::{LiveTelemetry, ObsKind, Recorder};
 use megasw_sw::traceback::{myers_miller, score_of_ops, LocalAlignment};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Where each stage spent its wall-clock time.
@@ -56,11 +57,27 @@ pub fn multigpu_local_align_observed(
     config: &RunConfig,
     obs: &Recorder,
 ) -> Result<(LocalAlignment, StageTimes), PipelineError> {
+    multigpu_local_align_live(a, b, platform, config, obs, None)
+}
+
+/// [`multigpu_local_align_observed`] with in-flight telemetry threaded
+/// through both pipeline stages. Size the handle for `m × n` total cells:
+/// stage 2 re-runs the pipeline over the reversed prefixes, so the live
+/// cell count can exceed the forward matrix — the snapshot's
+/// `fraction_done` clamps at 100% rather than overshooting.
+pub fn multigpu_local_align_live(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    obs: &Recorder,
+    live: Option<&Arc<LiveTelemetry>>,
+) -> Result<(LocalAlignment, StageTimes), PipelineError> {
     let mut times = StageTimes::default();
 
     // Stage 1: forward local pipeline.
     let t0 = std::time::Instant::now();
-    let stage1 = run_pipeline_engine(a, b, platform, config, None, Semantics::Local, obs)?;
+    let stage1 = run_pipeline_live(a, b, platform, config, None, Semantics::Local, obs, live)?;
     times.stage1 = t0.elapsed();
     let best = stage1.best;
     if best.score <= 0 {
@@ -72,7 +89,16 @@ pub fn multigpu_local_align_observed(
     let t0 = std::time::Instant::now();
     let ar: Vec<u8> = a[..ie].iter().rev().copied().collect();
     let br: Vec<u8> = b[..je].iter().rev().copied().collect();
-    let stage2 = run_pipeline_engine(&ar, &br, platform, config, None, Semantics::Anchored, obs)?;
+    let stage2 = run_pipeline_live(
+        &ar,
+        &br,
+        platform,
+        config,
+        None,
+        Semantics::Anchored,
+        obs,
+        live,
+    )?;
     times.stage2 = t0.elapsed();
     debug_assert_eq!(
         stage2.best.score, best.score,
@@ -145,8 +171,7 @@ mod tests {
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(1_200, 9)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(1_100, 10)).generate();
         let cfg = RunConfig::paper_default().with_block(64);
-        let (aln, _) =
-            multigpu_local_align(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
+        let (aln, _) = multigpu_local_align(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
         if aln.score > 0 {
             let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
             let b_seg = &b.codes()[aln.start_j - 1..aln.end_j];

@@ -11,7 +11,7 @@
 
 use crate::circbuf::RingStats;
 use megasw_gpusim::SimTime;
-use megasw_obs::MetricsRegistry;
+use megasw_obs::{MetricsRegistry, ObsSpan};
 use megasw_sw::BestCell;
 use std::time::Duration;
 
@@ -39,7 +39,12 @@ impl StallBreakdown {
     /// the same epoch). By construction
     /// `total() == total_ns − busy_ns` whenever
     /// `first_start ≤ last_end ≤ total_ns` and `busy ≤ last_end − first_start`.
-    pub fn from_envelope(total_ns: u64, first_start_ns: u64, last_end_ns: u64, busy_ns: u64) -> Self {
+    pub fn from_envelope(
+        total_ns: u64,
+        first_start_ns: u64,
+        last_end_ns: u64,
+        busy_ns: u64,
+    ) -> Self {
         StallBreakdown {
             startup: SimTime(first_start_ns),
             input_stalls: SimTime(
@@ -136,7 +141,10 @@ impl RunReport {
     /// stall accounting.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut m = MetricsRegistry::new();
-        m.incr("cells.total", u64::try_from(self.total_cells).unwrap_or(u64::MAX));
+        m.incr(
+            "cells.total",
+            u64::try_from(self.total_cells).unwrap_or(u64::MAX),
+        );
         m.incr("bytes.transferred", self.total_bytes_transferred());
         if let Some(g) = self.gcups_wall {
             m.observe("gcups.wall", g);
@@ -166,6 +174,21 @@ impl RunReport {
                 m.incr("stall.input_ns", bd.input_stalls.as_nanos());
                 m.incr("stall.drain_ns", bd.drain.as_nanos());
             }
+        }
+        m
+    }
+
+    /// [`RunReport::metrics`] plus one `span.<kind>.duration_ns` histogram
+    /// per span kind observed by a recorder — this is where the percentile
+    /// story earns its keep: p99 kernel duration and p99 ring-pop wait are
+    /// the tail-latency numbers a min/max/mean summary hides.
+    pub fn metrics_with_spans(&self, spans: &[ObsSpan]) -> MetricsRegistry {
+        let mut m = self.metrics();
+        for span in spans {
+            m.observe(
+                &format!("span.{}.duration_ns", span.kind.name()),
+                span.end_ns.saturating_sub(span.start_ns) as f64,
+            );
         }
         m
     }
@@ -288,6 +311,32 @@ mod tests {
         assert!(text.contains("GCUPS"));
         assert!(text.contains("TestBoard"));
         assert!(text.contains("stall:"));
+    }
+
+    #[test]
+    fn metrics_with_spans_adds_duration_histograms() {
+        use megasw_obs::ObsKind;
+        let spans: Vec<ObsSpan> = (0..10)
+            .map(|i| ObsSpan {
+                kind: if i % 2 == 0 {
+                    ObsKind::Kernel
+                } else {
+                    ObsKind::RingPopWait
+                },
+                device: Some(0),
+                block_row: Some(i as u32),
+                start_ns: i * 100,
+                end_ns: i * 100 + 50 + i,
+            })
+            .collect();
+        let m = report().metrics_with_spans(&spans);
+        let k = m.histogram("span.kernel.duration_ns").unwrap();
+        assert_eq!(k.count, 5);
+        assert!(k.p99() >= k.p50());
+        let w = m.histogram("span.ring_pop_wait.duration_ns").unwrap();
+        assert_eq!(w.count, 5);
+        // The base metrics are still present.
+        assert_eq!(m.counter("bytes.transferred"), Some(512));
     }
 
     #[test]

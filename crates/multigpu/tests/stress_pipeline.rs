@@ -85,9 +85,9 @@ fn wide_matrix_tall_matrix() {
     let cfg = RunConfig::paper_default().with_block(256);
     for (a, b) in [(&sliver, &ribbon), (&ribbon, &sliver)] {
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
-        .config(cfg.clone())
-        .run()
-        .unwrap();
+            .config(cfg.clone())
+            .run()
+            .unwrap();
         assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &scheme));
     }
 }
@@ -122,9 +122,9 @@ fn repeated_runs_under_contention() {
     let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
     for i in 0..20 {
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
-        .config(cfg.clone())
-        .run()
-        .unwrap();
+            .config(cfg.clone())
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "iteration {i}");
     }
 }

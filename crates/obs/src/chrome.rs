@@ -162,8 +162,10 @@ pub fn validate(text: &str) -> Result<TraceCheck, String> {
             "M" => {
                 if obj.get("name").and_then(Value::as_str) == Some("thread_name") {
                     let tid = field_u64(obj, "tid", i)?;
-                    if let Some(name) =
-                        obj.get("args").and_then(|a| a.get("name")).and_then(Value::as_str)
+                    if let Some(name) = obj
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Value::as_str)
                     {
                         check.lane_names.insert(tid, name.to_string());
                     }
@@ -295,6 +297,10 @@ mod tests {
         let spans = vec![span(ObsKind::Kernel, Some(0), None, 0, 1)];
         let text = chrome_trace(&spans, &["odd \"name\"\\path".to_string()]);
         let check = validate(&text).unwrap();
-        assert!(check.lane_names.get(&0).unwrap().contains("odd \"name\"\\path"));
+        assert!(check
+            .lane_names
+            .get(&0)
+            .unwrap()
+            .contains("odd \"name\"\\path"));
     }
 }

@@ -13,8 +13,14 @@
 //!   the stack is backend-agnostic.
 //! * [`Recorder`] — a cheap, clonable, thread-safe collector with an
 //!   [`ObsLevel`] filter (`off` / `kernels` / `full`).
-//! * [`MetricsRegistry`] — per-run counters and histograms (GCUPS, ring
-//!   occupancy, stall totals) rendered as a text summary.
+//! * [`MetricsRegistry`] — per-run counters and log-bucketed percentile
+//!   histograms (GCUPS, ring occupancy, stall totals, span durations)
+//!   rendered as a text summary or exported via [`prom`] in Prometheus
+//!   text exposition or JSON.
+//! * [`LiveTelemetry`] / [`ProgressSampler`] — lock-free **in-flight**
+//!   counters the pipeline workers update per block-row (cells, rows,
+//!   busy time, ring occupancy) and a sampler thread that renders the
+//!   `--progress` line while the run executes.
 //! * [`chrome`] — a Chrome `trace_event` JSON exporter: the output opens
 //!   directly in `chrome://tracing` or <https://ui.perfetto.dev>, one lane
 //!   per device plus a host lane. [`chrome::validate`] structurally checks
@@ -23,9 +29,15 @@
 
 pub mod chrome;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod prom;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate, TraceCheck};
+pub use live::{
+    render_progress_line, DeviceSnapshot, LiveSnapshot, LiveTelemetry, ProgressSampler, RingGauge,
+};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use prom::{metrics_json, prometheus};
 pub use span::{ObsKind, ObsLevel, ObsSpan, Recorder};

@@ -1,0 +1,178 @@
+//! Machine-readable metric exposition: Prometheus text format and JSON.
+//!
+//! The CLI's `--metrics-format prom|json` flags render a
+//! [`MetricsRegistry`] through these writers instead of the human summary.
+//! The Prometheus output follows the text exposition format version 0.0.4:
+//! counters become `megasw_<name>` counters, histograms become summaries
+//! with `quantile` labels plus `_sum`/`_count` series — scrapeable by an
+//! actual Prometheus if the text is served over HTTP, and diffable as a
+//! stable artifact either way. Everything is emitted in sorted name order,
+//! so two runs of the same workload produce line-comparable documents.
+
+use crate::json::escape;
+use crate::metrics::MetricsRegistry;
+use std::fmt::Write as _;
+
+/// Turn a dotted metric name into a Prometheus-legal one:
+/// `ring.pop_wait_ns` → `megasw_ring_pop_wait_ns`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("megasw_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a finite `f64` the way Prometheus expects (no exponent games
+/// needed for our value ranges; integers stay integral).
+fn prom_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Prometheus text exposition of the registry.
+pub fn prometheus(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in metrics.counters() {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} counter");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, h) in metrics.histograms() {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} summary");
+        for (label, q) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+            let _ = writeln!(out, "{p}{{quantile=\"{label}\"}} {}", prom_value(q));
+        }
+        let _ = writeln!(out, "{p}_sum {}", prom_value(h.sum));
+        let _ = writeln!(out, "{p}_count {}", h.count);
+    }
+    out
+}
+
+/// JSON exposition of the registry: one object with `counters` and
+/// `histograms` members, histogram values carrying count/sum/min/max and
+/// the three standard quantiles.
+pub fn metrics_json(metrics: &MetricsRegistry) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let mut first = true;
+    for (name, value) in metrics.counters() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\": {value}", escape(name));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    let mut first = true;
+    for (name, h) in metrics.histograms() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            escape(name),
+            h.count,
+            json_num(h.sum),
+            json_num(h.min),
+            json_num(h.max),
+            json_num(h.p50()),
+            json_num(h.p90()),
+            json_num(h.p99()),
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// JSON has no NaN/Infinity literals; a histogram can only hold finite
+/// statistics (non-finite observations are rejected), but an *empty* one
+/// reports min/max of 0.0 via Default, which is already finite. Guard
+/// anyway so the writer can never emit an unparseable document.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.incr("cells.total", 100);
+        m.incr("ring.pushed", 7);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            m.observe("span.kernel.duration_ns", v);
+        }
+        m
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = prometheus(&sample());
+        assert!(text.contains("# TYPE megasw_cells_total counter"));
+        assert!(text.contains("megasw_cells_total 100"));
+        assert!(text.contains("# TYPE megasw_span_kernel_duration_ns summary"));
+        assert!(text.contains("megasw_span_kernel_duration_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("megasw_span_kernel_duration_ns_sum 10"));
+        assert!(text.contains("megasw_span_kernel_duration_ns_count 4"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            assert!(parts.next().unwrap().starts_with("megasw_"), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn json_exposition_parses_and_roundtrips_values() {
+        let doc = metrics_json(&sample());
+        let v = json::parse(&doc).expect("writer must emit valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("cells.total")
+                .unwrap()
+                .as_f64(),
+            Some(100.0)
+        );
+        let h = v
+            .get("histograms")
+            .unwrap()
+            .get("span.kernel.duration_ns")
+            .unwrap();
+        assert_eq!(h.get("count").unwrap().as_f64(), Some(4.0));
+        assert_eq!(h.get("min").unwrap().as_f64(), Some(1.0));
+        assert_eq!(h.get("max").unwrap().as_f64(), Some(4.0));
+        assert!(h.get("p50").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_registry_is_still_valid_output() {
+        let m = MetricsRegistry::new();
+        assert!(prometheus(&m).is_empty());
+        assert!(json::parse(&metrics_json(&m)).is_ok());
+    }
+
+    #[test]
+    fn prom_names_are_sanitized() {
+        assert_eq!(prom_name("ring.d0.max-occ"), "megasw_ring_d0_max_occ");
+    }
+}

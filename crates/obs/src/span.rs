@@ -273,7 +273,8 @@ mod tests {
     #[test]
     fn spans_sorted_per_lane() {
         let rec = Recorder::new(ObsLevel::Full);
-        let cases: [(Option<u32>, u64); 4] = [(Some(1), 50), (Some(0), 30), (None, 5), (Some(0), 10)];
+        let cases: [(Option<u32>, u64); 4] =
+            [(Some(1), 50), (Some(0), 30), (None, 5), (Some(0), 10)];
         for (dev, start) in cases {
             rec.record(ObsSpan {
                 kind: ObsKind::Kernel,

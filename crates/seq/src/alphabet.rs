@@ -170,7 +170,12 @@ mod tests {
     #[test]
     fn iupac_ambiguity_degrades_to_n() {
         for c in [b'R', b'y', b'S', b'w', b'K', b'm', b'B', b'd', b'H', b'v'] {
-            assert_eq!(Nucleotide::from_ascii(c), Some(Nucleotide::N), "{}", c as char);
+            assert_eq!(
+                Nucleotide::from_ascii(c),
+                Some(Nucleotide::N),
+                "{}",
+                c as char
+            );
         }
     }
 

@@ -93,9 +93,9 @@ impl DnaSeq {
     /// Base at position `i`.
     #[inline]
     pub fn get(&self, i: usize) -> Option<Nucleotide> {
-        self.codes.get(i).map(|&c| {
-            Nucleotide::from_code(c).expect("DnaSeq invariant: codes are always valid")
-        })
+        self.codes
+            .get(i)
+            .map(|&c| Nucleotide::from_code(c).expect("DnaSeq invariant: codes are always valid"))
     }
 
     /// Sub-sequence `[start, end)` as a new owned sequence.

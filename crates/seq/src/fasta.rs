@@ -31,9 +31,15 @@ impl FastaRecord {
 pub enum FastaError {
     Io(io::Error),
     /// `(line, column, byte)` of the offending character (1-based line).
-    InvalidCharacter { line: usize, column: usize, byte: u8 },
+    InvalidCharacter {
+        line: usize,
+        column: usize,
+        byte: u8,
+    },
     /// Sequence data before any `>` header.
-    MissingHeader { line: usize },
+    MissingHeader {
+        line: usize,
+    },
 }
 
 impl std::fmt::Display for FastaError {
@@ -81,9 +87,9 @@ pub fn read_fasta<R: Read>(reader: R) -> Result<Vec<FastaRecord>, FastaError> {
                 seq: DnaSeq::new(),
             });
         } else {
-            let rec = current.as_mut().ok_or(FastaError::MissingHeader {
-                line: line_no + 1,
-            })?;
+            let rec = current
+                .as_mut()
+                .ok_or(FastaError::MissingHeader { line: line_no + 1 })?;
             for (col, &b) in line.as_bytes().iter().enumerate() {
                 match crate::alphabet::Nucleotide::from_ascii(b) {
                     Some(n) => rec.seq.push(n),
@@ -238,7 +244,10 @@ mod tests {
     fn roundtrip_generated_chromosome() {
         use crate::generate::{ChromosomeGenerator, GenerateConfig};
         let seq = ChromosomeGenerator::new(GenerateConfig::sized(10_000, 15)).generate();
-        let recs = vec![FastaRecord { header: "gen".into(), seq: seq.clone() }];
+        let recs = vec![FastaRecord {
+            header: "gen".into(),
+            seq: seq.clone(),
+        }];
         let mut out = Vec::new();
         write_fasta(&mut out, &recs, 60).unwrap();
         let back = read_single_fasta(&out[..]).unwrap();

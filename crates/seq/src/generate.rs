@@ -12,8 +12,8 @@
 //! [`GenerateConfig`], using ChaCha8 (portable across platforms and rand
 //! releases).
 
-use crate::dna::DnaSeq;
 use crate::alphabet::{Nucleotide, N_CODE};
+use crate::dna::DnaSeq;
 use crate::rng::ChaCha8Rng;
 
 /// Configuration for [`ChromosomeGenerator`].

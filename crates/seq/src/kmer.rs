@@ -29,7 +29,11 @@ impl KmerIndex {
         let mut total = 0usize;
 
         // Rolling 2-bit pack; any N resets the window.
-        let mask: u64 = if k == 32 { u64::MAX } else { (1u64 << (2 * k)) - 1 };
+        let mask: u64 = if k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * k)) - 1
+        };
         let mut packed: u64 = 0;
         let mut valid = 0usize; // consecutive concrete bases ending here
         for (pos, &c) in codes.iter().enumerate() {
@@ -291,7 +295,10 @@ mod tests {
         let mut b = ChromosomeGenerator::new(GenerateConfig::uniform(250, 10)).generate();
         b.extend_codes(core.codes());
         let (lo, hi) = estimate_band(&core, &b, 16, 0.9, 16).unwrap();
-        assert!(lo <= 250 && 250 <= hi, "band ({lo}, {hi}) misses offset 250");
+        assert!(
+            lo <= 250 && 250 <= hi,
+            "band ({lo}, {hi}) misses offset 250"
+        );
         assert!(hi - lo < 600, "band ({lo}, {hi}) too wide");
     }
 
@@ -311,7 +318,10 @@ mod tests {
         // The main diagonal should be the darkest cells.
         for (r, line) in lines.iter().enumerate() {
             let c = line.chars().nth(r).unwrap();
-            assert!(c == '#' || c == '*', "diagonal cell ({r},{r}) = {c:?}\n{plot}");
+            assert!(
+                c == '#' || c == '*',
+                "diagonal cell ({r},{r}) = {c:?}\n{plot}"
+            );
         }
     }
 

@@ -193,12 +193,7 @@ impl DivergenceModel {
 }
 
 /// Substitute with probability `rate`; N passes through untouched.
-fn mutate_base(
-    rng: &mut ChaCha8Rng,
-    base: u8,
-    rate: f64,
-    summary: &mut DivergenceSummary,
-) -> u8 {
+fn mutate_base(rng: &mut ChaCha8Rng, base: u8, rate: f64, summary: &mut DivergenceSummary) -> u8 {
     if base >= 4 || rate == 0.0 || rng.gen::<f64>() >= rate {
         return base;
     }

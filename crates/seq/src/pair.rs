@@ -54,8 +54,8 @@ impl ChromosomePair {
     /// trimmed/extended toward `chimp_len` (trim from the end, or append
     /// fresh sequence — telomeric drift).
     pub fn generate(spec: PairSpec) -> ChromosomePair {
-        let human = ChromosomeGenerator::new(GenerateConfig::sized(spec.human_len, spec.seed))
-            .generate();
+        let human =
+            ChromosomeGenerator::new(GenerateConfig::sized(spec.human_len, spec.seed)).generate();
         let (mut chimp, divergence) = DivergenceModel::human_chimp_scaled(
             spec.seed.wrapping_mul(0x9E37_79B9),
             spec.human_len,
@@ -111,10 +111,30 @@ impl PairCatalog {
     pub fn default_scale() -> Self {
         PairCatalog {
             specs: vec![
-                PairSpec { name: "chrA", human_len: 1_000_000, chimp_len: 1_000_000, seed: 101 },
-                PairSpec { name: "chrB", human_len: 2_000_000, chimp_len: 2_100_000, seed: 102 },
-                PairSpec { name: "chrC", human_len: 3_000_000, chimp_len: 2_900_000, seed: 103 },
-                PairSpec { name: "chrD", human_len: 5_000_000, chimp_len: 5_200_000, seed: 104 },
+                PairSpec {
+                    name: "chrA",
+                    human_len: 1_000_000,
+                    chimp_len: 1_000_000,
+                    seed: 101,
+                },
+                PairSpec {
+                    name: "chrB",
+                    human_len: 2_000_000,
+                    chimp_len: 2_100_000,
+                    seed: 102,
+                },
+                PairSpec {
+                    name: "chrC",
+                    human_len: 3_000_000,
+                    chimp_len: 2_900_000,
+                    seed: 103,
+                },
+                PairSpec {
+                    name: "chrD",
+                    human_len: 5_000_000,
+                    chimp_len: 5_200_000,
+                    seed: 104,
+                },
             ],
         }
     }
@@ -124,10 +144,30 @@ impl PairCatalog {
     pub fn paper_scale() -> Self {
         PairCatalog {
             specs: vec![
-                PairSpec { name: "chr22", human_len: 24_000_000, chimp_len: 24_700_000, seed: 201 },
-                PairSpec { name: "chr21", human_len: 33_000_000, chimp_len: 32_100_000, seed: 202 },
-                PairSpec { name: "chrY",  human_len: 26_000_000, chimp_len: 25_200_000, seed: 203 },
-                PairSpec { name: "chr19", human_len: 47_000_000, chimp_len: 49_000_000, seed: 204 },
+                PairSpec {
+                    name: "chr22",
+                    human_len: 24_000_000,
+                    chimp_len: 24_700_000,
+                    seed: 201,
+                },
+                PairSpec {
+                    name: "chr21",
+                    human_len: 33_000_000,
+                    chimp_len: 32_100_000,
+                    seed: 202,
+                },
+                PairSpec {
+                    name: "chrY",
+                    human_len: 26_000_000,
+                    chimp_len: 25_200_000,
+                    seed: 203,
+                },
+                PairSpec {
+                    name: "chr19",
+                    human_len: 47_000_000,
+                    chimp_len: 49_000_000,
+                    seed: 204,
+                },
             ],
         }
     }
@@ -136,10 +176,30 @@ impl PairCatalog {
     pub fn test_scale() -> Self {
         PairCatalog {
             specs: vec![
-                PairSpec { name: "tinyA", human_len: 12_000, chimp_len: 12_000, seed: 301 },
-                PairSpec { name: "tinyB", human_len: 18_000, chimp_len: 20_000, seed: 302 },
-                PairSpec { name: "tinyC", human_len: 26_000, chimp_len: 24_000, seed: 303 },
-                PairSpec { name: "tinyD", human_len: 32_000, chimp_len: 32_000, seed: 304 },
+                PairSpec {
+                    name: "tinyA",
+                    human_len: 12_000,
+                    chimp_len: 12_000,
+                    seed: 301,
+                },
+                PairSpec {
+                    name: "tinyB",
+                    human_len: 18_000,
+                    chimp_len: 20_000,
+                    seed: 302,
+                },
+                PairSpec {
+                    name: "tinyC",
+                    human_len: 26_000,
+                    chimp_len: 24_000,
+                    seed: 303,
+                },
+                PairSpec {
+                    name: "tinyD",
+                    human_len: 32_000,
+                    chimp_len: 32_000,
+                    seed: 304,
+                },
             ],
         }
     }
@@ -151,7 +211,11 @@ impl PairCatalog {
 
     /// Generate every pair (expensive at default scale; benches cache these).
     pub fn generate_all(&self) -> Vec<ChromosomePair> {
-        self.specs.iter().cloned().map(ChromosomePair::generate).collect()
+        self.specs
+            .iter()
+            .cloned()
+            .map(ChromosomePair::generate)
+            .collect()
     }
 }
 
@@ -175,7 +239,12 @@ mod tests {
 
     #[test]
     fn generated_pair_hits_exact_lengths() {
-        let spec = PairSpec { name: "t", human_len: 30_000, chimp_len: 32_000, seed: 5 };
+        let spec = PairSpec {
+            name: "t",
+            human_len: 30_000,
+            chimp_len: 32_000,
+            seed: 5,
+        };
         let pair = ChromosomePair::generate(spec);
         assert_eq!(pair.human.len(), 30_000);
         assert_eq!(pair.chimp.len(), 32_000);
@@ -185,14 +254,24 @@ mod tests {
     #[test]
     fn generated_pair_hits_exact_lengths_when_trimming() {
         // chimp shorter than human forces the trim path.
-        let spec = PairSpec { name: "t", human_len: 30_000, chimp_len: 24_000, seed: 6 };
+        let spec = PairSpec {
+            name: "t",
+            human_len: 30_000,
+            chimp_len: 24_000,
+            seed: 6,
+        };
         let pair = ChromosomePair::generate(spec);
         assert_eq!(pair.chimp.len(), 24_000);
     }
 
     #[test]
     fn pair_members_are_highly_similar_but_not_identical() {
-        let spec = PairSpec { name: "t", human_len: 50_000, chimp_len: 50_000, seed: 8 };
+        let spec = PairSpec {
+            name: "t",
+            human_len: 50_000,
+            chimp_len: 50_000,
+            seed: 8,
+        };
         let pair = ChromosomePair::generate(spec);
         assert_ne!(pair.human, pair.chimp);
         assert!(pair.divergence.substitutions > 0);
@@ -200,7 +279,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let spec = PairSpec { name: "t", human_len: 25_000, chimp_len: 26_000, seed: 12 };
+        let spec = PairSpec {
+            name: "t",
+            human_len: 25_000,
+            chimp_len: 26_000,
+            seed: 12,
+        };
         let a = ChromosomePair::generate(spec.clone());
         let b = ChromosomePair::generate(spec);
         assert_eq!(a.human, b.human);
@@ -209,7 +293,12 @@ mod tests {
 
     #[test]
     fn spec_cells_uses_wide_arithmetic() {
-        let spec = PairSpec { name: "big", human_len: 47_000_000, chimp_len: 49_000_000, seed: 0 };
+        let spec = PairSpec {
+            name: "big",
+            human_len: 47_000_000,
+            chimp_len: 49_000_000,
+            seed: 0,
+        };
         assert_eq!(spec.cells(), 47_000_000u128 * 49_000_000u128);
     }
 }

@@ -48,7 +48,11 @@ impl ChaCha8Rng {
             state[5 + 2 * i] = (k >> 32) as u32;
         }
         // words 12..13: block counter, 14..15: nonce (zero).
-        ChaCha8Rng { state, buf: [0u32; 16], idx: 16 }
+        ChaCha8Rng {
+            state,
+            buf: [0u32; 16],
+            idx: 16,
+        }
     }
 
     fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {

@@ -61,7 +61,11 @@ fn reverse_complement_involution() {
     for case in 0..CASES {
         let mut rng = ChaCha8Rng::seed_from_u64(0x5E40 + case);
         let seq = DnaSeq::from_codes(dna_codes(&mut rng, 1_000)).unwrap();
-        assert_eq!(seq.reverse_complement().reverse_complement(), seq, "case {case}");
+        assert_eq!(
+            seq.reverse_complement().reverse_complement(),
+            seq,
+            "case {case}"
+        );
         assert_eq!(seq.reversed().reversed(), seq, "case {case}");
         assert_eq!(seq.reverse_complement().len(), seq.len(), "case {case}");
     }
@@ -136,7 +140,12 @@ fn snp_divergence_preserves_length_and_counts() {
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
         let (b, summary) = DivergenceModel::snp_only(seed ^ 1, rate).apply(&a);
         assert_eq!(a.len(), b.len(), "case {case}");
-        let diff = a.codes().iter().zip(b.codes()).filter(|(x, y)| x != y).count();
+        let diff = a
+            .codes()
+            .iter()
+            .zip(b.codes())
+            .filter(|(x, y)| x != y)
+            .count();
         assert_eq!(diff, summary.substitutions, "case {case}");
     }
 }

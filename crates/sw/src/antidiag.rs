@@ -145,10 +145,7 @@ mod tests {
         let scheme = ScoreScheme::cudalign();
         let a = codes("ATATATATATAT");
         let b = codes("TATATATATA");
-        assert_eq!(
-            antidiag_best(&a, &b, &scheme),
-            gotoh_best(&a, &b, &scheme)
-        );
+        assert_eq!(antidiag_best(&a, &b, &scheme), gotoh_best(&a, &b, &scheme));
     }
 
     #[test]

@@ -223,7 +223,11 @@ mod tests {
             let a = ChromosomeGenerator::new(GenerateConfig::uniform(150, seed)).generate();
             let b = ChromosomeGenerator::new(GenerateConfig::uniform(130, seed + 9)).generate();
             let banded = banded_best(a.codes(), b.codes(), &scheme, a.len() + b.len());
-            assert_eq!(banded.best, gotoh_best(a.codes(), b.codes(), &scheme), "seed {seed}");
+            assert_eq!(
+                banded.best,
+                gotoh_best(a.codes(), b.codes(), &scheme),
+                "seed {seed}"
+            );
             assert!(!banded.touched_edge);
         }
     }

@@ -100,7 +100,9 @@ fn compute_block_impl<const LOCAL: bool>(
         h: Vec::with_capacity(bh + 1),
         e: Vec::with_capacity(bh + 1),
     };
-    right.h.push(*input.top.h.last().expect("top border non-empty"));
+    right
+        .h
+        .push(*input.top.h.last().expect("top border non-empty"));
     right.e.push(NEG_INF);
 
     let mut best = BestCell::ZERO;
@@ -123,9 +125,7 @@ fn compute_block_impl<const LOCAL: bool>(
             let h_up = *h_cell; // H[i-1][j] — not yet overwritten
             let f = (*f_cell - ext).max(h_up - open_ext);
             e = (e - ext).max(h_left - open_ext);
-            let mut h = (h_diag + scheme.substitution(a_code, b_code))
-                .max(e)
-                .max(f);
+            let mut h = (h_diag + scheme.substitution(a_code, b_code)).max(e).max(f);
             if LOCAL && h < 0 {
                 h = 0;
             }
@@ -278,8 +278,14 @@ mod tests {
         assert_eq!(best, fm.best);
 
         // Final bottom-right borders must match the reference matrix edges.
-        assert_eq!(t11.bottom.h, fm.row_border_h(a.len(), split_j + 1, b.len() + 1));
-        assert_eq!(t11.right.h, fm.col_border_h(b.len(), split_i + 1, a.len() + 1));
+        assert_eq!(
+            t11.bottom.h,
+            fm.row_border_h(a.len(), split_j + 1, b.len() + 1)
+        );
+        assert_eq!(
+            t11.right.h,
+            fm.col_border_h(b.len(), split_i + 1, a.len() + 1)
+        );
         assert_eq!(t10.bottom.h, fm.row_border_h(a.len(), 1, split_j + 1));
         assert_eq!(t01.right.h, fm.col_border_h(b.len(), 1, split_i + 1));
     }

@@ -28,7 +28,11 @@ pub struct BestCell {
 impl BestCell {
     /// The "no alignment" element: score 0 at the origin. It is the identity
     /// of [`BestCell::merge`] for any legal SW result (scores are ≥ 0).
-    pub const ZERO: BestCell = BestCell { score: 0, i: 0, j: 0 };
+    pub const ZERO: BestCell = BestCell {
+        score: 0,
+        i: 0,
+        j: 0,
+    };
 
     /// Create a best cell.
     pub fn new(score: Score, i: usize, j: usize) -> Self {

@@ -35,9 +35,7 @@ pub fn render_alignment(a: &[u8], b: &[u8], aln: &LocalAlignment, width: usize) 
 
     let mut i = aln.start_i; // next a position to consume (1-based)
     let mut j = aln.start_j;
-    let to_char = |code: u8| {
-        crate::ascii_base(code)
-    };
+    let to_char = |code: u8| crate::ascii_base(code);
     for &op in &aln.ops {
         match op {
             AlignOp::Match | AlignOp::Mismatch => {
@@ -83,11 +81,7 @@ pub fn render_alignment(a: &[u8], b: &[u8], aln: &LocalAlignment, width: usize) 
             seg(&top),
             a_pos[end - 1],
         ));
-        out.push_str(&format!(
-            "  {:>digits$} {}\n",
-            "",
-            seg(&mid),
-        ));
+        out.push_str(&format!("  {:>digits$} {}\n", "", seg(&mid),));
         out.push_str(&format!(
             "b {:>digits$} {} {}\n",
             b_pos[block_start],

@@ -254,7 +254,13 @@ fn mm_forward(a: &[u8], b: &[u8], tb: Score, scheme: &ScoreScheme) -> (Vec<Score
     let ext = scheme.gap_extend;
 
     let mut cc: Vec<Score> = (0..=n)
-        .map(|j| if j == 0 { 0 } else { -(open + j as Score * ext) })
+        .map(|j| {
+            if j == 0 {
+                0
+            } else {
+                -(open + j as Score * ext)
+            }
+        })
         .collect();
     let mut dd = vec![NEG_INF; n + 1];
 
@@ -414,14 +420,16 @@ fn mm_base_single_row(
         }
     } else {
         ops.extend(std::iter::repeat_n(AlignOp::Insert, best_j - 1));
-        ops.push(if scheme.substitution(a_code, b[best_j - 1]) == scheme.match_score
-            && a_code == b[best_j - 1]
-            && a_code < 4
-        {
-            AlignOp::Match
-        } else {
-            AlignOp::Mismatch
-        });
+        ops.push(
+            if scheme.substitution(a_code, b[best_j - 1]) == scheme.match_score
+                && a_code == b[best_j - 1]
+                && a_code < 4
+            {
+                AlignOp::Match
+            } else {
+                AlignOp::Mismatch
+            },
+        );
         ops.extend(std::iter::repeat_n(AlignOp::Insert, n - best_j));
     }
 }
@@ -619,7 +627,11 @@ mod tests {
         assert_eq!(aln.score, want.score);
         assert_eq!((aln.end_i, aln.end_j), (want.i, want.j));
         // The alignment must sit over the planted core.
-        assert!(aln.start_i >= 100 && aln.start_i <= 200, "start_i = {}", aln.start_i);
+        assert!(
+            aln.start_i >= 100 && aln.start_i <= 200,
+            "start_i = {}",
+            aln.start_i
+        );
         assert!(aln.identity() > 0.95, "identity = {}", aln.identity());
         // Ops re-score exactly.
         let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
@@ -645,7 +657,10 @@ mod tests {
     fn local_align_empty_cases() {
         let scheme = ScoreScheme::cudalign();
         assert_eq!(local_align(&[], &[], &scheme), LocalAlignment::empty());
-        assert_eq!(local_align(&codes("A"), &codes("C"), &scheme), LocalAlignment::empty());
+        assert_eq!(
+            local_align(&codes("A"), &codes("C"), &scheme),
+            LocalAlignment::empty()
+        );
         // All-N sequences can never score.
         assert_eq!(
             local_align(&codes("NNNN"), &codes("NNNN"), &scheme),
@@ -659,7 +674,10 @@ mod tests {
         let a = codes("ACGTACGTGGCC");
         let aln = local_align(&a, &a, &scheme);
         assert_eq!(aln.score, 12);
-        assert_eq!((aln.start_i, aln.start_j, aln.end_i, aln.end_j), (1, 1, 12, 12));
+        assert_eq!(
+            (aln.start_i, aln.start_j, aln.end_i, aln.end_j),
+            (1, 1, 12, 12)
+        );
         assert!(aln.ops.iter().all(|o| *o == AlignOp::Match));
         assert_eq!(aln.cigar(), "12=");
     }

@@ -41,7 +41,11 @@ fn every_small_pair_agrees_across_scan_kernels() {
         for b in &seqs {
             let want = reference_best(a, b, &scheme);
             assert_eq!(gotoh_best(a, b, &scheme), want, "gotoh {a:?} vs {b:?}");
-            assert_eq!(antidiag_best(a, b, &scheme), want, "antidiag {a:?} vs {b:?}");
+            assert_eq!(
+                antidiag_best(a, b, &scheme),
+                want,
+                "antidiag {a:?} vs {b:?}"
+            );
         }
     }
 }

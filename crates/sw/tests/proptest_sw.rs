@@ -86,7 +86,11 @@ fn antidiag_equals_gotoh() {
         let mut rng = ChaCha8Rng::seed_from_u64(0x50_02 + case);
         let (a, b) = similar_pair(&mut rng, 80);
         let sch = scheme(&mut rng);
-        assert_eq!(antidiag_best(&a, &b, &sch), gotoh_best(&a, &b, &sch), "case {case}");
+        assert_eq!(
+            antidiag_best(&a, &b, &sch),
+            gotoh_best(&a, &b, &sch),
+            "case {case}"
+        );
     }
 }
 
@@ -118,7 +122,11 @@ fn pruned_grid_equals_gotoh() {
         let sch = scheme(&mut rng);
         let grid = BlockGrid::new(a.len(), b.len(), bs, bs);
         let res = run_pruned(&a, &b, &grid, &sch);
-        assert_eq!(res.best, gotoh_best(&a, &b, &sch), "case {case}, block {bs}");
+        assert_eq!(
+            res.best,
+            gotoh_best(&a, &b, &sch),
+            "case {case}, block {bs}"
+        );
     }
 }
 
@@ -131,7 +139,10 @@ fn score_invariants() {
         let sch = scheme(&mut rng);
         let best = gotoh_best(&a, &b, &sch);
         assert!(best.score >= 0, "case {case}");
-        assert!(best.score <= sch.max_possible(a.len(), b.len()), "case {case}");
+        assert!(
+            best.score <= sch.max_possible(a.len(), b.len()),
+            "case {case}"
+        );
         // The end position is inside the matrix (or the origin for score 0).
         if best.score > 0 {
             assert!(best.i >= 1 && best.i <= a.len(), "case {case}");
@@ -214,33 +225,62 @@ fn block_composition_is_exact() {
 
         // Splitting the matrix into 4 tiles at an arbitrary point and
         // stitching borders equals the single-tile computation.
-        let whole = compute_block(BlockInput {
-            a_rows: &a, b_cols: &b,
-            top: &RowBorder::zero(b.len()),
-            left: &ColBorder::zero(a.len()),
-            row_offset: 1, col_offset: 1,
-        }, &sch);
+        let whole = compute_block(
+            BlockInput {
+                a_rows: &a,
+                b_cols: &b,
+                top: &RowBorder::zero(b.len()),
+                left: &ColBorder::zero(a.len()),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &sch,
+        );
 
-        let t00 = compute_block(BlockInput {
-            a_rows: &a[..si], b_cols: &b[..sj],
-            top: &RowBorder::zero(sj), left: &ColBorder::zero(si),
-            row_offset: 1, col_offset: 1,
-        }, &sch);
-        let t01 = compute_block(BlockInput {
-            a_rows: &a[..si], b_cols: &b[sj..],
-            top: &RowBorder::zero(b.len() - sj), left: &t00.right,
-            row_offset: 1, col_offset: sj + 1,
-        }, &sch);
-        let t10 = compute_block(BlockInput {
-            a_rows: &a[si..], b_cols: &b[..sj],
-            top: &t00.bottom, left: &ColBorder::zero(a.len() - si),
-            row_offset: si + 1, col_offset: 1,
-        }, &sch);
-        let t11 = compute_block(BlockInput {
-            a_rows: &a[si..], b_cols: &b[sj..],
-            top: &t01.bottom, left: &t10.right,
-            row_offset: si + 1, col_offset: sj + 1,
-        }, &sch);
+        let t00 = compute_block(
+            BlockInput {
+                a_rows: &a[..si],
+                b_cols: &b[..sj],
+                top: &RowBorder::zero(sj),
+                left: &ColBorder::zero(si),
+                row_offset: 1,
+                col_offset: 1,
+            },
+            &sch,
+        );
+        let t01 = compute_block(
+            BlockInput {
+                a_rows: &a[..si],
+                b_cols: &b[sj..],
+                top: &RowBorder::zero(b.len() - sj),
+                left: &t00.right,
+                row_offset: 1,
+                col_offset: sj + 1,
+            },
+            &sch,
+        );
+        let t10 = compute_block(
+            BlockInput {
+                a_rows: &a[si..],
+                b_cols: &b[..sj],
+                top: &t00.bottom,
+                left: &ColBorder::zero(a.len() - si),
+                row_offset: si + 1,
+                col_offset: 1,
+            },
+            &sch,
+        );
+        let t11 = compute_block(
+            BlockInput {
+                a_rows: &a[si..],
+                b_cols: &b[sj..],
+                top: &t01.bottom,
+                left: &t10.right,
+                row_offset: si + 1,
+                col_offset: sj + 1,
+            },
+            &sch,
+        );
 
         let stitched = t00.best.merge(t01.best).merge(t10.best).merge(t11.best);
         assert_eq!(stitched, whole.best, "case {case}, split ({si}, {sj})");

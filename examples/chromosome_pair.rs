@@ -90,7 +90,11 @@ fn main() {
     let preview: String = cigar.chars().take(120).collect();
     println!(
         "  CIGAR{}: {preview}{}",
-        if cigar.len() > 120 { " (truncated)" } else { "" },
+        if cigar.len() > 120 {
+            " (truncated)"
+        } else {
+            ""
+        },
         if cigar.len() > 120 { "…" } else { "" }
     );
 

@@ -84,13 +84,19 @@ fn demo_pair() -> (PathBuf, PathBuf) {
 
     write_fasta(
         File::create(&a_path).expect("create demo file"),
-        &[FastaRecord { header: "human_demo synthetic".into(), seq: human }],
+        &[FastaRecord {
+            header: "human_demo synthetic".into(),
+            seq: human,
+        }],
         70,
     )
     .expect("write demo FASTA");
     write_fasta(
         File::create(&b_path).expect("create demo file"),
-        &[FastaRecord { header: "chimp_demo synthetic".into(), seq: chimp }],
+        &[FastaRecord {
+            header: "chimp_demo synthetic".into(),
+            seq: chimp,
+        }],
         70,
     )
     .expect("write demo FASTA");

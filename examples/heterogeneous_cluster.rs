@@ -32,10 +32,7 @@ fn main() {
         Platform::single(catalog::gtx_titan()),
         Platform::env1(),
         Platform::env2(),
-        Platform::custom(
-            "all six boards",
-            catalog::all().into_iter().rev().collect(),
-        ),
+        Platform::custom("all six boards", catalog::all().into_iter().rev().collect()),
     ];
 
     println!("\n{m}×{n} matrix, proportional vs equal partitioning:\n");

@@ -14,13 +14,21 @@ fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
 fn invariant_to_block_geometry() {
     let (a, b) = pair(2_500, 1);
     let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
-    for (bh, bw) in [(16, 16), (64, 32), (33, 97), (256, 256), (2_500, 50), (50, 4_000)] {
+    for (bh, bw) in [
+        (16, 16),
+        (64, 32),
+        (33, 97),
+        (256, 256),
+        (2_500, 50),
+        (50, 4_000),
+    ] {
         let mut cfg = RunConfig::paper_default();
         cfg.block_h = bh;
         cfg.block_w = bw;
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "block {bh}×{bw}");
     }
 }
@@ -35,7 +43,8 @@ fn invariant_to_buffer_capacity() {
             .with_buffer_capacity(cap);
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "capacity {cap}");
         // Ring occupancy never exceeds the configured capacity.
         for d in &report.devices {
@@ -61,7 +70,8 @@ fn invariant_to_partition_policy() {
             .with_partition(policy.clone());
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "policy {policy:?}");
     }
 }
@@ -75,7 +85,8 @@ fn invariant_to_device_count() {
         let cfg = RunConfig::paper_default().with_block(64);
         let report = PipelineRun::new(a.codes(), b.codes(), &base.take(g))
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "{g} devices");
         assert_eq!(report.devices.len(), g);
     }
@@ -97,10 +108,12 @@ fn invariant_to_device_order() {
     );
     let r1 = PipelineRun::new(a.codes(), b.codes(), &forward)
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     let r2 = PipelineRun::new(a.codes(), b.codes(), &backward)
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     assert_eq!(r1.best, want);
     assert_eq!(r2.best, want);
     // Proportional splits differ with order…
@@ -116,10 +129,12 @@ fn repeated_runs_are_deterministic() {
     let cfg = RunConfig::paper_default().with_block(64);
     let r1 = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     let r2 = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     assert_eq!(r1.best, r2.best);
     assert_eq!(r1.total_bytes_transferred(), r2.total_bytes_transferred());
 }
@@ -154,7 +169,8 @@ fn adversarial_sequences_stay_consistent() {
         let want = gotoh_best(a.codes(), b.codes(), &scheme);
         let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "case {i}");
     }
 }

@@ -38,7 +38,8 @@ fn all_backends_agree_on_homologous_pair() {
         let cfg = RunConfig::paper_default().with_block(128);
         let report = PipelineRun::new(a.codes(), b.codes(), &platform)
             .config(cfg.clone())
-            .run().unwrap();
+            .run()
+            .unwrap();
         assert_eq!(report.best, want, "platform {}", platform.name);
     }
 }
@@ -56,7 +57,7 @@ fn pipeline_matches_reference_on_all_test_catalog_pairs() {
         let report = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &Platform::env2())
             .config(cfg.clone())
             .run()
-        .unwrap();
+            .unwrap();
         assert_eq!(report.best, want, "pair {}", spec.name);
         assert_eq!(report.total_cells, pair.cells());
     }
@@ -70,7 +71,8 @@ fn alignment_retrieval_composes_with_pipeline_result() {
     let cfg = RunConfig::paper_default().with_block(128);
     let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
 
     let aln = local_align(a.codes(), b.codes(), &cfg.scheme);
     assert_eq!(aln.score, report.best.score);
@@ -88,8 +90,14 @@ fn fasta_roundtrip_feeds_the_pipeline() {
     write_fasta(
         &mut buf,
         &[
-            FastaRecord { header: "human chr-test".into(), seq: a.clone() },
-            FastaRecord { header: "chimp chr-test".into(), seq: b.clone() },
+            FastaRecord {
+                header: "human chr-test".into(),
+                seq: a.clone(),
+            },
+            FastaRecord {
+                header: "chimp chr-test".into(),
+                seq: b.clone(),
+            },
         ],
         70,
     )
@@ -98,9 +106,13 @@ fn fasta_roundtrip_feeds_the_pipeline() {
     let records = read_fasta(&buf[..]).unwrap();
     assert_eq!(records.len(), 2);
     let cfg = RunConfig::paper_default().with_block(128);
-    let report = PipelineRun::new(records[0].seq.codes(), records[1].seq.codes(), &Platform::env1())
-        .config(cfg.clone())
-        .run()
+    let report = PipelineRun::new(
+        records[0].seq.codes(),
+        records[1].seq.codes(),
+        &Platform::env1(),
+    )
+    .config(cfg.clone())
+    .run()
     .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }
@@ -116,7 +128,8 @@ fn reverse_complement_strand_scores_differently_but_validly() {
     let cfg = RunConfig::paper_default().with_block(96);
     let report = PipelineRun::new(a.codes(), rc.codes(), &Platform::env2())
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     assert_eq!(report.best, want);
     assert!(want.score <= scheme.max_possible(a.len(), rc.len()));
 }

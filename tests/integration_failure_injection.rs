@@ -27,7 +27,7 @@ fn every_device_and_phase_fails_cleanly() {
                     fail_at_block_row: row,
                 })
                 .run()
-            .expect_err("faulted run must not succeed");
+                .expect_err("faulted run must not succeed");
             let msg = err.to_string();
             assert!(
                 msg.contains(&format!("device {device}")),
@@ -79,7 +79,7 @@ fn fault_on_nonexistent_device_is_harmless() {
             fail_at_block_row: 0,
         })
         .run()
-    .unwrap();
+        .unwrap();
     assert_eq!(report.best, want);
 }
 
@@ -95,7 +95,7 @@ fn fault_past_last_row_never_triggers() {
             fail_at_block_row: rows + 10,
         })
         .run()
-    .unwrap();
+        .unwrap();
     assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }
 
@@ -110,7 +110,7 @@ fn single_device_fault_reports_directly() {
             fail_at_block_row: 2,
         })
         .run()
-    .unwrap_err();
+        .unwrap_err();
     assert!(err.to_string().contains("device 0"));
 }
 
@@ -128,6 +128,7 @@ fn successive_runs_after_a_fault_are_unaffected() {
         .run();
     let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     assert_eq!(clean.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
 }

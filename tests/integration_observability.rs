@@ -155,12 +155,14 @@ fn deprecated_wrappers_stay_bit_identical_to_the_builder() {
             .semantics(Semantics::Anchored)
             .run()
             .unwrap();
-        let old_anchored =
-            run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap();
+        let old_anchored = run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap();
         assert_eq!(old_anchored.best, new_anchored.best);
 
         // A plan that never fires: the fault path must not perturb results.
-        let plan = FaultPlan { device: 0, fail_at_block_row: usize::MAX };
+        let plan = FaultPlan {
+            device: 0,
+            fail_at_block_row: usize::MAX,
+        };
         let new_faults = PipelineRun::new(a.codes(), b.codes(), &platform)
             .config(cfg.clone())
             .faults(plan)
@@ -183,7 +185,10 @@ fn obs_level_gates_what_both_backends_record() {
         .observer(kernels_only.clone())
         .run()
         .unwrap();
-    assert!(kernels_only.spans().iter().all(|s| s.kind == ObsKind::Kernel));
+    assert!(kernels_only
+        .spans()
+        .iter()
+        .all(|s| s.kind == ObsKind::Kernel));
 
     let off = Recorder::new(ObsLevel::Off);
     DesSim::new(50_000, 50_000, &Platform::env2())

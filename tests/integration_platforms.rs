@@ -2,8 +2,8 @@
 //! performance picture must have the paper's shape across environments.
 
 use megasw::gpusim::trace::render_gantt;
-use megasw::prelude::*;
 use megasw::multigpu::desrun::{gcups_versus_devices, run_des, run_des_bulk};
+use megasw::prelude::*;
 
 const MBP: usize = 1_000_000;
 
@@ -19,7 +19,10 @@ fn env1_and_env2_reach_paper_shape() {
     // Env2: the 140-GCUPS headline with 3 heterogeneous boards.
     let env2 = run_des(8 * MBP, 8 * MBP, &Platform::env2(), &cfg).report;
     let g2 = env2.gcups_sim.unwrap();
-    assert!((134.0..147.0).contains(&g2), "Env2 = {g2} GCUPS (paper: 140.36)");
+    assert!(
+        (134.0..147.0).contains(&g2),
+        "Env2 = {g2} GCUPS (paper: 140.36)"
+    );
 }
 
 #[test]
@@ -133,7 +136,8 @@ fn simulated_and_threaded_backends_share_the_partition_geometry() {
 
     let threaded = PipelineRun::new(a.codes(), b.codes(), &p)
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     let sim = run_des(m, n, &p, &cfg).report;
 
     assert_eq!(threaded.devices.len(), sim.devices.len());
@@ -150,11 +154,19 @@ fn weak_device_chain_is_bottlenecked_by_aggregate_not_by_chain_position() {
     let cfg = RunConfig::paper_default();
     let weak_first = Platform::custom(
         "weak-first",
-        vec![catalog::gtx560ti(), catalog::gtx_titan(), catalog::gtx_titan()],
+        vec![
+            catalog::gtx560ti(),
+            catalog::gtx_titan(),
+            catalog::gtx_titan(),
+        ],
     );
     let weak_last = Platform::custom(
         "weak-last",
-        vec![catalog::gtx_titan(), catalog::gtx_titan(), catalog::gtx560ti()],
+        vec![
+            catalog::gtx_titan(),
+            catalog::gtx_titan(),
+            catalog::gtx560ti(),
+        ],
     );
     let g_first = run_des(2 * MBP, 2 * MBP, &weak_first, &cfg)
         .report

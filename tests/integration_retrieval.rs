@@ -56,8 +56,7 @@ fn kmer_band_estimate_makes_banded_exact() {
 fn multigpu_retrieval_agrees_with_host_retrieval_and_renders() {
     let (a, b) = homologous_pair(4_000, 3);
     let cfg = RunConfig::paper_default().with_block(128);
-    let (multi, _) =
-        multigpu_local_align(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+    let (multi, _) = multigpu_local_align(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
     let host = local_align(a.codes(), b.codes(), &cfg.scheme);
 
     assert_eq!(multi.score, host.score);
@@ -80,11 +79,7 @@ fn multigpu_retrieval_agrees_with_host_retrieval_and_renders() {
         .step_by(4) // every block: a-line, bars, b-line, blank
         .map(|l| l.matches('|').count())
         .sum();
-    let matches = multi
-        .ops
-        .iter()
-        .filter(|o| **o == AlignOp::Match)
-        .count();
+    let matches = multi.ops.iter().filter(|o| **o == AlignOp::Match).count();
     assert_eq!(bars, matches);
 }
 
@@ -98,7 +93,7 @@ fn banded_adaptive_agrees_with_pipeline_on_catalog_pair() {
     let pipeline = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &Platform::env1())
         .config(cfg.clone())
         .run()
-    .unwrap();
+        .unwrap();
     assert_eq!(banded.best, pipeline.best);
 }
 
@@ -111,11 +106,16 @@ fn anchored_and_local_pipelines_relate_correctly() {
     let p = Platform::env2();
     let local = PipelineRun::new(a.codes(), b.codes(), &p)
         .config(cfg.clone())
-        .run().unwrap();
+        .run()
+        .unwrap();
     let anchored = PipelineRun::new(a.codes(), b.codes(), &p)
         .config(cfg.clone())
         .semantics(Semantics::Anchored)
-        .run().unwrap();
+        .run()
+        .unwrap();
     assert!(anchored.best.score <= local.best.score);
-    assert!(anchored.best.score >= 0, "origin score 0 is always anchored");
+    assert!(
+        anchored.best.score >= 0,
+        "origin score 0 is always anchored"
+    );
 }
