@@ -11,6 +11,14 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
+# Chaos suite: deterministic seeded fault schedules through both backends
+# (bit-identity under recovery, auto-shrunk repros on failure), plus an
+# explicit replay of one pinned scenario through the env-var repro path so
+# the one-line reproduction mechanism itself stays wired.
+cargo test -q -p megasw --test chaos_recovery
+MEGASW_CHAOS_REPRO='len=2000 seed=7 block=32 cap=2 ckpt=4 max=1 faults=1:10:ring-push' \
+    cargo test -q -p megasw --test chaos_recovery repro_from_env
+
 # Perf-regression artifact smoke: produce a 1-sample artifact, check it
 # parses against the schema, and shape-check it against the committed
 # baseline (absolute GCUPS are host-dependent, so CI compares shapes
@@ -28,6 +36,16 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
+# Schema v2 carries recovery accounting in every experiment; the recovery
+# anchor must report at least one actual recovery.
+grep -q '"recovery": {"recoveries": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks recovery metrics fields" >&2
+    exit 1
+}
+grep -q '"name": "recover.env2.3gpu".*"recovery": {"recoveries": 1' BENCH_ci.json || {
+    echo "ci: FAIL — recovery anchor experiment did not record a recovery" >&2
+    exit 1
+}
 rm -f BENCH_ci.json
 
 echo "ci: all gates passed"

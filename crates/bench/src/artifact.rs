@@ -21,7 +21,10 @@ use std::fmt::Write as _;
 /// change to the JSON shape; `bench-diff` refuses to compare versions it
 /// does not understand.
 pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
-pub const SCHEMA_VERSION: u64 = 1;
+/// v2: every experiment carries a `recovery` object (recoveries,
+/// rewound_cells, checkpoints) so fault-tolerance regressions are tracked
+/// alongside throughput.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -70,6 +73,10 @@ pub struct Experiment {
     pub stall_startup_ns: u64,
     pub stall_input_ns: u64,
     pub stall_drain_ns: u64,
+    /// Fault-recovery accounting (all zero for fault-free experiments).
+    pub recoveries_total: u64,
+    pub rewound_cells: u64,
+    pub checkpoints_taken: u64,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
@@ -81,6 +88,9 @@ impl Experiment {
         self.stall_startup_ns = metrics.counter("stall.startup_ns").unwrap_or(0);
         self.stall_input_ns = metrics.counter("stall.input_ns").unwrap_or(0);
         self.stall_drain_ns = metrics.counter("stall.drain_ns").unwrap_or(0);
+        self.recoveries_total = metrics.counter("recoveries_total").unwrap_or(0);
+        self.rewound_cells = metrics.counter("rewound_cells").unwrap_or(0);
+        self.checkpoints_taken = metrics.counter("checkpoints_taken").unwrap_or(0);
         for (name, h) in metrics.histograms() {
             if name.starts_with("span.") && name.ends_with(".duration_ns") {
                 self.quantiles.push(QuantileSummary {
@@ -153,6 +163,11 @@ impl Artifact {
                 "\"stall_ns\": {{\"startup\": {}, \"input\": {}, \"drain\": {}}}, ",
                 e.stall_startup_ns, e.stall_input_ns, e.stall_drain_ns
             );
+            let _ = write!(
+                out,
+                "\"recovery\": {{\"recoveries\": {}, \"rewound_cells\": {}, \"checkpoints\": {}}}, ",
+                e.recoveries_total, e.rewound_cells, e.checkpoints_taken
+            );
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -208,6 +223,9 @@ impl Artifact {
             let stall = e
                 .get("stall_ns")
                 .ok_or_else(|| ctx("missing \"stall_ns\""))?;
+            let recovery = e
+                .get("recovery")
+                .ok_or_else(|| ctx("missing \"recovery\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -231,6 +249,9 @@ impl Artifact {
                 stall_startup_ns: req_u64(stall, "startup").map_err(|m| ctx(&m))?,
                 stall_input_ns: req_u64(stall, "input").map_err(|m| ctx(&m))?,
                 stall_drain_ns: req_u64(stall, "drain").map_err(|m| ctx(&m))?,
+                recoveries_total: req_u64(recovery, "recoveries").map_err(|m| ctx(&m))?,
+                rewound_cells: req_u64(recovery, "rewound_cells").map_err(|m| ctx(&m))?,
+                checkpoints_taken: req_u64(recovery, "checkpoints").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -379,6 +400,9 @@ mod tests {
             stall_startup_ns: 1_000,
             stall_input_ns: 2_000,
             stall_drain_ns: 3_000,
+            recoveries_total: 1,
+            rewound_cells: 4_096,
+            checkpoints_taken: 12,
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -396,6 +420,9 @@ mod tests {
             stall_startup_ns: 0,
             stall_input_ns: 0,
             stall_drain_ns: 0,
+            recoveries_total: 0,
+            rewound_cells: 0,
+            checkpoints_taken: 0,
             quantiles: Vec::new(),
         });
         a
@@ -416,7 +443,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 1", "\"schema_version\": 999");
+            .replace("\"schema_version\": 2", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -474,6 +501,9 @@ mod tests {
         m.incr("stall.startup_ns", 11);
         m.incr("stall.input_ns", 22);
         m.incr("stall.drain_ns", 33);
+        m.incr("recoveries_total", 2);
+        m.incr("rewound_cells", 777);
+        m.incr("checkpoints_taken", 9);
         for v in [10.0, 20.0, 30.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -487,12 +517,18 @@ mod tests {
             stall_startup_ns: 0,
             stall_input_ns: 0,
             stall_drain_ns: 0,
+            recoveries_total: 0,
+            rewound_cells: 0,
+            checkpoints_taken: 0,
             quantiles: Vec::new(),
         }
         .with_metrics(&m);
         assert_eq!(e.stall_startup_ns, 11);
         assert_eq!(e.stall_input_ns, 22);
         assert_eq!(e.stall_drain_ns, 33);
+        assert_eq!(e.recoveries_total, 2);
+        assert_eq!(e.rewound_cells, 777);
+        assert_eq!(e.checkpoints_taken, 9);
         assert_eq!(e.quantiles.len(), 1);
         assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
         assert_eq!(e.quantiles[0].count, 3);

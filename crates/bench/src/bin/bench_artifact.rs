@@ -56,6 +56,13 @@ fn main() -> ExitCode {
         &config,
     ));
 
+    eprintln!("running recover.env2.3gpu…");
+    artifact.experiments.push(run_recovery_experiment(
+        "recover.env2.3gpu",
+        &Platform::env2(),
+        &config,
+    ));
+
     if let Err(e) = std::fs::write(&out, artifact.to_json()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::from(2);
@@ -106,6 +113,9 @@ fn run_pipeline_experiment(
         stall_startup_ns: 0,
         stall_input_ns: 0,
         stall_drain_ns: 0,
+        recoveries_total: 0,
+        rewound_cells: 0,
+        checkpoints_taken: 0,
         quantiles: Vec::new(),
     }
     .with_metrics(&report.metrics_with_spans(&obs.spans()))
@@ -130,6 +140,49 @@ fn run_des_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Ex
         stall_startup_ns: 0,
         stall_input_ns: 0,
         stall_drain_ns: 0,
+        recoveries_total: 0,
+        rewound_cells: 0,
+        checkpoints_taken: 0,
+        quantiles: Vec::new(),
+    }
+    .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
+}
+
+/// The fault-tolerance anchor: the same simulated paper-scale run with a
+/// mid-matrix device death and checkpoint recovery. Deterministic like the
+/// DES experiment, so its GCUPS *and* recovery accounting (recoveries,
+/// rewound cells, checkpoints) are bit-stable across hosts — a change in
+/// any of them is a real behavioural change in the recovery protocol.
+fn run_recovery_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Experiment {
+    let (m, n) = (1_000_000, 1_000_000);
+    let obs = Recorder::new(ObsLevel::Full);
+    let run = DesSim::new(m, n, platform)
+        .config(config.clone())
+        .observer(obs.clone())
+        .faults(FaultPlan {
+            device: 1,
+            fail_at_block_row: 976,
+        })
+        .recover(RecoveryPolicy::default())
+        .run();
+    assert!(
+        run.aborted.is_none(),
+        "recovery benchmark must complete: {:?}",
+        run.aborted
+    );
+    let g = run.report.gcups_sim.unwrap_or(0.0);
+    Experiment {
+        name: name.to_string(),
+        cells: (m * n) as u64,
+        gcups_median: g,
+        gcups_min: g,
+        gcups_max: g,
+        stall_startup_ns: 0,
+        stall_input_ns: 0,
+        stall_drain_ns: 0,
+        recoveries_total: 0,
+        rewound_cells: 0,
+        checkpoints_taken: 0,
         quantiles: Vec::new(),
     }
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))

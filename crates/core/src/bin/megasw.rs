@@ -80,6 +80,20 @@ platform flags:
   --capacity N      ring capacity in borders (default 8)
   --equal           equal split instead of performance-proportional
 
+fault-tolerance flags (compare, simulate):
+  --fault SPEC      inject deterministic device failures; SPEC is a
+                    comma-separated list of DEV:ROW[:PHASE] with PHASE one
+                    of ring-pop|compute|ring-push|transfer (default compute)
+  --recover         survive injected failures: blacklist the device,
+                    repartition its columns across the survivors, rewind to
+                    the newest checkpoint wave and resume (bit-identical
+                    score; recovery accounting printed with the report)
+  --checkpoint-rows N
+                    checkpoint every N block-rows (default 8; needs --recover)
+  --max-device-failures N
+                    give up after N device failures (default 1; needs
+                    --recover)
+
 observability flags (compare, align, simulate):
   --trace-out PATH  write a Chrome trace-event JSON of the run; open it in
                     chrome://tracing or https://ui.perfetto.dev
@@ -137,6 +151,7 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
     let config = parse_config(&mut args)?;
     let obs_opts = parse_obs(&mut args)?;
+    let (faults, recovery) = parse_faults(&mut args)?;
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
     let path_b = args.next_positional().ok_or("missing second FASTA path")?;
     args.finish()?;
@@ -158,12 +173,15 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
         (a.seq.len() as u64).saturating_mul(b.seq.len() as u64),
     );
     let sampler = obs_opts.spawn_progress(&live);
-    let report = PipelineRun::new(a.seq.codes(), b.seq.codes(), &platform)
+    let mut run = PipelineRun::new(a.seq.codes(), b.seq.codes(), &platform)
         .config(config.clone())
         .observer(obs.clone())
         .live(Arc::clone(&live))
-        .run()
-        .map_err(|e| e.to_string())?;
+        .faults(faults);
+    if let Some(policy) = recovery {
+        run = run.recover(policy);
+    }
+    let report = run.run().map_err(|e| e.to_string())?;
     finish_progress(sampler);
     print!("{report}");
     if obs_opts.metrics {
@@ -246,6 +264,7 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
     let config = parse_config(&mut args)?;
     let obs_opts = parse_obs(&mut args)?;
+    let (faults, recovery) = parse_faults(&mut args)?;
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
     let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
     let gantt = args.take_flag("--gantt");
@@ -258,13 +277,26 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     // snapshot rather than racing a sampler against the replay.
     let live =
         LiveTelemetry::with_manual_clock(platform.len(), (m as u64).saturating_mul(n as u64));
-    let run = DesSim::new(m, n, &platform)
+    let mut sim = DesSim::new(m, n, &platform)
         .config(config)
         .observer(obs.clone())
         .live(Arc::clone(&live))
-        .run();
+        .faults(faults);
+    if let Some(policy) = recovery {
+        sim = sim.recover(policy);
+    }
+    let run = sim.run();
     if obs_opts.progress {
         eprintln!("{}", render_progress_line(&live.snapshot(), None));
+    }
+    for loss in &run.losses {
+        println!(
+            "device failure: gpu{} at block-row {} (t = {})",
+            loss.device, loss.block_row, loss.at
+        );
+    }
+    if let Some(e) = &run.aborted {
+        return Err(e.to_string());
     }
     print!("{}", run.report);
     if obs_opts.metrics {
@@ -504,6 +536,32 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     })
 }
 
+/// Parse `--fault`, `--recover`, `--checkpoint-rows`,
+/// `--max-device-failures` (compare and simulate).
+fn parse_faults(args: &mut ArgStream) -> Result<(FaultSchedule, Option<RecoveryPolicy>), String> {
+    let faults = match args.flag_str("--fault") {
+        Some(spec) => spec.parse::<FaultSchedule>()?,
+        None => FaultSchedule::default(),
+    };
+    let recover = args.take_flag("--recover");
+    let checkpoint_rows = args.flag_value::<usize>("--checkpoint-rows")?;
+    let max_failures = args.flag_value::<usize>("--max-device-failures")?;
+    if !recover && (checkpoint_rows.is_some() || max_failures.is_some()) {
+        return Err("--checkpoint-rows / --max-device-failures require --recover".into());
+    }
+    if checkpoint_rows == Some(0) {
+        return Err("--checkpoint-rows must be at least 1".into());
+    }
+    let policy = recover.then(|| {
+        let default = RecoveryPolicy::default();
+        RecoveryPolicy {
+            checkpoint_rows: checkpoint_rows.unwrap_or(default.checkpoint_rows),
+            max_device_failures: max_failures.unwrap_or(default.max_device_failures),
+        }
+    });
+    Ok((faults, policy))
+}
+
 fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
     let env1 = args.take_flag("--env1");
     let env2 = args.take_flag("--env2");
@@ -671,6 +729,60 @@ mod tests {
     fn leftovers_rejected() {
         let s = stream(&["--mystery"]);
         assert!(s.finish().unwrap_err().contains("--mystery"));
+    }
+
+    #[test]
+    fn fault_flags_parse_schedule_and_policy() {
+        let mut s = stream(&[
+            "--fault",
+            "1:5,2:9:ring-push",
+            "--recover",
+            "--checkpoint-rows",
+            "4",
+        ]);
+        let (faults, policy) = parse_faults(&mut s).unwrap();
+        assert_eq!(faults.faults.len(), 2);
+        assert_eq!(faults.faults[0].device, 1);
+        assert_eq!(faults.faults[0].block_row, 5);
+        assert_eq!(faults.faults[0].phase, FaultPhase::Compute);
+        assert_eq!(faults.faults[1].phase, FaultPhase::RingPush);
+        let policy = policy.unwrap();
+        assert_eq!(policy.checkpoint_rows, 4);
+        assert_eq!(
+            policy.max_device_failures,
+            RecoveryPolicy::default().max_device_failures
+        );
+        assert!(s.finish().is_ok());
+    }
+
+    #[test]
+    fn fault_flags_default_to_empty_schedule_without_recovery() {
+        let mut s = stream(&[]);
+        let (faults, policy) = parse_faults(&mut s).unwrap();
+        assert!(faults.faults.is_empty());
+        assert!(policy.is_none());
+    }
+
+    #[test]
+    fn recovery_knobs_require_the_recover_flag() {
+        let mut s = stream(&["--checkpoint-rows", "4"]);
+        assert!(parse_faults(&mut s).unwrap_err().contains("--recover"));
+        let mut s = stream(&["--max-device-failures", "2"]);
+        assert!(parse_faults(&mut s).unwrap_err().contains("--recover"));
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        let mut s = stream(&["--recover", "--checkpoint-rows", "0"]);
+        assert!(parse_faults(&mut s).unwrap_err().contains("at least 1"));
+    }
+
+    #[test]
+    fn malformed_fault_spec_is_an_error() {
+        let mut s = stream(&["--fault", "1:5:naptime"]);
+        assert!(parse_faults(&mut s).is_err());
+        let mut s = stream(&["--fault", "nonsense"]);
+        assert!(parse_faults(&mut s).is_err());
     }
 
     #[test]

@@ -74,6 +74,8 @@ pub mod prelude {
     pub use megasw_gpusim::{catalog, DeviceSpec, LinkSpec, Platform, SimTime};
     pub use megasw_multigpu::autotune::{autotune, TuneResult};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
+    pub use megasw_multigpu::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
+    pub use megasw_multigpu::desrun::DeviceLossEvent;
     pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};
     pub use megasw_multigpu::error::MegaswError;
     pub use megasw_multigpu::memory::{check_platform, plan_for, DeviceMemoryPlan};
@@ -81,11 +83,13 @@ pub mod prelude {
     pub use megasw_multigpu::pipeline::{
         run_pipeline, run_pipeline_anchored, run_pipeline_with_faults,
     };
-    pub use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
+    pub use megasw_multigpu::pipeline::{
+        FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
+    };
     pub use megasw_multigpu::stages::{
         multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
-    pub use megasw_multigpu::stats::{DeviceReport, StallBreakdown};
+    pub use megasw_multigpu::stats::{DeviceReport, RecoveryReport, StallBreakdown};
     pub use megasw_multigpu::{make_slabs, PartitionPolicy, RunConfig, RunReport, Slab};
     pub use megasw_obs::{
         chrome_trace, metrics_json, prometheus, render_progress_line, validate as validate_trace,

@@ -12,6 +12,9 @@ pub enum SpanKind {
     CopyOut,
     /// A border transfer arriving at the device.
     CopyIn,
+    /// The instant a device drops out of the chain (fault injection): the
+    /// span covers the time lost between the loss and the rewind point.
+    DeviceLoss,
     /// Synthetic span kinds used by tests/tools.
     Other,
 }
@@ -53,8 +56,8 @@ pub fn idle_time(spans: &[TraceSpan], resource: ResourceId, horizon: SimTime) ->
 }
 
 /// Render a coarse ASCII Gantt chart of the given resources ( `#` kernel,
-/// `>` copy-out, `<` copy-in, `.` idle). One row per resource, `width`
-/// character cells across the makespan.
+/// `>` copy-out, `<` copy-in, `X` device loss, `.` idle). One row per
+/// resource, `width` character cells across the makespan.
 pub fn render_gantt(
     spans: &[TraceSpan],
     resources: &[(ResourceId, String)],
@@ -71,6 +74,7 @@ pub fn render_gantt(
                 SpanKind::Kernel => '#',
                 SpanKind::CopyOut => '>',
                 SpanKind::CopyIn => '<',
+                SpanKind::DeviceLoss => 'X',
                 SpanKind::Other => 'o',
             };
             let lo = (s.start.as_nanos() as u128 * width as u128 / total as u128) as usize;

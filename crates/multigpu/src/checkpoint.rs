@@ -1,0 +1,264 @@
+//! Host-side checkpoint store and the recovery policy.
+//!
+//! Fault tolerance in the pipeline rests on one structural fact of the
+//! block decomposition (see `sw::border`): the full-width bottom
+//! [`RowBorder`](megasw_sw::border::RowBorder) of block-row `W − 1` — the
+//! H and F lanes along matrix row `W · block_h` — together with the best
+//! cell observed in rows `< W · block_h`, completely determines every DP
+//! value in rows `≥ W · block_h`. We call that pair a **checkpoint wave**
+//! `W`. Devices deposit their slab's segment of the bottom border here
+//! every `checkpoint_rows` block-rows; when a device dies, the coordinator
+//! rewinds to the newest wave to which *every* slab of some attempt has
+//! contributed, reassembles the full-width border from the segments, and
+//! restarts the survivors from it. Because the DP is deterministic and the
+//! checkpointed lanes are exact (not summaries), the resumed run is
+//! bit-identical to a fault-free run.
+//!
+//! The store is deliberately dumb: a mutex around per-attempt logs. It is
+//! written once per device per `checkpoint_rows` block-rows — far off the
+//! per-block hot path — so contention is irrelevant.
+
+use megasw_sw::{BestCell, Score};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Knobs for the recovery driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Checkpoint every this many block-rows (wave granularity). Smaller
+    /// intervals rewind less work per failure but checkpoint more often.
+    /// Must be ≥ 1.
+    pub checkpoint_rows: usize,
+    /// Give up (surface the original fault) after this many device
+    /// failures in one run.
+    pub max_device_failures: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy {
+            checkpoint_rows: 8,
+            max_device_failures: 1,
+        }
+    }
+}
+
+/// One slab's contribution to a checkpoint wave: its segment of the bottom
+/// border (H and F lanes, `width + 1` entries including the shared corner)
+/// plus the best cell this device has seen since its attempt started.
+#[derive(Debug, Clone)]
+struct SlabCkpt {
+    h: Vec<Score>,
+    f: Vec<Score>,
+    best: BestCell,
+}
+
+/// The geometry a slab occupied when its attempt started; `j0` is the
+/// 1-based first column, so the slab's border segment covers global border
+/// indices `j0 − 1 ..= j0 − 1 + width`.
+#[derive(Debug, Clone, Copy)]
+struct SlabGeom {
+    j0: usize,
+    width: usize,
+}
+
+/// One attempt's checkpoint log. A wave is complete when every slab of
+/// *this* attempt has contributed its segment.
+#[derive(Debug)]
+struct AttemptLog {
+    /// Block-row the attempt started from (0 for the first attempt).
+    start_row: usize,
+    /// Best cell already established before this attempt began (merged
+    /// from the checkpoint the attempt resumed from).
+    base_best: BestCell,
+    slabs: Vec<SlabGeom>,
+    /// wave → per-slab contributions (indexed like `slabs`).
+    waves: BTreeMap<usize, Vec<Option<SlabCkpt>>>,
+}
+
+/// A fully assembled, consistent checkpoint: the newest complete wave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The wave index: the resumed attempt starts at block-row `wave`.
+    pub wave: usize,
+    /// Full-width H lane of the border row, `n + 1` entries.
+    pub h: Vec<Score>,
+    /// Full-width F lane of the border row, `n + 1` entries.
+    pub f: Vec<Score>,
+    /// Best cell over all rows above the border.
+    pub best: BestCell,
+}
+
+/// Host-side store of border checkpoints, shared by the coordinator and
+/// every worker of a recovering run.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    /// Full matrix width (columns of `b`); assembled lanes are `n + 1` long.
+    n: usize,
+    inner: Mutex<StoreInner>,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    attempts: Vec<AttemptLog>,
+    taken: u64,
+}
+
+impl CheckpointStore {
+    /// An empty store for a matrix with `n` columns.
+    pub fn new(n: usize) -> CheckpointStore {
+        CheckpointStore {
+            n,
+            inner: Mutex::new(StoreInner::default()),
+        }
+    }
+
+    /// Open the log for a new attempt covering `slabs` (as `(j0, width)`
+    /// pairs in chain order) from `start_row`, with `base_best` already
+    /// established above the resume border. Returns the attempt id to pass
+    /// to [`CheckpointStore::record`].
+    pub fn begin_attempt(
+        &self,
+        start_row: usize,
+        base_best: BestCell,
+        slabs: &[(usize, usize)],
+    ) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        inner.attempts.push(AttemptLog {
+            start_row,
+            base_best,
+            slabs: slabs
+                .iter()
+                .map(|&(j0, width)| SlabGeom { j0, width })
+                .collect(),
+            waves: BTreeMap::new(),
+        });
+        inner.attempts.len() - 1
+    }
+
+    /// Deposit slab `slab_idx`'s segment for `wave`: the H/F lanes of its
+    /// bottom border (`width + 1` entries) and the device's running best
+    /// since the attempt started.
+    pub fn record(
+        &self,
+        attempt: usize,
+        wave: usize,
+        slab_idx: usize,
+        h: Vec<Score>,
+        f: Vec<Score>,
+        best: BestCell,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.taken += 1;
+        let log = &mut inner.attempts[attempt];
+        debug_assert!(wave > log.start_row, "wave {wave} not past the start row");
+        debug_assert_eq!(h.len(), log.slabs[slab_idx].width + 1);
+        let n_slabs = log.slabs.len();
+        let entry = log.waves.entry(wave).or_insert_with(|| vec![None; n_slabs]);
+        entry[slab_idx] = Some(SlabCkpt { h, f, best });
+    }
+
+    /// Total segments deposited across the run (the `checkpoints_taken`
+    /// counter).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.inner.lock().unwrap().taken
+    }
+
+    /// Assemble the newest *complete* wave across all attempts: the
+    /// largest wave for which some attempt holds a segment from every one
+    /// of its slabs. All attempts compute the same deterministic DP, so
+    /// segments from any attempt are bit-identical and the newest complete
+    /// wave — whichever attempt produced it — is globally valid.
+    pub fn newest_complete(&self) -> Option<Checkpoint> {
+        let inner = self.inner.lock().unwrap();
+        let mut best_wave: Option<(usize, usize)> = None; // (wave, attempt)
+        for (a_idx, log) in inner.attempts.iter().enumerate() {
+            for (&wave, segs) in log.waves.iter().rev() {
+                if segs.iter().all(Option::is_some) {
+                    if best_wave.is_none_or(|(w, _)| wave > w) {
+                        best_wave = Some((wave, a_idx));
+                    }
+                    break; // newest complete wave of this attempt found
+                }
+            }
+        }
+        let (wave, a_idx) = best_wave?;
+        let log = &inner.attempts[a_idx];
+        let segs = &log.waves[&wave];
+        let mut h = vec![0; self.n + 1];
+        let mut f = vec![0; self.n + 1];
+        let mut best = log.base_best;
+        for (geom, seg) in log.slabs.iter().zip(segs.iter()) {
+            let seg = seg.as_ref().expect("complete wave has every segment");
+            // Slab segments overlap at shared corners; both writers hold
+            // the same value, so last-write-wins is harmless.
+            h[geom.j0 - 1..=geom.j0 - 1 + geom.width].copy_from_slice(&seg.h);
+            f[geom.j0 - 1..=geom.j0 - 1 + geom.width].copy_from_slice(&seg.f);
+            best = best.merge(seg.best);
+        }
+        Some(Checkpoint { wave, h, f, best })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(width: usize, fill: Score) -> (Vec<Score>, Vec<Score>) {
+        (vec![fill; width + 1], vec![fill - 1; width + 1])
+    }
+
+    #[test]
+    fn empty_store_has_no_checkpoint() {
+        let store = CheckpointStore::new(100);
+        assert!(store.newest_complete().is_none());
+        assert_eq!(store.checkpoints_taken(), 0);
+    }
+
+    #[test]
+    fn incomplete_wave_is_not_served() {
+        let store = CheckpointStore::new(10);
+        let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
+        let (h, f) = seg(6, 5);
+        store.record(a, 4, 0, h, f, BestCell::ZERO);
+        assert!(store.newest_complete().is_none());
+    }
+
+    #[test]
+    fn complete_wave_assembles_full_width_lanes() {
+        let store = CheckpointStore::new(10);
+        let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
+        let (h0, f0) = seg(6, 5);
+        let (h1, f1) = seg(4, 9);
+        store.record(a, 4, 0, h0, f0, BestCell::new(3, 2, 2));
+        store.record(a, 4, 1, h1, f1, BestCell::new(7, 3, 8));
+        let ck = store.newest_complete().unwrap();
+        assert_eq!(ck.wave, 4);
+        assert_eq!(ck.h.len(), 11);
+        // Index 6 is the shared corner: slab 1's copy lands last.
+        assert_eq!(ck.h[0..6], [5; 6]);
+        assert_eq!(ck.h[6..11], [9; 5]);
+        assert_eq!(ck.best, BestCell::new(7, 3, 8));
+        assert_eq!(store.checkpoints_taken(), 2);
+    }
+
+    #[test]
+    fn newest_complete_wave_wins_across_attempts() {
+        let store = CheckpointStore::new(8);
+        let a0 = store.begin_attempt(0, BestCell::ZERO, &[(1, 4), (5, 4)]);
+        let (h, f) = seg(4, 1);
+        store.record(a0, 2, 0, h.clone(), f.clone(), BestCell::ZERO);
+        store.record(a0, 2, 1, h.clone(), f.clone(), BestCell::ZERO);
+        // Attempt 0 also has a newer but incomplete wave.
+        store.record(a0, 4, 0, h.clone(), f.clone(), BestCell::ZERO);
+        // A second attempt (one surviving slab) completes wave 6.
+        let a1 = store.begin_attempt(2, BestCell::new(9, 1, 1), &[(1, 8)]);
+        let (h8, f8) = seg(8, 2);
+        store.record(a1, 6, 0, h8, f8, BestCell::ZERO);
+        let ck = store.newest_complete().unwrap();
+        assert_eq!(ck.wave, 6);
+        assert_eq!(ck.h, vec![2; 9]);
+        // base_best of the serving attempt is folded in.
+        assert_eq!(ck.best, BestCell::new(9, 1, 1));
+    }
+}

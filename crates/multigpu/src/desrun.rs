@@ -29,10 +29,12 @@
 //! entire border column in one transfer. This is the non-overlapped
 //! baseline the overlap-ablation figure contrasts against.
 
+use crate::checkpoint::RecoveryPolicy;
 use crate::config::RunConfig;
-use crate::partition::{make_slabs, Slab};
-use crate::stats::{DeviceReport, RunReport};
-use megasw_gpusim::{KernelModel, Platform, Schedule, SimTime, SpanKind, TaskId};
+use crate::partition::{make_slabs, make_slabs_excluding, Slab};
+use crate::pipeline::{FaultPhase, FaultSchedule, PipelineError};
+use crate::stats::{DeviceReport, RecoveryReport, RunReport};
+use megasw_gpusim::{KernelModel, Platform, ResourceId, Schedule, SimTime, SpanKind, TaskId};
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
 use std::sync::Arc;
 
@@ -47,16 +49,37 @@ fn border_bytes(height: usize) -> u64 {
     2 * (height as u64 + 1) * 4
 }
 
+/// A device dropping out of the simulated chain (fault injection): which
+/// device, at which block-row, and at which simulated instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceLossEvent {
+    pub device: usize,
+    pub block_row: usize,
+    /// Simulated time of the loss, on the run's cumulative clock (offsets
+    /// from earlier recovered attempts included).
+    pub at: SimTime,
+}
+
 /// A completed simulation: the report plus the raw schedule for trace
 /// analysis (Gantt rendering, span statistics), the per-device memory
 /// verdict and the idle-time breakdown.
 pub struct DesRun {
     pub report: RunReport,
+    /// The final (surviving) attempt's schedule. Recovered runs rebuilt the
+    /// task graph per attempt; earlier attempts' schedules are folded into
+    /// the time offset and are not retained.
     pub schedule: Schedule,
     /// Per-slab memory footprints, or the first device that does not fit.
     pub memory: Result<Vec<crate::memory::DeviceMemoryPlan>, crate::memory::MemoryError>,
-    /// Per-slab idle breakdown, in slab order.
+    /// Per-slab idle breakdown, in slab order (final attempt).
     pub stalls: Vec<StallBreakdown>,
+    /// Every injected device loss, in simulated-time order. Pair with
+    /// [`megasw_gpusim::SpanKind::DeviceLoss`] when rendering Gantt charts.
+    pub losses: Vec<DeviceLossEvent>,
+    /// `Some` when the simulated run did not complete: a fault fired with
+    /// recovery disabled, the failure budget was exhausted, or no survivor
+    /// remained — the DES mirror of the threaded pipeline returning `Err`.
+    pub aborted: Option<PipelineError>,
 }
 
 /// Builder for one discrete-event simulation — the simulated-time mirror of
@@ -79,6 +102,8 @@ pub struct DesSim<'a> {
     platform: &'a Platform,
     config: RunConfig,
     bulk: bool,
+    faults: FaultSchedule,
+    recovery: Option<RecoveryPolicy>,
     observer: Recorder,
     live: Option<Arc<LiveTelemetry>>,
 }
@@ -93,6 +118,8 @@ impl<'a> DesSim<'a> {
             platform,
             config: RunConfig::paper_default(),
             bulk: false,
+            faults: FaultSchedule::default(),
+            recovery: None,
             observer: Recorder::disabled(),
             live: None,
         }
@@ -108,6 +135,28 @@ impl<'a> DesSim<'a> {
     /// the fine-grain pipeline.
     pub fn bulk(mut self, bulk: bool) -> Self {
         self.bulk = bulk;
+        self
+    }
+
+    /// Inject a deterministic fault schedule, mirroring
+    /// [`crate::pipeline::PipelineRun::faults`]. A `RingPop`/`Compute`
+    /// fault fires at the simulated *start* of the victim kernel; a
+    /// `RingPush`/`Transfer` fault at its *finish*. Fine-grain mode only —
+    /// the bulk baseline ignores faults.
+    pub fn faults(mut self, faults: impl Into<FaultSchedule>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
+    /// Enable simulated fault tolerance, mirroring
+    /// [`crate::pipeline::PipelineRun::recover`]: on a device loss the
+    /// schedule is rebuilt over the survivors from the newest complete
+    /// checkpoint wave, and the lost attempt's simulated time is folded
+    /// into the run's cumulative clock. The recovery pause itself is
+    /// treated as free (host-side work, negligible next to the GPU
+    /// timeline).
+    pub fn recover(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -144,16 +193,23 @@ impl<'a> DesSim<'a> {
         } else {
             Mode::FineGrain
         };
-        build_schedule(
-            self.m,
-            self.n,
-            self.platform,
-            &self.config,
-            &slabs,
-            mode,
-            &self.observer,
-            self.live.as_ref(),
-        )
+        let env = DesEnv {
+            m: self.m,
+            n: self.n,
+            platform: self.platform,
+            config: &self.config,
+            obs: &self.observer,
+            live: self.live.as_ref(),
+        };
+        if mode == Mode::FineGrain
+            && self.m > 0
+            && !slabs.is_empty()
+            && (!self.faults.is_empty() || self.recovery.is_some())
+        {
+            run_with_faults(&env, &slabs, &self.faults, self.recovery)
+        } else {
+            run_plain(&env, &slabs, mode, self.recovery)
+        }
     }
 }
 
@@ -181,40 +237,34 @@ enum Mode {
     BulkSynchronous,
 }
 
-#[allow(clippy::too_many_arguments)]
-fn build_schedule(
+/// The immutable context every simulated attempt shares.
+struct DesEnv<'a> {
     m: usize,
     n: usize,
-    platform: &Platform,
-    config: &RunConfig,
-    slabs: &[Slab],
-    mode: Mode,
-    obs: &Recorder,
-    live: Option<&Arc<LiveTelemetry>>,
-) -> DesRun {
+    platform: &'a Platform,
+    config: &'a RunConfig,
+    obs: &'a Recorder,
+    live: Option<&'a Arc<LiveTelemetry>>,
+}
+
+/// One attempt's scheduled task graph, before any reporting.
+struct TaskGraph {
+    schedule: Schedule,
+    computes: Vec<ResourceId>,
+    /// `kernel_tasks[s][r - start_row]` — kernels per slab, in row order.
+    kernel_tasks: Vec<Vec<TaskId>>,
+    transfer_tasks: Vec<Vec<TaskId>>,
+    start_row: usize,
+}
+
+/// Build (and solve) the task graph for block-rows `start_row..rows` over
+/// the given slab set. Fault-free runs use `start_row = 0`; resumed
+/// attempts start at the checkpoint wave.
+fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usize) -> TaskGraph {
+    let (m, platform, config) = (env.m, env.platform, env.config);
     let mut schedule = Schedule::new();
-    let total_cells = m as u128 * n as u128;
-    let memory = crate::memory::check_platform(m, slabs, platform, config);
-
-    if m == 0 || slabs.is_empty() {
-        let report = RunReport {
-            best: megasw_sw::BestCell::ZERO,
-            total_cells,
-            wall_time: None,
-            gcups_wall: None,
-            sim_time: Some(SimTime::ZERO),
-            gcups_sim: Some(0.0),
-            devices: Vec::new(),
-        };
-        return DesRun {
-            report,
-            schedule,
-            memory,
-            stalls: Vec::new(),
-        };
-    }
-
     let rows = m.div_ceil(config.block_h);
+    let nrows = rows - start_row;
     let cap = config.buffer_capacity;
 
     let computes: Vec<_> = slabs
@@ -238,9 +288,9 @@ fn build_schedule(
         .map(|s| KernelModel::new(platform.devices[s.device].clone()))
         .collect();
 
-    // kernel_tasks[s][r], transfer_tasks[s][r]
-    let mut kernel_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(rows); slabs.len()];
-    let mut transfer_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(rows); slabs.len()];
+    // kernel_tasks[s][rel], transfer_tasks[s][rel] with rel = r − start_row
+    let mut kernel_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(nrows); slabs.len()];
+    let mut transfer_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(nrows); slabs.len()];
 
     match mode {
         Mode::FineGrain => {
@@ -253,18 +303,19 @@ fn build_schedule(
             // Per-resource orders for compute streams and per-pair links
             // are unchanged by this traversal.
             let g = slabs.len();
-            for d in 0..rows + g - 1 {
+            for d in 0..nrows + g - 1 {
                 // Kernels of this wavefront…
                 for (s, slab) in slabs.iter().enumerate() {
-                    let Some(r) = d.checked_sub(s).filter(|r| *r < rows) else {
+                    let Some(rel) = d.checked_sub(s).filter(|rel| *rel < nrows) else {
                         continue;
                     };
+                    let r = start_row + rel;
                     let height = row_height(m, config.block_h, r);
                     let blocks = slab.width.div_ceil(config.block_w) as u32;
                     let cells = height as u64 * slab.width as u64;
                     let mut deps: Vec<TaskId> = Vec::with_capacity(1);
                     if s > 0 {
-                        deps.push(transfer_tasks[s - 1][r]);
+                        deps.push(transfer_tasks[s - 1][rel]);
                     }
                     let k = schedule.add_task(
                         computes[s],
@@ -277,18 +328,20 @@ fn build_schedule(
                 }
                 // …then their outgoing transfers.
                 for s in 0..g.saturating_sub(1) {
-                    let Some(r) = d.checked_sub(s).filter(|r| *r < rows) else {
+                    let Some(rel) = d.checked_sub(s).filter(|rel| *rel < nrows) else {
                         continue;
                     };
+                    let r = start_row + rel;
                     let height = row_height(m, config.block_h, r);
                     let link = platform
                         .bridge
                         .unwrap_or_else(|| link_between_slabs(platform, slabs, s));
-                    let mut tdeps = vec![kernel_tasks[s][r]];
-                    if r >= cap {
+                    let mut tdeps = vec![kernel_tasks[s][rel]];
+                    if rel >= cap {
                         // Backpressure: a ring slot frees once the consumer
-                        // retires border r − cap.
-                        tdeps.push(kernel_tasks[s + 1][r - cap]);
+                        // retires border rel − cap (rings are per-attempt,
+                        // so the window is relative to the attempt start).
+                        tdeps.push(kernel_tasks[s + 1][rel - cap]);
                     }
                     let t = schedule.add_task(
                         links[s],
@@ -305,6 +358,7 @@ fn build_schedule(
             // Device s computes its whole slab as a dense run of kernels,
             // then ships the full border column in one transfer; device
             // s + 1 starts only after that arrives.
+            debug_assert_eq!(start_row, 0, "bulk mode never resumes");
             let mut prev_arrival: Option<TaskId> = None;
             for (s, slab) in slabs.iter().enumerate() {
                 let blocks = slab.width.div_ceil(config.block_w) as u32;
@@ -345,23 +399,320 @@ fn build_schedule(
         }
     }
 
+    TaskGraph {
+        schedule,
+        computes,
+        kernel_tasks,
+        transfer_tasks,
+        start_row,
+    }
+}
+
+/// The fault-free path (and the bulk baseline): one attempt, no offsets.
+fn run_plain(
+    env: &DesEnv<'_>,
+    slabs: &[Slab],
+    mode: Mode,
+    policy: Option<RecoveryPolicy>,
+) -> DesRun {
+    let memory = crate::memory::check_platform(env.m, slabs, env.platform, env.config);
+    if env.m == 0 || slabs.is_empty() {
+        let report = RunReport {
+            best: megasw_sw::BestCell::ZERO,
+            total_cells: env.m as u128 * env.n as u128,
+            wall_time: None,
+            gcups_wall: None,
+            sim_time: Some(SimTime::ZERO),
+            gcups_sim: Some(0.0),
+            devices: Vec::new(),
+            recovery: policy.map(|_| RecoveryReport::default()),
+        };
+        return DesRun {
+            report,
+            schedule: Schedule::new(),
+            memory,
+            stalls: Vec::new(),
+            losses: Vec::new(),
+            aborted: None,
+        };
+    }
+    let graph = build_task_graph(env, slabs, mode, 0);
+    let recovery = policy.map(|_| RecoveryReport::default());
+    finalize(
+        env,
+        slabs,
+        graph,
+        mode,
+        SimTime::ZERO,
+        recovery,
+        Vec::new(),
+        memory,
+    )
+}
+
+/// The fault-injecting / recovering driver — the DES twin of
+/// [`crate::pipeline::run_pipeline_recover_live`]. Per attempt it solves
+/// the survivor schedule, finds the earliest scheduled fault that applies,
+/// and (with a policy) rewinds to the newest complete checkpoint wave:
+/// with every slab's checkpoint deposited at its kernel's simulated finish,
+/// a wave is complete once min-over-slabs of consecutively finished
+/// kernels reaches it. The lost attempt's simulated time up to the fault is
+/// folded into a cumulative offset; the recovery pause itself is free.
+fn run_with_faults(
+    env: &DesEnv<'_>,
+    slabs: &[Slab],
+    faults: &FaultSchedule,
+    policy: Option<RecoveryPolicy>,
+) -> DesRun {
+    let (m, n, config) = (env.m, env.n, env.config);
+    let memory = crate::memory::check_platform(m, slabs, env.platform, config);
+    let rows = m.div_ceil(config.block_h);
+    let block_h = config.block_h;
+    let cells_at = |row: usize| ((row * block_h).min(m) as u128) * n as u128;
+
+    let mut cur: Vec<Slab> = slabs.to_vec();
+    let mut blacklist: Vec<usize> = Vec::new();
+    let mut start_row = 0usize;
+    let mut offset = SimTime::ZERO;
+    let mut recovery = RecoveryReport::default();
+    let mut best_wave = 0usize;
+    let mut failures = 0usize;
+    let mut losses: Vec<DeviceLossEvent> = Vec::new();
+
+    loop {
+        let graph = build_task_graph(env, &cur, Mode::FineGrain, start_row);
+        let Some((device, block_row, t_fail)) =
+            earliest_fault(&graph, &cur, faults, start_row, rows, &blacklist)
+        else {
+            // No applicable fault left: this attempt completes. Every slab
+            // deposits every remaining wave of the matrix.
+            if let Some(p) = policy {
+                let waves = (start_row + 1..rows)
+                    .filter(|w| w % p.checkpoint_rows == 0)
+                    .count() as u64;
+                recovery.checkpoints_taken += waves * cur.len() as u64;
+            }
+            let rec = policy.map(|_| recovery);
+            return finalize(
+                env,
+                &cur,
+                graph,
+                Mode::FineGrain,
+                offset,
+                rec,
+                losses,
+                memory,
+            );
+        };
+
+        losses.push(DeviceLossEvent {
+            device,
+            block_row,
+            at: offset + t_fail,
+        });
+
+        // Checkpoints this attempt deposited before the fault: one per
+        // slab per interval-multiple wave its kernels retired by t_fail.
+        // Also the rewind frontier: a wave is complete once *every* slab
+        // has deposited it.
+        let mut frontier = rows;
+        let mut attempt_cells: u128 = 0;
+        for (slab, tasks) in cur.iter().zip(&graph.kernel_tasks) {
+            let mut done = 0usize;
+            for (rel, &k) in tasks.iter().enumerate() {
+                if graph.schedule.finish_of(k) > t_fail {
+                    break;
+                }
+                done = rel + 1;
+                attempt_cells +=
+                    row_height(m, block_h, start_row + rel) as u128 * slab.width as u128;
+            }
+            if let Some(p) = policy {
+                recovery.checkpoints_taken += (start_row + 1..=start_row + done)
+                    .filter(|w| w % p.checkpoint_rows == 0 && *w < rows)
+                    .count() as u64;
+            }
+            frontier = frontier.min(start_row + done);
+        }
+
+        let aborted = Some(PipelineError::DeviceFault { device, block_row });
+        let Some(p) = policy else {
+            // Fail-fast mirror of the threaded pipeline without `.recover`.
+            return aborted_run(env, graph, offset + t_fail, None, losses, aborted, memory);
+        };
+        failures += 1;
+        if failures > p.max_device_failures {
+            return aborted_run(
+                env,
+                graph,
+                offset + t_fail,
+                Some(recovery),
+                losses,
+                aborted,
+                memory,
+            );
+        }
+        blacklist.push(device);
+        let survivors = make_slabs_excluding(
+            n,
+            config.block_w,
+            env.platform,
+            &config.partition,
+            &blacklist,
+        );
+        if survivors.is_empty() {
+            return aborted_run(
+                env,
+                graph,
+                offset + t_fail,
+                Some(recovery),
+                losses,
+                aborted,
+                memory,
+            );
+        }
+
+        // Newest complete wave: the largest interval multiple the frontier
+        // covers (capped below `rows` — the threaded workers never deposit
+        // the final border), never older than a previous attempt's wave.
+        let mut wave = (frontier / p.checkpoint_rows) * p.checkpoint_rows;
+        if wave >= rows {
+            wave = ((rows - 1) / p.checkpoint_rows) * p.checkpoint_rows;
+        }
+        best_wave = best_wave.max(wave);
+        let new_start = best_wave;
+        let preserved = cells_at(new_start).saturating_sub(cells_at(start_row));
+        recovery.rewound_cells += attempt_cells.saturating_sub(preserved);
+        recovery.recoveries += 1;
+        recovery.failed_devices.push(device);
+        recovery.resumed_from_rows.push(new_start);
+        if let Some(live) = env.live {
+            live.on_recovery();
+        }
+        if env.obs.is_enabled() {
+            let at = (offset + t_fail).as_nanos();
+            env.obs.record(ObsSpan {
+                kind: ObsKind::Recovery,
+                device: Some(device as u32),
+                block_row: Some(block_row as u32),
+                start_ns: at,
+                end_ns: at,
+            });
+        }
+        offset += t_fail;
+        cur = survivors;
+        start_row = new_start;
+    }
+}
+
+/// The earliest scheduled fault that applies to this attempt: its device
+/// still holds a slab (and is not blacklisted) and its block-row is inside
+/// the attempt's range. `RingPop`/`Compute` faults fire at the victim
+/// kernel's simulated start, `RingPush`/`Transfer` at its finish.
+fn earliest_fault(
+    graph: &TaskGraph,
+    slabs: &[Slab],
+    faults: &FaultSchedule,
+    start_row: usize,
+    rows: usize,
+    blacklist: &[usize],
+) -> Option<(usize, usize, SimTime)> {
+    let mut best: Option<(SimTime, usize, usize)> = None;
+    for f in &faults.faults {
+        if blacklist.contains(&f.device) || f.block_row < start_row || f.block_row >= rows {
+            continue;
+        }
+        let Some(s) = slabs.iter().position(|sl| sl.device == f.device) else {
+            continue;
+        };
+        let k = graph.kernel_tasks[s][f.block_row - start_row];
+        let t = match f.phase {
+            FaultPhase::RingPop | FaultPhase::Compute => graph.schedule.start_of(k),
+            FaultPhase::RingPush | FaultPhase::Transfer => graph.schedule.finish_of(k),
+        };
+        if best.is_none_or(|(bt, _, _)| t < bt) {
+            best = Some((t, f.device, f.block_row));
+        }
+    }
+    best.map(|(t, d, r)| (d, r, t))
+}
+
+/// A run that did not complete: simulated time stops at the fault instant;
+/// no per-device reporting (the threaded mirror returns `Err` here).
+#[allow(clippy::too_many_arguments)]
+fn aborted_run(
+    env: &DesEnv<'_>,
+    graph: TaskGraph,
+    at: SimTime,
+    recovery: Option<RecoveryReport>,
+    losses: Vec<DeviceLossEvent>,
+    aborted: Option<PipelineError>,
+    memory: Result<Vec<crate::memory::DeviceMemoryPlan>, crate::memory::MemoryError>,
+) -> DesRun {
+    DesRun {
+        report: RunReport {
+            best: megasw_sw::BestCell::ZERO,
+            total_cells: env.m as u128 * env.n as u128,
+            wall_time: None,
+            gcups_wall: None,
+            sim_time: Some(at),
+            gcups_sim: None,
+            devices: Vec::new(),
+            recovery,
+        },
+        schedule: graph.schedule,
+        memory,
+        stalls: Vec::new(),
+        losses,
+        aborted,
+    }
+}
+
+/// Turn the final attempt's solved graph into the [`DesRun`]: live replay,
+/// span export, stall breakdowns and the report. `offset` is the simulated
+/// time consumed by earlier (lost) attempts; live/span timelines cover the
+/// surviving attempt only, shifted by that offset.
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    env: &DesEnv<'_>,
+    slabs: &[Slab],
+    graph: TaskGraph,
+    mode: Mode,
+    offset: SimTime,
+    recovery: Option<RecoveryReport>,
+    losses: Vec<DeviceLossEvent>,
+    memory: Result<Vec<crate::memory::DeviceMemoryPlan>, crate::memory::MemoryError>,
+) -> DesRun {
+    let (m, n, platform, config) = (env.m, env.n, env.platform, env.config);
+    let TaskGraph {
+        schedule,
+        computes,
+        kernel_tasks,
+        transfer_tasks,
+        start_row,
+    } = graph;
+    let total_cells = m as u128 * n as u128;
+    let rows = m.div_ceil(config.block_h);
     let makespan = schedule.makespan();
-    let secs = makespan.as_secs_f64();
+    let sim_time = offset + makespan;
+    let secs = sim_time.as_secs_f64();
+    let off_ns = offset.as_nanos();
 
     // Drive the live handle at simulated-time boundaries: every kernel
     // completion, in simulated-finish order, advances the manual clock and
     // books the row it retired.
-    if let Some(live) = live {
+    if let Some(live) = env.live {
         for (s_idx, tasks) in kernel_tasks.iter().enumerate() {
             live.set_rows_total(s_idx, tasks.len() as u64);
         }
         let mut completions: Vec<(u64, usize, u64, u64)> = Vec::new();
         for (s_idx, (slab, tasks)) in slabs.iter().zip(&kernel_tasks).enumerate() {
-            for (r, &k) in tasks.iter().enumerate() {
+            for (rel, &k) in tasks.iter().enumerate() {
                 let start = schedule.start_of(k).as_nanos();
                 let finish = schedule.finish_of(k).as_nanos();
-                let cells = row_height(m, config.block_h, r) as u64 * slab.width as u64;
-                completions.push((finish, s_idx, cells, finish.saturating_sub(start)));
+                let cells =
+                    row_height(m, config.block_h, start_row + rel) as u64 * slab.width as u64;
+                completions.push((off_ns + finish, s_idx, cells, finish.saturating_sub(start)));
             }
         }
         completions.sort_unstable();
@@ -369,30 +720,30 @@ fn build_schedule(
             live.set_now_ns(finish_ns);
             live.on_row_done(s_idx, cells, dur_ns);
         }
-        live.set_now_ns(makespan.as_nanos());
+        live.set_now_ns(sim_time.as_nanos());
     }
 
     // Span export: simulated-time Kernel and BorderXfer spans, one per
     // scheduled task, attributed to the owning device and block-row.
-    if obs.is_enabled() {
+    if env.obs.is_enabled() {
         for (s, slab) in slabs.iter().enumerate() {
             let dev = slab.device as u32;
-            for (r, &k) in kernel_tasks[s].iter().enumerate() {
-                obs.record(ObsSpan {
+            for (rel, &k) in kernel_tasks[s].iter().enumerate() {
+                env.obs.record(ObsSpan {
                     kind: ObsKind::Kernel,
                     device: Some(dev),
-                    block_row: Some(r as u32),
-                    start_ns: schedule.start_of(k).as_nanos(),
-                    end_ns: schedule.finish_of(k).as_nanos(),
+                    block_row: Some((start_row + rel) as u32),
+                    start_ns: off_ns + schedule.start_of(k).as_nanos(),
+                    end_ns: off_ns + schedule.finish_of(k).as_nanos(),
                 });
             }
-            for (r, &t) in transfer_tasks[s].iter().enumerate() {
-                obs.record(ObsSpan {
+            for (rel, &t) in transfer_tasks[s].iter().enumerate() {
+                env.obs.record(ObsSpan {
                     kind: ObsKind::BorderXfer,
                     device: Some(dev),
-                    block_row: Some(r as u32),
-                    start_ns: schedule.start_of(t).as_nanos(),
-                    end_ns: schedule.finish_of(t).as_nanos(),
+                    block_row: Some((start_row + rel) as u32),
+                    start_ns: off_ns + schedule.start_of(t).as_nanos(),
+                    end_ns: off_ns + schedule.finish_of(t).as_nanos(),
                 });
             }
         }
@@ -417,6 +768,8 @@ fn build_schedule(
             bd
         })
         .collect();
+    // Rows the final attempt actually covered (all of them, fault-free).
+    let height_covered = m - (start_row * config.block_h).min(m);
     let devices = slabs
         .iter()
         .enumerate()
@@ -424,7 +777,7 @@ fn build_schedule(
             let busy = schedule.busy_of(computes[s]);
             let sent = if s + 1 < slabs.len() {
                 match mode {
-                    Mode::FineGrain => (0..rows)
+                    Mode::FineGrain => (start_row..rows)
                         .map(|r| border_bytes(row_height(m, config.block_h, r)))
                         .sum(),
                     Mode::BulkSynchronous => border_bytes(m),
@@ -437,7 +790,7 @@ fn build_schedule(
                 name: platform.devices[slab.device].name.clone(),
                 slab_j0: slab.j0,
                 slab_width: slab.width,
-                cells: m as u128 * slab.width as u128,
+                cells: height_covered as u128 * slab.width as u128,
                 bytes_sent: sent,
                 ring_out: None,
                 wall_busy: None,
@@ -453,15 +806,18 @@ fn build_schedule(
         total_cells,
         wall_time: None,
         gcups_wall: None,
-        sim_time: Some(makespan),
+        sim_time: Some(sim_time),
         gcups_sim: Some(RunReport::gcups(total_cells, secs)),
         devices,
+        recovery,
     };
     DesRun {
         report,
         schedule,
         memory,
         stalls,
+        losses,
+        aborted: None,
     }
 }
 
@@ -789,6 +1145,110 @@ mod tests {
         let b = run_des_bulk(500_000, 500_000, &p, &cfg());
         assert_eq!(a.report.sim_time, b.report.sim_time);
         assert!(a.report.devices.iter().all(|d| d.stall.is_some()));
+    }
+
+    #[test]
+    fn des_fault_without_recovery_aborts_at_the_fault_instant() {
+        use crate::pipeline::FaultPlan;
+        let p = Platform::env2();
+        let run = DesSim::new(MBP, MBP, &p)
+            .config(cfg())
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 100,
+            })
+            .run();
+        assert_eq!(
+            run.aborted,
+            Some(PipelineError::DeviceFault {
+                device: 1,
+                block_row: 100
+            })
+        );
+        assert_eq!(run.losses.len(), 1);
+        assert_eq!(run.losses[0].device, 1);
+        assert_eq!(run.losses[0].block_row, 100);
+        // Aborted mid-matrix: strictly before the fault-free makespan.
+        let clean = run_des(MBP, MBP, &p, &cfg()).report.sim_time.unwrap();
+        assert!(run.report.sim_time.unwrap() < clean);
+        assert!(run.report.recovery.is_none());
+    }
+
+    #[test]
+    fn des_recovery_completes_with_accounting_and_slower_clock() {
+        use crate::pipeline::FaultPlan;
+        let p = Platform::env2();
+        let clean = run_des(MBP, MBP, &p, &cfg());
+        let run = DesSim::new(MBP, MBP, &p)
+            .config(cfg())
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 100,
+            })
+            .recover(RecoveryPolicy::default())
+            .run();
+        assert!(run.aborted.is_none());
+        let rec = run.report.recovery.as_ref().unwrap();
+        assert_eq!(rec.recoveries, 1);
+        assert_eq!(rec.failed_devices, vec![1]);
+        assert!(rec.checkpoints_taken > 0);
+        assert!(rec.rewound_cells > 0);
+        assert_eq!(rec.resumed_from_rows[0] % 8, 0);
+        // Two survivors, original device indices.
+        let devs: Vec<usize> = run.report.devices.iter().map(|d| d.device).collect();
+        assert_eq!(devs, vec![0, 2]);
+        // Losing a device and rewinding costs simulated time.
+        assert!(run.report.sim_time.unwrap() > clean.report.sim_time.unwrap());
+        assert!(run.report.gcups_sim.unwrap() < clean.report.gcups_sim.unwrap());
+    }
+
+    #[test]
+    fn des_recovery_is_deterministic() {
+        use crate::pipeline::FaultSchedule;
+        let p = Platform::env2();
+        let go = || {
+            DesSim::new(MBP, MBP, &p)
+                .config(cfg())
+                .faults("1:100,2:300:ring-push".parse::<FaultSchedule>().unwrap())
+                .recover(RecoveryPolicy {
+                    checkpoint_rows: 16,
+                    max_device_failures: 2,
+                })
+                .run()
+        };
+        let a = go();
+        let b = go();
+        assert_eq!(a.report.sim_time, b.report.sim_time);
+        assert_eq!(a.report.recovery, b.report.recovery);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.report.recovery.as_ref().unwrap().recoveries, 2);
+        assert_eq!(a.report.devices.len(), 1);
+    }
+
+    #[test]
+    fn des_recovery_budget_exhaustion_aborts_with_partial_accounting() {
+        use crate::pipeline::FaultSchedule;
+        let p = Platform::env2();
+        let run = DesSim::new(MBP, MBP, &p)
+            .config(cfg())
+            .faults("1:100,2:300".parse::<FaultSchedule>().unwrap())
+            .recover(RecoveryPolicy {
+                checkpoint_rows: 8,
+                max_device_failures: 1,
+            })
+            .run();
+        assert_eq!(
+            run.aborted,
+            Some(PipelineError::DeviceFault {
+                device: 2,
+                block_row: 300
+            })
+        );
+        let rec = run.report.recovery.as_ref().unwrap();
+        assert_eq!(rec.recoveries, 1);
+        assert_eq!(run.losses.len(), 2);
+        // Losses carry the cumulative clock: strictly increasing instants.
+        assert!(run.losses[0].at < run.losses[1].at);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 pub mod autotune;
 pub mod balance;
 pub mod baseline;
+pub mod checkpoint;
 pub mod circbuf;
 pub mod config;
 pub mod desrun;
@@ -41,23 +42,27 @@ pub mod pipeline;
 pub mod stages;
 pub mod stats;
 
+pub use checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
 pub use config::{PartitionPolicy, RunConfig};
 pub use desrun::DesSim;
 pub use error::MegaswError;
-pub use partition::{make_slabs, Slab};
+pub use partition::{make_slabs, make_slabs_excluding, Slab};
 #[allow(deprecated)]
 pub use pipeline::run_pipeline;
-pub use pipeline::{PipelineRun, Semantics};
+pub use pipeline::{FaultPhase, FaultSchedule, PipelineRun, ScheduledFault, Semantics};
 pub use stages::multigpu_local_align;
-pub use stats::{DeviceReport, RunReport, StallBreakdown};
+pub use stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
 
 /// The types most callers need: builders, reports, errors, observability.
 pub mod prelude {
+    pub use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use crate::config::{PartitionPolicy, RunConfig};
     pub use crate::desrun::{DesRun, DesSim};
     pub use crate::error::MegaswError;
-    pub use crate::pipeline::{FaultPlan, PipelineRun, Semantics};
-    pub use crate::stats::{DeviceReport, RunReport, StallBreakdown};
+    pub use crate::pipeline::{
+        FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
+    };
+    pub use crate::stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
     pub use megasw_obs::{
         chrome_trace, metrics_json, prometheus, render_progress_line, LiveSnapshot, LiveTelemetry,
         MetricsRegistry, ObsKind, ObsLevel, ObsSpan, ProgressSampler, Recorder,

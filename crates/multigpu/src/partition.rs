@@ -143,6 +143,70 @@ pub fn make_slabs(
     slabs
 }
 
+/// [`make_slabs`] over the surviving devices only: every device whose
+/// platform index appears in `exclude` (the coordinator's blacklist) is
+/// removed from the chain before partitioning, and the survivors keep
+/// their **original platform indices** so fault plans, device reports and
+/// catalog lookups stay stable across recoveries.
+///
+/// Weights follow the policy, restricted to the survivors. `Proportional`
+/// uses the *measured* per-device throughput from
+/// [`crate::balance::default_weights`] — after a failure the coordinator
+/// redistributes by what each survivor actually delivers, not by its
+/// nameplate peak. Returns an empty list when no survivor remains.
+pub fn make_slabs_excluding(
+    n: usize,
+    block_w: usize,
+    platform: &Platform,
+    policy: &PartitionPolicy,
+    exclude: &[usize],
+) -> Vec<Slab> {
+    assert!(block_w >= 1);
+    let survivors: Vec<usize> = (0..platform.len())
+        .filter(|d| !exclude.contains(d))
+        .collect();
+    if n == 0 || survivors.is_empty() {
+        return Vec::new();
+    }
+    let total_bcols = n.div_ceil(block_w);
+    let g = survivors.len().min(total_bcols);
+
+    let weights: Vec<f64> = match policy {
+        PartitionPolicy::Equal => vec![1.0; g],
+        PartitionPolicy::Proportional => {
+            let measured = crate::balance::default_weights(platform);
+            survivors[..g].iter().map(|&d| measured[d]).collect()
+        }
+        PartitionPolicy::Explicit(w) => {
+            assert!(
+                w.len() >= platform.len(),
+                "explicit weights ({}) must cover every platform device ({})",
+                w.len(),
+                platform.len()
+            );
+            survivors[..g].iter().map(|&d| w[d]).collect()
+        }
+    };
+
+    let bcols = largest_remainder(total_bcols, &weights);
+    let mut slabs = Vec::with_capacity(g);
+    let mut next_bcol = 0usize;
+    for (slot, &bc) in bcols.iter().enumerate() {
+        if bc == 0 {
+            continue;
+        }
+        let j0 = next_bcol * block_w + 1;
+        let j_end = ((next_bcol + bc) * block_w).min(n) + 1;
+        slabs.push(Slab {
+            device: survivors[slot],
+            j0,
+            width: j_end - j0,
+        });
+        next_bcol += bc;
+    }
+    slabs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +313,54 @@ mod tests {
         let p = Platform::env1();
         let slabs = make_slabs(1_000, 10, &p, &PartitionPolicy::Explicit(vec![3.0, 1.0]));
         assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs[0].width, 750);
+        assert_eq!(slabs[1].width, 250);
+    }
+
+    #[test]
+    fn excluding_keeps_original_device_indices_and_tiles_exactly() {
+        let p = Platform::env2();
+        let slabs = make_slabs_excluding(4_000, 32, &p, &PartitionPolicy::Proportional, &[1]);
+        assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs[0].device, 0);
+        assert_eq!(slabs[1].device, 2);
+        assert_eq!(slabs[0].j0, 1);
+        assert_eq!(slabs[0].j_end(), slabs[1].j0);
+        assert_eq!(slabs.last().unwrap().j_end(), 4_001);
+        assert_eq!(slabs.iter().map(|s| s.width).sum::<usize>(), 4_000);
+    }
+
+    #[test]
+    fn excluding_nothing_covers_every_device() {
+        let p = Platform::env2();
+        let slabs = make_slabs_excluding(4_000, 32, &p, &PartitionPolicy::Equal, &[]);
+        assert_eq!(slabs.len(), 3);
+        assert_eq!(
+            slabs.iter().map(|s| s.device).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn excluding_everyone_leaves_no_slabs() {
+        let p = Platform::env1();
+        assert!(make_slabs_excluding(1_000, 32, &p, &PartitionPolicy::Equal, &[0, 1]).is_empty());
+    }
+
+    #[test]
+    fn excluding_with_explicit_weights_indexes_by_platform_device() {
+        let p = Platform::env2();
+        // Device 0 excluded: survivors 1 and 2 split by weights 3:1.
+        let slabs = make_slabs_excluding(
+            1_000,
+            10,
+            &p,
+            &PartitionPolicy::Explicit(vec![99.0, 3.0, 1.0]),
+            &[0],
+        );
+        assert_eq!(slabs.len(), 2);
+        assert_eq!(slabs[0].device, 1);
+        assert_eq!(slabs[1].device, 2);
         assert_eq!(slabs[0].width, 750);
         assert_eq!(slabs[1].width, 250);
     }

@@ -54,16 +54,18 @@
 //! without perturbing the workers. Live device indices follow **chain
 //! position** (slab order), matching `RunReport::devices`.
 
-use crate::circbuf::{CircularBuffer, RingError};
+use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
+use crate::circbuf::{CircularBuffer, RingError, RingStats};
 use crate::config::RunConfig;
 use crate::error::MegaswError;
-use crate::partition::{make_slabs, Slab};
-use crate::stats::{DeviceReport, RunReport, StallBreakdown};
+use crate::partition::{make_slabs, make_slabs_excluding, Slab};
+use crate::stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
 use megasw_gpusim::Platform;
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
 use megasw_sw::block::{compute_block, compute_block_anchored, BlockInput};
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::BestCell;
+use std::str::FromStr;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -108,10 +110,194 @@ impl std::error::Error for PipelineError {}
 
 /// Deterministic fault injection for resilience tests: the given device
 /// fails just before computing the given block-row.
-#[derive(Debug, Clone, Copy)]
+///
+/// This is the original single-fault form, kept for source compatibility;
+/// it converts into a one-entry [`FaultSchedule`] with
+/// [`FaultPhase::Compute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     pub device: usize,
     pub fail_at_block_row: usize,
+}
+
+/// Which point of a worker's per-block-row loop a fault fires at.
+///
+/// The four phases bracket the row's dataflow: waiting for the left
+/// neighbour's border (`RingPop`), the DP kernel itself (`Compute`),
+/// handing the right border to the ring (`RingPush`), and the border's bus
+/// transfer to the neighbour (`Transfer`). Every phase check fires
+/// unconditionally at its point in the loop, so a fault on a slab with no
+/// ring on that side still kills the device deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultPhase {
+    /// While waiting on the incoming border ring, before the pop.
+    RingPop,
+    /// Just before launching the block-row's kernels (the [`FaultPlan`]
+    /// semantics).
+    #[default]
+    Compute,
+    /// Just before pushing the outgoing border.
+    RingPush,
+    /// After the push, while the border is in flight to the neighbour.
+    Transfer,
+}
+
+impl FaultPhase {
+    /// Canonical lowercase name, matching the CLI / repro-string syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPhase::RingPop => "ring-pop",
+            FaultPhase::Compute => "compute",
+            FaultPhase::RingPush => "ring-push",
+            FaultPhase::Transfer => "transfer",
+        }
+    }
+}
+
+impl FromStr for FaultPhase {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ring-pop" => Ok(FaultPhase::RingPop),
+            "compute" => Ok(FaultPhase::Compute),
+            "ring-push" => Ok(FaultPhase::RingPush),
+            "transfer" => Ok(FaultPhase::Transfer),
+            other => Err(format!(
+                "unknown fault phase `{other}` (expected ring-pop|compute|ring-push|transfer)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One scheduled device failure: `device` dies at `block_row`, in `phase`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScheduledFault {
+    /// Platform index of the device that fails.
+    pub device: usize,
+    /// Block-row at which it fails.
+    pub block_row: usize,
+    /// Where in the row's dataflow it fails.
+    pub phase: FaultPhase,
+}
+
+impl FromStr for ScheduledFault {
+    type Err = String;
+
+    /// Parse `DEV:ROW[:PHASE]` (phase defaults to `compute`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let device = parts
+            .next()
+            .filter(|p| !p.is_empty())
+            .ok_or_else(|| format!("empty fault spec in `{s}`"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad device in fault `{s}`: {e}"))?;
+        let block_row = parts
+            .next()
+            .ok_or_else(|| format!("fault `{s}` needs DEV:ROW[:PHASE]"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad block-row in fault `{s}`: {e}"))?;
+        let phase = match parts.next() {
+            Some(p) => p.parse::<FaultPhase>()?,
+            None => FaultPhase::Compute,
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing garbage in fault `{s}`"));
+        }
+        Ok(ScheduledFault {
+            device,
+            block_row,
+            phase,
+        })
+    }
+}
+
+impl std::fmt::Display for ScheduledFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.device, self.block_row, self.phase)
+    }
+}
+
+/// A deterministic multi-fault schedule: every entry fires exactly when
+/// its (device, block-row, phase) point is reached — same schedule, same
+/// outcome, every run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Does a fault fire for `device` at `block_row` in `phase`?
+    pub(crate) fn fires(&self, device: usize, block_row: usize, phase: FaultPhase) -> bool {
+        self.faults
+            .iter()
+            .any(|f| f.device == device && f.block_row == block_row && f.phase == phase)
+    }
+}
+
+impl From<FaultPlan> for FaultSchedule {
+    fn from(plan: FaultPlan) -> FaultSchedule {
+        FaultSchedule {
+            faults: vec![ScheduledFault {
+                device: plan.device,
+                block_row: plan.fail_at_block_row,
+                phase: FaultPhase::Compute,
+            }],
+        }
+    }
+}
+
+impl From<ScheduledFault> for FaultSchedule {
+    fn from(fault: ScheduledFault) -> FaultSchedule {
+        FaultSchedule {
+            faults: vec![fault],
+        }
+    }
+}
+
+impl From<Vec<ScheduledFault>> for FaultSchedule {
+    fn from(faults: Vec<ScheduledFault>) -> FaultSchedule {
+        FaultSchedule { faults }
+    }
+}
+
+impl FromStr for FaultSchedule {
+    type Err = String;
+
+    /// Parse a comma-separated list of `DEV:ROW[:PHASE]` specs.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let faults = s
+            .split(',')
+            .filter(|part| !part.trim().is_empty())
+            .map(|part| part.trim().parse::<ScheduledFault>())
+            .collect::<Result<Vec<_>, _>>()?;
+        if faults.is_empty() {
+            return Err("empty fault schedule".to_string());
+        }
+        Ok(FaultSchedule { faults })
+    }
+}
+
+impl std::fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
 }
 
 /// Builder for one threaded pipeline run — the single entry point the
@@ -123,7 +309,8 @@ pub struct PipelineRun<'a> {
     platform: &'a Platform,
     config: RunConfig,
     semantics: Semantics,
-    fault: Option<FaultPlan>,
+    faults: FaultSchedule,
+    recovery: Option<RecoveryPolicy>,
     observer: Recorder,
     live: Option<Arc<LiveTelemetry>>,
 }
@@ -139,7 +326,8 @@ impl<'a> PipelineRun<'a> {
             platform,
             config: RunConfig::paper_default(),
             semantics: Semantics::Local,
-            fault: None,
+            faults: FaultSchedule::default(),
+            recovery: None,
             observer: Recorder::disabled(),
             live: None,
         }
@@ -157,9 +345,21 @@ impl<'a> PipelineRun<'a> {
         self
     }
 
-    /// Inject a deterministic device fault (resilience testing).
-    pub fn faults(mut self, plan: FaultPlan) -> Self {
-        self.fault = Some(plan);
+    /// Inject a deterministic fault schedule (resilience testing). Accepts
+    /// a single [`FaultPlan`] (legacy), a [`ScheduledFault`], or a whole
+    /// [`FaultSchedule`] / `Vec<ScheduledFault>`.
+    pub fn faults(mut self, faults: impl Into<FaultSchedule>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
+    /// Enable fault-tolerant execution: on a device failure, blacklist the
+    /// device, repartition its columns across the survivors, rewind to the
+    /// newest complete checkpoint wave and resume. The final score and
+    /// best-cell are bit-identical to a fault-free run; the accounting
+    /// lands in [`RunReport::recovery`].
+    pub fn recover(mut self, policy: RecoveryPolicy) -> Self {
+        self.recovery = Some(policy);
         self
     }
 
@@ -181,17 +381,31 @@ impl<'a> PipelineRun<'a> {
 
     /// Execute the run.
     pub fn run(self) -> Result<RunReport, MegaswError> {
-        run_pipeline_live(
-            self.a,
-            self.b,
-            self.platform,
-            &self.config,
-            self.fault,
-            self.semantics,
-            &self.observer,
-            self.live.as_ref(),
-        )
-        .map_err(MegaswError::from)
+        match self.recovery {
+            None => run_pipeline_live(
+                self.a,
+                self.b,
+                self.platform,
+                &self.config,
+                &self.faults,
+                self.semantics,
+                &self.observer,
+                self.live.as_ref(),
+            )
+            .map_err(MegaswError::from),
+            Some(policy) => run_pipeline_recover_live(
+                self.a,
+                self.b,
+                self.platform,
+                &self.config,
+                &self.faults,
+                policy,
+                self.semantics,
+                &self.observer,
+                self.live.as_ref(),
+            )
+            .map_err(MegaswError::from),
+        }
     }
 }
 
@@ -296,7 +510,8 @@ pub(crate) fn run_pipeline_engine(
     semantics: Semantics,
     obs: &Recorder,
 ) -> Result<RunReport, PipelineError> {
-    run_pipeline_live(a, b, platform, config, fault, semantics, obs, None)
+    let faults = fault.map(FaultSchedule::from).unwrap_or_default();
+    run_pipeline_live(a, b, platform, config, &faults, semantics, obs, None)
 }
 
 /// The engine behind the builder: [`run_pipeline_engine`] plus optional
@@ -310,7 +525,7 @@ pub(crate) fn run_pipeline_live(
     b: &[u8],
     platform: &Platform,
     config: &RunConfig,
-    fault: Option<FaultPlan>,
+    faults: &FaultSchedule,
     semantics: Semantics,
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
@@ -321,42 +536,281 @@ pub(crate) fn run_pipeline_live(
     let slabs = make_slabs(n, config.block_w, platform, &config.partition);
 
     if m == 0 || slabs.is_empty() {
-        return Ok(empty_report(m, n, platform, &slabs));
+        return Ok(empty_report(m, n, platform, &slabs, None));
     }
 
     let rows = m.div_ceil(config.block_h);
-    let rings: Vec<CircularBuffer<ColBorder>> = (0..slabs.len().saturating_sub(1))
-        .map(|_| CircularBuffer::with_capacity(config.buffer_capacity))
+    // All stall accounting is relative to this instant, on the recorder's
+    // clock, so spans and the stall envelope share one timebase.
+    let run_start_ns = obs.now_ns();
+    let outcome = run_attempt(AttemptParams {
+        a,
+        b,
+        slabs: &slabs,
+        rows,
+        start_row: 0,
+        config,
+        faults,
+        semantics,
+        obs,
+        live,
+        resume: None,
+        ckpt: None,
+    });
+    let wall_ns = obs.now_ns().saturating_sub(run_start_ns);
+    let partials = collect_attempt(outcome.results).map_err(|f| f.error)?;
+    Ok(assemble_report(
+        m,
+        n,
+        platform,
+        &slabs,
+        &partials,
+        &outcome.ring_stats,
+        wall_ns,
+        run_start_ns,
+        BestCell::ZERO,
+        0,
+        None,
+    ))
+}
+
+/// The fault-tolerant driver behind [`PipelineRun::recover`].
+///
+/// Runs attempts in a loop: each attempt executes the pipeline from
+/// `start_row` over the current (survivor) slab set while the workers
+/// deposit border checkpoints every `policy.checkpoint_rows` block-rows.
+/// On a device fault the failed device is blacklisted, its columns are
+/// repartitioned across the survivors ([`make_slabs_excluding`] — measured
+/// throughput for `Proportional`), the run rewinds to the newest complete
+/// checkpoint wave and resumes from its reassembled border. Because the
+/// checkpoint holds the exact H/F lanes (not a summary), the resumed DP is
+/// bit-identical to a fault-free run. Gives up — surfacing the original
+/// fault — when the failure budget is exhausted or no survivor remains.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_pipeline_recover_live(
+    a: &[u8],
+    b: &[u8],
+    platform: &Platform,
+    config: &RunConfig,
+    faults: &FaultSchedule,
+    policy: RecoveryPolicy,
+    semantics: Semantics,
+    obs: &Recorder,
+    live: Option<&Arc<LiveTelemetry>>,
+) -> Result<RunReport, PipelineError> {
+    config.validate().map_err(PipelineError::InvalidConfig)?;
+    if policy.checkpoint_rows == 0 {
+        return Err(PipelineError::InvalidConfig(
+            "checkpoint_rows must be ≥ 1".to_string(),
+        ));
+    }
+    let m = a.len();
+    let n = b.len();
+    let mut slabs = make_slabs(n, config.block_w, platform, &config.partition);
+    if m == 0 || slabs.is_empty() {
+        return Ok(empty_report(
+            m,
+            n,
+            platform,
+            &slabs,
+            Some(RecoveryReport::default()),
+        ));
+    }
+
+    let rows = m.div_ceil(config.block_h);
+    let block_h = config.block_h;
+    // Cells in rows < `row` over the full width — the work a checkpoint at
+    // wave `row` preserves.
+    let cells_at = |row: usize| ((row * block_h).min(m) as u128) * n as u128;
+
+    let store = CheckpointStore::new(n);
+    let mut blacklist: Vec<usize> = Vec::new();
+    let mut start_row = 0usize;
+    let mut resume: Option<Checkpoint> = None;
+    let mut recovery = RecoveryReport::default();
+    let mut failures = 0usize;
+    let run_start_ns = obs.now_ns();
+
+    loop {
+        let geoms: Vec<(usize, usize)> = slabs.iter().map(|s| (s.j0, s.width)).collect();
+        let base_best = resume.as_ref().map_or(BestCell::ZERO, |c| c.best);
+        let attempt = store.begin_attempt(start_row, base_best, &geoms);
+        let outcome = run_attempt(AttemptParams {
+            a,
+            b,
+            slabs: &slabs,
+            rows,
+            start_row,
+            config,
+            faults,
+            semantics,
+            obs,
+            live,
+            resume: resume.as_ref(),
+            ckpt: Some(CkptCtx {
+                store: &store,
+                attempt,
+                interval: policy.checkpoint_rows,
+            }),
+        });
+        match collect_attempt(outcome.results) {
+            Ok(partials) => {
+                let wall_ns = obs.now_ns().saturating_sub(run_start_ns);
+                recovery.checkpoints_taken = store.checkpoints_taken();
+                return Ok(assemble_report(
+                    m,
+                    n,
+                    platform,
+                    &slabs,
+                    &partials,
+                    &outcome.ring_stats,
+                    wall_ns,
+                    run_start_ns,
+                    base_best,
+                    cells_at(start_row),
+                    Some(recovery),
+                ));
+            }
+            Err(failure) => {
+                // Only device faults are recoverable; a failure with no
+                // device-fault root (unreachable today) stays fail-fast.
+                let PipelineError::DeviceFault { device, block_row } = failure.error else {
+                    return Err(failure.error);
+                };
+                failures += 1;
+                if failures > policy.max_device_failures {
+                    return Err(failure.error);
+                }
+                let rec_start_ns = obs.now_ns();
+                blacklist.push(device);
+                let survivors = make_slabs_excluding(
+                    n,
+                    config.block_w,
+                    platform,
+                    &config.partition,
+                    &blacklist,
+                );
+                if survivors.is_empty() {
+                    return Err(failure.error);
+                }
+                let ck = store.newest_complete();
+                let new_start = ck.as_ref().map_or(0, |c| c.wave);
+                // Work lost to the rewind: everything this attempt computed
+                // beyond what the checkpoint wave preserves.
+                let preserved = cells_at(new_start).saturating_sub(cells_at(start_row));
+                recovery.rewound_cells += failure.cells.saturating_sub(preserved);
+                recovery.recoveries += 1;
+                recovery.failed_devices.push(device);
+                recovery.resumed_from_rows.push(new_start);
+                if let Some(live) = live {
+                    live.on_recovery();
+                }
+                obs.record_since(
+                    ObsKind::Recovery,
+                    Some(device as u32),
+                    Some(block_row as u32),
+                    rec_start_ns,
+                );
+                slabs = survivors;
+                start_row = new_start;
+                resume = ck;
+            }
+        }
+    }
+}
+
+/// Everything one attempt needs; bundled so the recovery driver and the
+/// fail-fast path share the exact same execution code.
+struct AttemptParams<'e> {
+    a: &'e [u8],
+    b: &'e [u8],
+    slabs: &'e [Slab],
+    rows: usize,
+    start_row: usize,
+    config: &'e RunConfig,
+    faults: &'e FaultSchedule,
+    semantics: Semantics,
+    obs: &'e Recorder,
+    live: Option<&'e Arc<LiveTelemetry>>,
+    /// Checkpoint to resume from (tops are sliced out of its lanes).
+    resume: Option<&'e Checkpoint>,
+    /// Where workers deposit checkpoints, when recovery is enabled.
+    ckpt: Option<CkptCtx<'e>>,
+}
+
+#[derive(Clone, Copy)]
+struct CkptCtx<'e> {
+    store: &'e CheckpointStore,
+    attempt: usize,
+    interval: usize,
+}
+
+/// A worker's failure, carrying how many cells it computed before dying so
+/// the rewind accounting stays exact.
+struct WorkerFailure {
+    error: PipelineError,
+    cells: u128,
+}
+
+/// An attempt's failure: the root-cause error plus the cells the whole
+/// attempt computed (all workers, finished or not).
+struct AttemptFailure {
+    error: PipelineError,
+    cells: u128,
+}
+
+struct AttemptOutcome {
+    results: Vec<Result<DevicePartial, WorkerFailure>>,
+    ring_stats: Vec<RingStats>,
+}
+
+/// Spawn one worker per slab and run block-rows `start_row..rows` over the
+/// given slab set. Rings are per-attempt; a failed worker poisons its
+/// neighbours' rings so the failure propagates instead of deadlocking.
+fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
+    let rings: Vec<CircularBuffer<ColBorder>> = (0..p.slabs.len().saturating_sub(1))
+        .map(|_| CircularBuffer::with_capacity(p.config.buffer_capacity))
         .collect();
 
-    if let Some(live) = live {
+    if let Some(live) = p.live {
         for (s_idx, ring) in rings.iter().enumerate() {
             if let Some(gauge) = live.ring_gauge(s_idx) {
                 ring.attach_occupancy_gauge(gauge);
             }
         }
-        for s_idx in 0..slabs.len() {
-            live.set_rows_total(s_idx, rows as u64);
+        for s_idx in 0..p.slabs.len() {
+            live.set_rows_total(s_idx, p.rows as u64);
         }
     }
 
-    // All stall accounting is relative to this instant, on the recorder's
-    // clock, so spans and the stall envelope share one timebase.
-    let run_start_ns = obs.now_ns();
-    let results: Vec<Result<DevicePartial, PipelineError>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(slabs.len());
-        for (s_idx, slab) in slabs.iter().enumerate() {
+    let results: Vec<Result<DevicePartial, WorkerFailure>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p.slabs.len());
+        for (s_idx, slab) in p.slabs.iter().enumerate() {
             let ring_in = if s_idx > 0 {
                 Some(&rings[s_idx - 1])
             } else {
                 None
             };
             let ring_out = rings.get(s_idx);
+            let p = &p;
             handles.push(scope.spawn(move || {
-                let result = device_worker(
-                    a, b, *slab, s_idx, rows, config, ring_in, ring_out, fault, semantics, obs,
-                    live,
-                );
+                let result = device_worker(WorkerParams {
+                    a: p.a,
+                    b: p.b,
+                    slab: *slab,
+                    s_idx,
+                    rows: p.rows,
+                    start_row: p.start_row,
+                    config: p.config,
+                    ring_in,
+                    ring_out,
+                    faults: p.faults,
+                    semantics: p.semantics,
+                    obs: p.obs,
+                    live: p.live,
+                    resume: p.resume,
+                    ckpt: p.ckpt,
+                });
                 if result.is_err() {
                     // Wake neighbours so the failure propagates instead of
                     // deadlocking the chain.
@@ -375,41 +829,89 @@ pub(crate) fn run_pipeline_live(
             .map(|h| h.join().expect("worker panicked"))
             .collect()
     });
-    let run_end_ns = obs.now_ns();
-    let wall_ns = run_end_ns.saturating_sub(run_start_ns);
-    let wall = Duration::from_nanos(wall_ns);
 
-    // Surface the root-cause fault ahead of secondary poison observations.
-    let mut first_poison = None;
+    AttemptOutcome {
+        results,
+        ring_stats: rings.iter().map(|r| r.stats()).collect(),
+    }
+}
+
+/// Split an attempt's worker results into success or a root-cause failure.
+/// The root surfaces a `DeviceFault` (in chain order) ahead of secondary
+/// `RingPoisoned` observations; the failure carries the attempt's total
+/// computed cells for the rewind accounting.
+fn collect_attempt(
+    results: Vec<Result<DevicePartial, WorkerFailure>>,
+) -> Result<Vec<DevicePartial>, AttemptFailure> {
+    let mut cells: u128 = 0;
+    let mut fault: Option<PipelineError> = None;
+    let mut poison: Option<PipelineError> = None;
     let mut partials = Vec::with_capacity(results.len());
+    let mut failed = false;
     for r in results {
         match r {
-            Ok(p) => partials.push(p),
-            Err(e @ PipelineError::DeviceFault { .. }) => return Err(e),
-            Err(e) => first_poison = Some(first_poison.unwrap_or(e)),
+            Ok(part) => {
+                cells += part.cells;
+                partials.push(part);
+            }
+            Err(w) => {
+                failed = true;
+                cells += w.cells;
+                match w.error {
+                    e @ PipelineError::DeviceFault { .. } => {
+                        fault.get_or_insert(e);
+                    }
+                    e => {
+                        poison.get_or_insert(e);
+                    }
+                }
+            }
         }
     }
-    if let Some(e) = first_poison {
-        return Err(e);
+    if !failed {
+        return Ok(partials);
     }
+    Err(AttemptFailure {
+        error: fault.or(poison).expect("failed attempt carries an error"),
+        cells,
+    })
+}
 
-    let best = partials
-        .iter()
-        .fold(BestCell::ZERO, |acc, p| acc.merge(p.best));
+/// Build the final [`RunReport`] from the last (successful) attempt.
+/// `base_best` / `base_cells` are what the resumed-from checkpoint already
+/// established; zero for fault-free runs.
+#[allow(clippy::too_many_arguments)]
+fn assemble_report(
+    m: usize,
+    n: usize,
+    platform: &Platform,
+    slabs: &[Slab],
+    partials: &[DevicePartial],
+    ring_stats: &[RingStats],
+    wall_ns: u64,
+    run_start_ns: u64,
+    base_best: BestCell,
+    base_cells: u128,
+    recovery: Option<RecoveryReport>,
+) -> RunReport {
+    let best = partials.iter().fold(base_best, |acc, p| acc.merge(p.best));
     let total_cells = m as u128 * n as u128;
     debug_assert_eq!(
-        partials.iter().map(|p| p.cells).sum::<u128>(),
+        base_cells + partials.iter().map(|p| p.cells).sum::<u128>(),
         total_cells,
-        "every matrix cell must be computed exactly once"
+        "checkpointed rows plus the final attempt must cover the matrix exactly"
     );
+    let wall = Duration::from_nanos(wall_ns);
 
     let devices = slabs
         .iter()
-        .zip(&partials)
+        .zip(partials)
         .enumerate()
         .map(|(s_idx, (slab, p))| {
             // Shift the envelope to the run's own epoch; the identity
-            // startup + input + drain == wall − busy holds exactly.
+            // startup + input + drain == wall − busy holds exactly for
+            // single-attempt runs (recovered runs fold lost attempts into
+            // `startup`).
             let stall = StallBreakdown::from_envelope(
                 wall_ns,
                 p.first_kernel_start_ns.saturating_sub(run_start_ns),
@@ -423,7 +925,7 @@ pub(crate) fn run_pipeline_live(
                 slab_width: slab.width,
                 cells: p.cells,
                 bytes_sent: p.bytes_sent,
-                ring_out: rings.get(s_idx).map(|r| r.stats()),
+                ring_out: ring_stats.get(s_idx).copied(),
                 wall_busy: Some(Duration::from_nanos(p.busy_ns)),
                 sim_busy: None,
                 sim_utilization: None,
@@ -433,7 +935,7 @@ pub(crate) fn run_pipeline_live(
         .collect();
 
     let secs = wall.as_secs_f64();
-    Ok(RunReport {
+    RunReport {
         best,
         total_cells,
         wall_time: Some(wall),
@@ -441,25 +943,53 @@ pub(crate) fn run_pipeline_live(
         sim_time: None,
         gcups_sim: None,
         devices,
-    })
+        recovery,
+    }
 }
 
-/// The per-device loop.
-#[allow(clippy::too_many_arguments)]
-fn device_worker(
-    a: &[u8],
-    b: &[u8],
+/// One worker's slice of an [`AttemptParams`].
+struct WorkerParams<'e> {
+    a: &'e [u8],
+    b: &'e [u8],
     slab: Slab,
     s_idx: usize,
     rows: usize,
-    config: &RunConfig,
-    ring_in: Option<&CircularBuffer<ColBorder>>,
-    ring_out: Option<&CircularBuffer<ColBorder>>,
-    fault: Option<FaultPlan>,
+    start_row: usize,
+    config: &'e RunConfig,
+    ring_in: Option<&'e CircularBuffer<ColBorder>>,
+    ring_out: Option<&'e CircularBuffer<ColBorder>>,
+    faults: &'e FaultSchedule,
     semantics: Semantics,
-    obs: &Recorder,
-    live: Option<&Arc<LiveTelemetry>>,
-) -> Result<DevicePartial, PipelineError> {
+    obs: &'e Recorder,
+    live: Option<&'e Arc<LiveTelemetry>>,
+    resume: Option<&'e Checkpoint>,
+    ckpt: Option<CkptCtx<'e>>,
+}
+
+/// The per-device loop.
+///
+/// Per block-row the phases run in dataflow order — `RingPop` fault check,
+/// pop, `Compute` fault check, kernels, checkpoint deposit, `RingPush`
+/// fault check, push, `Transfer` fault check — so a scheduled fault kills
+/// the device at a well-defined point regardless of ring topology.
+fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
+    let WorkerParams {
+        a,
+        b,
+        slab,
+        s_idx,
+        rows,
+        start_row,
+        config,
+        ring_in,
+        ring_out,
+        faults,
+        semantics,
+        obs,
+        live,
+        resume,
+        ckpt,
+    } = p;
     let m = a.len();
     let block_h = config.block_h;
     let block_w = config.block_w;
@@ -474,13 +1004,24 @@ fn device_worker(
         j += w;
     }
 
-    let mut tops: Vec<RowBorder> = cols
-        .iter()
-        .map(|&(jc0, w)| match semantics {
-            Semantics::Local => RowBorder::zero(w),
-            Semantics::Anchored => RowBorder::anchored(w, jc0, &config.scheme),
-        })
-        .collect();
+    // Top borders: analytic at the matrix edge, or sliced out of the
+    // checkpoint's exact full-width H/F lanes when resuming mid-matrix.
+    let mut tops: Vec<RowBorder> = match resume {
+        None => cols
+            .iter()
+            .map(|&(jc0, w)| match semantics {
+                Semantics::Local => RowBorder::zero(w),
+                Semantics::Anchored => RowBorder::anchored(w, jc0, &config.scheme),
+            })
+            .collect(),
+        Some(ck) => cols
+            .iter()
+            .map(|&(jc0, w)| RowBorder {
+                h: ck.h[jc0 - 1..=jc0 - 1 + w].to_vec(),
+                f: ck.f[jc0 - 1..=jc0 - 1 + w].to_vec(),
+            })
+            .collect(),
+    };
     let mut best = BestCell::ZERO;
     let mut cells: u128 = 0;
     let mut bytes_sent: u64 = 0;
@@ -488,19 +1029,28 @@ fn device_worker(
     let mut last_kernel_end_ns: u64 = 0;
     let mut busy_ns: u64 = 0;
 
-    for r in 0..rows {
+    let die = |cells: u128, r: usize| WorkerFailure {
+        error: PipelineError::DeviceFault {
+            device: slab.device,
+            block_row: r,
+        },
+        cells,
+    };
+    let poisoned = |cells: u128| WorkerFailure {
+        error: PipelineError::RingPoisoned {
+            device: slab.device,
+        },
+        cells,
+    };
+
+    for r in start_row..rows {
         let i0 = r * block_h + 1;
         let i1 = ((r + 1) * block_h).min(m) + 1;
         let height = i1 - i0;
         let row = r as u32;
 
-        if let Some(f) = fault {
-            if f.device == slab.device && f.fail_at_block_row == r {
-                return Err(PipelineError::DeviceFault {
-                    device: slab.device,
-                    block_row: r,
-                });
-            }
+        if faults.fires(slab.device, r, FaultPhase::RingPop) {
+            return Err(die(cells, r));
         }
 
         let mut left: ColBorder = match ring_in {
@@ -517,20 +1067,17 @@ fn device_worker(
                         debug_assert_eq!(border.height(), height, "border height mismatch");
                         border
                     }
-                    Ok(None) | Err(RingError::Closed) => {
-                        // Producer closed early — only reachable through faults.
-                        return Err(PipelineError::RingPoisoned {
-                            device: slab.device,
-                        });
-                    }
-                    Err(RingError::Poisoned) => {
-                        return Err(PipelineError::RingPoisoned {
-                            device: slab.device,
-                        });
+                    // Closed-early and poisoned both mean a neighbour died.
+                    Ok(None) | Err(RingError::Closed) | Err(RingError::Poisoned) => {
+                        return Err(poisoned(cells));
                     }
                 }
             }
         };
+
+        if faults.fires(slab.device, r, FaultPhase::Compute) {
+            return Err(die(cells, r));
+        }
 
         let kernel_start = obs.now_ns();
         for (c, &(jc0, wc)) in cols.iter().enumerate() {
@@ -570,16 +1117,39 @@ fn device_worker(
             );
         }
 
+        // Deposit a checkpoint as soon as the wave's kernels are done, so
+        // a later push/transfer fault on this very row still benefits.
+        if let Some(ck) = ckpt {
+            let wave = r + 1;
+            if wave % ck.interval == 0 && wave < rows {
+                let mut h = Vec::with_capacity(slab.width + 1);
+                let mut f = Vec::with_capacity(slab.width + 1);
+                h.push(tops[0].h[0]);
+                f.push(tops[0].f[0]);
+                for t in &tops {
+                    h.extend_from_slice(&t.h[1..]);
+                    f.extend_from_slice(&t.f[1..]);
+                }
+                ck.store.record(ck.attempt, wave, s_idx, h, f, best);
+            }
+        }
+
+        if faults.fires(slab.device, r, FaultPhase::RingPush) {
+            return Err(die(cells, r));
+        }
+
         if let Some(ring) = ring_out {
             bytes_sent += left.transfer_bytes() as u64;
             let push_start = obs.now_ns();
             let pushed = ring.push(left);
             obs.record_since(ObsKind::RingPush, Some(lane), Some(row), push_start);
             if pushed.is_err() {
-                return Err(PipelineError::RingPoisoned {
-                    device: slab.device,
-                });
+                return Err(poisoned(cells));
             }
+        }
+
+        if faults.fires(slab.device, r, FaultPhase::Transfer) {
+            return Err(die(cells, r));
         }
     }
 
@@ -597,7 +1167,13 @@ fn device_worker(
     })
 }
 
-fn empty_report(m: usize, n: usize, platform: &Platform, slabs: &[Slab]) -> RunReport {
+fn empty_report(
+    m: usize,
+    n: usize,
+    platform: &Platform,
+    slabs: &[Slab],
+    recovery: Option<RecoveryReport>,
+) -> RunReport {
     RunReport {
         best: BestCell::ZERO,
         total_cells: m as u128 * n as u128,
@@ -621,6 +1197,7 @@ fn empty_report(m: usize, n: usize, platform: &Platform, slabs: &[Slab]) -> RunR
                 stall: None,
             })
             .collect(),
+        recovery,
     }
 }
 
@@ -936,6 +1513,217 @@ mod tests {
         assert_eq!(s.cells_done(), total);
         assert!(s.devices.iter().any(|d| d.rows_total == 0));
         assert!((s.fraction_done() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_schedule_parses_and_round_trips() {
+        let s: FaultSchedule = "1:5,2:9:ring-push".parse().unwrap();
+        assert_eq!(
+            s.faults,
+            vec![
+                ScheduledFault {
+                    device: 1,
+                    block_row: 5,
+                    phase: FaultPhase::Compute,
+                },
+                ScheduledFault {
+                    device: 2,
+                    block_row: 9,
+                    phase: FaultPhase::RingPush,
+                },
+            ]
+        );
+        // Display always writes the explicit three-part form.
+        assert_eq!(s.to_string(), "1:5:compute,2:9:ring-push");
+        assert_eq!(s.to_string().parse::<FaultSchedule>().unwrap(), s);
+        // Legacy FaultPlan converts to a compute-phase fault.
+        let from_plan = FaultSchedule::from(FaultPlan {
+            device: 1,
+            fail_at_block_row: 5,
+        });
+        assert_eq!(from_plan.faults[0].phase, FaultPhase::Compute);
+        assert!("x:1".parse::<FaultSchedule>().is_err());
+        assert!("1:2:warp".parse::<FaultSchedule>().is_err());
+        assert!("".parse::<FaultSchedule>().is_err());
+        assert!("1:2:compute:extra".parse::<FaultSchedule>().is_err());
+    }
+
+    #[test]
+    fn recovery_is_bit_identical_to_fault_free_run() {
+        let (a, b) = pair(2_000, 20);
+        let cfg = RunConfig::test_default();
+        let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg)
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 5,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(recovered.best, clean.best);
+        assert_eq!(recovered.total_cells, clean.total_cells);
+        let rec = recovered.recovery.expect("recovering runs report recovery");
+        assert_eq!(rec.recoveries, 1);
+        assert_eq!(rec.failed_devices, vec![1]);
+        assert!(rec.checkpoints_taken > 0);
+        assert!(rec.rewound_cells > 0);
+        assert!(rec.rewound_cells <= recovered.total_cells);
+        // The failed device holds no slab in the final report.
+        assert!(recovered.devices.iter().all(|d| d.device != 1));
+        // Fault-free runs don't grow a recovery report unless asked.
+        assert!(clean.recovery.is_none());
+    }
+
+    #[test]
+    fn recovery_is_bit_identical_in_every_fault_phase() {
+        let (a, b) = pair(1_500, 21);
+        let cfg = RunConfig::test_default();
+        let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg.clone())
+            .run()
+            .unwrap();
+        for phase in [
+            FaultPhase::RingPop,
+            FaultPhase::Compute,
+            FaultPhase::RingPush,
+            FaultPhase::Transfer,
+        ] {
+            let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .faults(ScheduledFault {
+                    device: 1,
+                    block_row: 7,
+                    phase,
+                })
+                .recover(RecoveryPolicy::default())
+                .run()
+                .unwrap();
+            assert_eq!(recovered.best, clean.best, "phase {phase}");
+            assert_eq!(recovered.recovery.unwrap().recoveries, 1, "phase {phase}");
+        }
+    }
+
+    #[test]
+    fn recovery_survives_multiple_faults_and_anchored_semantics() {
+        let (a, b) = pair(2_000, 22);
+        let cfg = RunConfig::test_default();
+        for semantics in [Semantics::Local, Semantics::Anchored] {
+            let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .semantics(semantics)
+                .run()
+                .unwrap();
+            let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .semantics(semantics)
+                .faults("1:5,2:20:transfer".parse::<FaultSchedule>().unwrap())
+                .recover(RecoveryPolicy {
+                    checkpoint_rows: 4,
+                    max_device_failures: 2,
+                })
+                .run()
+                .unwrap();
+            assert_eq!(recovered.best, clean.best, "{semantics:?}");
+            let rec = recovered.recovery.unwrap();
+            assert_eq!(rec.recoveries, 2);
+            assert_eq!(rec.failed_devices, vec![1, 2]);
+            // Only device 0 survives.
+            assert_eq!(recovered.devices.len(), 1);
+            assert_eq!(recovered.devices[0].device, 0);
+        }
+    }
+
+    #[test]
+    fn recovery_from_fault_at_row_zero_restarts_from_scratch() {
+        let (a, b) = pair(1_000, 23);
+        let clean = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .run()
+            .unwrap();
+        let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .faults(FaultPlan {
+                device: 0,
+                fail_at_block_row: 0,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(recovered.best, clean.best);
+        let rec = recovered.recovery.unwrap();
+        assert_eq!(rec.resumed_from_rows, vec![0]);
+    }
+
+    #[test]
+    fn recovery_budget_exhaustion_surfaces_the_fault() {
+        let (a, b) = pair(1_500, 24);
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(RunConfig::test_default())
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 5,
+            })
+            .recover(RecoveryPolicy {
+                checkpoint_rows: 8,
+                max_device_failures: 0,
+            })
+            .run()
+            .unwrap_err();
+        assert_eq!(
+            err.as_pipeline(),
+            Some(&PipelineError::DeviceFault {
+                device: 1,
+                block_row: 5
+            })
+        );
+    }
+
+    #[test]
+    fn recovery_rejects_zero_checkpoint_interval() {
+        let (a, b) = pair(500, 25);
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .recover(RecoveryPolicy {
+                checkpoint_rows: 0,
+                max_device_failures: 1,
+            })
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn recovery_rewind_accounting_matches_checkpoint_interval() {
+        // Fault at block-row 10 with interval 4: every slab checkpointed
+        // wave 8 before row 10 started (the wavefront skew is ≤ chain
+        // depth, but the store only serves *complete* waves — so we assert
+        // the resume row is a multiple of 4 no later than the fault row).
+        let (a, b) = pair(2_000, 26);
+        let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 10,
+            })
+            .recover(RecoveryPolicy {
+                checkpoint_rows: 4,
+                max_device_failures: 1,
+            })
+            .run()
+            .unwrap();
+        let rec = recovered.recovery.unwrap();
+        let resumed = rec.resumed_from_rows[0];
+        assert_eq!(resumed % 4, 0);
+        assert!(resumed <= 10, "resume row {resumed} past the fault row");
+        assert!(resumed > 0, "a wave before row 10 must be complete");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! [`megasw_sw::traceback::local_align`].
 
 use crate::config::RunConfig;
-use crate::pipeline::{run_pipeline_live, PipelineError, Semantics};
+use crate::pipeline::{run_pipeline_live, FaultSchedule, PipelineError, Semantics};
 use megasw_gpusim::Platform;
 use megasw_obs::{LiveTelemetry, ObsKind, Recorder};
 use megasw_sw::traceback::{myers_miller, score_of_ops, LocalAlignment};
@@ -77,7 +77,16 @@ pub fn multigpu_local_align_live(
 
     // Stage 1: forward local pipeline.
     let t0 = std::time::Instant::now();
-    let stage1 = run_pipeline_live(a, b, platform, config, None, Semantics::Local, obs, live)?;
+    let stage1 = run_pipeline_live(
+        a,
+        b,
+        platform,
+        config,
+        &FaultSchedule::default(),
+        Semantics::Local,
+        obs,
+        live,
+    )?;
     times.stage1 = t0.elapsed();
     let best = stage1.best;
     if best.score <= 0 {
@@ -94,7 +103,7 @@ pub fn multigpu_local_align_live(
         &br,
         platform,
         config,
-        None,
+        &FaultSchedule::default(),
         Semantics::Anchored,
         obs,
         live,

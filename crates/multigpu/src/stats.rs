@@ -96,6 +96,25 @@ pub struct DeviceReport {
     pub stall: Option<StallBreakdown>,
 }
 
+/// Fault-recovery accounting for one run (present whenever the run was
+/// executed with a [`RecoveryPolicy`](crate::checkpoint::RecoveryPolicy),
+/// even if no fault fired — all-zero in that case).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Completed recoveries: device blacklisted, columns repartitioned,
+    /// run resumed from a checkpoint wave.
+    pub recoveries: u64,
+    /// DP cells whose work was lost to rewinds (computed in a failed
+    /// attempt but not covered by the checkpoint resumed from).
+    pub rewound_cells: u128,
+    /// Border-segment checkpoints deposited in the host-side store.
+    pub checkpoints_taken: u64,
+    /// Platform indices of the devices that failed, in failure order.
+    pub failed_devices: Vec<usize>,
+    /// Block-row each recovery resumed from, in failure order.
+    pub resumed_from_rows: Vec<usize>,
+}
+
 /// The result of one multi-GPU run (threaded, simulated, or both).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -112,8 +131,13 @@ pub struct RunReport {
     pub sim_time: Option<SimTime>,
     /// Simulated GCUPS — the paper-comparable number.
     pub gcups_sim: Option<f64>,
-    /// Per-device details, in chain order.
+    /// Per-device details, in chain order. After a recovery these describe
+    /// the final (surviving) chain and the cells each survivor computed in
+    /// the final attempt.
     pub devices: Vec<DeviceReport>,
+    /// Fault-recovery accounting; `None` unless the run was executed with
+    /// a recovery policy.
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl RunReport {
@@ -151,6 +175,14 @@ impl RunReport {
         }
         if let Some(g) = self.gcups_sim {
             m.observe("gcups.sim", g);
+        }
+        if let Some(rec) = &self.recovery {
+            m.incr("recoveries_total", rec.recoveries);
+            m.incr(
+                "rewound_cells",
+                u64::try_from(rec.rewound_cells).unwrap_or(u64::MAX),
+            );
+            m.incr("checkpoints_taken", rec.checkpoints_taken);
         }
         for d in &self.devices {
             m.observe(
@@ -206,6 +238,17 @@ impl std::fmt::Display for RunReport {
         }
         if let (Some(t), Some(g)) = (self.wall_time, self.gcups_wall) {
             writeln!(f, "  wall:      {t:.3?}  ({g:.3} GCUPS on host CPU)")?;
+        }
+        if let Some(rec) = &self.recovery {
+            writeln!(
+                f,
+                "  recovery:  {} recoveries, {} cells rewound, {} checkpoints (failed devices {:?}, resumed from rows {:?})",
+                rec.recoveries,
+                rec.rewound_cells,
+                rec.checkpoints_taken,
+                rec.failed_devices,
+                rec.resumed_from_rows
+            )?;
         }
         for d in &self.devices {
             write!(
@@ -294,6 +337,13 @@ mod tests {
                     10_000_000, 1_000_000, 8_000_000, 5_000_000,
                 )),
             }],
+            recovery: Some(RecoveryReport {
+                recoveries: 1,
+                rewound_cells: 12_345,
+                checkpoints_taken: 4,
+                failed_devices: vec![1],
+                resumed_from_rows: vec![8],
+            }),
         }
     }
 
@@ -311,6 +361,8 @@ mod tests {
         assert!(text.contains("GCUPS"));
         assert!(text.contains("TestBoard"));
         assert!(text.contains("stall:"));
+        assert!(text.contains("recovery:  1 recoveries"));
+        assert!(text.contains("12345 cells rewound"));
     }
 
     #[test]
@@ -343,6 +395,13 @@ mod tests {
     fn metrics_cover_gcups_rings_and_stalls() {
         let m = report().metrics();
         assert_eq!(m.counter("bytes.transferred"), Some(512));
+        assert_eq!(m.counter("recoveries_total"), Some(1));
+        assert_eq!(m.counter("rewound_cells"), Some(12_345));
+        assert_eq!(m.counter("checkpoints_taken"), Some(4));
+        // A policy-free run emits no recovery counters at all.
+        let mut bare = report();
+        bare.recovery = None;
+        assert_eq!(bare.metrics().counter("recoveries_total"), None);
         assert_eq!(m.counter("ring.pushed"), Some(3));
         assert_eq!(m.counter("ring.producer_wait_ns"), Some(5_000));
         assert_eq!(m.counter("stall.startup_ns"), Some(1_000_000));

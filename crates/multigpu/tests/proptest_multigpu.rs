@@ -147,6 +147,90 @@ fn ring_preserves_order_and_counts() {
 }
 
 #[test]
+fn poisoned_producer_unblocks_every_consumer_in_a_capacity_one_chain() {
+    // The recovery driver depends on this liveness property: when a worker
+    // dies it poisons its rings, and every device downstream — possibly
+    // blocked on a pop, possibly mid-stream — must observe the poison and
+    // exit rather than wait forever. Model a chain of 1..=5 devices as a
+    // chain of capacity-1 rings with a relay thread per link, poison the
+    // head after a random number of borders, and require the whole chain
+    // to drain within a hard deadline.
+    for case in 0..CASES {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x4D_09 + case);
+        let devices = rng.gen_range(1..=5usize);
+        let sent_before_poison = rng.gen_range(0..20usize);
+        let rings: Vec<CircularBuffer<u32>> = (0..devices)
+            .map(|_| CircularBuffer::with_capacity(1))
+            .collect();
+        // Relay d forwards ring d → ring d+1 until it sees the poison.
+        let relays: Vec<_> = (0..devices - 1)
+            .map(|d| {
+                let src = rings[d].clone();
+                let dst = rings[d + 1].clone();
+                std::thread::spawn(move || loop {
+                    match src.pop() {
+                        Ok(Some(v)) => {
+                            if dst.push(v).is_err() {
+                                return false;
+                            }
+                        }
+                        Ok(None) => return false, // closed, not poisoned
+                        Err(_) => {
+                            dst.poison();
+                            return true;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let head = rings[0].clone();
+        let producer = std::thread::spawn(move || {
+            for v in 0..sent_before_poison as u32 {
+                if head.push(v).is_err() {
+                    return;
+                }
+            }
+            head.poison();
+        });
+        let tail = rings[devices - 1].clone();
+        let consumer = std::thread::spawn(move || {
+            let mut received = 0u32;
+            loop {
+                match tail.pop() {
+                    Ok(Some(_)) => received += 1,
+                    Ok(None) => return (received, false),
+                    Err(_) => return (received, true),
+                }
+            }
+        });
+
+        // Liveness: every thread exits within the deadline. join() itself
+        // would hang on a regression, so poll with a watchdog.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let handles: Vec<&std::thread::JoinHandle<_>> = relays.iter().collect();
+        while handles.iter().any(|h| !h.is_finished())
+            || !producer.is_finished()
+            || !consumer.is_finished()
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "case {case}: chain of {devices} devices did not unblock \
+                 after poison (sent {sent_before_poison})"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        producer.join().unwrap();
+        let saw_poison: Vec<bool> = relays.into_iter().map(|h| h.join().unwrap()).collect();
+        let (received, tail_poisoned) = consumer.join().unwrap();
+        // Safety: the poison reached every link and the tail; nothing was
+        // silently dropped before it.
+        assert!(saw_poison.iter().all(|&p| p), "case {case}");
+        assert!(tail_poisoned, "case {case}");
+        assert!(received <= sent_before_poison as u32, "case {case}");
+    }
+}
+
+#[test]
 fn pipeline_equals_reference_on_arbitrary_shapes() {
     for case in 0..CASES {
         let mut rng = ChaCha8Rng::seed_from_u64(0x4D_06 + case);

@@ -4,11 +4,16 @@
 //! unit tests don't reach.
 
 use megasw_gpusim::{catalog, Platform};
-use megasw_multigpu::pipeline::{PipelineRun, Semantics};
+use megasw_multigpu::checkpoint::RecoveryPolicy;
+use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
 use megasw_multigpu::{PartitionPolicy, RunConfig};
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 use megasw_sw::gotoh::gotoh_best;
 use megasw_sw::traceback::anchored_best;
+
+#[path = "../../../tests/util/deadline.rs"]
+mod deadline;
+use deadline::with_deadline;
 
 fn pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
     let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
@@ -111,6 +116,43 @@ fn anchored_pipeline_under_stress_shapes() {
             "bh={bh} bw={bw} cap={cap}"
         );
     }
+}
+
+#[test]
+fn recovery_with_capacity_one_rings_terminates_and_stays_exact() {
+    // The worst synchronization shape (capacity-1 rings, tiny blocks)
+    // combined with a mid-matrix device death and a rewind: the recovery
+    // driver must neither deadlock on the poisoned rings of the dead
+    // attempt nor perturb the score. The watchdog turns a hang into a
+    // failure.
+    let (a, b) = pair(2_000, 8);
+    let want = {
+        let cfg = RunConfig::paper_default().with_block(32);
+        gotoh_best(a.codes(), b.codes(), &cfg.scheme)
+    };
+    let report = with_deadline(
+        "capacity-1 recovery pipeline",
+        std::time::Duration::from_secs(60),
+        move || {
+            let cfg = RunConfig::paper_default()
+                .with_block(32)
+                .with_buffer_capacity(1);
+            PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .faults(FaultPlan {
+                    device: 1,
+                    fail_at_block_row: 30,
+                })
+                .recover(RecoveryPolicy {
+                    checkpoint_rows: 4,
+                    max_device_failures: 1,
+                })
+                .run()
+                .unwrap()
+        },
+    );
+    assert_eq!(report.best, want);
+    assert_eq!(report.recovery.as_ref().unwrap().recoveries, 1);
 }
 
 #[test]

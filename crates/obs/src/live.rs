@@ -60,6 +60,9 @@ pub struct LiveTelemetry {
     total_cells: u64,
     devices: Vec<DeviceLive>,
     clock: Clock,
+    /// Run-level count of completed recoveries (device blacklisted,
+    /// columns repartitioned, pipeline resumed from a checkpoint wave).
+    recoveries: AtomicU64,
 }
 
 /// One device's portion of a [`LiveSnapshot`].
@@ -90,6 +93,8 @@ pub struct LiveSnapshot {
     pub now_ns: u64,
     /// Total DP cells the run will compute.
     pub total_cells: u64,
+    /// Recoveries completed so far (0 for a fault-free run).
+    pub recoveries: u64,
     pub devices: Vec<DeviceSnapshot>,
 }
 
@@ -168,6 +173,7 @@ impl LiveTelemetry {
             total_cells,
             devices: (0..num_devices).map(|_| DeviceLive::default()).collect(),
             clock: Clock::Wall(Instant::now()),
+            recoveries: AtomicU64::new(0),
         })
     }
 
@@ -178,6 +184,7 @@ impl LiveTelemetry {
             total_cells,
             devices: (0..num_devices).map(|_| DeviceLive::default()).collect(),
             clock: Clock::Manual(AtomicU64::new(0)),
+            recoveries: AtomicU64::new(0),
         })
     }
 
@@ -235,11 +242,18 @@ impl LiveTelemetry {
         }
     }
 
+    /// One completed recovery: a device was blacklisted and the run
+    /// resumed on the survivors.
+    pub fn on_recovery(&self) {
+        self.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Current counters, read without blocking any worker.
     pub fn snapshot(&self) -> LiveSnapshot {
         LiveSnapshot {
             now_ns: self.now_ns(),
             total_cells: self.total_cells,
+            recoveries: self.recoveries.load(Ordering::Relaxed),
             devices: self
                 .devices
                 .iter()
@@ -284,6 +298,9 @@ pub fn render_progress_line(cur: &LiveSnapshot, prev: Option<&LiveSnapshot>) -> 
         cur.gcups_cumulative(),
         100.0 * cur.imbalance(),
     );
+    if cur.recoveries > 0 {
+        line.push_str(&format!(" | rec {}", cur.recoveries));
+    }
     for (i, d) in cur.devices.iter().enumerate() {
         line.push_str(&format!(
             " | d{i} {:3.0}% occ {}",
@@ -466,6 +483,15 @@ mod tests {
         assert!(line.contains("imbalance"), "{line}");
         assert!(line.contains("d0"), "{line}");
         assert!(line.contains("d1"), "{line}");
+        // Fault-free runs do not pay a recovery column…
+        assert!(!line.contains("rec"), "{line}");
+        // …but a recovered run surfaces the count.
+        live.on_recovery();
+        live.on_recovery();
+        let s = live.snapshot();
+        assert_eq!(s.recoveries, 2);
+        let line = render_progress_line(&s, None);
+        assert!(line.contains("| rec 2"), "{line}");
     }
 
     #[test]

@@ -26,6 +26,9 @@ pub enum ObsKind {
     BorderXfer,
     /// Host-side traceback / alignment reconstruction (stage 3).
     Traceback,
+    /// Coordinator-side recovery work: blacklisting a failed device,
+    /// repartitioning its columns and rewinding to a checkpoint wave.
+    Recovery,
 }
 
 impl ObsKind {
@@ -37,6 +40,7 @@ impl ObsKind {
             ObsKind::RingPopWait => "ring_pop_wait",
             ObsKind::BorderXfer => "border_xfer",
             ObsKind::Traceback => "traceback",
+            ObsKind::Recovery => "recovery",
         }
     }
 }
@@ -81,7 +85,10 @@ impl ObsLevel {
     pub fn keeps(self, kind: ObsKind) -> bool {
         match self {
             ObsLevel::Off => false,
-            ObsLevel::Kernels => matches!(kind, ObsKind::Kernel | ObsKind::Traceback),
+            ObsLevel::Kernels => matches!(
+                kind,
+                ObsKind::Kernel | ObsKind::Traceback | ObsKind::Recovery
+            ),
             ObsLevel::Full => true,
         }
     }

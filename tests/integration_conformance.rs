@@ -1,0 +1,166 @@
+//! Differential conformance: four independent implementations of the same
+//! problem must agree on every seeded combination of shape, block geometry,
+//! buffer capacity, and platform.
+//!
+//! * the **reference DP** (`gotoh_best`) is ground truth;
+//! * the **threaded pipeline** must match it bit-for-bit (score *and*
+//!   end-point);
+//! * the **banded scan** (`banded_adaptive`) must converge to the same best
+//!   cell from a narrow initial band;
+//! * the **DES backend** computes no scores, so it is held to structural
+//!   invariants instead: every device covers its slab, the slabs tile the
+//!   matrix exactly, and the simulated clock advances.
+//!
+//! Each combination is labelled, so one divergent case fails with enough
+//! context to replay it by hand.
+
+use megasw::prelude::*;
+use megasw::sw::banded::banded_adaptive;
+
+struct Combo {
+    label: String,
+    a: DnaSeq,
+    b: DnaSeq,
+    platform: Platform,
+    cfg: RunConfig,
+}
+
+/// The ~40-case seeded matrix: 5 sequence shapes × 4 geometry/capacity
+/// settings × 2 platforms.
+fn combos() -> Vec<Combo> {
+    let shapes: &[(usize, u64, &str)] = &[
+        (1_200, 0x4D_10, "short"),
+        (2_400, 0x4D_11, "medium"),
+        (3_600, 0x4D_12, "long"),
+        (2_000, 0x4D_13, "snp-heavy"),
+        (1_700, 0x4D_14, "indel-heavy"),
+    ];
+    let geometries: &[(usize, usize, usize, &str)] = &[
+        // (block_h, block_w, capacity, label)
+        (64, 64, 8, "square64"),
+        (32, 128, 1, "wide-cap1"),
+        (128, 33, 2, "tall-odd"),
+        (256, 256, 4, "square256"),
+    ];
+    let mut out = Vec::new();
+    for &(len, seed, shape) in shapes {
+        let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+        let model = match shape {
+            "snp-heavy" => DivergenceModel::snp_only(seed, 0.10),
+            "indel-heavy" => DivergenceModel::human_chimp_scaled(seed, len),
+            _ => DivergenceModel::test_scale(seed + 7),
+        };
+        let (b, _) = model.apply(&a);
+        for &(bh, bw, cap, geom) in geometries {
+            for (platform, pname) in [(Platform::env1(), "env1"), (Platform::env2(), "env2")] {
+                let mut cfg = RunConfig::paper_default().with_buffer_capacity(cap);
+                cfg.block_h = bh;
+                cfg.block_w = bw;
+                out.push(Combo {
+                    label: format!("{shape}/{geom}/{pname}"),
+                    a: a.clone(),
+                    b: b.clone(),
+                    platform,
+                    cfg,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn threaded_pipeline_matches_reference_on_every_combo() {
+    for c in combos() {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+            .config(c.cfg.clone())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: pipeline failed: {e}", c.label));
+        assert_eq!(report.best, want, "{}", c.label);
+        assert_eq!(
+            report.total_cells,
+            (c.a.len() as u128) * (c.b.len() as u128),
+            "{}",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn banded_scan_converges_to_the_reference_on_every_shape() {
+    // The scan depends only on the sequences and scheme, not the platform
+    // or geometry — deduplicate to one check per shape.
+    let mut seen = std::collections::BTreeSet::new();
+    for c in combos() {
+        let shape = c.label.split('/').next().unwrap().to_string();
+        if !seen.insert(shape) {
+            continue;
+        }
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let banded = banded_adaptive(c.a.codes(), c.b.codes(), &c.cfg.scheme, 16);
+        assert_eq!(banded.best, want, "{}", c.label);
+        assert!(
+            banded.cells_computed <= (c.a.len() as u128) * (c.b.len() as u128),
+            "{}: banded computed more cells than the full matrix",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn des_backend_is_structurally_sound_on_every_combo() {
+    for c in combos() {
+        let run = DesSim::new(c.a.len(), c.b.len(), &c.platform)
+            .config(c.cfg.clone())
+            .run();
+        let r = &run.report;
+        assert!(run.aborted.is_none(), "{}", c.label);
+        assert!(run.losses.is_empty(), "{}", c.label);
+        assert_eq!(
+            r.total_cells,
+            (c.a.len() as u128) * (c.b.len() as u128),
+            "{}",
+            c.label
+        );
+        // Slabs tile the columns exactly, in chain order.
+        let mut next_col = 1;
+        for d in &r.devices {
+            assert_eq!(d.slab_j0, next_col, "{}", c.label);
+            next_col += d.slab_width;
+        }
+        assert_eq!(next_col, c.b.len() + 1, "{}", c.label);
+        let sim = r
+            .sim_time
+            .unwrap_or_else(|| panic!("{}: no sim time", c.label));
+        assert!(sim.as_nanos() > 0, "{}", c.label);
+        assert!(r.gcups_sim.unwrap() > 0.0, "{}", c.label);
+    }
+}
+
+#[test]
+fn threaded_and_des_agree_on_the_partition() {
+    // Both backends derive slabs from the same partitioner; their
+    // per-device column assignments must be identical.
+    for c in combos().into_iter().step_by(7) {
+        let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+            .config(c.cfg.clone())
+            .run()
+            .unwrap();
+        let sim = DesSim::new(c.a.len(), c.b.len(), &c.platform)
+            .config(c.cfg.clone())
+            .run();
+        let threaded: Vec<_> = report
+            .devices
+            .iter()
+            .map(|d| (d.device, d.slab_j0, d.slab_width))
+            .collect();
+        let des: Vec<_> = sim
+            .report
+            .devices
+            .iter()
+            .map(|d| (d.device, d.slab_j0, d.slab_width))
+            .collect();
+        assert_eq!(threaded, des, "{}", c.label);
+    }
+}

@@ -4,6 +4,10 @@
 
 use megasw::prelude::*;
 
+#[path = "util/deadline.rs"]
+mod deadline;
+use deadline::with_deadline;
+
 fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
     let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
     let (b, _) = DivergenceModel::test_scale(seed + 77).apply(&a);
@@ -40,30 +44,26 @@ fn every_device_and_phase_fails_cleanly() {
 #[test]
 fn fault_with_tiny_buffers_does_not_deadlock() {
     // Capacity-1 rings maximize blocking; the poison must still reach every
-    // blocked neighbour. Run in a watchdog thread so a regression shows up
-    // as a test failure rather than a hung suite.
+    // blocked neighbour. Run under a watchdog so a regression shows up as a
+    // test failure rather than a hung suite.
     let (a, b) = pair(3_000, 2);
-    let handle = std::thread::spawn(move || {
-        let cfg = RunConfig::paper_default()
-            .with_block(32)
-            .with_buffer_capacity(1);
-        PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
-            .config(cfg.clone())
-            .faults(FaultPlan {
-                device: 1,
-                fail_at_block_row: 40,
-            })
-            .run()
-    });
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
-    while !handle.is_finished() {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "faulted pipeline did not terminate within 60 s (deadlock?)"
-        );
-        std::thread::sleep(std::time::Duration::from_millis(20));
-    }
-    assert!(handle.join().unwrap().is_err());
+    let result = with_deadline(
+        "faulted capacity-1 pipeline",
+        std::time::Duration::from_secs(60),
+        move || {
+            let cfg = RunConfig::paper_default()
+                .with_block(32)
+                .with_buffer_capacity(1);
+            PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+                .config(cfg.clone())
+                .faults(FaultPlan {
+                    device: 1,
+                    fail_at_block_row: 40,
+                })
+                .run()
+        },
+    );
+    assert!(result.is_err());
 }
 
 #[test]

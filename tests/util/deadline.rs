@@ -1,0 +1,34 @@
+//! A shared watchdog for tests that must *terminate*, not merely pass.
+//!
+//! Deadlock regressions in the pipeline (a poisoned ring that fails to wake
+//! a blocked neighbour, a recovery driver waiting on a dead worker) would
+//! otherwise hang the whole suite until the harness-level timeout. Running
+//! the suspect body on a watchdog thread turns "hung forever" into a
+//! failing assertion with a useful label.
+//!
+//! Included via `#[path]` from the root integration tests and from
+//! `crates/multigpu/tests/stress_pipeline.rs`, so keep it dependency-free.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` on a fresh thread and panic with `label` if it has not finished
+/// within `limit`. Returns `f`'s result; propagates `f`'s panics.
+pub fn with_deadline<T, F>(label: &str, limit: Duration, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let handle = std::thread::spawn(f);
+    let deadline = Instant::now() + limit;
+    while !handle.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "{label}: did not terminate within {limit:?} (deadlock?)"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    match handle.join() {
+        Ok(v) => v,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
