@@ -11,6 +11,15 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check
 
+# Pruning conformance: distributed block pruning must stay bit-identical
+# to the unpruned reference on every geometry, survive recovery, and keep
+# the live watermark monotone and below the true best.
+cargo test -q -p megasw --test integration_conformance -- \
+    pruned_threaded_pipeline_stays_bit_identical_on_every_combo \
+    pruned_recovery_after_fault_stays_bit_identical \
+    pruned_des_mirror_is_structurally_sound \
+    watermark_is_monotone_and_never_exceeds_the_true_best
+
 # Chaos suite: deterministic seeded fault schedules through both backends
 # (bit-identity under recovery, auto-shrunk repros on failure), plus an
 # explicit replay of one pinned scenario through the env-var repro path so
@@ -36,14 +45,27 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v2 carries recovery accounting in every experiment; the recovery
-# anchor must report at least one actual recovery.
+# Schema v3 carries recovery AND pruning accounting in every experiment;
+# the recovery anchor must report an actual recovery, and the pruning
+# anchor a nonzero pruned tile count.
+grep -q '"schema_version": 3' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v3" >&2
+    exit 1
+}
 grep -q '"recovery": {"recoveries": ' BENCH_ci.json || {
     echo "ci: FAIL — BENCH_ci.json lacks recovery metrics fields" >&2
     exit 1
 }
 grep -q '"name": "recover.env2.3gpu".*"recovery": {"recoveries": 1' BENCH_ci.json || {
     echo "ci: FAIL — recovery anchor experiment did not record a recovery" >&2
+    exit 1
+}
+grep -q '"pruning": {"tiles_pruned": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks pruning metrics fields" >&2
+    exit 1
+}
+grep -q '"name": "prune.env2.3gpu".*"pruning": {"tiles_pruned": [1-9]' BENCH_ci.json || {
+    echo "ci: FAIL — pruning anchor experiment pruned no tiles" >&2
     exit 1
 }
 rm -f BENCH_ci.json

@@ -24,7 +24,12 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// v2: every experiment carries a `recovery` object (recoveries,
 /// rewound_cells, checkpoints) so fault-tolerance regressions are tracked
 /// alongside throughput.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: every experiment also carries a `pruning` object (tiles pruned /
+/// total, cells skipped, pruned fraction). The fraction is *informational*:
+/// `bench-diff` prints its drift but never counts it as a performance
+/// regression — pruned work is work legitimately not done.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -49,7 +54,7 @@ impl HostInfo {
 }
 
 /// One named quantile summary (typically a span-duration histogram).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct QuantileSummary {
     pub name: String,
     pub count: u64,
@@ -59,7 +64,7 @@ pub struct QuantileSummary {
 }
 
 /// One benchmark experiment's results.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Experiment {
     /// Stable identifier, e.g. `pipeline.env1.2gpu`.
     pub name: String,
@@ -77,6 +82,11 @@ pub struct Experiment {
     pub recoveries_total: u64,
     pub rewound_cells: u64,
     pub checkpoints_taken: u64,
+    /// Block-pruning accounting (all zero when pruning is off).
+    pub tiles_pruned: u64,
+    pub tiles_total: u64,
+    pub cells_skipped: u64,
+    pub pruned_fraction: f64,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
@@ -91,6 +101,14 @@ impl Experiment {
         self.recoveries_total = metrics.counter("recoveries_total").unwrap_or(0);
         self.rewound_cells = metrics.counter("rewound_cells").unwrap_or(0);
         self.checkpoints_taken = metrics.counter("checkpoints_taken").unwrap_or(0);
+        self.tiles_pruned = metrics.counter("pruning.tiles_pruned").unwrap_or(0);
+        self.tiles_total = metrics.counter("pruning.tiles_total").unwrap_or(0);
+        self.cells_skipped = metrics.counter("pruning.cells_skipped").unwrap_or(0);
+        self.pruned_fraction = if self.tiles_total > 0 {
+            self.tiles_pruned as f64 / self.tiles_total as f64
+        } else {
+            0.0
+        };
         for (name, h) in metrics.histograms() {
             if name.starts_with("span.") && name.ends_with(".duration_ns") {
                 self.quantiles.push(QuantileSummary {
@@ -168,6 +186,14 @@ impl Artifact {
                 "\"recovery\": {{\"recoveries\": {}, \"rewound_cells\": {}, \"checkpoints\": {}}}, ",
                 e.recoveries_total, e.rewound_cells, e.checkpoints_taken
             );
+            let _ = write!(
+                out,
+                "\"pruning\": {{\"tiles_pruned\": {}, \"tiles_total\": {}, \"cells_skipped\": {}, \"pruned_fraction\": {}}}, ",
+                e.tiles_pruned,
+                e.tiles_total,
+                e.cells_skipped,
+                num(e.pruned_fraction)
+            );
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -226,6 +252,7 @@ impl Artifact {
             let recovery = e
                 .get("recovery")
                 .ok_or_else(|| ctx("missing \"recovery\""))?;
+            let pruning = e.get("pruning").ok_or_else(|| ctx("missing \"pruning\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -252,6 +279,10 @@ impl Artifact {
                 recoveries_total: req_u64(recovery, "recoveries").map_err(|m| ctx(&m))?,
                 rewound_cells: req_u64(recovery, "rewound_cells").map_err(|m| ctx(&m))?,
                 checkpoints_taken: req_u64(recovery, "checkpoints").map_err(|m| ctx(&m))?,
+                tiles_pruned: req_u64(pruning, "tiles_pruned").map_err(|m| ctx(&m))?,
+                tiles_total: req_u64(pruning, "tiles_total").map_err(|m| ctx(&m))?,
+                cells_skipped: req_u64(pruning, "cells_skipped").map_err(|m| ctx(&m))?,
+                pruned_fraction: req_f64(pruning, "pruned_fraction").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -304,6 +335,10 @@ pub struct ExperimentDelta {
     /// Relative change in median GCUPS: positive = faster, negative =
     /// slower. `(current − baseline) / baseline`.
     pub delta: f64,
+    /// Pruned-fraction drift in absolute points (`current − baseline`).
+    /// Informational only: a pruning change is a behavioural signal, not a
+    /// performance regression, so [`DiffReport::regressions`] ignores it.
+    pub pruned_fraction_delta: f64,
 }
 
 /// Result of diffing two artifacts.
@@ -342,11 +377,16 @@ impl DiffReport {
         for d in &self.deltas {
             let _ = writeln!(
                 out,
-                "{:<32} {:>10.3} {:>10.3} {:>+7.1}%",
+                "{:<32} {:>10.3} {:>10.3} {:>+7.1}%{}",
                 d.name,
                 d.baseline_gcups,
                 d.current_gcups,
-                100.0 * d.delta
+                100.0 * d.delta,
+                if d.pruned_fraction_delta != 0.0 {
+                    format!("  (pruned {:+.1} pp)", 100.0 * d.pruned_fraction_delta)
+                } else {
+                    String::new()
+                }
             );
         }
         for n in &self.only_in_baseline {
@@ -373,6 +413,7 @@ pub fn diff(baseline: &Artifact, current: &Artifact) -> DiffReport {
                 } else {
                     0.0
                 },
+                pruned_fraction_delta: c.pruned_fraction - b.pruned_fraction,
             }),
             None => report.only_in_baseline.push(b.name.clone()),
         }
@@ -403,6 +444,10 @@ mod tests {
             recoveries_total: 1,
             rewound_cells: 4_096,
             checkpoints_taken: 12,
+            tiles_pruned: 25,
+            tiles_total: 100,
+            cells_skipped: 250_000,
+            pruned_fraction: 0.25,
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -417,13 +462,7 @@ mod tests {
             gcups_median: gcups * 2.0,
             gcups_min: gcups * 1.8,
             gcups_max: gcups * 2.2,
-            stall_startup_ns: 0,
-            stall_input_ns: 0,
-            stall_drain_ns: 0,
-            recoveries_total: 0,
-            rewound_cells: 0,
-            checkpoints_taken: 0,
-            quantiles: Vec::new(),
+            ..Experiment::default()
         });
         a
     }
@@ -443,7 +482,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 2", "\"schema_version\": 999");
+            .replace("\"schema_version\": 3", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -504,6 +543,9 @@ mod tests {
         m.incr("recoveries_total", 2);
         m.incr("rewound_cells", 777);
         m.incr("checkpoints_taken", 9);
+        m.incr("pruning.tiles_pruned", 30);
+        m.incr("pruning.tiles_total", 120);
+        m.incr("pruning.cells_skipped", 480_000);
         for v in [10.0, 20.0, 30.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -514,13 +556,7 @@ mod tests {
             gcups_median: 1.0,
             gcups_min: 1.0,
             gcups_max: 1.0,
-            stall_startup_ns: 0,
-            stall_input_ns: 0,
-            stall_drain_ns: 0,
-            recoveries_total: 0,
-            rewound_cells: 0,
-            checkpoints_taken: 0,
-            quantiles: Vec::new(),
+            ..Experiment::default()
         }
         .with_metrics(&m);
         assert_eq!(e.stall_startup_ns, 11);
@@ -529,8 +565,30 @@ mod tests {
         assert_eq!(e.recoveries_total, 2);
         assert_eq!(e.rewound_cells, 777);
         assert_eq!(e.checkpoints_taken, 9);
+        assert_eq!(e.tiles_pruned, 30);
+        assert_eq!(e.tiles_total, 120);
+        assert_eq!(e.cells_skipped, 480_000);
+        assert!((e.pruned_fraction - 0.25).abs() < 1e-12);
         assert_eq!(e.quantiles.len(), 1);
         assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
         assert_eq!(e.quantiles[0].count, 3);
+    }
+
+    #[test]
+    fn pruned_fraction_drift_is_reported_but_never_a_regression() {
+        let base = sample_artifact(1.0);
+        let mut cur = sample_artifact(1.0);
+        cur.experiments[0].tiles_pruned = 60;
+        cur.experiments[0].pruned_fraction = 0.60;
+        let report = diff(&base, &cur);
+        // Same GCUPS, very different pruning: visible in the table…
+        assert!((report.deltas[0].pruned_fraction_delta - 0.35).abs() < 1e-12);
+        assert!(
+            report.render().contains("pruned +35.0 pp"),
+            "{}",
+            report.render()
+        );
+        // …but never flagged as a performance regression.
+        assert!(report.regressions(0.0).is_empty());
     }
 }

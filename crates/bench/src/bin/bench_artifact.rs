@@ -63,6 +63,13 @@ fn main() -> ExitCode {
         &config,
     ));
 
+    eprintln!("running prune.env2.3gpu…");
+    artifact.experiments.push(run_prune_experiment(
+        "prune.env2.3gpu",
+        &Platform::env2(),
+        &config,
+    ));
+
     if let Err(e) = std::fs::write(&out, artifact.to_json()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::from(2);
@@ -110,13 +117,7 @@ fn run_pipeline_experiment(
         gcups_median: rates[rates.len() / 2],
         gcups_min: rates[0],
         gcups_max: rates[rates.len() - 1],
-        stall_startup_ns: 0,
-        stall_input_ns: 0,
-        stall_drain_ns: 0,
-        recoveries_total: 0,
-        rewound_cells: 0,
-        checkpoints_taken: 0,
-        quantiles: Vec::new(),
+        ..Experiment::default()
     }
     .with_metrics(&report.metrics_with_spans(&obs.spans()))
 }
@@ -137,13 +138,37 @@ fn run_des_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Ex
         gcups_median: g,
         gcups_min: g,
         gcups_max: g,
-        stall_startup_ns: 0,
-        stall_input_ns: 0,
-        stall_drain_ns: 0,
-        recoveries_total: 0,
-        rewound_cells: 0,
-        checkpoints_taken: 0,
-        quantiles: Vec::new(),
+        ..Experiment::default()
+    }
+    .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
+}
+
+/// The pruning anchor: the 1M × 1M simulated run on a 99%-identity pair
+/// with distributed block pruning. Deterministic like the DES experiment;
+/// its pruned fraction and effective GCUPS track the pruning protocol, and
+/// `bench-diff` reports pruned-fraction drift without calling it a perf
+/// regression.
+fn run_prune_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Experiment {
+    let (m, n) = (1_000_000, 1_000_000);
+    let obs = Recorder::new(ObsLevel::Full);
+    let run = DesSim::new(m, n, platform)
+        .config(config.clone().with_pruning(PruneMode::Distributed))
+        .identity(0.99)
+        .observer(obs.clone())
+        .run();
+    assert!(
+        run.aborted.is_none(),
+        "pruning benchmark must complete: {:?}",
+        run.aborted
+    );
+    let g = run.report.gcups_sim.unwrap_or(0.0);
+    Experiment {
+        name: name.to_string(),
+        cells: (m * n) as u64,
+        gcups_median: g,
+        gcups_min: g,
+        gcups_max: g,
+        ..Experiment::default()
     }
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
 }
@@ -177,13 +202,7 @@ fn run_recovery_experiment(name: &str, platform: &Platform, config: &RunConfig) 
         gcups_median: g,
         gcups_min: g,
         gcups_max: g,
-        stall_startup_ns: 0,
-        stall_input_ns: 0,
-        stall_drain_ns: 0,
-        recoveries_total: 0,
-        rewound_cells: 0,
-        checkpoints_taken: 0,
-        quantiles: Vec::new(),
+        ..Experiment::default()
     }
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
 }

@@ -64,8 +64,10 @@ subcommands:
             stage 1: best score and end point, plus the simulated GCUPS
   align     A.fasta B.fasta [--width N] [platform flags]
             stages 1-3: retrieve and render the optimal local alignment
-  simulate  --m ROWS --n COLS [platform flags] [--gantt]
-            discrete-event run (no sequence data needed)
+  simulate  --m ROWS --n COLS [platform flags] [--identity Q] [--gantt]
+            discrete-event run (no sequence data needed); --identity Q
+            (0..=1) sets the modelled pair identity the pruning mirror
+            uses (default 0.25, i.e. unrelated sequences)
   tune      --m ROWS --n COLS [platform flags]
             sweep block height x ring capacity on the simulator
   screen    A.fasta B.fasta [--k N] [--plot]
@@ -78,7 +80,16 @@ platform flags:
   --gpus N          use only the first N devices
   --block N         square tile side (default 512)
   --capacity N      ring capacity in borders (default 8)
+
+kernel-policy flags (compare, align, simulate, tune):
+  --prune MODE      block pruning: off | local | distributed (default off);
+                    local skips tiles its own device has already beaten,
+                    distributed also folds neighbour watermarks from the
+                    ring and a shared global watermark — the best score
+                    stays bit-identical either way
   --equal           equal split instead of performance-proportional
+  --checkpoint-rows N
+                    checkpoint every N block-rows (default 8)
 
 fault-tolerance flags (compare, simulate):
   --fault SPEC      inject deterministic device failures; SPEC is a
@@ -88,8 +99,6 @@ fault-tolerance flags (compare, simulate):
                     repartition its columns across the survivors, rewind to
                     the newest checkpoint wave and resume (bit-identical
                     score; recovery accounting printed with the report)
-  --checkpoint-rows N
-                    checkpoint every N block-rows (default 8; needs --recover)
   --max-device-failures N
                     give up after N device failures (default 1; needs
                     --recover)
@@ -149,9 +158,10 @@ fn cmd_generate(mut args: ArgStream) -> Result<(), String> {
 
 fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
-    let config = parse_config(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    let config = parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
-    let (faults, recovery) = parse_faults(&mut args)?;
+    let (faults, recovery) = (cp.faults, cp.recovery);
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
     let path_b = args.next_positional().ok_or("missing second FASTA path")?;
     args.finish()?;
@@ -206,7 +216,9 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
 
 fn cmd_align(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
-    let config = parse_config(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    cp.reject_faults("align")?;
+    let config = parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
     let width: usize = args.flag_value("--width")?.unwrap_or(72);
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
@@ -262,11 +274,18 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
 
 fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
-    let config = parse_config(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    let config = parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
-    let (faults, recovery) = parse_faults(&mut args)?;
+    let (faults, recovery) = (cp.faults, cp.recovery);
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
     let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
+    let identity: Option<f64> = args.flag_value("--identity")?;
+    if let Some(q) = identity {
+        if !(0.0..=1.0).contains(&q) {
+            return Err("--identity must be within 0..=1".into());
+        }
+    }
     let gantt = args.take_flag("--gantt");
     args.finish()?;
 
@@ -282,6 +301,9 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
         .observer(obs.clone())
         .live(Arc::clone(&live))
         .faults(faults);
+    if let Some(q) = identity {
+        sim = sim.identity(q);
+    }
     if let Some(policy) = recovery {
         sim = sim.recover(policy);
     }
@@ -331,7 +353,9 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
 
 fn cmd_tune(mut args: ArgStream) -> Result<(), String> {
     let platform = parse_platform(&mut args)?;
-    let config = parse_config(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    cp.reject_faults("tune")?;
+    let config = parse_config(&mut args, cp.policy)?;
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
     let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
     args.finish()?;
@@ -536,30 +560,68 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     })
 }
 
-/// Parse `--fault`, `--recover`, `--checkpoint-rows`,
-/// `--max-device-failures` (compare and simulate).
-fn parse_faults(args: &mut ArgStream) -> Result<(FaultSchedule, Option<RecoveryPolicy>), String> {
-    let faults = match args.flag_str("--fault") {
-        Some(spec) => spec.parse::<FaultSchedule>()?,
-        None => FaultSchedule::default(),
-    };
-    let recover = args.take_flag("--recover");
-    let checkpoint_rows = args.flag_value::<usize>("--checkpoint-rows")?;
-    let max_failures = args.flag_value::<usize>("--max-device-failures")?;
-    if !recover && (checkpoint_rows.is_some() || max_failures.is_some()) {
-        return Err("--checkpoint-rows / --max-device-failures require --recover".into());
+/// The single parsing surface for every flag that lands in a
+/// [`KernelPolicy`] — `--prune`, `--equal`, `--checkpoint-rows` — plus the
+/// fault schedule and recovery budget that ride along with it (`--fault`,
+/// `--recover`, `--max-device-failures`). `compare`, `align`, `simulate`
+/// and `tune` all parse through here; no subcommand re-implements a flag.
+mod cli_policy {
+    use super::ArgStream;
+    use megasw::prelude::*;
+
+    /// Everything the policy flags decide for a run.
+    #[derive(Debug)]
+    pub struct CliPolicy {
+        pub policy: KernelPolicy,
+        pub faults: FaultSchedule,
+        pub recovery: Option<RecoveryPolicy>,
     }
-    if checkpoint_rows == Some(0) {
-        return Err("--checkpoint-rows must be at least 1".into());
-    }
-    let policy = recover.then(|| {
-        let default = RecoveryPolicy::default();
-        RecoveryPolicy {
-            checkpoint_rows: checkpoint_rows.unwrap_or(default.checkpoint_rows),
-            max_device_failures: max_failures.unwrap_or(default.max_device_failures),
+
+    impl CliPolicy {
+        /// Reject the fault-tolerance flags on subcommands that cannot
+        /// inject faults (align runs the three-stage retrieval, tune only
+        /// sweeps the simulator).
+        pub fn reject_faults(&self, subcommand: &str) -> Result<(), String> {
+            if !self.faults.is_empty() || self.recovery.is_some() {
+                return Err(format!("{subcommand} does not support --fault / --recover"));
+            }
+            Ok(())
         }
-    });
-    Ok((faults, policy))
+    }
+
+    pub fn parse(args: &mut ArgStream) -> Result<CliPolicy, String> {
+        let mut policy = KernelPolicy::default();
+        if let Some(spec) = args.flag_str("--prune") {
+            policy = policy.with_pruning(PruneMode::parse(&spec)?);
+        }
+        if args.take_flag("--equal") {
+            policy = policy.with_partition(PartitionPolicy::Equal);
+        }
+        if let Some(rows) = args.flag_value::<usize>("--checkpoint-rows")? {
+            if rows == 0 {
+                return Err("--checkpoint-rows must be at least 1".into());
+            }
+            policy = policy.with_checkpoint(CheckpointCadence::EveryRows(rows));
+        }
+        let faults = match args.flag_str("--fault") {
+            Some(spec) => spec.parse::<FaultSchedule>()?,
+            None => FaultSchedule::default(),
+        };
+        let recover = args.take_flag("--recover");
+        let max_failures = args.flag_value::<usize>("--max-device-failures")?;
+        if !recover && max_failures.is_some() {
+            return Err("--max-device-failures requires --recover".into());
+        }
+        let recovery = recover.then(|| RecoveryPolicy {
+            max_device_failures: max_failures
+                .unwrap_or(RecoveryPolicy::default().max_device_failures),
+        });
+        Ok(CliPolicy {
+            policy,
+            faults,
+            recovery,
+        })
+    }
 }
 
 fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
@@ -582,16 +644,13 @@ fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
     Ok(platform)
 }
 
-fn parse_config(args: &mut ArgStream) -> Result<RunConfig, String> {
-    let mut config = RunConfig::paper_default();
+fn parse_config(args: &mut ArgStream, policy: KernelPolicy) -> Result<RunConfig, String> {
+    let mut config = RunConfig::paper_default().with_policy(policy);
     if let Some(block) = args.flag_value::<usize>("--block")? {
         config = config.with_block(block);
     }
     if let Some(cap) = args.flag_value::<usize>("--capacity")? {
         config = config.with_buffer_capacity(cap);
-    }
-    if args.take_flag("--equal") {
-        config = config.with_partition(PartitionPolicy::Equal);
     }
     config.validate()?;
     Ok(config)
@@ -732,7 +791,7 @@ mod tests {
     }
 
     #[test]
-    fn fault_flags_parse_schedule_and_policy() {
+    fn policy_flags_parse_schedule_and_recovery() {
         let mut s = stream(&[
             "--fault",
             "1:5,2:9:ring-push",
@@ -740,49 +799,84 @@ mod tests {
             "--checkpoint-rows",
             "4",
         ]);
-        let (faults, policy) = parse_faults(&mut s).unwrap();
-        assert_eq!(faults.faults.len(), 2);
-        assert_eq!(faults.faults[0].device, 1);
-        assert_eq!(faults.faults[0].block_row, 5);
-        assert_eq!(faults.faults[0].phase, FaultPhase::Compute);
-        assert_eq!(faults.faults[1].phase, FaultPhase::RingPush);
-        let policy = policy.unwrap();
-        assert_eq!(policy.checkpoint_rows, 4);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(cp.faults.faults.len(), 2);
+        assert_eq!(cp.faults.faults[0].device, 1);
+        assert_eq!(cp.faults.faults[0].block_row, 5);
+        assert_eq!(cp.faults.faults[0].phase, FaultPhase::Compute);
+        assert_eq!(cp.faults.faults[1].phase, FaultPhase::RingPush);
+        assert_eq!(cp.policy.checkpoint, CheckpointCadence::EveryRows(4));
+        let recovery = cp.recovery.unwrap();
         assert_eq!(
-            policy.max_device_failures,
+            recovery.max_device_failures,
             RecoveryPolicy::default().max_device_failures
         );
         assert!(s.finish().is_ok());
     }
 
     #[test]
-    fn fault_flags_default_to_empty_schedule_without_recovery() {
+    fn policy_flags_default_to_empty_schedule_without_recovery() {
         let mut s = stream(&[]);
-        let (faults, policy) = parse_faults(&mut s).unwrap();
-        assert!(faults.faults.is_empty());
-        assert!(policy.is_none());
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert!(cp.faults.faults.is_empty());
+        assert!(cp.recovery.is_none());
+        assert_eq!(cp.policy, KernelPolicy::default());
+        assert_eq!(cp.policy.pruning, PruneMode::Off);
     }
 
     #[test]
-    fn recovery_knobs_require_the_recover_flag() {
+    fn prune_flag_parses_every_mode_once() {
+        for (spec, want) in [
+            ("off", PruneMode::Off),
+            ("local", PruneMode::Local),
+            ("distributed", PruneMode::Distributed),
+        ] {
+            let mut s = stream(&["--prune", spec]);
+            let cp = cli_policy::parse(&mut s).unwrap();
+            assert_eq!(cp.policy.pruning, want);
+            assert!(s.finish().is_ok());
+        }
+        let mut s = stream(&["--prune", "sometimes"]);
+        assert!(cli_policy::parse(&mut s).is_err());
+    }
+
+    #[test]
+    fn checkpoint_rows_is_a_policy_knob_and_recovery_keeps_its_budget_flag() {
+        // The cadence no longer needs --recover: it is a KernelPolicy knob.
         let mut s = stream(&["--checkpoint-rows", "4"]);
-        assert!(parse_faults(&mut s).unwrap_err().contains("--recover"));
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(cp.policy.checkpoint, CheckpointCadence::EveryRows(4));
+        assert!(cp.recovery.is_none());
+        // …but the recovery budget still does.
         let mut s = stream(&["--max-device-failures", "2"]);
-        assert!(parse_faults(&mut s).unwrap_err().contains("--recover"));
+        assert!(cli_policy::parse(&mut s).unwrap_err().contains("--recover"));
     }
 
     #[test]
     fn zero_checkpoint_interval_is_rejected() {
         let mut s = stream(&["--recover", "--checkpoint-rows", "0"]);
-        assert!(parse_faults(&mut s).unwrap_err().contains("at least 1"));
+        assert!(cli_policy::parse(&mut s)
+            .unwrap_err()
+            .contains("at least 1"));
     }
 
     #[test]
     fn malformed_fault_spec_is_an_error() {
         let mut s = stream(&["--fault", "1:5:naptime"]);
-        assert!(parse_faults(&mut s).is_err());
+        assert!(cli_policy::parse(&mut s).is_err());
         let mut s = stream(&["--fault", "nonsense"]);
-        assert!(parse_faults(&mut s).is_err());
+        assert!(cli_policy::parse(&mut s).is_err());
+    }
+
+    #[test]
+    fn fault_flags_rejected_on_subcommands_without_fault_support() {
+        let mut s = stream(&["--fault", "0:1"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        let err = cp.reject_faults("align").unwrap_err();
+        assert!(err.contains("align"), "{err}");
+        let mut s = stream(&["--recover"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert!(cp.reject_faults("tune").is_err());
     }
 
     #[test]
@@ -802,13 +896,14 @@ mod tests {
     #[test]
     fn config_parsing_validates() {
         let mut s = stream(&["--block", "128", "--capacity", "2", "--equal"]);
-        let c = parse_config(&mut s).unwrap();
+        let cp = cli_policy::parse(&mut s).unwrap();
+        let c = parse_config(&mut s, cp.policy).unwrap();
         assert_eq!(c.block_h, 128);
         assert_eq!(c.buffer_capacity, 2);
-        assert_eq!(c.partition, PartitionPolicy::Equal);
+        assert_eq!(c.policy.partition, PartitionPolicy::Equal);
 
         let mut s = stream(&["--capacity", "0"]);
-        assert!(parse_config(&mut s).is_err());
+        assert!(parse_config(&mut s, KernelPolicy::default()).is_err());
     }
 
     #[test]

@@ -79,18 +79,17 @@ pub mod prelude {
     pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};
     pub use megasw_multigpu::error::MegaswError;
     pub use megasw_multigpu::memory::{check_platform, plan_for, DeviceMemoryPlan};
-    #[allow(deprecated)] // legacy entry points stay importable during the migration
-    pub use megasw_multigpu::pipeline::{
-        run_pipeline, run_pipeline_anchored, run_pipeline_with_faults,
-    };
     pub use megasw_multigpu::pipeline::{
         FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
     };
     pub use megasw_multigpu::stages::{
         multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
-    pub use megasw_multigpu::stats::{DeviceReport, RecoveryReport, StallBreakdown};
-    pub use megasw_multigpu::{make_slabs, PartitionPolicy, RunConfig, RunReport, Slab};
+    pub use megasw_multigpu::stats::{DeviceReport, PruningReport, RecoveryReport, StallBreakdown};
+    pub use megasw_multigpu::{
+        make_slabs, BorderMsg, CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode,
+        RunConfig, RunReport, Slab,
+    };
     pub use megasw_obs::{
         chrome_trace, metrics_json, prometheus, render_progress_line, validate as validate_trace,
         DeviceSnapshot, LiveSnapshot, LiveTelemetry, MetricsRegistry, ObsKind, ObsLevel, ObsSpan,

@@ -144,7 +144,7 @@ mod tests {
     fn preserves_untuned_fields() {
         let base = RunConfig::paper_default().with_partition(crate::PartitionPolicy::Equal);
         let tuned = autotune(200_000, 200_000, &Platform::env1(), &base);
-        assert_eq!(tuned.config.partition, crate::PartitionPolicy::Equal);
+        assert_eq!(tuned.config.policy.partition, crate::PartitionPolicy::Equal);
         assert_eq!(tuned.config.block_w, base.block_w);
     }
 }

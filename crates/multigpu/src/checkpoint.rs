@@ -6,29 +6,32 @@
 //! H and F lanes along matrix row `W · block_h` — together with the best
 //! cell observed in rows `< W · block_h`, completely determines every DP
 //! value in rows `≥ W · block_h`. We call that pair a **checkpoint wave**
-//! `W`. Devices deposit their slab's segment of the bottom border here
-//! every `checkpoint_rows` block-rows; when a device dies, the coordinator
-//! rewinds to the newest wave to which *every* slab of some attempt has
-//! contributed, reassembles the full-width border from the segments, and
-//! restarts the survivors from it. Because the DP is deterministic and the
-//! checkpointed lanes are exact (not summaries), the resumed run is
-//! bit-identical to a fault-free run.
+//! `W`. Devices deposit their slab's segment of the bottom border here on
+//! the configured [`CheckpointCadence`](crate::config::CheckpointCadence);
+//! when a device dies, the coordinator rewinds to the newest wave to which
+//! *every* slab of some attempt has contributed, reassembles the full-width
+//! border from the segments, and restarts the survivors from it. Because
+//! the DP is deterministic and the checkpointed lanes are exact (not
+//! summaries), the resumed run is bit-identical to a fault-free run.
+//!
+//! Each segment also carries the depositing worker's **pruning watermark**
+//! (DESIGN.md §10), so a resumed attempt can seed its workers with the
+//! best-score knowledge the failed attempt had already propagated — pruning
+//! composes with recovery instead of restarting cold.
 //!
 //! The store is deliberately dumb: a mutex around per-attempt logs. It is
-//! written once per device per `checkpoint_rows` block-rows — far off the
-//! per-block hot path — so contention is irrelevant.
+//! written once per device per checkpoint wave — far off the per-block hot
+//! path — so contention is irrelevant.
 
 use megasw_sw::{BestCell, Score};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Knobs for the recovery driver.
+/// Knobs for the recovery driver. The checkpoint *cadence* lives on
+/// [`KernelPolicy`](crate::config::KernelPolicy); this policy only bounds
+/// how many failures a run tolerates before surfacing the fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryPolicy {
-    /// Checkpoint every this many block-rows (wave granularity). Smaller
-    /// intervals rewind less work per failure but checkpoint more often.
-    /// Must be ≥ 1.
-    pub checkpoint_rows: usize,
     /// Give up (surface the original fault) after this many device
     /// failures in one run.
     pub max_device_failures: usize,
@@ -37,7 +40,6 @@ pub struct RecoveryPolicy {
 impl Default for RecoveryPolicy {
     fn default() -> RecoveryPolicy {
         RecoveryPolicy {
-            checkpoint_rows: 8,
             max_device_failures: 1,
         }
     }
@@ -45,12 +47,14 @@ impl Default for RecoveryPolicy {
 
 /// One slab's contribution to a checkpoint wave: its segment of the bottom
 /// border (H and F lanes, `width + 1` entries including the shared corner)
-/// plus the best cell this device has seen since its attempt started.
+/// plus the best cell this device has seen since its attempt started and
+/// its pruning watermark at deposit time.
 #[derive(Debug, Clone)]
 struct SlabCkpt {
     h: Vec<Score>,
     f: Vec<Score>,
     best: BestCell,
+    watermark: Score,
 }
 
 /// The geometry a slab occupied when its attempt started; `j0` is the
@@ -87,6 +91,11 @@ pub struct Checkpoint {
     pub f: Vec<Score>,
     /// Best cell over all rows above the border.
     pub best: BestCell,
+    /// Highest pruning watermark any depositing worker held at this wave.
+    /// Every watermark value was once an actually-observed cell score, so
+    /// it never exceeds the true global best and is safe to seed resumed
+    /// workers with (see DESIGN.md §10).
+    pub watermark: Score,
 }
 
 /// Host-side store of border checkpoints, shared by the coordinator and
@@ -137,8 +146,10 @@ impl CheckpointStore {
     }
 
     /// Deposit slab `slab_idx`'s segment for `wave`: the H/F lanes of its
-    /// bottom border (`width + 1` entries) and the device's running best
-    /// since the attempt started.
+    /// bottom border (`width + 1` entries), the device's running best since
+    /// the attempt started, and its current pruning watermark (0 when
+    /// pruning is off).
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
         attempt: usize,
@@ -147,6 +158,7 @@ impl CheckpointStore {
         h: Vec<Score>,
         f: Vec<Score>,
         best: BestCell,
+        watermark: Score,
     ) {
         let mut inner = self.inner.lock().unwrap();
         inner.taken += 1;
@@ -155,7 +167,12 @@ impl CheckpointStore {
         debug_assert_eq!(h.len(), log.slabs[slab_idx].width + 1);
         let n_slabs = log.slabs.len();
         let entry = log.waves.entry(wave).or_insert_with(|| vec![None; n_slabs]);
-        entry[slab_idx] = Some(SlabCkpt { h, f, best });
+        entry[slab_idx] = Some(SlabCkpt {
+            h,
+            f,
+            best,
+            watermark,
+        });
     }
 
     /// Total segments deposited across the run (the `checkpoints_taken`
@@ -188,6 +205,7 @@ impl CheckpointStore {
         let mut h = vec![0; self.n + 1];
         let mut f = vec![0; self.n + 1];
         let mut best = log.base_best;
+        let mut watermark = log.base_best.score;
         for (geom, seg) in log.slabs.iter().zip(segs.iter()) {
             let seg = seg.as_ref().expect("complete wave has every segment");
             // Slab segments overlap at shared corners; both writers hold
@@ -195,8 +213,15 @@ impl CheckpointStore {
             h[geom.j0 - 1..=geom.j0 - 1 + geom.width].copy_from_slice(&seg.h);
             f[geom.j0 - 1..=geom.j0 - 1 + geom.width].copy_from_slice(&seg.f);
             best = best.merge(seg.best);
+            watermark = watermark.max(seg.watermark);
         }
-        Some(Checkpoint { wave, h, f, best })
+        Some(Checkpoint {
+            wave,
+            h,
+            f,
+            best,
+            watermark,
+        })
     }
 }
 
@@ -220,7 +245,7 @@ mod tests {
         let store = CheckpointStore::new(10);
         let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
         let (h, f) = seg(6, 5);
-        store.record(a, 4, 0, h, f, BestCell::ZERO);
+        store.record(a, 4, 0, h, f, BestCell::ZERO, 0);
         assert!(store.newest_complete().is_none());
     }
 
@@ -230,8 +255,8 @@ mod tests {
         let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
         let (h0, f0) = seg(6, 5);
         let (h1, f1) = seg(4, 9);
-        store.record(a, 4, 0, h0, f0, BestCell::new(3, 2, 2));
-        store.record(a, 4, 1, h1, f1, BestCell::new(7, 3, 8));
+        store.record(a, 4, 0, h0, f0, BestCell::new(3, 2, 2), 3);
+        store.record(a, 4, 1, h1, f1, BestCell::new(7, 3, 8), 7);
         let ck = store.newest_complete().unwrap();
         assert_eq!(ck.wave, 4);
         assert_eq!(ck.h.len(), 11);
@@ -239,6 +264,8 @@ mod tests {
         assert_eq!(ck.h[0..6], [5; 6]);
         assert_eq!(ck.h[6..11], [9; 5]);
         assert_eq!(ck.best, BestCell::new(7, 3, 8));
+        // The assembled watermark is the max over segment watermarks.
+        assert_eq!(ck.watermark, 7);
         assert_eq!(store.checkpoints_taken(), 2);
     }
 
@@ -247,18 +274,20 @@ mod tests {
         let store = CheckpointStore::new(8);
         let a0 = store.begin_attempt(0, BestCell::ZERO, &[(1, 4), (5, 4)]);
         let (h, f) = seg(4, 1);
-        store.record(a0, 2, 0, h.clone(), f.clone(), BestCell::ZERO);
-        store.record(a0, 2, 1, h.clone(), f.clone(), BestCell::ZERO);
+        store.record(a0, 2, 0, h.clone(), f.clone(), BestCell::ZERO, 0);
+        store.record(a0, 2, 1, h.clone(), f.clone(), BestCell::ZERO, 0);
         // Attempt 0 also has a newer but incomplete wave.
-        store.record(a0, 4, 0, h.clone(), f.clone(), BestCell::ZERO);
+        store.record(a0, 4, 0, h.clone(), f.clone(), BestCell::ZERO, 0);
         // A second attempt (one surviving slab) completes wave 6.
         let a1 = store.begin_attempt(2, BestCell::new(9, 1, 1), &[(1, 8)]);
         let (h8, f8) = seg(8, 2);
-        store.record(a1, 6, 0, h8, f8, BestCell::ZERO);
+        store.record(a1, 6, 0, h8, f8, BestCell::ZERO, 4);
         let ck = store.newest_complete().unwrap();
         assert_eq!(ck.wave, 6);
         assert_eq!(ck.h, vec![2; 9]);
         // base_best of the serving attempt is folded in.
         assert_eq!(ck.best, BestCell::new(9, 1, 1));
+        // The watermark floor is the serving attempt's base best score.
+        assert_eq!(ck.watermark, 9);
     }
 }

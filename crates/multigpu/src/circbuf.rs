@@ -27,10 +27,27 @@
 //! spans of the observability layer.
 
 use megasw_obs::RingGauge;
+use megasw_sw::border::ColBorder;
+use megasw_sw::cell::Score;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// The message the pipeline streams between neighbouring devices: one
+/// column border plus the sender's **pruning watermark** piggybacked on it
+/// (0 when pruning is off — see DESIGN.md §10).
+///
+/// Piggybacking keeps watermark propagation on the channel that already
+/// exists per block-row, so distributed pruning adds no synchronization to
+/// the hot path beyond one `i32` per border segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorderMsg {
+    /// The slab's right border for one block-row.
+    pub border: ColBorder,
+    /// The sender's best-score watermark at send time.
+    pub watermark: Score,
+}
 
 /// Why a ring operation failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,4 +1,5 @@
-//! Run configuration.
+//! Run configuration: [`RunConfig`] geometry plus the typed [`KernelPolicy`]
+//! bundle of run-shaping knobs (pruning, partitioning, checkpoint cadence).
 
 use megasw_sw::ScoreScheme;
 
@@ -14,6 +15,145 @@ pub enum PartitionPolicy {
     Explicit(Vec<f64>),
 }
 
+/// Block-pruning mode (CUDAlign 2.1 bound, see `megasw_sw::prune`).
+///
+/// Pruning only ever applies under **local** (Smith-Waterman) semantics;
+/// anchored stages ignore this knob entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PruneMode {
+    /// Never skip a tile (the paper's multi-GPU baseline).
+    #[default]
+    Off,
+    /// Each device prunes against its **own** best score only — no
+    /// cross-device watermark traffic, weakest bound.
+    Local,
+    /// Devices fold neighbour watermarks (piggybacked on ring border
+    /// messages) and a low-frequency shared global watermark into their
+    /// pruning bound — the distributed protocol of DESIGN.md §10.
+    Distributed,
+}
+
+impl PruneMode {
+    /// Parse a CLI-style name: `off` | `local` | `distributed`.
+    pub fn parse(s: &str) -> Result<PruneMode, String> {
+        match s {
+            "off" => Ok(PruneMode::Off),
+            "local" => Ok(PruneMode::Local),
+            "distributed" => Ok(PruneMode::Distributed),
+            other => Err(format!(
+                "unknown prune mode {other:?} (expected off|local|distributed)"
+            )),
+        }
+    }
+
+    /// True unless pruning is [`PruneMode::Off`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, PruneMode::Off)
+    }
+}
+
+impl std::fmt::Display for PruneMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PruneMode::Off => "off",
+            PruneMode::Local => "local",
+            PruneMode::Distributed => "distributed",
+        })
+    }
+}
+
+/// How often workers deposit border checkpoints into the host-side
+/// [`CheckpointStore`](crate::checkpoint::CheckpointStore).
+///
+/// The cadence only takes effect when a run is executed with a
+/// [`RecoveryPolicy`](crate::checkpoint::RecoveryPolicy); without one, no
+/// checkpoints are taken regardless of this setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointCadence {
+    /// Never checkpoint. A run that requests recovery with this cadence is
+    /// rejected as invalid.
+    Disabled,
+    /// Deposit one full-width border wave every `n` block-rows (`n ≥ 1`).
+    EveryRows(usize),
+}
+
+impl CheckpointCadence {
+    /// The block-row interval, or `None` when disabled.
+    pub fn rows_interval(&self) -> Option<usize> {
+        match self {
+            CheckpointCadence::Disabled => None,
+            CheckpointCadence::EveryRows(n) => Some(*n),
+        }
+    }
+}
+
+impl Default for CheckpointCadence {
+    /// Every 8 block-rows — the knee of the EXPERIMENTS.md R1 sweep.
+    fn default() -> Self {
+        CheckpointCadence::EveryRows(8)
+    }
+}
+
+/// The typed bundle of run-shaping knobs: what to skip, how to split, how
+/// often to checkpoint. [`PipelineRun`](crate::PipelineRun) and
+/// [`DesSim`](crate::DesSim) consume these knobs only through this struct
+/// (via [`RunConfig::policy`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPolicy {
+    /// Block-pruning mode.
+    pub pruning: PruneMode,
+    /// Column partitioning policy.
+    pub partition: PartitionPolicy,
+    /// Checkpoint cadence (effective only under a recovery policy).
+    pub checkpoint: CheckpointCadence,
+}
+
+impl KernelPolicy {
+    /// Builder-style: set the pruning mode.
+    pub fn with_pruning(mut self, p: PruneMode) -> KernelPolicy {
+        self.pruning = p;
+        self
+    }
+
+    /// Builder-style: set the partition policy.
+    pub fn with_partition(mut self, p: PartitionPolicy) -> KernelPolicy {
+        self.partition = p;
+        self
+    }
+
+    /// Builder-style: set the checkpoint cadence.
+    pub fn with_checkpoint(mut self, c: CheckpointCadence) -> KernelPolicy {
+        self.checkpoint = c;
+        self
+    }
+
+    /// Validate field constraints.
+    pub fn validate(&self) -> Result<(), String> {
+        if let PartitionPolicy::Explicit(w) = &self.partition {
+            if w.is_empty() {
+                return Err("explicit weights must not be empty".into());
+            }
+            if w.iter().any(|x| !x.is_finite() || *x <= 0.0) {
+                return Err("explicit weights must be positive and finite".into());
+            }
+        }
+        if self.checkpoint == CheckpointCadence::EveryRows(0) {
+            return Err("checkpoint cadence must be ≥ 1 block-row".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for KernelPolicy {
+    fn default() -> Self {
+        KernelPolicy {
+            pruning: PruneMode::Off,
+            partition: PartitionPolicy::Proportional,
+            checkpoint: CheckpointCadence::default(),
+        }
+    }
+}
+
 /// Parameters of one multi-GPU run.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
@@ -25,8 +165,8 @@ pub struct RunConfig {
     /// Circular-buffer capacity, in border segments. 1 ≈ synchronous
     /// hand-off; larger values decouple producer and consumer.
     pub buffer_capacity: usize,
-    /// Column partitioning policy.
-    pub partition: PartitionPolicy,
+    /// Run-shaping policy: pruning, partitioning, checkpoint cadence.
+    pub policy: KernelPolicy,
     /// Scoring scheme.
     pub scheme: ScoreScheme,
 }
@@ -39,7 +179,7 @@ impl RunConfig {
             block_h: 512,
             block_w: 512,
             buffer_capacity: 8,
-            partition: PartitionPolicy::Proportional,
+            policy: KernelPolicy::default(),
             scheme: ScoreScheme::cudalign(),
         }
     }
@@ -51,7 +191,7 @@ impl RunConfig {
             block_h: 32,
             block_w: 32,
             buffer_capacity: 4,
-            partition: PartitionPolicy::Proportional,
+            policy: KernelPolicy::default(),
             scheme: ScoreScheme::cudalign(),
         }
     }
@@ -64,14 +204,7 @@ impl RunConfig {
         if self.buffer_capacity == 0 {
             return Err("buffer capacity must be at least 1".into());
         }
-        if let PartitionPolicy::Explicit(w) = &self.partition {
-            if w.is_empty() {
-                return Err("explicit weights must not be empty".into());
-            }
-            if w.iter().any(|x| !x.is_finite() || *x <= 0.0) {
-                return Err("explicit weights must be positive and finite".into());
-            }
-        }
+        self.policy.validate()?;
         self.scheme.validate().map_err(|e| e.to_string())
     }
 
@@ -81,9 +214,27 @@ impl RunConfig {
         self
     }
 
+    /// Builder-style: replace the whole kernel policy.
+    pub fn with_policy(mut self, p: KernelPolicy) -> RunConfig {
+        self.policy = p;
+        self
+    }
+
     /// Builder-style: set the partition policy.
     pub fn with_partition(mut self, p: PartitionPolicy) -> RunConfig {
-        self.partition = p;
+        self.policy.partition = p;
+        self
+    }
+
+    /// Builder-style: set the pruning mode.
+    pub fn with_pruning(mut self, p: PruneMode) -> RunConfig {
+        self.policy.pruning = p;
+        self
+    }
+
+    /// Builder-style: set the checkpoint cadence.
+    pub fn with_checkpoint(mut self, c: CheckpointCadence) -> RunConfig {
+        self.policy.checkpoint = c;
         self
     }
 
@@ -137,10 +288,40 @@ mod tests {
         let c = RunConfig::paper_default()
             .with_block(128)
             .with_buffer_capacity(2)
-            .with_partition(PartitionPolicy::Equal);
+            .with_partition(PartitionPolicy::Equal)
+            .with_pruning(PruneMode::Distributed)
+            .with_checkpoint(CheckpointCadence::EveryRows(4));
         assert_eq!(c.block_h, 128);
         assert_eq!(c.block_w, 128);
         assert_eq!(c.buffer_capacity, 2);
-        assert_eq!(c.partition, PartitionPolicy::Equal);
+        assert_eq!(c.policy.partition, PartitionPolicy::Equal);
+        assert_eq!(c.policy.pruning, PruneMode::Distributed);
+        assert_eq!(c.policy.checkpoint, CheckpointCadence::EveryRows(4));
+    }
+
+    #[test]
+    fn kernel_policy_builders_and_validation() {
+        let p = KernelPolicy::default()
+            .with_pruning(PruneMode::Local)
+            .with_partition(PartitionPolicy::Equal)
+            .with_checkpoint(CheckpointCadence::Disabled);
+        assert_eq!(p.pruning, PruneMode::Local);
+        assert_eq!(p.partition, PartitionPolicy::Equal);
+        assert_eq!(p.checkpoint.rows_interval(), None);
+        assert!(p.validate().is_ok());
+        assert!(RunConfig::paper_default()
+            .with_checkpoint(CheckpointCadence::EveryRows(0))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn prune_mode_parses_and_displays() {
+        for m in [PruneMode::Off, PruneMode::Local, PruneMode::Distributed] {
+            assert_eq!(PruneMode::parse(&m.to_string()), Ok(m));
+        }
+        assert!(PruneMode::parse("sometimes").is_err());
+        assert!(!PruneMode::Off.is_enabled());
+        assert!(PruneMode::Distributed.is_enabled());
     }
 }

@@ -30,10 +30,10 @@
 //! baseline the overlap-ablation figure contrasts against.
 
 use crate::checkpoint::RecoveryPolicy;
-use crate::config::RunConfig;
+use crate::config::{PruneMode, RunConfig};
 use crate::partition::{make_slabs, make_slabs_excluding, Slab};
 use crate::pipeline::{FaultPhase, FaultSchedule, PipelineError};
-use crate::stats::{DeviceReport, RecoveryReport, RunReport};
+use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport};
 use megasw_gpusim::{KernelModel, Platform, ResourceId, Schedule, SimTime, SpanKind, TaskId};
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
 use std::sync::Arc;
@@ -106,6 +106,7 @@ pub struct DesSim<'a> {
     recovery: Option<RecoveryPolicy>,
     observer: Recorder,
     live: Option<Arc<LiveTelemetry>>,
+    identity: f64,
 }
 
 impl<'a> DesSim<'a> {
@@ -122,6 +123,7 @@ impl<'a> DesSim<'a> {
             recovery: None,
             observer: Recorder::disabled(),
             live: None,
+            identity: 0.25,
         }
     }
 
@@ -167,6 +169,16 @@ impl<'a> DesSim<'a> {
         self
     }
 
+    /// Modeled sequence identity (fraction of matching bases along the main
+    /// diagonal), in `[0, 1]`; drives the analytic pruning mirror when the
+    /// config's [`PruneMode`] is enabled, and is ignored otherwise. The
+    /// default (0.25) models unrelated DNA, where the diagonal score never
+    /// grows and pruning finds nothing to skip.
+    pub fn identity(mut self, q: f64) -> Self {
+        self.identity = q.clamp(0.0, 1.0);
+        self
+    }
+
     /// Attach in-flight telemetry. Build the handle with
     /// [`LiveTelemetry::with_manual_clock`]: the simulator replays kernel
     /// completions in simulated-finish order, advancing the manual clock at
@@ -186,7 +198,7 @@ impl<'a> DesSim<'a> {
             self.n,
             self.config.block_w,
             self.platform,
-            &self.config.partition,
+            &self.config.policy.partition,
         );
         let mode = if self.bulk {
             Mode::BulkSynchronous
@@ -200,6 +212,14 @@ impl<'a> DesSim<'a> {
             config: &self.config,
             obs: &self.observer,
             live: self.live.as_ref(),
+            // The bulk baseline never prunes: its whole-slab kernels have
+            // no per-tile skip to model.
+            prune_mode: if self.bulk {
+                PruneMode::Off
+            } else {
+                self.config.policy.pruning
+            },
+            identity: self.identity,
         };
         if mode == Mode::FineGrain
             && self.m > 0
@@ -245,6 +265,165 @@ struct DesEnv<'a> {
     config: &'a RunConfig,
     obs: &'a Recorder,
     live: Option<&'a Arc<LiveTelemetry>>,
+    /// Effective pruning mode ([`PruneMode::Off`] for the bulk baseline).
+    prune_mode: PruneMode,
+    /// Modeled sequence identity feeding the pruning mirror.
+    identity: f64,
+}
+
+/// One slab-row's modeled pruning outcome.
+#[derive(Debug, Default, Clone, Copy)]
+struct RowPrune {
+    pruned_tiles: u64,
+    total_tiles: u64,
+    /// Cells of tiles that still run (what the kernel duration models).
+    computed_cells: u64,
+    /// Cells covered by skipped tiles.
+    skipped_cells: u64,
+    /// Tile columns that still run (the kernel's parallel width).
+    unpruned_blocks: u32,
+}
+
+/// Analytic mirror of the distributed pruning protocol for the timing-only
+/// backend (DESIGN.md §10). The DES computes no DP cells, so it cannot
+/// observe real scores; instead it models them: sequence identity `q` gives
+/// an expected per-base score along the main diagonal
+/// (`q·match + (1−q)·mismatch`, clamped at 0), the modeled best score grows
+/// linearly along that diagonal, watermarks propagate with the protocol's
+/// lag (own-slab observation immediately, the global side channel one
+/// publish step late, in wavefront order), and a tile is pruned exactly
+/// when the real bound test would prune it under those modeled scores.
+/// Strictly inert at [`PruneMode::Off`]: `new` returns `None` and no
+/// schedule duration changes.
+struct PruneModel<'a> {
+    m: usize,
+    n: usize,
+    block_h: usize,
+    block_w: usize,
+    match_score: f64,
+    per_base: f64,
+    mode: PruneMode,
+    slabs: &'a [Slab],
+    /// `published[t]`: modeled global watermark visible at wavefront step
+    /// `t` (= slab index + block-row), already one publish step stale.
+    published: Vec<f64>,
+}
+
+impl<'a> PruneModel<'a> {
+    fn new(env: &DesEnv<'_>, slabs: &'a [Slab]) -> Option<PruneModel<'a>> {
+        if !env.prune_mode.is_enabled() || env.m == 0 || slabs.is_empty() {
+            return None;
+        }
+        let (m, n, config) = (env.m, env.n, env.config);
+        let scheme = &config.scheme;
+        let per_base = (env.identity * scheme.match_score as f64
+            + (1.0 - env.identity) * scheme.mismatch_score as f64)
+            .max(0.0);
+        let rows = m.div_ceil(config.block_h);
+        let steps = rows + slabs.len() + 1;
+        let mut published = vec![0.0f64; steps];
+        if env.prune_mode == PruneMode::Distributed {
+            for r in 0..rows {
+                let d = ((r + 1) * config.block_h).min(m).min(n);
+                let owner = slabs
+                    .iter()
+                    .position(|s| d < s.j_end())
+                    .unwrap_or(slabs.len() - 1);
+                let t = owner + r + 1;
+                if t < steps {
+                    published[t] = published[t].max(per_base * d as f64);
+                }
+            }
+            for t in 1..steps {
+                published[t] = published[t].max(published[t - 1]);
+            }
+        }
+        Some(PruneModel {
+            m,
+            n,
+            block_h: config.block_h,
+            block_w: config.block_w,
+            match_score: scheme.match_score as f64,
+            per_base,
+            mode: env.prune_mode,
+            slabs,
+            published,
+        })
+    }
+
+    /// The watermark slab `s` holds entering block-row `r`: what it has
+    /// observed of the diagonal inside its own columns, plus (distributed
+    /// mode) the stale global side channel.
+    fn watermark(&self, s: usize, r: usize) -> f64 {
+        let slab = &self.slabs[s];
+        let dprev = (r * self.block_h).min(self.m).min(self.n);
+        let own = if dprev >= slab.j0 {
+            self.per_base * dprev.min(slab.j_end() - 1) as f64
+        } else {
+            0.0
+        };
+        if self.mode == PruneMode::Distributed {
+            own.max(self.published[(s + r).min(self.published.len() - 1)])
+        } else {
+            own
+        }
+    }
+
+    /// Modeled pruning outcome for slab `s`, block-row `r`, applying the
+    /// real bound test tile by tile (incoming max modeled as 0 away from
+    /// the diagonal band, unboundedly high inside it).
+    fn row(&self, s: usize, r: usize) -> RowPrune {
+        let slab = &self.slabs[s];
+        let i0 = r * self.block_h + 1;
+        let i1 = ((r + 1) * self.block_h).min(self.m);
+        let height = (i1 + 1 - i0) as u64;
+        let wm = self.watermark(s, r);
+        let band_lo = i0.saturating_sub(self.block_h);
+        let band_hi = i1 + self.block_h;
+        let mut out = RowPrune::default();
+        let mut j = slab.j0;
+        while j < slab.j_end() {
+            let w = self.block_w.min(slab.j_end() - j);
+            out.total_tiles += 1;
+            let near_diag = j <= band_hi && j + w > band_lo;
+            let remaining = (self.m - (i0 - 1)).min(self.n - (j - 1)) as f64;
+            if !near_diag && self.match_score * remaining < wm {
+                out.pruned_tiles += 1;
+                out.skipped_cells += height * w as u64;
+            } else {
+                out.unpruned_blocks += 1;
+                out.computed_cells += height * w as u64;
+            }
+            j += w;
+        }
+        out
+    }
+
+    /// Run-level totals plus the modeled watermark lag.
+    fn report(&self) -> PruningReport {
+        let rows = self.m.div_ceil(self.block_h);
+        let mut tiles_pruned = 0u64;
+        let mut tiles_total = 0u64;
+        let mut cells_skipped = 0u128;
+        let mut min_wm = f64::INFINITY;
+        for s in 0..self.slabs.len() {
+            for r in 0..rows {
+                let rp = self.row(s, r);
+                tiles_pruned += rp.pruned_tiles;
+                tiles_total += rp.total_tiles;
+                cells_skipped += rp.skipped_cells as u128;
+            }
+            min_wm = min_wm.min(self.watermark(s, rows));
+        }
+        let best = self.per_base * self.m.min(self.n) as f64;
+        PruningReport {
+            mode: self.mode,
+            tiles_pruned,
+            tiles_total,
+            cells_skipped,
+            watermark_lag: (best - min_wm).max(0.0).round() as i64,
+        }
+    }
 }
 
 /// One attempt's scheduled task graph, before any reporting.
@@ -292,6 +471,8 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
     let mut kernel_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(nrows); slabs.len()];
     let mut transfer_tasks: Vec<Vec<TaskId>> = vec![Vec::with_capacity(nrows); slabs.len()];
 
+    let prune = PruneModel::new(env, slabs);
+
     match mode {
         Mode::FineGrain => {
             // Tasks are created along anti-diagonals of the (row, slab)
@@ -311,8 +492,18 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
                     };
                     let r = start_row + rel;
                     let height = row_height(m, config.block_h, r);
-                    let blocks = slab.width.div_ceil(config.block_w) as u32;
-                    let cells = height as u64 * slab.width as u64;
+                    // A pruned tile costs no kernel time: the launch covers
+                    // only the surviving tile columns.
+                    let (blocks, cells) = match &prune {
+                        Some(pm) => {
+                            let rp = pm.row(s, r);
+                            (rp.unpruned_blocks, rp.computed_cells)
+                        }
+                        None => (
+                            slab.width.div_ceil(config.block_w) as u32,
+                            height as u64 * slab.width as u64,
+                        ),
+                    };
                     let mut deps: Vec<TaskId> = Vec::with_capacity(1);
                     if s > 0 {
                         deps.push(transfer_tasks[s - 1][rel]);
@@ -425,6 +616,13 @@ fn run_plain(
             sim_time: Some(SimTime::ZERO),
             gcups_sim: Some(0.0),
             devices: Vec::new(),
+            pruning: env.prune_mode.is_enabled().then_some(PruningReport {
+                mode: env.prune_mode,
+                tiles_pruned: 0,
+                tiles_total: 0,
+                cells_skipped: 0,
+                watermark_lag: 0,
+            }),
             recovery: policy.map(|_| RecoveryReport::default()),
         };
         return DesRun {
@@ -470,6 +668,34 @@ fn run_with_faults(
     let block_h = config.block_h;
     let cells_at = |row: usize| ((row * block_h).min(m) as u128) * n as u128;
 
+    // Mirror of the threaded pipeline: recovery without a checkpoint
+    // cadence cannot make progress after a fault and is rejected up front.
+    let ck_rows = match config.policy.checkpoint.rows_interval() {
+        Some(iv) => iv,
+        None if policy.is_some() => {
+            let empty = TaskGraph {
+                schedule: Schedule::new(),
+                computes: Vec::new(),
+                kernel_tasks: Vec::new(),
+                transfer_tasks: Vec::new(),
+                start_row: 0,
+            };
+            return aborted_run(
+                env,
+                empty,
+                SimTime::ZERO,
+                Some(RecoveryReport::default()),
+                Vec::new(),
+                Some(PipelineError::InvalidConfig(
+                    "recovery requires a checkpoint cadence (policy.checkpoint must not be Disabled)"
+                        .to_string(),
+                )),
+                memory,
+            );
+        }
+        None => usize::MAX,
+    };
+
     let mut cur: Vec<Slab> = slabs.to_vec();
     let mut blacklist: Vec<usize> = Vec::new();
     let mut start_row = 0usize;
@@ -486,10 +712,8 @@ fn run_with_faults(
         else {
             // No applicable fault left: this attempt completes. Every slab
             // deposits every remaining wave of the matrix.
-            if let Some(p) = policy {
-                let waves = (start_row + 1..rows)
-                    .filter(|w| w % p.checkpoint_rows == 0)
-                    .count() as u64;
+            if policy.is_some() {
+                let waves = (start_row + 1..rows).filter(|w| w % ck_rows == 0).count() as u64;
                 recovery.checkpoints_taken += waves * cur.len() as u64;
             }
             let rec = policy.map(|_| recovery);
@@ -527,9 +751,9 @@ fn run_with_faults(
                 attempt_cells +=
                     row_height(m, block_h, start_row + rel) as u128 * slab.width as u128;
             }
-            if let Some(p) = policy {
+            if policy.is_some() {
                 recovery.checkpoints_taken += (start_row + 1..=start_row + done)
-                    .filter(|w| w % p.checkpoint_rows == 0 && *w < rows)
+                    .filter(|w| w % ck_rows == 0 && *w < rows)
                     .count() as u64;
             }
             frontier = frontier.min(start_row + done);
@@ -557,7 +781,7 @@ fn run_with_faults(
             n,
             config.block_w,
             env.platform,
-            &config.partition,
+            &config.policy.partition,
             &blacklist,
         );
         if survivors.is_empty() {
@@ -575,9 +799,9 @@ fn run_with_faults(
         // Newest complete wave: the largest interval multiple the frontier
         // covers (capped below `rows` — the threaded workers never deposit
         // the final border), never older than a previous attempt's wave.
-        let mut wave = (frontier / p.checkpoint_rows) * p.checkpoint_rows;
+        let mut wave = (frontier / ck_rows) * ck_rows;
         if wave >= rows {
-            wave = ((rows - 1) / p.checkpoint_rows) * p.checkpoint_rows;
+            wave = ((rows - 1) / ck_rows) * ck_rows;
         }
         best_wave = best_wave.max(wave);
         let new_start = best_wave;
@@ -658,6 +882,7 @@ fn aborted_run(
             sim_time: Some(at),
             gcups_sim: None,
             devices: Vec::new(),
+            pruning: None,
             recovery,
         },
         schedule: graph.schedule,
@@ -697,6 +922,8 @@ fn finalize(
     let sim_time = offset + makespan;
     let secs = sim_time.as_secs_f64();
     let off_ns = offset.as_nanos();
+    let prune_model = PruneModel::new(env, slabs);
+    let pruning = prune_model.as_ref().map(|pm| pm.report());
 
     // Drive the live handle at simulated-time boundaries: every kernel
     // completion, in simulated-finish order, advances the manual clock and
@@ -719,6 +946,19 @@ fn finalize(
         for (finish_ns, s_idx, cells, dur_ns) in completions {
             live.set_now_ns(finish_ns);
             live.on_row_done(s_idx, cells, dur_ns);
+        }
+        // Mirror the threaded workers' per-device pruning telemetry with
+        // the modeled final values.
+        if let Some(pm) = &prune_model {
+            for s_idx in 0..slabs.len() {
+                let (mut tiles, mut skipped) = (0u64, 0u64);
+                for r in 0..rows {
+                    let rp = pm.row(s_idx, r);
+                    tiles += rp.pruned_tiles;
+                    skipped += rp.skipped_cells;
+                }
+                live.on_prune_update(s_idx, pm.watermark(s_idx, rows) as i32, tiles, skipped);
+            }
         }
         live.set_now_ns(sim_time.as_nanos());
     }
@@ -809,6 +1049,7 @@ fn finalize(
         sim_time: Some(sim_time),
         gcups_sim: Some(RunReport::gcups(total_cells, secs)),
         devices,
+        pruning,
         recovery,
     };
     DesRun {
@@ -1208,10 +1449,9 @@ mod tests {
         let p = Platform::env2();
         let go = || {
             DesSim::new(MBP, MBP, &p)
-                .config(cfg())
+                .config(cfg().with_checkpoint(crate::config::CheckpointCadence::EveryRows(16)))
                 .faults("1:100,2:300:ring-push".parse::<FaultSchedule>().unwrap())
                 .recover(RecoveryPolicy {
-                    checkpoint_rows: 16,
                     max_device_failures: 2,
                 })
                 .run()
@@ -1233,7 +1473,6 @@ mod tests {
             .config(cfg())
             .faults("1:100,2:300".parse::<FaultSchedule>().unwrap())
             .recover(RecoveryPolicy {
-                checkpoint_rows: 8,
                 max_device_failures: 1,
             })
             .run();
@@ -1249,6 +1488,109 @@ mod tests {
         assert_eq!(run.losses.len(), 2);
         // Losses carry the cumulative clock: strictly increasing instants.
         assert!(run.losses[0].at < run.losses[1].at);
+    }
+
+    #[test]
+    fn des_recovery_rejects_disabled_checkpoint_cadence() {
+        use crate::config::CheckpointCadence;
+        use crate::pipeline::FaultPlan;
+        let p = Platform::env2();
+        let run = DesSim::new(MBP, MBP, &p)
+            .config(cfg().with_checkpoint(CheckpointCadence::Disabled))
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 100,
+            })
+            .recover(RecoveryPolicy::default())
+            .run();
+        assert!(matches!(run.aborted, Some(PipelineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn des_pruning_mirror_speeds_up_high_identity_runs() {
+        let p = Platform::env2();
+        let clean = run_des(MBP, MBP, &p, &cfg());
+        assert!(clean.report.pruning.is_none());
+        let pruned = DesSim::new(MBP, MBP, &p)
+            .config(cfg().with_pruning(PruneMode::Distributed))
+            .identity(0.99)
+            .run();
+        let pr = pruned.report.pruning.as_ref().unwrap();
+        assert_eq!(pr.mode, PruneMode::Distributed);
+        assert!(pr.tiles_pruned > 0, "{pr:?}");
+        assert!(pr.tiles_pruned < pr.tiles_total);
+        assert!(
+            pr.cells_skipped >= pruned.report.total_cells / 5,
+            "expected ≥ 20% cells skipped, got {} of {}",
+            pr.cells_skipped,
+            pruned.report.total_cells
+        );
+        // Skipped tiles cost no kernel time: the simulated clock shrinks
+        // and the effective GCUPS (over all m·n cells) rises.
+        assert!(pruned.report.sim_time.unwrap() < clean.report.sim_time.unwrap());
+        assert!(pruned.report.gcups_sim.unwrap() > clean.report.gcups_sim.unwrap());
+    }
+
+    #[test]
+    fn des_pruned_fraction_grows_with_identity() {
+        let p = Platform::env2();
+        let frac = |q: f64| {
+            DesSim::new(MBP, MBP, &p)
+                .config(cfg().with_pruning(PruneMode::Distributed))
+                .identity(q)
+                .run()
+                .report
+                .pruning
+                .unwrap()
+                .pruned_fraction()
+        };
+        let (low, mid, high) = (frac(0.25), (frac(0.80)), frac(0.99));
+        // Unrelated DNA has a non-growing diagonal score: nothing to prune.
+        assert_eq!(low, 0.0);
+        assert!(mid > 0.0);
+        assert!(high >= mid, "high {high} vs mid {mid}");
+    }
+
+    #[test]
+    fn des_distributed_watermark_prunes_at_least_as_much_as_local() {
+        let p = Platform::env2();
+        let go = |mode: PruneMode| {
+            DesSim::new(MBP, MBP, &p)
+                .config(cfg().with_pruning(mode))
+                .identity(0.95)
+                .run()
+                .report
+                .pruning
+                .unwrap()
+        };
+        let local = go(PruneMode::Local);
+        let dist = go(PruneMode::Distributed);
+        assert!(
+            dist.tiles_pruned >= local.tiles_pruned,
+            "distributed {} vs local {}",
+            dist.tiles_pruned,
+            local.tiles_pruned
+        );
+        // The global side channel keeps laggard devices better informed.
+        assert!(dist.watermark_lag <= local.watermark_lag);
+    }
+
+    #[test]
+    fn des_pruning_composes_with_recovery() {
+        use crate::pipeline::FaultPlan;
+        let p = Platform::env2();
+        let run = DesSim::new(MBP, MBP, &p)
+            .config(cfg().with_pruning(PruneMode::Distributed))
+            .identity(0.99)
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 100,
+            })
+            .recover(RecoveryPolicy::default())
+            .run();
+        assert!(run.aborted.is_none());
+        assert_eq!(run.report.recovery.as_ref().unwrap().recoveries, 1);
+        assert!(run.report.pruning.as_ref().unwrap().tiles_pruned > 0);
     }
 
     #[test]

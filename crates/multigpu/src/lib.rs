@@ -43,26 +43,30 @@ pub mod stages;
 pub mod stats;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
-pub use config::{PartitionPolicy, RunConfig};
+pub use circbuf::BorderMsg;
+pub use config::{CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RunConfig};
 pub use desrun::DesSim;
 pub use error::MegaswError;
 pub use partition::{make_slabs, make_slabs_excluding, Slab};
-#[allow(deprecated)]
-pub use pipeline::run_pipeline;
 pub use pipeline::{FaultPhase, FaultSchedule, PipelineRun, ScheduledFault, Semantics};
 pub use stages::multigpu_local_align;
-pub use stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
+pub use stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown};
 
 /// The types most callers need: builders, reports, errors, observability.
 pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
-    pub use crate::config::{PartitionPolicy, RunConfig};
+    pub use crate::circbuf::BorderMsg;
+    pub use crate::config::{
+        CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RunConfig,
+    };
     pub use crate::desrun::{DesRun, DesSim};
     pub use crate::error::MegaswError;
     pub use crate::pipeline::{
         FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
     };
-    pub use crate::stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
+    pub use crate::stats::{
+        DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown,
+    };
     pub use megasw_obs::{
         chrome_trace, metrics_json, prometheus, render_progress_line, LiveSnapshot, LiveTelemetry,
         MetricsRegistry, ObsKind, ObsLevel, ObsSpan, ProgressSampler, Recorder,

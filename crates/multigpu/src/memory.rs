@@ -103,7 +103,7 @@ mod tests {
         // chr19-class: 47 M × 49 M on Env2.
         let cfg = RunConfig::paper_default();
         let p = Platform::env2();
-        let slabs = make_slabs(49_000_000, cfg.block_w, &p, &cfg.partition);
+        let slabs = make_slabs(49_000_000, cfg.block_w, &p, &cfg.policy.partition);
         let plans = check_platform(47_000_000, &slabs, &p, &cfg).expect("must fit");
         for plan in &plans {
             // Packed sequences dominate; everything well under 1 GiB.

@@ -33,9 +33,23 @@
 //! assert!(report.best.score > 0);
 //! ```
 //!
-//! The free functions `run_pipeline` / `run_pipeline_anchored` /
-//! `run_pipeline_with_faults` remain as deprecated thin wrappers and return
-//! bit-identical results.
+//! ## Distributed block pruning
+//!
+//! With [`PruneMode::Local`](crate::config::PruneMode) or
+//! [`PruneMode::Distributed`](crate::config::PruneMode) on
+//! `config.policy.pruning`, each worker tests every tile against the
+//! CUDAlign pruning bound (`megasw_sw::prune`) and skips tiles that cannot
+//! beat its **watermark** — the highest score it knows about. In
+//! `Distributed` mode the watermark additionally folds in (a) the
+//! neighbour's watermark piggybacked on every popped
+//! [`BorderMsg`](crate::circbuf::BorderMsg) and (b) a shared global
+//! watermark atomic read and published once per block-row, which carries
+//! best scores between non-adjacent devices. Skipped tiles emit the same
+//! zero/−∞ substitute borders the sequential pruned executor uses, so the
+//! final best cell stays **bit-identical** to the unpruned run; the
+//! skipped-work accounting lands in [`RunReport::pruning`]
+//! (see DESIGN.md §10). Pruning applies to [`Semantics::Local`] only;
+//! anchored runs ignore the knob.
 //!
 //! ## Observability
 //!
@@ -55,17 +69,19 @@
 //! position** (slab order), matching `RunReport::devices`.
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
-use crate::circbuf::{CircularBuffer, RingError, RingStats};
-use crate::config::RunConfig;
+use crate::circbuf::{BorderMsg, CircularBuffer, RingError, RingStats};
+use crate::config::{PruneMode, RunConfig};
 use crate::error::MegaswError;
 use crate::partition::{make_slabs, make_slabs_excluding, Slab};
-use crate::stats::{DeviceReport, RecoveryReport, RunReport, StallBreakdown};
+use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown};
 use megasw_gpusim::Platform;
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
-use megasw_sw::block::{compute_block, compute_block_anchored, BlockInput};
+use megasw_sw::block::{compute_block, compute_block_anchored, skip_block, BlockInput};
 use megasw_sw::border::{ColBorder, RowBorder};
-use megasw_sw::cell::BestCell;
+use megasw_sw::cell::{BestCell, Score};
+use megasw_sw::prune::{prune_bound, restore_corner, tile_is_prunable};
 use std::str::FromStr;
+use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -300,8 +316,11 @@ impl std::fmt::Display for FaultSchedule {
     }
 }
 
-/// Builder for one threaded pipeline run — the single entry point the
-/// deprecated `run_pipeline*` functions wrap.
+/// Builder for one threaded pipeline run — the single entry point to the
+/// threaded backend. All run-shaping knobs (pruning, partitioning,
+/// checkpoint cadence) arrive through the
+/// [`KernelPolicy`](crate::config::KernelPolicy) on the attached
+/// [`RunConfig`].
 #[derive(Debug, Clone)]
 pub struct PipelineRun<'a> {
     a: &'a [u8],
@@ -411,7 +430,16 @@ impl<'a> PipelineRun<'a> {
 
 struct DevicePartial {
     best: BestCell,
+    /// Matrix cells this worker *covered* (computed or skipped): its slab
+    /// width times the rows it executed. This is what the coverage
+    /// invariant in `assemble_report` sums.
     cells: u128,
+    /// Cells inside tiles the pruning bound skipped (subset of `cells`).
+    cells_skipped: u128,
+    tiles_pruned: u64,
+    tiles_total: u64,
+    /// The worker's final pruning watermark (0 when pruning is off).
+    watermark: Score,
     bytes_sent: u64,
     /// Kernel-activity envelope in recorder time, for stall accounting.
     first_kernel_start_ns: u64,
@@ -419,103 +447,8 @@ struct DevicePartial {
     busy_ns: u64,
 }
 
-/// Run the fine-grain pipeline. See the module docs.
-#[deprecated(note = "use PipelineRun::new(a, b, platform).config(config).run()")]
-pub fn run_pipeline(
-    a: &[u8],
-    b: &[u8],
-    platform: &Platform,
-    config: &RunConfig,
-) -> Result<RunReport, PipelineError> {
-    run_pipeline_engine(
-        a,
-        b,
-        platform,
-        config,
-        None,
-        Semantics::Local,
-        &Recorder::disabled(),
-    )
-}
-
-/// [`run_pipeline`] with optional fault injection.
-#[deprecated(note = "use PipelineRun::new(a, b, platform).config(config).faults(plan).run()")]
-pub fn run_pipeline_with_faults(
-    a: &[u8],
-    b: &[u8],
-    platform: &Platform,
-    config: &RunConfig,
-    fault: Option<FaultPlan>,
-) -> Result<RunReport, PipelineError> {
-    run_pipeline_engine(
-        a,
-        b,
-        platform,
-        config,
-        fault,
-        Semantics::Local,
-        &Recorder::disabled(),
-    )
-}
-
-/// Run the pipeline under anchored semantics (stage 2's kernel).
-#[deprecated(
-    note = "use PipelineRun::new(a, b, platform).config(config).semantics(Semantics::Anchored).run()"
-)]
-pub fn run_pipeline_anchored(
-    a: &[u8],
-    b: &[u8],
-    platform: &Platform,
-    config: &RunConfig,
-) -> Result<RunReport, PipelineError> {
-    run_pipeline_engine(
-        a,
-        b,
-        platform,
-        config,
-        None,
-        Semantics::Anchored,
-        &Recorder::disabled(),
-    )
-}
-
-/// The fully parameterized free-function entry point.
-#[deprecated(note = "use PipelineRun::new(a, b, platform) and its builder methods")]
-pub fn run_pipeline_full(
-    a: &[u8],
-    b: &[u8],
-    platform: &Platform,
-    config: &RunConfig,
-    fault: Option<FaultPlan>,
-    semantics: Semantics,
-) -> Result<RunReport, PipelineError> {
-    run_pipeline_engine(
-        a,
-        b,
-        platform,
-        config,
-        fault,
-        semantics,
-        &Recorder::disabled(),
-    )
-}
-
-/// The engine behind the deprecated wrappers (no live telemetry).
-pub(crate) fn run_pipeline_engine(
-    a: &[u8],
-    b: &[u8],
-    platform: &Platform,
-    config: &RunConfig,
-    fault: Option<FaultPlan>,
-    semantics: Semantics,
-    obs: &Recorder,
-) -> Result<RunReport, PipelineError> {
-    let faults = fault.map(FaultSchedule::from).unwrap_or_default();
-    run_pipeline_live(a, b, platform, config, &faults, semantics, obs, None)
-}
-
-/// The engine behind the builder: [`run_pipeline_engine`] plus optional
-/// in-flight telemetry. Live device indices are chain positions (slab
+/// The engine behind the builder, with optional in-flight telemetry. Live
+/// device indices are chain positions (slab
 /// order); indices past the handle's capacity are silently dropped by the
 /// handle itself, so a handle sized for the platform also works when slabs
 /// are dropped on small matrices.
@@ -533,10 +466,11 @@ pub(crate) fn run_pipeline_live(
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let m = a.len();
     let n = b.len();
-    let slabs = make_slabs(n, config.block_w, platform, &config.partition);
+    let slabs = make_slabs(n, config.block_w, platform, &config.policy.partition);
+    let prune_mode = effective_prune_mode(config, semantics);
 
     if m == 0 || slabs.is_empty() {
-        return Ok(empty_report(m, n, platform, &slabs, None));
+        return Ok(empty_report(m, n, platform, &slabs, prune_mode, None));
     }
 
     let rows = m.div_ceil(config.block_h);
@@ -570,15 +504,27 @@ pub(crate) fn run_pipeline_live(
         run_start_ns,
         BestCell::ZERO,
         0,
+        prune_mode,
         None,
     ))
+}
+
+/// The pruning mode a run actually executes under: the configured mode for
+/// local semantics, forced [`PruneMode::Off`] for anchored runs (pruning's
+/// safety argument needs the zero floor; see `megasw_sw::prune`).
+fn effective_prune_mode(config: &RunConfig, semantics: Semantics) -> PruneMode {
+    match semantics {
+        Semantics::Local => config.policy.pruning,
+        Semantics::Anchored => PruneMode::Off,
+    }
 }
 
 /// The fault-tolerant driver behind [`PipelineRun::recover`].
 ///
 /// Runs attempts in a loop: each attempt executes the pipeline from
 /// `start_row` over the current (survivor) slab set while the workers
-/// deposit border checkpoints every `policy.checkpoint_rows` block-rows.
+/// deposit border checkpoints on the cadence of
+/// `config.policy.checkpoint`.
 /// On a device fault the failed device is blacklisted, its columns are
 /// repartitioned across the survivors ([`make_slabs_excluding`] — measured
 /// throughput for `Proportional`), the run rewinds to the newest complete
@@ -599,20 +545,23 @@ pub(crate) fn run_pipeline_recover_live(
     live: Option<&Arc<LiveTelemetry>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
-    if policy.checkpoint_rows == 0 {
+    let Some(interval) = config.policy.checkpoint.rows_interval() else {
         return Err(PipelineError::InvalidConfig(
-            "checkpoint_rows must be ≥ 1".to_string(),
+            "recovery requires a checkpoint cadence (policy.checkpoint must not be Disabled)"
+                .to_string(),
         ));
-    }
+    };
     let m = a.len();
     let n = b.len();
-    let mut slabs = make_slabs(n, config.block_w, platform, &config.partition);
+    let mut slabs = make_slabs(n, config.block_w, platform, &config.policy.partition);
+    let prune_mode = effective_prune_mode(config, semantics);
     if m == 0 || slabs.is_empty() {
         return Ok(empty_report(
             m,
             n,
             platform,
             &slabs,
+            prune_mode,
             Some(RecoveryReport::default()),
         ));
     }
@@ -650,7 +599,7 @@ pub(crate) fn run_pipeline_recover_live(
             ckpt: Some(CkptCtx {
                 store: &store,
                 attempt,
-                interval: policy.checkpoint_rows,
+                interval,
             }),
         });
         match collect_attempt(outcome.results) {
@@ -668,6 +617,7 @@ pub(crate) fn run_pipeline_recover_live(
                     run_start_ns,
                     base_best,
                     cells_at(start_row),
+                    prune_mode,
                     Some(recovery),
                 ));
             }
@@ -687,7 +637,7 @@ pub(crate) fn run_pipeline_recover_live(
                     n,
                     config.block_w,
                     platform,
-                    &config.partition,
+                    &config.policy.partition,
                     &blacklist,
                 );
                 if survivors.is_empty() {
@@ -768,9 +718,16 @@ struct AttemptOutcome {
 /// given slab set. Rings are per-attempt; a failed worker poisons its
 /// neighbours' rings so the failure propagates instead of deadlocking.
 fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
-    let rings: Vec<CircularBuffer<ColBorder>> = (0..p.slabs.len().saturating_sub(1))
+    let rings: Vec<CircularBuffer<BorderMsg>> = (0..p.slabs.len().saturating_sub(1))
         .map(|_| CircularBuffer::with_capacity(p.config.buffer_capacity))
         .collect();
+
+    // The low-frequency side channel of distributed pruning: every worker
+    // publishes its watermark here once per block-row and folds it back in
+    // once per block-row, carrying best scores between *non-adjacent*
+    // devices (ring piggybacking only reaches the right-hand neighbour).
+    // Seeded from the resume checkpoint so pruning composes with recovery.
+    let global_watermark = AtomicI32::new(p.resume.map_or(0, |ck| ck.watermark));
 
     if let Some(live) = p.live {
         for (s_idx, ring) in rings.iter().enumerate() {
@@ -793,6 +750,7 @@ fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
             };
             let ring_out = rings.get(s_idx);
             let p = &p;
+            let global_watermark = &global_watermark;
             handles.push(scope.spawn(move || {
                 let result = device_worker(WorkerParams {
                     a: p.a,
@@ -810,6 +768,7 @@ fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
                     live: p.live,
                     resume: p.resume,
                     ckpt: p.ckpt,
+                    global_watermark,
                 });
                 if result.is_err() {
                     // Wake neighbours so the failure propagates instead of
@@ -892,6 +851,7 @@ fn assemble_report(
     run_start_ns: u64,
     base_best: BestCell,
     base_cells: u128,
+    prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
 ) -> RunReport {
     let best = partials.iter().fold(base_best, |acc, p| acc.merge(p.best));
@@ -901,6 +861,20 @@ fn assemble_report(
         total_cells,
         "checkpointed rows plus the final attempt must cover the matrix exactly"
     );
+    let pruning = prune_mode.is_enabled().then(|| PruningReport {
+        mode: prune_mode,
+        tiles_pruned: partials.iter().map(|p| p.tiles_pruned).sum(),
+        tiles_total: partials.iter().map(|p| p.tiles_total).sum(),
+        cells_skipped: partials.iter().map(|p| p.cells_skipped).sum(),
+        // Worst final watermark lag across workers: how far the slowest
+        // watermark trailed the run's true best. Always ≥ 0 — a watermark
+        // only ever folds actually-observed scores.
+        watermark_lag: partials
+            .iter()
+            .map(|p| best.score as i64 - p.watermark as i64)
+            .max()
+            .unwrap_or(0),
+    });
     let wall = Duration::from_nanos(wall_ns);
 
     let devices = slabs
@@ -943,6 +917,7 @@ fn assemble_report(
         sim_time: None,
         gcups_sim: None,
         devices,
+        pruning,
         recovery,
     }
 }
@@ -956,14 +931,16 @@ struct WorkerParams<'e> {
     rows: usize,
     start_row: usize,
     config: &'e RunConfig,
-    ring_in: Option<&'e CircularBuffer<ColBorder>>,
-    ring_out: Option<&'e CircularBuffer<ColBorder>>,
+    ring_in: Option<&'e CircularBuffer<BorderMsg>>,
+    ring_out: Option<&'e CircularBuffer<BorderMsg>>,
     faults: &'e FaultSchedule,
     semantics: Semantics,
     obs: &'e Recorder,
     live: Option<&'e Arc<LiveTelemetry>>,
     resume: Option<&'e Checkpoint>,
     ckpt: Option<CkptCtx<'e>>,
+    /// Shared watermark for non-adjacent devices (distributed pruning).
+    global_watermark: &'e AtomicI32,
 }
 
 /// The per-device loop.
@@ -989,11 +966,14 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         live,
         resume,
         ckpt,
+        global_watermark,
     } = p;
     let m = a.len();
+    let n = b.len();
     let block_h = config.block_h;
     let block_w = config.block_w;
     let lane = slab.device as u32;
+    let prune_mode = effective_prune_mode(config, semantics);
 
     // Tile columns of this slab.
     let mut cols: Vec<(usize, usize)> = Vec::new(); // (j0, width)
@@ -1024,10 +1004,25 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
     };
     let mut best = BestCell::ZERO;
     let mut cells: u128 = 0;
+    let mut cells_skipped: u128 = 0;
+    let mut tiles_pruned: u64 = 0;
+    let mut tiles_total: u64 = 0;
     let mut bytes_sent: u64 = 0;
     let mut first_kernel_start_ns: Option<u64> = None;
     let mut last_kernel_end_ns: u64 = 0;
     let mut busy_ns: u64 = 0;
+
+    // The pruning watermark: the highest score this worker *knows about*.
+    // It only ever grows (fold is max) and only ever folds scores that some
+    // worker actually observed in a DP cell, so it never exceeds the true
+    // global best — the strict bound comparison below therefore preserves
+    // the unpruned run's best cell bit-for-bit. Seeded from the resume
+    // checkpoint so a recovered attempt keeps the failed attempt's
+    // knowledge.
+    let mut watermark: Score = match prune_mode {
+        PruneMode::Off => 0,
+        PruneMode::Local | PruneMode::Distributed => resume.map_or(0, |ck| ck.watermark),
+    };
 
     let die = |cells: u128, r: usize| WorkerFailure {
         error: PipelineError::DeviceFault {
@@ -1053,6 +1048,13 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
             return Err(die(cells, r));
         }
 
+        // Under distributed pruning, fold the shared global watermark once
+        // per block-row — a low-frequency side channel that lets knowledge
+        // from non-adjacent devices tighten this worker's bound.
+        if prune_mode == PruneMode::Distributed {
+            watermark = watermark.max(global_watermark.load(Ordering::Relaxed));
+        }
+
         let mut left: ColBorder = match ring_in {
             None => match semantics {
                 Semantics::Local => ColBorder::zero(height),
@@ -1063,8 +1065,17 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                 let popped = ring.pop();
                 obs.record_since(ObsKind::RingPopWait, Some(lane), Some(row), wait_start);
                 match popped {
-                    Ok(Some(border)) => {
+                    Ok(Some(msg)) => {
+                        let BorderMsg {
+                            border,
+                            watermark: their_mark,
+                        } = msg;
                         debug_assert_eq!(border.height(), height, "border height mismatch");
+                        // Fold the left neighbour's piggybacked watermark:
+                        // free knowledge riding the border hand-off.
+                        if prune_mode == PruneMode::Distributed {
+                            watermark = watermark.max(their_mark);
+                        }
                         border
                     }
                     // Closed-early and poisoned both mean a neighbour died.
@@ -1081,6 +1092,28 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
 
         let kernel_start = obs.now_ns();
         for (c, &(jc0, wc)) in cols.iter().enumerate() {
+            let covered = height as u128 * wc as u128;
+            tiles_total += 1;
+            if prune_mode.is_enabled() {
+                let incoming_max = tops[c].max_h().max(left.max_h());
+                let bound = prune_bound(incoming_max, m, n, i0, jc0, &config.scheme);
+                if tile_is_prunable(bound, watermark) {
+                    // Skip the tile: emit the substitute zero/−∞ borders
+                    // sw::prune defines. Downstream DP over those borders
+                    // can only underestimate — safe under local semantics.
+                    let out = skip_block(height, wc);
+                    tops[c] = out.bottom;
+                    left = out.right;
+                    tiles_pruned += 1;
+                    cells_skipped += covered;
+                    cells += covered; // covered, not computed: coverage accounting
+                    continue;
+                }
+                // Borders from pruned neighbours may disagree at the shared
+                // corner; restore it to the max (exact when either path
+                // survived) before handing both to the kernel.
+                restore_corner(&mut tops[c], &mut left);
+            }
             let input = BlockInput {
                 a_rows: &a[i0 - 1..i1 - 1],
                 b_cols: &b[jc0 - 1..jc0 - 1 + wc],
@@ -1097,6 +1130,9 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
             cells += out.cells as u128;
             tops[c] = out.bottom;
             left = out.right;
+        }
+        if prune_mode.is_enabled() {
+            watermark = watermark.max(best.score);
         }
         let kernel_end = obs.now_ns().max(kernel_start);
         obs.record(ObsSpan {
@@ -1115,6 +1151,19 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                 (height as u64) * (slab.width as u64),
                 kernel_end - kernel_start,
             );
+            if prune_mode.is_enabled() {
+                live.on_prune_update(
+                    s_idx,
+                    watermark,
+                    tiles_pruned,
+                    u64::try_from(cells_skipped).unwrap_or(u64::MAX),
+                );
+            }
+        }
+
+        // Publish this worker's watermark for non-adjacent devices.
+        if prune_mode == PruneMode::Distributed {
+            global_watermark.fetch_max(watermark, Ordering::Relaxed);
         }
 
         // Deposit a checkpoint as soon as the wave's kernels are done, so
@@ -1130,7 +1179,8 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                     h.extend_from_slice(&t.h[1..]);
                     f.extend_from_slice(&t.f[1..]);
                 }
-                ck.store.record(ck.attempt, wave, s_idx, h, f, best);
+                ck.store
+                    .record(ck.attempt, wave, s_idx, h, f, best, watermark);
             }
         }
 
@@ -1141,7 +1191,12 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         if let Some(ring) = ring_out {
             bytes_sent += left.transfer_bytes() as u64;
             let push_start = obs.now_ns();
-            let pushed = ring.push(left);
+            // The watermark piggybacks on the border hand-off: zero extra
+            // messages, and the right neighbour folds it before its next row.
+            let pushed = ring.push(BorderMsg {
+                border: left,
+                watermark,
+            });
             obs.record_since(ObsKind::RingPush, Some(lane), Some(row), push_start);
             if pushed.is_err() {
                 return Err(poisoned(cells));
@@ -1160,6 +1215,10 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
     Ok(DevicePartial {
         best,
         cells,
+        cells_skipped,
+        tiles_pruned,
+        tiles_total,
+        watermark,
         bytes_sent,
         first_kernel_start_ns: first_kernel_start_ns.unwrap_or(0),
         last_kernel_end_ns,
@@ -1172,6 +1231,7 @@ fn empty_report(
     n: usize,
     platform: &Platform,
     slabs: &[Slab],
+    prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
 ) -> RunReport {
     RunReport {
@@ -1197,14 +1257,21 @@ fn empty_report(
                 stall: None,
             })
             .collect(),
+        pruning: prune_mode.is_enabled().then_some(PruningReport {
+            mode: prune_mode,
+            tiles_pruned: 0,
+            tiles_total: 0,
+            cells_skipped: 0,
+            watermark_lag: 0,
+        }),
         recovery,
     }
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::config::{CheckpointCadence, PruneMode};
     use megasw_gpusim::{catalog, Platform};
     use megasw_obs::ObsLevel;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
@@ -1216,16 +1283,28 @@ mod tests {
         (a, b)
     }
 
+    /// A 99%-identity pair (substitutions only): the regime where block
+    /// pruning pays — the diagonal score grows steadily and prunes the
+    /// off-diagonal bulk.
+    fn similar_pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
+        let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
+        let (b, _) = DivergenceModel::snp_only(seed + 1000, 0.01).apply(&a);
+        (a, b)
+    }
+
+    fn run_local(a: &[u8], b: &[u8], platform: &Platform, cfg: RunConfig) -> RunReport {
+        PipelineRun::new(a, b, platform).config(cfg).run().unwrap()
+    }
+
     #[test]
     fn two_gpu_run_matches_reference() {
         let (a, b) = pair(2_000, 1);
-        let report = run_pipeline(
+        let report = run_local(
             a.codes(),
             b.codes(),
             &Platform::env1(),
-            &RunConfig::test_default(),
-        )
-        .unwrap();
+            RunConfig::test_default(),
+        );
         assert_eq!(
             report.best,
             gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
@@ -1238,13 +1317,12 @@ mod tests {
     #[test]
     fn three_heterogeneous_gpus_match_reference() {
         let (a, b) = pair(3_000, 2);
-        let report = run_pipeline(
+        let report = run_local(
             a.codes(),
             b.codes(),
             &Platform::env2(),
-            &RunConfig::test_default(),
-        )
-        .unwrap();
+            RunConfig::test_default(),
+        );
         assert_eq!(
             report.best,
             gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
@@ -1256,13 +1334,12 @@ mod tests {
     #[test]
     fn single_device_platform_works() {
         let (a, b) = pair(1_000, 3);
-        let report = run_pipeline(
+        let report = run_local(
             a.codes(),
             b.codes(),
             &Platform::single(catalog::gtx680()),
-            &RunConfig::test_default(),
-        )
-        .unwrap();
+            RunConfig::test_default(),
+        );
         assert_eq!(
             report.best,
             gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
@@ -1275,7 +1352,7 @@ mod tests {
     fn capacity_one_ring_still_correct() {
         let (a, b) = pair(1_500, 4);
         let cfg = RunConfig::test_default().with_buffer_capacity(1);
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env2(), &cfg).unwrap();
+        let report = run_local(a.codes(), b.codes(), &Platform::env2(), cfg.clone());
         assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
     }
 
@@ -1285,7 +1362,7 @@ mod tests {
         let (a, b) = pair(200, 5);
         let p = Platform::homogeneous(catalog::m2090(), 8);
         let cfg = RunConfig::test_default(); // 32-wide blocks → ≤ 7 bcols
-        let report = run_pipeline(a.codes(), b.codes(), &p, &cfg).unwrap();
+        let report = run_local(a.codes(), b.codes(), &p, cfg.clone());
         assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
         let bcols = b.len().div_ceil(cfg.block_w);
         assert_eq!(report.devices.len(), bcols.min(8));
@@ -1295,23 +1372,13 @@ mod tests {
     fn empty_sequences() {
         let p = Platform::env1();
         let cfg = RunConfig::test_default();
-        let r1 = run_pipeline(&[], &[], &p, &cfg).unwrap();
+        let r1 = run_local(&[], &[], &p, cfg.clone());
         assert_eq!(r1.best, BestCell::ZERO);
         let (a, _) = pair(100, 6);
-        let r2 = run_pipeline(a.codes(), &[], &p, &cfg).unwrap();
+        let r2 = run_local(a.codes(), &[], &p, cfg.clone());
         assert_eq!(r2.best, BestCell::ZERO);
-        let r3 = run_pipeline(&[], a.codes(), &p, &cfg).unwrap();
+        let r3 = run_local(&[], a.codes(), &p, cfg);
         assert_eq!(r3.best, BestCell::ZERO);
-    }
-
-    #[test]
-    fn invalid_config_rejected() {
-        let (a, b) = pair(100, 7);
-        let bad = RunConfig::test_default().with_buffer_capacity(0);
-        match run_pipeline(a.codes(), b.codes(), &Platform::env1(), &bad) {
-            Err(PipelineError::InvalidConfig(_)) => {}
-            other => panic!("expected InvalidConfig, got {other:?}"),
-        }
     }
 
     #[test]
@@ -1336,42 +1403,22 @@ mod tests {
             device: 1,
             fail_at_block_row: 5,
         };
-        let err = run_pipeline_with_faults(
-            a.codes(),
-            b.codes(),
-            &Platform::env2(),
-            &RunConfig::test_default(),
-            Some(fault),
-        )
-        .unwrap_err();
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(RunConfig::test_default())
+            .faults(fault)
+            .run()
+            .unwrap_err();
         assert_eq!(
-            err,
-            PipelineError::DeviceFault {
+            err.as_pipeline(),
+            Some(&PipelineError::DeviceFault {
                 device: 1,
                 block_row: 5
-            }
+            })
         );
     }
 
     #[test]
     fn fault_in_first_device_at_row_zero() {
-        let (a, b) = pair(1_000, 9);
-        let err = run_pipeline_with_faults(
-            a.codes(),
-            b.codes(),
-            &Platform::env1(),
-            &RunConfig::test_default(),
-            Some(FaultPlan {
-                device: 0,
-                fail_at_block_row: 0,
-            }),
-        )
-        .unwrap_err();
-        assert!(matches!(err, PipelineError::DeviceFault { device: 0, .. }));
-    }
-
-    #[test]
-    fn builder_fault_injection_matches_wrapper() {
         let (a, b) = pair(1_000, 9);
         let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
             .config(RunConfig::test_default())
@@ -1391,7 +1438,7 @@ mod tests {
     fn ring_stats_show_flow() {
         let (a, b) = pair(2_000, 10);
         let cfg = RunConfig::test_default().with_buffer_capacity(2);
-        let report = run_pipeline(a.codes(), b.codes(), &Platform::env1(), &cfg).unwrap();
+        let report = run_local(a.codes(), b.codes(), &Platform::env1(), cfg.clone());
         let ring = report.devices[0].ring_out.as_ref().unwrap();
         let rows = 2_000usize.div_ceil(cfg.block_h) as u64;
         assert_eq!(ring.pushed, rows);
@@ -1400,28 +1447,107 @@ mod tests {
     }
 
     #[test]
-    fn builder_matches_deprecated_wrappers_bit_for_bit() {
-        let (a, b) = pair(2_000, 11);
-        let cfg = RunConfig::test_default();
-        for (platform, semantics) in [
-            (Platform::env1(), Semantics::Local),
-            (Platform::env2(), Semantics::Local),
-            (Platform::env1(), Semantics::Anchored),
+    fn pruning_is_bit_identical_across_geometries() {
+        // The heart of the pruning contract: skipping tiles with substitute
+        // borders must not perturb the best cell — on every platform shape,
+        // at every pruning level, against the sequential reference.
+        let (a, b) = similar_pair(1_500, 11);
+        let truth = gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
+        for platform in [
+            Platform::single(catalog::gtx680()),
+            Platform::env1(),
+            Platform::env2(),
+            Platform::homogeneous(catalog::m2090(), 4),
         ] {
-            let from_builder = PipelineRun::new(a.codes(), b.codes(), &platform)
-                .config(cfg.clone())
-                .semantics(semantics)
-                .run()
-                .unwrap();
-            let from_wrapper = match semantics {
-                Semantics::Local => run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap(),
-                Semantics::Anchored => {
-                    run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap()
-                }
-            };
-            assert_eq!(from_builder.best, from_wrapper.best);
-            assert_eq!(from_builder.total_cells, from_wrapper.total_cells);
+            let off = run_local(
+                a.codes(),
+                b.codes(),
+                &platform,
+                RunConfig::test_default().with_pruning(PruneMode::Off),
+            );
+            assert_eq!(off.best, truth);
+            assert!(off.pruning.is_none(), "Off emits no pruning report");
+            for mode in [PruneMode::Local, PruneMode::Distributed] {
+                let pruned = run_local(
+                    a.codes(),
+                    b.codes(),
+                    &platform,
+                    RunConfig::test_default().with_pruning(mode),
+                );
+                assert_eq!(pruned.best, truth, "{mode} on {platform:?}");
+                assert_eq!(pruned.total_cells, off.total_cells);
+                let pr = pruned.pruning.expect("enabled modes report pruning");
+                assert_eq!(pr.mode, mode);
+                assert!(pr.tiles_total > 0);
+                assert!(pr.watermark_lag >= 0, "watermark never exceeds true best");
+            }
         }
+    }
+
+    #[test]
+    fn distributed_pruning_skips_cells_on_high_identity_pairs() {
+        // Acceptance check: on a 99%-identity pair the distributed watermark
+        // prunes a substantial share of the off-diagonal matrix.
+        let (a, b) = similar_pair(4_000, 30);
+        let report = run_local(
+            a.codes(),
+            b.codes(),
+            &Platform::env2(),
+            RunConfig::test_default().with_pruning(PruneMode::Distributed),
+        );
+        assert_eq!(
+            report.best,
+            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+        );
+        let pr = report.pruning.unwrap();
+        assert!(pr.tiles_pruned > 0, "high-identity run must prune tiles");
+        assert!(
+            pr.cells_skipped * 5 >= report.total_cells,
+            "expected ≥ 20% of cells skipped, got {} of {}",
+            pr.cells_skipped,
+            report.total_cells
+        );
+        // Covered-cell accounting holds even with skips.
+        let covered: u128 = report.devices.iter().map(|d| d.cells).sum();
+        assert_eq!(covered, report.total_cells);
+    }
+
+    #[test]
+    fn anchored_semantics_force_pruning_off() {
+        // Score underestimation is only safe under Local semantics; anchored
+        // runs must silently disable pruning rather than corrupt stage 2.
+        let (a, b) = similar_pair(1_000, 31);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default().with_pruning(PruneMode::Distributed))
+            .semantics(Semantics::Anchored)
+            .run()
+            .unwrap();
+        assert!(report.pruning.is_none());
+    }
+
+    #[test]
+    fn pruning_composes_with_recovery_bit_identically() {
+        let (a, b) = similar_pair(2_000, 32);
+        let cfg = RunConfig::test_default()
+            .with_pruning(PruneMode::Distributed)
+            .with_checkpoint(CheckpointCadence::EveryRows(4));
+        let clean = run_local(a.codes(), b.codes(), &Platform::env2(), cfg.clone());
+        let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg)
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 10,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(recovered.best, clean.best);
+        assert_eq!(recovered.total_cells, clean.total_cells);
+        assert_eq!(recovered.recovery.unwrap().recoveries, 1);
+        let pr = recovered
+            .pruning
+            .expect("pruned recovery run reports pruning");
+        assert!(pr.watermark_lag >= 0);
     }
 
     #[test]
@@ -1619,11 +1745,10 @@ mod tests {
                 .run()
                 .unwrap();
             let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
-                .config(cfg.clone())
+                .config(cfg.clone().with_checkpoint(CheckpointCadence::EveryRows(4)))
                 .semantics(semantics)
                 .faults("1:5,2:20:transfer".parse::<FaultSchedule>().unwrap())
                 .recover(RecoveryPolicy {
-                    checkpoint_rows: 4,
                     max_device_failures: 2,
                 })
                 .run()
@@ -1663,13 +1788,12 @@ mod tests {
     fn recovery_budget_exhaustion_surfaces_the_fault() {
         let (a, b) = pair(1_500, 24);
         let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
-            .config(RunConfig::test_default())
+            .config(RunConfig::test_default().with_checkpoint(CheckpointCadence::EveryRows(8)))
             .faults(FaultPlan {
                 device: 1,
                 fail_at_block_row: 5,
             })
             .recover(RecoveryPolicy {
-                checkpoint_rows: 8,
                 max_device_failures: 0,
             })
             .run()
@@ -1684,14 +1808,21 @@ mod tests {
     }
 
     #[test]
-    fn recovery_rejects_zero_checkpoint_interval() {
+    fn recovery_rejects_bad_checkpoint_cadence() {
         let (a, b) = pair(500, 25);
+        // A zero-row interval never validates, recovery or not.
         let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
-            .config(RunConfig::test_default())
-            .recover(RecoveryPolicy {
-                checkpoint_rows: 0,
-                max_device_failures: 1,
-            })
+            .config(RunConfig::test_default().with_checkpoint(CheckpointCadence::EveryRows(0)))
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::InvalidConfig(_))
+        ));
+        // Recovery needs checkpoints: a disabled cadence is rejected.
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default().with_checkpoint(CheckpointCadence::Disabled))
+            .recover(RecoveryPolicy::default())
             .run()
             .unwrap_err();
         assert!(matches!(
@@ -1708,13 +1839,12 @@ mod tests {
         // the resume row is a multiple of 4 no later than the fault row).
         let (a, b) = pair(2_000, 26);
         let recovered = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
-            .config(RunConfig::test_default())
+            .config(RunConfig::test_default().with_checkpoint(CheckpointCadence::EveryRows(4)))
             .faults(FaultPlan {
                 device: 1,
                 fail_at_block_row: 10,
             })
             .recover(RecoveryPolicy {
-                checkpoint_rows: 4,
                 max_device_failures: 1,
             })
             .run()

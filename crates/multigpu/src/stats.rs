@@ -10,6 +10,7 @@
 //! holds by construction on either backend.
 
 use crate::circbuf::RingStats;
+use crate::config::PruneMode;
 use megasw_gpusim::SimTime;
 use megasw_obs::{MetricsRegistry, ObsSpan};
 use megasw_sw::BestCell;
@@ -115,6 +116,36 @@ pub struct RecoveryReport {
     pub resumed_from_rows: Vec<usize>,
 }
 
+/// Block-pruning accounting for one run (present whenever the run executed
+/// with [`PruneMode::Local`] or [`PruneMode::Distributed`]; `None` when
+/// pruning was off or forced off by anchored semantics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruningReport {
+    /// The mode the run actually executed with.
+    pub mode: PruneMode,
+    /// Tiles skipped via the pruning bound.
+    pub tiles_pruned: u64,
+    /// Tiles considered (pruned + computed) across all devices.
+    pub tiles_total: u64,
+    /// DP cells covered by skipped tiles (never computed).
+    pub cells_skipped: u128,
+    /// How far the slowest device's final watermark lagged the true best
+    /// score (`best.score − min worker watermark`); 0 means every device
+    /// finished fully informed.
+    pub watermark_lag: i64,
+}
+
+impl PruningReport {
+    /// Fraction of tiles skipped (0 when no tiles were considered).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.tiles_total == 0 {
+            0.0
+        } else {
+            self.tiles_pruned as f64 / self.tiles_total as f64
+        }
+    }
+}
+
 /// The result of one multi-GPU run (threaded, simulated, or both).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -135,6 +166,9 @@ pub struct RunReport {
     /// the final (surviving) chain and the cells each survivor computed in
     /// the final attempt.
     pub devices: Vec<DeviceReport>,
+    /// Block-pruning accounting; `None` unless the run executed with
+    /// pruning enabled.
+    pub pruning: Option<PruningReport>,
     /// Fault-recovery accounting; `None` unless the run was executed with
     /// a recovery policy.
     pub recovery: Option<RecoveryReport>,
@@ -175,6 +209,19 @@ impl RunReport {
         }
         if let Some(g) = self.gcups_sim {
             m.observe("gcups.sim", g);
+        }
+        if let Some(pr) = &self.pruning {
+            m.incr("pruning.tiles_pruned", pr.tiles_pruned);
+            m.incr("pruning.tiles_total", pr.tiles_total);
+            m.incr(
+                "pruning.cells_skipped",
+                u64::try_from(pr.cells_skipped).unwrap_or(u64::MAX),
+            );
+            m.incr(
+                "pruning.watermark_lag",
+                u64::try_from(pr.watermark_lag.max(0)).unwrap_or(u64::MAX),
+            );
+            m.observe("pruning.pruned_fraction", pr.pruned_fraction());
         }
         if let Some(rec) = &self.recovery {
             m.incr("recoveries_total", rec.recoveries);
@@ -238,6 +285,18 @@ impl std::fmt::Display for RunReport {
         }
         if let (Some(t), Some(g)) = (self.wall_time, self.gcups_wall) {
             writeln!(f, "  wall:      {t:.3?}  ({g:.3} GCUPS on host CPU)")?;
+        }
+        if let Some(pr) = &self.pruning {
+            writeln!(
+                f,
+                "  pruning:   {} — {}/{} tiles pruned ({:.1}%), {} cells skipped, watermark lag {}",
+                pr.mode,
+                pr.tiles_pruned,
+                pr.tiles_total,
+                100.0 * pr.pruned_fraction(),
+                pr.cells_skipped,
+                pr.watermark_lag
+            )?;
         }
         if let Some(rec) = &self.recovery {
             writeln!(
@@ -337,6 +396,13 @@ mod tests {
                     10_000_000, 1_000_000, 8_000_000, 5_000_000,
                 )),
             }],
+            pruning: Some(PruningReport {
+                mode: PruneMode::Distributed,
+                tiles_pruned: 25,
+                tiles_total: 100,
+                cells_skipped: 250_000,
+                watermark_lag: 3,
+            }),
             recovery: Some(RecoveryReport {
                 recoveries: 1,
                 rewound_cells: 12_345,
@@ -363,6 +429,37 @@ mod tests {
         assert!(text.contains("stall:"));
         assert!(text.contains("recovery:  1 recoveries"));
         assert!(text.contains("12345 cells rewound"));
+        assert!(text.contains("pruning:   distributed — 25/100 tiles pruned (25.0%)"));
+        // A pruning-free run prints no pruning line at all.
+        let mut bare = report();
+        bare.pruning = None;
+        assert!(!bare.to_string().contains("pruning:"));
+    }
+
+    #[test]
+    fn pruning_metrics_and_fraction() {
+        let r = report();
+        let pr = r.pruning.as_ref().unwrap();
+        assert!((pr.pruned_fraction() - 0.25).abs() < 1e-12);
+        let m = r.metrics();
+        assert_eq!(m.counter("pruning.tiles_pruned"), Some(25));
+        assert_eq!(m.counter("pruning.tiles_total"), Some(100));
+        assert_eq!(m.counter("pruning.cells_skipped"), Some(250_000));
+        assert_eq!(m.counter("pruning.watermark_lag"), Some(3));
+        assert_eq!(m.histogram("pruning.pruned_fraction").unwrap().count, 1);
+        // Pruning off → no pruning metrics.
+        let mut bare = report();
+        bare.pruning = None;
+        assert_eq!(bare.metrics().counter("pruning.tiles_pruned"), None);
+        // Zero tiles_total does not divide by zero.
+        let zero = PruningReport {
+            mode: PruneMode::Local,
+            tiles_pruned: 0,
+            tiles_total: 0,
+            cells_skipped: 0,
+            watermark_lag: 0,
+        };
+        assert_eq!(zero.pruned_fraction(), 0.0);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use megasw_gpusim::{catalog, Platform};
 use megasw_multigpu::checkpoint::RecoveryPolicy;
 use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
-use megasw_multigpu::{PartitionPolicy, RunConfig};
+use megasw_multigpu::{CheckpointCadence, PartitionPolicy, RunConfig};
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 use megasw_sw::gotoh::gotoh_best;
 use megasw_sw::traceback::anchored_best;
@@ -136,7 +136,8 @@ fn recovery_with_capacity_one_rings_terminates_and_stays_exact() {
         move || {
             let cfg = RunConfig::paper_default()
                 .with_block(32)
-                .with_buffer_capacity(1);
+                .with_buffer_capacity(1)
+                .with_checkpoint(CheckpointCadence::EveryRows(4));
             PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
                 .config(cfg.clone())
                 .faults(FaultPlan {
@@ -144,7 +145,6 @@ fn recovery_with_capacity_one_rings_terminates_and_stays_exact() {
                     fail_at_block_row: 30,
                 })
                 .recover(RecoveryPolicy {
-                    checkpoint_rows: 4,
                     max_device_failures: 1,
                 })
                 .run()

@@ -24,7 +24,7 @@
 //! [`LiveTelemetry::set_now_ns`] at simulated-time boundaries; GCUPS then
 //! reads in simulated seconds, exactly like the rest of the DES reporting.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,6 +41,13 @@ struct DeviceLive {
     busy_ns: AtomicU64,
     /// Current occupancy of the device's *outgoing* border ring.
     ring_occupancy: AtomicU64,
+    /// Pruning watermark this device currently holds (monotone; only
+    /// written when the run prunes).
+    watermark: AtomicI64,
+    /// Tiles this device has skipped via the pruning bound so far.
+    tiles_pruned: AtomicU64,
+    /// DP cells covered by the skipped tiles.
+    cells_skipped: AtomicU64,
 }
 
 /// How the telemetry measures "now".
@@ -63,6 +70,10 @@ pub struct LiveTelemetry {
     /// Run-level count of completed recoveries (device blacklisted,
     /// columns repartitioned, pipeline resumed from a checkpoint wave).
     recoveries: AtomicU64,
+    /// Set the first time any worker reports a pruning update; gates the
+    /// pruning segment of the progress line so pruning-free runs pay no
+    /// visual noise.
+    pruning_active: AtomicBool,
 }
 
 /// One device's portion of a [`LiveSnapshot`].
@@ -73,6 +84,13 @@ pub struct DeviceSnapshot {
     pub rows_total: u64,
     pub busy_ns: u64,
     pub ring_occupancy: u64,
+    /// Pruning watermark this device held at the snapshot (0 when the run
+    /// does not prune).
+    pub watermark: i64,
+    /// Tiles skipped so far via the pruning bound.
+    pub tiles_pruned: u64,
+    /// DP cells covered by skipped tiles.
+    pub cells_skipped: u64,
 }
 
 impl DeviceSnapshot {
@@ -95,6 +113,8 @@ pub struct LiveSnapshot {
     pub total_cells: u64,
     /// Recoveries completed so far (0 for a fault-free run).
     pub recoveries: u64,
+    /// True once any worker reported a pruning update this run.
+    pub pruning: bool,
     pub devices: Vec<DeviceSnapshot>,
 }
 
@@ -102,6 +122,16 @@ impl LiveSnapshot {
     /// Cells computed so far, across all devices.
     pub fn cells_done(&self) -> u64 {
         self.devices.iter().map(|d| d.cells).sum()
+    }
+
+    /// Tiles pruned so far, across all devices.
+    pub fn tiles_pruned(&self) -> u64 {
+        self.devices.iter().map(|d| d.tiles_pruned).sum()
+    }
+
+    /// DP cells skipped so far, across all devices.
+    pub fn cells_skipped(&self) -> u64 {
+        self.devices.iter().map(|d| d.cells_skipped).sum()
     }
 
     /// Overall fraction done, in `[0, 1]`.
@@ -174,6 +204,7 @@ impl LiveTelemetry {
             devices: (0..num_devices).map(|_| DeviceLive::default()).collect(),
             clock: Clock::Wall(Instant::now()),
             recoveries: AtomicU64::new(0),
+            pruning_active: AtomicBool::new(false),
         })
     }
 
@@ -185,6 +216,7 @@ impl LiveTelemetry {
             devices: (0..num_devices).map(|_| DeviceLive::default()).collect(),
             clock: Clock::Manual(AtomicU64::new(0)),
             recoveries: AtomicU64::new(0),
+            pruning_active: AtomicBool::new(false),
         })
     }
 
@@ -248,12 +280,32 @@ impl LiveTelemetry {
         self.recoveries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Per-row pruning update from `device`: its current watermark and
+    /// cumulative pruned-tile / skipped-cell counts. Watermark writes use
+    /// `fetch_max`, so the published gauge is monotone even under races
+    /// between a worker and a stale resumed attempt.
+    pub fn on_prune_update(
+        &self,
+        device: usize,
+        watermark: i32,
+        tiles_pruned: u64,
+        cells_skipped: u64,
+    ) {
+        self.pruning_active.store(true, Ordering::Relaxed);
+        if let Some(d) = self.devices.get(device) {
+            d.watermark.fetch_max(watermark as i64, Ordering::Relaxed);
+            d.tiles_pruned.store(tiles_pruned, Ordering::Relaxed);
+            d.cells_skipped.store(cells_skipped, Ordering::Relaxed);
+        }
+    }
+
     /// Current counters, read without blocking any worker.
     pub fn snapshot(&self) -> LiveSnapshot {
         LiveSnapshot {
             now_ns: self.now_ns(),
             total_cells: self.total_cells,
             recoveries: self.recoveries.load(Ordering::Relaxed),
+            pruning: self.pruning_active.load(Ordering::Relaxed),
             devices: self
                 .devices
                 .iter()
@@ -263,6 +315,9 @@ impl LiveTelemetry {
                     rows_total: d.rows_total.load(Ordering::Relaxed),
                     busy_ns: d.busy_ns.load(Ordering::Relaxed),
                     ring_occupancy: d.ring_occupancy.load(Ordering::Relaxed),
+                    watermark: d.watermark.load(Ordering::Relaxed),
+                    tiles_pruned: d.tiles_pruned.load(Ordering::Relaxed),
+                    cells_skipped: d.cells_skipped.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -300,6 +355,9 @@ pub fn render_progress_line(cur: &LiveSnapshot, prev: Option<&LiveSnapshot>) -> 
     );
     if cur.recoveries > 0 {
         line.push_str(&format!(" | rec {}", cur.recoveries));
+    }
+    if cur.pruning {
+        line.push_str(&format!(" | pruned {}", cur.tiles_pruned()));
     }
     for (i, d) in cur.devices.iter().enumerate() {
         line.push_str(&format!(
@@ -492,6 +550,27 @@ mod tests {
         assert_eq!(s.recoveries, 2);
         let line = render_progress_line(&s, None);
         assert!(line.contains("| rec 2"), "{line}");
+    }
+
+    #[test]
+    fn prune_updates_gate_the_progress_segment_and_stay_monotone() {
+        let live = LiveTelemetry::new(2, 1_000);
+        // Pruning-free snapshots render no pruning segment.
+        let s = live.snapshot();
+        assert!(!s.pruning);
+        assert!(!render_progress_line(&s, None).contains("pruned"));
+        live.on_prune_update(0, 5, 2, 128);
+        live.on_prune_update(1, 9, 1, 64);
+        // A stale (lower) watermark write cannot rewind the gauge.
+        live.on_prune_update(1, 4, 3, 96);
+        let s = live.snapshot();
+        assert!(s.pruning);
+        assert_eq!(s.devices[0].watermark, 5);
+        assert_eq!(s.devices[1].watermark, 9);
+        assert_eq!(s.devices[1].tiles_pruned, 3);
+        assert_eq!(s.tiles_pruned(), 5);
+        assert_eq!(s.cells_skipped(), 128 + 96);
+        assert!(render_progress_line(&s, None).contains("| pruned 5"));
     }
 
     #[test]

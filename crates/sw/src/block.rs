@@ -73,6 +73,23 @@ pub fn compute_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> Bl
     compute_block_impl::<false>(input, scheme)
 }
 
+/// Fast-skip for a pruned `bh × bw` tile: emit the substitute borders
+/// (`H = 0`, `E = F = −∞`) without touching the DP matrix.
+///
+/// The substitute underestimates every true border value (local `H ≥ 0`
+/// everywhere, and the DP recurrences are monotone in their inputs), which
+/// is what keeps pruning exact — see [`crate::prune`]. The output reports
+/// **zero computed cells** and no best candidate; callers accounting for
+/// matrix coverage must count the skipped `bh · bw` cells themselves.
+pub fn skip_block(bh: usize, bw: usize) -> BlockOutput {
+    BlockOutput {
+        bottom: RowBorder::zero(bw),
+        right: ColBorder::zero(bh),
+        best: BestCell::ZERO,
+        cells: 0,
+    }
+}
+
 #[inline(always)]
 fn compute_block_impl<const LOCAL: bool>(
     input: BlockInput<'_>,

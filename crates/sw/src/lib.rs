@@ -19,7 +19,9 @@
 //!   external-diagonal executor (single-device semantics);
 //! * [`antidiag`] — anti-diagonal (wavefront) full-matrix scan mirroring the
 //!   intra-block parallel shape of the CUDA kernel;
-//! * [`prune`] — CUDAlign 2.1-style block pruning (ablation feature);
+//! * [`prune`] — CUDAlign 2.1-style block pruning: the sequential pruned
+//!   executor plus the bound/substitute/corner-restore helpers the
+//!   multi-GPU pipeline composes into distributed pruning;
 //! * [`traceback`] — optimal local alignment retrieval in linear space
 //!   (Myers–Miller divide-and-conquer), the analogue of CUDAlign stages 2–4.
 //!
@@ -56,8 +58,9 @@ pub fn ascii_base(code: u8) -> char {
     }
 }
 
-pub use block::{compute_block, compute_block_anchored, BlockInput, BlockOutput};
+pub use block::{compute_block, compute_block_anchored, skip_block, BlockInput, BlockOutput};
 pub use border::{ColBorder, RowBorder};
 pub use cell::{BestCell, Score, NEG_INF};
 pub use gotoh::gotoh_best;
+pub use prune::{prune_bound, restore_corner, tile_is_prunable};
 pub use scoring::ScoreScheme;

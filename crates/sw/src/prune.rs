@@ -15,16 +15,73 @@
 //! so the final best cell — including its deterministic tie-break — is
 //! bit-identical to the unpruned run. That property is asserted in tests.
 //!
-//! Pruning is an *ablation feature* here: the paper's multi-GPU runs leave
-//! it off (each GPU only knows its local best, weakening the bound), which
-//! is why `megasw-multigpu` defaults it off. The `kernels` bench quantifies
-//! what single-device runs gain from it.
+//! This module provides both the sequential pruned executor ([`run_pruned`])
+//! and the reusable pieces of the protocol — [`prune_bound`],
+//! [`restore_corner`], and the fast-skip substitute output
+//! ([`skip_block`](crate::block::skip_block)) — which `megasw-multigpu`
+//! composes into *distributed* pruning: each device worker tests the same
+//! bound against a shared best-score watermark propagated between
+//! neighbours alongside the border rings.
+//!
+//! Pruning applies only to **local** (Smith-Waterman) semantics: the safety
+//! argument leans on the zero floor (`H ≥ 0` everywhere), which anchored
+//! kernels do not have.
 
-use crate::block::{compute_block, BlockInput};
+use crate::block::{compute_block, skip_block, BlockInput};
 use crate::border::{ColBorder, RowBorder};
-use crate::cell::{BestCell, NEG_INF};
+use crate::cell::{BestCell, Score};
 use crate::grid::BlockGrid;
 use crate::scoring::ScoreScheme;
+
+/// Upper bound on the final score of any alignment path that enters a tile
+/// through its corner region.
+///
+/// The tile spans DP rows `i0..` and columns `j0..` (1-based) of an `m × n`
+/// matrix; `incoming_max` is the maximum `H` on its incoming top/left
+/// borders. From any border cell, every remaining DP step can at best be a
+/// match, and the tile's corner `(i0 − 1, j0 − 1)` is the loosest position
+/// any path can enter through, so
+/// `bound = max(incoming_max, 0) + match · min(m − i0 + 1, n − j0 + 1)`.
+/// Widened to `i64` so the product can never overflow [`Score`].
+#[inline]
+pub fn prune_bound(
+    incoming_max: Score,
+    m: usize,
+    n: usize,
+    i0: usize,
+    j0: usize,
+    scheme: &ScoreScheme,
+) -> i64 {
+    let remaining = (m - (i0 - 1)).min(n - (j0 - 1));
+    incoming_max.max(0) as i64 + scheme.match_score as i64 * remaining as i64
+}
+
+/// True when a tile with the given bound cannot even *tie* `watermark`.
+///
+/// The comparison is **strict**: a tile that could tie the watermark is
+/// still computed, so the deterministic row-major tie-break of the unpruned
+/// run is preserved bit-for-bit.
+#[inline]
+pub fn tile_is_prunable(bound: i64, watermark: Score) -> bool {
+    bound < watermark as i64
+}
+
+/// Restore corner agreement between a top and a left border when one side
+/// came from a pruned tile (its `H` is all zeros) while the exact corner
+/// flows on the other side.
+///
+/// Both sides are ≤ the true value (pruned substitutes underestimate, and
+/// true `H ≥ 0`), so `max` recovers the exact corner whenever it survives
+/// on either path — and when both carriers were pruned, the pruning bound
+/// already proved no best-scoring path crosses this corner.
+#[inline]
+pub fn restore_corner(top: &mut RowBorder, left: &mut ColBorder) {
+    if top.h[0] != left.h[0] {
+        let corner = top.h[0].max(left.h[0]);
+        top.h[0] = corner;
+        left.h[0] = corner;
+    }
+}
 
 /// Result of a pruned grid execution.
 #[derive(Debug, Clone)]
@@ -78,23 +135,15 @@ pub fn run_pruned(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) ->
             let (i0, i1) = grid.row_range(r);
             let (j0, j1) = grid.col_range(c);
 
-            let incoming_max = tops[c].max_h().max(lefts[r].max_h()).max(0);
-            // Remaining matrix extent measured from the tile's corner
-            // (i0−1, j0−1): the loosest cell any path can enter through.
-            let remaining = (grid.m - (i0 - 1)).min(grid.n - (j0 - 1));
-            let upper = incoming_max as i64 + scheme.match_score as i64 * remaining as i64;
+            let incoming_max = tops[c].max_h().max(lefts[r].max_h());
+            let upper = prune_bound(incoming_max, grid.m, grid.n, i0, j0, scheme);
 
-            if upper < best.score as i64 {
+            if tile_is_prunable(upper, best.score) {
                 // No path through this tile can even tie the current best.
                 tiles_pruned += 1;
-                tops[c] = RowBorder {
-                    h: vec![0; j1 - j0 + 1],
-                    f: vec![NEG_INF; j1 - j0 + 1],
-                };
-                lefts[r] = ColBorder {
-                    h: vec![0; i1 - i0 + 1],
-                    e: vec![NEG_INF; i1 - i0 + 1],
-                };
+                let out = skip_block(i1 - i0, j1 - j0);
+                tops[c] = out.bottom;
+                lefts[r] = out.right;
                 continue;
             }
 
@@ -103,18 +152,7 @@ pub fn run_pruned(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) ->
             // must be restored before computing.
             let mut top = std::mem::replace(&mut tops[c], RowBorder::zero(0));
             let mut left = std::mem::replace(&mut lefts[r], ColBorder::zero(0));
-            if top.h[0] != left.h[0] {
-                // One side came from a pruned tile (its h is all zeros)
-                // while the exact corner flows on the other side. Both
-                // sides are ≤ the true value (pruned substitutes
-                // underestimate, true H ≥ 0), so `max` recovers the exact
-                // corner whenever it survives on either path — and when
-                // both carriers were pruned, the pruning bound already
-                // proved no best-scoring path crosses this corner.
-                let corner = top.h[0].max(left.h[0]);
-                top.h[0] = corner;
-                left.h[0] = corner;
-            }
+            restore_corner(&mut top, &mut left);
 
             let out = compute_block(
                 BlockInput {

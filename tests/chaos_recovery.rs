@@ -136,6 +136,7 @@ fn config(s: &Scenario) -> RunConfig {
     RunConfig::paper_default()
         .with_block(s.block)
         .with_buffer_capacity(s.capacity)
+        .with_checkpoint(CheckpointCadence::EveryRows(s.checkpoint_rows))
 }
 
 /// Run one scenario through the threaded pipeline with recovery; return an
@@ -145,7 +146,6 @@ fn check_threaded(s: &Scenario) -> Result<(), String> {
     let cfg = config(s);
     let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
     let policy = RecoveryPolicy {
-        checkpoint_rows: s.checkpoint_rows,
         max_device_failures: s.max_failures,
     };
     let faults = FaultSchedule::from(s.faults.clone());
@@ -189,7 +189,6 @@ fn check_des(s: &Scenario) -> Result<(), String> {
     let (a, b) = pair(s);
     let cfg = config(s);
     let policy = RecoveryPolicy {
-        checkpoint_rows: s.checkpoint_rows,
         max_device_failures: s.max_failures,
     };
     let run_once = || {

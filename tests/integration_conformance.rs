@@ -139,6 +139,149 @@ fn des_backend_is_structurally_sound_on_every_combo() {
 }
 
 #[test]
+fn pruned_threaded_pipeline_stays_bit_identical_on_every_combo() {
+    // Block pruning emits substitute borders instead of computing skipped
+    // tiles; on every shape × geometry × platform the best cell (score AND
+    // end-point) must still match the reference exactly. Distributed
+    // pruning runs the full matrix; Local runs a sampled subset.
+    for (idx, c) in combos().into_iter().enumerate() {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let modes: &[PruneMode] = if idx % 3 == 0 {
+            &[PruneMode::Local, PruneMode::Distributed]
+        } else {
+            &[PruneMode::Distributed]
+        };
+        for &mode in modes {
+            let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+                .config(c.cfg.clone().with_pruning(mode))
+                .run()
+                .unwrap_or_else(|e| panic!("{}/{mode}: pipeline failed: {e}", c.label));
+            assert_eq!(report.best, want, "{}/{mode}", c.label);
+            let pr = report.pruning.unwrap();
+            assert!(pr.tiles_pruned <= pr.tiles_total, "{}/{mode}", c.label);
+            assert!(pr.watermark_lag >= 0, "{}/{mode}", c.label);
+        }
+    }
+}
+
+#[test]
+fn pruned_recovery_after_fault_stays_bit_identical() {
+    // The distributed watermark is checkpointed and re-seeded after a
+    // device death; a recovered pruned run must still match the fault-free
+    // unpruned reference bit-for-bit.
+    for c in combos().into_iter().step_by(9) {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let cfg = c
+            .cfg
+            .clone()
+            .with_pruning(PruneMode::Distributed)
+            .with_checkpoint(CheckpointCadence::EveryRows(4));
+        let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+            .config(cfg)
+            .faults(ScheduledFault {
+                device: 1,
+                block_row: 6,
+                phase: FaultPhase::Compute,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap_or_else(|e| panic!("{}: pruned recovery failed: {e}", c.label));
+        assert_eq!(report.best, want, "{}", c.label);
+        assert_eq!(report.recovery.unwrap().recoveries, 1, "{}", c.label);
+        assert!(report.pruning.is_some(), "{}", c.label);
+    }
+}
+
+#[test]
+fn pruned_des_mirror_is_structurally_sound() {
+    // The DES twin models the same protocol analytically: its accounting
+    // must stay internally consistent, and pruning must never slow the
+    // simulated clock down.
+    for c in combos().into_iter().step_by(7) {
+        let plain = DesSim::new(c.a.len(), c.b.len(), &c.platform)
+            .config(c.cfg.clone())
+            .identity(0.95)
+            .run();
+        let pruned = DesSim::new(c.a.len(), c.b.len(), &c.platform)
+            .config(c.cfg.clone().with_pruning(PruneMode::Distributed))
+            .identity(0.95)
+            .run();
+        assert!(pruned.aborted.is_none(), "{}", c.label);
+        let pr = pruned.report.pruning.as_ref().unwrap();
+        assert!(pr.tiles_pruned <= pr.tiles_total, "{}", c.label);
+        assert!(pr.cells_skipped <= pruned.report.total_cells, "{}", c.label);
+        assert!(pr.watermark_lag >= 0, "{}", c.label);
+        assert!(
+            pruned.report.sim_time.unwrap() <= plain.report.sim_time.unwrap(),
+            "{}: pruning slowed the simulated clock",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn watermark_is_monotone_and_never_exceeds_the_true_best() {
+    // Property check on the live watermark gauge: sampled while the
+    // threaded run executes, each device's watermark must only ever grow,
+    // and can never exceed the true global best — it folds only
+    // actually-observed cell scores.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let a = ChromosomeGenerator::new(GenerateConfig::sized(6_000, 0x4D_77)).generate();
+    let (b, _) = DivergenceModel::snp_only(0x4D_78, 0.01).apply(&a);
+    let want = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
+    let platform = Platform::env2();
+    let cfg = RunConfig::paper_default()
+        .with_block(64)
+        .with_pruning(PruneMode::Distributed);
+    let live = LiveTelemetry::new(
+        platform.len(),
+        (a.len() as u64).saturating_mul(b.len() as u64),
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let live = Arc::clone(&live);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut traces: Vec<Vec<i64>> = vec![Vec::new(); 3];
+            while !stop.load(Ordering::Relaxed) {
+                let snap = live.snapshot();
+                for (trace, d) in traces.iter_mut().zip(&snap.devices) {
+                    trace.push(d.watermark);
+                }
+                std::thread::yield_now();
+            }
+            traces
+        })
+    };
+    let report = PipelineRun::new(a.codes(), b.codes(), &platform)
+        .config(cfg)
+        .live(Arc::clone(&live))
+        .run()
+        .unwrap();
+    stop.store(true, Ordering::Relaxed);
+    let traces = poller.join().unwrap();
+
+    assert_eq!(report.best, want);
+    for (device, trace) in traces.iter().enumerate() {
+        assert!(
+            trace.windows(2).all(|w| w[0] <= w[1]),
+            "gpu{device}: watermark went backwards"
+        );
+    }
+    let last = live.snapshot();
+    for d in &last.devices {
+        assert!(
+            d.watermark <= i64::from(want.score),
+            "watermark {} exceeds the true best {}",
+            d.watermark,
+            want.score
+        );
+    }
+}
+
+#[test]
 fn threaded_and_des_agree_on_the_partition() {
     // Both backends derive slabs from the same partitioner; their
     // per-device column assignments must be identical.

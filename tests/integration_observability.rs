@@ -135,42 +135,41 @@ fn metrics_summary_covers_the_run() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_stay_bit_identical_to_the_builder() {
-    use megasw::multigpu::pipeline::{run_pipeline_anchored, run_pipeline_with_faults};
-
+fn builder_variants_stay_bit_identical_to_the_plain_run() {
     let (a, b) = homologous_pair(2_500, 43);
     let cfg = RunConfig::paper_default().with_block(112);
     for platform in [Platform::env1(), Platform::env2()] {
-        let new = PipelineRun::new(a.codes(), b.codes(), &platform)
+        let plain = PipelineRun::new(a.codes(), b.codes(), &platform)
             .config(cfg.clone())
             .run()
             .unwrap();
-        let old = run_pipeline(a.codes(), b.codes(), &platform, &cfg).unwrap();
-        assert_eq!(old.best, new.best, "platform {}", platform.name);
-        assert_eq!(old.total_cells, new.total_cells);
-
-        let new_anchored = PipelineRun::new(a.codes(), b.codes(), &platform)
-            .config(cfg.clone())
-            .semantics(Semantics::Anchored)
-            .run()
-            .unwrap();
-        let old_anchored = run_pipeline_anchored(a.codes(), b.codes(), &platform, &cfg).unwrap();
-        assert_eq!(old_anchored.best, new_anchored.best);
+        assert_eq!(
+            plain.best,
+            gotoh_best(a.codes(), b.codes(), &cfg.scheme),
+            "platform {}",
+            platform.name
+        );
 
         // A plan that never fires: the fault path must not perturb results.
         let plan = FaultPlan {
             device: 0,
             fail_at_block_row: usize::MAX,
         };
-        let new_faults = PipelineRun::new(a.codes(), b.codes(), &platform)
+        let with_faults = PipelineRun::new(a.codes(), b.codes(), &platform)
             .config(cfg.clone())
             .faults(plan)
             .run()
             .unwrap();
-        let old_faults =
-            run_pipeline_with_faults(a.codes(), b.codes(), &platform, &cfg, Some(plan)).unwrap();
-        assert_eq!(old_faults.best, new_faults.best);
+        assert_eq!(with_faults.best, plain.best);
+        assert_eq!(with_faults.total_cells, plain.total_cells);
+
+        // Pruning enabled but reported: the best cell never moves.
+        let pruned = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(cfg.clone().with_pruning(PruneMode::Distributed))
+            .run()
+            .unwrap();
+        assert_eq!(pruned.best, plain.best);
+        assert!(pruned.pruning.is_some());
     }
 }
 
