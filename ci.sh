@@ -20,6 +20,19 @@ cargo test -q -p megasw --test integration_conformance -- \
     pruned_des_mirror_is_structurally_sound \
     watermark_is_monotone_and_never_exceeds_the_true_best
 
+# Kernel-dispatch conformance: the full matrix under the default Auto
+# dispatch ran as part of the workspace suite above; re-run the pipeline
+# rows with the SIMD engines disabled via the env override, then the
+# dispatch-axis tests that force every engine the host supports. Every
+# engine must be bit-identical — a SIMD bug must fail here, not ship.
+MEGASW_KERNEL=scalar cargo test -q -p megasw --test integration_conformance -- \
+    threaded_pipeline_matches_reference_on_every_combo \
+    pruned_threaded_pipeline_stays_bit_identical_on_every_combo
+cargo test -q -p megasw --test integration_conformance -- \
+    every_dispatch_mode_is_bit_identical_on_sampled_combos \
+    every_dispatch_mode_survives_fault_recovery_bit_identically \
+    forced_scalar_equals_auto_on_random_megabase_windows
+
 # Chaos suite: deterministic seeded fault schedules through both backends
 # (bit-identity under recovery, auto-shrunk repros on failure), plus an
 # explicit replay of one pinned scenario through the env-var repro path so
@@ -45,11 +58,15 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v3 carries recovery AND pruning accounting in every experiment;
-# the recovery anchor must report an actual recovery, and the pruning
-# anchor a nonzero pruned tile count.
-grep -q '"schema_version": 3' BENCH_ci.json || {
-    echo "ci: FAIL — BENCH_ci.json is not schema v3" >&2
+# Schema v4 carries recovery, pruning, AND kernel-dispatch accounting in
+# every experiment; the recovery anchor must report an actual recovery,
+# and the pruning anchor a nonzero pruned tile count.
+grep -q '"schema_version": 4' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v4" >&2
+    exit 1
+}
+grep -q '"kernel": {"dispatch": "auto", "resolved": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks kernel dispatch fields" >&2
     exit 1
 }
 grep -q '"recovery": {"recoveries": ' BENCH_ci.json || {
@@ -68,6 +85,16 @@ grep -q '"name": "prune.env2.3gpu".*"pruning": {"tiles_pruned": [1-9]' BENCH_ci.
     echo "ci: FAIL — pruning anchor experiment pruned no tiles" >&2
     exit 1
 }
+# SIMD throughput floor, only where the wide engine exists. The anchor
+# runs ~2 GCUPS with AVX2 on a quiet host vs ~0.19 scalar; the floor is
+# derated to 0.8 because shared CI hosts throttle by up to ~2×, while
+# still sitting ~4× above anything the scalar engine can reach — a
+# dispatch regression (silently losing the SIMD path) fails loudly.
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    ./target/release/bench-diff --shape-only \
+        --min-gcups pipeline.env1.2gpu=0.8 \
+        crates/bench/fixtures/BENCH_baseline.json BENCH_ci.json
+fi
 rm -f BENCH_ci.json
 
 echo "ci: all gates passed"

@@ -4,34 +4,47 @@
 
 use megasw::prelude::*;
 use megasw::sw::antidiag::antidiag_best;
-use megasw::sw::banded::banded_best;
-use megasw::sw::block::{compute_block, BlockInput};
+use megasw::sw::block::BlockInput;
 use megasw::sw::border::{ColBorder, RowBorder};
 use megasw::sw::grid::{run_sequential, BlockGrid};
 use megasw::sw::prune::run_pruned;
 use megasw_bench::{cached_pair_exact, harness::Group};
 
+/// Every DP engine the host can execute, labelled by its resolved name.
+fn engines() -> Vec<(&'static str, &'static dyn Kernel)> {
+    [
+        KernelDispatch::ForceScalar,
+        KernelDispatch::ForceSse41,
+        KernelDispatch::ForceAvx2,
+    ]
+    .into_iter()
+    .filter_map(|d| kernel::select(d).ok().map(|k| (d.name(), k)))
+    .collect()
+}
+
 fn bench_block_kernel() {
-    let group = Group::new("k1_block_kernel").samples(20);
     let (a, b) = cached_pair_exact(4_096, 601);
     let scheme = ScoreScheme::cudalign();
-    for side in [64usize, 256, 1_024, 4_096] {
-        let top = RowBorder::zero(side);
-        let left = ColBorder::zero(side);
-        group.bench_cells(&format!("side_{side}"), (side * side) as u64, || {
-            compute_block(
-                BlockInput {
-                    a_rows: &a.codes()[..side],
-                    b_cols: &b.codes()[..side],
-                    top: &top,
-                    left: &left,
-                    row_offset: 1,
-                    col_offset: 1,
-                },
-                &scheme,
-            )
-            .best
-        });
+    for (engine, k) in engines() {
+        let group = Group::new(&format!("k1_block_kernel_{engine}")).samples(20);
+        for side in [64usize, 256, 1_024, 4_096] {
+            let top = RowBorder::zero(side);
+            let left = ColBorder::zero(side);
+            group.bench_cells(&format!("side_{side}"), (side * side) as u64, || {
+                k.block(
+                    BlockInput {
+                        a_rows: &a.codes()[..side],
+                        b_cols: &b.codes()[..side],
+                        top: &top,
+                        left: &left,
+                        row_offset: 1,
+                        col_offset: 1,
+                    },
+                    &scheme,
+                )
+                .best
+            });
+        }
     }
 }
 
@@ -42,8 +55,13 @@ fn bench_whole_matrix_kernels() {
     let cells = (a.len() * b.len()) as u64;
 
     group.bench_cells("gotoh_serial", cells, || {
-        gotoh_best(a.codes(), b.codes(), &scheme)
+        kernel::scalar().best(a.codes(), b.codes(), &scheme)
     });
+    for (engine, k) in engines() {
+        group.bench_cells(&format!("wavefront_{engine}"), cells, || {
+            k.best(a.codes(), b.codes(), &scheme)
+        });
+    }
     group.bench_cells("antidiagonal_serial", cells, || {
         antidiag_best(a.codes(), b.codes(), &scheme)
     });
@@ -55,7 +73,9 @@ fn bench_whole_matrix_kernels() {
         run_pruned(a.codes(), b.codes(), &grid, &scheme).best
     });
     group.bench_cells("banded_w64", cells, || {
-        banded_best(a.codes(), b.codes(), &scheme, 64).best
+        kernel::scalar()
+            .banded(a.codes(), b.codes(), &scheme, 64)
+            .best
     });
 }
 

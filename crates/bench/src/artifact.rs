@@ -13,7 +13,7 @@
 //! `megasw_obs::json`; the writer is the only JSON producer, so the format
 //! stays line-stable and diffable.
 
-use megasw::prelude::MetricsRegistry;
+use megasw::prelude::{KernelSelection, MetricsRegistry};
 use megasw_obs::json::{self, escape, Value};
 use std::fmt::Write as _;
 
@@ -29,7 +29,12 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// total, cells skipped, pruned fraction). The fraction is *informational*:
 /// `bench-diff` prints its drift but never counts it as a performance
 /// regression — pruned work is work legitimately not done.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: every experiment also carries a `kernel` object (`dispatch` as
+/// requested, `resolved` as the engine that actually executed — e.g.
+/// `auto`/`avx2`), so a GCUPS delta caused by dispatch drift (say, a CI
+/// host losing AVX2) is distinguishable from a real kernel regression.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -87,11 +92,22 @@ pub struct Experiment {
     pub tiles_total: u64,
     pub cells_skipped: u64,
     pub pruned_fraction: f64,
+    /// DP engine selection: the dispatch that was requested (`auto`,
+    /// `scalar`, `sse41`, `avx2`) and the engine that actually executed.
+    pub kernel_dispatch: String,
+    pub kernel_resolved: String,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
 
 impl Experiment {
+    /// Record which DP engine a run requested and got.
+    pub fn with_kernel(mut self, selection: &KernelSelection) -> Experiment {
+        self.kernel_dispatch = selection.dispatch.name().to_string();
+        self.kernel_resolved = selection.resolved.name().to_string();
+        self
+    }
+
     /// Pull the stall counters and every `span.*.duration_ns` histogram out
     /// of a run's metrics registry.
     pub fn with_metrics(mut self, metrics: &MetricsRegistry) -> Experiment {
@@ -194,6 +210,12 @@ impl Artifact {
                 e.cells_skipped,
                 num(e.pruned_fraction)
             );
+            let _ = write!(
+                out,
+                "\"kernel\": {{\"dispatch\": \"{}\", \"resolved\": \"{}\"}}, ",
+                escape(&e.kernel_dispatch),
+                escape(&e.kernel_resolved)
+            );
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -253,6 +275,7 @@ impl Artifact {
                 .get("recovery")
                 .ok_or_else(|| ctx("missing \"recovery\""))?;
             let pruning = e.get("pruning").ok_or_else(|| ctx("missing \"pruning\""))?;
+            let kernel = e.get("kernel").ok_or_else(|| ctx("missing \"kernel\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -283,6 +306,8 @@ impl Artifact {
                 tiles_total: req_u64(pruning, "tiles_total").map_err(|m| ctx(&m))?,
                 cells_skipped: req_u64(pruning, "cells_skipped").map_err(|m| ctx(&m))?,
                 pruned_fraction: req_f64(pruning, "pruned_fraction").map_err(|m| ctx(&m))?,
+                kernel_dispatch: req_str(kernel, "dispatch").map_err(|m| ctx(&m))?,
+                kernel_resolved: req_str(kernel, "resolved").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -339,6 +364,10 @@ pub struct ExperimentDelta {
     /// Informational only: a pruning change is a behavioural signal, not a
     /// performance regression, so [`DiffReport::regressions`] ignores it.
     pub pruned_fraction_delta: f64,
+    /// `Some((baseline, current))` when the resolved DP engine changed
+    /// between the artifacts (e.g. `avx2` → `scalar`). Informational: it
+    /// explains a GCUPS delta rather than being one.
+    pub kernel_drift: Option<(String, String)>,
 }
 
 /// Result of diffing two artifacts.
@@ -377,7 +406,7 @@ impl DiffReport {
         for d in &self.deltas {
             let _ = writeln!(
                 out,
-                "{:<32} {:>10.3} {:>10.3} {:>+7.1}%{}",
+                "{:<32} {:>10.3} {:>10.3} {:>+7.1}%{}{}",
                 d.name,
                 d.baseline_gcups,
                 d.current_gcups,
@@ -386,6 +415,10 @@ impl DiffReport {
                     format!("  (pruned {:+.1} pp)", 100.0 * d.pruned_fraction_delta)
                 } else {
                     String::new()
+                },
+                match &d.kernel_drift {
+                    Some((was, now)) => format!("  (kernel {was} → {now})"),
+                    None => String::new(),
                 }
             );
         }
@@ -414,6 +447,11 @@ pub fn diff(baseline: &Artifact, current: &Artifact) -> DiffReport {
                     0.0
                 },
                 pruned_fraction_delta: c.pruned_fraction - b.pruned_fraction,
+                kernel_drift: if b.kernel_resolved != c.kernel_resolved {
+                    Some((b.kernel_resolved.clone(), c.kernel_resolved.clone()))
+                } else {
+                    None
+                },
             }),
             None => report.only_in_baseline.push(b.name.clone()),
         }
@@ -448,6 +486,8 @@ mod tests {
             tiles_total: 100,
             cells_skipped: 250_000,
             pruned_fraction: 0.25,
+            kernel_dispatch: "auto".into(),
+            kernel_resolved: "avx2".into(),
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -482,7 +522,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 3", "\"schema_version\": 999");
+            .replace("\"schema_version\": 4", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -590,5 +630,32 @@ mod tests {
         );
         // …but never flagged as a performance regression.
         assert!(report.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn kernel_drift_is_reported_but_never_a_regression() {
+        let base = sample_artifact(1.0);
+        let mut cur = sample_artifact(1.0);
+        cur.experiments[0].kernel_resolved = "scalar".into();
+        let report = diff(&base, &cur);
+        assert_eq!(
+            report.deltas[0].kernel_drift,
+            Some(("avx2".into(), "scalar".into()))
+        );
+        assert_eq!(report.deltas[1].kernel_drift, None);
+        assert!(
+            report.render().contains("kernel avx2 → scalar"),
+            "{}",
+            report.render()
+        );
+        assert!(report.regressions(0.0).is_empty());
+    }
+
+    #[test]
+    fn with_kernel_records_the_selection() {
+        let e = Experiment::default().with_kernel(&KernelSelection::default());
+        assert_eq!(e.kernel_dispatch, "auto");
+        // Auto resolves to *some* engine; on x86-64 never an empty string.
+        assert!(!e.kernel_resolved.is_empty());
     }
 }

@@ -119,6 +119,7 @@ fn run_pipeline_experiment(
         gcups_max: rates[rates.len() - 1],
         ..Experiment::default()
     }
+    .with_kernel(&report.kernel)
     .with_metrics(&report.metrics_with_spans(&obs.spans()))
 }
 
@@ -140,6 +141,7 @@ fn run_des_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Ex
         gcups_max: g,
         ..Experiment::default()
     }
+    .with_kernel(&run.report.kernel)
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
 }
 
@@ -170,6 +172,7 @@ fn run_prune_experiment(name: &str, platform: &Platform, config: &RunConfig) -> 
         gcups_max: g,
         ..Experiment::default()
     }
+    .with_kernel(&run.report.kernel)
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
 }
 
@@ -204,5 +207,6 @@ fn run_recovery_experiment(name: &str, platform: &Platform, config: &RunConfig) 
         gcups_max: g,
         ..Experiment::default()
     }
+    .with_kernel(&run.report.kernel)
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
 }

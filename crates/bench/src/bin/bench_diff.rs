@@ -3,18 +3,29 @@
 //!
 //! ```text
 //! bench-diff BASELINE.json CURRENT.json [--threshold-pct P] [--shape-only]
+//!            [--min-gcups NAME=FLOOR]...
 //! ```
 //!
 //! Exit status:
-//! * `0` — artifacts parse, cover the same experiments, and no experiment's
-//!   median GCUPS dropped by more than the threshold (default 10%);
-//! * `1` — a regression past the threshold, or (always) a shape mismatch;
+//! * `0` — artifacts parse, cover the same experiments, no experiment's
+//!   median GCUPS dropped by more than the threshold (default 10%), and
+//!   every `--min-gcups` floor holds;
+//! * `1` — a regression past the threshold, a floor violation, or (always)
+//!   a shape mismatch;
 //! * `2` — an artifact is missing, unreadable, or schema-invalid.
 //!
 //! `--shape-only` skips the performance comparison and only verifies the
 //! two artifacts describe the same experiment set — what CI uses when
 //! comparing a fresh smoke run against the committed baseline from a
 //! different machine.
+//!
+//! `--min-gcups NAME=FLOOR` (repeatable) asserts an *absolute* floor on the
+//! named experiment's median GCUPS in the **current** artifact. Relative
+//! thresholds can't catch a slow leak across many runs; a floor pins the
+//! number itself (e.g. the SIMD kernel's required speedup over the scalar
+//! anchor). Floors are checked even under `--shape-only`, since they do not
+//! depend on the baseline's host. Naming an experiment the current artifact
+//! does not contain is an error (exit 2).
 
 use megasw_bench::artifact::{diff, Artifact};
 use std::process::ExitCode;
@@ -31,7 +42,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!(
-                "usage: bench-diff BASELINE.json CURRENT.json [--threshold-pct P] [--shape-only]"
+                "usage: bench-diff BASELINE.json CURRENT.json [--threshold-pct P] [--shape-only] [--min-gcups NAME=FLOOR]..."
             );
             ExitCode::from(2)
         }
@@ -40,6 +51,21 @@ fn main() -> ExitCode {
 
 fn run(mut args: Vec<String>) -> Result<bool, String> {
     let shape_only = take_flag(&mut args, "--shape-only");
+    let mut floors: Vec<(String, f64)> = Vec::new();
+    while let Some(spec) = take_value(&mut args, "--min-gcups")? {
+        let (name, floor) = spec
+            .split_once('=')
+            .ok_or_else(|| format!("--min-gcups expects NAME=FLOOR, got {spec:?}"))?;
+        let floor: f64 = floor
+            .parse()
+            .map_err(|_| format!("invalid --min-gcups floor {floor:?}"))?;
+        if !(floor.is_finite() && floor >= 0.0) {
+            return Err(format!(
+                "--min-gcups floor must be a finite non-negative number, got {floor}"
+            ));
+        }
+        floors.push((name.to_string(), floor));
+    }
     let threshold_pct = take_value(&mut args, "--threshold-pct")?
         .map(|s| {
             s.parse::<f64>()
@@ -59,18 +85,41 @@ fn run(mut args: Vec<String>) -> Result<bool, String> {
     let report = diff(&baseline, &current);
     print!("{}", report.render());
 
+    // Absolute floors come first: they hold regardless of shape drift and
+    // must error (not silently pass) on a name the artifact doesn't have.
+    let mut floor_broken = false;
+    for (name, floor) in &floors {
+        let exp = current
+            .experiments
+            .iter()
+            .find(|e| &e.name == name)
+            .ok_or_else(|| format!("--min-gcups {name}: no such experiment in {}", args[1]))?;
+        if exp.gcups_median < *floor {
+            println!(
+                "FAIL: {name} median {:.3} GCUPS below required floor {floor} [kernel {}/{}]",
+                exp.gcups_median, exp.kernel_dispatch, exp.kernel_resolved
+            );
+            floor_broken = true;
+        } else {
+            println!(
+                "OK: {name} median {:.3} GCUPS meets floor {floor}",
+                exp.gcups_median
+            );
+        }
+    }
+
     if !report.shapes_match() {
         println!("FAIL: experiment sets differ");
         return Ok(true);
     }
     if shape_only {
         println!("OK: shapes match ({} experiments)", report.deltas.len());
-        return Ok(false);
+        return Ok(floor_broken);
     }
     let regressions = report.regressions(threshold_pct / 100.0);
     if regressions.is_empty() {
         println!("OK: no regression beyond {threshold_pct}%");
-        Ok(false)
+        Ok(floor_broken)
     } else {
         for r in &regressions {
             println!(

@@ -464,7 +464,7 @@ fn verify() {
     let cfg = RunConfig::paper_default();
     for spec in &PairCatalog::test_scale().specs {
         let pair = ChromosomePair::generate(spec.clone());
-        let want = gotoh_best(pair.human.codes(), pair.chimp.codes(), &cfg.scheme);
+        let want = kernel::scalar().best(pair.human.codes(), pair.chimp.codes(), &cfg.scheme);
         for p in [Platform::env1(), Platform::env2()] {
             let rep = PipelineRun::new(pair.human.codes(), pair.chimp.codes(), &p)
                 .config(cfg.clone())

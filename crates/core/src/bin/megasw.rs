@@ -82,6 +82,10 @@ platform flags:
   --capacity N      ring capacity in borders (default 8)
 
 kernel-policy flags (compare, align, simulate, tune):
+  --kernel ENGINE   DP engine: auto | scalar | sse41 | avx2 (default auto);
+                    auto picks the widest SIMD engine the CPU supports,
+                    forcing an unsupported engine is an error — every
+                    engine returns bit-identical results
   --prune MODE      block pruning: off | local | distributed (default off);
                     local skips tiles its own device has already beaten,
                     distributed also folds neighbour watermarks from the
@@ -591,6 +595,9 @@ mod cli_policy {
 
     pub fn parse(args: &mut ArgStream) -> Result<CliPolicy, String> {
         let mut policy = KernelPolicy::default();
+        if let Some(spec) = args.flag_str("--kernel") {
+            policy = policy.with_dispatch(KernelDispatch::parse(&spec)?);
+        }
         if let Some(spec) = args.flag_str("--prune") {
             policy = policy.with_pruning(PruneMode::parse(&spec)?);
         }
@@ -822,6 +829,27 @@ mod tests {
         assert!(cp.recovery.is_none());
         assert_eq!(cp.policy, KernelPolicy::default());
         assert_eq!(cp.policy.pruning, PruneMode::Off);
+    }
+
+    #[test]
+    fn kernel_flag_parses_every_dispatch_once() {
+        for (spec, want) in [
+            ("auto", KernelDispatch::Auto),
+            ("scalar", KernelDispatch::ForceScalar),
+            ("sse41", KernelDispatch::ForceSse41),
+            ("avx2", KernelDispatch::ForceAvx2),
+        ] {
+            let mut s = stream(&["--kernel", spec]);
+            let cp = cli_policy::parse(&mut s).unwrap();
+            assert_eq!(cp.policy.dispatch, want);
+            assert!(s.finish().is_ok());
+        }
+        let mut s = stream(&["--kernel", "gpu"]);
+        assert!(cli_policy::parse(&mut s).is_err());
+        // Default is auto-detection.
+        let mut s = stream(&[]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(cp.policy.dispatch, KernelDispatch::Auto);
     }
 
     #[test]

@@ -40,7 +40,8 @@
 //!     .unwrap();
 //!
 //! // The best cell is bit-identical to the sequential reference…
-//! assert_eq!(report.best, gotoh_best(human.codes(), chimp.codes(), &config.scheme));
+//! let oracle = kernel::scalar().best(human.codes(), chimp.codes(), &config.scheme);
+//! assert_eq!(report.best, oracle);
 //!
 //! // …every device reports where its idle time went…
 //! assert!(report.devices.iter().all(|d| d.stall.is_some()));
@@ -60,7 +61,7 @@
 //! | crate | role |
 //! |---|---|
 //! | [`seq`] | sequences: generation, divergence, FASTA, benchmark pairs |
-//! | [`sw`] | DP kernels: reference, Gotoh, block kernel, pruning, traceback |
+//! | [`sw`] | DP kernels: reference, Gotoh, block kernel, SIMD wavefront + dispatch, pruning, traceback |
 //! | [`gpusim`] | simulated hardware: device catalog, links, schedule engine |
 //! | [`multigpu`] | the paper's system: partitioning, rings, pipeline, DES runs |
 
@@ -99,9 +100,12 @@ pub mod prelude {
         ChromosomeGenerator, ChromosomePair, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide,
         PairCatalog, PairSpec,
     };
+    pub use megasw_sw::kernel;
     pub use megasw_sw::render::render_alignment;
     pub use megasw_sw::traceback::{local_align, AlignOp, LocalAlignment};
-    pub use megasw_sw::{gotoh_best, BestCell, Score, ScoreScheme};
+    pub use megasw_sw::{
+        BestCell, Kernel, KernelDispatch, KernelId, KernelSelection, Score, ScoreScheme,
+    };
 }
 
 #[cfg(test)]
@@ -119,7 +123,7 @@ mod tests {
             .unwrap();
         assert_eq!(
             report.best,
-            gotoh_best(human.codes(), chimp.codes(), &config.scheme)
+            kernel::scalar().best(human.codes(), chimp.codes(), &config.scheme)
         );
         assert!(report.devices.iter().all(|d| d.stall.is_some()));
     }

@@ -10,11 +10,11 @@
 //!   appropriate [`crate::config::RunConfig`], so they share every code
 //!   path with the measured system.
 
-use megasw_sw::block::{compute_block, BlockInput};
+use megasw_sw::block::BlockInput;
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::BestCell;
-use megasw_sw::gotoh::gotoh_best;
 use megasw_sw::grid::BlockGrid;
+use megasw_sw::kernel::scalar;
 use megasw_sw::ScoreScheme;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
@@ -23,7 +23,9 @@ use std::time::{Duration, Instant};
 /// Single-threaded Gotoh scan. Returns the best cell and elapsed time.
 pub fn cpu_serial(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> (BestCell, Duration) {
     let t0 = Instant::now();
-    let best = gotoh_best(a, b, scheme);
+    // Deliberately the scalar engine: the baseline every speedup (including
+    // the SIMD kernels') is quoted against.
+    let best = scalar().best(a, b, scheme);
     (best, t0.elapsed())
 }
 
@@ -82,7 +84,7 @@ pub fn cpu_parallel(
                 let Ok(task) = task else { break };
                 let (i0, i1) = grid.row_range(task.r);
                 let (j0, j1) = grid.col_range(task.c);
-                let out = compute_block(
+                let out = scalar().block(
                     BlockInput {
                         a_rows: &a[i0 - 1..i1 - 1],
                         b_cols: &b[j0 - 1..j1 - 1],

@@ -1,7 +1,7 @@
 //! Run configuration: [`RunConfig`] geometry plus the typed [`KernelPolicy`]
 //! bundle of run-shaping knobs (pruning, partitioning, checkpoint cadence).
 
-use megasw_sw::ScoreScheme;
+use megasw_sw::{KernelDispatch, ScoreScheme};
 
 /// How matrix columns are divided among devices.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,12 +106,20 @@ pub struct KernelPolicy {
     pub partition: PartitionPolicy,
     /// Checkpoint cadence (effective only under a recovery policy).
     pub checkpoint: CheckpointCadence,
+    /// Which DP engine executes tiles (scalar / SSE4.1 / AVX2 / auto).
+    pub dispatch: KernelDispatch,
 }
 
 impl KernelPolicy {
     /// Builder-style: set the pruning mode.
     pub fn with_pruning(mut self, p: PruneMode) -> KernelPolicy {
         self.pruning = p;
+        self
+    }
+
+    /// Builder-style: set the kernel dispatch mode.
+    pub fn with_dispatch(mut self, d: KernelDispatch) -> KernelPolicy {
+        self.dispatch = d;
         self
     }
 
@@ -150,6 +158,7 @@ impl Default for KernelPolicy {
             pruning: PruneMode::Off,
             partition: PartitionPolicy::Proportional,
             checkpoint: CheckpointCadence::default(),
+            dispatch: KernelDispatch::Auto,
         }
     }
 }
@@ -238,6 +247,12 @@ impl RunConfig {
         self
     }
 
+    /// Builder-style: set the kernel dispatch mode.
+    pub fn with_dispatch(mut self, d: KernelDispatch) -> RunConfig {
+        self.policy.dispatch = d;
+        self
+    }
+
     /// Builder-style: set square tiles of the given side.
     pub fn with_block(mut self, side: usize) -> RunConfig {
         self.block_h = side;
@@ -304,10 +319,20 @@ mod tests {
         let p = KernelPolicy::default()
             .with_pruning(PruneMode::Local)
             .with_partition(PartitionPolicy::Equal)
-            .with_checkpoint(CheckpointCadence::Disabled);
+            .with_checkpoint(CheckpointCadence::Disabled)
+            .with_dispatch(KernelDispatch::ForceScalar);
         assert_eq!(p.pruning, PruneMode::Local);
         assert_eq!(p.partition, PartitionPolicy::Equal);
         assert_eq!(p.checkpoint.rows_interval(), None);
+        assert_eq!(p.dispatch, KernelDispatch::ForceScalar);
+        assert_eq!(KernelPolicy::default().dispatch, KernelDispatch::Auto);
+        assert_eq!(
+            RunConfig::paper_default()
+                .with_dispatch(KernelDispatch::ForceScalar)
+                .policy
+                .dispatch,
+            KernelDispatch::ForceScalar
+        );
         assert!(p.validate().is_ok());
         assert!(RunConfig::paper_default()
             .with_checkpoint(CheckpointCadence::EveryRows(0))

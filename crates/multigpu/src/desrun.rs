@@ -624,6 +624,7 @@ fn run_plain(
                 watermark_lag: 0,
             }),
             recovery: policy.map(|_| RecoveryReport::default()),
+            kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
         };
         return DesRun {
             report,
@@ -884,6 +885,7 @@ fn aborted_run(
             devices: Vec::new(),
             pruning: None,
             recovery,
+            kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
         },
         schedule: graph.schedule,
         memory,
@@ -1051,6 +1053,7 @@ fn finalize(
         devices,
         pruning,
         recovery,
+        kernel: megasw_sw::KernelSelection::modeled(config.policy.dispatch),
     };
     DesRun {
         report,

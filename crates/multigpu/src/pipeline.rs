@@ -76,9 +76,10 @@ use crate::partition::{make_slabs, make_slabs_excluding, Slab};
 use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown};
 use megasw_gpusim::Platform;
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
-use megasw_sw::block::{compute_block, compute_block_anchored, skip_block, BlockInput};
+use megasw_sw::block::{skip_block, BlockInput};
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::{BestCell, Score};
+use megasw_sw::kernel::{self, Kernel, KernelSelection};
 use megasw_sw::prune::{prune_bound, restore_corner, tile_is_prunable};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicI32, Ordering};
@@ -464,13 +465,20 @@ pub(crate) fn run_pipeline_live(
     live: Option<&Arc<LiveTelemetry>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
+    let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
+    let selection = KernelSelection {
+        dispatch: config.policy.dispatch,
+        resolved: kernel.id(),
+    };
     let m = a.len();
     let n = b.len();
     let slabs = make_slabs(n, config.block_w, platform, &config.policy.partition);
     let prune_mode = effective_prune_mode(config, semantics);
 
     if m == 0 || slabs.is_empty() {
-        return Ok(empty_report(m, n, platform, &slabs, prune_mode, None));
+        return Ok(empty_report(
+            m, n, platform, &slabs, prune_mode, None, selection,
+        ));
     }
 
     let rows = m.div_ceil(config.block_h);
@@ -484,6 +492,7 @@ pub(crate) fn run_pipeline_live(
         rows,
         start_row: 0,
         config,
+        kernel,
         faults,
         semantics,
         obs,
@@ -506,6 +515,7 @@ pub(crate) fn run_pipeline_live(
         0,
         prune_mode,
         None,
+        selection,
     ))
 }
 
@@ -545,6 +555,11 @@ pub(crate) fn run_pipeline_recover_live(
     live: Option<&Arc<LiveTelemetry>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
+    let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
+    let selection = KernelSelection {
+        dispatch: config.policy.dispatch,
+        resolved: kernel.id(),
+    };
     let Some(interval) = config.policy.checkpoint.rows_interval() else {
         return Err(PipelineError::InvalidConfig(
             "recovery requires a checkpoint cadence (policy.checkpoint must not be Disabled)"
@@ -563,6 +578,7 @@ pub(crate) fn run_pipeline_recover_live(
             &slabs,
             prune_mode,
             Some(RecoveryReport::default()),
+            selection,
         ));
     }
 
@@ -591,6 +607,7 @@ pub(crate) fn run_pipeline_recover_live(
             rows,
             start_row,
             config,
+            kernel,
             faults,
             semantics,
             obs,
@@ -619,6 +636,7 @@ pub(crate) fn run_pipeline_recover_live(
                     cells_at(start_row),
                     prune_mode,
                     Some(recovery),
+                    selection,
                 ));
             }
             Err(failure) => {
@@ -678,6 +696,9 @@ struct AttemptParams<'e> {
     rows: usize,
     start_row: usize,
     config: &'e RunConfig,
+    /// The DP engine resolved from `config.policy.dispatch`, once, up
+    /// front — workers never probe CPU features themselves.
+    kernel: &'static dyn Kernel,
     faults: &'e FaultSchedule,
     semantics: Semantics,
     obs: &'e Recorder,
@@ -760,6 +781,7 @@ fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
                     rows: p.rows,
                     start_row: p.start_row,
                     config: p.config,
+                    kernel: p.kernel,
                     ring_in,
                     ring_out,
                     faults: p.faults,
@@ -853,6 +875,7 @@ fn assemble_report(
     base_cells: u128,
     prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
+    kernel: KernelSelection,
 ) -> RunReport {
     let best = partials.iter().fold(base_best, |acc, p| acc.merge(p.best));
     let total_cells = m as u128 * n as u128;
@@ -919,6 +942,7 @@ fn assemble_report(
         devices,
         pruning,
         recovery,
+        kernel,
     }
 }
 
@@ -931,6 +955,7 @@ struct WorkerParams<'e> {
     rows: usize,
     start_row: usize,
     config: &'e RunConfig,
+    kernel: &'static dyn Kernel,
     ring_in: Option<&'e CircularBuffer<BorderMsg>>,
     ring_out: Option<&'e CircularBuffer<BorderMsg>>,
     faults: &'e FaultSchedule,
@@ -958,6 +983,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         rows,
         start_row,
         config,
+        kernel,
         ring_in,
         ring_out,
         faults,
@@ -1123,8 +1149,8 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                 col_offset: jc0,
             };
             let out = match semantics {
-                Semantics::Local => compute_block(input, &config.scheme),
-                Semantics::Anchored => compute_block_anchored(input, &config.scheme),
+                Semantics::Local => kernel.block(input, &config.scheme),
+                Semantics::Anchored => kernel.block_anchored(input, &config.scheme),
             };
             best = best.merge(out.best);
             cells += out.cells as u128;
@@ -1233,6 +1259,7 @@ fn empty_report(
     slabs: &[Slab],
     prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
+    kernel: KernelSelection,
 ) -> RunReport {
     RunReport {
         best: BestCell::ZERO,
@@ -1265,6 +1292,7 @@ fn empty_report(
             watermark_lag: 0,
         }),
         recovery,
+        kernel,
     }
 }
 
@@ -1275,7 +1303,11 @@ mod tests {
     use megasw_gpusim::{catalog, Platform};
     use megasw_obs::ObsLevel;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
-    use megasw_sw::gotoh::gotoh_best;
+    /// Scalar whole-sequence oracle via the kernel trait (the deprecated
+    /// `gotoh_best` free function is being phased out).
+    fn rolling_best(a: &[u8], b: &[u8], scheme: &megasw_sw::ScoreScheme) -> BestCell {
+        megasw_sw::kernel::scalar().best(a, b, scheme)
+    }
 
     fn pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();
@@ -1307,7 +1339,7 @@ mod tests {
         );
         assert_eq!(
             report.best,
-            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+            rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
         );
         assert_eq!(report.devices.len(), 2);
         assert!(report.gcups_wall.unwrap() > 0.0);
@@ -1325,7 +1357,7 @@ mod tests {
         );
         assert_eq!(
             report.best,
-            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+            rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
         );
         // Proportional split: Titan slab wider than K20 slab.
         assert!(report.devices[0].slab_width > report.devices[2].slab_width);
@@ -1342,7 +1374,7 @@ mod tests {
         );
         assert_eq!(
             report.best,
-            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+            rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
         );
         assert_eq!(report.devices.len(), 1);
         assert_eq!(report.total_bytes_transferred(), 0);
@@ -1353,7 +1385,7 @@ mod tests {
         let (a, b) = pair(1_500, 4);
         let cfg = RunConfig::test_default().with_buffer_capacity(1);
         let report = run_local(a.codes(), b.codes(), &Platform::env2(), cfg.clone());
-        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+        assert_eq!(report.best, rolling_best(a.codes(), b.codes(), &cfg.scheme));
     }
 
     #[test]
@@ -1363,7 +1395,7 @@ mod tests {
         let p = Platform::homogeneous(catalog::m2090(), 8);
         let cfg = RunConfig::test_default(); // 32-wide blocks → ≤ 7 bcols
         let report = run_local(a.codes(), b.codes(), &p, cfg.clone());
-        assert_eq!(report.best, gotoh_best(a.codes(), b.codes(), &cfg.scheme));
+        assert_eq!(report.best, rolling_best(a.codes(), b.codes(), &cfg.scheme));
         let bcols = b.len().div_ceil(cfg.block_w);
         assert_eq!(report.devices.len(), bcols.min(8));
     }
@@ -1452,7 +1484,7 @@ mod tests {
         // borders must not perturb the best cell — on every platform shape,
         // at every pruning level, against the sequential reference.
         let (a, b) = similar_pair(1_500, 11);
-        let truth = gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
+        let truth = rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
         for platform in [
             Platform::single(catalog::gtx680()),
             Platform::env1(),
@@ -1497,7 +1529,7 @@ mod tests {
         );
         assert_eq!(
             report.best,
-            gotoh_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
+            rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign())
         );
         let pr = report.pruning.unwrap();
         assert!(pr.tiles_pruned > 0, "high-identity run must prune tiles");

@@ -13,7 +13,7 @@ use crate::circbuf::RingStats;
 use crate::config::PruneMode;
 use megasw_gpusim::SimTime;
 use megasw_obs::{MetricsRegistry, ObsSpan};
-use megasw_sw::BestCell;
+use megasw_sw::{BestCell, KernelSelection};
 use std::time::Duration;
 
 /// Where one device's idle time went. Works in nanoseconds, so it applies
@@ -172,6 +172,11 @@ pub struct RunReport {
     /// Fault-recovery accounting; `None` unless the run was executed with
     /// a recovery policy.
     pub recovery: Option<RecoveryReport>,
+    /// Which DP engine the run was dispatched to: the requested
+    /// [`KernelDispatch`](megasw_sw::KernelDispatch) plus the engine that
+    /// actually executed tiles (threaded backend) or was modeled (DES
+    /// backend).
+    pub kernel: KernelSelection,
 }
 
 impl RunReport {
@@ -277,8 +282,8 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "best score {} at ({}, {}) over {} cells",
-            self.best.score, self.best.i, self.best.j, self.total_cells
+            "best score {} at ({}, {}) over {} cells [kernel {}]",
+            self.best.score, self.best.i, self.best.j, self.total_cells, self.kernel
         )?;
         if let (Some(t), Some(g)) = (self.sim_time, self.gcups_sim) {
             writeln!(f, "  simulated: {t}  ({g:.2} GCUPS)")?;
@@ -410,6 +415,7 @@ mod tests {
                 failed_devices: vec![1],
                 resumed_from_rows: vec![8],
             }),
+            kernel: KernelSelection::default(),
         }
     }
 
@@ -424,6 +430,7 @@ mod tests {
     fn display_contains_key_facts() {
         let text = report().to_string();
         assert!(text.contains("best score 42"));
+        assert!(text.contains("[kernel auto("));
         assert!(text.contains("GCUPS"));
         assert!(text.contains("TestBoard"));
         assert!(text.contains("stall:"));

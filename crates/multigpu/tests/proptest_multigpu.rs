@@ -12,7 +12,12 @@ use megasw_multigpu::pipeline::PipelineRun;
 use megasw_multigpu::{PartitionPolicy, RunConfig};
 use megasw_seq::rng::ChaCha8Rng;
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
-use megasw_sw::gotoh::gotoh_best;
+
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &megasw_sw::ScoreScheme) -> megasw_sw::BestCell {
+    megasw_sw::kernel::scalar().best(a, b, scheme)
+}
 
 const CASES: u64 = 64;
 

@@ -8,12 +8,17 @@ use megasw_multigpu::checkpoint::RecoveryPolicy;
 use megasw_multigpu::pipeline::{FaultPlan, PipelineRun, Semantics};
 use megasw_multigpu::{CheckpointCadence, PartitionPolicy, RunConfig};
 use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
-use megasw_sw::gotoh::gotoh_best;
 use megasw_sw::traceback::anchored_best;
 
 #[path = "../../../tests/util/deadline.rs"]
 mod deadline;
 use deadline::with_deadline;
+
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &megasw_sw::ScoreScheme) -> megasw_sw::BestCell {
+    megasw_sw::kernel::scalar().best(a, b, scheme)
+}
 
 fn pair(len: usize, seed: u64) -> (megasw_seq::DnaSeq, megasw_seq::DnaSeq) {
     let a = ChromosomeGenerator::new(GenerateConfig::uniform(len, seed)).generate();

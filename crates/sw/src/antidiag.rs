@@ -92,7 +92,7 @@ pub fn antidiag_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gotoh::gotoh_best;
+    use crate::gotoh::rolling_best;
     use crate::reference::reference_best;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 
@@ -132,7 +132,7 @@ mod tests {
             let (b, _) = DivergenceModel::test_scale(seed + 50).apply(&a);
             assert_eq!(
                 antidiag_best(a.codes(), b.codes(), &scheme),
-                gotoh_best(a.codes(), b.codes(), &scheme),
+                rolling_best(a.codes(), b.codes(), &scheme),
                 "seed {seed}"
             );
         }
@@ -145,7 +145,10 @@ mod tests {
         let scheme = ScoreScheme::cudalign();
         let a = codes("ATATATATATAT");
         let b = codes("TATATATATA");
-        assert_eq!(antidiag_best(&a, &b, &scheme), gotoh_best(&a, &b, &scheme));
+        assert_eq!(
+            antidiag_best(&a, &b, &scheme),
+            rolling_best(&a, &b, &scheme)
+        );
     }
 
     #[test]

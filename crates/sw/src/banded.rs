@@ -55,18 +55,34 @@ impl BandedResult {
 /// Banded local alignment with half-width `width` (clamped to ≥ 1).
 ///
 /// ```
-/// use megasw_sw::banded::banded_best;
-/// use megasw_sw::{gotoh_best, ScoreScheme};
+/// use megasw_sw::kernel::scalar;
+/// use megasw_sw::ScoreScheme;
 /// use megasw_seq::DnaSeq;
 ///
 /// let a = DnaSeq::from_str_unwrap("ACGTACGTACGTACGT");
 /// let scheme = ScoreScheme::cudalign();
-/// let banded = banded_best(a.codes(), a.codes(), &scheme, 2);
+/// let banded = scalar().banded(a.codes(), a.codes(), &scheme, 2);
 /// // Identical sequences align on the main diagonal: a 2-wide band is exact.
-/// assert_eq!(banded.best, gotoh_best(a.codes(), a.codes(), &scheme));
+/// assert_eq!(banded.best, scalar().best(a.codes(), a.codes(), &scheme));
 /// assert!(banded.cells_computed < 16 * 16);
 /// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
+            `kernel::scalar().banded(a, b, scheme, width)`; this shim will \
+            be removed next release"
+)]
 pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    banded_best_impl(a, b, scheme, width)
+}
+
+/// The band scan backing [`crate::kernel::Kernel::banded`].
+pub(crate) fn banded_best_impl(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoreScheme,
+    width: usize,
+) -> BandedResult {
     let m = a.len();
     let n = b.len();
     let width = width.max(1);
@@ -178,21 +194,37 @@ pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> Ba
 /// only a band covering all `m + n` diagonals is a proof — but it converges
 /// on every divergence model this workspace generates (asserted by the
 /// property tests).
+#[deprecated(
+    since = "0.1.0",
+    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
+            `kernel::scalar().banded_adaptive(a, b, scheme, width)`; this \
+            shim will be removed next release"
+)]
 pub fn banded_adaptive(
     a: &[u8],
     b: &[u8],
     scheme: &ScoreScheme,
     initial_width: usize,
 ) -> BandedResult {
+    banded_adaptive_impl(a, b, scheme, initial_width)
+}
+
+/// The doubling scan backing [`crate::kernel::Kernel::banded_adaptive`].
+pub(crate) fn banded_adaptive_impl(
+    a: &[u8],
+    b: &[u8],
+    scheme: &ScoreScheme,
+    initial_width: usize,
+) -> BandedResult {
     let mut width = initial_width.max(1);
-    let mut result = banded_best(a, b, scheme, width);
+    let mut result = banded_best_impl(a, b, scheme, width);
     let mut stable = 0usize;
     loop {
         // A band this wide covers every diagonal: nothing left to widen.
         if width >= a.len() + b.len() {
             return result;
         }
-        let wider = banded_best(a, b, scheme, width * 2);
+        let wider = banded_best_impl(a, b, scheme, width * 2);
         if wider.best == result.best && !result.band_limited() && !wider.band_limited() {
             stable += 1;
             if stable >= 2 {
@@ -209,7 +241,7 @@ pub fn banded_adaptive(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gotoh::gotoh_best;
+    use crate::gotoh::rolling_best;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 
     fn codes(s: &str) -> Vec<u8> {
@@ -222,10 +254,10 @@ mod tests {
         for seed in 0..5 {
             let a = ChromosomeGenerator::new(GenerateConfig::uniform(150, seed)).generate();
             let b = ChromosomeGenerator::new(GenerateConfig::uniform(130, seed + 9)).generate();
-            let banded = banded_best(a.codes(), b.codes(), &scheme, a.len() + b.len());
+            let banded = banded_best_impl(a.codes(), b.codes(), &scheme, a.len() + b.len());
             assert_eq!(
                 banded.best,
-                gotoh_best(a.codes(), b.codes(), &scheme),
+                rolling_best(a.codes(), b.codes(), &scheme),
                 "seed {seed}"
             );
             assert!(!banded.touched_edge);
@@ -237,10 +269,10 @@ mod tests {
         let scheme = ScoreScheme::cudalign();
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(300, 3)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(300, 4)).generate();
-        let full = gotoh_best(a.codes(), b.codes(), &scheme);
+        let full = rolling_best(a.codes(), b.codes(), &scheme);
         let mut prev = 0;
         for w in [1usize, 4, 16, 64, 256, 1024] {
-            let r = banded_best(a.codes(), b.codes(), &scheme, w);
+            let r = banded_best_impl(a.codes(), b.codes(), &scheme, w);
             assert!(r.best.score <= full.score, "w = {w}");
             assert!(r.best.score >= prev, "w = {w}: lost score when widening");
             prev = r.best.score;
@@ -253,8 +285,8 @@ mod tests {
         let scheme = ScoreScheme::cudalign();
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(5_000, 7)).generate();
         let (b, _) = DivergenceModel::snp_only(8, 0.02).apply(&a);
-        let full = gotoh_best(a.codes(), b.codes(), &scheme);
-        let banded = banded_best(a.codes(), b.codes(), &scheme, 4);
+        let full = rolling_best(a.codes(), b.codes(), &scheme);
+        let banded = banded_best_impl(a.codes(), b.codes(), &scheme, 4);
         assert_eq!(banded.best, full);
         // The banded scan touched a tiny fraction of the matrix.
         assert!(banded.cells_computed < (a.len() as u128) * 12);
@@ -269,8 +301,8 @@ mod tests {
         let mut long = codes("TTTTTT");
         long.extend_from_slice(&codes("ACGTACGTACGT"));
         long.extend_from_slice(&codes("GGGG"));
-        let full = gotoh_best(&a, &long, &scheme);
-        let banded = banded_best(&a, &long, &scheme, 2);
+        let full = rolling_best(&a, &long, &scheme);
+        let banded = banded_best_impl(&a, &long, &scheme, 2);
         // d = 10 diagonals are inside the band by construction.
         assert_eq!(banded.best, full);
     }
@@ -281,8 +313,8 @@ mod tests {
         for seed in 0..4 {
             let a = ChromosomeGenerator::new(GenerateConfig::uniform(2_000, seed)).generate();
             let (b, _) = DivergenceModel::test_scale(seed + 40).apply(&a);
-            let full = gotoh_best(a.codes(), b.codes(), &scheme);
-            let adaptive = banded_adaptive(a.codes(), b.codes(), &scheme, 8);
+            let full = rolling_best(a.codes(), b.codes(), &scheme);
+            let adaptive = banded_adaptive_impl(a.codes(), b.codes(), &scheme, 8);
             assert_eq!(adaptive.best, full, "seed {seed}");
         }
     }
@@ -293,17 +325,17 @@ mod tests {
         let scheme = ScoreScheme::lenient();
         let a = codes("AAAACCCC");
         let b = codes("AAAATTTTTTTTTTCCCC"); // needs a 10-gap
-        let full = gotoh_best(&a, &b, &scheme);
-        let narrow = banded_best(&a, &b, &scheme, 1);
+        let full = rolling_best(&a, &b, &scheme);
+        let narrow = banded_best_impl(&a, &b, &scheme, 1);
         assert!(narrow.best.score <= full.score);
-        let adaptive = banded_adaptive(&a, &b, &scheme, 1);
+        let adaptive = banded_adaptive_impl(&a, &b, &scheme, 1);
         assert_eq!(adaptive.best, full);
     }
 
     #[test]
     fn empty_inputs() {
         let scheme = ScoreScheme::cudalign();
-        let r = banded_best(&[], &codes("ACGT"), &scheme, 5);
+        let r = banded_best_impl(&[], &codes("ACGT"), &scheme, 5);
         assert_eq!(r.best, BestCell::ZERO);
         assert_eq!(r.cells_computed, 0);
     }
@@ -314,7 +346,7 @@ mod tests {
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(1_000, 1)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(1_100, 2)).generate();
         let w = 16usize;
-        let r = banded_best(a.codes(), b.codes(), &scheme, w);
+        let r = banded_best_impl(a.codes(), b.codes(), &scheme, w);
         // Band width per row ≤ (hi − lo + 1) = d + 2w + 1.
         let d = b.len() - a.len();
         let per_row = (d + 2 * w + 1) as u128;

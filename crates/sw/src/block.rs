@@ -14,7 +14,7 @@ use crate::border::{ColBorder, RowBorder};
 use crate::cell::{BestCell, NEG_INF};
 use crate::scoring::ScoreScheme;
 
-/// Inputs to [`compute_block`].
+/// Inputs to the tile kernel ([`crate::kernel::Kernel::block`]).
 ///
 /// The tile covers DP rows `row_offset .. row_offset + a_rows.len()` and
 /// columns `col_offset .. col_offset + b_cols.len()` (1-based, inclusive of
@@ -35,7 +35,7 @@ pub struct BlockInput<'x> {
     pub col_offset: usize,
 }
 
-/// Outputs of [`compute_block`].
+/// Outputs of the tile kernel ([`crate::kernel::Kernel::block`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockOutput {
     /// Outgoing bottom border (row `row_offset + bh − 1`): the top border of
@@ -50,17 +50,24 @@ pub struct BlockOutput {
     pub cells: u64,
 }
 
-/// Compute one tile. See the module docs for the dataflow contract.
+/// Compute one tile with the scalar engine. See the module docs for the
+/// dataflow contract.
 ///
 /// # Panics
 ///
 /// Debug-asserts that border lengths match the tile dimensions and that the
 /// top and left borders agree on the shared corner element.
+#[deprecated(
+    since = "0.1.0",
+    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
+            `kernel::scalar().block(input, scheme)`; this shim will be \
+            removed next release"
+)]
 pub fn compute_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
-    compute_block_impl::<true>(input, scheme)
+    scalar_block(input, scheme)
 }
 
-/// Anchored variant of [`compute_block`]: identical recurrences **without
+/// Anchored variant of the tile kernel: identical recurrences **without
 /// the zero floor**, so every alignment extends a path from the matrix
 /// origin (whose gap-cost boundary values the caller supplies via
 /// [`RowBorder::anchored`] / [`ColBorder::anchored`]).
@@ -69,7 +76,26 @@ pub fn compute_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput
 /// it locates the start point of an optimal local alignment that ends at
 /// the stage-1 best cell. `best` tracks the maximum `H` anywhere in the
 /// tile, seeded with the origin's score 0 (which always exists globally).
+#[deprecated(
+    since = "0.1.0",
+    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
+            `kernel::scalar().block_anchored(input, scheme)`; this shim \
+            will be removed next release"
+)]
 pub fn compute_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
+    scalar_block_anchored(input, scheme)
+}
+
+/// Workspace-internal scalar tile kernel, local semantics — what
+/// [`crate::kernel::ScalarKernel`] and the sequential executors run.
+#[inline]
+pub(crate) fn scalar_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
+    compute_block_impl::<true>(input, scheme)
+}
+
+/// Workspace-internal scalar tile kernel, anchored semantics.
+#[inline]
+pub(crate) fn scalar_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
     compute_block_impl::<false>(input, scheme)
 }
 
@@ -91,7 +117,7 @@ pub fn skip_block(bh: usize, bw: usize) -> BlockOutput {
 }
 
 #[inline(always)]
-fn compute_block_impl<const LOCAL: bool>(
+pub(crate) fn compute_block_impl<const LOCAL: bool>(
     input: BlockInput<'_>,
     scheme: &ScoreScheme,
 ) -> BlockOutput {
@@ -192,7 +218,7 @@ mod tests {
 
         let top = RowBorder::zero(b.len());
         let left = ColBorder::zero(a.len());
-        let out = compute_block(
+        let out = scalar_block(
             BlockInput {
                 a_rows: a,
                 b_cols: b,
@@ -242,7 +268,7 @@ mod tests {
         let split_j = 5; // cols [1..=5] then [6..=12]
 
         // Tile (0,0)
-        let t00 = compute_block(
+        let t00 = scalar_block(
             BlockInput {
                 a_rows: &a[..split_i],
                 b_cols: &b[..split_j],
@@ -255,7 +281,7 @@ mod tests {
         );
         // Tile (0,1): left border comes from t00.right; the top border is
         // still matrix row 0, hence all-zero.
-        let t01 = compute_block(
+        let t01 = scalar_block(
             BlockInput {
                 a_rows: &a[..split_i],
                 b_cols: &b[split_j..],
@@ -267,7 +293,7 @@ mod tests {
             &scheme,
         );
         // Tile (1,0): top border comes from t00.bottom.
-        let t10 = compute_block(
+        let t10 = scalar_block(
             BlockInput {
                 a_rows: &a[split_i..],
                 b_cols: &b[..split_j],
@@ -279,7 +305,7 @@ mod tests {
             &scheme,
         );
         // Tile (1,1): top from t01.bottom, left from t10.right.
-        let t11 = compute_block(
+        let t11 = scalar_block(
             BlockInput {
                 a_rows: &a[split_i..],
                 b_cols: &b[split_j..],
@@ -310,7 +336,7 @@ mod tests {
     #[test]
     fn single_cell_block() {
         let scheme = ScoreScheme::cudalign();
-        let out = compute_block(
+        let out = scalar_block(
             BlockInput {
                 a_rows: &[0],
                 b_cols: &[0],
@@ -331,7 +357,7 @@ mod tests {
     fn zero_height_block_passes_top_border_through() {
         let scheme = ScoreScheme::cudalign();
         let top = RowBorder::zero(4);
-        let out = compute_block(
+        let out = scalar_block(
             BlockInput {
                 a_rows: &[],
                 b_cols: &codes("ACGT"),
@@ -358,7 +384,7 @@ mod tests {
             ("ACGTN", "NACGT"),
         ] {
             let (a, b) = (codes(a), codes(b));
-            let out = compute_block_anchored(
+            let out = scalar_block_anchored(
                 BlockInput {
                     a_rows: &a,
                     b_cols: &b,
@@ -378,7 +404,7 @@ mod tests {
         let scheme = ScoreScheme::lenient();
         let a = codes("ACGTTGCAGGCTAA");
         let b = codes("TGCAACGTTACGG");
-        let whole = compute_block_anchored(
+        let whole = scalar_block_anchored(
             BlockInput {
                 a_rows: &a,
                 b_cols: &b,
@@ -390,7 +416,7 @@ mod tests {
             &scheme,
         );
         let (si, sj) = (6usize, 5usize);
-        let t00 = compute_block_anchored(
+        let t00 = scalar_block_anchored(
             BlockInput {
                 a_rows: &a[..si],
                 b_cols: &b[..sj],
@@ -401,7 +427,7 @@ mod tests {
             },
             &scheme,
         );
-        let t01 = compute_block_anchored(
+        let t01 = scalar_block_anchored(
             BlockInput {
                 a_rows: &a[..si],
                 b_cols: &b[sj..],
@@ -412,7 +438,7 @@ mod tests {
             },
             &scheme,
         );
-        let t10 = compute_block_anchored(
+        let t10 = scalar_block_anchored(
             BlockInput {
                 a_rows: &a[si..],
                 b_cols: &b[..sj],
@@ -423,7 +449,7 @@ mod tests {
             },
             &scheme,
         );
-        let t11 = compute_block_anchored(
+        let t11 = scalar_block_anchored(
             BlockInput {
                 a_rows: &a[si..],
                 b_cols: &b[sj..],
@@ -447,7 +473,7 @@ mod tests {
         // Matching pair at local (1,1) in a tile whose offsets are (100, 200).
         let fmx = full_matrix(&codes("A"), &codes("A"), &scheme);
         assert_eq!(fmx.best.score, 1);
-        let out = compute_block(
+        let out = scalar_block(
             BlockInput {
                 a_rows: &codes("A"),
                 b_cols: &codes("A"),

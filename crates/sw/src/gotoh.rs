@@ -13,19 +13,19 @@ use crate::scoring::ScoreScheme;
 
 /// Best local-alignment cell between code slices `a` (rows) and `b`
 /// (columns), in `O(n)` memory.
-///
-/// ```
-/// use megasw_sw::{gotoh_best, ScoreScheme};
-/// use megasw_seq::DnaSeq;
-///
-/// let a = DnaSeq::from_str_unwrap("TTTACGTACGT");
-/// let b = DnaSeq::from_str_unwrap("GGACGTACGTGG");
-/// let best = gotoh_best(a.codes(), b.codes(), &ScoreScheme::cudalign());
-/// // The shared "ACGTACGT" block scores 8 and ends at (11, 10).
-/// assert_eq!(best.score, 8);
-/// assert_eq!((best.i, best.j), (11, 10));
-/// ```
+#[deprecated(
+    since = "0.1.0",
+    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
+            `kernel::scalar().best(a, b, scheme)` (or `kernel::auto()` for \
+            the SIMD engines); this shim will be removed next release"
+)]
 pub fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    rolling_best(a, b, scheme)
+}
+
+/// The rolling-row scalar scan backing [`crate::kernel::ScalarKernel`]'s
+/// whole-sequence `best`.
+pub(crate) fn rolling_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
     let n = b.len();
     let open_ext = scheme.gap_open + scheme.gap_extend;
     let ext = scheme.gap_extend;
@@ -143,7 +143,7 @@ mod tests {
         ] {
             let (a, b) = (codes(a), codes(b));
             assert_eq!(
-                gotoh_best(&a, &b, &scheme),
+                rolling_best(&a, &b, &scheme),
                 reference_best(&a, &b, &scheme),
                 "case {a:?} vs {b:?}"
             );
@@ -160,7 +160,7 @@ mod tests {
             };
             let a = ChromosomeGenerator::new(GenerateConfig::uniform(120, seed)).generate();
             let (b, _) = DivergenceModel::test_scale(seed).apply(&a);
-            let got = gotoh_best(a.codes(), b.codes(), &scheme);
+            let got = rolling_best(a.codes(), b.codes(), &scheme);
             let want = reference_best(a.codes(), b.codes(), &scheme);
             assert_eq!(got, want, "seed {seed}");
         }
@@ -184,7 +184,7 @@ mod tests {
         let scheme = ScoreScheme::cudalign();
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(30_000, 99)).generate();
         let (b, _) = DivergenceModel::snp_only(7, 0.01).apply(&a);
-        let best = gotoh_best(a.codes(), b.codes(), &scheme);
+        let best = rolling_best(a.codes(), b.codes(), &scheme);
         // Each SNP flips a +1 match to a −3 mismatch (−4), ≈300 SNPs.
         let expect_min = 30_000 - 350 * 4;
         assert!(best.score >= expect_min, "score = {}", best.score);

@@ -11,7 +11,7 @@
 //! simulator (each tile is one kernel-timing unit), so geometry bugs would
 //! show up as cross-backend disagreements in the integration tests.
 
-use crate::block::{compute_block, BlockInput, BlockOutput};
+use crate::block::{scalar_block, BlockInput, BlockOutput};
 use crate::border::{ColBorder, RowBorder};
 use crate::cell::BestCell;
 use crate::scoring::ScoreScheme;
@@ -147,7 +147,7 @@ pub fn run_sequential(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme
         let mut left = ColBorder::zero(i1 - i0);
         for (c, top) in tops.iter_mut().enumerate() {
             let (j0, j1) = grid.col_range(c);
-            let out: BlockOutput = compute_block(
+            let out: BlockOutput = scalar_block(
                 BlockInput {
                     a_rows: &a[i0 - 1..i1 - 1],
                     b_cols: &b[j0 - 1..j1 - 1],
@@ -177,7 +177,7 @@ pub fn run_sequential(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gotoh::gotoh_best;
+    use crate::gotoh::rolling_best;
     use crate::reference::full_matrix;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 
@@ -267,6 +267,6 @@ mod tests {
         let (b, _) = DivergenceModel::test_scale(6).apply(&a);
         let grid = BlockGrid::new(a.len(), b.len(), 256, 256);
         let res = run_sequential(a.codes(), b.codes(), &grid, &scheme);
-        assert_eq!(res.best, gotoh_best(a.codes(), b.codes(), &scheme));
+        assert_eq!(res.best, rolling_best(a.codes(), b.codes(), &scheme));
     }
 }

@@ -23,7 +23,16 @@
 //!   executor plus the bound/substitute/corner-restore helpers the
 //!   multi-GPU pipeline composes into distributed pruning;
 //! * [`traceback`] — optimal local alignment retrieval in linear space
-//!   (Myers–Miller divide-and-conquer), the analogue of CUDAlign stages 2–4.
+//!   (Myers–Miller divide-and-conquer), the analogue of CUDAlign stages 2–4;
+//! * [`kernel`] — the unified [`kernel::Kernel`] trait over every DP entry
+//!   point, with runtime CPU-feature dispatch ([`kernel::KernelDispatch`])
+//!   across the scalar engine and the private anti-diagonal SIMD engines
+//!   (AVX2 / SSE4.1, i16 lanes with overflow rescue).
+//!
+//! The old free-function entry points (`compute_block`, `gotoh_best`,
+//! `banded_best`, …) are deprecated shims over the trait surface and will
+//! be removed next release; call `kernel::scalar()` / `kernel::auto()` /
+//! `kernel::select(dispatch)` instead.
 //!
 //! ## Matrix conventions
 //!
@@ -40,10 +49,13 @@ pub mod border;
 pub mod cell;
 pub mod gotoh;
 pub mod grid;
+pub mod kernel;
 pub mod prune;
 pub mod reference;
 pub mod render;
 pub mod scoring;
+#[cfg(target_arch = "x86_64")]
+mod simd;
 pub mod traceback;
 
 /// ASCII letter for a base code (`0..=4`); used by renderers.
@@ -58,9 +70,13 @@ pub fn ascii_base(code: u8) -> char {
     }
 }
 
-pub use block::{compute_block, compute_block_anchored, skip_block, BlockInput, BlockOutput};
+#[allow(deprecated)]
+pub use block::{compute_block, compute_block_anchored};
+pub use block::{skip_block, BlockInput, BlockOutput};
 pub use border::{ColBorder, RowBorder};
 pub use cell::{BestCell, Score, NEG_INF};
+#[allow(deprecated)]
 pub use gotoh::gotoh_best;
+pub use kernel::{Kernel, KernelDispatch, KernelId, KernelSelection};
 pub use prune::{prune_bound, restore_corner, tile_is_prunable};
 pub use scoring::ScoreScheme;

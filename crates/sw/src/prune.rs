@@ -27,7 +27,7 @@
 //! argument leans on the zero floor (`H ≥ 0` everywhere), which anchored
 //! kernels do not have.
 
-use crate::block::{compute_block, skip_block, BlockInput};
+use crate::block::{scalar_block, skip_block, BlockInput};
 use crate::border::{ColBorder, RowBorder};
 use crate::cell::{BestCell, Score};
 use crate::grid::BlockGrid;
@@ -154,7 +154,7 @@ pub fn run_pruned(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) ->
             let mut left = std::mem::replace(&mut lefts[r], ColBorder::zero(0));
             restore_corner(&mut top, &mut left);
 
-            let out = compute_block(
+            let out = scalar_block(
                 BlockInput {
                     a_rows: &a[i0 - 1..i1 - 1],
                     b_cols: &b[j0 - 1..j1 - 1],
@@ -183,7 +183,7 @@ pub fn run_pruned(a: &[u8], b: &[u8], grid: &BlockGrid, scheme: &ScoreScheme) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gotoh::gotoh_best;
+    use crate::gotoh::rolling_best;
     use megasw_seq::{ChromosomeGenerator, DivergenceModel, GenerateConfig};
 
     #[test]
@@ -193,7 +193,7 @@ mod tests {
         let (b, _) = DivergenceModel::snp_only(22, 0.01).apply(&a);
         let grid = BlockGrid::new(a.len(), b.len(), 128, 128);
         let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
-        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        let want = rolling_best(a.codes(), b.codes(), &scheme);
         assert_eq!(pruned.best, want);
         assert!(
             pruned.tiles_pruned > 0,
@@ -211,7 +211,7 @@ mod tests {
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(1_500, 32)).generate();
         let grid = BlockGrid::new(a.len(), b.len(), 64, 64);
         let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
-        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        let want = rolling_best(a.codes(), b.codes(), &scheme);
         assert_eq!(pruned.best, want);
     }
 
@@ -226,7 +226,7 @@ mod tests {
         let b = a.clone();
         let grid = BlockGrid::new(a.len(), b.len(), 100, 100);
         let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
-        assert_eq!(pruned.best, gotoh_best(a.codes(), b.codes(), &scheme));
+        assert_eq!(pruned.best, rolling_best(a.codes(), b.codes(), &scheme));
     }
 
     #[test]
@@ -251,7 +251,7 @@ mod tests {
                 let pruned = run_pruned(a.codes(), b.codes(), &grid, &scheme);
                 assert_eq!(
                     pruned.best,
-                    gotoh_best(a.codes(), b.codes(), &scheme),
+                    rolling_best(a.codes(), b.codes(), &scheme),
                     "seed {seed} block {bs}"
                 );
             }

@@ -5,7 +5,7 @@
 //! later stages using Myers–Miller linear-space techniques. This module
 //! implements that retrieval:
 //!
-//! 1. **Endpoint** — [`crate::gotoh::gotoh_best`] finds the best cell
+//! 1. **Endpoint** — [`crate::gotoh::rolling_best`] finds the best cell
 //!    `(iₑ, jₑ)` and score `S`.
 //! 2. **Start point** — an *anchored* reverse scan ([`anchored_best`]) over
 //!    the reversed prefixes `rev(a[..iₑ])`, `rev(b[..jₑ])` finds the cell
@@ -20,7 +20,7 @@
 //! to re-score to exactly `S` under [`score_of_ops`].
 
 use crate::cell::{BestCell, Score, NEG_INF};
-use crate::gotoh::gotoh_best;
+use crate::gotoh::rolling_best;
 use crate::scoring::ScoreScheme;
 
 /// One alignment column.
@@ -459,7 +459,7 @@ pub fn global_score(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> Score {
 /// assert_eq!(aln.identity(), 1.0);
 /// ```
 pub fn local_align(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> LocalAlignment {
-    let best = gotoh_best(a, b, scheme);
+    let best = rolling_best(a, b, scheme);
     if best.score <= 0 {
         return LocalAlignment::empty();
     }
@@ -623,7 +623,7 @@ mod tests {
         );
 
         let aln = local_align(a.codes(), b.codes(), &scheme);
-        let want = gotoh_best(a.codes(), b.codes(), &scheme);
+        let want = rolling_best(a.codes(), b.codes(), &scheme);
         assert_eq!(aln.score, want.score);
         assert_eq!((aln.end_i, aln.end_j), (want.i, want.j));
         // The alignment must sit over the planted core.
@@ -645,7 +645,7 @@ mod tests {
         let a = ChromosomeGenerator::new(GenerateConfig::uniform(300, 11)).generate();
         let b = ChromosomeGenerator::new(GenerateConfig::uniform(300, 12)).generate();
         let aln = local_align(a.codes(), b.codes(), &scheme);
-        assert_eq!(aln.score, gotoh_best(a.codes(), b.codes(), &scheme).score);
+        assert_eq!(aln.score, rolling_best(a.codes(), b.codes(), &scheme).score);
         if !aln.is_empty() {
             let a_seg = &a.codes()[aln.start_i - 1..aln.end_i];
             let b_seg = &b.codes()[aln.start_j - 1..aln.end_j];

@@ -5,13 +5,24 @@
 //! single bases, all the tiny tie-break configurations.
 
 use megasw_sw::antidiag::antidiag_best;
-use megasw_sw::banded::banded_best;
-use megasw_sw::gotoh::gotoh_best;
+use megasw_sw::banded::BandedResult;
+use megasw_sw::cell::BestCell;
 use megasw_sw::grid::{run_sequential, BlockGrid};
+use megasw_sw::kernel::scalar;
 use megasw_sw::prune::run_pruned;
 use megasw_sw::reference::reference_best;
 use megasw_sw::scoring::ScoreScheme;
 use megasw_sw::traceback::{local_align, score_of_ops};
+
+// The old free functions are deprecated shims; these helpers exercise the
+// same entry points through the kernel trait they now delegate to.
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    scalar().best(a, b, scheme)
+}
+
+fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    scalar().banded(a, b, scheme, width)
+}
 
 /// All sequences over {A, C, G} of length 0..=max_len, as code vectors.
 fn enumerate(max_len: usize) -> Vec<Vec<u8>> {

@@ -10,18 +10,36 @@
 
 use megasw_seq::rng::ChaCha8Rng;
 use megasw_sw::antidiag::antidiag_best;
-use megasw_sw::banded::{banded_adaptive, banded_best};
-use megasw_sw::block::{compute_block, BlockInput};
+use megasw_sw::banded::BandedResult;
+use megasw_sw::block::{BlockInput, BlockOutput};
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::BestCell;
-use megasw_sw::gotoh::gotoh_best;
 use megasw_sw::grid::{run_sequential, BlockGrid};
+use megasw_sw::kernel::scalar;
 use megasw_sw::prune::run_pruned;
 use megasw_sw::reference::reference_best;
 use megasw_sw::scoring::ScoreScheme;
 use megasw_sw::traceback::{global_score, local_align, myers_miller, score_of_ops};
 
 const CASES: u64 = 64;
+
+// The old free functions are deprecated shims; these helpers exercise the
+// same entry points through the kernel trait they now delegate to.
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    scalar().best(a, b, scheme)
+}
+
+fn compute_block(input: BlockInput, scheme: &ScoreScheme) -> BlockOutput {
+    scalar().block(input, scheme)
+}
+
+fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    scalar().banded(a, b, scheme, width)
+}
+
+fn banded_adaptive(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    scalar().banded_adaptive(a, b, scheme, width)
+}
 
 fn dna(rng: &mut ChaCha8Rng, max_len: usize) -> Vec<u8> {
     let len = rng.gen_range(0..max_len.max(1));

@@ -50,8 +50,8 @@ fn main() {
     println!("\nsimulated hardware:");
     print!("{}", sim.report);
 
-    // 5. Cross-check against the sequential reference.
-    let reference = gotoh_best(human.codes(), chimp.codes(), &config.scheme);
+    // 5. Cross-check against the sequential reference (scalar engine).
+    let reference = kernel::scalar().best(human.codes(), chimp.codes(), &config.scheme);
     assert_eq!(report.best, reference, "pipeline must equal the reference");
     println!("\nverified: pipeline result equals the sequential reference ✓");
 }

@@ -29,6 +29,12 @@ use megasw::seq::rng::ChaCha8Rng;
 mod deadline;
 use deadline::with_deadline;
 
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    kernel::scalar().best(a, b, scheme)
+}
+
 /// Everything a chaos case needs to replay: the scenario is a pure
 /// function of these fields.
 #[derive(Debug, Clone)]

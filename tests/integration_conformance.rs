@@ -15,7 +15,18 @@
 //! context to replay it by hand.
 
 use megasw::prelude::*;
-use megasw::sw::banded::banded_adaptive;
+use megasw::sw::banded::BandedResult;
+
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    kernel::scalar().best(a, b, scheme)
+}
+
+/// Adaptive banded scan via the kernel trait (same phase-out).
+fn banded_adaptive(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    kernel::scalar().banded_adaptive(a, b, scheme, width)
+}
 
 struct Combo {
     label: String,
@@ -278,6 +289,106 @@ fn watermark_is_monotone_and_never_exceeds_the_true_best() {
             d.watermark,
             want.score
         );
+    }
+}
+
+/// Every dispatch mode the host supports (forced scalar always; forced
+/// SSE4.1/AVX2 when the CPU has them), for the dispatch-axis tests below.
+fn available_dispatches() -> Vec<KernelDispatch> {
+    [
+        KernelDispatch::ForceScalar,
+        KernelDispatch::ForceSse41,
+        KernelDispatch::ForceAvx2,
+    ]
+    .into_iter()
+    .filter(|&d| kernel::select(d).is_ok())
+    .collect()
+}
+
+#[test]
+fn every_dispatch_mode_is_bit_identical_on_sampled_combos() {
+    // The dispatch axis of the conformance matrix: each engine the host
+    // supports must reproduce the reference best cell bit-for-bit, plain
+    // and crossed with distributed pruning.
+    for (idx, c) in combos().into_iter().enumerate().step_by(5) {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        for d in available_dispatches() {
+            let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+                .config(c.cfg.clone().with_dispatch(d))
+                .run()
+                .unwrap_or_else(|e| panic!("{}/{d:?}: pipeline failed: {e}", c.label));
+            assert_eq!(report.best, want, "{}/{d:?}", c.label);
+            assert_eq!(report.kernel.dispatch, d, "{}/{d:?}", c.label);
+            if idx % 2 == 0 {
+                let pruned = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+                    .config(
+                        c.cfg
+                            .clone()
+                            .with_dispatch(d)
+                            .with_pruning(PruneMode::Distributed),
+                    )
+                    .run()
+                    .unwrap_or_else(|e| panic!("{}/{d:?}/pruned: pipeline failed: {e}", c.label));
+                assert_eq!(pruned.best, want, "{}/{d:?}/pruned", c.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_dispatch_mode_survives_fault_recovery_bit_identically() {
+    // Checkpointed border waves are extracted from whatever engine computed
+    // them; resuming after a device death must stay exact on every engine.
+    for c in combos().into_iter().step_by(13) {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        for d in available_dispatches() {
+            let cfg = c
+                .cfg
+                .clone()
+                .with_dispatch(d)
+                .with_pruning(PruneMode::Distributed)
+                .with_checkpoint(CheckpointCadence::EveryRows(4));
+            let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+                .config(cfg)
+                .faults(ScheduledFault {
+                    device: 1,
+                    block_row: 6,
+                    phase: FaultPhase::Compute,
+                })
+                .recover(RecoveryPolicy::default())
+                .run()
+                .unwrap_or_else(|e| panic!("{}/{d:?}: recovery failed: {e}", c.label));
+            assert_eq!(report.best, want, "{}/{d:?}", c.label);
+            assert_eq!(report.recovery.unwrap().recoveries, 1, "{}/{d:?}", c.label);
+        }
+    }
+}
+
+#[test]
+fn forced_scalar_equals_auto_on_random_megabase_windows() {
+    // Seeded property test on the kernel surface itself: windows sampled
+    // from a megabase homologous pair must score identically (score AND
+    // tie-broken end point) under ForceScalar and Auto dispatch.
+    use megasw::seq::rng::ChaCha8Rng;
+    let human = ChromosomeGenerator::new(GenerateConfig::sized(1_000_000, 0x4D_99)).generate();
+    let (chimp, _) = DivergenceModel::human_chimp_scaled(0x4D_9A, 1_000_000).apply(&human);
+    let forced = kernel::select(KernelDispatch::ForceScalar).unwrap();
+    let auto = kernel::select(KernelDispatch::Auto).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x4D_AB);
+    for case in 0..6 {
+        let wa = 2_000 + rng.gen_range(0..6_000usize);
+        let wb = 2_000 + rng.gen_range(0..6_000usize);
+        let ia = rng.gen_range(0..human.len() - wa);
+        let ib = rng.gen_range(0..chimp.len() - wb);
+        let a = &human.codes()[ia..ia + wa];
+        let b = &chimp.codes()[ib..ib + wb];
+        for scheme in [ScoreScheme::cudalign(), ScoreScheme::lenient()] {
+            assert_eq!(
+                forced.best(a, b, &scheme),
+                auto.best(a, b, &scheme),
+                "case {case}: a[{ia}..+{wa}] x b[{ib}..+{wb}]"
+            );
+        }
     }
 }
 

@@ -8,6 +8,12 @@ use megasw::prelude::*;
 mod deadline;
 use deadline::with_deadline;
 
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    kernel::scalar().best(a, b, scheme)
+}
+
 fn pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
     let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
     let (b, _) = DivergenceModel::test_scale(seed + 77).apply(&a);

@@ -5,7 +5,22 @@
 
 use megasw::prelude::*;
 use megasw::seq::kmer::{estimate_band, jaccard};
-use megasw::sw::banded::{banded_adaptive, banded_best};
+use megasw::sw::banded::BandedResult;
+
+/// Scalar whole-sequence oracle via the kernel trait (the deprecated
+/// `gotoh_best` free function is being phased out).
+fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
+    kernel::scalar().best(a, b, scheme)
+}
+
+/// Banded scans via the kernel trait (same phase-out).
+fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    kernel::scalar().banded(a, b, scheme, width)
+}
+
+fn banded_adaptive(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
+    kernel::scalar().banded_adaptive(a, b, scheme, width)
+}
 
 fn homologous_pair(len: usize, seed: u64) -> (DnaSeq, DnaSeq) {
     let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
