@@ -58,11 +58,16 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v4 carries recovery, pruning, AND kernel-dispatch accounting in
-# every experiment; the recovery anchor must report an actual recovery,
-# and the pruning anchor a nonzero pruned tile count.
-grep -q '"schema_version": 4' BENCH_ci.json || {
-    echo "ci: FAIL — BENCH_ci.json is not schema v4" >&2
+# Schema v5 carries recovery, pruning, kernel-dispatch AND per-phase
+# stall-attribution accounting in every experiment; the recovery anchor
+# must report an actual recovery, the pruning anchor a nonzero pruned
+# tile count, and every experiment a nonzero compute attribution.
+grep -q '"schema_version": 5' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v5" >&2
+    exit 1
+}
+grep -q '"attribution": {"compute": [1-9]' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks per-phase stall attribution" >&2
     exit 1
 }
 grep -q '"kernel": {"dispatch": "auto", "resolved": ' BENCH_ci.json || {
@@ -96,5 +101,40 @@ if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
         crates/bench/fixtures/BENCH_baseline.json BENCH_ci.json
 fi
 rm -f BENCH_ci.json
+
+# Live-metrics smoke: stand up the std-only HTTP endpoint on an ephemeral
+# port with runs looping in the background, then scrape /health and
+# /metrics mid-run with the std TcpStream client, which validates the
+# Prometheus exposition (conformance helper) before exiting zero. A fixed
+# localhost port keeps the test hermetic; 9187 is outside the range
+# anything else in CI binds.
+./target/release/megasw serve-metrics --metrics-addr 127.0.0.1:9187 \
+    --length 120000 --env2 --runs 1000 >/dev/null 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+./target/release/megasw-metrics-scrape 127.0.0.1:9187 --retries 40 || {
+    echo "ci: FAIL — could not scrape /metrics from a live run" >&2
+    exit 1
+}
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
+# Flight-recorder smoke: a faulted compare must leave a JSONL black box
+# with the fault event on the failed device's lane.
+./target/release/megasw generate --length 60000 --seed 11 \
+    --out-human /tmp/ci_h.fa --out-chimp /tmp/ci_c.fa >/dev/null
+rc=0
+./target/release/megasw compare /tmp/ci_h.fa /tmp/ci_c.fa --env1 \
+    --fault 1:2 --flight-dump /tmp/ci_flight.jsonl >/dev/null 2>&1 || rc=$?
+if [ "$rc" -eq 0 ]; then
+    echo "ci: FAIL — faulted compare exited zero" >&2
+    exit 1
+fi
+grep -q '"kind": "fault", "device": 1' /tmp/ci_flight.jsonl || {
+    echo "ci: FAIL — flight dump lacks the injected fault event" >&2
+    exit 1
+}
+rm -f /tmp/ci_h.fa /tmp/ci_c.fa /tmp/ci_flight.jsonl
 
 echo "ci: all gates passed"

@@ -34,7 +34,14 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// requested, `resolved` as the engine that actually executed — e.g.
 /// `auto`/`avx2`), so a GCUPS delta caused by dispatch drift (say, a CI
 /// host losing AVX2) is distinguishable from a real kernel regression.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: every experiment also carries an `attribution` object — the
+/// fine-grained per-phase wall-clock attribution (compute / wait_input /
+/// wait_output / checkpoint / prune_skip / simd_rescue / other) summed
+/// across devices, in nanoseconds — plus a top-level `simd_rescues`
+/// counter. A GCUPS regression now arrives with the phase that ate the
+/// time attached.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -96,6 +103,17 @@ pub struct Experiment {
     /// `scalar`, `sse41`, `avx2`) and the engine that actually executed.
     pub kernel_dispatch: String,
     pub kernel_resolved: String,
+    /// Per-phase wall-clock attribution summed across devices,
+    /// nanoseconds (all zero when the producing run did not attribute).
+    pub attr_compute_ns: u64,
+    pub attr_wait_input_ns: u64,
+    pub attr_wait_output_ns: u64,
+    pub attr_checkpoint_ns: u64,
+    pub attr_prune_skip_ns: u64,
+    pub attr_simd_rescue_ns: u64,
+    pub attr_other_ns: u64,
+    /// SIMD overflow rescues executed across the run.
+    pub simd_rescues: u64,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
@@ -125,6 +143,14 @@ impl Experiment {
         } else {
             0.0
         };
+        self.attr_compute_ns = metrics.counter("attr.compute_ns").unwrap_or(0);
+        self.attr_wait_input_ns = metrics.counter("attr.wait_input_ns").unwrap_or(0);
+        self.attr_wait_output_ns = metrics.counter("attr.wait_output_ns").unwrap_or(0);
+        self.attr_checkpoint_ns = metrics.counter("attr.checkpoint_ns").unwrap_or(0);
+        self.attr_prune_skip_ns = metrics.counter("attr.prune_skip_ns").unwrap_or(0);
+        self.attr_simd_rescue_ns = metrics.counter("attr.simd_rescue_ns").unwrap_or(0);
+        self.attr_other_ns = metrics.counter("attr.other_ns").unwrap_or(0);
+        self.simd_rescues = metrics.counter("kernel.simd_rescues").unwrap_or(0);
         for (name, h) in metrics.histograms() {
             if name.starts_with("span.") && name.ends_with(".duration_ns") {
                 self.quantiles.push(QuantileSummary {
@@ -216,6 +242,18 @@ impl Artifact {
                 escape(&e.kernel_dispatch),
                 escape(&e.kernel_resolved)
             );
+            let _ = write!(
+                out,
+                "\"attribution\": {{\"compute\": {}, \"wait_input\": {}, \"wait_output\": {}, \"checkpoint\": {}, \"prune_skip\": {}, \"simd_rescue\": {}, \"other\": {}}}, ",
+                e.attr_compute_ns,
+                e.attr_wait_input_ns,
+                e.attr_wait_output_ns,
+                e.attr_checkpoint_ns,
+                e.attr_prune_skip_ns,
+                e.attr_simd_rescue_ns,
+                e.attr_other_ns
+            );
+            let _ = write!(out, "\"simd_rescues\": {}, ", e.simd_rescues);
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -276,6 +314,9 @@ impl Artifact {
                 .ok_or_else(|| ctx("missing \"recovery\""))?;
             let pruning = e.get("pruning").ok_or_else(|| ctx("missing \"pruning\""))?;
             let kernel = e.get("kernel").ok_or_else(|| ctx("missing \"kernel\""))?;
+            let attribution = e
+                .get("attribution")
+                .ok_or_else(|| ctx("missing \"attribution\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -308,6 +349,14 @@ impl Artifact {
                 pruned_fraction: req_f64(pruning, "pruned_fraction").map_err(|m| ctx(&m))?,
                 kernel_dispatch: req_str(kernel, "dispatch").map_err(|m| ctx(&m))?,
                 kernel_resolved: req_str(kernel, "resolved").map_err(|m| ctx(&m))?,
+                attr_compute_ns: req_u64(attribution, "compute").map_err(|m| ctx(&m))?,
+                attr_wait_input_ns: req_u64(attribution, "wait_input").map_err(|m| ctx(&m))?,
+                attr_wait_output_ns: req_u64(attribution, "wait_output").map_err(|m| ctx(&m))?,
+                attr_checkpoint_ns: req_u64(attribution, "checkpoint").map_err(|m| ctx(&m))?,
+                attr_prune_skip_ns: req_u64(attribution, "prune_skip").map_err(|m| ctx(&m))?,
+                attr_simd_rescue_ns: req_u64(attribution, "simd_rescue").map_err(|m| ctx(&m))?,
+                attr_other_ns: req_u64(attribution, "other").map_err(|m| ctx(&m))?,
+                simd_rescues: req_u64(e, "simd_rescues").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -488,6 +537,14 @@ mod tests {
             pruned_fraction: 0.25,
             kernel_dispatch: "auto".into(),
             kernel_resolved: "avx2".into(),
+            attr_compute_ns: 7_000,
+            attr_wait_input_ns: 2_000,
+            attr_wait_output_ns: 500,
+            attr_checkpoint_ns: 200,
+            attr_prune_skip_ns: 100,
+            attr_simd_rescue_ns: 50,
+            attr_other_ns: 150,
+            simd_rescues: 3,
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -522,7 +579,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 4", "\"schema_version\": 999");
+            .replace("\"schema_version\": 5", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -586,6 +643,10 @@ mod tests {
         m.incr("pruning.tiles_pruned", 30);
         m.incr("pruning.tiles_total", 120);
         m.incr("pruning.cells_skipped", 480_000);
+        m.incr("attr.compute_ns", 9_000);
+        m.incr("attr.wait_input_ns", 800);
+        m.incr("attr.other_ns", 200);
+        m.incr("kernel.simd_rescues", 4);
         for v in [10.0, 20.0, 30.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -609,6 +670,11 @@ mod tests {
         assert_eq!(e.tiles_total, 120);
         assert_eq!(e.cells_skipped, 480_000);
         assert!((e.pruned_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(e.attr_compute_ns, 9_000);
+        assert_eq!(e.attr_wait_input_ns, 800);
+        assert_eq!(e.attr_other_ns, 200);
+        assert_eq!(e.attr_checkpoint_ns, 0);
+        assert_eq!(e.simd_rescues, 4);
         assert_eq!(e.quantiles.len(), 1);
         assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
         assert_eq!(e.quantiles[0].count, 3);

@@ -45,6 +45,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("simulate") => cmd_simulate(stream),
         Some("tune") => cmd_tune(stream),
         Some("screen") => cmd_screen(stream),
+        Some("serve-metrics") => cmd_serve_metrics(stream),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -73,6 +74,12 @@ subcommands:
   screen    A.fasta B.fasta [--k N] [--plot]
             alignment-free prefilter: k-mer Jaccard similarity, estimated
             alignment band, optional ASCII dotplot
+  serve-metrics
+            --metrics-addr HOST:PORT [--length N] [--seed S] [--runs N]
+            [platform flags] [kernel-policy flags]
+            run synthetic comparisons in a loop (forever unless --runs is
+            given) while serving /metrics, /health and /flight over HTTP;
+            point Prometheus or `megasw-metrics-scrape` at it
 
 platform flags:
   --env1            2x GTX 680 (default: env2)
@@ -122,6 +129,16 @@ observability flags (compare, align, simulate):
                     per-device imbalance and ring occupancy
   --progress-interval-ms N
                     sampling interval for --progress (default 500)
+  --metrics-addr HOST:PORT
+                    serve /metrics (Prometheus text), /health (JSON) and
+                    /flight (JSONL flight recorder) over HTTP while the run
+                    executes; live counters are republished continuously
+                    and the final registry stays up until the command exits
+                    (compare and simulate; port 0 picks a free port)
+  --flight-dump PATH
+                    keep a flight recorder (a ring of the last 256 events
+                    per device) and dump it as JSONL to PATH when the run
+                    ends — faulted or not (compare only)
 ";
 
 // ---------------------------------------------------------------------------
@@ -187,19 +204,43 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
         (a.seq.len() as u64).saturating_mul(b.seq.len() as u64),
     );
     let sampler = obs_opts.spawn_progress(&live);
+    let flight = obs_opts.flight(platform.len());
+    let mut service = obs_opts.serve(&live, flight.as_ref())?;
     let mut run = PipelineRun::new(a.seq.codes(), b.seq.codes(), &platform)
         .config(config.clone())
         .observer(obs.clone())
         .live(Arc::clone(&live))
         .faults(faults);
+    if let Some(fr) = &flight {
+        run = run.flight(Arc::clone(fr));
+    }
+    if let Some(path) = &obs_opts.flight_dump {
+        run = run.flight_dump_path(path);
+    }
     if let Some(policy) = recovery {
         run = run.recover(policy);
     }
-    let report = run.run().map_err(|e| e.to_string())?;
+    let result = run.run();
     finish_progress(sampler);
+    if let Some(path) = &obs_opts.flight_dump {
+        println!("flight recorder dumped to {path}");
+    }
+    let report = match result {
+        Ok(report) => report,
+        Err(e) => {
+            if let Some(svc) = service.as_mut() {
+                svc.finish(live_registry(&live.snapshot()), false, "faulted");
+            }
+            return Err(e.to_string());
+        }
+    };
+    let registry = report.metrics_with_spans(&obs.spans());
     print!("{report}");
     if obs_opts.metrics {
-        obs_opts.print_metrics(&report.metrics_with_spans(&obs.spans()));
+        obs_opts.print_metrics(&registry);
+    }
+    if let Some(svc) = service.as_mut() {
+        svc.finish(registry, true, "complete");
     }
     obs_opts.export(&obs, &platform)?;
 
@@ -224,6 +265,7 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
     cp.reject_faults("align")?;
     let config = parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
+    obs_opts.reject_serving("align")?;
     let width: usize = args.flag_value("--width")?.unwrap_or(72);
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
     let path_b = args.next_positional().ok_or("missing second FASTA path")?;
@@ -292,6 +334,9 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     }
     let gantt = args.take_flag("--gantt");
     args.finish()?;
+    if obs_opts.flight_dump.is_some() {
+        return Err("simulate does not record a flight box; --flight-dump needs compare".into());
+    }
 
     let obs = obs_opts.recorder();
     // The DES solves the schedule instantaneously and replays kernel
@@ -300,6 +345,7 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
     // snapshot rather than racing a sampler against the replay.
     let live =
         LiveTelemetry::with_manual_clock(platform.len(), (m as u64).saturating_mul(n as u64));
+    let mut service = obs_opts.serve(&live, None)?;
     let mut sim = DesSim::new(m, n, &platform)
         .config(config)
         .observer(obs.clone())
@@ -322,11 +368,18 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
         );
     }
     if let Some(e) = &run.aborted {
+        if let Some(svc) = service.as_mut() {
+            svc.finish(live_registry(&live.snapshot()), false, "aborted");
+        }
         return Err(e.to_string());
     }
+    let registry = run.report.metrics_with_spans(&obs.spans());
     print!("{}", run.report);
     if obs_opts.metrics {
-        obs_opts.print_metrics(&run.report.metrics_with_spans(&obs.spans()));
+        obs_opts.print_metrics(&registry);
+    }
+    if let Some(svc) = service.as_mut() {
+        svc.finish(registry, true, "complete");
     }
     obs_opts.export(&obs, &platform)?;
     match &run.memory {
@@ -417,6 +470,90 @@ fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve-metrics`: a long-lived observability endpoint. Generates a fresh
+/// synthetic pair each iteration, runs the threaded pipeline with live
+/// telemetry and a flight recorder attached, and republishes the registry —
+/// live counters during each run, the full post-run registry between runs —
+/// while the std-only HTTP listener serves `/metrics`, `/health` and
+/// `/flight`. Loops forever unless `--runs` bounds it.
+fn cmd_serve_metrics(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    cp.reject_faults("serve-metrics")?;
+    let config = parse_config(&mut args, cp.policy)?;
+    let addr = args
+        .flag_str("--metrics-addr")
+        .ok_or("--metrics-addr is required")?;
+    let length: usize = args.flag_value("--length")?.unwrap_or(100_000);
+    let seed: u64 = args.flag_value("--seed")?.unwrap_or(42);
+    let runs: Option<u64> = args.flag_value("--runs")?;
+    args.finish()?;
+    if length == 0 {
+        return Err("--length must be at least 1".into());
+    }
+
+    let hub = MetricsHub::new();
+    let flight = FlightRecorder::new(platform.len(), megasw::obs::flight::DEFAULT_CAPACITY);
+    hub.attach_flight(Arc::clone(&flight));
+    hub.set_health(true, "idle");
+    let server = MetricsServer::bind(&addr, Arc::clone(&hub))
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "serving /metrics /health /flight on http://{}/ ({} on {})",
+        server.local_addr(),
+        match runs {
+            Some(n) => format!("{n} runs"),
+            None => "looping until killed".into(),
+        },
+        platform.name
+    );
+
+    let mut iteration = 0u64;
+    loop {
+        iteration += 1;
+        let a =
+            ChromosomeGenerator::new(GenerateConfig::sized(length, seed ^ iteration)).generate();
+        let (b, _) = DivergenceModel::test_scale(seed.wrapping_add(iteration)).apply(&a);
+        let live = LiveTelemetry::new(
+            platform.len(),
+            (a.len() as u64).saturating_mul(b.len() as u64),
+        );
+        hub.set_health(true, "running");
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            ProgressSampler::spawn(
+                Arc::clone(&live),
+                Duration::from_millis(250),
+                move |cur, _prev| hub.publish(live_registry(cur)),
+            )
+        };
+        let result = PipelineRun::new(a.codes(), b.codes(), &platform)
+            .config(config.clone())
+            .live(Arc::clone(&live))
+            .flight(Arc::clone(&flight))
+            .run();
+        publisher.stop();
+        let report = result.map_err(|e| e.to_string())?;
+        let mut registry = report.metrics();
+        registry.describe("serve.iterations", "Comparisons completed by serve-metrics");
+        registry.incr("serve.iterations", iteration);
+        hub.publish(registry);
+        hub.set_health(true, "idle");
+        println!(
+            "run {iteration}: best {} at ({}, {}) in {:.0?}",
+            report.best.score,
+            report.best.i,
+            report.best.j,
+            report.wall_time.unwrap_or_default()
+        );
+        if Some(iteration) == runs {
+            break;
+        }
+    }
+    server.shutdown();
+    Ok(())
+}
+
 // ---------------------------------------------------------------------------
 // Shared parsing helpers
 // ---------------------------------------------------------------------------
@@ -452,11 +589,68 @@ struct ObsOptions {
     metrics_format: MetricsFormat,
     progress: bool,
     progress_interval: Duration,
+    metrics_addr: Option<String>,
+    flight_dump: Option<String>,
 }
 
 impl ObsOptions {
     fn recorder(&self) -> Recorder {
         Recorder::new(self.level)
+    }
+
+    /// Build a flight recorder when anything will read it: either
+    /// `--flight-dump` wants a post-run JSONL, or `--metrics-addr` serves
+    /// the live `/flight` endpoint.
+    fn flight(&self, lanes: usize) -> Option<Arc<FlightRecorder>> {
+        (self.flight_dump.is_some() || self.metrics_addr.is_some())
+            .then(|| FlightRecorder::new(lanes, megasw::obs::flight::DEFAULT_CAPACITY))
+    }
+
+    /// Reject the endpoint/flight flags on subcommands that cannot honour
+    /// them (align's three-stage driver owns its own pipeline runs).
+    fn reject_serving(&self, subcommand: &str) -> Result<(), String> {
+        if self.metrics_addr.is_some() || self.flight_dump.is_some() {
+            return Err(format!(
+                "{subcommand} does not support --metrics-addr / --flight-dump"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bind the `--metrics-addr` HTTP listener and start republishing the
+    /// live counters into its hub. Returns `None` when the flag is absent.
+    fn serve(
+        &self,
+        live: &Arc<LiveTelemetry>,
+        flight: Option<&Arc<FlightRecorder>>,
+    ) -> Result<Option<MetricsService>, String> {
+        let Some(addr) = &self.metrics_addr else {
+            return Ok(None);
+        };
+        let hub = MetricsHub::new();
+        if let Some(fr) = flight {
+            hub.attach_flight(Arc::clone(fr));
+        }
+        hub.set_health(true, "running");
+        let server = MetricsServer::bind(addr, Arc::clone(&hub))
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        println!(
+            "serving /metrics /health /flight on http://{}/",
+            server.local_addr()
+        );
+        let publisher = {
+            let hub = Arc::clone(&hub);
+            ProgressSampler::spawn(
+                Arc::clone(live),
+                self.progress_interval.min(Duration::from_millis(250)),
+                move |cur, _prev| hub.publish(live_registry(cur)),
+            )
+        };
+        Ok(Some(MetricsService {
+            hub,
+            _server: server,
+            publisher: Some(publisher),
+        }))
     }
 
     /// Write the recorded spans as a Chrome trace, if requested.
@@ -511,9 +705,63 @@ fn finish_progress(sampler: Option<ProgressSampler>) {
     }
 }
 
+/// A live `--metrics-addr` endpoint for one run: the hub the handlers read
+/// from, the HTTP listener, and a sampler that republishes the registry
+/// from the live counters every few hundred milliseconds.
+struct MetricsService {
+    hub: Arc<MetricsHub>,
+    _server: MetricsServer,
+    publisher: Option<ProgressSampler>,
+}
+
+impl MetricsService {
+    /// Swap in the final post-run registry and flip `/health` to `state`.
+    /// The listener keeps serving until the service value is dropped, so a
+    /// scraper arriving between run end and process exit still sees the
+    /// complete picture.
+    fn finish(&mut self, registry: MetricsRegistry, healthy: bool, state: &str) {
+        if let Some(p) = self.publisher.take() {
+            p.stop();
+        }
+        self.hub.publish(registry);
+        self.hub.set_health(healthy, state);
+    }
+}
+
+/// Render the in-flight counters as a registry for the `/metrics` endpoint:
+/// overall progress plus the per-device phase clocks, in the same
+/// `attr.d{N}` namespace the final report uses.
+fn live_registry(s: &LiveSnapshot) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    m.describe("live.cells_done", "DP cells computed so far");
+    m.describe("live.now_ns", "Run clock at the sample instant");
+    m.describe("live.recoveries", "Device recoveries observed so far");
+    m.incr("live.cells_done", s.cells_done());
+    m.incr("live.now_ns", s.now_ns);
+    m.incr("live.recoveries", s.recoveries);
+    m.observe("live.fraction_done", s.fraction_done());
+    m.observe("live.gcups_cumulative", s.gcups_cumulative());
+    for (i, d) in s.devices.iter().enumerate() {
+        m.incr(&format!("live.d{i}.rows_done"), d.rows_done);
+        m.incr(&format!("live.d{i}.busy_ns"), d.busy_ns);
+        m.incr(&format!("attr.d{i}.wait_input_ns"), d.wait_input_ns);
+        m.incr(&format!("attr.d{i}.wait_output_ns"), d.wait_output_ns);
+        m.incr(&format!("attr.d{i}.checkpoint_ns"), d.checkpoint_ns);
+        m.incr(&format!("attr.d{i}.prune_skip_ns"), d.prune_skip_ns);
+    }
+    m
+}
+
 fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     let trace_out = args.flag_str("--trace-out");
     let metrics = args.take_flag("--metrics");
+    let metrics_addr = args.flag_str("--metrics-addr");
+    let flight_dump = args.flag_str("--flight-dump");
+    if let Some(addr) = &metrics_addr {
+        if !addr.contains(':') {
+            return Err(format!("--metrics-addr needs HOST:PORT, got {addr:?}"));
+        }
+    }
     let progress = args.take_flag("--progress");
     let interval_ms = args.flag_value::<u64>("--progress-interval-ms")?;
     let metrics_format = args.flag_str("--metrics-format");
@@ -561,6 +809,8 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
         metrics_format,
         progress,
         progress_interval: Duration::from_millis(interval_ms.unwrap_or(500)),
+        metrics_addr,
+        flight_dump,
     })
 }
 
@@ -1031,6 +1281,36 @@ mod tests {
         let mut s = stream(&["--metrics-format", "prom"]);
         let err = parse_obs(&mut s).unwrap_err();
         assert!(err.contains("requires --metrics"), "{err}");
+    }
+
+    #[test]
+    fn metrics_addr_and_flight_dump_parsing() {
+        // Defaults: neither endpoint nor flight box.
+        let mut s = stream(&[]);
+        let o = parse_obs(&mut s).unwrap();
+        assert!(o.metrics_addr.is_none());
+        assert!(o.flight_dump.is_none());
+        assert!(o.flight(3).is_none());
+        assert!(o.reject_serving("align").is_ok());
+
+        let mut s = stream(&["--metrics-addr", "127.0.0.1:0"]);
+        let o = parse_obs(&mut s).unwrap();
+        assert_eq!(o.metrics_addr.as_deref(), Some("127.0.0.1:0"));
+        // The endpoint serves /flight, so a recorder is kept even without
+        // --flight-dump; one lane per device.
+        let fr = o.flight(3).expect("endpoint keeps a flight recorder");
+        assert_eq!(fr.num_lanes(), 3);
+        assert!(o.reject_serving("align").is_err());
+
+        let mut s = stream(&["--metrics-addr", "localhost"]);
+        let err = parse_obs(&mut s).unwrap_err();
+        assert!(err.contains("HOST:PORT"), "{err}");
+
+        let mut s = stream(&["--flight-dump", "box.jsonl"]);
+        let o = parse_obs(&mut s).unwrap();
+        assert_eq!(o.flight_dump.as_deref(), Some("box.jsonl"));
+        assert!(o.flight(2).is_some());
+        assert!(o.reject_serving("align").is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 pub use megasw_gpusim as gpusim;
 pub use megasw_multigpu as multigpu;
+pub use megasw_obs as obs;
 pub use megasw_seq as seq;
 pub use megasw_sw as sw;
 
@@ -86,15 +87,18 @@ pub mod prelude {
     pub use megasw_multigpu::stages::{
         multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
-    pub use megasw_multigpu::stats::{DeviceReport, PruningReport, RecoveryReport, StallBreakdown};
+    pub use megasw_multigpu::stats::{
+        DeviceReport, PruningReport, RecoveryReport, StallAttribution, StallBreakdown,
+    };
     pub use megasw_multigpu::{
         make_slabs, BorderMsg, CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode,
         RunConfig, RunReport, Slab,
     };
     pub use megasw_obs::{
-        chrome_trace, metrics_json, prometheus, render_progress_line, validate as validate_trace,
-        DeviceSnapshot, LiveSnapshot, LiveTelemetry, MetricsRegistry, ObsKind, ObsLevel, ObsSpan,
-        ProgressSampler, Recorder, RingGauge,
+        chrome_trace, http_get, metrics_json, prometheus, render_progress_line,
+        validate as validate_trace, DeviceSnapshot, FlightEvent, FlightKind, FlightRecorder,
+        LiveSnapshot, LiveTelemetry, MetricsHub, MetricsRegistry, MetricsServer, ObsKind, ObsLevel,
+        ObsSpan, ProgressSampler, Recorder, RingGauge, StallPhase,
     };
     pub use megasw_seq::{
         ChromosomeGenerator, ChromosomePair, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide,

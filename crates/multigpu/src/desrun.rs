@@ -33,9 +33,9 @@ use crate::checkpoint::RecoveryPolicy;
 use crate::config::{PruneMode, RunConfig};
 use crate::partition::{make_slabs, make_slabs_excluding, Slab};
 use crate::pipeline::{FaultPhase, FaultSchedule, PipelineError};
-use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport};
+use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallAttribution};
 use megasw_gpusim::{KernelModel, Platform, ResourceId, Schedule, SimTime, SpanKind, TaskId};
-use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
+use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder, StallPhase};
 use std::sync::Arc;
 
 // The stall accounting moved to `stats` so both backends share one type;
@@ -625,6 +625,7 @@ fn run_plain(
             }),
             recovery: policy.map(|_| RecoveryReport::default()),
             kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
+            simd_rescues: 0,
         };
         return DesRun {
             report,
@@ -886,6 +887,7 @@ fn aborted_run(
             pruning: None,
             recovery,
             kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
+            simd_rescues: 0,
         },
         schedule: graph.schedule,
         memory,
@@ -1010,6 +1012,13 @@ fn finalize(
             bd
         })
         .collect();
+    // Mirror the threaded workers' live phase attribution: simulated
+    // border waits are the DES's only measured stall phase.
+    if let Some(live) = env.live {
+        for (s_idx, bd) in stalls.iter().enumerate() {
+            live.on_phase_ns(s_idx, StallPhase::WaitInput, bd.input_stalls.as_nanos());
+        }
+    }
     // Rows the final attempt actually covered (all of them, fault-free).
     let height_covered = m - (start_row * config.block_h).min(m);
     let devices = slabs
@@ -1027,6 +1036,20 @@ fn finalize(
             } else {
                 0
             };
+            // The DES's attribution mirror: simulated kernel busy time is
+            // `compute`, inter-kernel gaps are `wait_input`, and the
+            // unmeasured remainder (startup + drain + lost attempts'
+            // offset) lands in `other` — the same sum-to-makespan identity
+            // as the threaded backend, over `sim_time` as the makespan.
+            let attribution = StallAttribution::from_measured(
+                sim_time.as_nanos(),
+                busy.as_nanos(),
+                stalls[s].input_stalls.as_nanos(),
+                0,
+                0,
+                0,
+                0,
+            );
             DeviceReport {
                 device: slab.device,
                 name: platform.devices[slab.device].name.clone(),
@@ -1039,6 +1062,7 @@ fn finalize(
                 sim_busy: Some(busy),
                 sim_utilization: Some(schedule.utilization(computes[s])),
                 stall: Some(stalls[s]),
+                attribution: Some(attribution),
             }
         })
         .collect();
@@ -1054,6 +1078,7 @@ fn finalize(
         pruning,
         recovery,
         kernel: megasw_sw::KernelSelection::modeled(config.policy.dispatch),
+        simd_rescues: 0,
     };
     DesRun {
         report,
@@ -1347,6 +1372,31 @@ mod tests {
         for (d, bd) in run.report.devices.iter().zip(&run.stalls) {
             assert_eq!(d.stall, Some(*bd));
         }
+    }
+
+    #[test]
+    fn des_attribution_sums_to_sim_time_and_mirrors_stalls() {
+        let p = Platform::env2();
+        let run = run_des(MBP, MBP, &p, &cfg());
+        let sim_ns = run.report.sim_time.unwrap().as_nanos();
+        for (d, bd) in run.report.devices.iter().zip(&run.stalls) {
+            let attr = d.attribution.expect("DES runs attribute phases");
+            assert_eq!(attr.total_ns(), sim_ns, "device {}: {attr}", d.device);
+            assert_eq!(attr.compute_ns, d.sim_busy.unwrap().as_nanos());
+            assert_eq!(attr.wait_input_ns, bd.input_stalls.as_nanos());
+            // The twin models no checkpoint/prune/rescue clocks; everything
+            // else (startup + drain) lands in `other`.
+            assert_eq!(attr.checkpoint_ns, 0);
+            assert_eq!(attr.prune_skip_ns, 0);
+            assert_eq!(attr.simd_rescue_ns, 0);
+            assert_eq!(
+                attr.other_ns,
+                (bd.startup + bd.drain).as_nanos(),
+                "device {}",
+                d.device
+            );
+        }
+        assert_eq!(run.report.simd_rescues, 0);
     }
 
     #[test]

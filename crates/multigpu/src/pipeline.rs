@@ -73,14 +73,19 @@ use crate::circbuf::{BorderMsg, CircularBuffer, RingError, RingStats};
 use crate::config::{PruneMode, RunConfig};
 use crate::error::MegaswError;
 use crate::partition::{make_slabs, make_slabs_excluding, Slab};
-use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown};
+use crate::stats::{
+    DeviceReport, PruningReport, RecoveryReport, RunReport, StallAttribution, StallBreakdown,
+};
 use megasw_gpusim::Platform;
-use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder};
+use megasw_obs::{
+    FlightEvent, FlightKind, FlightRecorder, LiveTelemetry, ObsKind, ObsSpan, Recorder, StallPhase,
+};
 use megasw_sw::block::{skip_block, BlockInput};
 use megasw_sw::border::{ColBorder, RowBorder};
 use megasw_sw::cell::{BestCell, Score};
 use megasw_sw::kernel::{self, Kernel, KernelSelection};
 use megasw_sw::prune::{prune_bound, restore_corner, tile_is_prunable};
+use std::path::PathBuf;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicI32, Ordering};
 use std::sync::Arc;
@@ -333,6 +338,8 @@ pub struct PipelineRun<'a> {
     recovery: Option<RecoveryPolicy>,
     observer: Recorder,
     live: Option<Arc<LiveTelemetry>>,
+    flight: Option<Arc<FlightRecorder>>,
+    flight_dump: Option<PathBuf>,
 }
 
 impl<'a> PipelineRun<'a> {
@@ -350,6 +357,8 @@ impl<'a> PipelineRun<'a> {
             recovery: None,
             observer: Recorder::disabled(),
             live: None,
+            flight: None,
+            flight_dump: None,
         }
     }
 
@@ -399,9 +408,32 @@ impl<'a> PipelineRun<'a> {
         self
     }
 
+    /// Attach a flight recorder: each worker appends one structured event
+    /// per step (row start, ring pop, compute, checkpoint, ring push,
+    /// prune skip, fault) to its own lock-free ring. Keep a clone to dump
+    /// the rings yourself, or set [`PipelineRun::flight_dump_path`] to
+    /// have `run()` dump them as JSONL automatically. Lanes follow chain
+    /// position, like live-telemetry device indices.
+    pub fn flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Dump the attached flight recorder's rings to `path` as JSONL when
+    /// `run()` finishes — always on a failed run (the black-box read-out),
+    /// and also on success so `--flight-dump` doubles as an on-demand
+    /// dump. No-op unless a recorder is attached via
+    /// [`PipelineRun::flight`].
+    pub fn flight_dump_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.flight_dump = Some(path.into());
+        self
+    }
+
     /// Execute the run.
     pub fn run(self) -> Result<RunReport, MegaswError> {
-        match self.recovery {
+        let flight = self.flight.clone();
+        let dump = self.flight_dump.clone();
+        let result = match self.recovery {
             None => run_pipeline_live(
                 self.a,
                 self.b,
@@ -411,6 +443,7 @@ impl<'a> PipelineRun<'a> {
                 self.semantics,
                 &self.observer,
                 self.live.as_ref(),
+                self.flight.as_ref(),
             )
             .map_err(MegaswError::from),
             Some(policy) => run_pipeline_recover_live(
@@ -423,9 +456,15 @@ impl<'a> PipelineRun<'a> {
                 self.semantics,
                 &self.observer,
                 self.live.as_ref(),
+                self.flight.as_ref(),
             )
             .map_err(MegaswError::from),
+        };
+        if let (Some(fr), Some(path)) = (&flight, &dump) {
+            // Best-effort: a failing dump must not mask the run's result.
+            let _ = fr.dump_to(path);
         }
+        result
     }
 }
 
@@ -446,6 +485,14 @@ struct DevicePartial {
     first_kernel_start_ns: u64,
     last_kernel_end_ns: u64,
     busy_ns: u64,
+    /// Fine-grained phase clocks for [`StallAttribution`].
+    wait_input_ns: u64,
+    wait_output_ns: u64,
+    checkpoint_ns: u64,
+    prune_skip_ns: u64,
+    simd_rescue_ns: u64,
+    /// SIMD→scalar rescues this worker's thread triggered.
+    simd_rescues: u64,
 }
 
 /// The engine behind the builder, with optional in-flight telemetry. Live
@@ -463,6 +510,7 @@ pub(crate) fn run_pipeline_live(
     semantics: Semantics,
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
+    flight: Option<&Arc<FlightRecorder>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
@@ -497,6 +545,7 @@ pub(crate) fn run_pipeline_live(
         semantics,
         obs,
         live,
+        flight,
         resume: None,
         ckpt: None,
     });
@@ -553,6 +602,7 @@ pub(crate) fn run_pipeline_recover_live(
     semantics: Semantics,
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
+    flight: Option<&Arc<FlightRecorder>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
@@ -612,6 +662,7 @@ pub(crate) fn run_pipeline_recover_live(
             semantics,
             obs,
             live,
+            flight,
             resume: resume.as_ref(),
             ckpt: Some(CkptCtx {
                 store: &store,
@@ -703,6 +754,7 @@ struct AttemptParams<'e> {
     semantics: Semantics,
     obs: &'e Recorder,
     live: Option<&'e Arc<LiveTelemetry>>,
+    flight: Option<&'e Arc<FlightRecorder>>,
     /// Checkpoint to resume from (tops are sliced out of its lanes).
     resume: Option<&'e Checkpoint>,
     /// Where workers deposit checkpoints, when recovery is enabled.
@@ -788,6 +840,7 @@ fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
                     semantics: p.semantics,
                     obs: p.obs,
                     live: p.live,
+                    flight: p.flight,
                     resume: p.resume,
                     ckpt: p.ckpt,
                     global_watermark,
@@ -915,6 +968,18 @@ fn assemble_report(
                 p.last_kernel_end_ns.saturating_sub(run_start_ns),
                 p.busy_ns,
             );
+            // Phase attribution over the whole run's makespan; for a
+            // recovered run the final attempt's measured phases are what
+            // the survivors did, and the lost attempts land in `other`.
+            let attribution = StallAttribution::from_measured(
+                wall_ns,
+                p.busy_ns,
+                p.wait_input_ns,
+                p.wait_output_ns,
+                p.checkpoint_ns,
+                p.prune_skip_ns,
+                p.simd_rescue_ns,
+            );
             DeviceReport {
                 device: slab.device,
                 name: platform.devices[slab.device].name.clone(),
@@ -927,6 +992,7 @@ fn assemble_report(
                 sim_busy: None,
                 sim_utilization: None,
                 stall: Some(stall),
+                attribution: Some(attribution),
             }
         })
         .collect();
@@ -943,6 +1009,7 @@ fn assemble_report(
         pruning,
         recovery,
         kernel,
+        simd_rescues: partials.iter().map(|p| p.simd_rescues).sum(),
     }
 }
 
@@ -962,6 +1029,7 @@ struct WorkerParams<'e> {
     semantics: Semantics,
     obs: &'e Recorder,
     live: Option<&'e Arc<LiveTelemetry>>,
+    flight: Option<&'e Arc<FlightRecorder>>,
     resume: Option<&'e Checkpoint>,
     ckpt: Option<CkptCtx<'e>>,
     /// Shared watermark for non-adjacent devices (distributed pruning).
@@ -990,6 +1058,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         semantics,
         obs,
         live,
+        flight,
         resume,
         ckpt,
         global_watermark,
@@ -1037,6 +1106,32 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
     let mut first_kernel_start_ns: Option<u64> = None;
     let mut last_kernel_end_ns: u64 = 0;
     let mut busy_ns: u64 = 0;
+    // Fine-grained phase clocks (StallAttribution). Rescue time is read
+    // from the kernel crate's thread-local counters — this worker owns its
+    // thread, so the deltas are exactly its own rescues.
+    let mut wait_input_ns: u64 = 0;
+    let mut wait_output_ns: u64 = 0;
+    let mut checkpoint_ns: u64 = 0;
+    let mut prune_skip_ns: u64 = 0;
+    let rescues_base = kernel::simd_rescues_thread();
+    let rescue_ns_base = kernel::simd_rescue_ns_thread();
+    // One flight-recorder append per step; ~70 ns each, only when a
+    // recorder is attached.
+    let fly = |kind: FlightKind, row: u64, t_ns: u64, dur_ns: u64, aux: u64| {
+        if let Some(fr) = flight {
+            fr.record(
+                s_idx,
+                FlightEvent {
+                    kind,
+                    device: lane,
+                    row,
+                    t_ns,
+                    dur_ns,
+                    aux,
+                },
+            );
+        }
+    };
 
     // The pruning watermark: the highest score this worker *knows about*.
     // It only ever grows (fold is max) and only ever folds scores that some
@@ -1050,18 +1145,26 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         PruneMode::Local | PruneMode::Distributed => resume.map_or(0, |ck| ck.watermark),
     };
 
-    let die = |cells: u128, r: usize| WorkerFailure {
-        error: PipelineError::DeviceFault {
-            device: slab.device,
-            block_row: r,
-        },
-        cells,
+    // Fault events carry aux 0 = injected device fault, 1 = poisoned ring
+    // observed from a dead neighbour.
+    let die = |cells: u128, r: usize| {
+        fly(FlightKind::Fault, r as u64, obs.now_ns(), 0, 0);
+        WorkerFailure {
+            error: PipelineError::DeviceFault {
+                device: slab.device,
+                block_row: r,
+            },
+            cells,
+        }
     };
-    let poisoned = |cells: u128| WorkerFailure {
-        error: PipelineError::RingPoisoned {
-            device: slab.device,
-        },
-        cells,
+    let poisoned = |cells: u128, r: usize| {
+        fly(FlightKind::Fault, r as u64, obs.now_ns(), 0, 1);
+        WorkerFailure {
+            error: PipelineError::RingPoisoned {
+                device: slab.device,
+            },
+            cells,
+        }
     };
 
     for r in start_row..rows {
@@ -1069,6 +1172,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         let i1 = ((r + 1) * block_h).min(m) + 1;
         let height = i1 - i0;
         let row = r as u32;
+        fly(FlightKind::RowStart, r as u64, obs.now_ns(), 0, 0);
 
         if faults.fires(slab.device, r, FaultPhase::RingPop) {
             return Err(die(cells, r));
@@ -1089,7 +1193,19 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
             Some(ring) => {
                 let wait_start = obs.now_ns();
                 let popped = ring.pop();
+                let wait_end = obs.now_ns().max(wait_start);
                 obs.record_since(ObsKind::RingPopWait, Some(lane), Some(row), wait_start);
+                wait_input_ns += wait_end - wait_start;
+                if let Some(live) = live {
+                    live.on_phase_ns(s_idx, StallPhase::WaitInput, wait_end - wait_start);
+                }
+                fly(
+                    FlightKind::RingPop,
+                    r as u64,
+                    wait_end,
+                    wait_end - wait_start,
+                    0,
+                );
                 match popped {
                     Ok(Some(msg)) => {
                         let BorderMsg {
@@ -1106,7 +1222,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                     }
                     // Closed-early and poisoned both mean a neighbour died.
                     Ok(None) | Err(RingError::Closed) | Err(RingError::Poisoned) => {
-                        return Err(poisoned(cells));
+                        return Err(poisoned(cells, r));
                     }
                 }
             }
@@ -1127,7 +1243,23 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                     // Skip the tile: emit the substitute zero/−∞ borders
                     // sw::prune defines. Downstream DP over those borders
                     // can only underestimate — safe under local semantics.
+                    // The skip happens inside the kernel timing window, so
+                    // its clock is carved out of busy_ns by the
+                    // attribution, not added on top.
+                    let skip_start = obs.now_ns();
                     let out = skip_block(height, wc);
+                    let skip_ns = obs.now_ns().max(skip_start) - skip_start;
+                    prune_skip_ns += skip_ns;
+                    if let Some(live) = live {
+                        live.on_phase_ns(s_idx, StallPhase::PruneSkip, skip_ns);
+                    }
+                    fly(
+                        FlightKind::PruneSkip,
+                        r as u64,
+                        skip_start,
+                        skip_ns,
+                        jc0 as u64,
+                    );
                     tops[c] = out.bottom;
                     left = out.right;
                     tiles_pruned += 1;
@@ -1171,6 +1303,13 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         first_kernel_start_ns.get_or_insert(kernel_start);
         last_kernel_end_ns = kernel_end;
         busy_ns += kernel_end - kernel_start;
+        fly(
+            FlightKind::Compute,
+            r as u64,
+            kernel_end,
+            kernel_end - kernel_start,
+            cols.len() as u64,
+        );
         if let Some(live) = live {
             live.on_row_done(
                 s_idx,
@@ -1197,6 +1336,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         if let Some(ck) = ckpt {
             let wave = r + 1;
             if wave % ck.interval == 0 && wave < rows {
+                let ckpt_start = obs.now_ns();
                 let mut h = Vec::with_capacity(slab.width + 1);
                 let mut f = Vec::with_capacity(slab.width + 1);
                 h.push(tops[0].h[0]);
@@ -1207,6 +1347,18 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                 }
                 ck.store
                     .record(ck.attempt, wave, s_idx, h, f, best, watermark);
+                let ckpt_ns = obs.now_ns().max(ckpt_start) - ckpt_start;
+                checkpoint_ns += ckpt_ns;
+                if let Some(live) = live {
+                    live.on_phase_ns(s_idx, StallPhase::Checkpoint, ckpt_ns);
+                }
+                fly(
+                    FlightKind::Checkpoint,
+                    r as u64,
+                    ckpt_start,
+                    ckpt_ns,
+                    wave as u64,
+                );
             }
         }
 
@@ -1223,9 +1375,21 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
                 border: left,
                 watermark,
             });
+            let push_end = obs.now_ns().max(push_start);
             obs.record_since(ObsKind::RingPush, Some(lane), Some(row), push_start);
+            wait_output_ns += push_end - push_start;
+            if let Some(live) = live {
+                live.on_phase_ns(s_idx, StallPhase::WaitOutput, push_end - push_start);
+            }
+            fly(
+                FlightKind::RingPush,
+                r as u64,
+                push_end,
+                push_end - push_start,
+                0,
+            );
             if pushed.is_err() {
-                return Err(poisoned(cells));
+                return Err(poisoned(cells, r));
             }
         }
 
@@ -1249,6 +1413,12 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         first_kernel_start_ns: first_kernel_start_ns.unwrap_or(0),
         last_kernel_end_ns,
         busy_ns,
+        wait_input_ns,
+        wait_output_ns,
+        checkpoint_ns,
+        prune_skip_ns,
+        simd_rescue_ns: kernel::simd_rescue_ns_thread().saturating_sub(rescue_ns_base),
+        simd_rescues: kernel::simd_rescues_thread().saturating_sub(rescues_base),
     })
 }
 
@@ -1282,6 +1452,7 @@ fn empty_report(
                 sim_busy: None,
                 sim_utilization: None,
                 stall: None,
+                attribution: None,
             })
             .collect(),
         pruning: prune_mode.is_enabled().then_some(PruningReport {
@@ -1293,6 +1464,7 @@ fn empty_report(
         }),
         recovery,
         kernel,
+        simd_rescues: 0,
     }
 }
 
@@ -1600,6 +1772,139 @@ mod tests {
                 "device {}: {bd}",
                 d.device
             );
+        }
+    }
+
+    #[test]
+    fn threaded_attribution_sums_to_makespan_and_matches_live() {
+        let (a, b) = pair(3_000, 12);
+        let total = (a.codes().len() * b.codes().len()) as u64;
+        let live = LiveTelemetry::new(3, total);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(RunConfig::test_default())
+            .live(Arc::clone(&live))
+            .run()
+            .unwrap();
+        let wall_ns = report.wall_time.unwrap().as_nanos() as u64;
+        assert_eq!(report.devices.len(), 3);
+        let s = live.snapshot();
+        for (i, d) in report.devices.iter().enumerate() {
+            let attr = d.attribution.expect("threaded runs attribute phases");
+            // The defining identity: phases sum to the makespan exactly.
+            assert_eq!(attr.total_ns(), wall_ns, "device {}: {attr}", d.device);
+            assert!(attr.compute_ns > 0, "device {} computed", d.device);
+            // No checkpointing, no pruning, scalar-or-clean dispatch in
+            // this config: those phases stay zero.
+            assert_eq!(attr.checkpoint_ns, 0);
+            assert_eq!(attr.prune_skip_ns, 0);
+            // The live handle saw the same phase clocks the report did.
+            assert_eq!(s.devices[i].wait_input_ns, attr.wait_input_ns);
+            assert_eq!(s.devices[i].wait_output_ns, attr.wait_output_ns);
+        }
+        // Chain consumers pop borders; some wait time must have been
+        // attributed somewhere downstream of device 0.
+        assert!(report.devices[1..].iter().all(
+            |d| d.attribution.unwrap().wait_input_ns > 0 || d.attribution.unwrap().other_ns > 0
+        ));
+    }
+
+    #[test]
+    fn attribution_covers_checkpoint_and_prune_phases() {
+        // A recovered, pruned run exercises the checkpoint and prune-skip
+        // clocks; the sum-to-makespan identity must survive both.
+        let (a, b) = pair(3_000, 77);
+        let cfg = RunConfig::test_default()
+            .with_pruning(PruneMode::Distributed)
+            .with_checkpoint(CheckpointCadence::EveryRows(4));
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(cfg)
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 12,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(report.recovery.as_ref().unwrap().recoveries, 1);
+        let wall_ns = report.wall_time.unwrap().as_nanos() as u64;
+        let mut checkpointed = 0u64;
+        for d in &report.devices {
+            let attr = d.attribution.unwrap();
+            assert_eq!(attr.total_ns(), wall_ns, "device {}: {attr}", d.device);
+            checkpointed += attr.checkpoint_ns;
+        }
+        assert!(checkpointed > 0, "checkpoint deposits take measurable time");
+        assert!(
+            report.pruning.unwrap().tiles_pruned == 0
+                || report
+                    .devices
+                    .iter()
+                    .any(|d| d.attribution.unwrap().prune_skip_ns > 0
+                        || d.attribution.unwrap().compute_ns > 0)
+        );
+    }
+
+    #[test]
+    fn flight_recorder_black_boxes_a_fault() {
+        let (a, b) = pair(2_000, 21);
+        let flight = megasw_obs::FlightRecorder::new(2, 64);
+        let dir = std::env::temp_dir().join(format!("megasw-flight-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let dump = dir.join("fault.jsonl");
+        let err = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .faults(FaultPlan {
+                device: 0,
+                fail_at_block_row: 3,
+            })
+            .flight(Arc::clone(&flight))
+            .flight_dump_path(&dump)
+            .run()
+            .unwrap_err();
+        assert!(matches!(
+            err.as_pipeline(),
+            Some(PipelineError::DeviceFault { device: 0, .. })
+        ));
+        // Lane 0's ring replays the last moments and ends at the fault.
+        let events = flight.events(0);
+        let last = events.last().expect("lane 0 recorded events");
+        assert_eq!(last.kind, megasw_obs::FlightKind::Fault);
+        assert_eq!(last.row, 3);
+        assert!(events
+            .iter()
+            .any(|e| e.kind == megasw_obs::FlightKind::Compute));
+        // Lane 1 observed the poisoned ring (fault with aux 1).
+        assert!(flight
+            .events(1)
+            .iter()
+            .any(|e| e.kind == megasw_obs::FlightKind::Fault && e.aux == 1));
+        // The builder dumped the black box as JSONL automatically.
+        let text = std::fs::read_to_string(&dump).expect("dump file written on fault");
+        assert!(text.contains("\"fault\""), "{text}");
+        for line in text.lines() {
+            megasw_obs::json::parse(line).expect("dump lines are valid JSON");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_recorder_wraps_and_survives_a_clean_run() {
+        let (a, b) = pair(2_000, 22);
+        let flight = megasw_obs::FlightRecorder::new(2, 8);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(RunConfig::test_default())
+            .flight(Arc::clone(&flight))
+            .run()
+            .unwrap();
+        assert!(report.best.score > 0);
+        // Capacity 8: the ring holds only the tail of the run, and every
+        // retained event is well-formed.
+        for lane in 0..2 {
+            let events = flight.events(lane);
+            assert!(!events.is_empty() && events.len() <= 8, "lane {lane}");
+            assert!(events
+                .iter()
+                .all(|e| e.kind != megasw_obs::FlightKind::Fault));
         }
     }
 

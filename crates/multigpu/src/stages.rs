@@ -86,6 +86,7 @@ pub fn multigpu_local_align_live(
         Semantics::Local,
         obs,
         live,
+        None,
     )?;
     times.stage1 = t0.elapsed();
     let best = stage1.best;
@@ -107,6 +108,7 @@ pub fn multigpu_local_align_live(
         Semantics::Anchored,
         obs,
         live,
+        None,
     )?;
     times.stage2 = t0.elapsed();
     debug_assert_eq!(

@@ -69,6 +69,131 @@ impl std::fmt::Display for StallBreakdown {
     }
 }
 
+/// Fine-grained per-device wall-clock attribution: where every nanosecond
+/// of a device's makespan went. Complements the coarse [`StallBreakdown`]
+/// envelope (which only splits *idle* time) with measured phases, and is
+/// produced by both backends.
+///
+/// The defining property: the seven fields **sum to the device's makespan
+/// exactly** — [`StallAttribution::from_measured`] computes `other_ns` as
+/// the unattributed remainder, so nothing is double-counted and nothing
+/// is lost. `prune_skip_ns` and `simd_rescue_ns` are carved *out of* the
+/// coarse busy time (they happen inside the per-tile timing window), so
+/// `compute_ns` here is strictly "productive full-tile kernel time".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StallAttribution {
+    /// Productive kernel time: full tiles computed, minus the rescue and
+    /// prune-skip slices below.
+    pub compute_ns: u64,
+    /// Blocked popping border columns from the predecessor ring.
+    pub wait_input_ns: u64,
+    /// Blocked pushing border columns to the successor ring.
+    pub wait_output_ns: u64,
+    /// Depositing checkpoint waves into the host-side store.
+    pub checkpoint_ns: u64,
+    /// Inside the prune-skip fast path (degenerate tiles).
+    pub prune_skip_ns: u64,
+    /// Re-running tiles on the scalar kernel after a SIMD rescue.
+    pub simd_rescue_ns: u64,
+    /// Everything unmeasured: thread startup, drain, row bookkeeping.
+    pub other_ns: u64,
+}
+
+impl StallAttribution {
+    /// Build from a device's measured phase clocks. `busy_ns` is the
+    /// coarse per-tile kernel time (the same number behind
+    /// `DeviceReport::wall_busy` / `sim_busy`), which *contains* the
+    /// prune-skip and rescue slices; they are subtracted out so the seven
+    /// phases stay disjoint. `other_ns` picks up the remainder, making
+    /// [`StallAttribution::total_ns`] equal `wall_ns` by construction
+    /// (all subtraction saturates, so clock jitter can shrink `other_ns`
+    /// to zero but never underflow).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measured(
+        wall_ns: u64,
+        busy_ns: u64,
+        wait_input_ns: u64,
+        wait_output_ns: u64,
+        checkpoint_ns: u64,
+        prune_skip_ns: u64,
+        simd_rescue_ns: u64,
+    ) -> Self {
+        let compute_ns = busy_ns
+            .saturating_sub(prune_skip_ns)
+            .saturating_sub(simd_rescue_ns);
+        let measured = compute_ns
+            + wait_input_ns
+            + wait_output_ns
+            + checkpoint_ns
+            + prune_skip_ns
+            + simd_rescue_ns;
+        StallAttribution {
+            compute_ns,
+            wait_input_ns,
+            wait_output_ns,
+            checkpoint_ns,
+            prune_skip_ns,
+            simd_rescue_ns,
+            other_ns: wall_ns.saturating_sub(measured),
+        }
+    }
+
+    /// Sum of all seven phases — the device's makespan when built via
+    /// [`StallAttribution::from_measured`] with consistent clocks.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns
+            + self.wait_input_ns
+            + self.wait_output_ns
+            + self.checkpoint_ns
+            + self.prune_skip_ns
+            + self.simd_rescue_ns
+            + self.other_ns
+    }
+
+    /// The non-compute share of the makespan, in `[0, 1]`.
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            (total - self.compute_ns) as f64 / total as f64
+        }
+    }
+
+    /// `(name, nanoseconds)` pairs for all seven phases, in display
+    /// order. Names are stable wire identifiers (`compute`,
+    /// `wait_input`, …) shared by metrics, JSON and the trace exporter.
+    pub fn phases(&self) -> [(&'static str, u64); 7] {
+        [
+            ("compute", self.compute_ns),
+            ("wait_input", self.wait_input_ns),
+            ("wait_output", self.wait_output_ns),
+            ("checkpoint", self.checkpoint_ns),
+            ("prune_skip", self.prune_skip_ns),
+            ("simd_rescue", self.simd_rescue_ns),
+            ("other", self.other_ns),
+        ]
+    }
+}
+
+impl std::fmt::Display for StallAttribution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total_ns().max(1);
+        let mut first = true;
+        for (name, ns) in self.phases() {
+            if ns == 0 && name != "compute" {
+                continue;
+            }
+            if !first {
+                write!(f, " | ")?;
+            }
+            first = false;
+            write!(f, "{name} {:.1}%", 100.0 * ns as f64 / total as f64)?;
+        }
+        Ok(())
+    }
+}
+
 /// Per-device section of a [`RunReport`].
 #[derive(Debug, Clone)]
 pub struct DeviceReport {
@@ -95,6 +220,10 @@ pub struct DeviceReport {
     pub sim_utilization: Option<f64>,
     /// Idle-time breakdown (both backends fill this).
     pub stall: Option<StallBreakdown>,
+    /// Fine-grained phase attribution whose phases sum to this device's
+    /// makespan (both backends fill this; the DES maps its simulated
+    /// stalls onto the same phases).
+    pub attribution: Option<StallAttribution>,
 }
 
 /// Fault-recovery accounting for one run (present whenever the run was
@@ -177,6 +306,9 @@ pub struct RunReport {
     /// actually executed tiles (threaded backend) or was modeled (DES
     /// backend).
     pub kernel: KernelSelection,
+    /// SIMD→scalar rescue re-runs the run's tiles triggered (0 on the
+    /// scalar engine and for simulated runs).
+    pub simd_rescues: u64,
 }
 
 impl RunReport {
@@ -204,11 +336,29 @@ impl RunReport {
     /// stall accounting.
     pub fn metrics(&self) -> MetricsRegistry {
         let mut m = MetricsRegistry::new();
+        m.describe("cells.total", "Total DP cells in the comparison matrix");
+        m.describe(
+            "kernel.simd_rescues",
+            "Tiles re-run on the scalar kernel after a SIMD saturation rescue",
+        );
+        m.describe(
+            "stall.startup_ns",
+            "Idle nanoseconds before each device's first kernel (pipeline fill)",
+        );
+        m.describe(
+            "stall.input_ns",
+            "Idle nanoseconds between kernels waiting on the left neighbour",
+        );
+        m.describe(
+            "stall.drain_ns",
+            "Idle nanoseconds after each device's last kernel (pipeline drain)",
+        );
         m.incr(
             "cells.total",
             u64::try_from(self.total_cells).unwrap_or(u64::MAX),
         );
         m.incr("bytes.transferred", self.total_bytes_transferred());
+        m.incr("kernel.simd_rescues", self.simd_rescues);
         if let Some(g) = self.gcups_wall {
             m.observe("gcups.wall", g);
         }
@@ -258,6 +408,47 @@ impl RunReport {
                 m.incr("stall.input_ns", bd.input_stalls.as_nanos());
                 m.incr("stall.drain_ns", bd.drain.as_nanos());
             }
+            if let Some(attr) = &d.attribution {
+                for (phase, ns) in attr.phases() {
+                    // Per-device counters plus the run-wide aggregate,
+                    // under a shared `attr.` prefix so a dashboard can
+                    // stack them.
+                    m.incr(&format!("attr.d{}.{phase}_ns", d.device), ns);
+                    m.incr(&format!("attr.{phase}_ns"), ns);
+                }
+                m.observe("attr.stall_fraction", attr.stall_fraction());
+            }
+        }
+        if self.devices.iter().any(|d| d.attribution.is_some()) {
+            m.describe(
+                "attr.compute_ns",
+                "Productive kernel nanoseconds across devices (full tiles, \
+                 rescue and prune-skip carved out)",
+            );
+            m.describe(
+                "attr.wait_input_ns",
+                "Nanoseconds blocked popping border columns from the predecessor ring",
+            );
+            m.describe(
+                "attr.wait_output_ns",
+                "Nanoseconds blocked pushing border columns to the successor ring",
+            );
+            m.describe(
+                "attr.checkpoint_ns",
+                "Nanoseconds depositing checkpoint waves",
+            );
+            m.describe(
+                "attr.prune_skip_ns",
+                "Nanoseconds in the prune-skip fast path",
+            );
+            m.describe(
+                "attr.simd_rescue_ns",
+                "Nanoseconds re-running tiles on the scalar kernel after SIMD rescues",
+            );
+            m.describe(
+                "attr.other_ns",
+                "Unattributed nanoseconds (startup, drain, row bookkeeping)",
+            );
         }
         m
     }
@@ -338,6 +529,12 @@ impl std::fmt::Display for RunReport {
                 write!(f, "  stall: {bd}")?;
             }
             writeln!(f)?;
+            if let Some(attr) = &d.attribution {
+                writeln!(f, "       attribution: {attr}")?;
+            }
+        }
+        if self.simd_rescues > 0 {
+            writeln!(f, "  simd rescues: {}", self.simd_rescues)?;
         }
         Ok(())
     }
@@ -400,6 +597,9 @@ mod tests {
                 stall: Some(StallBreakdown::from_envelope(
                     10_000_000, 1_000_000, 8_000_000, 5_000_000,
                 )),
+                attribution: Some(StallAttribution::from_measured(
+                    10_000_000, 5_000_000, 2_000_000, 500_000, 200_000, 100_000, 50_000,
+                )),
             }],
             pruning: Some(PruningReport {
                 mode: PruneMode::Distributed,
@@ -416,7 +616,54 @@ mod tests {
                 resumed_from_rows: vec![8],
             }),
             kernel: KernelSelection::default(),
+            simd_rescues: 2,
         }
+    }
+
+    #[test]
+    fn attribution_phases_sum_to_the_makespan() {
+        let attr = StallAttribution::from_measured(
+            10_000_000, 5_000_000, 2_000_000, 500_000, 200_000, 100_000, 50_000,
+        );
+        // prune_skip + simd_rescue are carved out of busy.
+        assert_eq!(attr.compute_ns, 5_000_000 - 100_000 - 50_000);
+        assert_eq!(attr.total_ns(), 10_000_000);
+        let expected_stall = 10_000_000 - attr.compute_ns;
+        assert!(
+            (attr.stall_fraction() - expected_stall as f64 / 10_000_000.0).abs() < 1e-12,
+            "{}",
+            attr.stall_fraction()
+        );
+        // Over-measured phases saturate instead of underflowing; the sum
+        // then equals the measured time, never less than the phases.
+        let noisy = StallAttribution::from_measured(100, 300, 50, 0, 0, 0, 0);
+        assert_eq!(noisy.other_ns, 0);
+        assert_eq!(noisy.total_ns(), 350);
+    }
+
+    #[test]
+    fn attribution_metrics_have_per_device_and_aggregate_series() {
+        let m = report().metrics();
+        let attr = report().devices[0].attribution.unwrap();
+        assert_eq!(m.counter("attr.d0.compute_ns"), Some(attr.compute_ns));
+        assert_eq!(m.counter("attr.d0.wait_input_ns"), Some(2_000_000));
+        assert_eq!(m.counter("attr.wait_input_ns"), Some(2_000_000));
+        assert_eq!(m.counter("attr.simd_rescue_ns"), Some(50_000));
+        assert_eq!(m.counter("attr.other_ns"), Some(attr.other_ns));
+        assert_eq!(m.counter("kernel.simd_rescues"), Some(2));
+        assert!(m.help("attr.compute_ns").is_some());
+        assert_eq!(m.histogram("attr.stall_fraction").unwrap().count, 1);
+        // The aggregate phase counters sum to the summed makespans.
+        let agg: u64 = attr
+            .phases()
+            .iter()
+            .map(|(p, _)| m.counter(&format!("attr.{p}_ns")).unwrap())
+            .sum();
+        assert_eq!(agg, attr.total_ns());
+        // Attribution-free reports emit no attr series.
+        let mut bare = report();
+        bare.devices[0].attribution = None;
+        assert_eq!(bare.metrics().counter("attr.compute_ns"), None);
     }
 
     #[test]
@@ -434,6 +681,8 @@ mod tests {
         assert!(text.contains("GCUPS"));
         assert!(text.contains("TestBoard"));
         assert!(text.contains("stall:"));
+        assert!(text.contains("attribution: compute"));
+        assert!(text.contains("simd rescues: 2"));
         assert!(text.contains("recovery:  1 recoveries"));
         assert!(text.contains("12345 cells rewound"));
         assert!(text.contains("pruning:   distributed — 25/100 tiles pruned (25.0%)"));

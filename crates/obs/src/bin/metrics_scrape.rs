@@ -1,0 +1,87 @@
+//! `metrics_scrape` — a std-only scrape client for the live `/metrics`
+//! endpoint, used by `ci.sh` to smoke-test `megasw serve-metrics`.
+//!
+//! Usage: `metrics_scrape HOST:PORT [--retries N]`
+//!
+//! Fetches `/health` and `/metrics`, validates the exposition with the
+//! same conformance checker the unit tests use
+//! ([`megasw_obs::validate_exposition`]), and prints a one-line summary.
+//! Exits non-zero on connection failure (after the retries), non-200
+//! status, or a malformed exposition — so a CI pipeline can gate on it.
+
+use std::time::Duration;
+
+use megasw_obs::{http_get, validate_exposition};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: metrics_scrape HOST:PORT [--retries N]");
+        std::process::exit(2);
+    };
+    let mut retries = 20u32;
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--retries" => {
+                retries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--retries expects a number"));
+            }
+            other => die(&format!("unknown flag: {other}")),
+        }
+    }
+
+    // The server may still be binding when CI launches us: retry the
+    // first contact with a short backoff.
+    let health = retrying(retries, || http_get(&addr, "/health"));
+    expect_200("/health", &health.0);
+    if !health.1.contains("\"healthy\": true") {
+        die(&format!("/health reports unhealthy: {}", health.1.trim()));
+    }
+
+    let (status, body) =
+        http_get(&addr, "/metrics").unwrap_or_else(|e| die(&format!("GET /metrics failed: {e}")));
+    expect_200("/metrics", &status);
+    match validate_exposition(&body) {
+        Ok(summary) => println!(
+            "scrape ok: {} families, {} samples, {} histograms, health {}",
+            summary.families,
+            summary.samples,
+            summary.histograms,
+            health.1.trim()
+        ),
+        Err(e) => die(&format!("/metrics failed conformance: {e}")),
+    }
+}
+
+fn retrying(
+    retries: u32,
+    mut f: impl FnMut() -> std::io::Result<(String, String)>,
+) -> (String, String) {
+    let mut last_err = None;
+    for _ in 0..retries.max(1) {
+        match f() {
+            Ok(r) => return r,
+            Err(e) => {
+                last_err = Some(e);
+                std::thread::sleep(Duration::from_millis(250));
+            }
+        }
+    }
+    die(&format!(
+        "could not reach the endpoint after {retries} attempts: {}",
+        last_err.unwrap()
+    ))
+}
+
+fn expect_200(path: &str, status: &str) {
+    if !status.contains("200") {
+        die(&format!("GET {path} returned {status}"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("metrics_scrape: {msg}");
+    std::process::exit(1);
+}

@@ -7,13 +7,19 @@
 //! <https://ui.perfetto.dev>: one lane (`tid`) per device, plus a `host`
 //! lane for traceback work.
 //!
+//! Each device lane also gets a **counter track** (`"ph":"C"` events named
+//! `stall d<N> (ns)`): cumulative nanoseconds of compute / wait-input /
+//! wait-output time derived from that device's spans, sampled at every
+//! span end — so the stall-attribution story is visible as stacked area
+//! charts alongside the spans themselves.
+//!
 //! [`validate`] is the other half of the contract: it re-parses a trace
 //! with the crate's own JSON parser and checks the structure the golden
-//! tests rely on (parseable, complete events only, non-negative durations,
-//! per-lane monotonic timestamps).
+//! tests rely on (parseable, complete and counter events only,
+//! non-negative durations, per-lane monotonic timestamps).
 
 use crate::json::{self, Value};
-use crate::span::ObsSpan;
+use crate::span::{ObsKind, ObsSpan};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
@@ -81,7 +87,7 @@ pub fn chrome_trace(spans: &[ObsSpan], device_names: &[String]) -> String {
         );
     }
 
-    for span in sorted {
+    for span in &sorted {
         let tid = lane_of(span, host);
         let ts = span.start_ns as f64 / 1_000.0;
         let dur = span.duration_ns() as f64 / 1_000.0;
@@ -107,6 +113,37 @@ pub fn chrome_trace(spans: &[ObsSpan], device_names: &[String]) -> String {
         push_event(&mut out, &body);
     }
 
+    // Counter tracks: cumulative per-device phase attribution, one sample
+    // at every span end. `sorted` is (lane, start) ordered; clamp each
+    // device's sample time to be monotone in case spans nest.
+    let mut cum: BTreeMap<u32, [u64; 3]> = BTreeMap::new();
+    let mut last_end: BTreeMap<u32, u64> = BTreeMap::new();
+    for span in &sorted {
+        let Some(d) = span.device else { continue };
+        let slot = match span.kind {
+            ObsKind::Kernel => 0,
+            ObsKind::RingPopWait => 1,
+            ObsKind::RingPush | ObsKind::BorderXfer => 2,
+            _ => continue,
+        };
+        let c = cum.entry(d).or_default();
+        c[slot] += span.duration_ns();
+        let end = last_end
+            .entry(d)
+            .and_modify(|e| *e = (*e).max(span.end_ns))
+            .or_insert(span.end_ns);
+        let ts = *end as f64 / 1_000.0;
+        push_event(
+            &mut out,
+            &format!(
+                "{{\"name\":\"stall d{d} (ns)\",\"ph\":\"C\",\"ts\":{ts:.3},\
+                 \"pid\":{PID},\"tid\":{d},\"args\":{{\"compute_ns\":{},\
+                 \"wait_input_ns\":{},\"wait_output_ns\":{}}}}}",
+                c[0], c[1], c[2]
+            ),
+        );
+    }
+
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
 }
@@ -122,6 +159,8 @@ pub struct TraceCheck {
     pub total_events: usize,
     /// Complete (`"ph":"X"`) span events.
     pub span_events: usize,
+    /// Counter (`"ph":"C"`) samples.
+    pub counter_events: usize,
     /// Distinct lanes (`tid`) carrying span events.
     pub lanes: BTreeSet<u64>,
     /// Lane names declared by `thread_name` metadata.
@@ -145,10 +184,13 @@ pub fn validate(text: &str) -> Result<TraceCheck, String> {
     let mut check = TraceCheck {
         total_events: events.len(),
         span_events: 0,
+        counter_events: 0,
         lanes: BTreeSet::new(),
         lane_names: BTreeMap::new(),
     };
     let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    // Counter series are monotone per (name, tid) — cumulative attribution.
+    let mut last_counter_ts: BTreeMap<(String, u64), f64> = BTreeMap::new();
 
     for (i, ev) in events.iter().enumerate() {
         let obj = ev
@@ -192,6 +234,43 @@ pub fn validate(text: &str) -> Result<TraceCheck, String> {
                 last_ts.insert(tid, ts);
                 check.lanes.insert(tid);
                 check.span_events += 1;
+            }
+            "C" => {
+                let name = obj
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i} has no `name`"))?;
+                let ts = field_f64(obj, "ts", i)?;
+                field_u64(obj, "pid", i)?;
+                let tid = field_u64(obj, "tid", i)?;
+                if ts < 0.0 {
+                    return Err(format!("event {i}: negative ts"));
+                }
+                let args = obj
+                    .get("args")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| format!("event {i}: counter without args"))?;
+                if args.is_empty() {
+                    return Err(format!("event {i}: counter with empty args"));
+                }
+                for (k, v) in args {
+                    let v = v
+                        .as_f64()
+                        .ok_or_else(|| format!("event {i}: counter series `{k}` not numeric"))?;
+                    if v < 0.0 {
+                        return Err(format!("event {i}: counter series `{k}` negative"));
+                    }
+                }
+                let key = (name.to_string(), tid);
+                if let Some(&prev) = last_counter_ts.get(&key) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: counter `{name}` timestamps not monotonic ({ts} < {prev})"
+                        ));
+                    }
+                }
+                last_counter_ts.insert(key, ts);
+                check.counter_events += 1;
             }
             other => return Err(format!("event {i}: unsupported phase `{other}`")),
         }
@@ -240,10 +319,57 @@ mod tests {
         let text = chrome_trace(&spans, &names);
         let check = validate(&text).expect("emitted trace must validate");
         assert_eq!(check.span_events, 4);
+        // One counter sample per device-lane span (host spans carry none).
+        assert_eq!(check.counter_events, 3);
         // Lanes: device 0, device 1, host (= 2).
         assert_eq!(check.lanes, BTreeSet::from([0, 1, 2]));
         assert_eq!(check.lane_names.get(&2).map(String::as_str), Some("host"));
         assert!(check.lane_names.get(&0).unwrap().contains("GTX 680"));
+    }
+
+    #[test]
+    fn counter_tracks_accumulate_phase_time() {
+        let spans = vec![
+            span(ObsKind::RingPopWait, Some(0), Some(0), 0, 400),
+            span(ObsKind::Kernel, Some(0), Some(0), 400, 1_400),
+            span(ObsKind::RingPush, Some(0), Some(0), 1_400, 1_600),
+            span(ObsKind::Kernel, Some(0), Some(1), 1_600, 2_600),
+        ];
+        let text = chrome_trace(&spans, &["dev".to_string()]);
+        let check = validate(&text).unwrap();
+        assert_eq!(check.counter_events, 4);
+        // The last counter sample carries the cumulative attribution.
+        let doc = json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let last = events
+            .iter()
+            .rfind(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .unwrap();
+        let args = last.get("args").unwrap();
+        assert_eq!(args.get("compute_ns").unwrap().as_f64(), Some(2_000.0));
+        assert_eq!(args.get("wait_input_ns").unwrap().as_f64(), Some(400.0));
+        assert_eq!(args.get("wait_output_ns").unwrap().as_f64(), Some(200.0));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_counters() {
+        // Counter without args.
+        assert!(
+            validate(r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":1,"tid":0}]}"#).is_err()
+        );
+        // Non-numeric series.
+        assert!(validate(
+            r#"{"traceEvents":[{"name":"c","ph":"C","ts":1,"pid":1,"tid":0,"args":{"x":"y"}}]}"#
+        )
+        .is_err());
+        // Non-monotone samples of one series.
+        assert!(validate(
+            r#"{"traceEvents":[
+                {"name":"c","ph":"C","ts":5,"pid":1,"tid":0,"args":{"x":1}},
+                {"name":"c","ph":"C","ts":2,"pid":1,"tid":0,"args":{"x":2}}
+            ]}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! A std-only HTTP/1.1 endpoint serving live run telemetry.
+//!
+//! Post-hoc exports (`--metrics`, `--trace-out`) require the run to
+//! finish; a multi-hour megabase comparison deserves a scrape target
+//! *while it executes*. This module provides one with zero dependencies:
+//! a [`MetricsHub`] that the pipeline publishes snapshots into, and a
+//! [`MetricsServer`] — a `TcpListener` accept loop on a background thread
+//! answering three routes:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4) of the
+//!   hub's current registry, straight from [`crate::prom::prometheus`].
+//! * `GET /health` — a tiny JSON liveness document:
+//!   `{"healthy": true, "state": "running"}`.
+//! * `GET /flight` — the flight-recorder rings as JSONL (empty body when
+//!   no recorder is attached).
+//!
+//! Everything else is `404`; non-GET methods are `405`. The server is
+//! deliberately minimal — one connection at a time, bounded request
+//! reads, no keep-alive — because its job is a scrape every few seconds,
+//! not traffic. The accept socket is non-blocking and the loop polls a
+//! stop flag every ~25 ms, so [`MetricsServer::shutdown`] returns
+//! promptly without needing a self-connect to unblock `accept`.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::flight::FlightRecorder;
+use crate::metrics::MetricsRegistry;
+use crate::prom::prometheus;
+
+/// Shared state between a running pipeline (writer) and the HTTP server
+/// (reader). The pipeline publishes registry snapshots at row-ish
+/// cadence; scrapes serve whatever the latest snapshot says.
+#[derive(Debug)]
+pub struct MetricsHub {
+    registry: Mutex<MetricsRegistry>,
+    healthy: AtomicBool,
+    state: Mutex<String>,
+    flight: Mutex<Option<Arc<FlightRecorder>>>,
+}
+
+impl MetricsHub {
+    pub fn new() -> Arc<MetricsHub> {
+        Arc::new(MetricsHub {
+            registry: Mutex::new(MetricsRegistry::new()),
+            healthy: AtomicBool::new(true),
+            state: Mutex::new("starting".to_string()),
+            flight: Mutex::new(None),
+        })
+    }
+
+    /// Replace the served registry with `registry`. Cheap enough to call
+    /// per sampling tick: the registry is counters plus small histograms.
+    pub fn publish(&self, registry: MetricsRegistry) {
+        *self.registry.lock().unwrap() = registry;
+    }
+
+    /// Current snapshot (clone) of the served registry.
+    pub fn registry(&self) -> MetricsRegistry {
+        self.registry.lock().unwrap().clone()
+    }
+
+    /// Attach the run's flight recorder so `/flight` serves live rings.
+    pub fn attach_flight(&self, flight: Arc<FlightRecorder>) {
+        *self.flight.lock().unwrap() = Some(flight);
+    }
+
+    /// Update the `/health` document: liveness plus a free-form state
+    /// label ("running", "recovering", "done", …).
+    pub fn set_health(&self, healthy: bool, state: &str) {
+        self.healthy.store(healthy, Ordering::Relaxed);
+        *self.state.lock().unwrap() = state.to_string();
+    }
+
+    fn health_json(&self) -> String {
+        let healthy = self.healthy.load(Ordering::Relaxed);
+        let state = self.state.lock().unwrap().clone();
+        format!(
+            "{{\"healthy\": {}, \"state\": \"{}\"}}\n",
+            healthy,
+            state.replace('\\', "\\\\").replace('"', "\\\"")
+        )
+    }
+
+    fn flight_jsonl(&self) -> String {
+        match self.flight.lock().unwrap().as_ref() {
+            Some(fr) => fr.dump_jsonl(),
+            None => String::new(),
+        }
+    }
+}
+
+/// The background scrape endpoint. Dropping (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop and joins it.
+pub struct MetricsServer {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port — see [`MetricsServer::local_addr`]) and start serving `hub`.
+    pub fn bind(addr: &str, hub: Arc<MetricsHub>) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("megasw-metrics-http".to_string())
+            .spawn(move || serve_loop(listener, hub, stop2))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address — the actual port when bound with port `0`.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_loop(listener: TcpListener, hub: Arc<MetricsHub>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Scrape traffic is tiny; a failed connection only loses
+                // that one scrape.
+                let _ = handle_connection(stream, &hub);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, hub: &MetricsHub) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let request = read_request_head(&mut stream)?;
+    let (status, content_type, body) = route(&request, hub);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Read until the end of the request head (`\r\n\r\n`), bounded at 8 KiB.
+/// We never read a body: all routes are GET.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 8192 {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Dispatch a raw request head to `(status, content-type, body)`.
+fn route(request: &str, hub: &MetricsHub) -> (&'static str, &'static str, String) {
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore any query string: scrapers sometimes append cache-busters.
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        );
+    }
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus(&hub.registry.lock().unwrap()),
+        ),
+        "/health" => ("200 OK", "application/json", hub.health_json()),
+        "/flight" => ("200 OK", "application/x-ndjson", hub.flight_jsonl()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /health or /flight\n".to_string(),
+        ),
+    }
+}
+
+/// Minimal scrape client: `GET path` against `addr`, returning
+/// `(status_line, body)`. Shared by the CLI's `metrics_scrape` binary and
+/// the tests so CI exercises the same code path.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = match raw.find("\r\n\r\n") {
+        Some(i) => raw[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightEvent, FlightKind, FlightRecorder};
+    use crate::json;
+    use crate::prom::validate_exposition;
+
+    fn hub_with_data() -> Arc<MetricsHub> {
+        let hub = MetricsHub::new();
+        let mut reg = MetricsRegistry::new();
+        reg.incr("stall.startup_ns", 123);
+        reg.incr("attr.d0.wait_input_ns", 456);
+        reg.observe("gcups.device", 17.5);
+        hub.publish(reg);
+        hub.set_health(true, "running");
+        hub
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_exposition() {
+        let hub = hub_with_data();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = http_get(&addr, "/metrics").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let summary = validate_exposition(&body).expect("served exposition must validate");
+        assert!(summary.families >= 3, "{summary:?}");
+        assert!(body.contains("megasw_stall_startup_ns"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn health_endpoint_reflects_hub_state() {
+        let hub = hub_with_data();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr().to_string();
+        let (status, body) = http_get(&addr, "/health").unwrap();
+        assert!(status.contains("200"), "{status}");
+        let v = json::parse(body.trim()).unwrap();
+        assert_eq!(v.get("healthy"), Some(&json::Value::Bool(true)));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("running"));
+        hub.set_health(false, "recovering");
+        let (_, body) = http_get(&addr, "/health").unwrap();
+        let v = json::parse(body.trim()).unwrap();
+        assert_eq!(v.get("healthy"), Some(&json::Value::Bool(false)));
+        assert_eq!(v.get("state").unwrap().as_str(), Some("recovering"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn flight_endpoint_serves_the_rings_and_unknown_paths_404() {
+        let hub = hub_with_data();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&hub)).unwrap();
+        let addr = server.local_addr().to_string();
+        // No recorder attached yet: empty body, still 200.
+        let (status, body) = http_get(&addr, "/flight").unwrap();
+        assert!(status.contains("200"), "{status}");
+        assert!(body.is_empty(), "{body}");
+        let fr = FlightRecorder::new(1, 8);
+        fr.record(
+            0,
+            FlightEvent {
+                kind: FlightKind::Fault,
+                device: 2,
+                row: 40,
+                t_ns: 99,
+                dur_ns: 0,
+                aux: 0,
+            },
+        );
+        hub.attach_flight(Arc::clone(&fr));
+        let (_, body) = http_get(&addr, "/flight").unwrap();
+        assert_eq!(body.lines().count(), 1);
+        assert!(json::parse(body.trim()).is_ok(), "{body}");
+        let (status, _) = http_get(&addr, "/nope").unwrap();
+        assert!(status.contains("404"), "{status}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let hub = MetricsHub::new();
+        let server = MetricsServer::bind("127.0.0.1:0", hub).unwrap();
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+}

@@ -23,11 +23,19 @@
 //!   `--progress` line while the run executes.
 //! * [`chrome`] — a Chrome `trace_event` JSON exporter: the output opens
 //!   directly in `chrome://tracing` or <https://ui.perfetto.dev>, one lane
-//!   per device plus a host lane. [`chrome::validate`] structurally checks
-//!   a trace (golden tests use it), backed by the dependency-free JSON
-//!   parser in [`json`].
+//!   per device plus a host lane, plus per-device stall counter tracks.
+//!   [`chrome::validate`] structurally checks a trace (golden tests use
+//!   it), backed by the dependency-free JSON parser in [`json`].
+//! * [`FlightRecorder`] — a lock-free ring of the last N structured
+//!   events per worker, dumped as JSONL on fault/abort/panic or on
+//!   demand; the black box for post-mortem debugging.
+//! * [`MetricsHub`] / [`MetricsServer`] — a std-only HTTP/1.1 endpoint
+//!   (`/metrics`, `/health`, `/flight`) serving live telemetry from a run
+//!   in progress.
 
 pub mod chrome;
+pub mod flight;
+pub mod http;
 pub mod json;
 pub mod live;
 pub mod metrics;
@@ -35,9 +43,14 @@ pub mod prom;
 pub mod span;
 
 pub use chrome::{chrome_trace, validate, TraceCheck};
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
+pub use http::{http_get, MetricsHub, MetricsServer};
 pub use live::{
     render_progress_line, DeviceSnapshot, LiveSnapshot, LiveTelemetry, ProgressSampler, RingGauge,
+    StallPhase,
 };
 pub use metrics::{Histogram, MetricsRegistry};
-pub use prom::{metrics_json, prometheus};
+pub use prom::{
+    escape_label_value, metrics_json, prometheus, validate_exposition, ExpositionSummary,
+};
 pub use span::{ObsKind, ObsLevel, ObsSpan, Recorder};

@@ -48,6 +48,31 @@ struct DeviceLive {
     tiles_pruned: AtomicU64,
     /// DP cells covered by the skipped tiles.
     cells_skipped: AtomicU64,
+    /// Nanoseconds blocked on the predecessor's border ring (`pop`).
+    wait_input_ns: AtomicU64,
+    /// Nanoseconds blocked on the successor's border ring (`push`).
+    wait_output_ns: AtomicU64,
+    /// Nanoseconds spent depositing checkpoint waves.
+    checkpoint_ns: AtomicU64,
+    /// Nanoseconds spent inside the prune-skip fast path.
+    prune_skip_ns: AtomicU64,
+}
+
+/// One fine-grained stall phase a worker can attribute wall-clock time to
+/// via [`LiveTelemetry::on_phase_ns`]. Compute time keeps flowing through
+/// [`LiveTelemetry::on_row_done`]'s `busy_ns` argument; these four cover
+/// the time a device is *not* computing (or is computing a degenerate
+/// skipped tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallPhase {
+    /// Blocked popping a border column from the predecessor.
+    WaitInput,
+    /// Blocked pushing a border column to the successor.
+    WaitOutput,
+    /// Depositing a checkpoint wave.
+    Checkpoint,
+    /// Skipping a pruned tile (degenerate compute).
+    PruneSkip,
 }
 
 /// How the telemetry measures "now".
@@ -91,6 +116,14 @@ pub struct DeviceSnapshot {
     pub tiles_pruned: u64,
     /// DP cells covered by skipped tiles.
     pub cells_skipped: u64,
+    /// Nanoseconds blocked on the incoming border ring so far.
+    pub wait_input_ns: u64,
+    /// Nanoseconds blocked on the outgoing border ring so far.
+    pub wait_output_ns: u64,
+    /// Nanoseconds spent depositing checkpoints so far.
+    pub checkpoint_ns: u64,
+    /// Nanoseconds spent in the prune-skip fast path so far.
+    pub prune_skip_ns: u64,
 }
 
 impl DeviceSnapshot {
@@ -101,6 +134,27 @@ impl DeviceSnapshot {
         } else {
             self.rows_done as f64 / self.rows_total as f64
         }
+    }
+
+    /// Total attributed non-compute nanoseconds so far.
+    pub fn stall_ns(&self) -> u64 {
+        self.wait_input_ns + self.wait_output_ns + self.checkpoint_ns + self.prune_skip_ns
+    }
+
+    /// The stall phase this device has spent the most time in so far, as a
+    /// short label plus its nanoseconds — `None` until any stall time has
+    /// been attributed. Drives the `--progress` per-device stall column.
+    pub fn dominant_stall(&self) -> Option<(&'static str, u64)> {
+        let phases = [
+            ("in", self.wait_input_ns),
+            ("out", self.wait_output_ns),
+            ("ckpt", self.checkpoint_ns),
+            ("prune", self.prune_skip_ns),
+        ];
+        phases
+            .into_iter()
+            .filter(|&(_, ns)| ns > 0)
+            .max_by_key(|&(_, ns)| ns)
     }
 }
 
@@ -274,6 +328,22 @@ impl LiveTelemetry {
         }
     }
 
+    /// Attribute `ns` of wall-clock time on `device` to stall `phase`.
+    /// Workers call this at most a few times per block-row, right next to
+    /// the `on_row_done` write, so the cost stays one relaxed RMW per
+    /// phase per row.
+    pub fn on_phase_ns(&self, device: usize, phase: StallPhase, ns: u64) {
+        if let Some(d) = self.devices.get(device) {
+            let ctr = match phase {
+                StallPhase::WaitInput => &d.wait_input_ns,
+                StallPhase::WaitOutput => &d.wait_output_ns,
+                StallPhase::Checkpoint => &d.checkpoint_ns,
+                StallPhase::PruneSkip => &d.prune_skip_ns,
+            };
+            ctr.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
     /// One completed recovery: a device was blacklisted and the run
     /// resumed on the survivors.
     pub fn on_recovery(&self) {
@@ -318,6 +388,10 @@ impl LiveTelemetry {
                     watermark: d.watermark.load(Ordering::Relaxed),
                     tiles_pruned: d.tiles_pruned.load(Ordering::Relaxed),
                     cells_skipped: d.cells_skipped.load(Ordering::Relaxed),
+                    wait_input_ns: d.wait_input_ns.load(Ordering::Relaxed),
+                    wait_output_ns: d.wait_output_ns.load(Ordering::Relaxed),
+                    checkpoint_ns: d.checkpoint_ns.load(Ordering::Relaxed),
+                    prune_skip_ns: d.prune_skip_ns.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -365,6 +439,16 @@ pub fn render_progress_line(cur: &LiveSnapshot, prev: Option<&LiveSnapshot>) -> 
             100.0 * d.fraction_done(),
             d.ring_occupancy
         ));
+        // Per-device stall column: dominant stall phase and its share of
+        // the elapsed wall clock (omitted until any stall is attributed).
+        if let Some((label, ns)) = d.dominant_stall() {
+            let pct = if cur.now_ns == 0 {
+                0.0
+            } else {
+                100.0 * ns as f64 / cur.now_ns as f64
+            };
+            line.push_str(&format!(" st:{label} {pct:2.0}%"));
+        }
     }
     line
 }
@@ -571,6 +655,34 @@ mod tests {
         assert_eq!(s.tiles_pruned(), 5);
         assert_eq!(s.cells_skipped(), 128 + 96);
         assert!(render_progress_line(&s, None).contains("| pruned 5"));
+    }
+
+    #[test]
+    fn phase_attribution_accumulates_and_renders_a_stall_column() {
+        let live = LiveTelemetry::with_manual_clock(2, 1_000);
+        live.set_rows_total(0, 2);
+        live.set_rows_total(1, 2);
+        // No stall attributed yet: no stall column in the line.
+        live.set_now_ns(1_000);
+        let line = render_progress_line(&live.snapshot(), None);
+        assert!(!line.contains("st:"), "{line}");
+        live.on_phase_ns(0, StallPhase::WaitInput, 300);
+        live.on_phase_ns(0, StallPhase::WaitInput, 100);
+        live.on_phase_ns(0, StallPhase::Checkpoint, 50);
+        live.on_phase_ns(1, StallPhase::WaitOutput, 200);
+        live.on_phase_ns(9, StallPhase::PruneSkip, 999); // out of range: dropped
+        let s = live.snapshot();
+        assert_eq!(s.devices[0].wait_input_ns, 400);
+        assert_eq!(s.devices[0].checkpoint_ns, 50);
+        assert_eq!(s.devices[0].stall_ns(), 450);
+        assert_eq!(s.devices[1].wait_output_ns, 200);
+        assert_eq!(s.devices[0].dominant_stall(), Some(("in", 400)));
+        assert_eq!(s.devices[1].dominant_stall(), Some(("out", 200)));
+        let line = render_progress_line(&s, None);
+        // 400 of 1000 ns waiting on input for d0; 200 of 1000 ns on output
+        // for d1.
+        assert!(line.contains("st:in 40%"), "{line}");
+        assert!(line.contains("st:out 20%"), "{line}");
     }
 
     #[test]

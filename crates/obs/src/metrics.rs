@@ -112,6 +112,27 @@ impl Histogram {
         self.max
     }
 
+    /// Cumulative bucket counts for exposition: `(upper_bound, count ≤
+    /// upper_bound)` pairs in ascending bound order, one per occupied log
+    /// bucket. The floor bucket (zero and negative observations) reports
+    /// bound 0. Counts are cumulative and therefore monotone nondecreasing;
+    /// the last entry's count equals [`Histogram::count`]. Prometheus
+    /// histogram exposition appends the implicit `+Inf` bucket itself.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0u64;
+        for (&idx, &n) in &self.buckets {
+            cum += n;
+            let bound = if idx == i32::MIN {
+                0.0
+            } else {
+                ((idx as f64 + 1.0) / BUCKETS_PER_OCTAVE as f64).exp2()
+            };
+            out.push((bound, cum));
+        }
+        out
+    }
+
     /// Median estimate.
     pub fn p50(&self) -> f64 {
         self.quantile(0.50)
@@ -133,6 +154,7 @@ impl Histogram {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    help: BTreeMap<String, String>,
 }
 
 impl MetricsRegistry {
@@ -151,6 +173,18 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .record(value);
+    }
+
+    /// Attach a one-line help string to a metric. Exposition formats that
+    /// carry metadata (`# HELP` in Prometheus text) render it; metrics
+    /// without a description get a generated fallback line.
+    pub fn describe(&mut self, name: &str, help: &str) {
+        self.help.insert(name.to_string(), help.to_string());
+    }
+
+    /// The help string attached via [`MetricsRegistry::describe`], if any.
+    pub fn help(&self, name: &str) -> Option<&str> {
+        self.help.get(name).map(String::as_str)
     }
 
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -336,6 +370,33 @@ mod tests {
             assert!(w[1] >= w[0], "{qs:?}");
         }
         assert!(h.p50() <= h.p90() && h.p90() <= h.p99());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_total_to_count() {
+        let mut h = Histogram::default();
+        for i in 0..1000u32 {
+            h.record(((i * 37) % 991) as f64 - 10.0);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        for w in buckets.windows(2) {
+            assert!(w[1].0 > w[0].0, "bounds ascend: {buckets:?}");
+            assert!(w[1].1 >= w[0].1, "counts nondecreasing: {buckets:?}");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count);
+        // The floor bucket (bound 0) holds the negative-and-zero samples.
+        assert_eq!(buckets[0].0, 0.0);
+        assert!(buckets[0].1 > 0);
+    }
+
+    #[test]
+    fn describe_attaches_help_text() {
+        let mut m = MetricsRegistry::new();
+        m.incr("cells.total", 1);
+        m.describe("cells.total", "DP cells computed");
+        assert_eq!(m.help("cells.total"), Some("DP cells computed"));
+        assert_eq!(m.help("missing"), None);
     }
 
     #[test]

@@ -1,16 +1,28 @@
 //! Machine-readable metric exposition: Prometheus text format and JSON.
 //!
 //! The CLI's `--metrics-format prom|json` flags render a
-//! [`MetricsRegistry`] through these writers instead of the human summary.
-//! The Prometheus output follows the text exposition format version 0.0.4:
-//! counters become `megasw_<name>` counters, histograms become summaries
-//! with `quantile` labels plus `_sum`/`_count` series — scrapeable by an
-//! actual Prometheus if the text is served over HTTP, and diffable as a
+//! [`MetricsRegistry`] through these writers instead of the human summary,
+//! and the `/metrics` HTTP endpoint serves the Prometheus form live. The
+//! Prometheus output follows the text exposition format version 0.0.4:
+//! counters become `megasw_<name>` counters with `# HELP`/`# TYPE`
+//! metadata, histograms become native histograms with cumulative
+//! `_bucket{le="…"}` series (from the log-bucketed [`Histogram`]) plus
+//! `_sum`/`_count` — scrapeable by an actual Prometheus and diffable as a
 //! stable artifact either way. Everything is emitted in sorted name order,
 //! so two runs of the same workload produce line-comparable documents.
+//!
+//! [`validate_exposition`] is the conformance half: a dependency-free
+//! parser that checks metadata ordering, name/label syntax (including
+//! escape sequences), bucket monotonicity and the `+Inf`/`_count`
+//! agreement. The unit tests, the integration suite and the
+//! `metrics-scrape` CI client all validate through it, so the writer and
+//! the checker cannot drift apart silently.
+//!
+//! [`Histogram`]: crate::metrics::Histogram
 
 use crate::json::escape;
 use crate::metrics::MetricsRegistry;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Turn a dotted metric name into a Prometheus-legal one:
@@ -38,20 +50,65 @@ fn prom_value(v: f64) -> String {
     }
 }
 
+/// Escape a label *value* per the text exposition format: backslash,
+/// double-quote and newline must be escaped; everything else is literal.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` docstring: backslash and newline only (quotes are
+/// legal in help text).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `# HELP` line for a metric: the registry's description when one was
+/// attached, otherwise a generated line naming the dotted source metric.
+fn help_line(metrics: &MetricsRegistry, raw: &str, kind: &str) -> String {
+    match metrics.help(raw) {
+        Some(h) => escape_help(h),
+        None => format!("megasw {kind} {raw}"),
+    }
+}
+
 /// Prometheus text exposition of the registry.
 pub fn prometheus(metrics: &MetricsRegistry) -> String {
     let mut out = String::new();
     for (name, value) in metrics.counters() {
         let p = prom_name(name);
+        let _ = writeln!(out, "# HELP {p} {}", help_line(metrics, name, "counter"));
         let _ = writeln!(out, "# TYPE {p} counter");
         let _ = writeln!(out, "{p} {value}");
     }
     for (name, h) in metrics.histograms() {
         let p = prom_name(name);
-        let _ = writeln!(out, "# TYPE {p} summary");
-        for (label, q) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
-            let _ = writeln!(out, "{p}{{quantile=\"{label}\"}} {}", prom_value(q));
+        let _ = writeln!(out, "# HELP {p} {}", help_line(metrics, name, "histogram"));
+        let _ = writeln!(out, "# TYPE {p} histogram");
+        for (bound, cum) in h.cumulative_buckets() {
+            let _ = writeln!(
+                out,
+                "{p}_bucket{{le=\"{}\"}} {cum}",
+                escape_label_value(&prom_value(bound))
+            );
         }
+        let _ = writeln!(out, "{p}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{p}_sum {}", prom_value(h.sum));
         let _ = writeln!(out, "{p}_count {}", h.count);
     }
@@ -108,6 +165,285 @@ fn json_num(v: f64) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Exposition conformance checking
+// ---------------------------------------------------------------------------
+
+/// What [`validate_exposition`] found in a conforming document.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ExpositionSummary {
+    /// Metric families (one `# TYPE` each).
+    pub families: usize,
+    /// Sample lines (non-comment).
+    pub samples: usize,
+    /// Families declared `histogram`.
+    pub histograms: usize,
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    help: bool,
+    typ: Option<String>,
+    /// Histogram `le` buckets in order of appearance: (bound, cumulative).
+    buckets: Vec<(f64, u64)>,
+    sum_seen: bool,
+    count: Option<f64>,
+    samples: usize,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parse `{k="v",…}` starting after the `{`. Returns (labels, rest-index).
+fn parse_labels(s: &str) -> Result<(Vec<(String, String)>, usize), String> {
+    let bytes = s.as_bytes();
+    let mut labels = Vec::new();
+    let mut i = 0usize;
+    loop {
+        // Label name up to '='.
+        let eq = s[i..].find('=').map(|o| i + o).ok_or("label without '='")?;
+        let name = s[i..eq].trim().to_string();
+        if !valid_label_name(&name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        if bytes.get(eq + 1) != Some(&b'"') {
+            return Err("label value must be double-quoted".into());
+        }
+        // Scan the escaped value.
+        let mut value = String::new();
+        let mut j = eq + 2;
+        loop {
+            match bytes.get(j) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => break,
+                Some(b'\\') => {
+                    match bytes.get(j + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => return Err(format!("bad escape \\{other:?} in label value")),
+                    }
+                    j += 2;
+                }
+                Some(_) => {
+                    let c = s[j..].chars().next().unwrap();
+                    value.push(c);
+                    j += c.len_utf8();
+                }
+            }
+        }
+        labels.push((name, value));
+        j += 1; // past the closing quote
+        match bytes.get(j) {
+            Some(b',') => i = j + 1,
+            Some(b'}') => return Ok((labels, j + 1)),
+            other => return Err(format!("expected ',' or '}}' after label, got {other:?}")),
+        }
+    }
+}
+
+/// Check a Prometheus text-format document for conformance: `# HELP` and
+/// `# TYPE` metadata precede every family's first sample, metric and label
+/// names are legal, label values use only legal escapes, counter samples
+/// are finite and non-negative, and every `histogram` family has ascending
+/// `le` bounds, nondecreasing cumulative bucket counts, a `+Inf` bucket
+/// that equals its `_count`, and a `_sum` series.
+///
+/// This is the shared conformance helper: unit tests, the integration
+/// suite and the `metrics-scrape` CI client all call it.
+pub fn validate_exposition(text: &str) -> Result<ExpositionSummary, String> {
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+    let mut order: Vec<String> = Vec::new();
+    let mut samples = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        let ctx = |m: String| format!("line {}: {m}", lineno + 1);
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            let payload = parts.next().unwrap_or("");
+            match keyword {
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(ctx(format!("bad metric name {name:?} in HELP")));
+                    }
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.samples > 0 {
+                        return Err(ctx(format!("HELP for {name} after its samples")));
+                    }
+                    fam.help = true;
+                }
+                "TYPE" => {
+                    if !valid_metric_name(name) {
+                        return Err(ctx(format!("bad metric name {name:?} in TYPE")));
+                    }
+                    if !matches!(payload, "counter" | "gauge" | "histogram" | "summary") {
+                        return Err(ctx(format!("unknown type {payload:?} for {name}")));
+                    }
+                    let fam = families.entry(name.to_string()).or_default();
+                    if fam.samples > 0 {
+                        return Err(ctx(format!("TYPE for {name} after its samples")));
+                    }
+                    if fam.typ.is_some() {
+                        return Err(ctx(format!("duplicate TYPE for {name}")));
+                    }
+                    fam.typ = Some(payload.to_string());
+                    order.push(name.to_string());
+                }
+                _ => {} // other comments are legal and ignored
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // bare comment
+        }
+        // Sample line: name[{labels}] value
+        let (name, labels, rest) = match line.find('{') {
+            Some(brace) => {
+                let (labels, used) =
+                    parse_labels(&line[brace + 1..]).map_err(|m| ctx(m.to_string()))?;
+                (&line[..brace], labels, &line[brace + 1 + used..])
+            }
+            None => match line.find(' ') {
+                Some(sp) => (&line[..sp], Vec::new(), &line[sp..]),
+                None => return Err(ctx("sample line without a value".into())),
+            },
+        };
+        if !valid_metric_name(name) {
+            return Err(ctx(format!("bad metric name {name:?}")));
+        }
+        let value: f64 = {
+            let v = rest.trim();
+            // Timestamps are legal after the value; we emit none, but accept.
+            let v = v.split_whitespace().next().unwrap_or("");
+            match v {
+                "+Inf" => f64::INFINITY,
+                "-Inf" => f64::NEG_INFINITY,
+                "NaN" => f64::NAN,
+                _ => v
+                    .parse()
+                    .map_err(|_| ctx(format!("bad sample value {v:?}")))?,
+            }
+        };
+        samples += 1;
+        // Resolve the family: `x_bucket`/`x_sum`/`x_count` belong to a
+        // histogram or summary family `x` when one is declared.
+        let family_name = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suffix| {
+                let base = name.strip_suffix(suffix)?;
+                let fam = families.get(base)?;
+                matches!(fam.typ.as_deref(), Some("histogram") | Some("summary"))
+                    .then(|| base.to_string())
+            })
+            .unwrap_or_else(|| name.to_string());
+        let fam = families
+            .get_mut(&family_name)
+            .ok_or_else(|| ctx(format!("sample for {name} without TYPE metadata")))?;
+        if fam.typ.is_none() {
+            return Err(ctx(format!("sample for {name} before its TYPE line")));
+        }
+        if !fam.help {
+            return Err(ctx(format!("sample for {name} without HELP metadata")));
+        }
+        fam.samples += 1;
+        match fam.typ.as_deref() {
+            Some("counter") => {
+                if !labels.is_empty() && labels.iter().any(|(k, _)| k == "le") {
+                    return Err(ctx(format!("counter {name} must not carry le labels")));
+                }
+                if !(value.is_finite() && value >= 0.0) {
+                    return Err(ctx(format!("counter {name} value {value} invalid")));
+                }
+            }
+            Some("histogram") => {
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .map(|(_, v)| v.as_str())
+                        .ok_or_else(|| ctx(format!("{name} bucket without le label")))?;
+                    let bound = if le == "+Inf" {
+                        f64::INFINITY
+                    } else {
+                        le.parse()
+                            .map_err(|_| ctx(format!("bad le bound {le:?}")))?
+                    };
+                    if !(value.is_finite() && value >= 0.0 && value == value.trunc()) {
+                        return Err(ctx(format!("bucket count {value} invalid")));
+                    }
+                    fam.buckets.push((bound, value as u64));
+                } else if name.ends_with("_sum") {
+                    fam.sum_seen = true;
+                } else if name.ends_with("_count") {
+                    fam.count = Some(value);
+                } else {
+                    return Err(ctx(format!("unexpected histogram series {name}")));
+                }
+            }
+            _ => {}
+        }
+    }
+    // Per-family structural checks.
+    let mut summary = ExpositionSummary {
+        families: order.len(),
+        samples,
+        histograms: 0,
+    };
+    for name in &order {
+        let fam = &families[name];
+        if fam.typ.as_deref() != Some("histogram") {
+            continue;
+        }
+        summary.histograms += 1;
+        if fam.buckets.is_empty() {
+            return Err(format!("histogram {name} has no buckets"));
+        }
+        for w in fam.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram {name} le bounds not ascending"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {name} bucket counts decrease"));
+            }
+        }
+        let (last_bound, last_cum) = *fam.buckets.last().unwrap();
+        if last_bound != f64::INFINITY {
+            return Err(format!("histogram {name} missing +Inf bucket"));
+        }
+        match fam.count {
+            Some(c) if c == last_cum as f64 => {}
+            other => {
+                return Err(format!(
+                    "histogram {name} +Inf bucket {last_cum} disagrees with _count {other:?}"
+                ))
+            }
+        }
+        if !fam.sum_seen {
+            return Err(format!("histogram {name} missing _sum"));
+        }
+    }
+    Ok(summary)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +453,7 @@ mod tests {
         let mut m = MetricsRegistry::new();
         m.incr("cells.total", 100);
         m.incr("ring.pushed", 7);
+        m.describe("cells.total", "DP cells computed across all devices");
         for v in [1.0, 2.0, 3.0, 4.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -126,10 +463,13 @@ mod tests {
     #[test]
     fn prometheus_exposition_shape() {
         let text = prometheus(&sample());
+        assert!(text.contains("# HELP megasw_cells_total DP cells computed across all devices"));
         assert!(text.contains("# TYPE megasw_cells_total counter"));
         assert!(text.contains("megasw_cells_total 100"));
-        assert!(text.contains("# TYPE megasw_span_kernel_duration_ns summary"));
-        assert!(text.contains("megasw_span_kernel_duration_ns{quantile=\"0.5\"}"));
+        // Undescribed metrics get a generated help line.
+        assert!(text.contains("# HELP megasw_ring_pushed megasw counter ring.pushed"));
+        assert!(text.contains("# TYPE megasw_span_kernel_duration_ns histogram"));
+        assert!(text.contains("megasw_span_kernel_duration_ns_bucket{le=\"+Inf\"} 4"));
         assert!(text.contains("megasw_span_kernel_duration_ns_sum 10"));
         assert!(text.contains("megasw_span_kernel_duration_ns_count 4"));
         // Every non-comment line is `name[{labels}] value`.
@@ -139,6 +479,101 @@ mod tests {
             assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
             assert!(parts.next().unwrap().starts_with("megasw_"), "{line:?}");
         }
+    }
+
+    #[test]
+    fn writer_output_passes_the_conformance_checker() {
+        let text = prometheus(&sample());
+        let summary = validate_exposition(&text).expect("writer must conform");
+        assert_eq!(summary.families, 3);
+        assert_eq!(summary.histograms, 1);
+        assert!(summary.samples >= 5);
+    }
+
+    #[test]
+    fn help_precedes_type_precedes_samples() {
+        let text = prometheus(&sample());
+        let lines: Vec<&str> = text.lines().collect();
+        let help = lines
+            .iter()
+            .position(|l| l.starts_with("# HELP megasw_cells_total"))
+            .unwrap();
+        let typ = lines
+            .iter()
+            .position(|l| l.starts_with("# TYPE megasw_cells_total"))
+            .unwrap();
+        let sample_line = lines
+            .iter()
+            .position(|l| l.starts_with("megasw_cells_total "))
+            .unwrap();
+        assert!(help < typ && typ < sample_line);
+    }
+
+    #[test]
+    fn bucket_counts_are_cumulative_and_monotone() {
+        let mut m = MetricsRegistry::new();
+        for i in 1..400u32 {
+            m.observe("latency", (i % 97) as f64);
+        }
+        let text = prometheus(&m);
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("megasw_latency_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.len() > 3);
+        for w in counts.windows(2) {
+            assert!(w[1] >= w[0], "{counts:?}");
+        }
+        assert_eq!(*counts.last().unwrap(), 399);
+        validate_exposition(&text).unwrap();
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(
+            escape_label_value("a\\b \"quoted\"\nnext"),
+            "a\\\\b \\\"quoted\\\"\\nnext"
+        );
+        // Round-trip through the validator's label parser.
+        let line = format!(
+            "# HELP m x\n# TYPE m counter\nm{{device=\"{}\"}} 1\n",
+            escape_label_value("GTX \"Titan\"\\slash\nline2")
+        );
+        validate_exposition(&line).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        // Sample without metadata.
+        assert!(validate_exposition("megasw_x 1\n").is_err());
+        // TYPE without HELP is caught at the first sample.
+        assert!(validate_exposition("# TYPE megasw_x counter\nmegasw_x 1\n").is_err());
+        // Metadata after samples.
+        assert!(
+            validate_exposition("# HELP m x\n# TYPE m counter\nm 1\n# TYPE m counter\n").is_err()
+        );
+        // Negative counter.
+        assert!(validate_exposition("# HELP m x\n# TYPE m counter\nm -4\n").is_err());
+        // Bad escape in a label value.
+        assert!(validate_exposition("# HELP m x\n# TYPE m counter\nm{l=\"a\\t\"} 1\n").is_err());
+        // Histogram without +Inf.
+        assert!(validate_exposition(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 2\nh_count 2\n"
+        )
+        .is_err());
+        // Histogram with decreasing cumulative counts.
+        assert!(validate_exposition(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+             h_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 3\n"
+        )
+        .is_err());
+        // +Inf bucket disagreeing with _count.
+        assert!(validate_exposition(
+            "# HELP h x\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 9\nh_count 4\n"
+        )
+        .is_err());
     }
 
     #[test]
@@ -168,6 +603,7 @@ mod tests {
     fn empty_registry_is_still_valid_output() {
         let m = MetricsRegistry::new();
         assert!(prometheus(&m).is_empty());
+        assert_eq!(validate_exposition(""), Ok(ExpositionSummary::default()));
         assert!(json::parse(&metrics_json(&m)).is_ok());
     }
 

@@ -66,16 +66,6 @@ impl BandedResult {
 /// assert_eq!(banded.best, scalar().best(a.codes(), a.codes(), &scheme));
 /// assert!(banded.cells_computed < 16 * 16);
 /// ```
-#[deprecated(
-    since = "0.1.0",
-    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
-            `kernel::scalar().banded(a, b, scheme, width)`; this shim will \
-            be removed next release"
-)]
-pub fn banded_best(a: &[u8], b: &[u8], scheme: &ScoreScheme, width: usize) -> BandedResult {
-    banded_best_impl(a, b, scheme, width)
-}
-
 /// The band scan backing [`crate::kernel::Kernel::banded`].
 pub(crate) fn banded_best_impl(
     a: &[u8],
@@ -194,21 +184,6 @@ pub(crate) fn banded_best_impl(
 /// only a band covering all `m + n` diagonals is a proof — but it converges
 /// on every divergence model this workspace generates (asserted by the
 /// property tests).
-#[deprecated(
-    since = "0.1.0",
-    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
-            `kernel::scalar().banded_adaptive(a, b, scheme, width)`; this \
-            shim will be removed next release"
-)]
-pub fn banded_adaptive(
-    a: &[u8],
-    b: &[u8],
-    scheme: &ScoreScheme,
-    initial_width: usize,
-) -> BandedResult {
-    banded_adaptive_impl(a, b, scheme, initial_width)
-}
-
 /// The doubling scan backing [`crate::kernel::Kernel::banded_adaptive`].
 pub(crate) fn banded_adaptive_impl(
     a: &[u8],

@@ -50,50 +50,30 @@ pub struct BlockOutput {
     pub cells: u64,
 }
 
-/// Compute one tile with the scalar engine. See the module docs for the
-/// dataflow contract.
+/// Workspace-internal scalar tile kernel, local semantics — what
+/// [`crate::kernel::ScalarKernel`] and the sequential executors run. Reach
+/// it through the trait: `kernel::scalar().block(input, scheme)`.
 ///
 /// # Panics
 ///
 /// Debug-asserts that border lengths match the tile dimensions and that the
 /// top and left borders agree on the shared corner element.
-#[deprecated(
-    since = "0.1.0",
-    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
-            `kernel::scalar().block(input, scheme)`; this shim will be \
-            removed next release"
-)]
-pub fn compute_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
-    scalar_block(input, scheme)
-}
-
-/// Anchored variant of the tile kernel: identical recurrences **without
-/// the zero floor**, so every alignment extends a path from the matrix
-/// origin (whose gap-cost boundary values the caller supplies via
-/// [`RowBorder::anchored`] / [`ColBorder::anchored`]).
-///
-/// This is the kernel of CUDAlign's stage 2: run over *reversed* prefixes
-/// it locates the start point of an optimal local alignment that ends at
-/// the stage-1 best cell. `best` tracks the maximum `H` anywhere in the
-/// tile, seeded with the origin's score 0 (which always exists globally).
-#[deprecated(
-    since = "0.1.0",
-    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
-            `kernel::scalar().block_anchored(input, scheme)`; this shim \
-            will be removed next release"
-)]
-pub fn compute_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
-    scalar_block_anchored(input, scheme)
-}
-
-/// Workspace-internal scalar tile kernel, local semantics — what
-/// [`crate::kernel::ScalarKernel`] and the sequential executors run.
 #[inline]
 pub(crate) fn scalar_block(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
     compute_block_impl::<true>(input, scheme)
 }
 
-/// Workspace-internal scalar tile kernel, anchored semantics.
+/// Workspace-internal scalar tile kernel, **anchored** semantics: identical
+/// recurrences **without the zero floor**, so every alignment extends a
+/// path from the matrix origin (whose gap-cost boundary values the caller
+/// supplies via [`RowBorder::anchored`] / [`ColBorder::anchored`]).
+///
+/// This is the kernel of CUDAlign's stage 2: run over *reversed* prefixes
+/// it locates the start point of an optimal local alignment that ends at
+/// the stage-1 best cell. `best` tracks the maximum `H` anywhere in the
+/// tile, seeded with the origin's score 0 (which always exists globally).
+/// Reach it through the trait: `kernel::scalar().block_anchored(input,
+/// scheme)`.
 #[inline]
 pub(crate) fn scalar_block_anchored(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
     compute_block_impl::<false>(input, scheme)

@@ -2,29 +2,19 @@
 //!
 //! This is the sequential CPU baseline: one rolling row, `O(n)` memory,
 //! returns the best cell. It is also the primitive the traceback module
-//! uses to locate alignment endpoints. Semantically it equals
-//! [`crate::block::compute_block`] applied to the whole matrix as a single
-//! tile; keeping a dedicated implementation (without border bookkeeping)
+//! uses to locate alignment endpoints. Semantically it equals the block
+//! kernel (`kernel::scalar().block(..)`) applied to the whole matrix as a
+//! single tile; keeping a dedicated implementation (without border bookkeeping)
 //! gives tests an independent implementation to cross-check and gives the
 //! CPU baseline an honest inner loop.
 
 use crate::cell::{BestCell, Score, NEG_INF};
 use crate::scoring::ScoreScheme;
 
-/// Best local-alignment cell between code slices `a` (rows) and `b`
-/// (columns), in `O(n)` memory.
-#[deprecated(
-    since = "0.1.0",
-    note = "invoke through the `kernel::Kernel` trait instead, e.g. \
-            `kernel::scalar().best(a, b, scheme)` (or `kernel::auto()` for \
-            the SIMD engines); this shim will be removed next release"
-)]
-pub fn gotoh_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
-    rolling_best(a, b, scheme)
-}
-
 /// The rolling-row scalar scan backing [`crate::kernel::ScalarKernel`]'s
-/// whole-sequence `best`.
+/// whole-sequence `best`. Reach it through the trait:
+/// `kernel::scalar().best(a, b, scheme)` (or `kernel::auto()` for the SIMD
+/// engines).
 pub(crate) fn rolling_best(a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
     let n = b.len();
     let open_ext = scheme.gap_open + scheme.gap_extend;

@@ -266,11 +266,11 @@ impl Kernel for ScalarKernel {
     }
 
     fn block(&self, input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
-        block::compute_block_impl::<true>(input, scheme)
+        block::scalar_block(input, scheme)
     }
 
     fn block_anchored(&self, input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
-        block::compute_block_impl::<false>(input, scheme)
+        block::scalar_block_anchored(input, scheme)
     }
 
     fn best(&self, a: &[u8], b: &[u8], scheme: &ScoreScheme) -> BestCell {
@@ -385,6 +385,48 @@ pub fn simd_rescues() -> u64 {
     #[cfg(target_arch = "x86_64")]
     {
         crate::simd::rescue_count()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// Wall-clock nanoseconds the overflow-rescue protocol has spent re-running
+/// tiles through the scalar path. Like [`simd_rescues`], process-global and
+/// monotone; phase attribution samples it before and after a run to bill
+/// rescue time as its own phase.
+pub fn simd_rescue_ns() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::simd::rescue_ns()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// [`simd_rescues`] restricted to the calling thread. A pipeline worker
+/// samples this before and after its run to get exact per-device rescue
+/// counts even with other workers (or tests) rescuing concurrently.
+pub fn simd_rescues_thread() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::simd::rescue_count_thread()
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        0
+    }
+}
+
+/// [`simd_rescue_ns`] restricted to the calling thread; see
+/// [`simd_rescues_thread`].
+pub fn simd_rescue_ns_thread() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        crate::simd::rescue_ns_thread()
     }
     #[cfg(not(target_arch = "x86_64"))]
     {

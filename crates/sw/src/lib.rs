@@ -30,8 +30,8 @@
 //!   (AVX2 / SSE4.1, i16 lanes with overflow rescue).
 //!
 //! The old free-function entry points (`compute_block`, `gotoh_best`,
-//! `banded_best`, …) are deprecated shims over the trait surface and will
-//! be removed next release; call `kernel::scalar()` / `kernel::auto()` /
+//! `banded_best`, …) were deprecated shims over the trait surface and have
+//! been removed; call `kernel::scalar()` / `kernel::auto()` /
 //! `kernel::select(dispatch)` instead.
 //!
 //! ## Matrix conventions
@@ -70,13 +70,9 @@ pub fn ascii_base(code: u8) -> char {
     }
 }
 
-#[allow(deprecated)]
-pub use block::{compute_block, compute_block_anchored};
 pub use block::{skip_block, BlockInput, BlockOutput};
 pub use border::{ColBorder, RowBorder};
 pub use cell::{BestCell, Score, NEG_INF};
-#[allow(deprecated)]
-pub use gotoh::gotoh_best;
 pub use kernel::{Kernel, KernelDispatch, KernelId, KernelSelection};
 pub use prune::{prune_bound, restore_corner, tile_is_prunable};
 pub use scoring::ScoreScheme;

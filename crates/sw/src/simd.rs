@@ -57,11 +57,51 @@ const NEG_INF16: i16 = -30_000;
 const BAND: i64 = 28_000;
 
 static RESCUES: AtomicU64 = AtomicU64::new(0);
+static RESCUE_NS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread mirrors of the global rescue counters. A pipeline runs
+    /// one worker thread per device, so sampling these from the worker
+    /// gives *exact* per-device rescue attribution — the process-global
+    /// counters cannot separate concurrent workers (or concurrent tests).
+    static TLS_RESCUES: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+    static TLS_RESCUE_NS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
 
 /// Tiles re-run through the scalar i32 kernel by the overflow-rescue
 /// protocol, process-wide and monotone.
 pub(crate) fn rescue_count() -> u64 {
     RESCUES.load(Ordering::Relaxed)
+}
+
+/// Wall-clock nanoseconds spent in those scalar re-runs, process-wide and
+/// monotone. Phase-attribution samples this around each tile to bill
+/// rescue time separately from ordinary compute.
+pub(crate) fn rescue_ns() -> u64 {
+    RESCUE_NS.load(Ordering::Relaxed)
+}
+
+/// [`rescue_count`], but only the rescues the *calling thread* triggered.
+pub(crate) fn rescue_count_thread() -> u64 {
+    TLS_RESCUES.with(|c| c.get())
+}
+
+/// [`rescue_ns`], but only the nanoseconds the *calling thread* spent.
+pub(crate) fn rescue_ns_thread() -> u64 {
+    TLS_RESCUE_NS.with(|c| c.get())
+}
+
+/// Run the scalar fallback for a tile the vector engine gave up on,
+/// charging its duration to the rescue clock.
+fn rescue_block<const LOCAL: bool>(input: BlockInput<'_>, scheme: &ScoreScheme) -> BlockOutput {
+    RESCUES.fetch_add(1, Ordering::Relaxed);
+    TLS_RESCUES.with(|c| c.set(c.get() + 1));
+    let t = std::time::Instant::now();
+    let out = compute_block_impl::<LOCAL>(input, scheme);
+    let spent = t.elapsed().as_nanos() as u64;
+    RESCUE_NS.fetch_add(spent, Ordering::Relaxed);
+    TLS_RESCUE_NS.with(|c| c.set(c.get() + spent));
+    out
 }
 
 /// One SIMD instruction set: the i16-lane operations the wavefront needs.
@@ -600,10 +640,10 @@ impl Avx2Kernel {
         if bh.min(bw) >= vector_min(Avx2::LANES) {
             // SAFETY: this kernel is only handed out by `kernel::select`
             // after a successful runtime AVX2 check.
-            if let Some(out) = unsafe { wave_avx2::<LOCAL>(input, scheme) } {
-                return out;
-            }
-            RESCUES.fetch_add(1, Ordering::Relaxed);
+            return match unsafe { wave_avx2::<LOCAL>(input, scheme) } {
+                Some(out) => out,
+                None => rescue_block::<LOCAL>(input, scheme),
+            };
         }
         compute_block_impl::<LOCAL>(input, scheme)
     }
@@ -632,10 +672,10 @@ impl Sse41Kernel {
         if bh.min(bw) >= vector_min(Sse41::LANES) {
             // SAFETY: this kernel is only handed out by `kernel::select`
             // after a successful runtime SSE4.1 check.
-            if let Some(out) = unsafe { wave_sse41::<LOCAL>(input, scheme) } {
-                return out;
-            }
-            RESCUES.fetch_add(1, Ordering::Relaxed);
+            return match unsafe { wave_sse41::<LOCAL>(input, scheme) } {
+                Some(out) => out,
+                None => rescue_block::<LOCAL>(input, scheme),
+            };
         }
         compute_block_impl::<LOCAL>(input, scheme)
     }

@@ -354,3 +354,45 @@ fn shrinker_finds_a_minimal_schedule() {
     assert_eq!(cur.faults.len(), 1);
     assert_eq!(cur.faults[0].device, 0);
 }
+
+#[test]
+fn chaos_device_loss_dumps_a_flight_black_box() {
+    // Acceptance: an induced device loss leaves a JSONL flight dump with
+    // the fault event on the lost device's lane, while the run itself
+    // recovers and finishes bit-identically.
+    let s = Scenario::parse("len=2000 seed=7 block=32 cap=2 ckpt=4 max=1 faults=1:10:compute");
+    let (a, b) = pair(&s);
+    let cfg = config(&s);
+    let want = gotoh_best(a.codes(), b.codes(), &cfg.scheme);
+    // The recovery attempt keeps writing to the same lanes after the
+    // fault, so the ring must be deep enough to retain the fault event
+    // past the survivors' full rerun (~3 events per block-row).
+    let flight = FlightRecorder::new(Platform::env2().len(), 2048);
+    let dir = std::env::temp_dir().join(format!("megasw-chaos-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump = dir.join("blackbox.jsonl");
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(cfg)
+        .faults(FaultSchedule::from(s.faults.clone()))
+        .recover(RecoveryPolicy {
+            max_device_failures: 1,
+        })
+        .flight(std::sync::Arc::clone(&flight))
+        .flight_dump_path(&dump)
+        .run()
+        .unwrap();
+    assert_eq!(report.best, want);
+    assert_eq!(report.recovery.unwrap().recoveries, 1);
+    // The lost attempt's last moments survive in the dump: lane 1's
+    // injected fault (aux 0) plus whatever the neighbours saw.
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"kind\": \"fault\"") && l.contains("\"device\": 1")),
+        "no fault event for device 1 in:\n{text}"
+    );
+    for line in text.lines() {
+        megasw::obs::json::parse(line).expect("flight dump lines are valid JSON");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

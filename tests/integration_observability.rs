@@ -119,6 +119,58 @@ fn threaded_stall_breakdown_balances_against_wall_time() {
 }
 
 #[test]
+fn attribution_is_visible_in_report_metrics_and_trace() {
+    // Acceptance path for the deep-observability layer, on the paper's
+    // heterogeneous 3-GPU environment: per-device phase attribution sums
+    // to the makespan exactly, flows into the metrics registry (and a
+    // conforming Prometheus exposition), and the Chrome trace carries
+    // per-device stall counter tracks.
+    let (a, b) = homologous_pair(3_000, 41);
+    let obs = Recorder::new(ObsLevel::Full);
+    let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+        .config(RunConfig::paper_default().with_block(96))
+        .observer(obs.clone())
+        .run()
+        .unwrap();
+    let wall_ns = report.wall_time.unwrap().as_nanos() as u64;
+
+    // RunReport: the identity, exact per device.
+    let mut agg = 0u64;
+    for d in &report.devices {
+        let attr = d.attribution.expect("threaded runs attribute");
+        assert_eq!(attr.total_ns(), wall_ns, "device {}: {attr}", d.device);
+        agg += attr.compute_ns;
+    }
+    assert!(agg > 0);
+
+    // Metrics: per-device and aggregate series, and the exposition is
+    // Prometheus-conformant.
+    let m = report.metrics_with_spans(&obs.spans());
+    for (i, d) in report.devices.iter().enumerate() {
+        let attr = d.attribution.unwrap();
+        assert_eq!(
+            m.counter(&format!("attr.d{i}.compute_ns")),
+            Some(attr.compute_ns)
+        );
+        assert_eq!(
+            m.counter(&format!("attr.d{i}.wait_input_ns")),
+            Some(attr.wait_input_ns)
+        );
+    }
+    assert_eq!(m.counter("attr.compute_ns"), Some(agg));
+    let exposition = prometheus(&m);
+    let summary = megasw::obs::validate_exposition(&exposition).unwrap();
+    assert!(summary.families > 0 && summary.samples > 0);
+    assert!(exposition.contains("megasw_attr_d0_compute_ns"));
+
+    // Chrome trace: counter tracks per device lane, still a valid trace.
+    let trace = chrome_trace(&obs.spans(), &device_names(&Platform::env2()));
+    let check = validate_trace(&trace).unwrap();
+    assert!(check.counter_events > 0, "no stall counter tracks");
+    assert!(trace.contains("stall d0 (ns)"));
+}
+
+#[test]
 fn metrics_summary_covers_the_run() {
     let (a, b) = homologous_pair(2_000, 37);
     let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
