@@ -20,6 +20,14 @@ cargo test -q -p megasw --test integration_conformance -- \
     pruned_des_mirror_is_structurally_sound \
     watermark_is_monotone_and_never_exceeds_the_true_best
 
+# Rebalance conformance: checkpoint-boundary dynamic repartitioning must
+# stay bit-identical to the static reference — alone, crossed with
+# distributed pruning, and crossed with fault recovery — on both backends.
+cargo test -q -p megasw --test integration_conformance -- \
+    rebalanced_threaded_pipeline_stays_bit_identical_on_sampled_combos \
+    rebalanced_recovery_after_fault_stays_bit_identical \
+    rebalanced_des_mirror_is_structurally_sound
+
 # Kernel-dispatch conformance: the full matrix under the default Auto
 # dispatch ran as part of the workspace suite above; re-run the pipeline
 # rows with the SIMD engines disabled via the env override, then the
@@ -58,12 +66,13 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v5 carries recovery, pruning, kernel-dispatch AND per-phase
-# stall-attribution accounting in every experiment; the recovery anchor
-# must report an actual recovery, the pruning anchor a nonzero pruned
-# tile count, and every experiment a nonzero compute attribution.
-grep -q '"schema_version": 5' BENCH_ci.json || {
-    echo "ci: FAIL — BENCH_ci.json is not schema v5" >&2
+# Schema v6 carries recovery, pruning, rebalance, kernel-dispatch AND
+# per-phase stall-attribution accounting in every experiment; the recovery
+# anchor must report an actual recovery, the pruning anchor a nonzero
+# pruned tile count, the rebalance anchor at least one applied migration,
+# and every experiment a nonzero compute attribution.
+grep -q '"schema_version": 6' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v6" >&2
     exit 1
 }
 grep -q '"attribution": {"compute": [1-9]' BENCH_ci.json || {
@@ -90,6 +99,23 @@ grep -q '"name": "prune.env2.3gpu".*"pruning": {"tiles_pruned": [1-9]' BENCH_ci.
     echo "ci: FAIL — pruning anchor experiment pruned no tiles" >&2
     exit 1
 }
+grep -q '"rebalance": {"migrations": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks rebalance metrics fields" >&2
+    exit 1
+}
+grep -q '"name": "rebalance.env2.3gpu".*"rebalance": {"migrations": [1-9]' BENCH_ci.json || {
+    echo "ci: FAIL — rebalance anchor experiment applied no migration" >&2
+    exit 1
+}
+# Drifting-clock rebalance floor: the anchor is a deterministic DES run
+# (host-independent), where the Titan halves its clock mid-matrix. Static
+# slabs deliver ~95 simulated GCUPS on that drift; the controller's
+# migrations recover it to ~118. The 110 floor fails loudly if the
+# rebalance protocol stops moving columns (or moves them wrongly) while
+# staying clear of legitimate model adjustments.
+./target/release/bench-diff --shape-only \
+    --min-gcups rebalance.env2.3gpu=110 \
+    crates/bench/fixtures/BENCH_baseline.json BENCH_ci.json
 # SIMD throughput floor, only where the wide engine exists. The anchor
 # runs ~2 GCUPS with AVX2 on a quiet host vs ~0.19 scalar; the floor is
 # derated to 0.8 because shared CI hosts throttle by up to ~2×, while

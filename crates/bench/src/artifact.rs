@@ -41,7 +41,13 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// across devices, in nanoseconds — plus a top-level `simd_rescues`
 /// counter. A GCUPS regression now arrives with the phase that ate the
 /// time attached.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: every experiment also carries a `rebalance` object (migrations,
+/// moved_columns, evaluations) — the checkpoint-boundary dynamic
+/// repartitioning accounting, all zero when rebalance is off — so the
+/// drifting-clock anchor's recovered makespan is tracked alongside the
+/// static-slab experiments.
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -99,6 +105,11 @@ pub struct Experiment {
     pub tiles_total: u64,
     pub cells_skipped: u64,
     pub pruned_fraction: f64,
+    /// Checkpoint-boundary rebalance accounting (all zero when rebalance
+    /// is off).
+    pub rebalance_migrations: u64,
+    pub rebalance_moved_columns: u64,
+    pub rebalance_evaluations: u64,
     /// DP engine selection: the dispatch that was requested (`auto`,
     /// `scalar`, `sse41`, `avx2`) and the engine that actually executed.
     pub kernel_dispatch: String,
@@ -143,6 +154,9 @@ impl Experiment {
         } else {
             0.0
         };
+        self.rebalance_migrations = metrics.counter("rebalance.migrations_total").unwrap_or(0);
+        self.rebalance_moved_columns = metrics.counter("rebalance.moved_columns").unwrap_or(0);
+        self.rebalance_evaluations = metrics.counter("rebalance.evaluations").unwrap_or(0);
         self.attr_compute_ns = metrics.counter("attr.compute_ns").unwrap_or(0);
         self.attr_wait_input_ns = metrics.counter("attr.wait_input_ns").unwrap_or(0);
         self.attr_wait_output_ns = metrics.counter("attr.wait_output_ns").unwrap_or(0);
@@ -238,6 +252,11 @@ impl Artifact {
             );
             let _ = write!(
                 out,
+                "\"rebalance\": {{\"migrations\": {}, \"moved_columns\": {}, \"evaluations\": {}}}, ",
+                e.rebalance_migrations, e.rebalance_moved_columns, e.rebalance_evaluations
+            );
+            let _ = write!(
+                out,
                 "\"kernel\": {{\"dispatch\": \"{}\", \"resolved\": \"{}\"}}, ",
                 escape(&e.kernel_dispatch),
                 escape(&e.kernel_resolved)
@@ -313,6 +332,9 @@ impl Artifact {
                 .get("recovery")
                 .ok_or_else(|| ctx("missing \"recovery\""))?;
             let pruning = e.get("pruning").ok_or_else(|| ctx("missing \"pruning\""))?;
+            let rebalance = e
+                .get("rebalance")
+                .ok_or_else(|| ctx("missing \"rebalance\""))?;
             let kernel = e.get("kernel").ok_or_else(|| ctx("missing \"kernel\""))?;
             let attribution = e
                 .get("attribution")
@@ -347,6 +369,10 @@ impl Artifact {
                 tiles_total: req_u64(pruning, "tiles_total").map_err(|m| ctx(&m))?,
                 cells_skipped: req_u64(pruning, "cells_skipped").map_err(|m| ctx(&m))?,
                 pruned_fraction: req_f64(pruning, "pruned_fraction").map_err(|m| ctx(&m))?,
+                rebalance_migrations: req_u64(rebalance, "migrations").map_err(|m| ctx(&m))?,
+                rebalance_moved_columns: req_u64(rebalance, "moved_columns")
+                    .map_err(|m| ctx(&m))?,
+                rebalance_evaluations: req_u64(rebalance, "evaluations").map_err(|m| ctx(&m))?,
                 kernel_dispatch: req_str(kernel, "dispatch").map_err(|m| ctx(&m))?,
                 kernel_resolved: req_str(kernel, "resolved").map_err(|m| ctx(&m))?,
                 attr_compute_ns: req_u64(attribution, "compute").map_err(|m| ctx(&m))?,
@@ -535,6 +561,9 @@ mod tests {
             tiles_total: 100,
             cells_skipped: 250_000,
             pruned_fraction: 0.25,
+            rebalance_migrations: 2,
+            rebalance_moved_columns: 96,
+            rebalance_evaluations: 5,
             kernel_dispatch: "auto".into(),
             kernel_resolved: "avx2".into(),
             attr_compute_ns: 7_000,
@@ -579,7 +608,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 5", "\"schema_version\": 999");
+            .replace("\"schema_version\": 6", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -643,6 +672,9 @@ mod tests {
         m.incr("pruning.tiles_pruned", 30);
         m.incr("pruning.tiles_total", 120);
         m.incr("pruning.cells_skipped", 480_000);
+        m.incr("rebalance.migrations_total", 3);
+        m.incr("rebalance.moved_columns", 512);
+        m.incr("rebalance.evaluations", 12);
         m.incr("attr.compute_ns", 9_000);
         m.incr("attr.wait_input_ns", 800);
         m.incr("attr.other_ns", 200);
@@ -670,6 +702,9 @@ mod tests {
         assert_eq!(e.tiles_total, 120);
         assert_eq!(e.cells_skipped, 480_000);
         assert!((e.pruned_fraction - 0.25).abs() < 1e-12);
+        assert_eq!(e.rebalance_migrations, 3);
+        assert_eq!(e.rebalance_moved_columns, 512);
+        assert_eq!(e.rebalance_evaluations, 12);
         assert_eq!(e.attr_compute_ns, 9_000);
         assert_eq!(e.attr_wait_input_ns, 800);
         assert_eq!(e.attr_other_ns, 200);

@@ -70,6 +70,13 @@ fn main() -> ExitCode {
         &config,
     ));
 
+    eprintln!("running rebalance.env2.3gpu…");
+    artifact.experiments.push(run_rebalance_experiment(
+        "rebalance.env2.3gpu",
+        &Platform::env2(),
+        &config,
+    ));
+
     if let Err(e) = std::fs::write(&out, artifact.to_json()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::from(2);
@@ -161,6 +168,43 @@ fn run_prune_experiment(name: &str, platform: &Platform, config: &RunConfig) -> 
     assert!(
         run.aborted.is_none(),
         "pruning benchmark must complete: {:?}",
+        run.aborted
+    );
+    let g = run.report.gcups_sim.unwrap_or(0.0);
+    Experiment {
+        name: name.to_string(),
+        cells: (m * n) as u64,
+        gcups_median: g,
+        gcups_min: g,
+        gcups_max: g,
+        ..Experiment::default()
+    }
+    .with_kernel(&run.report.kernel)
+    .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
+}
+
+/// The drifting-clock rebalance anchor: the 1M × 1M simulated env2 run
+/// where the Titan (the biggest proportional share) halves its clock at
+/// the matrix midpoint, with checkpoint-boundary rebalancing on. The
+/// controller migrates columns to the healthy boards, so this experiment's
+/// GCUPS sits well above what static slabs would deliver on the same
+/// drift; its migration accounting is bit-stable across hosts.
+fn run_rebalance_experiment(name: &str, platform: &Platform, config: &RunConfig) -> Experiment {
+    let (m, n) = (1_000_000, 1_000_000);
+    let rows = m / config.block_h;
+    let obs = Recorder::new(ObsLevel::Full);
+    let run = DesSim::new(m, n, platform)
+        .config(config.clone().with_rebalance(RebalanceMode::on()))
+        .drift(ClockDrift {
+            device: 0,
+            after_row: rows / 2,
+            factor: 0.5,
+        })
+        .observer(obs.clone())
+        .run();
+    assert!(
+        run.aborted.is_none(),
+        "rebalance benchmark must complete: {:?}",
         run.aborted
     );
     let g = run.report.gcups_sim.unwrap_or(0.0);

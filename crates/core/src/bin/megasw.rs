@@ -66,9 +66,13 @@ subcommands:
   align     A.fasta B.fasta [--width N] [platform flags]
             stages 1-3: retrieve and render the optimal local alignment
   simulate  --m ROWS --n COLS [platform flags] [--identity Q] [--gantt]
+            [--drift DEV:ROW:FACTOR[,..]]
             discrete-event run (no sequence data needed); --identity Q
             (0..=1) sets the modelled pair identity the pruning mirror
-            uses (default 0.25, i.e. unrelated sequences)
+            uses (default 0.25, i.e. unrelated sequences); --drift
+            multiplies device DEV's clock by FACTOR from block-row ROW
+            onward (0.5 = thermal throttling halves it) — pair with
+            --rebalance on to watch the controller shift columns
   tune      --m ROWS --n COLS [platform flags]
             sweep block height x ring capacity on the simulator
   screen    A.fasta B.fasta [--k N] [--plot]
@@ -101,6 +105,12 @@ kernel-policy flags (compare, align, simulate, tune):
   --equal           equal split instead of performance-proportional
   --checkpoint-rows N
                     checkpoint every N block-rows (default 8)
+  --rebalance MODE  off | on | on:THRESHOLD (default off) — re-split the
+                    column slabs at checkpoint boundaries when the predicted
+                    makespan improvement clears THRESHOLD (default 0.05);
+                    workers resume from the boundary checkpoint's full-width
+                    border wave, so no cell is recomputed and the score
+                    stays bit-identical (needs a checkpoint cadence)
 
 fault-tolerance flags (compare, simulate):
   --fault SPEC      inject deterministic device failures; SPEC is a
@@ -332,6 +342,10 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
             return Err("--identity must be within 0..=1".into());
         }
     }
+    let drifts = match args.flag_str("--drift") {
+        Some(spec) => parse_drifts(&spec, platform.len())?,
+        None => Vec::new(),
+    };
     let gantt = args.take_flag("--gantt");
     args.finish()?;
     if obs_opts.flight_dump.is_some() {
@@ -353,6 +367,9 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
         .faults(faults);
     if let Some(q) = identity {
         sim = sim.identity(q);
+    }
+    for d in drifts {
+        sim = sim.drift(d);
     }
     if let Some(policy) = recovery {
         sim = sim.recover(policy);
@@ -815,10 +832,11 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
 }
 
 /// The single parsing surface for every flag that lands in a
-/// [`KernelPolicy`] — `--prune`, `--equal`, `--checkpoint-rows` — plus the
-/// fault schedule and recovery budget that ride along with it (`--fault`,
-/// `--recover`, `--max-device-failures`). `compare`, `align`, `simulate`
-/// and `tune` all parse through here; no subcommand re-implements a flag.
+/// [`KernelPolicy`] — `--prune`, `--equal`, `--checkpoint-rows`,
+/// `--rebalance` — plus the fault schedule and recovery budget that ride
+/// along with it (`--fault`, `--recover`, `--max-device-failures`).
+/// `compare`, `align`, `simulate` and `tune` all parse through here; no
+/// subcommand re-implements a flag.
 mod cli_policy {
     use super::ArgStream;
     use megasw::prelude::*;
@@ -859,6 +877,9 @@ mod cli_policy {
                 return Err("--checkpoint-rows must be at least 1".into());
             }
             policy = policy.with_checkpoint(CheckpointCadence::EveryRows(rows));
+        }
+        if let Some(spec) = args.flag_str("--rebalance") {
+            policy = policy.with_rebalance(RebalanceMode::parse(&spec)?);
         }
         let faults = match args.flag_str("--fault") {
             Some(spec) => spec.parse::<FaultSchedule>()?,
@@ -911,6 +932,42 @@ fn parse_config(args: &mut ArgStream, policy: KernelPolicy) -> Result<RunConfig,
     }
     config.validate()?;
     Ok(config)
+}
+
+/// `--drift` spec: comma-separated `DEV:ROW:FACTOR` entries. From block-row
+/// ROW onward, device DEV's clock is multiplied by FACTOR (0.5 = the board
+/// halves its clock, e.g. thermal throttling).
+fn parse_drifts(spec: &str, devices: usize) -> Result<Vec<ClockDrift>, String> {
+    spec.split(',')
+        .map(|entry| {
+            let parts: Vec<&str> = entry.split(':').collect();
+            let [dev, row, factor] = parts.as_slice() else {
+                return Err(format!(
+                    "bad drift entry {entry:?} (expected DEV:ROW:FACTOR)"
+                ));
+            };
+            let device: usize = dev
+                .parse()
+                .map_err(|_| format!("bad drift device {dev:?}"))?;
+            if device >= devices {
+                return Err(format!(
+                    "drift device {device} out of range (platform has {devices})"
+                ));
+            }
+            let after_row: usize = row.parse().map_err(|_| format!("bad drift row {row:?}"))?;
+            let factor: f64 = factor
+                .parse()
+                .map_err(|_| format!("bad drift factor {factor:?}"))?;
+            if !factor.is_finite() || factor <= 0.0 {
+                return Err(format!("drift factor must be positive, got {factor}"));
+            }
+            Ok(ClockDrift {
+                device,
+                after_row,
+                factor,
+            })
+        })
+        .collect()
 }
 
 fn parse_divergence(spec: &str, seed: u64, len: usize) -> Result<DivergenceModel, String> {
@@ -1136,6 +1193,48 @@ mod tests {
         assert!(cli_policy::parse(&mut s)
             .unwrap_err()
             .contains("at least 1"));
+    }
+
+    #[test]
+    fn rebalance_flag_parses_and_rejects_nonsense() {
+        let mut s = stream(&["--rebalance", "on"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(cp.policy.rebalance, RebalanceMode::on());
+        assert!(s.finish().is_ok());
+
+        let mut s = stream(&["--rebalance", "on:0.1"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        let RebalanceMode::On { threshold, .. } = cp.policy.rebalance else {
+            panic!("expected On, got {:?}", cp.policy.rebalance);
+        };
+        assert!((threshold - 0.1).abs() < 1e-12);
+
+        let mut s = stream(&["--rebalance", "off"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(cp.policy.rebalance, RebalanceMode::Off);
+
+        let mut s = stream(&["--rebalance", "sometimes"]);
+        assert!(cli_policy::parse(&mut s).is_err());
+    }
+
+    #[test]
+    fn drift_spec_parses_lists_and_rejects_nonsense() {
+        let ds = parse_drifts("0:100:0.5,2:0:2.0", 3).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(
+            ds[0],
+            ClockDrift {
+                device: 0,
+                after_row: 100,
+                factor: 0.5
+            }
+        );
+        assert_eq!(ds[1].device, 2);
+        assert!(parse_drifts("5:0:0.5", 3).unwrap_err().contains("range"));
+        assert!(parse_drifts("0:0", 3).is_err());
+        assert!(parse_drifts("0:0:-1.0", 3).is_err());
+        assert!(parse_drifts("0:0:0", 3).is_err());
+        assert!(parse_drifts("a:b:c", 3).is_err());
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use megasw_sw as sw;
 
 /// The commonly used names in one import.
 pub mod prelude {
-    pub use megasw_gpusim::{catalog, DeviceSpec, LinkSpec, Platform, SimTime};
+    pub use megasw_gpusim::{catalog, ClockDrift, DeviceSpec, LinkSpec, Platform, SimTime};
     pub use megasw_multigpu::autotune::{autotune, TuneResult};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
     pub use megasw_multigpu::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
@@ -88,11 +88,12 @@ pub mod prelude {
         multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
     pub use megasw_multigpu::stats::{
-        DeviceReport, PruningReport, RecoveryReport, StallAttribution, StallBreakdown,
+        DeviceReport, PruningReport, RebalanceReport, RecoveryReport, StallAttribution,
+        StallBreakdown,
     };
     pub use megasw_multigpu::{
         make_slabs, BorderMsg, CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode,
-        RunConfig, RunReport, Slab,
+        RebalanceMode, RunConfig, RunReport, Slab,
     };
     pub use megasw_obs::{
         chrome_trace, http_get, metrics_json, prometheus, render_progress_line,

@@ -3,6 +3,34 @@
 use crate::spec::DeviceSpec;
 use crate::time::SimTime;
 
+/// A mid-run clock change on one device: from `after_row` onward the
+/// device's effective clock is multiplied by `factor` (0.5 = the board
+/// halves its clock, e.g. thermal throttling; 2.0 = it recovers).
+///
+/// The drift is deliberately a *step*, not a ramp: a step is the hardest
+/// case for a static partition (the imbalance arrives all at once) and it
+/// keeps the simulated schedule exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDrift {
+    /// Platform index of the drifting device.
+    pub device: usize,
+    /// First block-row computed at the drifted clock.
+    pub after_row: usize,
+    /// Clock multiplier from `after_row` onward (must be positive).
+    pub factor: f64,
+}
+
+impl ClockDrift {
+    /// The clock multiplier in effect for block-row `row`.
+    pub fn scale_at(&self, device: usize, row: usize) -> f64 {
+        if device == self.device && row >= self.after_row {
+            self.factor
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Timing model for wavefront kernel launches on one device.
 ///
 /// A launch processes one *external diagonal* of a slab: `blocks`
@@ -37,11 +65,23 @@ impl KernelModel {
 
     /// Time for one launch covering `blocks` tiles and `cells` DP cells.
     pub fn launch_time(&self, blocks: u32, cells: u64) -> SimTime {
+        self.launch_time_scaled(blocks, cells, 1.0)
+    }
+
+    /// [`KernelModel::launch_time`] with the device clock multiplied by
+    /// `clock_scale` — the drifting-clock model ([`ClockDrift`]). Launch
+    /// overhead is host-side and does not scale with the device clock.
+    pub fn launch_time_scaled(&self, blocks: u32, cells: u64, clock_scale: f64) -> SimTime {
         if cells == 0 {
             return SimTime::from_nanos(self.spec.launch_overhead_ns);
         }
+        assert!(
+            clock_scale.is_finite() && clock_scale > 0.0,
+            "clock scale must be positive"
+        );
         let active_sms = blocks.clamp(1, self.spec.sms) as f64;
-        let per_sm_rate = self.spec.clock_mhz as f64 * 1e6 * self.spec.cells_per_cycle_per_sm;
+        let per_sm_rate =
+            self.spec.clock_mhz as f64 * 1e6 * self.spec.cells_per_cycle_per_sm * clock_scale;
         let secs = cells as f64 / (active_sms * per_sm_rate);
         SimTime::from_nanos(self.spec.launch_overhead_ns) + SimTime::from_secs_f64(secs)
     }
@@ -104,6 +144,33 @@ mod tests {
     fn zero_cells_costs_only_overhead() {
         let m = model();
         assert_eq!(m.launch_time(0, 0), SimTime::from_nanos(5_000));
+        assert_eq!(m.launch_time_scaled(0, 0, 0.5), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn scaled_launch_halves_throughput_not_overhead() {
+        let m = model();
+        let full = m.launch_time(8, 8_000_000);
+        let slowed = m.launch_time_scaled(8, 8_000_000, 0.5);
+        let busy_full = full.as_nanos() - 5_000;
+        let busy_slowed = slowed.as_nanos() - 5_000;
+        let ratio = busy_slowed as f64 / busy_full as f64;
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio = {ratio}");
+        assert_eq!(m.launch_time_scaled(8, 8_000_000, 1.0), full);
+    }
+
+    #[test]
+    fn clock_drift_steps_at_the_given_row() {
+        let d = ClockDrift {
+            device: 1,
+            after_row: 10,
+            factor: 0.5,
+        };
+        assert_eq!(d.scale_at(1, 9), 1.0);
+        assert_eq!(d.scale_at(1, 10), 0.5);
+        assert_eq!(d.scale_at(1, 500), 0.5);
+        // Other devices never drift.
+        assert_eq!(d.scale_at(0, 500), 1.0);
     }
 
     #[test]

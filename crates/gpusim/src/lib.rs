@@ -31,7 +31,7 @@ pub mod stream;
 pub mod time;
 pub mod trace;
 
-pub use device::KernelModel;
+pub use device::{ClockDrift, KernelModel};
 pub use link::LinkSpec;
 pub use platform::{Platform, PlatformKind};
 pub use spec::DeviceSpec;

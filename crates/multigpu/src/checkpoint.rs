@@ -149,14 +149,18 @@ impl CheckpointStore {
     /// bottom border (`width + 1` entries), the device's running best since
     /// the attempt started, and its current pruning watermark (0 when
     /// pruning is off).
+    ///
+    /// Takes slices and copies under the store lock, so workers can reuse
+    /// one per-lane scratch buffer across block-rows instead of allocating
+    /// a fresh `Vec` pair per deposit.
     #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
         attempt: usize,
         wave: usize,
         slab_idx: usize,
-        h: Vec<Score>,
-        f: Vec<Score>,
+        h: &[Score],
+        f: &[Score],
         best: BestCell,
         watermark: Score,
     ) {
@@ -168,8 +172,8 @@ impl CheckpointStore {
         let n_slabs = log.slabs.len();
         let entry = log.waves.entry(wave).or_insert_with(|| vec![None; n_slabs]);
         entry[slab_idx] = Some(SlabCkpt {
-            h,
-            f,
+            h: h.to_vec(),
+            f: f.to_vec(),
             best,
             watermark,
         });
@@ -245,7 +249,7 @@ mod tests {
         let store = CheckpointStore::new(10);
         let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
         let (h, f) = seg(6, 5);
-        store.record(a, 4, 0, h, f, BestCell::ZERO, 0);
+        store.record(a, 4, 0, &h, &f, BestCell::ZERO, 0);
         assert!(store.newest_complete().is_none());
     }
 
@@ -255,8 +259,8 @@ mod tests {
         let a = store.begin_attempt(0, BestCell::ZERO, &[(1, 6), (7, 4)]);
         let (h0, f0) = seg(6, 5);
         let (h1, f1) = seg(4, 9);
-        store.record(a, 4, 0, h0, f0, BestCell::new(3, 2, 2), 3);
-        store.record(a, 4, 1, h1, f1, BestCell::new(7, 3, 8), 7);
+        store.record(a, 4, 0, &h0, &f0, BestCell::new(3, 2, 2), 3);
+        store.record(a, 4, 1, &h1, &f1, BestCell::new(7, 3, 8), 7);
         let ck = store.newest_complete().unwrap();
         assert_eq!(ck.wave, 4);
         assert_eq!(ck.h.len(), 11);
@@ -274,14 +278,14 @@ mod tests {
         let store = CheckpointStore::new(8);
         let a0 = store.begin_attempt(0, BestCell::ZERO, &[(1, 4), (5, 4)]);
         let (h, f) = seg(4, 1);
-        store.record(a0, 2, 0, h.clone(), f.clone(), BestCell::ZERO, 0);
-        store.record(a0, 2, 1, h.clone(), f.clone(), BestCell::ZERO, 0);
+        store.record(a0, 2, 0, &h, &f, BestCell::ZERO, 0);
+        store.record(a0, 2, 1, &h, &f, BestCell::ZERO, 0);
         // Attempt 0 also has a newer but incomplete wave.
-        store.record(a0, 4, 0, h.clone(), f.clone(), BestCell::ZERO, 0);
+        store.record(a0, 4, 0, &h, &f, BestCell::ZERO, 0);
         // A second attempt (one surviving slab) completes wave 6.
         let a1 = store.begin_attempt(2, BestCell::new(9, 1, 1), &[(1, 8)]);
         let (h8, f8) = seg(8, 2);
-        store.record(a1, 6, 0, h8, f8, BestCell::ZERO, 4);
+        store.record(a1, 6, 0, &h8, &f8, BestCell::ZERO, 4);
         let ck = store.newest_complete().unwrap();
         assert_eq!(ck.wave, 6);
         assert_eq!(ck.h, vec![2; 9]);

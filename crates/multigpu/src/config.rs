@@ -62,6 +62,94 @@ impl std::fmt::Display for PruneMode {
     }
 }
 
+/// Live slab rebalancing at checkpoint boundaries (DESIGN.md §13).
+///
+/// When on, the run is executed in **segments** of `window_waves`
+/// checkpoint intervals. At every segment boundary the controller measures
+/// each device's effective throughput (cells per busy nanosecond, net of
+/// pruned tiles) over the segment just finished and predicts the makespan
+/// of a re-split proportional to those rates; when the predicted
+/// improvement exceeds `threshold`, block-columns migrate between devices
+/// by handing off the checkpointed H/F border wave — no recomputation, so
+/// scores stay bit-identical by construction.
+///
+/// Rebalancing rides the checkpoint machinery and therefore requires an
+/// enabled [`CheckpointCadence`]; a run that asks for it with
+/// checkpointing disabled is rejected as invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RebalanceMode {
+    /// Static slabs for the whole run (the paper's baseline).
+    #[default]
+    Off,
+    /// Evaluate a re-split at every segment boundary.
+    On {
+        /// Hysteresis: minimum predicted relative makespan improvement
+        /// (`0.05` = 5%) before a migration is applied. Guards against
+        /// thrashing on measurement noise.
+        threshold: f64,
+        /// Sliding-window length in checkpoint intervals: how many
+        /// checkpoint waves each segment spans before the controller
+        /// re-evaluates.
+        window_waves: usize,
+    },
+}
+
+impl RebalanceMode {
+    /// Default hysteresis threshold for `--rebalance on`.
+    pub const DEFAULT_THRESHOLD: f64 = 0.05;
+    /// Default sliding-window length in checkpoint intervals.
+    pub const DEFAULT_WINDOW_WAVES: usize = 8;
+
+    /// `on` with the default threshold and window.
+    pub fn on() -> RebalanceMode {
+        RebalanceMode::On {
+            threshold: Self::DEFAULT_THRESHOLD,
+            window_waves: Self::DEFAULT_WINDOW_WAVES,
+        }
+    }
+
+    /// Parse a CLI-style spec: `off` | `on` | `on:<threshold>`.
+    pub fn parse(s: &str) -> Result<RebalanceMode, String> {
+        match s {
+            "off" => Ok(RebalanceMode::Off),
+            "on" => Ok(RebalanceMode::on()),
+            other => match other.strip_prefix("on:") {
+                Some(t) => {
+                    let threshold: f64 = t
+                        .parse()
+                        .map_err(|_| format!("bad rebalance threshold {t:?}"))?;
+                    if !threshold.is_finite() || threshold < 0.0 {
+                        return Err(format!(
+                            "rebalance threshold must be a finite fraction ≥ 0, got {t}"
+                        ));
+                    }
+                    Ok(RebalanceMode::On {
+                        threshold,
+                        window_waves: Self::DEFAULT_WINDOW_WAVES,
+                    })
+                }
+                None => Err(format!(
+                    "unknown rebalance mode {other:?} (expected off|on|on:<threshold>)"
+                )),
+            },
+        }
+    }
+
+    /// True unless rebalancing is [`RebalanceMode::Off`].
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, RebalanceMode::Off)
+    }
+}
+
+impl std::fmt::Display for RebalanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceMode::Off => f.write_str("off"),
+            RebalanceMode::On { threshold, .. } => write!(f, "on:{threshold}"),
+        }
+    }
+}
+
 /// How often workers deposit border checkpoints into the host-side
 /// [`CheckpointStore`](crate::checkpoint::CheckpointStore).
 ///
@@ -108,6 +196,8 @@ pub struct KernelPolicy {
     pub checkpoint: CheckpointCadence,
     /// Which DP engine executes tiles (scalar / SSE4.1 / AVX2 / auto).
     pub dispatch: KernelDispatch,
+    /// Live slab rebalancing at checkpoint boundaries.
+    pub rebalance: RebalanceMode,
 }
 
 impl KernelPolicy {
@@ -135,6 +225,12 @@ impl KernelPolicy {
         self
     }
 
+    /// Builder-style: set the rebalance mode.
+    pub fn with_rebalance(mut self, r: RebalanceMode) -> KernelPolicy {
+        self.rebalance = r;
+        self
+    }
+
     /// Validate field constraints.
     pub fn validate(&self) -> Result<(), String> {
         if let PartitionPolicy::Explicit(w) = &self.partition {
@@ -148,6 +244,23 @@ impl KernelPolicy {
         if self.checkpoint == CheckpointCadence::EveryRows(0) {
             return Err("checkpoint cadence must be ≥ 1 block-row".into());
         }
+        if let RebalanceMode::On {
+            threshold,
+            window_waves,
+        } = self.rebalance
+        {
+            if !threshold.is_finite() || threshold < 0.0 {
+                return Err("rebalance threshold must be a finite fraction ≥ 0".into());
+            }
+            if window_waves == 0 {
+                return Err("rebalance window must be ≥ 1 checkpoint wave".into());
+            }
+            if self.checkpoint == CheckpointCadence::Disabled {
+                return Err("rebalancing hands off checkpointed border waves; \
+                     it requires an enabled checkpoint cadence"
+                    .into());
+            }
+        }
         Ok(())
     }
 }
@@ -159,6 +272,7 @@ impl Default for KernelPolicy {
             partition: PartitionPolicy::Proportional,
             checkpoint: CheckpointCadence::default(),
             dispatch: KernelDispatch::Auto,
+            rebalance: RebalanceMode::Off,
         }
     }
 }
@@ -253,6 +367,12 @@ impl RunConfig {
         self
     }
 
+    /// Builder-style: set the rebalance mode.
+    pub fn with_rebalance(mut self, r: RebalanceMode) -> RunConfig {
+        self.policy.rebalance = r;
+        self
+    }
+
     /// Builder-style: set square tiles of the given side.
     pub fn with_block(mut self, side: usize) -> RunConfig {
         self.block_h = side;
@@ -338,6 +458,54 @@ mod tests {
             .with_checkpoint(CheckpointCadence::EveryRows(0))
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn rebalance_mode_parses_and_displays() {
+        assert_eq!(RebalanceMode::parse("off"), Ok(RebalanceMode::Off));
+        assert_eq!(RebalanceMode::parse("on"), Ok(RebalanceMode::on()));
+        assert_eq!(
+            RebalanceMode::parse("on:0.2"),
+            Ok(RebalanceMode::On {
+                threshold: 0.2,
+                window_waves: RebalanceMode::DEFAULT_WINDOW_WAVES,
+            })
+        );
+        assert!(RebalanceMode::parse("on:").is_err());
+        assert!(RebalanceMode::parse("on:-1").is_err());
+        assert!(RebalanceMode::parse("sometimes").is_err());
+        assert_eq!(RebalanceMode::on().to_string(), "on:0.05");
+        assert_eq!(RebalanceMode::Off.to_string(), "off");
+        assert!(RebalanceMode::on().is_enabled());
+        assert!(!RebalanceMode::default().is_enabled());
+    }
+
+    #[test]
+    fn rebalance_requires_checkpointing() {
+        // Rebalance on + default cadence: fine.
+        assert!(RunConfig::paper_default()
+            .with_rebalance(RebalanceMode::on())
+            .validate()
+            .is_ok());
+        // Rebalance on + disabled cadence: rejected.
+        assert!(RunConfig::paper_default()
+            .with_rebalance(RebalanceMode::on())
+            .with_checkpoint(CheckpointCadence::Disabled)
+            .validate()
+            .is_err());
+        // Zero-wave window is meaningless.
+        assert!(RunConfig::paper_default()
+            .with_rebalance(RebalanceMode::On {
+                threshold: 0.05,
+                window_waves: 0,
+            })
+            .validate()
+            .is_err());
+        // Disabled cadence without rebalance stays valid.
+        assert!(RunConfig::paper_default()
+            .with_checkpoint(CheckpointCadence::Disabled)
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -30,11 +30,15 @@
 //! baseline the overlap-ablation figure contrasts against.
 
 use crate::checkpoint::RecoveryPolicy;
-use crate::config::{PruneMode, RunConfig};
-use crate::partition::{make_slabs, make_slabs_excluding, Slab};
+use crate::config::{PartitionPolicy, PruneMode, RebalanceMode, RunConfig};
+use crate::partition::{make_slabs, make_slabs_excluding_with_weights, resplit_slabs, Slab};
 use crate::pipeline::{FaultPhase, FaultSchedule, PipelineError};
-use crate::stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallAttribution};
-use megasw_gpusim::{KernelModel, Platform, ResourceId, Schedule, SimTime, SpanKind, TaskId};
+use crate::stats::{
+    DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallAttribution,
+};
+use megasw_gpusim::{
+    ClockDrift, KernelModel, Platform, ResourceId, Schedule, SimTime, SpanKind, TaskId,
+};
 use megasw_obs::{LiveTelemetry, ObsKind, ObsSpan, Recorder, StallPhase};
 use std::sync::Arc;
 
@@ -107,6 +111,7 @@ pub struct DesSim<'a> {
     observer: Recorder,
     live: Option<Arc<LiveTelemetry>>,
     identity: f64,
+    drifts: Vec<ClockDrift>,
 }
 
 impl<'a> DesSim<'a> {
@@ -124,6 +129,7 @@ impl<'a> DesSim<'a> {
             observer: Recorder::disabled(),
             live: None,
             identity: 0.25,
+            drifts: Vec::new(),
         }
     }
 
@@ -179,6 +185,17 @@ impl<'a> DesSim<'a> {
         self
     }
 
+    /// Inject a deterministic clock-drift step: the device's effective
+    /// clock is scaled by `drift.factor` from `drift.after_row` on (see
+    /// [`ClockDrift`]). Models a board thermally throttling or a neighbour
+    /// tenant stealing its PCIe/SM budget mid-run — the scenario the
+    /// checkpoint-boundary rebalance controller exists for. Repeat to stack
+    /// several drifts; factors multiply where they overlap.
+    pub fn drift(mut self, drift: ClockDrift) -> Self {
+        self.drifts.push(drift);
+        self
+    }
+
     /// Attach in-flight telemetry. Build the handle with
     /// [`LiveTelemetry::with_manual_clock`]: the simulator replays kernel
     /// completions in simulated-finish order, advancing the manual clock at
@@ -220,13 +237,23 @@ impl<'a> DesSim<'a> {
                 self.config.policy.pruning
             },
             identity: self.identity,
+            drifts: &self.drifts,
         };
         if mode == Mode::FineGrain
             && self.m > 0
             && !slabs.is_empty()
             && (!self.faults.is_empty() || self.recovery.is_some())
         {
+            // Fault injection takes precedence: the fault/recovery mirror
+            // does not model rebalancing (the threaded backend covers that
+            // composition bit-exactly).
             run_with_faults(&env, &slabs, &self.faults, self.recovery)
+        } else if mode == Mode::FineGrain
+            && self.m > 0
+            && !slabs.is_empty()
+            && self.config.policy.rebalance.is_enabled()
+        {
+            run_rebalanced(&env, &slabs)
         } else {
             run_plain(&env, &slabs, mode, self.recovery)
         }
@@ -269,6 +296,9 @@ struct DesEnv<'a> {
     prune_mode: PruneMode,
     /// Modeled sequence identity feeding the pruning mirror.
     identity: f64,
+    /// Injected clock-drift steps; kernel durations are scaled by the
+    /// product of every drift applying at (device, block-row).
+    drifts: &'a [ClockDrift],
 }
 
 /// One slab-row's modeled pruning outcome.
@@ -436,14 +466,20 @@ struct TaskGraph {
     start_row: usize,
 }
 
-/// Build (and solve) the task graph for block-rows `start_row..rows` over
-/// the given slab set. Fault-free runs use `start_row = 0`; resumed
-/// attempts start at the checkpoint wave.
-fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usize) -> TaskGraph {
+/// Build (and solve) the task graph for block-rows `start_row..end_row`
+/// over the given slab set. Fault-free runs span `0..rows`; resumed
+/// attempts start at the checkpoint wave; rebalance segments stop at the
+/// next boundary.
+fn build_task_graph(
+    env: &DesEnv<'_>,
+    slabs: &[Slab],
+    mode: Mode,
+    start_row: usize,
+    end_row: usize,
+) -> TaskGraph {
     let (m, platform, config) = (env.m, env.platform, env.config);
     let mut schedule = Schedule::new();
-    let rows = m.div_ceil(config.block_h);
-    let nrows = rows - start_row;
+    let nrows = end_row - start_row;
     let cap = config.buffer_capacity;
 
     let computes: Vec<_> = slabs
@@ -511,7 +547,11 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
                     let k = schedule.add_task(
                         computes[s],
                         &deps,
-                        models[s].launch_time(blocks, cells),
+                        models[s].launch_time_scaled(
+                            blocks,
+                            cells,
+                            drift_scale(env, slab.device, r),
+                        ),
                         SpanKind::Kernel,
                         r as u64,
                     );
@@ -554,7 +594,7 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
             for (s, slab) in slabs.iter().enumerate() {
                 let blocks = slab.width.div_ceil(config.block_w) as u32;
                 let mut last_kernel = None;
-                for r in 0..rows {
+                for r in 0..end_row {
                     let height = row_height(m, config.block_h, r);
                     let cells = height as u64 * slab.width as u64;
                     let deps: Vec<TaskId> = if r == 0 {
@@ -565,7 +605,11 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
                     let k = schedule.add_task(
                         computes[s],
                         &deps,
-                        models[s].launch_time(blocks, cells),
+                        models[s].launch_time_scaled(
+                            blocks,
+                            cells,
+                            drift_scale(env, slab.device, r),
+                        ),
                         SpanKind::Kernel,
                         r as u64,
                     );
@@ -599,6 +643,12 @@ fn build_task_graph(env: &DesEnv<'_>, slabs: &[Slab], mode: Mode, start_row: usi
     }
 }
 
+/// Combined clock scale for `device` at block-row `r`: the product of
+/// every injected drift step that applies (1.0 with none).
+fn drift_scale(env: &DesEnv<'_>, device: usize, r: usize) -> f64 {
+    env.drifts.iter().map(|d| d.scale_at(device, r)).product()
+}
+
 /// The fault-free path (and the bulk baseline): one attempt, no offsets.
 fn run_plain(
     env: &DesEnv<'_>,
@@ -624,6 +674,8 @@ fn run_plain(
                 watermark_lag: 0,
             }),
             recovery: policy.map(|_| RecoveryReport::default()),
+            rebalance: (mode == Mode::FineGrain && env.config.policy.rebalance.is_enabled())
+                .then_some(RebalanceReport::default()),
             kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
             simd_rescues: 0,
         };
@@ -636,8 +688,11 @@ fn run_plain(
             aborted: None,
         };
     }
-    let graph = build_task_graph(env, slabs, mode, 0);
+    let rows = env.m.div_ceil(env.config.block_h);
+    let graph = build_task_graph(env, slabs, mode, 0, rows);
     let recovery = policy.map(|_| RecoveryReport::default());
+    let rebalance = (mode == Mode::FineGrain && env.config.policy.rebalance.is_enabled())
+        .then_some(RebalanceReport::default());
     finalize(
         env,
         slabs,
@@ -645,9 +700,122 @@ fn run_plain(
         mode,
         SimTime::ZERO,
         recovery,
+        rebalance,
         Vec::new(),
         memory,
     )
+}
+
+/// The checkpoint-boundary rebalance driver — the DES twin of the threaded
+/// pipeline's segmented runner. Each segment spans `checkpoint interval ×
+/// window_waves` block-rows; at its boundary the controller samples each
+/// device's effective throughput from the solved segment schedule (covered
+/// cells, net of pruned tiles, per busy simulated nanosecond), predicts the
+/// balanced makespan, and re-splits the columns when the predicted relative
+/// improvement clears the hysteresis threshold. The hand-off is rewind-free:
+/// the next segment's graph starts at the boundary wave over the new slabs,
+/// exactly as the threaded workers resume from the boundary checkpoint's
+/// full-width border wave.
+fn run_rebalanced(env: &DesEnv<'_>, slabs: &[Slab]) -> DesRun {
+    let (m, n, config) = (env.m, env.n, env.config);
+    let memory = crate::memory::check_platform(m, slabs, env.platform, config);
+    let rows = m.div_ceil(config.block_h);
+    let RebalanceMode::On {
+        threshold,
+        window_waves,
+    } = config.policy.rebalance
+    else {
+        unreachable!("run_rebalanced requires RebalanceMode::On");
+    };
+    // `validate()` guarantees a cadence exists when rebalance is on.
+    let interval = config
+        .policy
+        .checkpoint
+        .rows_interval()
+        .expect("rebalance requires a checkpoint cadence");
+    let seg_rows = (interval * window_waves).clamp(1, rows);
+
+    let mut cur: Vec<Slab> = slabs.to_vec();
+    let mut start_row = 0usize;
+    let mut offset = SimTime::ZERO;
+    let mut rb = RebalanceReport::default();
+
+    loop {
+        let stop_row = ((start_row / seg_rows + 1) * seg_rows).min(rows);
+        let graph = build_task_graph(env, &cur, Mode::FineGrain, start_row, stop_row);
+        if stop_row >= rows {
+            return finalize(
+                env,
+                &cur,
+                graph,
+                Mode::FineGrain,
+                offset,
+                None,
+                Some(rb),
+                Vec::new(),
+                memory,
+            );
+        }
+        let makespan = graph.schedule.makespan();
+        rb.evaluations += 1;
+        // Effective throughput over the segment. The graph already priced
+        // pruned tiles at zero kernel time, so covered cells must likewise
+        // exclude them or a heavily-pruned slab would look faster than its
+        // silicon.
+        let prune = PruneModel::new(env, &cur);
+        let rates: Vec<f64> = cur
+            .iter()
+            .enumerate()
+            .map(|(s, slab)| {
+                let cells: u64 = (start_row..stop_row)
+                    .map(|r| match &prune {
+                        Some(pm) => pm.row(s, r).computed_cells,
+                        None => row_height(m, config.block_h, r) as u64 * slab.width as u64,
+                    })
+                    .sum();
+                let busy = graph.schedule.busy_of(graph.computes[s]).as_nanos().max(1);
+                cells as f64 / busy as f64
+            })
+            .collect();
+        let sum: f64 = rates.iter().sum();
+        let t_static = cur
+            .iter()
+            .zip(&rates)
+            .map(|(slab, r)| slab.width as f64 / r.max(f64::MIN_POSITIVE))
+            .fold(0.0f64, f64::max);
+        let t_balanced = n as f64 / sum.max(f64::MIN_POSITIVE);
+        let improvement = 1.0 - t_balanced / t_static.max(f64::MIN_POSITIVE);
+        if improvement >= threshold {
+            let devices: Vec<usize> = cur.iter().map(|s| s.device).collect();
+            let new_slabs = resplit_slabs(n, config.block_w, &devices, &rates);
+            // Widths sum to `n` on both sides, so half the total absolute
+            // delta is exactly the columns that changed hands.
+            let moved: usize = cur
+                .iter()
+                .zip(&new_slabs)
+                .map(|(a, b)| a.width.abs_diff(b.width))
+                .sum::<usize>()
+                / 2;
+            if moved > 0 {
+                rb.migrations += 1;
+                rb.moved_columns += moved as u64;
+                rb.applied_at_rows.push(stop_row);
+                if env.obs.is_enabled() {
+                    let at = (offset + makespan).as_nanos();
+                    env.obs.record(ObsSpan {
+                        kind: ObsKind::Rebalance,
+                        device: None,
+                        block_row: Some(stop_row as u32),
+                        start_ns: at,
+                        end_ns: at,
+                    });
+                }
+                cur = new_slabs;
+            }
+        }
+        offset += makespan;
+        start_row = stop_row;
+    }
 }
 
 /// The fault-injecting / recovering driver — the DES twin of
@@ -706,9 +874,11 @@ fn run_with_faults(
     let mut best_wave = 0usize;
     let mut failures = 0usize;
     let mut losses: Vec<DeviceLossEvent> = Vec::new();
+    // Probed once, reused across every repartition of this run.
+    let mut calibrated: Option<Vec<f64>> = None;
 
     loop {
-        let graph = build_task_graph(env, &cur, Mode::FineGrain, start_row);
+        let graph = build_task_graph(env, &cur, Mode::FineGrain, start_row, rows);
         let Some((device, block_row, t_fail)) =
             earliest_fault(&graph, &cur, faults, start_row, rows, &blacklist)
         else {
@@ -726,6 +896,7 @@ fn run_with_faults(
                 Mode::FineGrain,
                 offset,
                 rec,
+                None,
                 losses,
                 memory,
             );
@@ -779,12 +950,21 @@ fn run_with_faults(
             );
         }
         blacklist.push(device);
-        let survivors = make_slabs_excluding(
+        let measured = match config.policy.partition {
+            PartitionPolicy::Proportional => Some(
+                calibrated
+                    .get_or_insert_with(|| crate::balance::default_weights(env.platform))
+                    .as_slice(),
+            ),
+            _ => None,
+        };
+        let survivors = make_slabs_excluding_with_weights(
             n,
             config.block_w,
             env.platform,
             &config.policy.partition,
             &blacklist,
+            measured,
         );
         if survivors.is_empty() {
             return aborted_run(
@@ -886,6 +1066,7 @@ fn aborted_run(
             devices: Vec::new(),
             pruning: None,
             recovery,
+            rebalance: None,
             kernel: megasw_sw::KernelSelection::modeled(env.config.policy.dispatch),
             simd_rescues: 0,
         },
@@ -909,6 +1090,7 @@ fn finalize(
     mode: Mode,
     offset: SimTime,
     recovery: Option<RecoveryReport>,
+    rebalance: Option<RebalanceReport>,
     losses: Vec<DeviceLossEvent>,
     memory: Result<Vec<crate::memory::DeviceMemoryPlan>, crate::memory::MemoryError>,
 ) -> DesRun {
@@ -1077,6 +1259,7 @@ fn finalize(
         devices,
         pruning,
         recovery,
+        rebalance,
         kernel: megasw_sw::KernelSelection::modeled(config.policy.dispatch),
         simd_rescues: 0,
     };
@@ -1653,6 +1836,145 @@ mod tests {
         assert_eq!(sweep.len(), 4);
         for w in sweep.windows(2) {
             assert!(w[1].1 > w[0].1, "sweep not monotone: {sweep:?}");
+        }
+    }
+
+    #[test]
+    fn drift_slows_makespan_and_applies_only_after_its_row() {
+        // Halving one of two homogeneous devices' clock (factor 0.5) from
+        // row 0 nearly doubles the pipeline makespan; halving it only from
+        // the midpoint lands in between.
+        let p = Platform::env1();
+        let rows = MBP.div_ceil(cfg().block_h);
+        let sim = |after_row: usize| {
+            DesSim::new(MBP, MBP, &p)
+                .drift(ClockDrift {
+                    device: 1,
+                    after_row,
+                    factor: 0.5,
+                })
+                .run()
+                .report
+                .sim_time
+                .unwrap()
+                .as_secs_f64()
+        };
+        let plain = DesSim::new(MBP, MBP, &p)
+            .run()
+            .report
+            .sim_time
+            .unwrap()
+            .as_secs_f64();
+        let half = sim(rows / 2);
+        let full = sim(0);
+        assert!(full > 1.6 * plain, "full-run drift {full} vs plain {plain}");
+        assert!(
+            half > 1.15 * plain && half < full,
+            "mid-run drift {half} should sit between plain {plain} and full {full}"
+        );
+    }
+
+    #[test]
+    fn stacked_drifts_multiply() {
+        let p = Platform::env1();
+        let once = DesSim::new(MBP, MBP, &p)
+            .drift(ClockDrift {
+                device: 0,
+                after_row: 0,
+                factor: 0.5,
+            })
+            .run()
+            .report
+            .sim_time
+            .unwrap();
+        let twice = DesSim::new(MBP, MBP, &p)
+            .drift(ClockDrift {
+                device: 0,
+                after_row: 0,
+                factor: 0.5,
+            })
+            .drift(ClockDrift {
+                device: 0,
+                after_row: 0,
+                factor: 0.5,
+            })
+            .run()
+            .report
+            .sim_time
+            .unwrap();
+        assert!(twice > once, "stacked drift {twice:?} vs single {once:?}");
+    }
+
+    #[test]
+    fn des_rebalance_reports_and_stays_quiet_when_balanced() {
+        // Homogeneous platform, no drift: the controller evaluates at every
+        // boundary but never finds a split worth the hysteresis threshold,
+        // and the segment barriers cost almost nothing.
+        let p = Platform::env1();
+        let seg = DesSim::new(MBP, MBP, &p)
+            .config(cfg().with_rebalance(RebalanceMode::on()))
+            .run();
+        let rb = seg.report.rebalance.as_ref().expect("rebalance report");
+        assert!(rb.evaluations > 0);
+        assert_eq!(rb.migrations, 0, "balanced run migrated: {rb:?}");
+        assert_eq!(rb.moved_columns, 0);
+        assert!(rb.applied_at_rows.is_empty());
+        let static_t = DesSim::new(MBP, MBP, &p)
+            .run()
+            .report
+            .sim_time
+            .unwrap()
+            .as_secs_f64();
+        let seg_t = seg.report.sim_time.unwrap().as_secs_f64();
+        assert!(
+            seg_t <= 1.10 * static_t,
+            "segment barriers too costly: {seg_t} vs {static_t}"
+        );
+        // Off keeps the field absent.
+        let off = DesSim::new(MBP, MBP, &p).run();
+        assert!(off.report.rebalance.is_none());
+    }
+
+    #[test]
+    fn rebalance_recoups_midrun_drift_on_env2() {
+        // The acceptance scenario: env2's Titan (the biggest proportional
+        // share) halves its clock mid-run. Static slabs ride the throttled
+        // board to the end; the rebalance controller shifts columns to the
+        // healthy boards at the next boundaries and recovers ≥ 15% of the
+        // makespan.
+        let p = Platform::env2();
+        let rows = MBP.div_ceil(cfg().block_h);
+        let drift = ClockDrift {
+            device: 0,
+            after_row: rows / 2,
+            factor: 0.5,
+        };
+        let run = |rb: RebalanceMode| {
+            DesSim::new(MBP, MBP, &p)
+                .config(cfg().with_rebalance(rb))
+                .drift(drift)
+                .run()
+        };
+        let fixed = run(RebalanceMode::Off);
+        let moved = run(RebalanceMode::on());
+        assert!(fixed.report.rebalance.is_none());
+        let st = fixed.report.sim_time.unwrap().as_secs_f64();
+        let dy = moved.report.sim_time.unwrap().as_secs_f64();
+        let improvement = 1.0 - dy / st;
+        assert!(
+            improvement >= 0.15,
+            "rebalance recovered only {:.1}% (static {st}s, rebalanced {dy}s)",
+            improvement * 100.0
+        );
+        let rb = moved.report.rebalance.as_ref().unwrap();
+        assert!(rb.migrations >= 1, "no migration applied: {rb:?}");
+        assert!(rb.moved_columns > 0);
+        assert_eq!(rb.migrations as usize, rb.applied_at_rows.len());
+        // Every applied row is a checkpoint-cadence boundary, so the
+        // threaded twin could hand off from a full-width border wave there.
+        let iv = cfg().policy.checkpoint.rows_interval().unwrap();
+        for &row in &rb.applied_at_rows {
+            assert_eq!(row % iv, 0, "migration off-boundary at {row}");
         }
     }
 }

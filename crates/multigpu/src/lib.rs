@@ -44,20 +44,26 @@ pub mod stats;
 
 pub use checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
 pub use circbuf::BorderMsg;
-pub use config::{CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RunConfig};
+pub use config::{
+    CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RebalanceMode, RunConfig,
+};
 pub use desrun::DesSim;
 pub use error::MegaswError;
-pub use partition::{make_slabs, make_slabs_excluding, Slab};
+pub use partition::{
+    make_slabs, make_slabs_excluding, make_slabs_excluding_with_weights, resplit_slabs, Slab,
+};
 pub use pipeline::{FaultPhase, FaultSchedule, PipelineRun, ScheduledFault, Semantics};
 pub use stages::multigpu_local_align;
-pub use stats::{DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown};
+pub use stats::{
+    DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallBreakdown,
+};
 
 /// The types most callers need: builders, reports, errors, observability.
 pub mod prelude {
     pub use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use crate::circbuf::BorderMsg;
     pub use crate::config::{
-        CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RunConfig,
+        CheckpointCadence, KernelPolicy, PartitionPolicy, PruneMode, RebalanceMode, RunConfig,
     };
     pub use crate::desrun::{DesRun, DesSim};
     pub use crate::error::MegaswError;
@@ -65,7 +71,7 @@ pub mod prelude {
         FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
     };
     pub use crate::stats::{
-        DeviceReport, PruningReport, RecoveryReport, RunReport, StallBreakdown,
+        DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallBreakdown,
     };
     pub use megasw_obs::{
         chrome_trace, metrics_json, prometheus, render_progress_line, LiveSnapshot, LiveTelemetry,

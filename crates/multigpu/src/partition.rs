@@ -143,6 +143,43 @@ pub fn make_slabs(
     slabs
 }
 
+/// Re-split `n` columns (tiled at `block_w`) across `devices` — platform
+/// indices in chain order — proportionally to `weights` (parallel to
+/// `devices`), with the same largest-remainder determinism as
+/// [`make_slabs`]. Devices that would receive zero block-columns are
+/// dropped, exactly like the initial split.
+///
+/// This is the shared primitive behind fault-time survivor repartitioning
+/// and the checkpoint-boundary rebalance controller: both hand it the
+/// devices that continue and the weights they should continue at.
+pub fn resplit_slabs(n: usize, block_w: usize, devices: &[usize], weights: &[f64]) -> Vec<Slab> {
+    assert!(block_w >= 1);
+    assert_eq!(devices.len(), weights.len(), "one weight per device");
+    if n == 0 || devices.is_empty() {
+        return Vec::new();
+    }
+    let total_bcols = n.div_ceil(block_w);
+    let g = devices.len().min(total_bcols);
+
+    let bcols = largest_remainder(total_bcols, &weights[..g]);
+    let mut slabs = Vec::with_capacity(g);
+    let mut next_bcol = 0usize;
+    for (slot, &bc) in bcols.iter().enumerate() {
+        if bc == 0 {
+            continue;
+        }
+        let j0 = next_bcol * block_w + 1;
+        let j_end = ((next_bcol + bc) * block_w).min(n) + 1;
+        slabs.push(Slab {
+            device: devices[slot],
+            j0,
+            width: j_end - j0,
+        });
+        next_bcol += bc;
+    }
+    slabs
+}
+
 /// [`make_slabs`] over the surviving devices only: every device whose
 /// platform index appears in `exclude` (the coordinator's blacklist) is
 /// removed from the chain before partitioning, and the survivors keep
@@ -161,6 +198,26 @@ pub fn make_slabs_excluding(
     policy: &PartitionPolicy,
     exclude: &[usize],
 ) -> Vec<Slab> {
+    let measured = match policy {
+        PartitionPolicy::Proportional => Some(crate::balance::default_weights(platform)),
+        _ => None,
+    };
+    make_slabs_excluding_with_weights(n, block_w, platform, policy, exclude, measured.as_deref())
+}
+
+/// [`make_slabs_excluding`] with the calibrated weights supplied by the
+/// caller, so a run that repartitions repeatedly (multiple recoveries,
+/// rebalance evaluations) probes [`crate::balance::default_weights`] once
+/// and reuses the result. `measured` must cover every platform device when
+/// the policy is `Proportional`; it is ignored otherwise.
+pub fn make_slabs_excluding_with_weights(
+    n: usize,
+    block_w: usize,
+    platform: &Platform,
+    policy: &PartitionPolicy,
+    exclude: &[usize],
+    measured: Option<&[f64]>,
+) -> Vec<Slab> {
     assert!(block_w >= 1);
     let survivors: Vec<usize> = (0..platform.len())
         .filter(|d| !exclude.contains(d))
@@ -168,14 +225,18 @@ pub fn make_slabs_excluding(
     if n == 0 || survivors.is_empty() {
         return Vec::new();
     }
-    let total_bcols = n.div_ceil(block_w);
-    let g = survivors.len().min(total_bcols);
 
     let weights: Vec<f64> = match policy {
-        PartitionPolicy::Equal => vec![1.0; g],
+        PartitionPolicy::Equal => vec![1.0; survivors.len()],
         PartitionPolicy::Proportional => {
-            let measured = crate::balance::default_weights(platform);
-            survivors[..g].iter().map(|&d| measured[d]).collect()
+            let measured = measured.expect("proportional repartition needs calibrated weights");
+            assert!(
+                measured.len() >= platform.len(),
+                "calibrated weights ({}) must cover every platform device ({})",
+                measured.len(),
+                platform.len()
+            );
+            survivors.iter().map(|&d| measured[d]).collect()
         }
         PartitionPolicy::Explicit(w) => {
             assert!(
@@ -184,27 +245,11 @@ pub fn make_slabs_excluding(
                 w.len(),
                 platform.len()
             );
-            survivors[..g].iter().map(|&d| w[d]).collect()
+            survivors.iter().map(|&d| w[d]).collect()
         }
     };
 
-    let bcols = largest_remainder(total_bcols, &weights);
-    let mut slabs = Vec::with_capacity(g);
-    let mut next_bcol = 0usize;
-    for (slot, &bc) in bcols.iter().enumerate() {
-        if bc == 0 {
-            continue;
-        }
-        let j0 = next_bcol * block_w + 1;
-        let j_end = ((next_bcol + bc) * block_w).min(n) + 1;
-        slabs.push(Slab {
-            device: survivors[slot],
-            j0,
-            width: j_end - j0,
-        });
-        next_bcol += bc;
-    }
-    slabs
+    resplit_slabs(n, block_w, &survivors, &weights)
 }
 
 #[cfg(test)]
@@ -345,6 +390,105 @@ mod tests {
     fn excluding_everyone_leaves_no_slabs() {
         let p = Platform::env1();
         assert!(make_slabs_excluding(1_000, 32, &p, &PartitionPolicy::Equal, &[0, 1]).is_empty());
+    }
+
+    /// Shared invariant check: slabs are contiguous from column 1, cover
+    /// every column exactly once, and widths sum to `n`.
+    fn assert_exact_cover(slabs: &[Slab], n: usize) {
+        assert!(!slabs.is_empty());
+        assert_eq!(slabs[0].j0, 1);
+        for w in slabs.windows(2) {
+            assert_eq!(w[0].j_end(), w[1].j0, "slabs must be contiguous");
+        }
+        assert_eq!(slabs.last().unwrap().j_end(), n + 1);
+        assert_eq!(slabs.iter().map(|s| s.width).sum::<usize>(), n);
+    }
+
+    #[test]
+    fn resplit_covers_all_columns_exactly_once() {
+        for n in [1usize, 31, 32, 33, 1000, 4097] {
+            for weights in [vec![1.0, 1.0, 1.0], vec![65.0, 50.0, 45.0], vec![0.1, 9.9]] {
+                let devices: Vec<usize> = (0..weights.len()).collect();
+                let slabs = resplit_slabs(n, 32, &devices, &weights);
+                assert_exact_cover(&slabs, n);
+            }
+        }
+    }
+
+    #[test]
+    fn resplit_is_deterministic_under_permuted_equal_weights() {
+        // Equal weights in any device order must yield the same widths in
+        // chain position order: remainder ties break by index, never by
+        // float comparison quirks.
+        let n = 3 * 32 * 7 + 5;
+        let base = resplit_slabs(n, 32, &[0, 1, 2], &[1.0, 1.0, 1.0]);
+        for devices in [[0usize, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]] {
+            let slabs = resplit_slabs(n, 32, &devices, &[1.0, 1.0, 1.0]);
+            assert_exact_cover(&slabs, n);
+            let widths: Vec<usize> = slabs.iter().map(|s| s.width).collect();
+            let base_widths: Vec<usize> = base.iter().map(|s| s.width).collect();
+            assert_eq!(widths, base_widths, "devices {devices:?}");
+            assert_eq!(
+                slabs.iter().map(|s| s.device).collect::<Vec<_>>(),
+                devices.to_vec()
+            );
+        }
+    }
+
+    #[test]
+    fn resplit_drops_devices_beyond_the_block_columns() {
+        let slabs = resplit_slabs(100, 64, &[0, 1, 2, 3], &[1.0; 4]);
+        assert_eq!(slabs.len(), 2);
+        assert_exact_cover(&slabs, 100);
+        assert!(resplit_slabs(0, 64, &[0, 1], &[1.0; 2]).is_empty());
+        assert!(resplit_slabs(100, 64, &[], &[]).is_empty());
+    }
+
+    #[test]
+    fn resplit_matches_the_initial_split_on_identical_weights() {
+        // The rebalance controller's no-drift case: re-splitting with the
+        // same weights the initial partition used must reproduce it
+        // exactly, so a rebalance evaluation under steady state migrates
+        // nothing.
+        let p = Platform::env2();
+        let n = 160_000;
+        let weights: Vec<f64> = p.devices.iter().map(|d| d.peak_cells_per_sec()).collect();
+        let initial = make_slabs(n, 512, &p, &PartitionPolicy::Proportional);
+        let resplit = resplit_slabs(n, 512, &[0, 1, 2], &weights);
+        assert_eq!(initial, resplit);
+    }
+
+    #[test]
+    fn excluding_with_cached_weights_matches_the_probing_path() {
+        let p = Platform::env2();
+        let cached = crate::balance::default_weights(&p);
+        for exclude in [vec![], vec![0], vec![1], vec![2], vec![0, 2]] {
+            let probed =
+                make_slabs_excluding(4_000, 32, &p, &PartitionPolicy::Proportional, &exclude);
+            let reused = make_slabs_excluding_with_weights(
+                4_000,
+                32,
+                &p,
+                &PartitionPolicy::Proportional,
+                &exclude,
+                Some(&cached),
+            );
+            assert_eq!(probed, reused, "exclude {exclude:?}");
+            if !probed.is_empty() {
+                assert_exact_cover(&probed, 4_000);
+            }
+        }
+    }
+
+    #[test]
+    fn every_split_api_covers_columns_exactly_once() {
+        let p = Platform::env2();
+        for n in [1usize, 33, 4097] {
+            for policy in [PartitionPolicy::Equal, PartitionPolicy::Proportional] {
+                assert_exact_cover(&make_slabs(n, 32, &p, &policy), n);
+                assert_exact_cover(&make_slabs_excluding(n, 32, &p, &policy, &[1]), n);
+            }
+        }
     }
 
     #[test]

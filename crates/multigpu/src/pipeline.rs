@@ -70,11 +70,12 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
 use crate::circbuf::{BorderMsg, CircularBuffer, RingError, RingStats};
-use crate::config::{PruneMode, RunConfig};
+use crate::config::{PruneMode, RebalanceMode, RunConfig};
 use crate::error::MegaswError;
-use crate::partition::{make_slabs, make_slabs_excluding, Slab};
+use crate::partition::{make_slabs, make_slabs_excluding_with_weights, resplit_slabs, Slab};
 use crate::stats::{
-    DeviceReport, PruningReport, RecoveryReport, RunReport, StallAttribution, StallBreakdown,
+    DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallAttribution,
+    StallBreakdown,
 };
 use megasw_gpusim::Platform;
 use megasw_obs::{
@@ -446,13 +447,13 @@ impl<'a> PipelineRun<'a> {
                 self.flight.as_ref(),
             )
             .map_err(MegaswError::from),
-            Some(policy) => run_pipeline_recover_live(
+            Some(policy) => run_pipeline_segmented(
                 self.a,
                 self.b,
                 self.platform,
                 &self.config,
                 &self.faults,
-                policy,
+                Some(policy),
                 self.semantics,
                 &self.observer,
                 self.live.as_ref(),
@@ -513,6 +514,15 @@ pub(crate) fn run_pipeline_live(
     flight: Option<&Arc<FlightRecorder>>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
+    // Rebalance-enabled runs execute in checkpoint-bounded segments; the
+    // segmented driver owns that loop (with no recovery policy attached a
+    // fault still fails fast). This keeps every entry point — the builder
+    // and the stage-1/stage-2 drivers in `stages` — on one code path.
+    if config.policy.rebalance.is_enabled() {
+        return run_pipeline_segmented(
+            a, b, platform, config, faults, None, semantics, obs, live, flight,
+        );
+    }
     let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
     let selection = KernelSelection {
         dispatch: config.policy.dispatch,
@@ -525,7 +535,7 @@ pub(crate) fn run_pipeline_live(
 
     if m == 0 || slabs.is_empty() {
         return Ok(empty_report(
-            m, n, platform, &slabs, prune_mode, None, selection,
+            m, n, platform, &slabs, prune_mode, None, None, selection,
         ));
     }
 
@@ -539,6 +549,7 @@ pub(crate) fn run_pipeline_live(
         slabs: &slabs,
         rows,
         start_row: 0,
+        stop_row: rows,
         config,
         kernel,
         faults,
@@ -564,6 +575,7 @@ pub(crate) fn run_pipeline_live(
         0,
         prune_mode,
         None,
+        None,
         selection,
     ))
 }
@@ -578,27 +590,46 @@ fn effective_prune_mode(config: &RunConfig, semantics: Semantics) -> PruneMode {
     }
 }
 
-/// The fault-tolerant driver behind [`PipelineRun::recover`].
+/// The segmented driver behind [`PipelineRun::recover`] and
+/// [`RebalanceMode::On`] — fault recovery and live rebalancing are the same
+/// loop over checkpoint-bounded attempts.
 ///
-/// Runs attempts in a loop: each attempt executes the pipeline from
-/// `start_row` over the current (survivor) slab set while the workers
-/// deposit border checkpoints on the cadence of
-/// `config.policy.checkpoint`.
-/// On a device fault the failed device is blacklisted, its columns are
-/// repartitioned across the survivors ([`make_slabs_excluding`] — measured
-/// throughput for `Proportional`), the run rewinds to the newest complete
-/// checkpoint wave and resumes from its reassembled border. Because the
-/// checkpoint holds the exact H/F lanes (not a summary), the resumed DP is
-/// bit-identical to a fault-free run. Gives up — surfacing the original
-/// fault — when the failure budget is exhausted or no survivor remains.
+/// Each attempt executes the pipeline from `start_row` up to `stop_row`
+/// over the current slab set while the workers deposit border checkpoints
+/// on the cadence of `config.policy.checkpoint`.
+///
+/// **Recovery** (when a policy is attached): on a device fault the failed
+/// device is blacklisted, its columns are repartitioned across the
+/// survivors ([`make_slabs_excluding_with_weights`] — measured throughput
+/// for `Proportional`, calibrated once per run and cached), the run rewinds
+/// to the newest complete checkpoint wave and resumes from its reassembled
+/// border. Gives up — surfacing the original fault — when the failure
+/// budget is exhausted or no survivor remains.
+///
+/// **Rebalance** (when `config.policy.rebalance` is on): the run is cut
+/// into segments of `window_waves × checkpoint-interval` block-rows; every
+/// segment boundary lands on the checkpoint cadence, so the boundary wave
+/// is complete the moment the workers join. The controller measures each
+/// device's *effective* throughput over the segment (covered cells — pruned
+/// tiles count at their skip cost — per busy nanosecond), predicts the
+/// remaining makespan under the current widths vs. a proportional re-split,
+/// and when the predicted improvement clears the hysteresis threshold it
+/// migrates block-columns by resuming every worker from the boundary
+/// checkpoint's full-width H/F border wave under new slab geometry. No
+/// block-row is recomputed — the rewind is zero by construction — and
+/// because the checkpointed lanes are exact, scores stay **bit-identical**
+/// to a static split.
+///
+/// Both mechanisms compose: a fault mid-segment takes the recovery path,
+/// and later boundaries keep rebalancing the survivors.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_pipeline_recover_live(
+pub(crate) fn run_pipeline_segmented(
     a: &[u8],
     b: &[u8],
     platform: &Platform,
     config: &RunConfig,
     faults: &FaultSchedule,
-    policy: RecoveryPolicy,
+    recovery: Option<RecoveryPolicy>,
     semantics: Semantics,
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
@@ -620,6 +651,7 @@ pub(crate) fn run_pipeline_recover_live(
     let n = b.len();
     let mut slabs = make_slabs(n, config.block_w, platform, &config.policy.partition);
     let prune_mode = effective_prune_mode(config, semantics);
+    let rb_mode = config.policy.rebalance;
     if m == 0 || slabs.is_empty() {
         return Ok(empty_report(
             m,
@@ -627,7 +659,8 @@ pub(crate) fn run_pipeline_recover_live(
             platform,
             &slabs,
             prune_mode,
-            Some(RecoveryReport::default()),
+            recovery.map(|_| RecoveryReport::default()),
+            rb_mode.is_enabled().then(RebalanceReport::default),
             selection,
         ));
     }
@@ -637,16 +670,36 @@ pub(crate) fn run_pipeline_recover_live(
     // Cells in rows < `row` over the full width — the work a checkpoint at
     // wave `row` preserves.
     let cells_at = |row: usize| ((row * block_h).min(m) as u128) * n as u128;
+    // Segment length in block-rows: a multiple of the checkpoint interval,
+    // so every boundary wave is deposited by the regular cadence check.
+    // `Off` runs one segment spanning the whole matrix.
+    let (rb_threshold, seg_rows) = match rb_mode {
+        RebalanceMode::Off => (f64::INFINITY, rows),
+        RebalanceMode::On {
+            threshold,
+            window_waves,
+        } => (threshold, (interval * window_waves).min(rows)),
+    };
 
     let store = CheckpointStore::new(n);
     let mut blacklist: Vec<usize> = Vec::new();
     let mut start_row = 0usize;
     let mut resume: Option<Checkpoint> = None;
-    let mut recovery = RecoveryReport::default();
+    let mut recovery_report = RecoveryReport::default();
+    let mut rebalance_report = RebalanceReport::default();
     let mut failures = 0usize;
+    // Calibrated per-device weights for `Proportional` repartitioning:
+    // probed at most once per run, then reused by every recovery
+    // (re-probing on each attempt was measurable overhead on fault-dense
+    // schedules).
+    let mut calibrated: Option<Vec<f64>> = None;
     let run_start_ns = obs.now_ns();
 
     loop {
+        // Smallest segment boundary strictly past `start_row` (a resumed
+        // attempt may start mid-segment after a fault rewind), clamped to
+        // the matrix.
+        let stop_row = ((start_row / seg_rows + 1) * seg_rows).min(rows);
         let geoms: Vec<(usize, usize)> = slabs.iter().map(|s| (s.j0, s.width)).collect();
         let base_best = resume.as_ref().map_or(BestCell::ZERO, |c| c.best);
         let attempt = store.begin_attempt(start_row, base_best, &geoms);
@@ -656,6 +709,7 @@ pub(crate) fn run_pipeline_recover_live(
             slabs: &slabs,
             rows,
             start_row,
+            stop_row,
             config,
             kernel,
             faults,
@@ -672,27 +726,103 @@ pub(crate) fn run_pipeline_recover_live(
         });
         match collect_attempt(outcome.results) {
             Ok(partials) => {
-                let wall_ns = obs.now_ns().saturating_sub(run_start_ns);
-                recovery.checkpoints_taken = store.checkpoints_taken();
-                return Ok(assemble_report(
-                    m,
-                    n,
-                    platform,
-                    &slabs,
-                    &partials,
-                    &outcome.ring_stats,
-                    wall_ns,
-                    run_start_ns,
-                    base_best,
-                    cells_at(start_row),
-                    prune_mode,
-                    Some(recovery),
-                    selection,
-                ));
+                if stop_row >= rows {
+                    let wall_ns = obs.now_ns().saturating_sub(run_start_ns);
+                    recovery_report.checkpoints_taken = store.checkpoints_taken();
+                    return Ok(assemble_report(
+                        m,
+                        n,
+                        platform,
+                        &slabs,
+                        &partials,
+                        &outcome.ring_stats,
+                        wall_ns,
+                        run_start_ns,
+                        base_best,
+                        cells_at(start_row),
+                        prune_mode,
+                        recovery.map(|_| recovery_report),
+                        rb_mode.is_enabled().then_some(rebalance_report),
+                        selection,
+                    ));
+                }
+
+                // Segment boundary: every worker deposited wave `stop_row`
+                // (a cadence multiple below `rows`) and then joined, so the
+                // newest complete checkpoint *is* the boundary — resuming
+                // from it recomputes nothing.
+                let rb_start_ns = obs.now_ns();
+                rebalance_report.evaluations += 1;
+                let rates: Vec<f64> = partials
+                    .iter()
+                    .map(|p| p.cells as f64 / p.busy_ns.max(1) as f64)
+                    .collect();
+                // Predicted time to finish the remaining rows (common
+                // factors dropped): the laggard under current widths vs. a
+                // split proportional to measured throughput.
+                let t_static = slabs
+                    .iter()
+                    .zip(&rates)
+                    .map(|(s, &r)| s.width as f64 / r)
+                    .fold(0.0_f64, f64::max);
+                let t_balanced = n as f64 / rates.iter().sum::<f64>();
+                let improvement = 1.0 - t_balanced / t_static;
+                if improvement >= rb_threshold {
+                    let devices: Vec<usize> = slabs.iter().map(|s| s.device).collect();
+                    let new_slabs = resplit_slabs(n, config.block_w, &devices, &rates);
+                    // Columns changing hands: half the total width delta
+                    // (every column lost by one device is gained by
+                    // another).
+                    let moved = new_slabs
+                        .iter()
+                        .map(|ns| {
+                            let old = slabs
+                                .iter()
+                                .find(|s| s.device == ns.device)
+                                .map_or(0, |s| s.width);
+                            ns.width.abs_diff(old)
+                        })
+                        .sum::<usize>()
+                        / 2;
+                    if moved > 0 {
+                        rebalance_report.migrations += 1;
+                        rebalance_report.moved_columns += moved as u64;
+                        rebalance_report.applied_at_rows.push(stop_row);
+                        slabs = new_slabs;
+                        // Workers have joined, so the coordinator is the
+                        // sole writer on every flight lane here.
+                        if let Some(fr) = flight {
+                            for (s_idx, slab) in slabs.iter().enumerate() {
+                                fr.record(
+                                    s_idx,
+                                    FlightEvent {
+                                        kind: FlightKind::Rebalance,
+                                        device: slab.device as u32,
+                                        row: stop_row as u64,
+                                        t_ns: obs.now_ns(),
+                                        dur_ns: 0,
+                                        aux: slab.width as u64,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+                obs.record_since(ObsKind::Rebalance, None, Some(stop_row as u32), rb_start_ns);
+                let ck = store
+                    .newest_complete()
+                    .expect("completed segment deposited its boundary wave");
+                debug_assert_eq!(ck.wave, stop_row, "segment hand-off must be rewind-free");
+                start_row = stop_row;
+                resume = Some(ck);
             }
             Err(failure) => {
-                // Only device faults are recoverable; a failure with no
-                // device-fault root (unreachable today) stays fail-fast.
+                // Only device faults are recoverable, and only when a
+                // recovery policy is attached; rebalance-only runs keep
+                // fail-fast fault semantics.
+                let Some(policy) = recovery else {
+                    return Err(failure.error);
+                };
                 let PipelineError::DeviceFault { device, block_row } = failure.error else {
                     return Err(failure.error);
                 };
@@ -702,12 +832,21 @@ pub(crate) fn run_pipeline_recover_live(
                 }
                 let rec_start_ns = obs.now_ns();
                 blacklist.push(device);
-                let survivors = make_slabs_excluding(
+                let measured = match &config.policy.partition {
+                    crate::config::PartitionPolicy::Proportional => Some(
+                        calibrated
+                            .get_or_insert_with(|| crate::balance::default_weights(platform))
+                            .as_slice(),
+                    ),
+                    _ => None,
+                };
+                let survivors = make_slabs_excluding_with_weights(
                     n,
                     config.block_w,
                     platform,
                     &config.policy.partition,
                     &blacklist,
+                    measured,
                 );
                 if survivors.is_empty() {
                     return Err(failure.error);
@@ -717,10 +856,10 @@ pub(crate) fn run_pipeline_recover_live(
                 // Work lost to the rewind: everything this attempt computed
                 // beyond what the checkpoint wave preserves.
                 let preserved = cells_at(new_start).saturating_sub(cells_at(start_row));
-                recovery.rewound_cells += failure.cells.saturating_sub(preserved);
-                recovery.recoveries += 1;
-                recovery.failed_devices.push(device);
-                recovery.resumed_from_rows.push(new_start);
+                recovery_report.rewound_cells += failure.cells.saturating_sub(preserved);
+                recovery_report.recoveries += 1;
+                recovery_report.failed_devices.push(device);
+                recovery_report.resumed_from_rows.push(new_start);
                 if let Some(live) = live {
                     live.on_recovery();
                 }
@@ -746,6 +885,9 @@ struct AttemptParams<'e> {
     slabs: &'e [Slab],
     rows: usize,
     start_row: usize,
+    /// Block-row to stop before: `rows` for a run-to-completion attempt, a
+    /// checkpoint-cadence multiple for a rebalance segment.
+    stop_row: usize,
     config: &'e RunConfig,
     /// The DP engine resolved from `config.policy.dispatch`, once, up
     /// front — workers never probe CPU features themselves.
@@ -832,6 +974,7 @@ fn run_attempt(p: AttemptParams<'_>) -> AttemptOutcome {
                     s_idx,
                     rows: p.rows,
                     start_row: p.start_row,
+                    stop_row: p.stop_row,
                     config: p.config,
                     kernel: p.kernel,
                     ring_in,
@@ -928,6 +1071,7 @@ fn assemble_report(
     base_cells: u128,
     prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
+    rebalance: Option<RebalanceReport>,
     kernel: KernelSelection,
 ) -> RunReport {
     let best = partials.iter().fold(base_best, |acc, p| acc.merge(p.best));
@@ -1008,6 +1152,7 @@ fn assemble_report(
         devices,
         pruning,
         recovery,
+        rebalance,
         kernel,
         simd_rescues: partials.iter().map(|p| p.simd_rescues).sum(),
     }
@@ -1021,6 +1166,9 @@ struct WorkerParams<'e> {
     s_idx: usize,
     rows: usize,
     start_row: usize,
+    /// Exclusive upper bound of this attempt's block-rows (a segment
+    /// boundary, or `rows` when the attempt runs to completion).
+    stop_row: usize,
     config: &'e RunConfig,
     kernel: &'static dyn Kernel,
     ring_in: Option<&'e CircularBuffer<BorderMsg>>,
@@ -1050,6 +1198,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         s_idx,
         rows,
         start_row,
+        stop_row,
         config,
         kernel,
         ring_in,
@@ -1167,7 +1316,14 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
         }
     };
 
-    for r in start_row..rows {
+    // Per-lane checkpoint scratch: the H/F lanes are assembled here and
+    // handed to the store as slices, so deposits reuse one allocation
+    // across every block-row instead of building a fresh Vec pair each
+    // time (the churn showed up as other/wait_input in the attribution).
+    let mut ck_h: Vec<Score> = Vec::new();
+    let mut ck_f: Vec<Score> = Vec::new();
+
+    for r in start_row..stop_row {
         let i0 = r * block_h + 1;
         let i1 = ((r + 1) * block_h).min(m) + 1;
         let height = i1 - i0;
@@ -1337,16 +1493,16 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
             let wave = r + 1;
             if wave % ck.interval == 0 && wave < rows {
                 let ckpt_start = obs.now_ns();
-                let mut h = Vec::with_capacity(slab.width + 1);
-                let mut f = Vec::with_capacity(slab.width + 1);
-                h.push(tops[0].h[0]);
-                f.push(tops[0].f[0]);
+                ck_h.clear();
+                ck_f.clear();
+                ck_h.push(tops[0].h[0]);
+                ck_f.push(tops[0].f[0]);
                 for t in &tops {
-                    h.extend_from_slice(&t.h[1..]);
-                    f.extend_from_slice(&t.f[1..]);
+                    ck_h.extend_from_slice(&t.h[1..]);
+                    ck_f.extend_from_slice(&t.f[1..]);
                 }
                 ck.store
-                    .record(ck.attempt, wave, s_idx, h, f, best, watermark);
+                    .record(ck.attempt, wave, s_idx, &ck_h, &ck_f, best, watermark);
                 let ckpt_ns = obs.now_ns().max(ckpt_start) - ckpt_start;
                 checkpoint_ns += ckpt_ns;
                 if let Some(live) = live {
@@ -1422,6 +1578,7 @@ fn device_worker(p: WorkerParams<'_>) -> Result<DevicePartial, WorkerFailure> {
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn empty_report(
     m: usize,
     n: usize,
@@ -1429,6 +1586,7 @@ fn empty_report(
     slabs: &[Slab],
     prune_mode: PruneMode,
     recovery: Option<RecoveryReport>,
+    rebalance: Option<RebalanceReport>,
     kernel: KernelSelection,
 ) -> RunReport {
     RunReport {
@@ -1463,6 +1621,7 @@ fn empty_report(
             watermark_lag: 0,
         }),
         recovery,
+        rebalance,
         kernel,
         simd_rescues: 0,
     }
@@ -2191,6 +2350,99 @@ mod tests {
         assert_eq!(resumed % 4, 0);
         assert!(resumed <= 10, "resume row {resumed} past the fault row");
         assert!(resumed > 0, "a wave before row 10 must be complete");
+    }
+
+    #[test]
+    fn rebalance_stays_bit_identical_and_reports_evaluations() {
+        use crate::config::RebalanceMode;
+        let (a, b) = pair(3_000, 40);
+        let truth = rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
+        let cfg = RunConfig::test_default()
+            .with_checkpoint(CheckpointCadence::EveryRows(2))
+            .with_rebalance(RebalanceMode::On {
+                threshold: 0.0,
+                window_waves: 2,
+            });
+        let report = run_local(a.codes(), b.codes(), &Platform::env2(), cfg);
+        assert_eq!(report.best, truth, "rebalance must not perturb the score");
+        let rb = report.rebalance.expect("enabled rebalance reports");
+        assert!(rb.evaluations > 0, "segment boundaries were evaluated");
+        assert_eq!(rb.migrations as usize, rb.applied_at_rows.len());
+        // Coverage accounting: checkpointed base + final segment == total.
+        assert_eq!(report.total_cells, 3_000u128 * b.len() as u128);
+        // Off runs don't grow a rebalance report.
+        let off = run_local(
+            a.codes(),
+            b.codes(),
+            &Platform::env2(),
+            RunConfig::test_default(),
+        );
+        assert!(off.rebalance.is_none());
+    }
+
+    #[test]
+    fn rebalance_composes_with_pruning_and_recovery_bit_identically() {
+        use crate::config::RebalanceMode;
+        let (a, b) = similar_pair(2_000, 41);
+        let truth = rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
+        let cfg = RunConfig::test_default()
+            .with_pruning(PruneMode::Distributed)
+            .with_checkpoint(CheckpointCadence::EveryRows(2))
+            .with_rebalance(RebalanceMode::On {
+                threshold: 0.0,
+                window_waves: 2,
+            });
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env2())
+            .config(cfg)
+            .faults(FaultPlan {
+                device: 1,
+                fail_at_block_row: 9,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap();
+        assert_eq!(report.best, truth);
+        assert_eq!(report.recovery.as_ref().unwrap().recoveries, 1);
+        let rb = report.rebalance.expect("rebalance report present");
+        assert!(rb.evaluations > 0);
+        // The failed device holds no slab after recovery, and later
+        // rebalances never resurrect it.
+        assert!(report.devices.iter().all(|d| d.device != 1));
+    }
+
+    #[test]
+    fn rebalance_migration_shifts_columns_and_records_flight_events() {
+        use crate::config::{PartitionPolicy, RebalanceMode};
+        let (a, b) = pair(3_000, 42);
+        let truth = rolling_best(a.codes(), b.codes(), &megasw_sw::ScoreScheme::cudalign());
+        // Start from a deliberately lopsided split on a homogeneous pair of
+        // devices: measured throughput is ~equal, so the first boundary
+        // must migrate columns toward the starved device.
+        let cfg = RunConfig::test_default()
+            .with_partition(PartitionPolicy::Explicit(vec![9.0, 1.0]))
+            .with_checkpoint(CheckpointCadence::EveryRows(2))
+            .with_rebalance(RebalanceMode::On {
+                threshold: 0.0,
+                window_waves: 2,
+            });
+        let flight = megasw_obs::FlightRecorder::new(2, 256);
+        let report = PipelineRun::new(a.codes(), b.codes(), &Platform::env1())
+            .config(cfg)
+            .flight(Arc::clone(&flight))
+            .run()
+            .unwrap();
+        assert_eq!(report.best, truth);
+        let rb = report.rebalance.expect("rebalance report present");
+        assert!(rb.migrations > 0, "lopsided split must trigger a migration");
+        assert!(rb.moved_columns > 0);
+        assert!(rb.applied_at_rows.iter().all(|&r| r % 2 == 0));
+        // Every migration logged a flight event carrying the new width.
+        let rebalances: Vec<_> = (0..2)
+            .flat_map(|lane| flight.events(lane))
+            .filter(|e| e.kind == megasw_obs::FlightKind::Rebalance)
+            .collect();
+        assert!(!rebalances.is_empty());
+        assert!(rebalances.iter().all(|e| e.aux > 0 && e.dur_ns == 0));
     }
 
     #[test]

@@ -245,6 +245,26 @@ pub struct RecoveryReport {
     pub resumed_from_rows: Vec<usize>,
 }
 
+/// Checkpoint-boundary rebalance accounting for one run (present whenever
+/// the run executed with
+/// [`RebalanceMode::On`](crate::config::RebalanceMode) — all-zero when the
+/// controller never found a migration worth applying).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RebalanceReport {
+    /// Applied migrations: segment boundaries where the controller changed
+    /// at least one slab width and handed off the border wave.
+    pub migrations: u64,
+    /// Total block-columns moved between devices across all migrations
+    /// (sum over migrations of half the total absolute width change,
+    /// in matrix columns).
+    pub moved_columns: u64,
+    /// Segment boundaries at which the controller evaluated a re-split
+    /// (applied or not).
+    pub evaluations: u64,
+    /// Block-row of each applied migration, in order.
+    pub applied_at_rows: Vec<usize>,
+}
+
 /// Block-pruning accounting for one run (present whenever the run executed
 /// with [`PruneMode::Local`] or [`PruneMode::Distributed`]; `None` when
 /// pruning was off or forced off by anchored semantics).
@@ -301,6 +321,9 @@ pub struct RunReport {
     /// Fault-recovery accounting; `None` unless the run was executed with
     /// a recovery policy.
     pub recovery: Option<RecoveryReport>,
+    /// Checkpoint-boundary rebalance accounting; `None` unless the run was
+    /// executed with rebalancing enabled.
+    pub rebalance: Option<RebalanceReport>,
     /// Which DP engine the run was dispatched to: the requested
     /// [`KernelDispatch`](megasw_sw::KernelDispatch) plus the engine that
     /// actually executed tiles (threaded backend) or was modeled (DES
@@ -385,6 +408,23 @@ impl RunReport {
                 u64::try_from(rec.rewound_cells).unwrap_or(u64::MAX),
             );
             m.incr("checkpoints_taken", rec.checkpoints_taken);
+        }
+        if let Some(rb) = &self.rebalance {
+            m.describe(
+                "rebalance.migrations_total",
+                "Applied slab migrations at checkpoint boundaries",
+            );
+            m.describe(
+                "rebalance.moved_columns",
+                "Matrix columns moved between devices by rebalance migrations",
+            );
+            m.describe(
+                "rebalance.evaluations",
+                "Segment boundaries where a re-split was evaluated",
+            );
+            m.incr("rebalance.migrations_total", rb.migrations);
+            m.incr("rebalance.moved_columns", rb.moved_columns);
+            m.incr("rebalance.evaluations", rb.evaluations);
         }
         for d in &self.devices {
             m.observe(
@@ -505,6 +545,13 @@ impl std::fmt::Display for RunReport {
                 rec.resumed_from_rows
             )?;
         }
+        if let Some(rb) = &self.rebalance {
+            writeln!(
+                f,
+                "  rebalance: {} migrations, {} columns moved, {} evaluations (applied at rows {:?})",
+                rb.migrations, rb.moved_columns, rb.evaluations, rb.applied_at_rows
+            )?;
+        }
         for d in &self.devices {
             write!(
                 f,
@@ -615,6 +662,12 @@ mod tests {
                 failed_devices: vec![1],
                 resumed_from_rows: vec![8],
             }),
+            rebalance: Some(RebalanceReport {
+                migrations: 2,
+                moved_columns: 96,
+                evaluations: 5,
+                applied_at_rows: vec![16, 48],
+            }),
             kernel: KernelSelection::default(),
             simd_rescues: 2,
         }
@@ -690,6 +743,24 @@ mod tests {
         let mut bare = report();
         bare.pruning = None;
         assert!(!bare.to_string().contains("pruning:"));
+    }
+
+    #[test]
+    fn rebalance_metrics_and_display() {
+        let r = report();
+        let m = r.metrics();
+        assert_eq!(m.counter("rebalance.migrations_total"), Some(2));
+        assert_eq!(m.counter("rebalance.moved_columns"), Some(96));
+        assert_eq!(m.counter("rebalance.evaluations"), Some(5));
+        assert!(m.help("rebalance.migrations_total").is_some());
+        let text = r.to_string();
+        assert!(text.contains("rebalance: 2 migrations, 96 columns moved, 5 evaluations"));
+        assert!(text.contains("applied at rows [16, 48]"));
+        // Rebalance off → no counters, no display line.
+        let mut bare = report();
+        bare.rebalance = None;
+        assert_eq!(bare.metrics().counter("rebalance.migrations_total"), None);
+        assert!(!bare.to_string().contains("rebalance:"));
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub enum FlightKind {
     /// The worker observed a fault (its own injected fault or a poisoned
     /// ring from a dead neighbour).
     Fault,
+    /// The coordinator migrated block-columns at a checkpoint boundary
+    /// (aux = the lane's new slab width in columns; dur_ns = 0).
+    Rebalance,
 }
 
 impl FlightKind {
@@ -62,6 +65,7 @@ impl FlightKind {
             FlightKind::RingPush => "ring_push",
             FlightKind::PruneSkip => "prune_skip",
             FlightKind::Fault => "fault",
+            FlightKind::Rebalance => "rebalance",
         }
     }
 
@@ -74,6 +78,7 @@ impl FlightKind {
             FlightKind::RingPush => 4,
             FlightKind::PruneSkip => 5,
             FlightKind::Fault => 6,
+            FlightKind::Rebalance => 7,
         }
     }
 
@@ -86,6 +91,7 @@ impl FlightKind {
             4 => FlightKind::RingPush,
             5 => FlightKind::PruneSkip,
             6 => FlightKind::Fault,
+            7 => FlightKind::Rebalance,
             _ => return None,
         })
     }

@@ -29,6 +29,10 @@ pub enum ObsKind {
     /// Coordinator-side recovery work: blacklisting a failed device,
     /// repartitioning its columns and rewinding to a checkpoint wave.
     Recovery,
+    /// Coordinator-side rebalance work at a checkpoint boundary: sampling
+    /// per-device throughput, predicting the re-split and handing off the
+    /// border wave.
+    Rebalance,
 }
 
 impl ObsKind {
@@ -41,6 +45,7 @@ impl ObsKind {
             ObsKind::BorderXfer => "border_xfer",
             ObsKind::Traceback => "traceback",
             ObsKind::Recovery => "recovery",
+            ObsKind::Rebalance => "rebalance",
         }
     }
 }
@@ -87,7 +92,7 @@ impl ObsLevel {
             ObsLevel::Off => false,
             ObsLevel::Kernels => matches!(
                 kind,
-                ObsKind::Kernel | ObsKind::Traceback | ObsKind::Recovery
+                ObsKind::Kernel | ObsKind::Traceback | ObsKind::Recovery | ObsKind::Rebalance
             ),
             ObsLevel::Full => true,
         }

@@ -392,6 +392,116 @@ fn forced_scalar_equals_auto_on_random_megabase_windows() {
     }
 }
 
+/// An aggressive rebalance policy for the conformance axis: a checkpoint
+/// every 2 block-rows, a 2-wave window and zero hysteresis, so the
+/// controller migrates at essentially every boundary where the split is
+/// not already perfect — maximum stress on the hand-off.
+fn aggressive_rebalance(cfg: &RunConfig) -> RunConfig {
+    cfg.clone()
+        .with_checkpoint(CheckpointCadence::EveryRows(2))
+        .with_rebalance(RebalanceMode::On {
+            threshold: 0.0,
+            window_waves: 2,
+        })
+}
+
+#[test]
+fn rebalanced_threaded_pipeline_stays_bit_identical_on_sampled_combos() {
+    // The rebalance axis of the conformance matrix: live repartitioning at
+    // checkpoint boundaries resumes every worker from the boundary wave's
+    // full-width border, so the best cell (score AND end-point) must match
+    // the reference exactly — plain and crossed with distributed pruning.
+    for (idx, c) in combos().into_iter().enumerate().step_by(5) {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+            .config(aggressive_rebalance(&c.cfg))
+            .run()
+            .unwrap_or_else(|e| panic!("{}/rebalance: pipeline failed: {e}", c.label));
+        assert_eq!(report.best, want, "{}/rebalance", c.label);
+        let rb = report
+            .rebalance
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no rebalance report", c.label));
+        assert!(rb.evaluations > 0, "{}", c.label);
+        assert_eq!(
+            rb.migrations as usize,
+            rb.applied_at_rows.len(),
+            "{}",
+            c.label
+        );
+        if idx % 2 == 0 {
+            let pruned = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+                .config(aggressive_rebalance(&c.cfg).with_pruning(PruneMode::Distributed))
+                .run()
+                .unwrap_or_else(|e| panic!("{}/rebalance+prune: pipeline failed: {e}", c.label));
+            assert_eq!(pruned.best, want, "{}/rebalance+prune", c.label);
+            assert!(pruned.pruning.is_some(), "{}", c.label);
+            assert!(pruned.rebalance.is_some(), "{}", c.label);
+        }
+    }
+}
+
+#[test]
+fn rebalanced_recovery_after_fault_stays_bit_identical() {
+    // Rebalance × fault recovery × distributed pruning: a device death in a
+    // run that has already migrated columns must still rewind, repartition
+    // across the survivors and finish with the exact reference best.
+    for c in combos().into_iter().step_by(11) {
+        let want = gotoh_best(c.a.codes(), c.b.codes(), &c.cfg.scheme);
+        let report = PipelineRun::new(c.a.codes(), c.b.codes(), &c.platform)
+            .config(aggressive_rebalance(&c.cfg).with_pruning(PruneMode::Distributed))
+            .faults(ScheduledFault {
+                device: 1,
+                block_row: 6,
+                phase: FaultPhase::Compute,
+            })
+            .recover(RecoveryPolicy::default())
+            .run()
+            .unwrap_or_else(|e| panic!("{}/rebalance+recover: failed: {e}", c.label));
+        assert_eq!(report.best, want, "{}/rebalance+recover", c.label);
+        assert_eq!(report.recovery.unwrap().recoveries, 1, "{}", c.label);
+        assert!(report.rebalance.is_some(), "{}", c.label);
+        // The dead device holds no columns in the final split.
+        assert!(
+            report.devices.iter().all(|d| d.device != 1),
+            "{}: dead device still owns a slab",
+            c.label
+        );
+    }
+}
+
+#[test]
+fn rebalanced_des_mirror_is_structurally_sound() {
+    // The DES twin of the rebalance axis: whatever the controller migrated,
+    // the final slab set must still tile the columns exactly and the
+    // accounting must stay internally consistent.
+    for c in combos().into_iter().step_by(9) {
+        let run = DesSim::new(c.a.len(), c.b.len(), &c.platform)
+            .config(aggressive_rebalance(&c.cfg))
+            .run();
+        assert!(run.aborted.is_none(), "{}", c.label);
+        let rb = run
+            .report
+            .rebalance
+            .as_ref()
+            .unwrap_or_else(|| panic!("{}: no rebalance report", c.label));
+        assert!(rb.evaluations > 0, "{}", c.label);
+        assert_eq!(
+            rb.migrations as usize,
+            rb.applied_at_rows.len(),
+            "{}",
+            c.label
+        );
+        let mut next_col = 1;
+        for d in &run.report.devices {
+            assert_eq!(d.slab_j0, next_col, "{}", c.label);
+            next_col += d.slab_width;
+        }
+        assert_eq!(next_col, c.b.len() + 1, "{}", c.label);
+        assert!(run.report.sim_time.unwrap().as_nanos() > 0, "{}", c.label);
+    }
+}
+
 #[test]
 fn threaded_and_des_agree_on_the_partition() {
     // Both backends derive slabs from the same partitioner; their
