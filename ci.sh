@@ -49,6 +49,22 @@ cargo test -q -p megasw --test chaos_recovery
 MEGASW_CHAOS_REPRO='len=2000 seed=7 block=32 cap=2 ckpt=4 max=1 faults=1:10:ring-push' \
     cargo test -q -p megasw --test chaos_recovery repro_from_env
 
+# Batch conformance: a 100+-pair mixed-size batch must stay bit-identical
+# to pair-at-a-time solo runs on both backends, across dispatch × pruning
+# × recovery combos, with exact bin tiling under seeded shuffles. The
+# headline identity test re-runs with SIMD disabled so batch routing can
+# never paper over an engine divergence.
+cargo test -q -p megasw --test batch_conformance
+MEGASW_KERNEL=scalar cargo test -q -p megasw --test batch_conformance -- \
+    batch_of_100_mixed_pairs_is_bit_identical_to_solo_runs
+
+# Batch chaos: seeded device-loss schedules against whole-pair and slab
+# routes (auto-shrunk repros on failure), plus a pinned replay through the
+# MEGASW_CHAOS_REPRO path so the batch one-liner stays wired too.
+cargo test -q -p megasw --test chaos_batch
+MEGASW_CHAOS_REPRO='pairs=10 seed=11 block=32 ckpt=4 thr=90000 bins=3 max=2 faults=2@0:1:compute,6@0:0:ring-push' \
+    cargo test -q -p megasw --test chaos_batch repro_from_env
+
 # Perf-regression artifact smoke: produce a 1-sample artifact, check it
 # parses against the schema, and shape-check it against the committed
 # baseline (absolute GCUPS are host-dependent, so CI compares shapes
@@ -66,13 +82,14 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v6 carries recovery, pruning, rebalance, kernel-dispatch AND
-# per-phase stall-attribution accounting in every experiment; the recovery
-# anchor must report an actual recovery, the pruning anchor a nonzero
-# pruned tile count, the rebalance anchor at least one applied migration,
-# and every experiment a nonzero compute attribution.
-grep -q '"schema_version": 6' BENCH_ci.json || {
-    echo "ci: FAIL — BENCH_ci.json is not schema v6" >&2
+# Schema v7 carries recovery, pruning, rebalance, kernel-dispatch,
+# per-phase stall-attribution AND many-pair batch accounting in every
+# experiment; the recovery anchor must report an actual recovery, the
+# pruning anchor a nonzero pruned tile count, the rebalance anchor at
+# least one applied migration, the batch anchor a nonzero pair count, and
+# every experiment a nonzero compute attribution.
+grep -q '"schema_version": 7' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v7" >&2
     exit 1
 }
 grep -q '"attribution": {"compute": [1-9]' BENCH_ci.json || {
@@ -105,6 +122,14 @@ grep -q '"rebalance": {"migrations": ' BENCH_ci.json || {
 }
 grep -q '"name": "rebalance.env2.3gpu".*"rebalance": {"migrations": [1-9]' BENCH_ci.json || {
     echo "ci: FAIL — rebalance anchor experiment applied no migration" >&2
+    exit 1
+}
+grep -q '"batch": {"pairs": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks batch metrics fields" >&2
+    exit 1
+}
+grep -q '"name": "batch.env2.3gpu".*"batch": {"pairs": [1-9]' BENCH_ci.json || {
+    echo "ci: FAIL — batch anchor experiment ran no pairs" >&2
     exit 1
 }
 # Drifting-clock rebalance floor: the anchor is a deterministic DES run

@@ -47,7 +47,13 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// repartitioning accounting, all zero when rebalance is off — so the
 /// drifting-clock anchor's recovered makespan is tracked alongside the
 /// static-slab experiments.
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: every experiment also carries a `batch` object (pairs / small /
+/// large / bins / requeued plus the DES twin's `packing_speedup`) — the
+/// many-pair batch engine's accounting, all zero for one-pair experiments
+/// — so the `batch.env2.3gpu` anchor's inter-task packing win is tracked
+/// like every other behavioural invariant.
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -125,6 +131,15 @@ pub struct Experiment {
     pub attr_other_ns: u64,
     /// SIMD overflow rescues executed across the run.
     pub simd_rescues: u64,
+    /// Many-pair batch accounting (all zero for one-pair experiments).
+    pub batch_pairs: u64,
+    pub batch_small: u64,
+    pub batch_large: u64,
+    pub batch_bins: u64,
+    pub batch_requeued: u64,
+    /// DES twin packing speedup: packed batch makespan vs aligning every
+    /// pair serially on the full platform (0 when not a batch experiment).
+    pub batch_packing_speedup: f64,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
@@ -165,6 +180,11 @@ impl Experiment {
         self.attr_simd_rescue_ns = metrics.counter("attr.simd_rescue_ns").unwrap_or(0);
         self.attr_other_ns = metrics.counter("attr.other_ns").unwrap_or(0);
         self.simd_rescues = metrics.counter("kernel.simd_rescues").unwrap_or(0);
+        self.batch_pairs = metrics.counter("batch.pairs_total").unwrap_or(0);
+        self.batch_small = metrics.counter("batch.pairs_small").unwrap_or(0);
+        self.batch_large = metrics.counter("batch.pairs_large").unwrap_or(0);
+        self.batch_bins = metrics.counter("batch.bins").unwrap_or(0);
+        self.batch_requeued = metrics.counter("batch.requeued_total").unwrap_or(0);
         for (name, h) in metrics.histograms() {
             if name.starts_with("span.") && name.ends_with(".duration_ns") {
                 self.quantiles.push(QuantileSummary {
@@ -273,6 +293,16 @@ impl Artifact {
                 e.attr_other_ns
             );
             let _ = write!(out, "\"simd_rescues\": {}, ", e.simd_rescues);
+            let _ = write!(
+                out,
+                "\"batch\": {{\"pairs\": {}, \"small\": {}, \"large\": {}, \"bins\": {}, \"requeued\": {}, \"packing_speedup\": {}}}, ",
+                e.batch_pairs,
+                e.batch_small,
+                e.batch_large,
+                e.batch_bins,
+                e.batch_requeued,
+                num(e.batch_packing_speedup)
+            );
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -339,6 +369,7 @@ impl Artifact {
             let attribution = e
                 .get("attribution")
                 .ok_or_else(|| ctx("missing \"attribution\""))?;
+            let batch = e.get("batch").ok_or_else(|| ctx("missing \"batch\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -383,6 +414,12 @@ impl Artifact {
                 attr_simd_rescue_ns: req_u64(attribution, "simd_rescue").map_err(|m| ctx(&m))?,
                 attr_other_ns: req_u64(attribution, "other").map_err(|m| ctx(&m))?,
                 simd_rescues: req_u64(e, "simd_rescues").map_err(|m| ctx(&m))?,
+                batch_pairs: req_u64(batch, "pairs").map_err(|m| ctx(&m))?,
+                batch_small: req_u64(batch, "small").map_err(|m| ctx(&m))?,
+                batch_large: req_u64(batch, "large").map_err(|m| ctx(&m))?,
+                batch_bins: req_u64(batch, "bins").map_err(|m| ctx(&m))?,
+                batch_requeued: req_u64(batch, "requeued").map_err(|m| ctx(&m))?,
+                batch_packing_speedup: req_f64(batch, "packing_speedup").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -574,6 +611,12 @@ mod tests {
             attr_simd_rescue_ns: 50,
             attr_other_ns: 150,
             simd_rescues: 3,
+            batch_pairs: 120,
+            batch_small: 118,
+            batch_large: 2,
+            batch_bins: 8,
+            batch_requeued: 1,
+            batch_packing_speedup: 2.75,
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -608,7 +651,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 6", "\"schema_version\": 999");
+            .replace("\"schema_version\": 7", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -679,6 +722,11 @@ mod tests {
         m.incr("attr.wait_input_ns", 800);
         m.incr("attr.other_ns", 200);
         m.incr("kernel.simd_rescues", 4);
+        m.incr("batch.pairs_total", 24);
+        m.incr("batch.pairs_small", 23);
+        m.incr("batch.pairs_large", 1);
+        m.incr("batch.bins", 8);
+        m.incr("batch.requeued_total", 2);
         for v in [10.0, 20.0, 30.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -710,6 +758,12 @@ mod tests {
         assert_eq!(e.attr_other_ns, 200);
         assert_eq!(e.attr_checkpoint_ns, 0);
         assert_eq!(e.simd_rescues, 4);
+        assert_eq!(e.batch_pairs, 24);
+        assert_eq!(e.batch_small, 23);
+        assert_eq!(e.batch_large, 1);
+        assert_eq!(e.batch_bins, 8);
+        assert_eq!(e.batch_requeued, 2);
+        assert_eq!(e.batch_packing_speedup, 0.0); // set by the bench bin, not metrics
         assert_eq!(e.quantiles.len(), 1);
         assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
         assert_eq!(e.quantiles[0].count, 3);

@@ -77,6 +77,13 @@ fn main() -> ExitCode {
         &config,
     ));
 
+    eprintln!("running batch.env2.3gpu…");
+    artifact.experiments.push(run_batch_experiment(
+        "batch.env2.3gpu",
+        &Platform::env2(),
+        samples,
+    ));
+
     if let Err(e) = std::fs::write(&out, artifact.to_json()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::from(2);
@@ -218,6 +225,70 @@ fn run_rebalance_experiment(name: &str, platform: &Platform, config: &RunConfig)
     }
     .with_kernel(&run.report.kernel)
     .with_metrics(&run.report.metrics_with_spans(&obs.spans()))
+}
+
+/// The many-pair batch anchor: a small-pair-heavy mixed-size manifest (48
+/// pairs, 2.0k–2.9k bases — the database-search shape, enough pairs that
+/// every device stays packed) through the threaded batch engine for host
+/// GCUPS, plus the deterministic DES twin pinning the inter-task packing
+/// speedup. The speedup is asserted ≥ 2× over the serial
+/// one-pair-at-a-time baseline, so a packing-schedule regression fails the
+/// artifact run loudly rather than drifting in a table; the accounting
+/// lands in the artifact's `batch` object.
+fn run_batch_experiment(name: &str, platform: &Platform, samples: u64) -> Experiment {
+    let jobs: Vec<BatchJob> = (0..48)
+        .map(|i| {
+            let len = 2_000 + 53 * (i % 17);
+            let a = ChromosomeGenerator::new(GenerateConfig::sized(len, 900 + i as u64)).generate();
+            let (b, _) = DivergenceModel::test_scale(900 + i as u64).apply(&a);
+            BatchJob::new(format!("bench{i}"), a.codes().to_vec(), b.codes().to_vec())
+        })
+        .collect();
+    let cfg = BatchConfig::default();
+    let cells: u128 = jobs.iter().map(BatchJob::cells).sum();
+
+    let mut last = None;
+    let mut rates: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            let report = BatchRun::new(&jobs, platform)
+                .config(cfg.clone())
+                .run()
+                .expect("benchmark batch run failed");
+            let g = gcups(cells, t.elapsed().as_secs_f64());
+            last = Some(report);
+            g
+        })
+        .collect();
+    rates.sort_by(|x, y| x.total_cmp(y));
+    let report = last.expect("at least one sample ran");
+
+    let specs: Vec<BatchSpec> = jobs
+        .iter()
+        .map(|j| BatchSpec {
+            m: j.a.len(),
+            n: j.b.len(),
+        })
+        .collect();
+    let sim = BatchSim::new(&specs, platform).config(cfg).run();
+    assert!(
+        sim.packing_speedup() >= 2.0,
+        "batch packing speedup {:.2} fell below the 2x anchor",
+        sim.packing_speedup()
+    );
+
+    let mut e = Experiment {
+        name: name.to_string(),
+        cells: u64::try_from(cells).unwrap_or(u64::MAX),
+        gcups_median: rates[rates.len() / 2],
+        gcups_min: rates[0],
+        gcups_max: rates[rates.len() - 1],
+        ..Experiment::default()
+    }
+    .with_kernel(&KernelSelection::default())
+    .with_metrics(&report.metrics());
+    e.batch_packing_speedup = sim.packing_speedup();
+    e
 }
 
 /// The fault-tolerance anchor: the same simulated paper-scale run with a

@@ -41,6 +41,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     match stream.next_positional().as_deref() {
         Some("generate") => cmd_generate(stream),
         Some("compare") => cmd_compare(stream),
+        Some("batch") => cmd_batch(stream),
         Some("align") => cmd_align(stream),
         Some("simulate") => cmd_simulate(stream),
         Some("tune") => cmd_tune(stream),
@@ -63,6 +64,17 @@ subcommands:
             write a synthetic homologous FASTA pair
   compare   A.fasta B.fasta [platform flags]
             stage 1: best score and end point, plus the simulated GCUPS
+  batch     A.fasta B.fasta | --manifest FILE   [platform flags]
+            [--threshold-cells N] [--bins N] [--scores]
+            many-pair batch engine: record i of A aligns against record i
+            of B (or one `a.fa b.fa` line per pair in --manifest FILE);
+            pairs are length-sorted into bins and drained over a device
+            work-queue — small pairs dispatched whole to idle devices,
+            pairs with >= N cells (--threshold-cells, default 16777216)
+            through the full slab pipeline; prints the BatchReport
+            (aggregate GCUPS + latency percentiles; --scores adds the
+            per-pair score table) and the DES twin's packed-vs-serial
+            packing speedup
   align     A.fasta B.fasta [--width N] [platform flags]
             stages 1-3: retrieve and render the optimal local alignment
   simulate  --m ROWS --n COLS [platform flags] [--identity Q] [--gantt]
@@ -266,6 +278,97 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
     if let Err(e) = sim.memory {
         println!("warning: {e}");
     }
+    Ok(())
+}
+
+fn cmd_batch(mut args: ArgStream) -> Result<(), String> {
+    let platform = parse_platform(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    cp.reject_faults("batch")?;
+    let config = parse_config(&mut args, cp.policy)?;
+    let obs_opts = parse_obs(&mut args)?;
+    obs_opts.reject_serving("batch")?;
+    if obs_opts.trace_out.is_some() {
+        return Err("batch does not support --trace-out".into());
+    }
+    let manifest = args.flag_str("--manifest");
+    let threshold = args.flag_value::<u128>("--threshold-cells")?;
+    let bins = args.flag_value::<usize>("--bins")?;
+    let show_scores = args.take_flag("--scores");
+
+    let jobs = if let Some(m) = manifest {
+        if args.next_positional().is_some() {
+            return Err("--manifest replaces the positional FASTA paths".into());
+        }
+        args.finish()?;
+        jobs_from_manifest(&m)?
+    } else {
+        let pa = args
+            .next_positional()
+            .ok_or("batch needs two many-record FASTA paths or --manifest FILE")?;
+        let pb = args.next_positional().ok_or("missing second FASTA path")?;
+        args.finish()?;
+        jobs_from_fasta_pair(&pa, &pb)?
+    };
+    if jobs.is_empty() {
+        return Err("batch has no pairs".into());
+    }
+
+    let mut bcfg = BatchConfig::default().with_base(config);
+    if let Some(t) = threshold {
+        bcfg = bcfg.with_large_threshold_cells(t);
+    }
+    if let Some(b) = bins {
+        bcfg = bcfg.with_bins(b);
+    }
+    bcfg.validate()?;
+
+    let total_cells: u128 = jobs.iter().map(BatchJob::cells).sum();
+    println!(
+        "batching {} pairs ({:.3e} cells) on {}",
+        jobs.len(),
+        total_cells as f64,
+        platform.name
+    );
+
+    let live = LiveTelemetry::new(
+        platform.len(),
+        u64::try_from(total_cells).unwrap_or(u64::MAX),
+    );
+    let sampler = obs_opts.spawn_progress(&live);
+    let result = BatchRun::new(&jobs, &platform)
+        .config(bcfg.clone())
+        .live(Arc::clone(&live))
+        .run();
+    finish_progress(sampler);
+    let report = result.map_err(|e| e.to_string())?;
+    println!("{report}");
+    if show_scores {
+        for p in &report.pairs {
+            println!(
+                "  pair {:>5}  {:<24} {:>9} x {:<9} score {:>9}{}",
+                p.pair,
+                p.id,
+                p.m,
+                p.n,
+                p.best.score,
+                if p.large { "  [pipeline]" } else { "" }
+            );
+        }
+    }
+    if obs_opts.metrics {
+        obs_opts.print_metrics(&report.metrics());
+    }
+
+    let specs: Vec<BatchSpec> = jobs
+        .iter()
+        .map(|j| BatchSpec {
+            m: j.a.len(),
+            n: j.b.len(),
+        })
+        .collect();
+    let sim = BatchSim::new(&specs, &platform).config(bcfg).run();
+    println!("{sim}");
     Ok(())
 }
 

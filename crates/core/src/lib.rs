@@ -76,6 +76,10 @@ pub mod prelude {
     pub use megasw_gpusim::{catalog, ClockDrift, DeviceSpec, LinkSpec, Platform, SimTime};
     pub use megasw_multigpu::autotune::{autotune, TuneResult};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
+    pub use megasw_multigpu::batch::{
+        jobs_from_fasta_pair, jobs_from_manifest, BatchConfig, BatchFault, BatchJob, BatchPlan,
+        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec, PairOutcome,
+    };
     pub use megasw_multigpu::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use megasw_multigpu::desrun::DeviceLossEvent;
     pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};

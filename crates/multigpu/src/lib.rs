@@ -22,6 +22,10 @@
 //! * [`stages`] — multi-GPU **alignment retrieval** (CUDAlign stages 1–3
 //!   analogue): forward local pipeline, reversed anchored pipeline, then
 //!   Myers–Miller on the bounded segment;
+//! * [`batch`] — the **many-pair batch engine**: length-sorted bins over a
+//!   device work-queue, small pairs dispatched whole to idle devices
+//!   (inter-task parallelism), large pairs through the slab pipeline, plus
+//!   the DES twin that pins the packing speedup;
 //! * [`balance`] — device-weight calibration for proportional splits;
 //! * [`baseline`] — the comparison points: single device, bulk-synchronous
 //!   (non-overlapped) exchange, equal split on heterogeneous platforms, and
@@ -31,6 +35,7 @@
 pub mod autotune;
 pub mod balance;
 pub mod baseline;
+pub mod batch;
 pub mod checkpoint;
 pub mod circbuf;
 pub mod config;
@@ -42,6 +47,10 @@ pub mod pipeline;
 pub mod stages;
 pub mod stats;
 
+pub use batch::{
+    BatchConfig, BatchFault, BatchJob, BatchPlan, BatchReport, BatchRun, BatchSim, BatchSimReport,
+    BatchSpec, PairOutcome,
+};
 pub use checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
 pub use circbuf::BorderMsg;
 pub use config::{
@@ -60,6 +69,10 @@ pub use stats::{
 
 /// The types most callers need: builders, reports, errors, observability.
 pub mod prelude {
+    pub use crate::batch::{
+        jobs_from_fasta_pair, jobs_from_manifest, BatchConfig, BatchFault, BatchJob, BatchPlan,
+        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec, PairOutcome,
+    };
     pub use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use crate::circbuf::BorderMsg;
     pub use crate::config::{

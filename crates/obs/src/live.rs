@@ -99,6 +99,12 @@ pub struct LiveTelemetry {
     /// pruning segment of the progress line so pruning-free runs pay no
     /// visual noise.
     pruning_active: AtomicBool,
+    /// Completed pairs in a many-pair batch run (0 for single-pair runs,
+    /// which never call [`LiveTelemetry::on_pair_done`]).
+    pairs_done: AtomicU64,
+    /// Total pairs a batch run will align; gates the pair segment of the
+    /// progress line the same way `pruning_active` gates pruning.
+    pairs_total: AtomicU64,
 }
 
 /// One device's portion of a [`LiveSnapshot`].
@@ -169,6 +175,11 @@ pub struct LiveSnapshot {
     pub recoveries: u64,
     /// True once any worker reported a pruning update this run.
     pub pruning: bool,
+    /// Pairs finished so far in a batch run (0 outside batch mode).
+    pub pairs_done: u64,
+    /// Pairs the batch run will align in total (0 outside batch mode;
+    /// gates the `pairs` segment of the progress line).
+    pub pairs_total: u64,
     pub devices: Vec<DeviceSnapshot>,
 }
 
@@ -259,6 +270,8 @@ impl LiveTelemetry {
             clock: Clock::Wall(Instant::now()),
             recoveries: AtomicU64::new(0),
             pruning_active: AtomicBool::new(false),
+            pairs_done: AtomicU64::new(0),
+            pairs_total: AtomicU64::new(0),
         })
     }
 
@@ -271,6 +284,8 @@ impl LiveTelemetry {
             clock: Clock::Manual(AtomicU64::new(0)),
             recoveries: AtomicU64::new(0),
             pruning_active: AtomicBool::new(false),
+            pairs_done: AtomicU64::new(0),
+            pairs_total: AtomicU64::new(0),
         })
     }
 
@@ -350,6 +365,17 @@ impl LiveTelemetry {
         self.recoveries.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Declare how many pairs a batch run will align. Turning this on (any
+    /// nonzero total) adds the `pairs` segment to the progress line.
+    pub fn set_pairs_total(&self, pairs: u64) {
+        self.pairs_total.store(pairs, Ordering::Relaxed);
+    }
+
+    /// One finished pair in a batch run.
+    pub fn on_pair_done(&self) {
+        self.pairs_done.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Per-row pruning update from `device`: its current watermark and
     /// cumulative pruned-tile / skipped-cell counts. Watermark writes use
     /// `fetch_max`, so the published gauge is monotone even under races
@@ -376,6 +402,8 @@ impl LiveTelemetry {
             total_cells: self.total_cells,
             recoveries: self.recoveries.load(Ordering::Relaxed),
             pruning: self.pruning_active.load(Ordering::Relaxed),
+            pairs_done: self.pairs_done.load(Ordering::Relaxed),
+            pairs_total: self.pairs_total.load(Ordering::Relaxed),
             devices: self
                 .devices
                 .iter()
@@ -427,6 +455,9 @@ pub fn render_progress_line(cur: &LiveSnapshot, prev: Option<&LiveSnapshot>) -> 
         cur.gcups_cumulative(),
         100.0 * cur.imbalance(),
     );
+    if cur.pairs_total > 0 {
+        line.push_str(&format!(" | pairs {}/{}", cur.pairs_done, cur.pairs_total));
+    }
     if cur.recoveries > 0 {
         line.push_str(&format!(" | rec {}", cur.recoveries));
     }

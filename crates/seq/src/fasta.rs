@@ -123,6 +123,20 @@ pub fn read_single_fasta<R: Read>(reader: R) -> Result<FastaRecord, FastaError> 
     Ok(records.remove(0))
 }
 
+/// Read every record from a FASTA file on disk. Convenience wrapper over
+/// [`read_fasta`] for the batch-manifest path, which opens many files.
+pub fn read_fasta_path<P: AsRef<std::path::Path>>(path: P) -> Result<Vec<FastaRecord>, FastaError> {
+    read_fasta(std::fs::File::open(path)?)
+}
+
+/// Read exactly one record from a FASTA file on disk (first record if the
+/// file holds several). Convenience wrapper over [`read_single_fasta`].
+pub fn read_single_fasta_path<P: AsRef<std::path::Path>>(
+    path: P,
+) -> Result<FastaRecord, FastaError> {
+    read_single_fasta(std::fs::File::open(path)?)
+}
+
 /// Write records in FASTA format with the given line width.
 pub fn write_fasta<W: Write>(
     mut writer: W,

@@ -1,0 +1,405 @@
+//! Deterministic chaos harness for the many-pair batch engine.
+//!
+//! Each seed expands — via `ChaCha8Rng` — into a full batch scenario: a
+//! mixed-size job list (small whole-pair dispatches plus one large
+//! slab-pipeline pair), a block/checkpoint geometry, and a schedule of one
+//! or more [`BatchFault`]s (pair × block-row × pipeline phase). The
+//! scenario runs through the threaded batch engine with recovery, and the
+//! invariants are the batch engine's contract under fire:
+//!
+//! * **never dropped**: every submitted pair has exactly one outcome;
+//! * **never double-reported**: outcomes arrive in submission order, one
+//!   slot per pair;
+//! * **bit-identical**: every score equals the scalar whole-sequence
+//!   oracle, fault or no fault — in-flight small pairs are requeued onto
+//!   survivors, large pairs recover in-run via the checkpoint path.
+//!
+//! Determinism is the point: the same seed always produces the same
+//! scenario. On failure the harness greedily **shrinks** the fault
+//! schedule to a minimal still-failing subset and prints a one-liner:
+//!
+//! ```text
+//! MEGASW_CHAOS_REPRO='pairs=10 seed=3 block=32 ckpt=4 thr=90000 bins=3 max=2 faults=2@0:1:compute'
+//! ```
+//!
+//! Re-running with that string in the environment replays exactly the
+//! minimal scenario (see `repro_from_env`).
+
+use megasw::prelude::*;
+use megasw::seq::rng::ChaCha8Rng;
+
+#[path = "util/deadline.rs"]
+mod deadline;
+use deadline::with_deadline;
+
+/// Everything a batch chaos case needs to replay: the scenario is a pure
+/// function of these fields.
+#[derive(Debug, Clone)]
+struct Scenario {
+    pairs: usize,
+    seq_seed: u64,
+    block: usize,
+    checkpoint_rows: usize,
+    threshold: u128,
+    bins: usize,
+    max_failures: usize,
+    faults: Vec<BatchFault>,
+}
+
+impl Scenario {
+    fn repro(&self) -> String {
+        let faults: Vec<String> = self.faults.iter().map(BatchFault::to_string).collect();
+        format!(
+            "pairs={} seed={} block={} ckpt={} thr={} bins={} max={} faults={}",
+            self.pairs,
+            self.seq_seed,
+            self.block,
+            self.checkpoint_rows,
+            self.threshold,
+            self.bins,
+            self.max_failures,
+            faults.join(",")
+        )
+    }
+
+    fn parse(repro: &str) -> Scenario {
+        let mut s = Scenario {
+            pairs: 10,
+            seq_seed: 0,
+            block: 32,
+            checkpoint_rows: 4,
+            threshold: 90_000,
+            bins: 3,
+            max_failures: 1,
+            faults: Vec::new(),
+        };
+        for field in repro.split_whitespace() {
+            let (key, value) = field.split_once('=').expect("field is key=value");
+            match key {
+                "pairs" => s.pairs = value.parse().unwrap(),
+                "seed" => s.seq_seed = value.parse().unwrap(),
+                "block" => s.block = value.parse().unwrap(),
+                "ckpt" => s.checkpoint_rows = value.parse().unwrap(),
+                "thr" => s.threshold = value.parse().unwrap(),
+                "bins" => s.bins = value.parse().unwrap(),
+                "max" => s.max_failures = value.parse().unwrap(),
+                "faults" => {
+                    s.faults = value
+                        .split(',')
+                        .filter(|f| !f.is_empty())
+                        .map(|f| f.parse::<BatchFault>().unwrap())
+                        .collect();
+                }
+                other => panic!("unknown repro field {other:?}"),
+            }
+        }
+        s
+    }
+}
+
+/// Expand a chaos seed into a scenario. Pure and deterministic.
+fn scenario_for(seed: u64) -> Scenario {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let pairs = 8 + rng.gen_range(0usize..5); // 8..=12, last one large
+    let block = [32usize, 48][rng.gen_range(0usize..2)];
+    let checkpoint_rows = [2usize, 4, 8][rng.gen_range(0usize..3)];
+    let bins = 2 + rng.gen_range(0usize..3);
+    let phases = [
+        FaultPhase::RingPop,
+        FaultPhase::Compute,
+        FaultPhase::RingPush,
+        FaultPhase::Transfer,
+    ];
+    // 1 or 2 faults on distinct pairs; env2 has 3 devices, so a survivor
+    // always remains. Rows 0–1 exist for every generated pair (smallest
+    // small pair is 96 bases at block ≤ 48 → ≥ 2 block-rows).
+    let n_faults = 1 + rng.gen_range(0usize..2);
+    let mut victims: Vec<usize> = (0..pairs).collect();
+    let mut faults = Vec::new();
+    for _ in 0..n_faults {
+        let v = victims.remove(rng.gen_range(0usize..victims.len()));
+        let device = if v == pairs - 1 {
+            // The large pair routes through the full chain: pick a victim
+            // device, never the last one (any single loss is survivable;
+            // sparing the tail just varies the survivor shapes).
+            rng.gen_range(0usize..2)
+        } else {
+            0 // whole-pair dispatch: single-device chain, ignored anyway
+        };
+        faults.push(BatchFault {
+            pair: v,
+            fault: ScheduledFault {
+                device,
+                block_row: rng.gen_range(0usize..2),
+                phase: phases[rng.gen_range(0usize..4)],
+            },
+        });
+    }
+    Scenario {
+        pairs,
+        seq_seed: seed,
+        block,
+        checkpoint_rows,
+        threshold: 90_000,
+        bins,
+        max_failures: faults.len(),
+        faults,
+    }
+}
+
+/// The deterministic job list a scenario aligns: `pairs - 1` small pairs
+/// (96–255 bases) and one large pair (360 bases ≈ 120k cells ≥ threshold).
+fn jobs_for(s: &Scenario) -> Vec<BatchJob> {
+    (0..s.pairs)
+        .map(|i| {
+            let len = if i == s.pairs - 1 {
+                360
+            } else {
+                96 + ((s.seq_seed as usize * 31 + i * 57) % 160)
+            };
+            let a = ChromosomeGenerator::new(GenerateConfig::sized(len, s.seq_seed + i as u64))
+                .generate();
+            let (b, _) = DivergenceModel::test_scale(s.seq_seed + 100 + i as u64).apply(&a);
+            BatchJob::new(format!("chaos{i}"), a.codes().to_vec(), b.codes().to_vec())
+        })
+        .collect()
+}
+
+fn batch_config(s: &Scenario) -> BatchConfig {
+    BatchConfig::default()
+        .with_base(
+            RunConfig::paper_default()
+                .with_block(s.block)
+                .with_buffer_capacity(2)
+                .with_checkpoint(CheckpointCadence::EveryRows(s.checkpoint_rows)),
+        )
+        .with_large_threshold_cells(s.threshold)
+        .with_bins(s.bins)
+}
+
+/// Run one scenario; return an error string describing the first violated
+/// invariant, if any.
+fn check(s: &Scenario) -> Result<(), String> {
+    let jobs = jobs_for(s);
+    let cfg = batch_config(s);
+    let oracle: Vec<BestCell> = jobs
+        .iter()
+        .map(|j| kernel::scalar().best(&j.a, &j.b, &cfg.base.scheme))
+        .collect();
+    let large_idx = jobs.len() - 1;
+    assert!(
+        jobs[large_idx].cells() >= s.threshold,
+        "scenario generator: large pair too small"
+    );
+    let will_fire = !s.faults.is_empty();
+    let report = {
+        let (jobs, cfg, faults) = (jobs.clone(), cfg.clone(), s.faults.clone());
+        let max = s.max_failures;
+        with_deadline(
+            "chaos batch run",
+            std::time::Duration::from_secs(120),
+            move || {
+                BatchRun::new(&jobs, &Platform::env2())
+                    .config(cfg)
+                    .faults(faults)
+                    .recover(RecoveryPolicy {
+                        max_device_failures: max,
+                    })
+                    .run()
+            },
+        )
+    }
+    .map_err(|e| format!("batch did not complete: {e}"))?;
+
+    // Never dropped, never double-reported: exactly one outcome per pair,
+    // in submission order.
+    if report.pairs.len() != jobs.len() {
+        return Err(format!(
+            "{} outcomes for {} pairs",
+            report.pairs.len(),
+            jobs.len()
+        ));
+    }
+    for (i, p) in report.pairs.iter().enumerate() {
+        if p.pair != i {
+            return Err(format!("outcome {i} reports pair {}", p.pair));
+        }
+    }
+    // Bit-identical to the scalar oracle, fault or no fault.
+    for (i, p) in report.pairs.iter().enumerate() {
+        if p.best != oracle[i] {
+            return Err(format!(
+                "pair {i} diverged: got {:?}, want {:?}",
+                p.best, oracle[i]
+            ));
+        }
+    }
+    if will_fire && report.recoveries == 0 {
+        return Err("faults scheduled but no recovery happened".into());
+    }
+    if report.recoveries > s.max_failures as u64 {
+        return Err(format!(
+            "{} recoveries exceed the budget {}",
+            report.recoveries, s.max_failures
+        ));
+    }
+    if report.failed_devices.len() > s.max_failures {
+        return Err(format!(
+            "{} failed devices exceed the budget {}",
+            report.failed_devices.len(),
+            s.max_failures
+        ));
+    }
+    Ok(())
+}
+
+/// Greedily shrink a failing scenario: drop faults one at a time while the
+/// failure persists.
+fn shrink(mut s: Scenario) -> Scenario {
+    loop {
+        let mut reduced = false;
+        for i in 0..s.faults.len() {
+            let mut candidate = s.clone();
+            candidate.faults.remove(i);
+            candidate.max_failures = candidate.faults.len().max(1);
+            if check(&candidate).is_err() {
+                s = candidate;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            return s;
+        }
+    }
+}
+
+fn run_seeds(seeds: impl Iterator<Item = u64>) {
+    let mut failures = Vec::new();
+    for seed in seeds {
+        let s = scenario_for(seed);
+        if let Err(e) = check(&s) {
+            let minimal = shrink(s);
+            let err = check(&minimal).err().unwrap_or(e);
+            failures.push(format!(
+                "seed {seed:#x}: {err}\n  MEGASW_CHAOS_REPRO='{}'",
+                minimal.repro()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn chaos_batch_seeds_survive_device_loss_without_dropping_pairs() {
+    run_seeds(0xBA_7C0..0xBA_7C8);
+}
+
+#[test]
+fn chaos_batch_scenarios_are_deterministic() {
+    for seed in 0xBA_7C0..0xBA_7C4u64 {
+        let s1 = scenario_for(seed);
+        let s2 = scenario_for(seed);
+        assert_eq!(s1.repro(), s2.repro(), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn repro_round_trips_through_its_string_form() {
+    for seed in 0xBA_7C0..0xBA_7C4u64 {
+        let s = scenario_for(seed);
+        let parsed = Scenario::parse(&s.repro());
+        assert_eq!(parsed.repro(), s.repro(), "seed {seed:#x}");
+    }
+}
+
+#[test]
+fn repro_from_env() {
+    // Replays the scenario in MEGASW_CHAOS_REPRO, so a failing seed's
+    // one-liner is directly actionable:
+    //   MEGASW_CHAOS_REPRO='…' cargo test -p megasw --test chaos_batch repro_from_env
+    let Ok(repro) = std::env::var("MEGASW_CHAOS_REPRO") else {
+        return;
+    };
+    let s = Scenario::parse(&repro);
+    if let Err(e) = check(&s) {
+        panic!("repro failed: {e}\n  MEGASW_CHAOS_REPRO='{}'", s.repro());
+    }
+}
+
+#[test]
+fn large_pair_fault_recovers_in_run_and_blacklists_the_device() {
+    // A pinned scenario aiming one fault at the large pair: the slab
+    // pipeline recovers via the checkpoint path (the pair's own outcome
+    // records the recovery) and the batch blacklists the dead device.
+    let mut s = Scenario::parse("pairs=9 seed=5 block=32 ckpt=4 thr=90000 bins=3 max=1 faults=");
+    s.faults = vec![BatchFault {
+        pair: 8,
+        fault: ScheduledFault {
+            device: 1,
+            block_row: 1,
+            phase: FaultPhase::Compute,
+        },
+    }];
+    let jobs = jobs_for(&s);
+    let cfg = batch_config(&s);
+    let report = BatchRun::new(&jobs, &Platform::env2())
+        .config(cfg.clone())
+        .faults(s.faults.clone())
+        .recover(RecoveryPolicy {
+            max_device_failures: 1,
+        })
+        .run()
+        .unwrap();
+    let large = &report.pairs[8];
+    assert!(large.large, "pair 8 should route large");
+    assert!(large.recoveries >= 1, "large pair did not recover in-run");
+    assert_eq!(report.failed_devices, vec![1]);
+    assert_eq!(report.requeued, 0);
+    let want = kernel::scalar().best(&jobs[8].a, &jobs[8].b, &cfg.base.scheme);
+    assert_eq!(large.best, want);
+}
+
+#[test]
+fn two_small_pair_faults_requeue_onto_the_survivor() {
+    // Two distinct small pairs each kill their device; with a budget of 2
+    // the remaining worker drains the whole queue — nothing dropped,
+    // nothing double-reported, scores intact.
+    let mut s = Scenario::parse("pairs=10 seed=11 block=32 ckpt=4 thr=90000 bins=3 max=2 faults=");
+    s.faults = vec![
+        BatchFault {
+            pair: 2,
+            fault: ScheduledFault {
+                device: 0,
+                block_row: 0,
+                phase: FaultPhase::Compute,
+            },
+        },
+        BatchFault {
+            pair: 6,
+            fault: ScheduledFault {
+                device: 0,
+                block_row: 1,
+                phase: FaultPhase::RingPush,
+            },
+        },
+    ];
+    let jobs = jobs_for(&s);
+    let cfg = batch_config(&s);
+    let report = BatchRun::new(&jobs, &Platform::env2())
+        .config(cfg.clone())
+        .faults(s.faults.clone())
+        .recover(RecoveryPolicy {
+            max_device_failures: 2,
+        })
+        .run()
+        .unwrap();
+    assert_eq!(report.pairs.len(), 10);
+    assert_eq!(report.requeued, 2);
+    assert_eq!(report.failed_devices.len(), 2);
+    for (i, p) in report.pairs.iter().enumerate() {
+        assert_eq!(p.pair, i);
+        let want = kernel::scalar().best(&jobs[i].a, &jobs[i].b, &cfg.base.scheme);
+        assert_eq!(p.best, want, "pair {i}");
+    }
+}
