@@ -82,14 +82,15 @@ if [ "$rc" -ne 1 ]; then
     echo "ci: FAIL — bench-diff exit $rc on regressed fixture (want 1)" >&2
     exit 1
 fi
-# Schema v7 carries recovery, pruning, rebalance, kernel-dispatch,
-# per-phase stall-attribution AND many-pair batch accounting in every
-# experiment; the recovery anchor must report an actual recovery, the
-# pruning anchor a nonzero pruned tile count, the rebalance anchor at
-# least one applied migration, the batch anchor a nonzero pair count, and
+# Schema v8 carries recovery, pruning, rebalance, kernel-dispatch,
+# per-phase stall-attribution, many-pair batch AND resident-service
+# accounting in every experiment; the recovery anchor must report an
+# actual recovery, the pruning anchor a nonzero pruned tile count, the
+# rebalance anchor at least one applied migration, the batch anchor a
+# nonzero pair count, the service anchor its full 22-job stream, and
 # every experiment a nonzero compute attribution.
-grep -q '"schema_version": 7' BENCH_ci.json || {
-    echo "ci: FAIL — BENCH_ci.json is not schema v7" >&2
+grep -q '"schema_version": 8' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json is not schema v8" >&2
     exit 1
 }
 grep -q '"attribution": {"compute": [1-9]' BENCH_ci.json || {
@@ -132,6 +133,14 @@ grep -q '"name": "batch.env2.3gpu".*"batch": {"pairs": [1-9]' BENCH_ci.json || {
     echo "ci: FAIL — batch anchor experiment ran no pairs" >&2
     exit 1
 }
+grep -q '"service": {"jobs": ' BENCH_ci.json || {
+    echo "ci: FAIL — BENCH_ci.json lacks service metrics fields" >&2
+    exit 1
+}
+grep -q '"name": "service.env2.3gpu".*"service": {"jobs": 22' BENCH_ci.json || {
+    echo "ci: FAIL — service anchor experiment did not drain its 22-job stream" >&2
+    exit 1
+}
 # Drifting-clock rebalance floor: the anchor is a deterministic DES run
 # (host-independent), where the Titan halves its clock mid-matrix. Static
 # slabs deliver ~95 simulated GCUPS on that drift; the controller's
@@ -170,6 +179,70 @@ trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
 kill "$SERVE_PID" 2>/dev/null || true
 wait "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
+
+# Resident-service smoke: stand up `megasw serve` on a fixed port (9188,
+# outside anything else CI binds), submit one pair and a 20-pair batch
+# over HTTP with `megasw submit`, and diff every score against solo
+# `megasw compare` / `megasw batch` runs of the same inputs — the service
+# must be a transport, never a different answer. Finish by scraping the
+# per-job SLO counters off /metrics.
+./target/release/megasw generate --length 20000 --seed 23 \
+    --out-human /tmp/ci_sva.fa --out-chimp /tmp/ci_svb.fa >/dev/null
+rm -f /tmp/ci_sba.fa /tmp/ci_sbb.fa
+for i in $(seq 0 19); do
+    ./target/release/megasw generate --length $((1500 + 37 * i)) \
+        --seed $((100 + i)) \
+        --out-human /tmp/ci_bh.fa --out-chimp /tmp/ci_bc.fa >/dev/null
+    cat /tmp/ci_bh.fa >>/tmp/ci_sba.fa
+    cat /tmp/ci_bc.fa >>/tmp/ci_sbb.fa
+done
+./target/release/megasw serve --addr 127.0.0.1:9188 --env2 >/dev/null 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+./target/release/megasw-metrics-scrape 127.0.0.1:9188 --retries 40 || {
+    echo "ci: FAIL — resident service never became scrapeable" >&2
+    exit 1
+}
+solo_score=$(./target/release/megasw compare /tmp/ci_sva.fa /tmp/ci_svb.fa \
+    --env2 | awk '/^best score/{print $3}')
+svc_score=$(./target/release/megasw submit --addr 127.0.0.1:9188 \
+    /tmp/ci_sva.fa /tmp/ci_svb.fa | awk '/done: best/{print $5}')
+if [ -z "$solo_score" ] || [ "$svc_score" != "$solo_score" ]; then
+    echo "ci: FAIL — served score '$svc_score' != solo score '$solo_score'" >&2
+    exit 1
+fi
+./target/release/megasw batch /tmp/ci_sba.fa /tmp/ci_sbb.fa --env2 --scores \
+    | awk '$1=="pair"{for(i=1;i<NF;i++) if($i=="score") print $2, $(i+1)}' \
+    >/tmp/ci_solo_scores.txt
+./target/release/megasw submit --addr 127.0.0.1:9188 \
+    --batch /tmp/ci_sba.fa /tmp/ci_sbb.fa --scores \
+    | awk '$1=="pair"{for(i=1;i<NF;i++) if($i=="score") print $2, $(i+1)}' \
+    >/tmp/ci_svc_scores.txt
+if [ "$(wc -l </tmp/ci_solo_scores.txt)" -ne 20 ]; then
+    echo "ci: FAIL — solo batch did not report 20 per-pair scores" >&2
+    exit 1
+fi
+diff /tmp/ci_solo_scores.txt /tmp/ci_svc_scores.txt || {
+    echo "ci: FAIL — served batch scores diverge from the solo batch run" >&2
+    exit 1
+}
+exec 3<>/dev/tcp/127.0.0.1/9188
+printf 'GET /metrics HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+metrics_body=$(cat <&3)
+exec 3<&- 3>&-
+echo "$metrics_body" | grep -q '^megasw_service_jobs_completed 2$' || {
+    echo "ci: FAIL — /metrics does not report 2 completed service jobs" >&2
+    exit 1
+}
+echo "$metrics_body" | grep -q '^megasw_service_job_latency_p99_ms ' || {
+    echo "ci: FAIL — /metrics lacks the per-job p99 latency SLO" >&2
+    exit 1
+}
+kill "$SERVE_PID" 2>/dev/null || true
+wait "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+rm -f /tmp/ci_sva.fa /tmp/ci_svb.fa /tmp/ci_sba.fa /tmp/ci_sbb.fa \
+    /tmp/ci_bh.fa /tmp/ci_bc.fa /tmp/ci_solo_scores.txt /tmp/ci_svc_scores.txt
 
 # Flight-recorder smoke: a faulted compare must leave a JSONL black box
 # with the fault event on the failed device's lane.

@@ -53,7 +53,14 @@ pub const SCHEMA_NAME: &str = "megasw-bench-artifact";
 /// many-pair batch engine's accounting, all zero for one-pair experiments
 /// — so the `batch.env2.3gpu` anchor's inter-task packing win is tracked
 /// like every other behavioural invariant.
-pub const SCHEMA_VERSION: u64 = 7;
+///
+/// v8: every experiment also carries a `service` object (`jobs`,
+/// `p50_ms`, `p99_ms`, `queue_peak`) — the resident alignment service's
+/// per-job latency SLOs and queue-depth high-water mark, all zero for
+/// experiments that never go through the job queue — so a scheduling or
+/// queueing regression in `megasw serve` is caught next to the raw
+/// kernel numbers.
+pub const SCHEMA_VERSION: u64 = 8;
 
 /// Where the numbers came from: enough to tell two hosts apart, not enough
 /// to identify anyone.
@@ -140,6 +147,13 @@ pub struct Experiment {
     /// DES twin packing speedup: packed batch makespan vs aligning every
     /// pair serially on the full platform (0 when not a batch experiment).
     pub batch_packing_speedup: f64,
+    /// Resident-service accounting (all zero for experiments that bypass
+    /// the job queue): jobs completed, per-job latency percentiles in
+    /// milliseconds, and the queue-depth high-water mark.
+    pub service_jobs: u64,
+    pub service_p50_ms: f64,
+    pub service_p99_ms: f64,
+    pub service_queue_peak: u64,
     /// Span-duration quantiles, in name order.
     pub quantiles: Vec<QuantileSummary>,
 }
@@ -185,6 +199,10 @@ impl Experiment {
         self.batch_large = metrics.counter("batch.pairs_large").unwrap_or(0);
         self.batch_bins = metrics.counter("batch.bins").unwrap_or(0);
         self.batch_requeued = metrics.counter("batch.requeued_total").unwrap_or(0);
+        self.service_jobs = metrics.counter("service.jobs_completed").unwrap_or(0);
+        self.service_p50_ms = metrics.counter("service.job_latency_p50_ms").unwrap_or(0) as f64;
+        self.service_p99_ms = metrics.counter("service.job_latency_p99_ms").unwrap_or(0) as f64;
+        self.service_queue_peak = metrics.counter("service.queue_peak").unwrap_or(0);
         for (name, h) in metrics.histograms() {
             if name.starts_with("span.") && name.ends_with(".duration_ns") {
                 self.quantiles.push(QuantileSummary {
@@ -303,6 +321,14 @@ impl Artifact {
                 e.batch_requeued,
                 num(e.batch_packing_speedup)
             );
+            let _ = write!(
+                out,
+                "\"service\": {{\"jobs\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \"queue_peak\": {}}}, ",
+                e.service_jobs,
+                num(e.service_p50_ms),
+                num(e.service_p99_ms),
+                e.service_queue_peak
+            );
             out.push_str("\"quantiles\": {");
             for (qi, q) in e.quantiles.iter().enumerate() {
                 if qi > 0 {
@@ -370,6 +396,7 @@ impl Artifact {
                 .get("attribution")
                 .ok_or_else(|| ctx("missing \"attribution\""))?;
             let batch = e.get("batch").ok_or_else(|| ctx("missing \"batch\""))?;
+            let service = e.get("service").ok_or_else(|| ctx("missing \"service\""))?;
             let mut quantiles = Vec::new();
             if let Some(qs) = e.get("quantiles").and_then(Value::as_object) {
                 for (name, q) in qs {
@@ -420,6 +447,10 @@ impl Artifact {
                 batch_bins: req_u64(batch, "bins").map_err(|m| ctx(&m))?,
                 batch_requeued: req_u64(batch, "requeued").map_err(|m| ctx(&m))?,
                 batch_packing_speedup: req_f64(batch, "packing_speedup").map_err(|m| ctx(&m))?,
+                service_jobs: req_u64(service, "jobs").map_err(|m| ctx(&m))?,
+                service_p50_ms: req_f64(service, "p50_ms").map_err(|m| ctx(&m))?,
+                service_p99_ms: req_f64(service, "p99_ms").map_err(|m| ctx(&m))?,
+                service_queue_peak: req_u64(service, "queue_peak").map_err(|m| ctx(&m))?,
                 quantiles,
             });
         }
@@ -617,6 +648,10 @@ mod tests {
             batch_bins: 8,
             batch_requeued: 1,
             batch_packing_speedup: 2.75,
+            service_jobs: 22,
+            service_p50_ms: 14.0,
+            service_p99_ms: 90.0,
+            service_queue_peak: 6,
             quantiles: vec![QuantileSummary {
                 name: "span.kernel.duration_ns".into(),
                 count: 40,
@@ -651,7 +686,7 @@ mod tests {
         // Wrong version is an explicit refusal, not a silent parse.
         let wrong = sample_artifact(1.0)
             .to_json()
-            .replace("\"schema_version\": 7", "\"schema_version\": 999");
+            .replace("\"schema_version\": 8", "\"schema_version\": 999");
         let err = Artifact::parse(&wrong).unwrap_err();
         assert!(err.contains("schema_version"), "{err}");
         // An empty experiment list carries no information.
@@ -727,6 +762,10 @@ mod tests {
         m.incr("batch.pairs_large", 1);
         m.incr("batch.bins", 8);
         m.incr("batch.requeued_total", 2);
+        m.incr("service.jobs_completed", 20);
+        m.incr("service.job_latency_p50_ms", 12);
+        m.incr("service.job_latency_p99_ms", 75);
+        m.incr("service.queue_peak", 5);
         for v in [10.0, 20.0, 30.0] {
             m.observe("span.kernel.duration_ns", v);
         }
@@ -764,6 +803,10 @@ mod tests {
         assert_eq!(e.batch_bins, 8);
         assert_eq!(e.batch_requeued, 2);
         assert_eq!(e.batch_packing_speedup, 0.0); // set by the bench bin, not metrics
+        assert_eq!(e.service_jobs, 20);
+        assert_eq!(e.service_p50_ms, 12.0);
+        assert_eq!(e.service_p99_ms, 75.0);
+        assert_eq!(e.service_queue_peak, 5);
         assert_eq!(e.quantiles.len(), 1);
         assert_eq!(e.quantiles[0].name, "span.kernel.duration_ns");
         assert_eq!(e.quantiles[0].count, 3);

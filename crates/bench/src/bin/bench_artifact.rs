@@ -84,6 +84,12 @@ fn main() -> ExitCode {
         samples,
     ));
 
+    eprintln!("running service.env2.3gpu…");
+    artifact.experiments.push(run_service_experiment(
+        "service.env2.3gpu",
+        Platform::env2(),
+    ));
+
     if let Err(e) = std::fs::write(&out, artifact.to_json()) {
         eprintln!("error: cannot write {out}: {e}");
         return ExitCode::from(2);
@@ -289,6 +295,80 @@ fn run_batch_experiment(name: &str, platform: &Platform, samples: u64) -> Experi
     .with_metrics(&report.metrics());
     e.batch_packing_speedup = sim.packing_speedup();
     e
+}
+
+/// The resident-service anchor: a sustained stream of 22 small jobs (20
+/// singles plus two 3-pair batches submitted up front, so the queue
+/// actually builds depth) drained by an in-process [`AlignService`]. The
+/// GCUPS is host-noisy like the pipeline experiments, but the accounting —
+/// jobs completed, per-job p50/p99 latency, queue-depth high-water mark —
+/// lands in the artifact's `service` object so a scheduling or queueing
+/// regression in `megasw serve` fails the diff next to the kernel numbers.
+fn run_service_experiment(name: &str, platform: Platform) -> Experiment {
+    let base = RunConfig::test_default()
+        .with_policy(KernelPolicy::default().with_checkpoint(CheckpointCadence::EveryRows(4)));
+    let mut svc = AlignService::start(platform, ServiceConfig::new(base), MetricsHub::new());
+
+    let mk = |seed: u64, len: usize| {
+        let a = ChromosomeGenerator::new(GenerateConfig::sized(len, seed)).generate();
+        let (b, _) = DivergenceModel::test_scale(seed).apply(&a);
+        (a, b)
+    };
+    let mut cells: u128 = 0;
+    let mut ids = Vec::new();
+    let t = Instant::now();
+    for i in 0..20u64 {
+        let (a, b) = mk(700 + i, 1_200 + 43 * (i as usize % 13));
+        cells += (a.len() as u128) * (b.len() as u128);
+        ids.push(svc.submit(JobSpec::single(
+            format!("s{i}"),
+            a.codes().to_vec(),
+            b.codes().to_vec(),
+        )));
+    }
+    for batch in 0..2u64 {
+        let jobs: Vec<BatchJob> = (0..3u64)
+            .map(|i| {
+                let (a, b) = mk(760 + 10 * batch + i, 900 + 60 * i as usize);
+                cells += (a.len() as u128) * (b.len() as u128);
+                BatchJob::new(
+                    format!("b{batch}p{i}"),
+                    a.codes().to_vec(),
+                    b.codes().to_vec(),
+                )
+            })
+            .collect();
+        ids.push(svc.submit(JobSpec::batch(jobs)));
+    }
+    for id in ids {
+        let status = svc
+            .wait(id, std::time::Duration::from_secs(600))
+            .expect("service job reached a terminal state");
+        assert_eq!(
+            status.state,
+            JobState::Done,
+            "service benchmark job {id} did not complete: {status:?}"
+        );
+    }
+    let g = gcups(cells, t.elapsed().as_secs_f64());
+
+    let registry = svc.hub().registry();
+    svc.shutdown();
+    assert_eq!(
+        registry.counter("service.jobs_completed"),
+        Some(22),
+        "service benchmark must drain the whole stream"
+    );
+    Experiment {
+        name: name.to_string(),
+        cells: u64::try_from(cells).unwrap_or(u64::MAX),
+        gcups_median: g,
+        gcups_min: g,
+        gcups_max: g,
+        ..Experiment::default()
+    }
+    .with_kernel(&KernelSelection::default())
+    .with_metrics(&registry)
 }
 
 /// The fault-tolerance anchor: the same simulated paper-scale run with a

@@ -46,6 +46,8 @@ fn run(args: Vec<String>) -> Result<(), String> {
         Some("simulate") => cmd_simulate(stream),
         Some("tune") => cmd_tune(stream),
         Some("screen") => cmd_screen(stream),
+        Some("serve") => cmd_serve(stream),
+        Some("submit") => cmd_submit(stream),
         Some("serve-metrics") => cmd_serve_metrics(stream),
         Some("help") | None => {
             print!("{USAGE}");
@@ -90,6 +92,24 @@ subcommands:
   screen    A.fasta B.fasta [--k N] [--plot]
             alignment-free prefilter: k-mer Jaccard similarity, estimated
             alignment band, optional ASCII dotplot
+  serve     --addr HOST:PORT [platform flags] [kernel-policy flags]
+            [--recover [--max-device-failures N]] [--events-interval-ms N]
+            resident alignment service: owns the platform and drains a
+            prioritized job queue submitted over HTTP (POST /jobs,
+            GET /jobs[/ID[/events]], DELETE /jobs/ID, plus /metrics,
+            /health, /flight); the kernel-policy flags set the per-job
+            defaults, --recover makes every job survive device loss, and
+            per-job latency p50/p99 SLOs land on /metrics; runs until
+            killed, printing each completed job
+  submit    --addr HOST:PORT  A.fasta B.fasta
+            | --batch A.fasta B.fasta | --manifest FILE | --cancel ID
+            [--priority N] [--scores] [--no-wait] [kernel-policy flags]
+            [--fault SPEC | --batch-fault PAIR@DEV:ROW[:PHASE],..]
+            HTTP client for a running `megasw serve`: submits one pair
+            (or a record-by-record batch) as a job, forwards exactly the
+            policy flags you give (the rest stay on the server's
+            defaults), then polls the job to completion (--no-wait just
+            prints the id; --cancel ID sends DELETE instead)
   serve-metrics
             --metrics-addr HOST:PORT [--length N] [--seed S] [--runs N]
             [platform flags] [kernel-policy flags]
@@ -200,9 +220,9 @@ fn cmd_generate(mut args: ArgStream) -> Result<(), String> {
 }
 
 fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
     let (faults, recovery) = (cp.faults, cp.recovery);
     let path_a = args.next_positional().ok_or("missing first FASTA path")?;
@@ -282,10 +302,10 @@ fn cmd_compare(mut args: ArgStream) -> Result<(), String> {
 }
 
 fn cmd_batch(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
     cp.reject_faults("batch")?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
     obs_opts.reject_serving("batch")?;
     if obs_opts.trace_out.is_some() {
@@ -373,10 +393,10 @@ fn cmd_batch(mut args: ArgStream) -> Result<(), String> {
 }
 
 fn cmd_align(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
     cp.reject_faults("align")?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
     obs_opts.reject_serving("align")?;
     let width: usize = args.flag_value("--width")?.unwrap_or(72);
@@ -432,9 +452,9 @@ fn cmd_align(mut args: ArgStream) -> Result<(), String> {
 }
 
 fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let obs_opts = parse_obs(&mut args)?;
     let (faults, recovery) = (cp.faults, cp.recovery);
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
@@ -529,10 +549,10 @@ fn cmd_simulate(mut args: ArgStream) -> Result<(), String> {
 }
 
 fn cmd_tune(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
     cp.reject_faults("tune")?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let m: usize = args.flag_value("--m")?.ok_or("--m is required")?;
     let n: usize = args.flag_value("--n")?.ok_or("--n is required")?;
     args.finish()?;
@@ -590,6 +610,264 @@ fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
     Ok(())
 }
 
+/// `serve`: the resident alignment service. Owns the platform for the
+/// process lifetime, drains the prioritized job queue, and serves the
+/// whole control surface over the std-only HTTP listener: `POST /jobs`,
+/// `GET /jobs`, `GET /jobs/ID`, `GET /jobs/ID/events` (NDJSON progress),
+/// `DELETE /jobs/ID` (cooperative cancellation), plus the built-in
+/// `/metrics`, `/health` and `/flight`. Runs until killed, printing each
+/// job as its execution finishes.
+fn cmd_serve(mut args: ArgStream) -> Result<(), String> {
+    let platform = cli_policy::parse_platform(&mut args)?;
+    let cp = cli_policy::parse(&mut args)?;
+    if !cp.faults.is_empty() {
+        return Err("serve takes no --fault; inject faults per job via `megasw submit`".into());
+    }
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
+    let addr = args.flag_str("--addr").ok_or("--addr is required")?;
+    let events_ms: u64 = args.flag_value("--events-interval-ms")?.unwrap_or(50);
+    args.finish()?;
+    if events_ms == 0 {
+        return Err("--events-interval-ms must be at least 1".into());
+    }
+
+    let mut svc_cfg = ServiceConfig::new(config);
+    svc_cfg.events_interval = Duration::from_millis(events_ms);
+    if let Some(policy) = cp.recovery {
+        svc_cfg = svc_cfg.with_recovery(policy);
+    }
+    let platform_name = platform.name.clone();
+    let service = AlignService::start(platform, svc_cfg, MetricsHub::new());
+    let server = MetricsServer::bind_routed(&addr, service.hub(), Some(service.handler()))
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "serving jobs on http://{}/ ({}; POST /jobs, GET /jobs[/ID[/events]], DELETE /jobs/ID, /metrics, /health, /flight)",
+        server.local_addr(),
+        platform_name
+    );
+
+    // Print each job as its execution finishes, in completion order.
+    let mut printed = 0usize;
+    loop {
+        let done = service.completed_order();
+        for &id in &done[printed..] {
+            if let Some(s) = service.status(id) {
+                println!(
+                    "job {:>4}  {:<24} {:<9} {}",
+                    s.id,
+                    s.name,
+                    s.state.name(),
+                    match (&s.report, &s.error) {
+                        (Some(r), _) => format!(
+                            "best {}  {:.1} ms",
+                            r.best_score(),
+                            s.latency.unwrap_or_default().as_secs_f64() * 1e3
+                        ),
+                        (None, Some(e)) => e.clone(),
+                        (None, None) => String::new(),
+                    }
+                );
+            }
+        }
+        printed = done.len();
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+/// `submit`: the HTTP client for a running `megasw serve`. Builds the
+/// `POST /jobs` JSON body (sequences ride along as FASTA text or raw
+/// bases), forwards exactly the policy flags that were given — omitted
+/// knobs stay on the server's defaults — then polls `GET /jobs/ID` until
+/// the job is terminal.
+fn cmd_submit(mut args: ArgStream) -> Result<(), String> {
+    use megasw::obs::json::{self, escape, Value};
+
+    let addr = args.flag_str("--addr").ok_or("--addr is required")?;
+    if let Some(id) = args.flag_value::<u64>("--cancel")? {
+        args.finish()?;
+        let (head, body) = http_delete(&addr, &format!("/jobs/{id}"))
+            .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+        if !head.starts_with("HTTP/1.1 200") {
+            return Err(format!("cancel failed: {}", body.trim()));
+        }
+        let v = json::parse(&body).map_err(|e| format!("bad cancel response: {e}"))?;
+        println!(
+            "job {id} is now {}",
+            v.get("state").and_then(Value::as_str).unwrap_or("?")
+        );
+        return Ok(());
+    }
+
+    let cp = cli_policy::parse(&mut args)?;
+    if cp.recovery.is_some() {
+        return Err("--recover is a serve-side flag; start the service with it".into());
+    }
+    let priority: i64 = args.flag_value("--priority")?.unwrap_or(0);
+    let batch = args.take_flag("--batch");
+    let manifest = args.flag_str("--manifest");
+    let threshold = args.flag_value::<u128>("--threshold-cells")?;
+    let bins = args.flag_value::<usize>("--bins")?;
+    let batch_fault = args.flag_str("--batch-fault");
+    let show_scores = args.take_flag("--scores");
+    let no_wait = args.take_flag("--no-wait");
+
+    let mut fields: Vec<String> = Vec::new();
+    if priority != 0 {
+        fields.push(format!("\"priority\": {priority}"));
+    }
+    if let Some(policy) = cp.raw.policy_json() {
+        fields.push(format!("\"policy\": {policy}"));
+    }
+    if batch || manifest.is_some() {
+        if !cp.faults.is_empty() {
+            return Err("batch jobs take --batch-fault PAIR@DEV:ROW, not --fault".into());
+        }
+        let pairs: Vec<(String, String, String)> = if let Some(m) = manifest {
+            if batch {
+                return Err("--manifest replaces the --batch FASTA paths".into());
+            }
+            args.finish()?;
+            jobs_from_manifest(&m)?
+                .into_iter()
+                .map(|j| {
+                    let a = DnaSeq::from_codes(j.a).expect("manifest codes are valid");
+                    let b = DnaSeq::from_codes(j.b).expect("manifest codes are valid");
+                    (j.id, a.to_ascii_string(), b.to_ascii_string())
+                })
+                .collect()
+        } else {
+            let pa = args
+                .next_positional()
+                .ok_or("submit --batch needs two many-record FASTA paths")?;
+            let pb = args.next_positional().ok_or("missing second FASTA path")?;
+            args.finish()?;
+            jobs_from_fasta_pair(&pa, &pb)?
+                .into_iter()
+                .map(|j| {
+                    let a = DnaSeq::from_codes(j.a).expect("FASTA codes are valid");
+                    let b = DnaSeq::from_codes(j.b).expect("FASTA codes are valid");
+                    (j.id, a.to_ascii_string(), b.to_ascii_string())
+                })
+                .collect()
+        };
+        if pairs.is_empty() {
+            return Err("batch has no pairs".into());
+        }
+        let rendered: Vec<String> = pairs
+            .iter()
+            .map(|(id, a, b)| {
+                format!(
+                    "{{\"id\": \"{}\", \"a\": \"{}\", \"b\": \"{}\"}}",
+                    escape(id),
+                    escape(a),
+                    escape(b)
+                )
+            })
+            .collect();
+        fields.push(format!("\"pairs\": [{}]", rendered.join(", ")));
+        if let Some(t) = threshold {
+            fields.push(format!("\"threshold_cells\": {t}"));
+        }
+        if let Some(b) = bins {
+            fields.push(format!("\"bins\": {b}"));
+        }
+        if let Some(spec) = batch_fault {
+            let rendered: Vec<String> = spec
+                .split(',')
+                .map(|f| {
+                    f.parse::<BatchFault>()?; // validate before shipping
+                    Ok(format!("\"{}\"", escape(f)))
+                })
+                .collect::<Result<_, String>>()?;
+            fields.push(format!("\"faults\": [{}]", rendered.join(", ")));
+        }
+    } else {
+        if threshold.is_some() || bins.is_some() || batch_fault.is_some() {
+            return Err(
+                "--threshold-cells / --bins / --batch-fault need --batch or --manifest".into(),
+            );
+        }
+        let pa = args.next_positional().ok_or("missing first FASTA path")?;
+        let pb = args.next_positional().ok_or("missing second FASTA path")?;
+        args.finish()?;
+        let a_text = std::fs::read_to_string(&pa).map_err(|e| format!("cannot read {pa}: {e}"))?;
+        let b_text = std::fs::read_to_string(&pb).map_err(|e| format!("cannot read {pb}: {e}"))?;
+        fields.push(format!("\"id\": \"{}-vs-{}\"", escape(&pa), escape(&pb)));
+        fields.push(format!("\"a\": \"{}\"", escape(&a_text)));
+        fields.push(format!("\"b\": \"{}\"", escape(&b_text)));
+        if let Some(spec) = &cp.raw.fault {
+            fields.push(format!("\"fault\": \"{}\"", escape(spec)));
+        }
+    }
+
+    let body = format!("{{{}}}", fields.join(", "));
+    let (head, resp) =
+        http_post(&addr, "/jobs", &body).map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if !head.starts_with("HTTP/1.1 202") {
+        return Err(format!("submit rejected: {}", resp.trim()));
+    }
+    let v = json::parse(&resp).map_err(|e| format!("bad submit response: {e}"))?;
+    let id = v
+        .get("job")
+        .and_then(Value::as_f64)
+        .ok_or("submit response carries no job id")? as u64;
+    println!("job {id} queued on {addr}");
+    if no_wait {
+        return Ok(());
+    }
+
+    // Poll to a terminal state.
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let (_, body) = http_get(&addr, &format!("/jobs/{id}"))
+            .map_err(|e| format!("lost {addr} while polling: {e}"))?;
+        let v = json::parse(&body).map_err(|e| format!("bad status response: {e}"))?;
+        let state = v.get("state").and_then(Value::as_str).unwrap_or("?");
+        match state {
+            "queued" | "running" => continue,
+            "done" => {
+                let report = v.get("report").ok_or("done job carries no report")?;
+                println!(
+                    "job {id} done: best {}  {:.1} ms  {:.2} GCUPS",
+                    report
+                        .get("best_score")
+                        .and_then(Value::as_f64)
+                        .unwrap_or(0.0),
+                    v.get("latency_ms").and_then(Value::as_f64).unwrap_or(0.0),
+                    report.get("gcups").and_then(Value::as_f64).unwrap_or(0.0),
+                );
+                if show_scores {
+                    let outcomes = report
+                        .get("outcomes")
+                        .and_then(Value::as_array)
+                        .ok_or("report carries no outcomes")?;
+                    for o in outcomes {
+                        println!(
+                            "  pair {:>5}  {:<24} score {:>9}",
+                            o.get("pair").and_then(Value::as_f64).unwrap_or(-1.0),
+                            o.get("id").and_then(Value::as_str).unwrap_or("?"),
+                            o.get("score").and_then(Value::as_f64).unwrap_or(0.0),
+                        );
+                    }
+                }
+                return Ok(());
+            }
+            "cancelled" => {
+                println!("job {id} cancelled");
+                return Ok(());
+            }
+            other => {
+                return Err(format!(
+                    "job {id} {other}: {}",
+                    v.get("error")
+                        .and_then(Value::as_str)
+                        .unwrap_or("no detail")
+                ));
+            }
+        }
+    }
+}
+
 /// `serve-metrics`: a long-lived observability endpoint. Generates a fresh
 /// synthetic pair each iteration, runs the threaded pipeline with live
 /// telemetry and a flight recorder attached, and republishes the registry —
@@ -597,10 +875,10 @@ fn cmd_screen(mut args: ArgStream) -> Result<(), String> {
 /// while the std-only HTTP listener serves `/metrics`, `/health` and
 /// `/flight`. Loops forever unless `--runs` bounds it.
 fn cmd_serve_metrics(mut args: ArgStream) -> Result<(), String> {
-    let platform = parse_platform(&mut args)?;
+    let platform = cli_policy::parse_platform(&mut args)?;
     let cp = cli_policy::parse(&mut args)?;
     cp.reject_faults("serve-metrics")?;
-    let config = parse_config(&mut args, cp.policy)?;
+    let config = cli_policy::parse_config(&mut args, cp.policy)?;
     let addr = args
         .flag_str("--metrics-addr")
         .ok_or("--metrics-addr is required")?;
@@ -934,15 +1212,56 @@ fn parse_obs(args: &mut ArgStream) -> Result<ObsOptions, String> {
     })
 }
 
-/// The single parsing surface for every flag that lands in a
-/// [`KernelPolicy`] — `--prune`, `--equal`, `--checkpoint-rows`,
+/// The single parsing surface for every flag that shapes a run: the
+/// platform (`--env1`/`--env2`/`--gpus`), the geometry
+/// (`--block`/`--capacity`), everything that lands in a [`KernelPolicy`]
+/// — `--kernel`, `--prune`, `--equal`, `--checkpoint-rows`,
 /// `--rebalance` — plus the fault schedule and recovery budget that ride
 /// along with it (`--fault`, `--recover`, `--max-device-failures`).
-/// `compare`, `align`, `simulate` and `tune` all parse through here; no
-/// subcommand re-implements a flag.
+/// `compare`, `batch`, `align`, `simulate`, `tune`, `serve` and `submit`
+/// all parse through here; no subcommand re-implements a flag.
 mod cli_policy {
     use super::ArgStream;
+    use megasw::obs::json::escape;
     use megasw::prelude::*;
+
+    /// The policy flags exactly as the user gave them. `megasw submit`
+    /// renders these as the `policy` object of `POST /jobs` — forwarding
+    /// only what was explicit, so the serve-side defaults keep governing
+    /// every omitted knob.
+    #[derive(Debug, Default)]
+    pub struct RawPolicy {
+        pub kernel: Option<String>,
+        pub prune: Option<String>,
+        pub rebalance: Option<String>,
+        pub checkpoint_rows: Option<usize>,
+        pub equal: bool,
+        pub fault: Option<String>,
+    }
+
+    impl RawPolicy {
+        /// Render the explicitly-given policy flags as the JSON `policy`
+        /// object; `None` when no policy flag was given.
+        pub fn policy_json(&self) -> Option<String> {
+            let mut fields: Vec<String> = Vec::new();
+            if let Some(k) = &self.kernel {
+                fields.push(format!("\"kernel\": \"{}\"", escape(k)));
+            }
+            if let Some(p) = &self.prune {
+                fields.push(format!("\"prune\": \"{}\"", escape(p)));
+            }
+            if let Some(r) = &self.rebalance {
+                fields.push(format!("\"rebalance\": \"{}\"", escape(r)));
+            }
+            if let Some(rows) = self.checkpoint_rows {
+                fields.push(format!("\"checkpoint_rows\": {rows}"));
+            }
+            if self.equal {
+                fields.push("\"equal\": true".into());
+            }
+            (!fields.is_empty()).then(|| format!("{{{}}}", fields.join(", ")))
+        }
+    }
 
     /// Everything the policy flags decide for a run.
     #[derive(Debug)]
@@ -950,6 +1269,7 @@ mod cli_policy {
         pub policy: KernelPolicy,
         pub faults: FaultSchedule,
         pub recovery: Option<RecoveryPolicy>,
+        pub raw: RawPolicy,
     }
 
     impl CliPolicy {
@@ -965,29 +1285,40 @@ mod cli_policy {
     }
 
     pub fn parse(args: &mut ArgStream) -> Result<CliPolicy, String> {
+        let mut raw = RawPolicy {
+            kernel: args.flag_str("--kernel"),
+            prune: args.flag_str("--prune"),
+            rebalance: args.flag_str("--rebalance"),
+            checkpoint_rows: args.flag_value::<usize>("--checkpoint-rows")?,
+            equal: args.take_flag("--equal"),
+            fault: args.flag_str("--fault"),
+        };
         let mut policy = KernelPolicy::default();
-        if let Some(spec) = args.flag_str("--kernel") {
-            policy = policy.with_dispatch(KernelDispatch::parse(&spec)?);
+        if let Some(spec) = &raw.kernel {
+            policy = policy.with_dispatch(KernelDispatch::parse(spec)?);
         }
-        if let Some(spec) = args.flag_str("--prune") {
-            policy = policy.with_pruning(PruneMode::parse(&spec)?);
+        if let Some(spec) = &raw.prune {
+            policy = policy.with_pruning(PruneMode::parse(spec)?);
         }
-        if args.take_flag("--equal") {
+        if raw.equal {
             policy = policy.with_partition(PartitionPolicy::Equal);
         }
-        if let Some(rows) = args.flag_value::<usize>("--checkpoint-rows")? {
+        if let Some(rows) = raw.checkpoint_rows {
             if rows == 0 {
                 return Err("--checkpoint-rows must be at least 1".into());
             }
             policy = policy.with_checkpoint(CheckpointCadence::EveryRows(rows));
         }
-        if let Some(spec) = args.flag_str("--rebalance") {
-            policy = policy.with_rebalance(RebalanceMode::parse(&spec)?);
+        if let Some(spec) = &raw.rebalance {
+            policy = policy.with_rebalance(RebalanceMode::parse(spec)?);
         }
-        let faults = match args.flag_str("--fault") {
+        let faults = match &raw.fault {
             Some(spec) => spec.parse::<FaultSchedule>()?,
             None => FaultSchedule::default(),
         };
+        if faults.is_empty() {
+            raw.fault = None; // an empty spec forwards nothing
+        }
         let recover = args.take_flag("--recover");
         let max_failures = args.flag_value::<usize>("--max-device-failures")?;
         if !recover && max_failures.is_some() {
@@ -1001,40 +1332,41 @@ mod cli_policy {
             policy,
             faults,
             recovery,
+            raw,
         })
     }
-}
 
-fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
-    let env1 = args.take_flag("--env1");
-    let env2 = args.take_flag("--env2");
-    if env1 && env2 {
-        return Err("--env1 and --env2 are mutually exclusive".into());
-    }
-    let mut platform = if env1 {
-        Platform::env1()
-    } else {
-        Platform::env2()
-    };
-    if let Some(gpus) = args.flag_value::<usize>("--gpus")? {
-        if gpus == 0 {
-            return Err("--gpus must be at least 1".into());
+    pub fn parse_platform(args: &mut ArgStream) -> Result<Platform, String> {
+        let env1 = args.take_flag("--env1");
+        let env2 = args.take_flag("--env2");
+        if env1 && env2 {
+            return Err("--env1 and --env2 are mutually exclusive".into());
         }
-        platform = platform.take(gpus);
+        let mut platform = if env1 {
+            Platform::env1()
+        } else {
+            Platform::env2()
+        };
+        if let Some(gpus) = args.flag_value::<usize>("--gpus")? {
+            if gpus == 0 {
+                return Err("--gpus must be at least 1".into());
+            }
+            platform = platform.take(gpus);
+        }
+        Ok(platform)
     }
-    Ok(platform)
-}
 
-fn parse_config(args: &mut ArgStream, policy: KernelPolicy) -> Result<RunConfig, String> {
-    let mut config = RunConfig::paper_default().with_policy(policy);
-    if let Some(block) = args.flag_value::<usize>("--block")? {
-        config = config.with_block(block);
+    pub fn parse_config(args: &mut ArgStream, policy: KernelPolicy) -> Result<RunConfig, String> {
+        let mut config = RunConfig::paper_default().with_policy(policy);
+        if let Some(block) = args.flag_value::<usize>("--block")? {
+            config = config.with_block(block);
+        }
+        if let Some(cap) = args.flag_value::<usize>("--capacity")? {
+            config = config.with_buffer_capacity(cap);
+        }
+        config.validate()?;
+        Ok(config)
     }
-    if let Some(cap) = args.flag_value::<usize>("--capacity")? {
-        config = config.with_buffer_capacity(cap);
-    }
-    config.validate()?;
-    Ok(config)
 }
 
 /// `--drift` spec: comma-separated `DEV:ROW:FACTOR` entries. From block-row
@@ -1321,6 +1653,44 @@ mod tests {
     }
 
     #[test]
+    fn raw_policy_forwards_exactly_the_explicit_flags() {
+        // Nothing given — nothing forwarded (the serve-side defaults win).
+        let mut s = stream(&[]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert!(cp.raw.policy_json().is_none());
+        assert!(cp.raw.fault.is_none());
+
+        let mut s = stream(&[
+            "--kernel",
+            "scalar",
+            "--prune",
+            "local",
+            "--checkpoint-rows",
+            "4",
+            "--equal",
+            "--fault",
+            "0:2",
+        ]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        let json = cp.raw.policy_json().unwrap();
+        assert!(json.contains("\"kernel\": \"scalar\""), "{json}");
+        assert!(json.contains("\"prune\": \"local\""), "{json}");
+        assert!(json.contains("\"checkpoint_rows\": 4"), "{json}");
+        assert!(json.contains("\"equal\": true"), "{json}");
+        assert!(!json.contains("rebalance"), "{json}");
+        assert_eq!(cp.raw.fault.as_deref(), Some("0:2"));
+        assert!(s.finish().is_ok());
+
+        // A single knob forwards just itself.
+        let mut s = stream(&["--rebalance", "on:0.1"]);
+        let cp = cli_policy::parse(&mut s).unwrap();
+        assert_eq!(
+            cp.raw.policy_json().as_deref(),
+            Some("{\"rebalance\": \"on:0.1\"}")
+        );
+    }
+
+    #[test]
     fn drift_spec_parses_lists_and_rejects_nonsense() {
         let ds = parse_drifts("0:100:0.5,2:0:2.0", 3).unwrap();
         assert_eq!(ds.len(), 2);
@@ -1362,28 +1732,28 @@ mod tests {
     #[test]
     fn platform_parsing() {
         let mut s = stream(&["--env1", "--gpus", "1"]);
-        let p = parse_platform(&mut s).unwrap();
+        let p = cli_policy::parse_platform(&mut s).unwrap();
         assert_eq!(p.len(), 1);
         assert!(p.devices[0].name.contains("680"));
 
         let mut s = stream(&["--env1", "--env2"]);
-        assert!(parse_platform(&mut s).is_err());
+        assert!(cli_policy::parse_platform(&mut s).is_err());
 
         let mut s = stream(&["--gpus", "0"]);
-        assert!(parse_platform(&mut s).is_err());
+        assert!(cli_policy::parse_platform(&mut s).is_err());
     }
 
     #[test]
     fn config_parsing_validates() {
         let mut s = stream(&["--block", "128", "--capacity", "2", "--equal"]);
         let cp = cli_policy::parse(&mut s).unwrap();
-        let c = parse_config(&mut s, cp.policy).unwrap();
+        let c = cli_policy::parse_config(&mut s, cp.policy).unwrap();
         assert_eq!(c.block_h, 128);
         assert_eq!(c.buffer_capacity, 2);
         assert_eq!(c.policy.partition, PartitionPolicy::Equal);
 
         let mut s = stream(&["--capacity", "0"]);
-        assert!(parse_config(&mut s, KernelPolicy::default()).is_err());
+        assert!(cli_policy::parse_config(&mut s, KernelPolicy::default()).is_err());
     }
 
     #[test]

@@ -76,18 +76,22 @@ pub mod prelude {
     pub use megasw_gpusim::{catalog, ClockDrift, DeviceSpec, LinkSpec, Platform, SimTime};
     pub use megasw_multigpu::autotune::{autotune, TuneResult};
     pub use megasw_multigpu::baseline::{cpu_parallel, cpu_serial};
+    #[allow(deprecated)]
+    pub use megasw_multigpu::batch::PairOutcome;
     pub use megasw_multigpu::batch::{
         jobs_from_fasta_pair, jobs_from_manifest, BatchConfig, BatchFault, BatchJob, BatchPlan,
-        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec, PairOutcome,
+        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec,
     };
     pub use megasw_multigpu::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use megasw_multigpu::desrun::DeviceLossEvent;
     pub use megasw_multigpu::desrun::{run_des, run_des_bulk, DesRun, DesSim};
     pub use megasw_multigpu::error::MegaswError;
+    pub use megasw_multigpu::job::{JobKind, JobOutcome, JobReport, JobSpec};
     pub use megasw_multigpu::memory::{check_platform, plan_for, DeviceMemoryPlan};
     pub use megasw_multigpu::pipeline::{
         FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
     };
+    pub use megasw_multigpu::service::{AlignService, JobState, JobStatus, ServiceConfig};
     pub use megasw_multigpu::stages::{
         multigpu_local_align, multigpu_local_align_live, multigpu_local_align_observed, StageTimes,
     };
@@ -100,10 +104,11 @@ pub mod prelude {
         RebalanceMode, RunConfig, RunReport, Slab,
     };
     pub use megasw_obs::{
-        chrome_trace, http_get, metrics_json, prometheus, render_progress_line,
-        validate as validate_trace, DeviceSnapshot, FlightEvent, FlightKind, FlightRecorder,
-        LiveSnapshot, LiveTelemetry, MetricsHub, MetricsRegistry, MetricsServer, ObsKind, ObsLevel,
-        ObsSpan, ProgressSampler, Recorder, RingGauge, StallPhase,
+        chrome_trace, http_delete, http_get, http_post, http_request, metrics_json, prometheus,
+        render_progress_line, validate as validate_trace, DeviceSnapshot, FlightEvent, FlightKind,
+        FlightRecorder, Handler, LiveSnapshot, LiveTelemetry, MetricsHub, MetricsRegistry,
+        MetricsServer, ObsKind, ObsLevel, ObsSpan, ProgressSampler, Recorder, Request, Response,
+        RingGauge, StallPhase,
     };
     pub use megasw_seq::{
         ChromosomeGenerator, ChromosomePair, DivergenceModel, DnaSeq, GenerateConfig, Nucleotide,

@@ -47,15 +47,16 @@ use crate::checkpoint::RecoveryPolicy;
 use crate::config::RunConfig;
 use crate::desrun::DesSim;
 use crate::error::MegaswError;
+use crate::job::JobOutcome;
 use crate::pipeline::{FaultSchedule, PipelineError, PipelineRun, ScheduledFault};
 use megasw_gpusim::Platform;
 use megasw_obs::{LiveTelemetry, MetricsRegistry};
 use megasw_seq::fasta::{read_fasta_path, read_single_fasta_path};
-use megasw_sw::BestCell;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::path::Path;
 use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -269,34 +270,21 @@ impl std::fmt::Display for BatchFault {
     }
 }
 
-/// How one pair fared inside a batch.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PairOutcome {
-    /// Index into the submitted job list.
-    pub pair: usize,
-    pub id: String,
-    pub m: usize,
-    pub n: usize,
-    pub cells: u128,
-    /// Best cell — bit-identical to a solo [`PipelineRun`] of this pair.
-    pub best: BestCell,
-    /// Device that ran the pair whole, or `None` for the full-platform
-    /// slab-pipeline route.
-    pub device: Option<usize>,
-    /// True when the pair routed through the full-platform pipeline.
-    pub large: bool,
-    pub latency: Duration,
-    /// In-run checkpoint recoveries (large pairs only; small-pair device
-    /// losses surface as batch-level requeues instead).
-    pub recoveries: u64,
-}
+/// Former name of the per-pair outcome record, now the workload-agnostic
+/// [`JobOutcome`] in [`crate::job`] shared by batch reports and the
+/// alignment service. The fields are unchanged — only the name moved.
+#[deprecated(
+    since = "0.9.0",
+    note = "renamed to multigpu::job::JobOutcome (same fields); this alias lasts one release"
+)]
+pub type PairOutcome = JobOutcome;
 
 /// Aggregate result of a batch run: per-pair outcomes in submission order
 /// plus throughput and latency accounting.
 #[derive(Debug, Clone)]
 pub struct BatchReport {
     /// One outcome per submitted pair, in submission order.
-    pub pairs: Vec<PairOutcome>,
+    pub pairs: Vec<JobOutcome>,
     pub total_cells: u128,
     pub wall_time: Duration,
     pub gcups_wall: f64,
@@ -389,8 +377,9 @@ impl std::fmt::Display for BatchReport {
     }
 }
 
-/// Nearest-rank percentile over an ascending-sorted latency list.
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
+/// Nearest-rank percentile over an ascending-sorted latency list. Shared
+/// with the service's per-job latency SLOs.
+pub(crate) fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
     }
@@ -402,7 +391,7 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
 struct WorkQueue<'j> {
     jobs: &'j [BatchJob],
     queue: Mutex<VecDeque<usize>>,
-    outcomes: Mutex<Vec<Option<PairOutcome>>>,
+    outcomes: Mutex<Vec<Option<JobOutcome>>>,
     /// One flag per batch fault: a fault fires at most once, so a requeued
     /// pair does not die again on the next device.
     fired: Mutex<Vec<bool>>,
@@ -437,6 +426,7 @@ pub struct BatchRun<'a> {
     faults: Vec<BatchFault>,
     recovery: Option<RecoveryPolicy>,
     live: Option<Arc<LiveTelemetry>>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> BatchRun<'a> {
@@ -448,6 +438,7 @@ impl<'a> BatchRun<'a> {
             faults: Vec::new(),
             recovery: None,
             live: None,
+            cancel: None,
         }
     }
 
@@ -477,6 +468,22 @@ impl<'a> BatchRun<'a> {
         self
     }
 
+    /// Attach a cooperative cancellation token: the batch stops between
+    /// pairs (and inside a large pair at its checkpoint boundaries, via
+    /// [`PipelineRun::cancel`]) and returns [`PipelineError::Cancelled`]
+    /// once the token is set. Already-finished pairs are simply dropped
+    /// with the report — cancellation never corrupts the platform.
+    pub fn cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
     fn job_config(&self, idx: usize) -> RunConfig {
         self.jobs[idx]
             .config
@@ -504,7 +511,7 @@ impl<'a> BatchRun<'a> {
         let max_failures = self.recovery.map_or(0, |p| p.max_device_failures);
         let t0 = Instant::now();
 
-        let mut outcomes: Vec<Option<PairOutcome>> = vec![None; self.jobs.len()];
+        let mut outcomes: Vec<Option<JobOutcome>> = vec![None; self.jobs.len()];
         let mut blacklist = vec![false; self.platform.len()];
         let mut failures = 0usize;
         let mut recoveries_total = 0u64;
@@ -512,6 +519,11 @@ impl<'a> BatchRun<'a> {
 
         // ── Large pairs: serial, full surviving platform, in-run recovery.
         for &idx in &plan.large {
+            // Between-pairs cancellation point (a large pair also polls the
+            // token at its own checkpoint boundaries below).
+            if self.is_cancelled() {
+                return Err(MegaswError::Pipeline(PipelineError::Cancelled));
+            }
             let job = &self.jobs[idx];
             // Survivor chain, remembering each position's original index.
             let survivors: Vec<usize> = (0..self.platform.len())
@@ -525,6 +537,9 @@ impl<'a> BatchRun<'a> {
                     .collect(),
             );
             let mut run = PipelineRun::new(&job.a, &job.b, &plat).config(self.job_config(idx));
+            if let Some(token) = &self.cancel {
+                run = run.cancel(Arc::clone(token));
+            }
             if let Some(pol) = self.recovery {
                 // Hand the inner run the *remaining* batch-wide budget.
                 let remaining = pol.max_device_failures.saturating_sub(failures);
@@ -576,7 +591,7 @@ impl<'a> BatchRun<'a> {
                 }
                 live.on_pair_done();
             }
-            outcomes[idx] = Some(PairOutcome {
+            outcomes[idx] = Some(JobOutcome {
                 pair: idx,
                 id: job.id.clone(),
                 m: job.a.len(),
@@ -600,7 +615,7 @@ impl<'a> BatchRun<'a> {
         // terminates within `platform.len()` rounds.
         let mut queue: VecDeque<usize> = plan.queue_order().into();
         let mut requeued = 0u64;
-        while !queue.is_empty() && blacklist.iter().any(|&b| !b) {
+        while !queue.is_empty() && blacklist.iter().any(|&b| !b) && !self.is_cancelled() {
             let wq = WorkQueue {
                 jobs: self.jobs,
                 queue: Mutex::new(std::mem::take(&mut queue)),
@@ -621,11 +636,17 @@ impl<'a> BatchRun<'a> {
                     let live = self.live.clone();
                     let base = &self.config.base;
                     let recovery = self.recovery;
+                    let cancel = self.cancel.clone();
                     let dev = dev.clone();
                     s.spawn(move || {
                         let single = Platform::single(dev);
                         loop {
                             if wq.fatal.lock().unwrap().is_some() {
+                                break;
+                            }
+                            // Between-pairs cancellation point: leave the
+                            // rest of the queue untouched and exit.
+                            if cancel.as_ref().is_some_and(|c| c.load(Ordering::Relaxed)) {
                                 break;
                             }
                             let Some(idx) = wq.queue.lock().unwrap().pop_front() else {
@@ -665,7 +686,7 @@ impl<'a> BatchRun<'a> {
                                     }
                                     let slot = &mut wq.outcomes.lock().unwrap()[idx];
                                     debug_assert!(slot.is_none(), "pair {idx} reported twice");
-                                    *slot = Some(PairOutcome {
+                                    *slot = Some(JobOutcome {
                                         pair: idx,
                                         id: job.id.clone(),
                                         m: job.a.len(),
@@ -725,13 +746,16 @@ impl<'a> BatchRun<'a> {
         }
         let _ = (failures, fired); // the shared state already bounded the run
         if let Some(missing) = outcomes.iter().position(Option::is_none) {
+            if self.is_cancelled() {
+                return Err(MegaswError::Pipeline(PipelineError::Cancelled));
+            }
             // Every worker died with work still queued (budget allowed it).
             return Err(MegaswError::Pipeline(PipelineError::DeviceFault {
                 device: self.platform.len().saturating_sub(1),
                 block_row: missing,
             }));
         }
-        let pairs: Vec<PairOutcome> = outcomes.into_iter().map(Option::unwrap).collect();
+        let pairs: Vec<JobOutcome> = outcomes.into_iter().map(Option::unwrap).collect();
 
         let wall_time = t0.elapsed();
         let mut latencies: Vec<Duration> = pairs.iter().map(|p| p.latency).collect();

@@ -26,6 +26,12 @@
 //!   device work-queue, small pairs dispatched whole to idle devices
 //!   (inter-task parallelism), large pairs through the slab pipeline, plus
 //!   the DES twin that pins the packing speedup;
+//! * [`job`] — the unified job abstraction ([`job::JobSpec`] /
+//!   [`job::JobReport`]): single-pair and batch workloads behind one
+//!   submit/report surface;
+//! * [`service`] — the resident alignment service: a prioritized job
+//!   queue with an executor thread, cooperative cancellation, per-job
+//!   latency SLOs and an HTTP control surface mounted on `obs::http`;
 //! * [`balance`] — device-weight calibration for proportional splits;
 //! * [`baseline`] — the comparison points: single device, bulk-synchronous
 //!   (non-overlapped) exchange, equal split on heterogeneous platforms, and
@@ -41,15 +47,19 @@ pub mod circbuf;
 pub mod config;
 pub mod desrun;
 pub mod error;
+pub mod job;
 pub mod memory;
 pub mod partition;
 pub mod pipeline;
+pub mod service;
 pub mod stages;
 pub mod stats;
 
+#[allow(deprecated)]
+pub use batch::PairOutcome;
 pub use batch::{
     BatchConfig, BatchFault, BatchJob, BatchPlan, BatchReport, BatchRun, BatchSim, BatchSimReport,
-    BatchSpec, PairOutcome,
+    BatchSpec,
 };
 pub use checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
 pub use circbuf::BorderMsg;
@@ -58,10 +68,12 @@ pub use config::{
 };
 pub use desrun::DesSim;
 pub use error::MegaswError;
+pub use job::{JobKind, JobOutcome, JobReport, JobSpec};
 pub use partition::{
     make_slabs, make_slabs_excluding, make_slabs_excluding_with_weights, resplit_slabs, Slab,
 };
 pub use pipeline::{FaultPhase, FaultSchedule, PipelineRun, ScheduledFault, Semantics};
+pub use service::{AlignService, JobState, JobStatus, ServiceConfig};
 pub use stages::multigpu_local_align;
 pub use stats::{
     DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallBreakdown,
@@ -69,9 +81,11 @@ pub use stats::{
 
 /// The types most callers need: builders, reports, errors, observability.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use crate::batch::PairOutcome;
     pub use crate::batch::{
         jobs_from_fasta_pair, jobs_from_manifest, BatchConfig, BatchFault, BatchJob, BatchPlan,
-        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec, PairOutcome,
+        BatchReport, BatchRun, BatchSim, BatchSimReport, BatchSpec,
     };
     pub use crate::checkpoint::{Checkpoint, CheckpointStore, RecoveryPolicy};
     pub use crate::circbuf::BorderMsg;
@@ -80,9 +94,11 @@ pub mod prelude {
     };
     pub use crate::desrun::{DesRun, DesSim};
     pub use crate::error::MegaswError;
+    pub use crate::job::{JobKind, JobOutcome, JobReport, JobSpec};
     pub use crate::pipeline::{
         FaultPhase, FaultPlan, FaultSchedule, PipelineRun, ScheduledFault, Semantics,
     };
+    pub use crate::service::{AlignService, JobState, JobStatus, ServiceConfig};
     pub use crate::stats::{
         DeviceReport, PruningReport, RebalanceReport, RecoveryReport, RunReport, StallBreakdown,
     };

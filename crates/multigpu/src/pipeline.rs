@@ -88,7 +88,7 @@ use megasw_sw::kernel::{self, Kernel, KernelSelection};
 use megasw_sw::prune::{prune_bound, restore_corner, tile_is_prunable};
 use std::path::PathBuf;
 use std::str::FromStr;
-use std::sync::atomic::{AtomicI32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -113,6 +113,11 @@ pub enum PipelineError {
     DeviceFault { device: usize, block_row: usize },
     /// A neighbour's failure surfaced through the ring.
     RingPoisoned { device: usize },
+    /// The run observed its cancellation token (set via
+    /// [`PipelineRun::cancel`]) at a checkpoint boundary and stopped
+    /// cooperatively. Not a fault: nothing is blacklisted and the queue
+    /// owner may resubmit.
+    Cancelled,
 }
 
 impl std::fmt::Display for PipelineError {
@@ -125,6 +130,7 @@ impl std::fmt::Display for PipelineError {
             PipelineError::RingPoisoned { device } => {
                 write!(f, "device {device} observed a poisoned ring")
             }
+            PipelineError::Cancelled => write!(f, "run cancelled at a checkpoint boundary"),
         }
     }
 }
@@ -341,6 +347,7 @@ pub struct PipelineRun<'a> {
     live: Option<Arc<LiveTelemetry>>,
     flight: Option<Arc<FlightRecorder>>,
     flight_dump: Option<PathBuf>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl<'a> PipelineRun<'a> {
@@ -360,6 +367,7 @@ impl<'a> PipelineRun<'a> {
             live: None,
             flight: None,
             flight_dump: None,
+            cancel: None,
         }
     }
 
@@ -430,11 +438,43 @@ impl<'a> PipelineRun<'a> {
         self
     }
 
+    /// Attach a cooperative cancellation token. The run polls it at its
+    /// checkpoint boundaries — before the first attempt, and between
+    /// segments/recovery attempts on the segmented driver — and returns
+    /// [`PipelineError::Cancelled`] once it observes `true`. Workers
+    /// mid-segment finish their segment first: cancellation never tears a
+    /// wave, so the abort is clean and the platform stays reusable.
+    pub fn cancel(mut self, token: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Execute the run.
     pub fn run(self) -> Result<RunReport, MegaswError> {
         let flight = self.flight.clone();
         let dump = self.flight_dump.clone();
+        // A cancellation token needs boundaries to act on: with a
+        // checkpoint cadence configured, drive through the segmented
+        // engine (recovery may still be None) so the token is polled at
+        // every checkpoint boundary instead of only before the run.
+        let segmented_for_cancel = self.recovery.is_none()
+            && self.cancel.is_some()
+            && self.config.policy.checkpoint.rows_interval().is_some();
         let result = match self.recovery {
+            None if segmented_for_cancel => run_pipeline_segmented(
+                self.a,
+                self.b,
+                self.platform,
+                &self.config,
+                &self.faults,
+                None,
+                self.semantics,
+                &self.observer,
+                self.live.as_ref(),
+                self.flight.as_ref(),
+                self.cancel.as_deref(),
+            )
+            .map_err(MegaswError::from),
             None => run_pipeline_live(
                 self.a,
                 self.b,
@@ -445,6 +485,7 @@ impl<'a> PipelineRun<'a> {
                 &self.observer,
                 self.live.as_ref(),
                 self.flight.as_ref(),
+                self.cancel.as_deref(),
             )
             .map_err(MegaswError::from),
             Some(policy) => run_pipeline_segmented(
@@ -458,6 +499,7 @@ impl<'a> PipelineRun<'a> {
                 &self.observer,
                 self.live.as_ref(),
                 self.flight.as_ref(),
+                self.cancel.as_deref(),
             )
             .map_err(MegaswError::from),
         };
@@ -512,6 +554,7 @@ pub(crate) fn run_pipeline_live(
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
     flight: Option<&Arc<FlightRecorder>>,
+    cancel: Option<&AtomicBool>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     // Rebalance-enabled runs execute in checkpoint-bounded segments; the
@@ -520,8 +563,11 @@ pub(crate) fn run_pipeline_live(
     // and the stage-1/stage-2 drivers in `stages` — on one code path.
     if config.policy.rebalance.is_enabled() {
         return run_pipeline_segmented(
-            a, b, platform, config, faults, None, semantics, obs, live, flight,
+            a, b, platform, config, faults, None, semantics, obs, live, flight, cancel,
         );
+    }
+    if cancelled(cancel) {
+        return Err(PipelineError::Cancelled);
     }
     let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
     let selection = KernelSelection {
@@ -634,6 +680,7 @@ pub(crate) fn run_pipeline_segmented(
     obs: &Recorder,
     live: Option<&Arc<LiveTelemetry>>,
     flight: Option<&Arc<FlightRecorder>>,
+    cancel: Option<&AtomicBool>,
 ) -> Result<RunReport, PipelineError> {
     config.validate().map_err(PipelineError::InvalidConfig)?;
     let kernel = kernel::select(config.policy.dispatch).map_err(PipelineError::InvalidConfig)?;
@@ -672,9 +719,19 @@ pub(crate) fn run_pipeline_segmented(
     let cells_at = |row: usize| ((row * block_h).min(m) as u128) * n as u128;
     // Segment length in block-rows: a multiple of the checkpoint interval,
     // so every boundary wave is deposited by the regular cadence check.
-    // `Off` runs one segment spanning the whole matrix.
+    // `Off` runs one segment spanning the whole matrix — unless a
+    // cancellation token is attached, in which case segments shrink to the
+    // checkpoint cadence so the loop-top cancellation check really fires
+    // at every checkpoint boundary rather than once per run.
     let (rb_threshold, seg_rows) = match rb_mode {
-        RebalanceMode::Off => (f64::INFINITY, rows),
+        RebalanceMode::Off => (
+            f64::INFINITY,
+            if cancel.is_some() {
+                interval.min(rows)
+            } else {
+                rows
+            },
+        ),
         RebalanceMode::On {
             threshold,
             window_waves,
@@ -696,6 +753,13 @@ pub(crate) fn run_pipeline_segmented(
     let run_start_ns = obs.now_ns();
 
     loop {
+        // Cooperative cancellation point: every iteration of this loop is
+        // a checkpoint boundary (segment hand-off or recovery rewind), so
+        // checking here is exactly "cancellation at checkpoint
+        // boundaries". No wave is ever torn mid-flight.
+        if cancelled(cancel) {
+            return Err(PipelineError::Cancelled);
+        }
         // Smallest segment boundary strictly past `start_row` (a resumed
         // attempt may start mid-segment after a fault rewind), clamped to
         // the matrix.
@@ -875,6 +939,11 @@ pub(crate) fn run_pipeline_segmented(
             }
         }
     }
+}
+
+/// `true` once a cancellation token is present and set.
+fn cancelled(cancel: Option<&AtomicBool>) -> bool {
+    cancel.is_some_and(|c| c.load(Ordering::Relaxed))
 }
 
 /// Everything one attempt needs; bundled so the recovery driver and the

@@ -87,6 +87,7 @@ pub fn multigpu_local_align_live(
         obs,
         live,
         None,
+        None,
     )?;
     times.stage1 = t0.elapsed();
     let best = stage1.best;
@@ -108,6 +109,7 @@ pub fn multigpu_local_align_live(
         Semantics::Anchored,
         obs,
         live,
+        None,
         None,
     )?;
     times.stage2 = t0.elapsed();

@@ -44,7 +44,10 @@ pub mod span;
 
 pub use chrome::{chrome_trace, validate, TraceCheck};
 pub use flight::{FlightEvent, FlightKind, FlightRecorder};
-pub use http::{http_get, MetricsHub, MetricsServer};
+pub use http::{
+    http_delete, http_get, http_post, http_request, Handler, MetricsHub, MetricsServer, Request,
+    Response,
+};
 pub use live::{
     render_progress_line, DeviceSnapshot, LiveSnapshot, LiveTelemetry, ProgressSampler, RingGauge,
     StallPhase,

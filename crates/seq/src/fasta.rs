@@ -137,6 +137,19 @@ pub fn read_single_fasta_path<P: AsRef<std::path::Path>>(
     read_single_fasta(std::fs::File::open(path)?)
 }
 
+/// Read every record from FASTA text already in memory — the shape of an
+/// HTTP request body posted to the alignment service, where there is no
+/// file to stream from.
+pub fn read_fasta_str(text: &str) -> Result<Vec<FastaRecord>, FastaError> {
+    read_fasta(text.as_bytes())
+}
+
+/// Read exactly one record from in-memory FASTA text (first record if the
+/// text holds several). Convenience wrapper over [`read_single_fasta`].
+pub fn read_single_fasta_str(text: &str) -> Result<FastaRecord, FastaError> {
+    read_single_fasta(text.as_bytes())
+}
+
 /// Write records in FASTA format with the given line width.
 pub fn write_fasta<W: Write>(
     mut writer: W,
@@ -252,6 +265,16 @@ mod tests {
         write_fasta(&mut out, &recs, 4).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert_eq!(text, ">w\nACGT\nACGT\nAC\n");
+    }
+
+    #[test]
+    fn str_helpers_match_reader_path() {
+        let text = ">a desc\nACGT\nNN\n>b\nTT\n";
+        let recs = read_fasta_str(text).unwrap();
+        assert_eq!(recs, read_fasta(text.as_bytes()).unwrap());
+        let one = read_single_fasta_str(text).unwrap();
+        assert_eq!(one, recs[0]);
+        assert!(read_single_fasta_str("").is_err());
     }
 
     #[test]
